@@ -1,0 +1,92 @@
+// Ablation — classical spatial autocorrelation vs the scan audit.
+//
+// Moran's I / join counts are the standard first-line diagnostics for
+// "outcomes depend on location". They answer the global question with one
+// number but cannot testify: no region, no effect size, no direction. This
+// harness runs both on the same datasets and reports what each can and
+// cannot say. Shape expectations: both reject on strongly clustered
+// unfairness; Moran's I is weak on small localized deviations (its signal
+// dilutes over the whole graph) where the scan still localizes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/audit.h"
+#include "core/grid_family.h"
+#include "stats/join_count.h"
+
+namespace sfa {
+namespace {
+
+struct CaseResult {
+  double morans_i = 0.0;
+  double morans_p = 1.0;
+  bool audit_unfair = false;
+  double audit_p = 1.0;
+  std::string audit_where;
+};
+
+CaseResult RunCase(const data::OutcomeDataset& ds) {
+  CaseResult out;
+  auto graph = stats::BuildKnnGraph(ds.locations(), 5);
+  SFA_CHECK_OK(graph.status());
+  out.morans_i = stats::BinaryMoransI(*graph, ds.predicted());
+  auto morans_p = stats::MoransIPValue(*graph, ds.predicted(), 199, 7);
+  SFA_CHECK_OK(morans_p.status());
+  out.morans_p = *morans_p;
+
+  auto family = core::GridPartitionFamily::Create(ds.locations(), 10, 10);
+  SFA_CHECK_OK(family.status());
+  core::AuditOptions opts;
+  opts.alpha = 0.005;
+  opts.monte_carlo.num_worlds = bench::NumWorlds();
+  auto audit = core::Auditor(opts).Audit(ds, **family);
+  SFA_CHECK_OK(audit.status());
+  out.audit_unfair = !audit->spatially_fair;
+  out.audit_p = audit->p_value;
+  out.audit_where = audit->findings.empty()
+                        ? "(none)"
+                        : audit->findings[0].rect.ToString();
+  return out;
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Ablation", "Moran's I / join counts vs the scan audit");
+  Stopwatch timer;
+  const size_t n = bench::QuickMode() ? 4000 : 10000;
+  Rng rng(42);
+
+  // Case A: fair. Case B: one half shifted (global structure). Case C: one
+  // small pocket shifted (localized structure, ~4% of the data).
+  data::OutcomeDataset fair("fair"), halves("halves"), pocket("pocket");
+  const geo::Rect pocket_zone(7.6, 7.6, 9.6, 9.6);
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point p(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    fair.Add(p, rng.Bernoulli(0.5) ? 1 : 0);
+    halves.Add(p, rng.Bernoulli(p.x < 5.0 ? 0.62 : 0.38) ? 1 : 0);
+    pocket.Add(p, rng.Bernoulli(pocket_zone.Contains(p) ? 0.15 : 0.5) ? 1 : 0);
+  }
+
+  std::printf("\n  %-8s | %10s | %10s | %8s | %10s | %s\n", "case", "Moran I",
+              "Moran p", "audit", "audit p", "audit evidence");
+  for (const auto* ds : {&fair, &halves, &pocket}) {
+    const CaseResult r = RunCase(*ds);
+    std::printf("  %-8s | %10.4f | %10.4f | %8s | %10.4f | %s\n",
+                ds->name().c_str(), r.morans_i, r.morans_p,
+                r.audit_unfair ? "unfair" : "fair", r.audit_p,
+                r.audit_unfair ? r.audit_where.c_str() : "-");
+  }
+  std::printf(
+      "\n  Takeaway: both methods clear the fair case and catch the global\n"
+      "  half-shift, but only the audit also names the WHERE; on the small\n"
+      "  pocket the global Moran statistic dilutes while the scan pinpoints\n"
+      "  the planted zone at high significance.\n");
+  std::printf("\n[done in %s]\n", timer.ElapsedString().c_str());
+  return 0;
+}
+
+}  // namespace sfa
+
+int main() { return sfa::Main(); }

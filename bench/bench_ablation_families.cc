@@ -1,0 +1,97 @@
+// Ablation — region family choice (§3: "a predetermined set of regions R").
+//
+// The same planted deviation is scanned with four families: a matched
+// regular grid, a mismatched (offset-resolution) grid, k-means-centered
+// squares, and the exhaustive rectangle sweep. Reported: verdict, max LLR,
+// and whether the top finding overlaps the plant. The rectangle sweep should
+// dominate on grid-unaligned plants; scan-center squares recover most of the
+// power at a fraction of the region count.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/audit.h"
+#include "core/grid_family.h"
+#include "core/knn_circle_family.h"
+#include "core/rectangle_sweep_family.h"
+#include "core/square_family.h"
+#include "stats/kmeans.h"
+
+namespace sfa {
+namespace {
+
+void Report(const char* name, const core::RegionFamily& family,
+            const data::OutcomeDataset& ds, const geo::Rect& plant) {
+  core::AuditOptions opts;
+  opts.alpha = bench::kAlpha;
+  opts.monte_carlo.num_worlds = bench::NumWorlds();
+  auto result = core::Auditor(opts).Audit(ds, family);
+  SFA_CHECK_OK(result.status());
+  const bool hit =
+      !result->findings.empty() && result->findings[0].rect.Intersects(plant);
+  std::printf("  %-28s | regions %7zu | tau %8.2f | %-6s | top hits plant: %s\n",
+              name, family.num_regions(), result->tau,
+              result->spatially_fair ? "fair" : "unfair", hit ? "yes" : "no");
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Ablation", "Region family power on a grid-unaligned plant");
+  Stopwatch timer;
+
+  // Plant deliberately not aligned to any 10x5 or 16x8 grid line.
+  Rng rng(909);
+  data::OutcomeDataset ds("planted");
+  const geo::Rect plant(0.37, 0.22, 0.93, 0.71);
+  const size_t n = bench::QuickMode() ? 20000 : 60000;
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point p(rng.Uniform(0, 2), rng.Uniform(0, 1));
+    ds.Add(p, rng.Bernoulli(plant.Contains(p) ? 0.56 : 0.5) ? 1 : 0);
+  }
+  std::printf("%s | plant %s at rate 0.56 vs 0.50\n", ds.Summary().c_str(),
+              plant.ToString().c_str());
+
+  auto grid_matched = core::GridPartitionFamily::Create(ds.locations(), 10, 5);
+  SFA_CHECK_OK(grid_matched.status());
+  Report("grid 10x5", **grid_matched, ds, plant);
+
+  auto grid_fine = core::GridPartitionFamily::Create(ds.locations(), 16, 8);
+  SFA_CHECK_OK(grid_fine.status());
+  Report("grid 16x8", **grid_fine, ds, plant);
+
+  stats::KMeansOptions km;
+  km.k = 30;
+  km.seed = 4;
+  auto clusters = stats::KMeans(ds.locations(), km);
+  SFA_CHECK_OK(clusters.status());
+  core::SquareScanOptions scan;
+  scan.centers = clusters->centers;
+  scan.side_lengths = core::SquareScanOptions::DefaultSideLengths(0.1, 0.9, 9);
+  auto squares = core::SquareScanFamily::Create(ds.locations(), scan);
+  SFA_CHECK_OK(squares.status());
+  Report("k-means squares 30x9", **squares, ds, plant);
+
+  core::KnnCircleOptions knn;
+  knn.centers = clusters->centers;
+  knn.population_fractions = {0.01, 0.02, 0.05, 0.10, 0.15, 0.20};
+  auto circles = core::KnnCircleFamily::Create(ds.locations(), knn);
+  SFA_CHECK_OK(circles.status());
+  Report("kNN circles (SaTScan-style)", **circles, ds, plant);
+
+  auto sweep = core::RectangleSweepFamily::Create(ds.locations(), 16, 8);
+  SFA_CHECK_OK(sweep.status());
+  Report("rectangle sweep 16x8", **sweep, ds, plant);
+
+  std::printf(
+      "\n  Takeaway: single-cell grids fragment a misaligned plant across\n"
+      "  cells and lose power; families whose regions can COVER the plant\n"
+      "  (large squares, swept rectangles) recover it with far higher LLR.\n"
+      "  The sweep is exhaustive but its region count grows quartically.\n");
+  std::printf("\n[done in %s]\n", timer.ElapsedString().c_str());
+  return 0;
+}
+
+}  // namespace sfa
+
+int main() { return sfa::Main(); }

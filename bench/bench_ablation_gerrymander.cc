@@ -1,0 +1,123 @@
+// Ablation — gerrymandering (the paper's §1 motivation).
+//
+// "Location is highly susceptible to gerrymandering: the act of purposefully
+// defining a partitioning of the space so that the partition measures appear
+// non-discriminatory." This harness plays the adversary: starting from a
+// regular partitioning of the unfair-by-design Synth dataset, it hill-climbs
+// the split positions to MINIMIZE MeanVar. The baseline's unfairness score
+// collapses (the audit target is gamed), while the likelihood-ratio audit —
+// whose null calibration does not depend on any partition boundaries the
+// adversary controls — still rejects spatial fairness on the same regions.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/audit.h"
+#include "core/meanvar.h"
+#include "core/partitioning_family.h"
+
+namespace sfa {
+namespace {
+
+// One hill-climbing pass: jitter each interior split and keep improvements.
+geo::Partitioning Gerrymander(const data::OutcomeDataset& ds,
+                              const geo::Partitioning& start, int rounds,
+                              Rng* rng) {
+  auto score = [&ds](const geo::Partitioning& p) {
+    auto mv = core::ComputeMeanVar(ds, {p});
+    SFA_CHECK_OK(mv.status());
+    return mv->mean_var;
+  };
+  geo::Partitioning best = start;
+  double best_score = score(best);
+  const geo::Rect& extent = start.extent();
+  for (int round = 0; round < rounds; ++round) {
+    for (const bool x_axis : {true, false}) {
+      const auto& splits = x_axis ? best.x_splits() : best.y_splits();
+      for (size_t s = 0; s < splits.size(); ++s) {
+        std::vector<double> xs = best.x_splits();
+        std::vector<double> ys = best.y_splits();
+        auto& target = x_axis ? xs : ys;
+        const double lo = x_axis ? extent.min_x : extent.min_y;
+        const double hi = x_axis ? extent.max_x : extent.max_y;
+        const double jitter = (hi - lo) * 0.03 * rng->Normal();
+        target[s] = std::clamp(target[s] + jitter, lo + 1e-9 * (hi - lo),
+                               hi - 1e-9 * (hi - lo));
+        auto candidate = geo::Partitioning::Create(extent, xs, ys);
+        if (!candidate.ok()) continue;
+        const double candidate_score = score(*candidate);
+        if (candidate_score < best_score) {
+          best_score = candidate_score;
+          best = std::move(candidate).value();
+        }
+      }
+    }
+  }
+  return best;
+}
+
+core::AuditResult Audit(const data::OutcomeDataset& ds,
+                        const geo::Partitioning& partitioning) {
+  auto family =
+      core::PartitioningCollectionFamily::Create(ds.locations(), {partitioning});
+  SFA_CHECK_OK(family.status());
+  core::AuditOptions opts;
+  opts.alpha = bench::kAlpha;
+  opts.monte_carlo.num_worlds = bench::NumWorlds();
+  auto result = core::Auditor(opts).Audit(ds, **family);
+  SFA_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Ablation", "Gerrymandering MeanVar vs the audit");
+  Stopwatch timer;
+
+  const data::OutcomeDataset synth = bench::MakeSynthDataset();
+  std::printf("%s (left half rate 2/3, right half 1/3 — unfair by design)\n",
+              synth.Summary().c_str());
+
+  const geo::Rect extent = synth.BoundingBox().Expanded(1e-6);
+  auto start = geo::Partitioning::Regular(extent, 8, 8);
+  SFA_CHECK_OK(start.status());
+
+  auto mv_before = core::ComputeMeanVar(synth, {*start});
+  SFA_CHECK_OK(mv_before.status());
+  const core::AuditResult audit_before = Audit(synth, *start);
+
+  Rng rng(1789);  // the gerrymander's birth year
+  const int rounds = bench::QuickMode() ? 10 : 40;
+  const geo::Partitioning rigged = Gerrymander(synth, *start, rounds, &rng);
+  auto mv_after = core::ComputeMeanVar(synth, {rigged});
+  SFA_CHECK_OK(mv_after.status());
+  const core::AuditResult audit_after = Audit(synth, rigged);
+
+  std::printf("\n");
+  bench::PaperVsMeasured("MeanVar, honest 8x8 partitioning", "-",
+                         StrFormat("%.4f", mv_before->mean_var));
+  bench::PaperVsMeasured(
+      "MeanVar after adversarial boundary search", "can be driven down",
+      StrFormat("%.4f (-%.0f%%)", mv_after->mean_var,
+                100.0 * (1.0 - mv_after->mean_var / mv_before->mean_var)));
+  bench::PaperVsMeasured("audit verdict, honest partitioning", "unfair",
+                         audit_before.spatially_fair ? "fair" : "unfair");
+  bench::PaperVsMeasured("audit verdict, gerrymandered partitioning", "unfair",
+                         audit_after.spatially_fair ? "fair (!)" : "still unfair");
+  bench::PaperVsMeasured("audit p-value before / after", "-",
+                         StrFormat("%.4f / %.4f", audit_before.p_value,
+                                   audit_after.p_value));
+  std::printf(
+      "\n  Takeaway: an adversary who controls partition boundaries can push\n"
+      "  the MeanVar score toward 'fair' on designed-unfair data, but the\n"
+      "  likelihood-ratio audit still rejects on the SAME rigged regions —\n"
+      "  its Monte Carlo null recalibrates to whatever regions are scanned.\n");
+  std::printf("\n[done in %s]\n", timer.ElapsedString().c_str());
+  return 0;
+}
+
+}  // namespace sfa
+
+int main() { return sfa::Main(); }

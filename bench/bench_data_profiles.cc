@@ -1,0 +1,84 @@
+// Figures 7 & 8 — dataset profiles (the paper renders the point clouds; we
+// print the structural summaries that make the renders meaningful: sizes,
+// rates, distinct locations, density skew).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/crime_sim.h"
+#include "data/us_geography.h"
+#include "geo/grid.h"
+
+namespace sfa {
+namespace {
+
+double DensitySkew(const std::vector<geo::Point>& pts, const geo::Rect& extent) {
+  auto grid = geo::GridSpec::Create(extent.Expanded(1e-9), 40, 20);
+  SFA_CHECK_OK(grid.status());
+  std::vector<uint32_t> counts(grid->num_cells(), 0);
+  for (const auto& p : pts) {
+    if (grid->Covers(p)) ++counts[grid->CellOf(p)];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<uint32_t>());
+  uint64_t total = 0, top = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < counts.size() / 10) top += counts[i];
+  }
+  return total == 0 ? 0.0 : static_cast<double>(top) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Figures 7 & 8", "Dataset profiles: LAR and Crime");
+  Stopwatch timer;
+
+  const data::LarSimResult lar = bench::MakeLar();
+  std::printf("\n-- Figure 7: LAR --\n");
+  std::printf("  %s\n", lar.dataset.Summary().c_str());
+  bench::PaperVsMeasured("applications", "206,418",
+                         WithThousands(static_cast<int64_t>(lar.dataset.size())));
+  bench::PaperVsMeasured(
+      "distinct locations", "50,647",
+      WithThousands(static_cast<int64_t>(lar.dataset.CountDistinctLocations())));
+  bench::PaperVsMeasured("positive rate", 0.62, lar.dataset.PositiveRate(), "%.2f");
+  bench::PaperVsMeasured(
+      "density skew (top-10% cells' share)", "high (metro clustering)",
+      StrFormat("%.0f%%", 100 * DensitySkew(lar.dataset.locations(),
+                                            lar.dataset.BoundingBox())));
+  bench::PaperVsMeasured("solved base accept rate", "-",
+                         StrFormat("%.3f", lar.base_rate));
+  const std::vector<data::PlantedRegion> planted_regions =
+      data::LarSimOptions::DefaultPlantedRegions();
+  for (size_t r = 0; r < lar.planted_counts.size(); ++r) {
+    const data::PlantedRegion& planted = planted_regions[r];
+    std::printf("  planted %-10s rate %.2f, applications inside: %s\n",
+                planted.label.c_str(), planted.positive_rate,
+                WithThousands(static_cast<int64_t>(lar.planted_counts[r])).c_str());
+  }
+
+  data::CrimeSimOptions crime_opts;
+  if (bench::QuickMode()) crime_opts.num_incidents = 80000;
+  auto crime = data::MakeCrimeIncidents(crime_opts);
+  SFA_CHECK_OK(crime.status());
+  std::printf("\n-- Figure 8: Crime --\n");
+  bench::PaperVsMeasured("incidents", "711,852",
+                         WithThousands(static_cast<int64_t>(crime->table.num_rows())));
+  bench::PaperVsMeasured("serious rate (ground truth)", "~0.3",
+                         StrFormat("%.2f", crime->table.PositiveRate()));
+  bench::PaperVsMeasured("features", "7",
+                         StrFormat("%zu", crime->table.num_features()));
+  bench::PaperVsMeasured("precincts", "21",
+                         StrFormat("%zu", crime->precinct_names.size()));
+  bench::PaperVsMeasured(
+      "density skew (top-10% cells' share)", "precinct clustering",
+      StrFormat("%.0f%%", 100 * DensitySkew(crime->locations,
+                                            data::LosAngelesBounds())));
+  std::printf("\n[done in %s]\n", timer.ElapsedString().c_str());
+  return 0;
+}
+
+}  // namespace sfa
+
+int main() { return sfa::Main(); }

@@ -1,0 +1,175 @@
+// Performance microbenchmarks for the audit substrate (google-benchmark).
+// Backs the paper's O(M * N_R * Q) complexity discussion (§3): measures the
+// per-world cost Q of each counting backend and the end-to-end Monte Carlo
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/grid_family.h"
+#include "core/labels.h"
+#include "core/scan.h"
+#include "core/significance.h"
+#include "core/square_family.h"
+#include "spatial/bitvector.h"
+#include "spatial/kdtree.h"
+#include "stats/bernoulli_scan.h"
+
+namespace sfa {
+namespace {
+
+std::vector<geo::Point> Cloud(size_t n, uint64_t seed = 11) {
+  Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) {
+    if (rng.Bernoulli(0.7)) {
+      p = {rng.Normal(3, 0.4), rng.Normal(7, 0.4)};
+    } else {
+      p = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    }
+  }
+  return pts;
+}
+
+void BM_LlrEvaluation(benchmark::State& state) {
+  stats::ScanCounts counts{.n = 5000, .p = 3500, .total_n = 200000,
+                           .total_p = 124000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::BernoulliLogLikelihoodRatio(counts));
+    counts.p = (counts.p + 1) % counts.n;
+  }
+}
+BENCHMARK(BM_LlrEvaluation);
+
+void BM_KdTreeRangeCount(benchmark::State& state) {
+  const auto pts = Cloud(static_cast<size_t>(state.range(0)));
+  const spatial::KdTree tree(pts);
+  Rng rng(5);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 9);
+    const double y = rng.Uniform(0, 9);
+    benchmark::DoNotOptimize(tree.CountInRect(geo::Rect(x, y, x + 1, y + 1)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KdTreeRangeCount)->Range(1000, 1 << 18);
+
+void BM_NaiveRangeCount(benchmark::State& state) {
+  const auto pts = Cloud(static_cast<size_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 9);
+    const double y = rng.Uniform(0, 9);
+    const geo::Rect query(x, y, x + 1, y + 1);
+    size_t count = 0;
+    for (const auto& p : pts) count += query.Contains(p);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NaiveRangeCount)->Range(1000, 1 << 18);
+
+void BM_BitVectorAndPopcount(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  spatial::BitVector a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) a.Set(i);
+    if (rng.Bernoulli(0.6)) b.Set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spatial::BitVector::AndPopcount(a, b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n / 8));
+}
+BENCHMARK(BM_BitVectorAndPopcount)->Range(1 << 10, 1 << 20);
+
+void BM_GridFamilyWorld(benchmark::State& state) {
+  // One Monte Carlo world against a 100x50 grid family: label generation +
+  // counting + max-LLR.
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto pts = Cloud(n);
+  auto family = core::GridPartitionFamily::Create(pts, 100, 50);
+  if (!family.ok()) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  Rng rng(9);
+  std::vector<uint64_t> scratch;
+  for (auto _ : state) {
+    const core::Labels labels = core::Labels::SampleBernoulli(n, 0.62, &rng);
+    benchmark::DoNotOptimize(core::ScanMaxStatistic(
+        **family, labels, stats::ScanDirection::kTwoSided, &scratch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GridFamilyWorld)->Range(1 << 12, 1 << 18);
+
+void BM_SquareFamilyWorld(benchmark::State& state) {
+  // One Monte Carlo world against 2,000 memoized square regions (popcount
+  // path), as in the paper's Fig. 5 setting.
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto pts = Cloud(n);
+  core::SquareScanOptions opts;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    opts.centers.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  opts.side_lengths = core::SquareScanOptions::DefaultSideLengths(0.2, 4.0, 20);
+  auto family = core::SquareScanFamily::Create(pts, opts);
+  if (!family.ok()) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  std::vector<uint64_t> scratch;
+  for (auto _ : state) {
+    const core::Labels labels = core::Labels::SampleBernoulli(n, 0.62, &rng);
+    benchmark::DoNotOptimize(core::ScanMaxStatistic(
+        **family, labels, stats::ScanDirection::kTwoSided, &scratch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SquareFamilyWorld)->Range(1 << 12, 1 << 17);
+
+void BM_MonteCarloEndToEnd(benchmark::State& state) {
+  // Full null calibration at the given world count (parallel).
+  const size_t n = 20000;
+  const auto pts = Cloud(n);
+  auto family = core::GridPartitionFamily::Create(pts, 50, 25);
+  if (!family.ok()) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  core::MonteCarloOptions mc;
+  mc.num_worlds = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto dist = core::SimulateNull(**family, 0.62, n * 62 / 100,
+                                   stats::ScanDirection::kTwoSided, mc);
+    if (!dist.ok()) {
+      state.SkipWithError("simulation failed");
+      return;
+    }
+    benchmark::DoNotOptimize(dist->sorted_max());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MonteCarloEndToEnd)->Arg(99)->Arg(199)->Unit(benchmark::kMillisecond);
+
+void BM_LabelsSampling(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Labels::SampleBernoulli(n, 0.62, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LabelsSampling)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+}  // namespace sfa
+
+BENCHMARK_MAIN();

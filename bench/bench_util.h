@@ -1,0 +1,76 @@
+// Shared plumbing for the figure-reproduction harnesses: full-scale dataset
+// construction with caching across benches of one process, and uniform
+// "paper vs measured" reporting consumed by EXPERIMENTS.md.
+#ifndef SFA_BENCH_BENCH_UTIL_H_
+#define SFA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "data/lar_sim.h"
+#include "data/synth.h"
+
+namespace sfa::bench {
+
+/// Quick mode (env SFA_QUICK=1) shrinks datasets and Monte Carlo budgets so
+/// the whole harness suite runs in seconds; default is full paper scale.
+inline bool QuickMode() {
+  const char* env = std::getenv("SFA_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline uint32_t NumWorlds() { return QuickMode() ? 199 : 999; }
+
+/// The paper's significance level.
+inline constexpr double kAlpha = 0.005;
+
+/// Full-scale (or quick-mode) LarSim with the default planted regions.
+inline data::LarSimResult MakeLar() {
+  data::LarSimOptions opts;
+  if (QuickMode()) {
+    opts.num_locations = 10000;
+    opts.num_applications = 40000;
+  }
+  auto result = data::MakeLarSim(opts);
+  SFA_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+inline data::OutcomeDataset MakeSynthDataset() {
+  auto ds = data::MakeSynth(data::SynthOptions{});
+  SFA_CHECK_OK(ds.status());
+  return std::move(ds).value();
+}
+
+inline data::OutcomeDataset MakeSemiSynthDataset() {
+  auto ds = data::MakeSemiSynthStandalone(data::SemiSynthOptions{});
+  SFA_CHECK_OK(ds.status());
+  return std::move(ds).value();
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("================================================================\n");
+  if (QuickMode()) std::printf("(SFA_QUICK=1: reduced scale)\n");
+}
+
+/// One paper-vs-measured comparison row.
+inline void PaperVsMeasured(const std::string& metric, const std::string& paper,
+                            const std::string& measured) {
+  std::printf("  %-46s | paper: %-18s | measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline void PaperVsMeasured(const std::string& metric, double paper,
+                            double measured, const char* fmt = "%.4f") {
+  PaperVsMeasured(metric, StrFormat(fmt, paper), StrFormat(fmt, measured));
+}
+
+}  // namespace sfa::bench
+
+#endif  // SFA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,102 @@
+// Mortgage-lending audit (the paper's LAR scenario, end to end):
+// statistical-parity audit of loan approvals over the synthetic HMDA-like
+// dataset, with three region families — a coarse grid, a fine grid, and
+// unrestricted k-means-centered squares — plus directional red/green scans
+// and non-overlapping evidence selection.
+#include <cstdio>
+
+#include "common/macros.h"
+#include "core/audit.h"
+#include "core/evidence.h"
+#include "core/export.h"
+#include "core/grid_family.h"
+#include "core/report.h"
+#include "core/square_family.h"
+#include "data/lar_sim.h"
+#include "stats/kmeans.h"
+
+namespace {
+
+void PrintTop(const char* title, const std::vector<sfa::core::RegionFinding>& fs,
+              size_t k) {
+  std::printf("\n%s (%zu total)\n", title, fs.size());
+  std::printf("%s", sfa::core::FormatFindingsTable(fs, k).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Modest scale so the example runs in seconds; bump for the full 206k.
+  sfa::data::LarSimOptions lar_opts;
+  lar_opts.num_locations = 15000;
+  lar_opts.num_applications = 60000;
+  auto lar = sfa::data::MakeLarSim(lar_opts);
+  SFA_CHECK_OK(lar.status());
+  const sfa::data::OutcomeDataset& dataset = lar->dataset;
+  std::printf("%s\n", dataset.Summary().c_str());
+  std::printf("Question: does every area have the same chance of loan approval?\n");
+
+  sfa::core::AuditOptions options;
+  options.alpha = 0.005;
+  options.monte_carlo.num_worlds = 499;
+
+  // --- Pass 1: coarse grid (fast triage).
+  auto coarse = sfa::core::GridPartitionFamily::Create(dataset.locations(), 25, 12);
+  SFA_CHECK_OK(coarse.status());
+  auto coarse_result = sfa::core::Auditor(options).Audit(dataset, **coarse);
+  SFA_CHECK_OK(coarse_result.status());
+  std::printf("\n%s",
+              sfa::core::FormatAuditSummary(*coarse_result, "LAR @ 25x12").c_str());
+
+  // --- Pass 2: unrestricted squares around k-means centers (the paper's
+  //     Fig. 5 pipeline), with non-overlapping evidence.
+  sfa::stats::KMeansOptions km;
+  km.k = 50;
+  km.seed = 7;
+  auto clusters = sfa::stats::KMeans(dataset.locations(), km);
+  SFA_CHECK_OK(clusters.status());
+  sfa::core::SquareScanOptions scan;
+  scan.centers = clusters->centers;
+  scan.side_lengths = sfa::core::SquareScanOptions::DefaultSideLengths();
+  auto squares = sfa::core::SquareScanFamily::Create(dataset.locations(), scan);
+  SFA_CHECK_OK(squares.status());
+
+  auto square_result = sfa::core::Auditor(options).Audit(dataset, **squares);
+  SFA_CHECK_OK(square_result.status());
+  const auto exhibits = sfa::core::SelectNonOverlapping(
+      sfa::core::BestPerGroup(square_result->findings));
+  PrintTop("Non-overlapping unfair regions (any direction)", exhibits, 10);
+
+  // --- Pass 3: directional scans — where are approvals depressed (red) or
+  //     elevated (green)?
+  sfa::core::AuditOptions red_opts = options;
+  red_opts.direction = sfa::stats::ScanDirection::kLow;
+  auto red = sfa::core::Auditor(red_opts).Audit(dataset, **squares);
+  SFA_CHECK_OK(red.status());
+  PrintTop("RED regions: approval rate significantly below the rest",
+           sfa::core::SelectNonOverlapping(sfa::core::BestPerGroup(red->findings)),
+           5);
+
+  sfa::core::AuditOptions green_opts = options;
+  green_opts.direction = sfa::stats::ScanDirection::kHigh;
+  auto green = sfa::core::Auditor(green_opts).Audit(dataset, **squares);
+  SFA_CHECK_OK(green.status());
+  PrintTop("GREEN regions: approval rate significantly above the rest",
+           sfa::core::SelectNonOverlapping(sfa::core::BestPerGroup(green->findings)),
+           5);
+
+  // --- Deliverables: the exhibits as GeoJSON (drop into any map viewer)
+  //     and CSV (for the audit report appendix).
+  const std::string geojson_path = "/tmp/sfa_mortgage_exhibits.geojson";
+  const std::string csv_path = "/tmp/sfa_mortgage_exhibits.csv";
+  SFA_CHECK_OK(sfa::core::WriteFindingsGeoJson(exhibits, geojson_path));
+  SFA_CHECK_OK(sfa::core::WriteFindingsCsv(exhibits, csv_path));
+  std::printf("\nExhibits written to %s and %s\n", geojson_path.c_str(),
+              csv_path.c_str());
+
+  std::printf(
+      "\nAn auditor would now cross-check the red exhibits against protected\n"
+      "demographics (redlining) and the green ones against gentrification\n"
+      "pressure — the audit supplies the *where*, with significance.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sfa {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& msg) {
+  if (level < GetLogLevel()) return;
+  std::string line = "[sfa ";
+  line += LevelName(level);
+  line += "] ";
+  line += msg;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace internal
+}  // namespace sfa

@@ -1,0 +1,52 @@
+// Minimal leveled logger writing to stderr. Intended for library diagnostics
+// (Monte Carlo progress, dataset generation summaries); quiet by default at
+// kInfo. Thread-safe: each log line is formatted into one buffer and written
+// with a single fwrite.
+#ifndef SFA_COMMON_LOGGING_H_
+#define SFA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sfa {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& msg);
+
+/// Stream-style log sink used by the SFA_LOG macro; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}  // NOLINT(runtime/explicit)
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sfa
+
+#define SFA_LOG(level)                                               \
+  if (::sfa::LogLevel::level < ::sfa::GetLogLevel()) {               \
+  } else /* NOLINT */                                                \
+    ::sfa::internal::LogMessage(::sfa::LogLevel::level).stream()
+
+#endif  // SFA_COMMON_LOGGING_H_

@@ -1,0 +1,81 @@
+// Invariant-checking and status-propagation macros.
+//
+// SFA_CHECK*   — fatal assertions for programming errors; enabled in all builds.
+// SFA_DCHECK*  — fatal assertions compiled out in NDEBUG builds.
+// SFA_RETURN_NOT_OK / SFA_ASSIGN_OR_RETURN — early-return plumbing for Status
+// and Result<T> (see common/status.h).
+#ifndef SFA_COMMON_MACROS_H_
+#define SFA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace sfa::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "SFA_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+}  // namespace sfa::internal
+
+#define SFA_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::sfa::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                \
+  } while (0)
+
+#define SFA_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream sfa_oss_;                                    \
+      sfa_oss_ << msg; /* NOLINT */                                   \
+      ::sfa::internal::CheckFailed(__FILE__, __LINE__, #expr,         \
+                                   sfa_oss_.str());                   \
+    }                                                                 \
+  } while (0)
+
+#define SFA_CHECK_OK(status_expr)                                        \
+  do {                                                                   \
+    const ::sfa::Status sfa_st_ = (status_expr);                         \
+    if (!sfa_st_.ok()) {                                                 \
+      ::sfa::internal::CheckFailed(__FILE__, __LINE__, #status_expr,     \
+                                   sfa_st_.ToString());                  \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define SFA_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SFA_DCHECK(expr) SFA_CHECK(expr)
+#endif
+
+// Propagates a non-OK Status to the caller.
+#define SFA_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::sfa::Status sfa_st_ = (expr);          \
+    if (!sfa_st_.ok()) return sfa_st_;       \
+  } while (0)
+
+#define SFA_CONCAT_IMPL(a, b) a##b
+#define SFA_CONCAT(a, b) SFA_CONCAT_IMPL(a, b)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define SFA_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  SFA_ASSIGN_OR_RETURN_IMPL(SFA_CONCAT(sfa_result_, __LINE__), lhs, rexpr)
+
+#define SFA_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#endif  // SFA_COMMON_MACROS_H_

@@ -1,0 +1,160 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sfa {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.Next();
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → [0, 1) on the double grid.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  SFA_DCHECK(n > 0);
+  // Lemire's unbiased bounded generation.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SFA_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1ULL));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+double Rng::Exponential(double lambda) {
+  SFA_DCHECK(lambda > 0.0);
+  // Guard against log(0): NextDouble() is in [0,1), so use 1 - u in (0,1].
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  SFA_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint64_t k = 0;
+    while (prod > limit) {
+      ++k;
+      prod *= NextDouble();
+    }
+    return k;
+  }
+  // For large means, split off blocks of mean 16 (sum of independent Poissons
+  // is Poisson); exact and avoids rejection-sampler complexity.
+  uint64_t total = 0;
+  double remaining = mean;
+  while (remaining >= 30.0) {
+    total += Poisson(16.0);
+    remaining -= 16.0;
+  }
+  return total + Poisson(remaining);
+}
+
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - Binomial(n, 1.0 - p);
+  // Waiting-time method: the number of Bernoulli(p) successes in n trials is
+  // found by summing Geometric(p) gaps (each gap = trials consumed up to and
+  // including the next success: floor(log U / log(1-p)) + 1). Expected cost
+  // O(n*p), exact distribution.
+  const double log_q = std::log1p(-p);
+  uint64_t successes = 0;
+  double sum = 0.0;
+  while (true) {
+    const double gap = std::floor(std::log(1.0 - NextDouble()) / log_q) + 1.0;
+    sum += gap;
+    if (sum > static_cast<double>(n)) break;
+    ++successes;
+    if (successes >= n) break;  // numeric safety; cannot exceed in exact math
+  }
+  return successes > n ? n : successes;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  SFA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SFA_DCHECK(w >= 0.0);
+    total += w;
+  }
+  SFA_CHECK_MSG(total > 0.0, "Categorical weights must not all be zero");
+  double u = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: u consumed by rounding
+}
+
+Rng Rng::Split(uint64_t index) const {
+  // Derive a child seed by hashing (state, index) through SplitMix64 twice.
+  SplitMix64 sm(s_[0] ^ Rotl(s_[2], 31) ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  uint64_t child_seed = sm.Next() ^ Rotl(sm.Next(), 17);
+  return Rng(child_seed);
+}
+
+}  // namespace sfa

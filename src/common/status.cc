@@ -1,0 +1,50 @@
+#include "common/status.h"
+
+namespace sfa {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, context + ": " + msg_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace sfa

@@ -1,0 +1,43 @@
+// Small string helpers shared across modules (CSV parsing, report printing).
+#ifndef SFA_COMMON_STRING_UTIL_H_
+#define SFA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sfa {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Strict full-string parses; reject trailing garbage and empty input.
+Result<double> ParseDouble(std::string_view s);
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-friendly count, e.g. 12345678 -> "12,345,678".
+std::string WithThousands(int64_t value);
+
+}  // namespace sfa
+
+#endif  // SFA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,59 @@
+// Fixed-size thread pool used to parallelize Monte Carlo replications and
+// region scans. Determinism note: callers must not rely on task execution
+// order — all sfa uses derive per-task RNG substreams (Rng::Split) so results
+// are identical for any thread count.
+#ifndef SFA_COMMON_THREAD_POOL_H_
+#define SFA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sfa {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all are
+  /// done. Work is chunked to limit queue overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Process-wide default pool (lazily constructed with hardware concurrency).
+ThreadPool& DefaultThreadPool();
+
+}  // namespace sfa
+
+#endif  // SFA_COMMON_THREAD_POOL_H_

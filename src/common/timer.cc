@@ -1,0 +1,13 @@
+#include "common/timer.h"
+
+#include "common/string_util.h"
+
+namespace sfa {
+
+std::string Stopwatch::ElapsedString() const {
+  const double secs = ElapsedSeconds();
+  if (secs >= 1.0) return StrFormat("%.2f s", secs);
+  return StrFormat("%.1f ms", secs * 1e3);
+}
+
+}  // namespace sfa

@@ -1,0 +1,34 @@
+// Wall-clock stopwatch for harness reporting.
+#ifndef SFA_COMMON_TIMER_H_
+#define SFA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace sfa {
+
+/// Starts on construction; Elapsed* report time since construction or the
+/// last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// "1.23 s" / "45.6 ms" style rendering.
+  std::string ElapsedString() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sfa
+
+#endif  // SFA_COMMON_TIMER_H_

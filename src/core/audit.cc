@@ -1,0 +1,84 @@
+#include "core/audit.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "stats/bernoulli_scan.h"
+
+namespace sfa::core {
+
+Result<AuditResult> Auditor::Audit(const data::OutcomeDataset& dataset,
+                                   const RegionFamily& family) const {
+  SFA_ASSIGN_OR_RETURN(data::OutcomeDataset view,
+                       BuildMeasureView(dataset, options_.measure));
+  return AuditView(view, family);
+}
+
+Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
+                                       const RegionFamily& family) const {
+  SFA_RETURN_NOT_OK(view.Validate());
+  if (view.empty()) return Status::InvalidArgument("empty audit view");
+  if (view.size() != family.num_points()) {
+    return Status::InvalidArgument(StrFormat(
+        "region family is bound to %zu points but the measure view has %zu; "
+        "build the family from the view's locations",
+        family.num_points(), view.size()));
+  }
+  if (options_.alpha <= 0.0 || options_.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+
+  AuditResult result;
+  result.alpha = options_.alpha;
+
+  // Observed world.
+  const Labels observed_labels = Labels::FromBytes(view.predicted());
+  result.observed = ScanAllRegions(family, observed_labels, options_.direction);
+  result.tau = result.observed.max_llr;
+  result.best_region = result.observed.argmax;
+  result.total_n = result.observed.total_n;
+  result.total_p = result.observed.total_p;
+  result.overall_rate = view.PositiveRate();
+
+  // Null calibration.
+  SFA_ASSIGN_OR_RETURN(
+      result.null_distribution,
+      SimulateNull(family, result.overall_rate, result.total_p, options_.direction,
+                   options_.monte_carlo));
+  result.p_value = result.null_distribution.PValue(result.tau);
+  result.spatially_fair = result.p_value > options_.alpha;
+  result.critical_value = result.null_distribution.CriticalValue(options_.alpha);
+
+  // Evidence: regions individually significant against the null max
+  // distribution, ranked by Λ (equivalently by SUL, since log SUL =
+  // Λ + log L0max and L0max is constant across regions).
+  const double log_null =
+      stats::NullLogLikelihood(result.total_p, result.total_n);
+  for (size_t r = 0; r < family.num_regions(); ++r) {
+    const double llr = result.observed.llr[r];
+    if (!(llr > result.critical_value)) continue;
+    const RegionDescriptor desc = family.Describe(r);
+    RegionFinding finding;
+    finding.region_index = r;
+    finding.rect = desc.rect;
+    finding.label = desc.label;
+    finding.group = desc.group;
+    finding.n = family.PointCount(r);
+    finding.p = result.observed.positives[r];
+    finding.local_rate =
+        finding.n == 0 ? 0.0
+                       : static_cast<double>(finding.p) / static_cast<double>(finding.n);
+    finding.llr = llr;
+    finding.log_sul = llr + log_null;
+    finding.significant = true;
+    result.findings.push_back(std::move(finding));
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const RegionFinding& a, const RegionFinding& b) {
+              return a.llr > b.llr;
+            });
+  return result;
+}
+
+}  // namespace sfa::core

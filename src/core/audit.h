@@ -1,0 +1,91 @@
+// The top-level audit API — the paper's framework end to end:
+//
+//   1. build the outcome stream for the chosen fairness measure;
+//   2. scan the region family for the observed max statistic τ = Λ(R*);
+//   3. calibrate by Monte Carlo (W-1 alternate worlds) and compute the
+//      p-value of τ;
+//   4. verdict: spatially fair iff p > α ("is it fair?");
+//   5. evidence: every region whose Λ exceeds the null critical value,
+//      ranked by SUL ("where is it unfair?").
+#ifndef SFA_CORE_AUDIT_H_
+#define SFA_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/measure.h"
+#include "core/region_family.h"
+#include "core/scan.h"
+#include "core/significance.h"
+#include "data/dataset.h"
+
+namespace sfa::core {
+
+struct AuditOptions {
+  /// Significance level α of the likelihood-ratio test (paper uses 0.005).
+  double alpha = 0.005;
+  FairnessMeasure measure = FairnessMeasure::kStatisticalParity;
+  stats::ScanDirection direction = stats::ScanDirection::kTwoSided;
+  MonteCarloOptions monte_carlo;
+};
+
+/// One region offered as evidence of spatial unfairness.
+struct RegionFinding {
+  size_t region_index = 0;
+  geo::Rect rect;
+  std::string label;
+  uint32_t group = 0;
+  uint64_t n = 0;          ///< individuals inside
+  uint64_t p = 0;          ///< positives inside
+  double local_rate = 0.0; ///< ρ(R) = p/n
+  double llr = 0.0;        ///< Λ(R); ranking by Λ == ranking by SUL
+  double log_sul = 0.0;    ///< log of the paper's Eq. 1
+  bool significant = false;
+};
+
+struct AuditResult {
+  /// The verdict: true when the null (spatial fairness) is *not* rejected.
+  bool spatially_fair = true;
+  double p_value = 1.0;
+  double tau = 0.0;              ///< observed max Λ
+  size_t best_region = 0;        ///< R*
+  double critical_value = 0.0;   ///< per-region significance threshold at α
+  double alpha = 0.0;
+  uint64_t total_n = 0;          ///< N in the measure view
+  uint64_t total_p = 0;          ///< P in the measure view
+  double overall_rate = 0.0;     ///< ρ
+  /// Significant regions ranked by Λ (equivalently SUL) descending.
+  std::vector<RegionFinding> findings;
+  /// Full per-region scan of the observed world (parallel to family regions).
+  ScanResult observed;
+  NullDistribution null_distribution;
+
+  /// Findings count (convenience).
+  size_t num_significant() const { return findings.size(); }
+};
+
+class Auditor {
+ public:
+  explicit Auditor(AuditOptions options) : options_(std::move(options)) {}
+
+  const AuditOptions& options() const { return options_; }
+
+  /// Runs the full audit of `dataset` against `family`. The family must be
+  /// bound to the locations of the *measure view* of the dataset (see
+  /// BuildMeasureView); Audit checks the sizes match.
+  Result<AuditResult> Audit(const data::OutcomeDataset& dataset,
+                            const RegionFamily& family) const;
+
+  /// Audits a pre-built measure view (locations + 0/1 outcomes).
+  Result<AuditResult> AuditView(const data::OutcomeDataset& view,
+                                const RegionFamily& family) const;
+
+ private:
+  AuditOptions options_;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_AUDIT_H_

@@ -1,0 +1,47 @@
+#include "core/equal_odds.h"
+
+#include "common/macros.h"
+
+namespace sfa::core {
+
+Result<EqualOddsResult> AuditEqualOdds(const data::OutcomeDataset& dataset,
+                                       const FamilyFactory& make_family,
+                                       const AuditOptions& options) {
+  if (!dataset.has_actual()) {
+    return Status::FailedPrecondition(
+        "equal odds needs ground-truth labels (Y) in the dataset");
+  }
+  EqualOddsResult result;
+  result.alpha = options.alpha;
+
+  AuditOptions component = options;
+  component.alpha = options.alpha / 2.0;  // Bonferroni across the two surfaces
+
+  // TPR surface (equal opportunity).
+  component.measure = FairnessMeasure::kEqualOpportunity;
+  {
+    SFA_ASSIGN_OR_RETURN(data::OutcomeDataset view,
+                         BuildMeasureView(dataset, component.measure));
+    SFA_ASSIGN_OR_RETURN(std::unique_ptr<RegionFamily> family,
+                         make_family(view.locations()));
+    SFA_ASSIGN_OR_RETURN(result.tpr,
+                         Auditor(component).AuditView(view, *family));
+  }
+
+  // FPR surface (predictive equality); decorrelate the Monte Carlo stream.
+  component.measure = FairnessMeasure::kPredictiveEquality;
+  component.monte_carlo.seed = options.monte_carlo.seed ^ 0x9E3779B97F4A7C15ULL;
+  {
+    SFA_ASSIGN_OR_RETURN(data::OutcomeDataset view,
+                         BuildMeasureView(dataset, component.measure));
+    SFA_ASSIGN_OR_RETURN(std::unique_ptr<RegionFamily> family,
+                         make_family(view.locations()));
+    SFA_ASSIGN_OR_RETURN(result.fpr,
+                         Auditor(component).AuditView(view, *family));
+  }
+
+  result.spatially_fair = result.tpr.spatially_fair && result.fpr.spatially_fair;
+  return result;
+}
+
+}  // namespace sfa::core

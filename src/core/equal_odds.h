@@ -1,0 +1,43 @@
+// Equal-odds spatial audit: the conjunction of equal opportunity (TPR) and
+// predictive equality (FPR). A model satisfies spatial equal odds when BOTH
+// error-rate surfaces are independent of location (paper §2.1/§3: "the case
+// in which both the true positive rate and the false positive rate are
+// equal ... is called equal odds").
+//
+// The two component audits run on different measure views (Y=1 and Y=0
+// individuals), each against its own region family bound to that view's
+// locations; the joint verdict applies a Bonferroni split (alpha/2 each), so
+// the family-wise type-I error stays below alpha.
+#ifndef SFA_CORE_EQUAL_ODDS_H_
+#define SFA_CORE_EQUAL_ODDS_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "core/audit.h"
+
+namespace sfa::core {
+
+struct EqualOddsResult {
+  AuditResult tpr;  ///< equal-opportunity audit (Y=1 view)
+  AuditResult fpr;  ///< predictive-equality audit (Y=0 view)
+  bool spatially_fair = true;  ///< both components fair at alpha/2
+  double alpha = 0.0;          ///< the joint level
+};
+
+/// Builds a region family bound to a measure view's locations. Users supply
+/// this so any family type works (grid, squares, rectangle sweep, custom).
+using FamilyFactory = std::function<Result<std::unique_ptr<RegionFamily>>(
+    const std::vector<geo::Point>& locations)>;
+
+/// Runs the joint equal-odds audit of `dataset` (must carry ground truth).
+/// `options.measure` is ignored; `options.alpha` is the JOINT level (each
+/// component tests at alpha/2).
+Result<EqualOddsResult> AuditEqualOdds(const data::OutcomeDataset& dataset,
+                                       const FamilyFactory& make_family,
+                                       const AuditOptions& options);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_EQUAL_ODDS_H_

@@ -1,0 +1,48 @@
+#include "core/evidence.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sfa::core {
+
+std::vector<RegionFinding> TopK(const std::vector<RegionFinding>& findings,
+                                size_t k) {
+  std::vector<RegionFinding> out(findings.begin(),
+                                 findings.begin() +
+                                     static_cast<ptrdiff_t>(std::min(k, findings.size())));
+  return out;
+}
+
+std::vector<RegionFinding> BestPerGroup(const std::vector<RegionFinding>& findings) {
+  std::unordered_map<uint32_t, const RegionFinding*> best;
+  for (const RegionFinding& f : findings) {
+    auto [it, inserted] = best.try_emplace(f.group, &f);
+    if (!inserted && f.llr > it->second->llr) it->second = &f;
+  }
+  std::vector<RegionFinding> out;
+  out.reserve(best.size());
+  for (const auto& [group, finding] : best) out.push_back(*finding);
+  std::sort(out.begin(), out.end(), [](const RegionFinding& a, const RegionFinding& b) {
+    return a.llr > b.llr;
+  });
+  return out;
+}
+
+std::vector<RegionFinding> SelectNonOverlapping(
+    const std::vector<RegionFinding>& findings) {
+  std::vector<RegionFinding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RegionFinding& a, const RegionFinding& b) {
+              return a.llr > b.llr;
+            });
+  std::vector<RegionFinding> kept;
+  for (const RegionFinding& f : sorted) {
+    const bool overlaps = std::any_of(
+        kept.begin(), kept.end(),
+        [&f](const RegionFinding& k) { return k.rect.Intersects(f.rect); });
+    if (!overlaps) kept.push_back(f);
+  }
+  return kept;
+}
+
+}  // namespace sfa::core

@@ -1,0 +1,34 @@
+// Evidence post-processing (paper §4.3): turning the ranked list of
+// significant regions into a digestible exhibit — top-k selection, the
+// best-region-per-scan-center reduction, and greedy non-overlapping
+// selection ("we select a set of non-overlapping regions ... for each center
+// we keep the region with the highest value of the statistic").
+#ifndef SFA_CORE_EVIDENCE_H_
+#define SFA_CORE_EVIDENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/audit.h"
+
+namespace sfa::core {
+
+/// First k findings (they are already ranked by Λ descending).
+std::vector<RegionFinding> TopK(const std::vector<RegionFinding>& findings,
+                                size_t k);
+
+/// Keeps only the highest-Λ finding within each group (for SquareScanFamily
+/// the group is the scan center, so this keeps the best side length per
+/// center).
+std::vector<RegionFinding> BestPerGroup(const std::vector<RegionFinding>& findings);
+
+/// Greedy non-overlapping selection: walk findings in descending Λ order and
+/// keep each region whose rectangle does not intersect any already-kept
+/// rectangle. Combined with BestPerGroup this reproduces the paper's Fig. 5
+/// exhibit.
+std::vector<RegionFinding> SelectNonOverlapping(
+    const std::vector<RegionFinding>& findings);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_EVIDENCE_H_

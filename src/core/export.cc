@@ -1,0 +1,122 @@
+#include "core/export.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace sfa::core {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars) — labels
+// are library-generated but may embed user-provided family names.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RectRingCoordinates(const geo::Rect& r) {
+  // GeoJSON polygons are arrays of linear rings, closed (first == last),
+  // counter-clockwise for the exterior ring.
+  return StrFormat(
+      "[[[%.6f,%.6f],[%.6f,%.6f],[%.6f,%.6f],[%.6f,%.6f],[%.6f,%.6f]]]",
+      r.min_x, r.min_y, r.max_x, r.min_y, r.max_x, r.max_y, r.min_x, r.max_y,
+      r.min_x, r.min_y);
+}
+
+Status WriteFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out.good()) return Status::IOError("failed while writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FindingsToGeoJson(const std::vector<RegionFinding>& findings) {
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const RegionFinding& f = findings[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+        "\"coordinates\":%s},\"properties\":{\"rank\":%zu,\"n\":%llu,"
+        "\"p\":%llu,\"local_rate\":%.6f,\"llr\":%.6f,\"label\":\"%s\"}}",
+        RectRingCoordinates(f.rect).c_str(), i + 1,
+        static_cast<unsigned long long>(f.n), static_cast<unsigned long long>(f.p),
+        f.local_rate, f.llr, JsonEscape(f.label).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteFindingsGeoJson(const std::vector<RegionFinding>& findings,
+                            const std::string& path) {
+  return WriteFile(FindingsToGeoJson(findings), path);
+}
+
+std::string DatasetToGeoJson(const data::OutcomeDataset& dataset,
+                             size_t max_points) {
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  const size_t n = dataset.size();
+  const size_t stride = n <= max_points ? 1 : (n + max_points - 1) / max_points;
+  bool first = true;
+  for (size_t i = 0; i < n; i += stride) {
+    if (!first) out += ',';
+    first = false;
+    const geo::Point& p = dataset.locations()[i];
+    out += StrFormat(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+        "\"coordinates\":[%.6f,%.6f]},\"properties\":{\"outcome\":%u}}",
+        p.x, p.y, dataset.predicted()[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteFindingsCsv(const std::vector<RegionFinding>& findings,
+                        const std::string& path) {
+  std::string out = "rank,min_lon,min_lat,max_lon,max_lat,n,p,local_rate,llr,label\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const RegionFinding& f = findings[i];
+    // Quote the label; it may contain commas.
+    out += StrFormat("%zu,%.6f,%.6f,%.6f,%.6f,%llu,%llu,%.6f,%.6f,\"%s\"\n", i + 1,
+                     f.rect.min_x, f.rect.min_y, f.rect.max_x, f.rect.max_y,
+                     static_cast<unsigned long long>(f.n),
+                     static_cast<unsigned long long>(f.p), f.local_rate, f.llr,
+                     f.label.c_str());
+  }
+  return WriteFile(out, path);
+}
+
+}  // namespace sfa::core

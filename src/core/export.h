@@ -1,0 +1,38 @@
+// Export of audit artifacts: evidence regions to GeoJSON (for any mapping
+// tool — QGIS, kepler.gl, geojson.io) and to CSV (for spreadsheets and
+// downstream analysis). Locations are assumed to be (lon, lat) degrees when
+// exporting GeoJSON, matching the library's geographic datasets.
+#ifndef SFA_CORE_EXPORT_H_
+#define SFA_CORE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/audit.h"
+#include "data/dataset.h"
+
+namespace sfa::core {
+
+/// Serializes findings as a GeoJSON FeatureCollection of rectangle polygons
+/// with properties {rank, n, p, local_rate, llr, label}.
+std::string FindingsToGeoJson(const std::vector<RegionFinding>& findings);
+
+/// Writes FindingsToGeoJson output to `path`.
+Status WriteFindingsGeoJson(const std::vector<RegionFinding>& findings,
+                            const std::string& path);
+
+/// Serializes a dataset sample as a GeoJSON FeatureCollection of points with
+/// property {outcome}. At most `max_points` points are emitted (uniformly
+/// strided) to keep files manageable for map viewers.
+std::string DatasetToGeoJson(const data::OutcomeDataset& dataset,
+                             size_t max_points = 10000);
+
+/// Writes findings as CSV with header
+/// rank,min_lon,min_lat,max_lon,max_lat,n,p,local_rate,llr,label.
+Status WriteFindingsCsv(const std::vector<RegionFinding>& findings,
+                        const std::string& path);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_EXPORT_H_

@@ -1,0 +1,103 @@
+#include "core/knn_circle_family.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "spatial/kdtree.h"
+
+namespace sfa::core {
+
+std::vector<double> KnnCircleOptions::DefaultPopulationFractions() {
+  return {0.005, 0.01, 0.02, 0.03, 0.05, 0.075, 0.10};
+}
+
+KnnCircleFamily::KnnCircleFamily(const std::vector<geo::Point>& points,
+                                 std::vector<geo::Point> centers,
+                                 std::vector<size_t> ladder)
+    : centers_(std::move(centers)),
+      ladder_(std::move(ladder)),
+      num_points_(points.size()) {
+  const size_t total = centers_.size() * ladder_.size();
+  memberships_.assign(total, spatial::BitVector());
+  point_counts_.assign(total, 0);
+  radii_.assign(total, 0.0);
+
+  const spatial::KdTree tree(points);
+  const size_t max_k = ladder_.back();
+  DefaultThreadPool().ParallelFor(centers_.size(), [&](size_t c) {
+    // One kNN query at the largest k serves every rung of the ladder.
+    const std::vector<uint32_t> nearest = tree.KNearest(centers_[c], max_k);
+    for (size_t rung = 0; rung < ladder_.size(); ++rung) {
+      const size_t r = c * ladder_.size() + rung;
+      const size_t k = ladder_[rung];
+      spatial::BitVector membership(num_points_);
+      for (size_t i = 0; i < k; ++i) membership.Set(nearest[i]);
+      point_counts_[r] = k;
+      radii_[r] = centers_[c].DistanceTo(points[nearest[k - 1]]);
+      memberships_[r] = std::move(membership);
+    }
+  });
+}
+
+Result<std::unique_ptr<KnnCircleFamily>> KnnCircleFamily::Create(
+    const std::vector<geo::Point>& points, const KnnCircleOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("kNN circle family needs points");
+  }
+  if (options.centers.empty()) {
+    return Status::InvalidArgument("kNN circle family needs centers");
+  }
+  if (options.population_fractions.empty()) {
+    return Status::InvalidArgument("kNN circle family needs a population ladder");
+  }
+  std::vector<size_t> ladder;
+  for (double fraction : options.population_fractions) {
+    if (!(fraction > 0.0) || fraction > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("population fraction %.4f outside (0, 1]", fraction));
+    }
+    const auto k = static_cast<size_t>(
+        std::ceil(fraction * static_cast<double>(points.size())));
+    ladder.push_back(std::clamp<size_t>(k, 1, points.size()));
+  }
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  return std::unique_ptr<KnnCircleFamily>(
+      new KnnCircleFamily(points, options.centers, std::move(ladder)));
+}
+
+RegionDescriptor KnnCircleFamily::Describe(size_t r) const {
+  SFA_DCHECK(r < num_regions());
+  const size_t c = CenterOfRegion(r);
+  RegionDescriptor desc;
+  // The enclosing square of the circle, for overlap tests and rendering.
+  desc.rect = geo::Rect::CenteredSquare(centers_[c], 2.0 * radii_[r]);
+  desc.label =
+      StrFormat("knn-circle(center %zu at (%.3f, %.3f), k=%llu, radius %.3f)", c,
+                centers_[c].x, centers_[c].y,
+                static_cast<unsigned long long>(point_counts_[r]), radii_[r]);
+  desc.group = static_cast<uint32_t>(c);
+  return desc;
+}
+
+void KnnCircleFamily::CountPositives(const Labels& labels,
+                                     std::vector<uint64_t>* out) const {
+  SFA_CHECK(out != nullptr);
+  SFA_CHECK_MSG(labels.size() == num_points_,
+                "labels " << labels.size() << " != points " << num_points_);
+  out->resize(num_regions());
+  for (size_t r = 0; r < memberships_.size(); ++r) {
+    (*out)[r] = spatial::BitVector::AndPopcount(memberships_[r], labels.bits());
+  }
+}
+
+std::string KnnCircleFamily::Name() const {
+  return StrFormat(
+      "%zu kNN circles (%zu centers x %zu population rungs) over %zu points",
+      num_regions(), centers_.size(), ladder_.size(), num_points_);
+}
+
+}  // namespace sfa::core

@@ -1,0 +1,46 @@
+#include "core/labels.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace sfa::core {
+
+Labels Labels::FromBytes(std::vector<uint8_t> bytes) {
+  Labels out;
+  out.bits_ = spatial::BitVector(bytes.size());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    SFA_DCHECK(bytes[i] <= 1);
+    if (bytes[i]) {
+      out.bits_.Set(i);
+      ++out.positive_count_;
+    }
+  }
+  out.bytes_ = std::move(bytes);
+  return out;
+}
+
+Labels Labels::SampleBernoulli(size_t n, double rho, Rng* rng) {
+  SFA_CHECK(rng != nullptr);
+  std::vector<uint8_t> bytes(n);
+  for (size_t i = 0; i < n; ++i) bytes[i] = rng->Bernoulli(rho) ? 1 : 0;
+  return FromBytes(std::move(bytes));
+}
+
+Labels Labels::SamplePermutation(size_t n, uint64_t positives, Rng* rng) {
+  SFA_CHECK(rng != nullptr);
+  SFA_CHECK_MSG(positives <= n, "more positives than points");
+  // Partial Fisher-Yates over point indices: the first `positives` slots of
+  // the shuffled order receive label 1.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<uint8_t> bytes(n, 0);
+  for (uint64_t i = 0; i < positives; ++i) {
+    const uint64_t j = i + rng->NextUint64(n - i);
+    std::swap(order[i], order[j]);
+    bytes[order[i]] = 1;
+  }
+  return FromBytes(std::move(bytes));
+}
+
+}  // namespace sfa::core

@@ -1,0 +1,53 @@
+// Dual-representation label sets for the Monte Carlo loop.
+//
+// Different region families want different label layouts: grid-aligned
+// families accumulate per-cell counts from a byte array in one O(N) pass,
+// while memoized square-scan families intersect a label *bit vector* with
+// per-region membership bit vectors via popcount. A Labels instance keeps
+// both views consistent so each family uses its fast path.
+#ifndef SFA_CORE_LABELS_H_
+#define SFA_CORE_LABELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "spatial/bitvector.h"
+
+namespace sfa::core {
+
+class Labels {
+ public:
+  Labels() = default;
+
+  /// Builds both representations from a 0/1 byte vector.
+  static Labels FromBytes(std::vector<uint8_t> bytes);
+
+  /// Null-world generator, unconditional variant (the paper's §3): each
+  /// point's label is an independent Bernoulli(rho) trial.
+  static Labels SampleBernoulli(size_t n, double rho, Rng* rng);
+
+  /// Null-world generator, conditional variant (Kulldorff 1997): exactly
+  /// `positives` labels set to 1, positions chosen uniformly at random
+  /// (permutation null). Provided for comparison ablations.
+  static Labels SamplePermutation(size_t n, uint64_t positives, Rng* rng);
+
+  size_t size() const { return bytes_.size(); }
+  uint64_t positive_count() const { return positive_count_; }
+  double positive_rate() const {
+    return bytes_.empty() ? 0.0
+                          : static_cast<double>(positive_count_) / bytes_.size();
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  const spatial::BitVector& bits() const { return bits_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  spatial::BitVector bits_;
+  uint64_t positive_count_ = 0;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_LABELS_H_

@@ -1,0 +1,81 @@
+#include "core/meanvar.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "stats/descriptive.h"
+
+namespace sfa::core {
+
+Result<MeanVarResult> ComputeMeanVar(
+    const data::OutcomeDataset& dataset,
+    const std::vector<geo::Partitioning>& partitionings,
+    const MeanVarOptions& options) {
+  SFA_RETURN_NOT_OK(dataset.Validate());
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (partitionings.empty()) {
+    return Status::InvalidArgument("MeanVar needs at least one partitioning");
+  }
+
+  MeanVarResult result;
+  result.per_partitioning_variance.reserve(partitionings.size());
+  const auto t_count = static_cast<double>(partitionings.size());
+
+  for (size_t t = 0; t < partitionings.size(); ++t) {
+    const geo::Partitioning& partitioning = partitionings[t];
+    const uint32_t num_partitions = partitioning.num_partitions();
+    std::vector<uint64_t> n_counts(num_partitions, 0);
+    std::vector<uint64_t> p_counts(num_partitions, 0);
+    const std::vector<uint32_t> assignment =
+        partitioning.AssignPartitions(dataset.locations());
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      ++n_counts[assignment[i]];
+      p_counts[assignment[i]] += dataset.predicted()[i];
+    }
+
+    // Measures of (by default) non-empty partitions.
+    stats::RunningStats measure_stats;
+    for (uint32_t j = 0; j < num_partitions; ++j) {
+      if (n_counts[j] == 0) {
+        if (options.skip_empty_partitions) continue;
+        measure_stats.Add(0.0);
+      } else {
+        measure_stats.Add(static_cast<double>(p_counts[j]) /
+                          static_cast<double>(n_counts[j]));
+      }
+    }
+    const double variance = measure_stats.variance_population();
+    const double mean = measure_stats.mean();
+    const auto k_count = static_cast<double>(measure_stats.count());
+    result.per_partitioning_variance.push_back(variance);
+
+    // Contributions: variance = sum_j (m_j - mean)^2 / K, so partition j's
+    // share of MeanVar is (m_j - mean)^2 / (K * T).
+    for (uint32_t j = 0; j < num_partitions; ++j) {
+      if (n_counts[j] == 0 && options.skip_empty_partitions) continue;
+      PartitionContribution c;
+      c.partitioning_index = t;
+      c.partition_id = j;
+      c.rect = partitioning.PartitionRectById(j);
+      c.n = n_counts[j];
+      c.p = p_counts[j];
+      c.measure = n_counts[j] == 0
+                      ? 0.0
+                      : static_cast<double>(p_counts[j]) /
+                            static_cast<double>(n_counts[j]);
+      c.deviation = c.measure - mean;
+      c.contribution =
+          k_count == 0.0 ? 0.0 : c.deviation * c.deviation / (k_count * t_count);
+      result.ranked_partitions.push_back(c);
+    }
+  }
+
+  result.mean_var = stats::Mean(result.per_partitioning_variance);
+  std::sort(result.ranked_partitions.begin(), result.ranked_partitions.end(),
+            [](const PartitionContribution& a, const PartitionContribution& b) {
+              return a.contribution > b.contribution;
+            });
+  return result;
+}
+
+}  // namespace sfa::core

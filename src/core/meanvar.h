@@ -1,0 +1,58 @@
+// The MeanVar partitioning-based unfairness measure of Xie et al. (AAAI
+// 2022), as characterized and critiqued in the paper (§1, §2.2, §4.2): given
+// a set of rectangular partitionings, compute for each partitioning the
+// variance of the per-partition measure (positive rate over non-empty
+// partitions) and report the mean variance across partitionings. Lower
+// values are read as "fairer".
+//
+// The per-partition *contribution* — its squared deviation from the
+// partitioning mean, normalized by the partition count and the number of
+// partitionings — ranks the "suspicious" regions the baseline would point
+// at; the paper shows these are dominated by sparse, extreme-rate partitions
+// (Figures 2-4, 9).
+#ifndef SFA_CORE_MEANVAR_H_
+#define SFA_CORE_MEANVAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "geo/partitioning.h"
+
+namespace sfa::core {
+
+struct MeanVarOptions {
+  /// Partitions with no observations are skipped (they have no measure).
+  /// Kept as an option for ablations of the baseline's behaviour.
+  bool skip_empty_partitions = true;
+};
+
+/// A partition scored by its contribution to MeanVar.
+struct PartitionContribution {
+  size_t partitioning_index = 0;
+  uint32_t partition_id = 0;
+  geo::Rect rect;
+  uint64_t n = 0;            ///< observations inside
+  uint64_t p = 0;            ///< positives inside
+  double measure = 0.0;      ///< local positive rate
+  double deviation = 0.0;    ///< measure - partitioning mean
+  double contribution = 0.0; ///< share of MeanVar caused by this partition
+};
+
+struct MeanVarResult {
+  double mean_var = 0.0;
+  std::vector<double> per_partitioning_variance;
+  /// All non-empty partitions ranked by contribution, descending.
+  std::vector<PartitionContribution> ranked_partitions;
+};
+
+/// Evaluates MeanVar for `dataset` over `partitionings`.
+Result<MeanVarResult> ComputeMeanVar(const data::OutcomeDataset& dataset,
+                                     const std::vector<geo::Partitioning>& partitionings,
+                                     const MeanVarOptions& options = {});
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_MEANVAR_H_

@@ -1,0 +1,45 @@
+#include "core/measure.h"
+
+#include "common/macros.h"
+
+namespace sfa::core {
+
+const char* FairnessMeasureToString(FairnessMeasure m) {
+  switch (m) {
+    case FairnessMeasure::kStatisticalParity:
+      return "statistical parity (positive rate)";
+    case FairnessMeasure::kEqualOpportunity:
+      return "equal opportunity (true positive rate)";
+    case FairnessMeasure::kPredictiveEquality:
+      return "predictive equality (false positive rate)";
+  }
+  return "?";
+}
+
+Result<data::OutcomeDataset> BuildMeasureView(const data::OutcomeDataset& dataset,
+                                              FairnessMeasure measure) {
+  SFA_RETURN_NOT_OK(dataset.Validate());
+  switch (measure) {
+    case FairnessMeasure::kStatisticalParity:
+      return dataset;
+    case FairnessMeasure::kEqualOpportunity: {
+      SFA_ASSIGN_OR_RETURN(data::OutcomeDataset view, dataset.FilterByActual(1));
+      if (view.empty()) {
+        return Status::FailedPrecondition(
+            "equal opportunity view is empty: no Y=1 individuals");
+      }
+      return view;
+    }
+    case FairnessMeasure::kPredictiveEquality: {
+      SFA_ASSIGN_OR_RETURN(data::OutcomeDataset view, dataset.FilterByActual(0));
+      if (view.empty()) {
+        return Status::FailedPrecondition(
+            "predictive equality view is empty: no Y=0 individuals");
+      }
+      return view;
+    }
+  }
+  return Status::InvalidArgument("unknown fairness measure");
+}
+
+}  // namespace sfa::core

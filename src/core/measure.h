@@ -1,0 +1,39 @@
+// Fairness measures (paper §3). Spatial fairness is always tested on a
+// binary outcome stream; the *measure* decides which individuals enter the
+// stream and what the outcome bit is:
+//
+//   statistical parity    — everyone, outcome = model prediction Ŷ
+//   equal opportunity     — only Y=1 individuals, outcome = Ŷ (TPR surface)
+//   predictive equality   — only Y=0 individuals, outcome = Ŷ (FPR surface)
+//
+// The paper's LAR experiment audits statistical parity; its Crime experiment
+// audits equal opportunity ("we retain the predictions for the true positive
+// labels"). Equal odds is the conjunction of the last two and is provided as
+// a convenience in core/audit.h.
+#ifndef SFA_CORE_MEASURE_H_
+#define SFA_CORE_MEASURE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace sfa::core {
+
+enum class FairnessMeasure {
+  kStatisticalParity,
+  kEqualOpportunity,
+  kPredictiveEquality,
+};
+
+const char* FairnessMeasureToString(FairnessMeasure m);
+
+/// Materializes the outcome stream for `measure` from `dataset`.
+/// Equal opportunity / predictive equality require ground-truth labels and
+/// fail otherwise; they also fail when the filtered stream is empty.
+Result<data::OutcomeDataset> BuildMeasureView(const data::OutcomeDataset& dataset,
+                                              FairnessMeasure measure);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_MEASURE_H_

@@ -1,0 +1,62 @@
+// Multi-class spatial fairness audit — the multinomial-scan extension of the
+// framework. Where the binary audit asks whether the rate of one outcome is
+// independent of location, the multi-class audit asks whether the full
+// outcome DISTRIBUTION (e.g. a classifier's predicted class mix, or a
+// recommender's category mix) is. Useful beyond binary classification: the
+// paper's related work on mixture areas (Xie et al. 2020; Skoutas et al.
+// 2021) targets exactly such categorical spatial patterns.
+//
+// The scan runs over the cells of a regular grid. The null draws every
+// individual's class i.i.d. from the global empirical class distribution;
+// significance is Monte Carlo, as in the binary audit.
+#ifndef SFA_CORE_MULTICLASS_H_
+#define SFA_CORE_MULTICLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/significance.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace sfa::core {
+
+struct MulticlassAuditOptions {
+  double alpha = 0.005;
+  uint32_t grid_x = 20;
+  uint32_t grid_y = 20;
+  MonteCarloOptions monte_carlo;
+};
+
+struct MulticlassFinding {
+  uint32_t cell = 0;
+  geo::Rect rect;
+  uint64_t n = 0;
+  std::vector<uint64_t> class_counts;  ///< per-class counts inside the cell
+  double llr = 0.0;
+};
+
+struct MulticlassAuditResult {
+  bool spatially_fair = true;
+  double p_value = 1.0;
+  double tau = 0.0;
+  double critical_value = 0.0;
+  double alpha = 0.0;
+  uint64_t total_n = 0;
+  std::vector<double> class_distribution;  ///< global empirical proportions
+  std::vector<MulticlassFinding> findings;  ///< significant cells, by Λ desc
+};
+
+/// Audits whether the class distribution of `classes` (values in
+/// [0, num_classes)) is independent of location. `locations` and `classes`
+/// must be parallel and non-empty; num_classes >= 2.
+Result<MulticlassAuditResult> AuditMulticlassGrid(
+    const std::vector<geo::Point>& locations, const std::vector<uint8_t>& classes,
+    uint32_t num_classes, const MulticlassAuditOptions& options);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_MULTICLASS_H_

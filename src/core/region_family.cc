@@ -1,0 +1,5 @@
+#include "core/region_family.h"
+
+// Interface-only translation unit: anchors the RegionFamily vtable.
+
+namespace sfa::core {}  // namespace sfa::core

@@ -1,0 +1,65 @@
+// The region family abstraction: the predetermined set of regions R the
+// audit scans (paper §3, "a predetermined set of regions R").
+//
+// A family is bound to a fixed point set at construction. Point counts
+// n(R) never change; positive counts p(R) depend on the label assignment
+// and are re-evaluated once per Monte Carlo world, so implementations
+// precompute whatever geometry lets CountPositives run in (near) linear
+// time:
+//
+//   GridPartitionFamily        cells of one regular grid       O(N) / world
+//   PartitioningCollectionFamily  all partitions of many
+//                              rectangular partitionings       O(T·N) / world
+//   SquareScanFamily           k-means-centered squares of
+//                              several side lengths            popcount / world
+#ifndef SFA_CORE_REGION_FAMILY_H_
+#define SFA_CORE_REGION_FAMILY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/labels.h"
+#include "geo/rect.h"
+
+namespace sfa::core {
+
+/// Static description of one region in a family.
+struct RegionDescriptor {
+  geo::Rect rect;
+  std::string label;
+  /// Group regions that should compete with each other during evidence
+  /// selection (e.g. all side lengths of one scan center share a group; for
+  /// partition families every region is its own group).
+  uint32_t group = 0;
+};
+
+class RegionFamily {
+ public:
+  virtual ~RegionFamily() = default;
+
+  /// Number of regions scanned.
+  virtual size_t num_regions() const = 0;
+
+  /// Number of points the family is bound to.
+  virtual size_t num_points() const = 0;
+
+  /// Static description of region `r`.
+  virtual RegionDescriptor Describe(size_t r) const = 0;
+
+  /// n(R): number of bound points inside region `r`.
+  virtual uint64_t PointCount(size_t r) const = 0;
+
+  /// p(R) for every region under `labels` (labels.size() == num_points()).
+  /// `out` is resized to num_regions(). Must be thread-safe for concurrent
+  /// calls with distinct `out` buffers (the Monte Carlo loop relies on it).
+  virtual void CountPositives(const Labels& labels,
+                              std::vector<uint64_t>* out) const = 0;
+
+  /// Human-readable one-liner for reports.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_REGION_FAMILY_H_

@@ -1,0 +1,71 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sfa::core {
+
+std::string FormatAuditSummary(const AuditResult& result,
+                               const std::string& dataset_name) {
+  std::string out;
+  out += StrFormat("=== Spatial fairness audit: %s ===\n", dataset_name.c_str());
+  out += StrFormat("  N = %s individuals, P = %s positive, rho = %.4f\n",
+                   WithThousands(static_cast<int64_t>(result.total_n)).c_str(),
+                   WithThousands(static_cast<int64_t>(result.total_p)).c_str(),
+                   result.overall_rate);
+  out += StrFormat("  tau (max log-likelihood ratio) = %.3f\n", result.tau);
+  out += StrFormat("  Monte Carlo p-value            = %.4f\n", result.p_value);
+  out += StrFormat("  critical LLR at alpha=%.3f     = %.3f\n", result.alpha,
+                   result.critical_value);
+  out += StrFormat("  verdict: %s\n",
+                   result.spatially_fair ? "SPATIALLY FAIR (H0 not rejected)"
+                                         : "SPATIALLY UNFAIR (H0 rejected)");
+  out += StrFormat("  significant regions: %zu\n", result.findings.size());
+  return out;
+}
+
+std::string FormatFindingsTable(const std::vector<RegionFinding>& findings,
+                                size_t max_rows) {
+  std::string out;
+  out += "  rank |        n |        p |  rate | LLR        | region\n";
+  out += "  -----+----------+----------+-------+------------+-------\n";
+  const size_t rows = std::min(max_rows, findings.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const RegionFinding& f = findings[i];
+    out += StrFormat("  %4zu | %8llu | %8llu | %.3f | %10.3f | %s\n", i + 1,
+                     static_cast<unsigned long long>(f.n),
+                     static_cast<unsigned long long>(f.p), f.local_rate, f.llr,
+                     f.rect.ToString().c_str());
+  }
+  if (findings.size() > rows) {
+    out += StrFormat("  ... (%zu more)\n", findings.size() - rows);
+  }
+  return out;
+}
+
+std::string FormatFinding(const RegionFinding& finding) {
+  return StrFormat("n=%llu, p=%llu, local rate=%.3f, LLR=%.3f, rect=%s",
+                   static_cast<unsigned long long>(finding.n),
+                   static_cast<unsigned long long>(finding.p), finding.local_rate,
+                   finding.llr, finding.rect.ToString().c_str());
+}
+
+std::string FormatMeanVarTable(const MeanVarResult& result, size_t max_rows) {
+  std::string out;
+  out += StrFormat("  MeanVar = %.6f over %zu partitionings\n", result.mean_var,
+                   result.per_partitioning_variance.size());
+  out += "  rank |        n |        p | measure | contribution | region\n";
+  out += "  -----+----------+----------+---------+--------------+-------\n";
+  const size_t rows = std::min(max_rows, result.ranked_partitions.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const PartitionContribution& c = result.ranked_partitions[i];
+    out += StrFormat("  %4zu | %8llu | %8llu |   %.3f |     %.2e | %s\n", i + 1,
+                     static_cast<unsigned long long>(c.n),
+                     static_cast<unsigned long long>(c.p), c.measure,
+                     c.contribution, c.rect.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace sfa::core

@@ -1,0 +1,31 @@
+// Textual rendering of audit results for harnesses, examples, and the
+// figure-reproduction benches.
+#ifndef SFA_CORE_REPORT_H_
+#define SFA_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/audit.h"
+#include "core/meanvar.h"
+
+namespace sfa::core {
+
+/// Multi-line verdict block: dataset stats, τ, p-value, critical value,
+/// verdict, and the count of significant regions.
+std::string FormatAuditSummary(const AuditResult& result,
+                               const std::string& dataset_name);
+
+/// Fixed-width table of findings: rank, n, p, local rate, Λ, rect.
+std::string FormatFindingsTable(const std::vector<RegionFinding>& findings,
+                                size_t max_rows = 20);
+
+/// One-line rendering of a single finding (used for headline regions).
+std::string FormatFinding(const RegionFinding& finding);
+
+/// Fixed-width table of MeanVar's top contributors.
+std::string FormatMeanVarTable(const MeanVarResult& result, size_t max_rows = 20);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_REPORT_H_

@@ -1,0 +1,59 @@
+#include "core/scan.h"
+
+#include "common/macros.h"
+
+namespace sfa::core {
+
+namespace {
+
+stats::ScanCounts MakeCounts(const RegionFamily& family, size_t region,
+                             uint64_t positives, uint64_t total_n,
+                             uint64_t total_p) {
+  stats::ScanCounts c;
+  c.n = family.PointCount(region);
+  c.p = positives;
+  c.total_n = total_n;
+  c.total_p = total_p;
+  return c;
+}
+
+}  // namespace
+
+ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
+                          stats::ScanDirection direction) {
+  ScanResult result;
+  result.total_n = labels.size();
+  result.total_p = labels.positive_count();
+  family.CountPositives(labels, &result.positives);
+  result.llr.resize(family.num_regions());
+  for (size_t r = 0; r < family.num_regions(); ++r) {
+    const stats::ScanCounts counts =
+        MakeCounts(family, r, result.positives[r], result.total_n, result.total_p);
+    const double llr = stats::BernoulliLogLikelihoodRatio(counts, direction);
+    result.llr[r] = llr;
+    if (llr > result.max_llr) {
+      result.max_llr = llr;
+      result.argmax = r;
+    }
+  }
+  return result;
+}
+
+double ScanMaxStatistic(const RegionFamily& family, const Labels& labels,
+                        stats::ScanDirection direction,
+                        std::vector<uint64_t>* scratch) {
+  SFA_CHECK(scratch != nullptr);
+  family.CountPositives(labels, scratch);
+  const uint64_t total_n = labels.size();
+  const uint64_t total_p = labels.positive_count();
+  double max_llr = 0.0;
+  for (size_t r = 0; r < family.num_regions(); ++r) {
+    const stats::ScanCounts counts =
+        MakeCounts(family, r, (*scratch)[r], total_n, total_p);
+    const double llr = stats::BernoulliLogLikelihoodRatio(counts, direction);
+    if (llr > max_llr) max_llr = llr;
+  }
+  return max_llr;
+}
+
+}  // namespace sfa::core

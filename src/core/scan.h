@@ -1,0 +1,37 @@
+// One pass of the scan statistic over a region family: per-region Λ(R) and
+// the maximum statistic τ = max_R Λ(R) (paper §3).
+#ifndef SFA_CORE_SCAN_H_
+#define SFA_CORE_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labels.h"
+#include "core/region_family.h"
+#include "stats/bernoulli_scan.h"
+
+namespace sfa::core {
+
+/// Full per-region scan output (used for the observed world).
+struct ScanResult {
+  std::vector<double> llr;          ///< Λ(R) per region
+  std::vector<uint64_t> positives;  ///< p(R) per region
+  double max_llr = 0.0;             ///< τ
+  size_t argmax = 0;                ///< R*
+  uint64_t total_n = 0;             ///< N
+  uint64_t total_p = 0;             ///< P
+};
+
+/// Evaluates Λ for every region of `family` under `labels`.
+ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
+                          stats::ScanDirection direction);
+
+/// Max-only evaluation for Monte Carlo worlds; `scratch` (resized as needed)
+/// avoids per-world allocations.
+double ScanMaxStatistic(const RegionFamily& family, const Labels& labels,
+                        stats::ScanDirection direction,
+                        std::vector<uint64_t>* scratch);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_SCAN_H_

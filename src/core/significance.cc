@@ -1,0 +1,93 @@
+#include "core/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/scan.h"
+#include "stats/gumbel.h"
+
+namespace sfa::core {
+
+const char* NullModelToString(NullModel model) {
+  switch (model) {
+    case NullModel::kBernoulli:
+      return "unconditional Bernoulli";
+    case NullModel::kPermutation:
+      return "conditional permutation";
+  }
+  return "?";
+}
+
+NullDistribution::NullDistribution(std::vector<double> max_llrs)
+    : sorted_max_(std::move(max_llrs)) {
+  std::sort(sorted_max_.begin(), sorted_max_.end(), std::greater<double>());
+}
+
+double NullDistribution::PValue(double observed) const {
+  SFA_CHECK(!sorted_max_.empty());
+  // sorted_max_ is descending; upper_bound with greater<> yields the first
+  // element strictly below `observed`, so everything before it is >= observed.
+  const auto it = std::upper_bound(sorted_max_.begin(), sorted_max_.end(), observed,
+                                   std::greater<double>());
+  const auto geq = static_cast<size_t>(it - sorted_max_.begin());
+  return static_cast<double>(1 + geq) / static_cast<double>(sorted_max_.size() + 1);
+}
+
+double NullDistribution::CriticalValue(double alpha) const {
+  SFA_CHECK(!sorted_max_.empty());
+  SFA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha " << alpha << " outside (0,1)");
+  const size_t w = sorted_max_.size() + 1;
+  // Λ is significant iff (1 + #{null >= Λ}) / w <= alpha, i.e. at most
+  // floor(alpha*w) - 1 null values may reach Λ. The threshold is the
+  // (floor(alpha*w))-th largest null value: any Λ strictly above it wins.
+  const auto budget = static_cast<size_t>(std::floor(alpha * static_cast<double>(w)));
+  if (budget == 0) return std::numeric_limits<double>::infinity();
+  return sorted_max_[budget - 1];
+}
+
+Result<double> NullDistribution::GumbelPValue(double observed) const {
+  SFA_ASSIGN_OR_RETURN(stats::GumbelDistribution gumbel,
+                       stats::GumbelDistribution::FitMoments(sorted_max_));
+  return gumbel.UpperTail(observed);
+}
+
+Result<NullDistribution> SimulateNull(const RegionFamily& family, double rho,
+                                      uint64_t total_positives,
+                                      stats::ScanDirection direction,
+                                      const MonteCarloOptions& options) {
+  if (options.num_worlds == 0) {
+    return Status::InvalidArgument("Monte Carlo needs at least one world");
+  }
+  if (rho < 0.0 || rho > 1.0) {
+    return Status::InvalidArgument("rho must be in [0, 1]");
+  }
+  const size_t n = family.num_points();
+  if (total_positives > n) {
+    return Status::InvalidArgument("more positives than points");
+  }
+
+  std::vector<double> max_llrs(options.num_worlds, 0.0);
+  Rng root(options.seed);
+  auto run_world = [&](size_t w) {
+    Rng rng = root.Split(w);
+    const Labels labels =
+        options.null_model == NullModel::kBernoulli
+            ? Labels::SampleBernoulli(n, rho, &rng)
+            : Labels::SamplePermutation(n, total_positives, &rng);
+    std::vector<uint64_t> scratch;
+    max_llrs[w] = ScanMaxStatistic(family, labels, direction, &scratch);
+  };
+
+  if (options.parallel) {
+    DefaultThreadPool().ParallelFor(options.num_worlds, run_world);
+  } else {
+    for (size_t w = 0; w < options.num_worlds; ++w) run_world(w);
+  }
+  return NullDistribution(std::move(max_llrs));
+}
+
+}  // namespace sfa::core

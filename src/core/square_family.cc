@@ -1,0 +1,96 @@
+#include "core/square_family.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace sfa::core {
+
+std::vector<double> SquareScanOptions::DefaultSideLengths(double min_side,
+                                                          double max_side,
+                                                          uint32_t count) {
+  SFA_CHECK(count >= 1);
+  std::vector<double> sides(count);
+  if (count == 1) {
+    sides[0] = min_side;
+    return sides;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    sides[i] = min_side + (max_side - min_side) * i / (count - 1);
+  }
+  return sides;
+}
+
+SquareScanFamily::SquareScanFamily(const std::vector<geo::Point>& points,
+                                   const SquareScanOptions& options)
+    : centers_(options.centers),
+      side_lengths_(options.side_lengths),
+      num_points_(points.size()) {
+  const size_t total = centers_.size() * side_lengths_.size();
+  memberships_.assign(total, spatial::BitVector());
+  point_counts_.assign(total, 0);
+
+  const spatial::KdTree tree(points);
+  DefaultThreadPool().ParallelFor(total, [&](size_t r) {
+    const geo::Point& center = centers_[r / side_lengths_.size()];
+    const double side = side_lengths_[r % side_lengths_.size()];
+    spatial::BitVector membership(num_points_);
+    tree.VisitRect(geo::Rect::CenteredSquare(center, side),
+                   [&membership](uint32_t id) { membership.Set(id); });
+    point_counts_[r] = membership.Popcount();
+    memberships_[r] = std::move(membership);
+  });
+}
+
+Result<std::unique_ptr<SquareScanFamily>> SquareScanFamily::Create(
+    const std::vector<geo::Point>& points, const SquareScanOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("square scan family needs points");
+  }
+  if (options.centers.empty()) {
+    return Status::InvalidArgument("square scan family needs centers");
+  }
+  if (options.side_lengths.empty()) {
+    return Status::InvalidArgument("square scan family needs side lengths");
+  }
+  for (double side : options.side_lengths) {
+    if (!(side > 0.0)) {
+      return Status::InvalidArgument(
+          StrFormat("side length %.6f must be positive", side));
+    }
+  }
+  return std::unique_ptr<SquareScanFamily>(new SquareScanFamily(points, options));
+}
+
+RegionDescriptor SquareScanFamily::Describe(size_t r) const {
+  SFA_DCHECK(r < num_regions());
+  const size_t center_index = CenterOfRegion(r);
+  const double side = SideOfRegion(r);
+  RegionDescriptor desc;
+  desc.rect = geo::Rect::CenteredSquare(centers_[center_index], side);
+  desc.label = StrFormat("square(center %zu at (%.3f, %.3f), side %.2f)",
+                         center_index, centers_[center_index].x,
+                         centers_[center_index].y, side);
+  desc.group = static_cast<uint32_t>(center_index);
+  return desc;
+}
+
+void SquareScanFamily::CountPositives(const Labels& labels,
+                                      std::vector<uint64_t>* out) const {
+  SFA_CHECK(out != nullptr);
+  SFA_CHECK_MSG(labels.size() == num_points_,
+                "labels " << labels.size() << " != points " << num_points_);
+  out->resize(num_regions());
+  for (size_t r = 0; r < memberships_.size(); ++r) {
+    (*out)[r] = spatial::BitVector::AndPopcount(memberships_[r], labels.bits());
+  }
+}
+
+std::string SquareScanFamily::Name() const {
+  return StrFormat("%zu square regions (%zu centers x %zu side lengths) over %zu points",
+                   num_regions(), centers_.size(), side_lengths_.size(), num_points_);
+}
+
+}  // namespace sfa::core

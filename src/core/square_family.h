@@ -1,0 +1,74 @@
+// Region family of axis-aligned squares centered at scan centers, one region
+// per (center, side length) pair — the paper's §4.3 unrestricted-regions
+// setting: 100 k-means centers x 20 side lengths from 0.1 to 2 degrees =
+// 2,000 regions.
+//
+// Membership of every region is memoized as a bit vector over point ids
+// (built with one KD-tree range report per region), so each Monte Carlo
+// world costs one AND+popcount pass per region.
+#ifndef SFA_CORE_SQUARE_FAMILY_H_
+#define SFA_CORE_SQUARE_FAMILY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/region_family.h"
+#include "geo/point.h"
+#include "spatial/bitvector.h"
+#include "spatial/kdtree.h"
+
+namespace sfa::core {
+
+struct SquareScanOptions {
+  /// Scan centers. Typically stats::KMeans centers of the observation
+  /// locations; any point set works.
+  std::vector<geo::Point> centers;
+  /// Side lengths in coordinate units (degrees for geographic data).
+  std::vector<double> side_lengths;
+
+  /// The paper's default ladder: `count` side lengths evenly spaced in
+  /// [min_side, max_side] (20 lengths from 0.1 to 2.0 degrees).
+  static std::vector<double> DefaultSideLengths(double min_side = 0.1,
+                                                double max_side = 2.0,
+                                                uint32_t count = 20);
+};
+
+class SquareScanFamily : public RegionFamily {
+ public:
+  /// Builds membership bit vectors for all centers x side lengths over
+  /// `points`. Region index = center_index * num_sides + side_index.
+  static Result<std::unique_ptr<SquareScanFamily>> Create(
+      const std::vector<geo::Point>& points, const SquareScanOptions& options);
+
+  size_t num_regions() const override { return memberships_.size(); }
+  size_t num_points() const override { return num_points_; }
+  RegionDescriptor Describe(size_t r) const override;
+  uint64_t PointCount(size_t r) const override { return point_counts_[r]; }
+  void CountPositives(const Labels& labels,
+                      std::vector<uint64_t>* out) const override;
+  std::string Name() const override;
+
+  size_t num_centers() const { return centers_.size(); }
+  size_t num_sides() const { return side_lengths_.size(); }
+  size_t CenterOfRegion(size_t r) const { return r / side_lengths_.size(); }
+  double SideOfRegion(size_t r) const {
+    return side_lengths_[r % side_lengths_.size()];
+  }
+  const std::vector<geo::Point>& centers() const { return centers_; }
+  const std::vector<double>& side_lengths() const { return side_lengths_; }
+
+ private:
+  SquareScanFamily(const std::vector<geo::Point>& points,
+                   const SquareScanOptions& options);
+
+  std::vector<geo::Point> centers_;
+  std::vector<double> side_lengths_;
+  std::vector<spatial::BitVector> memberships_;
+  std::vector<uint64_t> point_counts_;
+  size_t num_points_ = 0;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_SQUARE_FAMILY_H_

@@ -1,0 +1,87 @@
+// CrimeSim: a synthetic stand-in for the paper's Crime dataset (LAPD
+// incidents 2010-2019; a random forest on 7 non-spatial features predicts
+// whether an incident is "serious"; the audit then asks whether the model's
+// true-positive rate is independent of location).
+//
+// Generative model. Each incident belongs to a latent crime *context*
+// (property, traffic, vice, domestic, street-violent, gang) whose mixture
+// varies by police precinct. The context drives the observable features
+// (hour, victim age/sex/descent, premise, weapon) and, together with the
+// weapon/premise, the ground-truth seriousness probability. The classifier
+// sees only the features — never the location — so any spatial unfairness in
+// its accuracy emerges from feature-distribution shift across space, which
+// is exactly the mechanism the paper audits.
+//
+// Planted effect. In the Hollywood precinct (and, more mildly, Harbor) a
+// fraction of incidents have their evidence features re-drawn from a generic
+// "nightlife" distribution that is uninformative about seriousness. Serious
+// incidents there become indistinguishable from non-serious ones, the model
+// under-detects them, and the local TPR drops below the global TPR —
+// mirroring the paper's finding of a Hollywood region at TPR ~0.51 vs the
+// global 0.58.
+#ifndef SFA_DATA_CRIME_SIM_H_
+#define SFA_DATA_CRIME_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "geo/point.h"
+#include "ml/random_forest.h"
+#include "ml/table.h"
+
+namespace sfa::data {
+
+struct CrimeSimOptions {
+  uint64_t num_incidents = 711852;
+  uint64_t seed = 1019;
+  /// Fraction of Hollywood incidents whose evidence features are scrambled.
+  double hollywood_scramble = 0.30;
+  /// Milder secondary effect in the Harbor precinct.
+  double harbor_scramble = 0.12;
+};
+
+/// Incident table (features + seriousness labels) with per-incident
+/// locations kept out-of-band — the classifier must not see them.
+struct CrimeSimData {
+  ml::Table table;
+  std::vector<geo::Point> locations;
+  std::vector<std::string> precinct_names;
+  std::vector<geo::Point> precinct_centers;
+};
+
+/// Generates the incident table. Deterministic for a fixed seed.
+Result<CrimeSimData> MakeCrimeIncidents(const CrimeSimOptions& options);
+
+struct CrimeAuditOptions {
+  CrimeSimOptions sim;
+  ml::RandomForestOptions forest;
+  double train_fraction = 0.7;
+  uint64_t split_seed = 404;
+};
+
+/// Everything the Crime experiment needs: the trained model's test-set
+/// behaviour packaged as audit datasets.
+struct CrimeAuditBundle {
+  /// Test individuals with ground truth Y=1 (serious), outcome = the model's
+  /// prediction. Auditing this dataset's positive rate audits the TPR
+  /// surface (equal opportunity), as in the paper.
+  OutcomeDataset equal_opportunity;
+  /// All test individuals with predictions and ground truth (enables
+  /// predictive-equality audits on Y=0 as well).
+  OutcomeDataset full_test;
+  double model_accuracy = 0.0;
+  double global_tpr = 0.0;
+  uint64_t num_test = 0;
+  uint64_t num_test_positives = 0;
+};
+
+/// Generates incidents, trains a random forest on a train split, and builds
+/// the audit datasets from the held-out test split.
+Result<CrimeAuditBundle> BuildCrimeAudit(const CrimeAuditOptions& options);
+
+}  // namespace sfa::data
+
+#endif  // SFA_DATA_CRIME_SIM_H_

@@ -1,0 +1,146 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::data {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("quote in the middle of an unquoted field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Status WriteCsv(const OutcomeDataset& dataset, const std::string& path) {
+  SFA_RETURN_NOT_OK(dataset.Validate());
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const bool with_actual = dataset.has_actual();
+  out << (with_actual ? "lon,lat,predicted,actual\n" : "lon,lat,predicted\n");
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const geo::Point& p = dataset.locations()[i];
+    out << StrFormat("%.8f,%.8f,%u", p.x, p.y, dataset.predicted()[i]);
+    if (with_actual) out << ',' << static_cast<unsigned>(dataset.actual()[i]);
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("failed while writing '" + path + "'");
+  return Status::OK();
+}
+
+namespace {
+
+Result<int> FindColumn(const std::vector<std::string>& header,
+                       const std::string& name, bool required) {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (ToLower(Trim(header[i])) == name) return static_cast<int>(i);
+  }
+  if (required) {
+    return Status::ParseError("missing required CSV column '" + name + "'");
+  }
+  return -1;
+}
+
+Result<uint8_t> ParseLabel(const std::string& field, size_t line_number) {
+  SFA_ASSIGN_OR_RETURN(int64_t value, ParseInt64(field));
+  if (value != 0 && value != 1) {
+    return Status::ParseError(
+        StrFormat("line %zu: label must be 0 or 1, got %lld", line_number,
+                  static_cast<long long>(value)));
+  }
+  return static_cast<uint8_t>(value);
+}
+
+}  // namespace
+
+Result<OutcomeDataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("'" + path + "' is empty");
+  }
+  SFA_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
+  SFA_ASSIGN_OR_RETURN(int lon_col, FindColumn(header, "lon", /*required=*/true));
+  SFA_ASSIGN_OR_RETURN(int lat_col, FindColumn(header, "lat", /*required=*/true));
+  SFA_ASSIGN_OR_RETURN(int pred_col,
+                       FindColumn(header, "predicted", /*required=*/true));
+  SFA_ASSIGN_OR_RETURN(int actual_col,
+                       FindColumn(header, "actual", /*required=*/false));
+
+  OutcomeDataset dataset(path);
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    SFA_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+    const size_t needed = static_cast<size_t>(
+        std::max({lon_col, lat_col, pred_col, actual_col}) + 1);
+    if (fields.size() < needed) {
+      return Status::ParseError(
+          StrFormat("line %zu: expected at least %zu fields, got %zu", line_number,
+                    needed, fields.size()));
+    }
+    auto lon = ParseDouble(fields[static_cast<size_t>(lon_col)]);
+    if (!lon.ok()) {
+      return lon.status().WithContext(StrFormat("line %zu: lon", line_number));
+    }
+    auto lat = ParseDouble(fields[static_cast<size_t>(lat_col)]);
+    if (!lat.ok()) {
+      return lat.status().WithContext(StrFormat("line %zu: lat", line_number));
+    }
+    SFA_ASSIGN_OR_RETURN(
+        uint8_t predicted,
+        ParseLabel(fields[static_cast<size_t>(pred_col)], line_number));
+    if (actual_col >= 0) {
+      SFA_ASSIGN_OR_RETURN(
+          uint8_t actual,
+          ParseLabel(fields[static_cast<size_t>(actual_col)], line_number));
+      dataset.Add(geo::Point(*lon, *lat), predicted, actual);
+    } else {
+      dataset.Add(geo::Point(*lon, *lat), predicted);
+    }
+  }
+  SFA_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace sfa::data

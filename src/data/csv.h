@@ -1,0 +1,30 @@
+// CSV persistence for OutcomeDataset: header `lon,lat,predicted[,actual]`,
+// RFC-4180-style quoting tolerated on read (quotes are only needed for the
+// header-free numeric payload, but users may hand-edit files).
+#ifndef SFA_DATA_CSV_H_
+#define SFA_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace sfa::data {
+
+/// Parses one CSV record, honoring double-quoted fields with "" escapes.
+/// Exposed for testing.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Writes `dataset` to `path`. Emits the `actual` column only when ground
+/// truth is present.
+Status WriteCsv(const OutcomeDataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteCsv (or any CSV with columns lon, lat,
+/// predicted and optionally actual, matched by header name,
+/// case-insensitively). The dataset is named after the file.
+Result<OutcomeDataset> ReadCsv(const std::string& path);
+
+}  // namespace sfa::data
+
+#endif  // SFA_DATA_CSV_H_

@@ -1,0 +1,84 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::data {
+
+void OutcomeDataset::Add(const geo::Point& location, uint8_t predicted) {
+  SFA_CHECK_MSG(actual_.empty(),
+                "cannot mix individuals with and without ground truth");
+  locations_.push_back(location);
+  predicted_.push_back(predicted);
+}
+
+void OutcomeDataset::Add(const geo::Point& location, uint8_t predicted,
+                         uint8_t actual) {
+  SFA_CHECK_MSG(actual_.size() == locations_.size(),
+                "cannot mix individuals with and without ground truth");
+  locations_.push_back(location);
+  predicted_.push_back(predicted);
+  actual_.push_back(actual);
+}
+
+Status OutcomeDataset::Validate() const {
+  if (predicted_.size() != locations_.size()) {
+    return Status::Internal("predicted/location size mismatch");
+  }
+  if (!actual_.empty() && actual_.size() != locations_.size()) {
+    return Status::Internal("actual/location size mismatch");
+  }
+  for (uint8_t y : predicted_) {
+    if (y > 1) return Status::InvalidArgument("predicted labels must be 0/1");
+  }
+  for (uint8_t y : actual_) {
+    if (y > 1) return Status::InvalidArgument("actual labels must be 0/1");
+  }
+  return Status::OK();
+}
+
+uint64_t OutcomeDataset::PositiveCount() const {
+  uint64_t count = 0;
+  for (uint8_t y : predicted_) count += y;
+  return count;
+}
+
+double OutcomeDataset::PositiveRate() const {
+  if (empty()) return 0.0;
+  return static_cast<double>(PositiveCount()) / static_cast<double>(size());
+}
+
+Result<OutcomeDataset> OutcomeDataset::FilterByActual(uint8_t actual_value) const {
+  if (!has_actual()) {
+    return Status::FailedPrecondition("dataset '" + name_ +
+                                      "' has no ground-truth labels");
+  }
+  OutcomeDataset out(name_ + StrFormat("[Y=%u]", actual_value));
+  for (size_t i = 0; i < size(); ++i) {
+    if (actual_[i] == actual_value) {
+      out.Add(locations_[i], predicted_[i], actual_[i]);
+    }
+  }
+  return out;
+}
+
+size_t OutcomeDataset::CountDistinctLocations() const {
+  std::vector<geo::Point> copy = locations_;
+  std::sort(copy.begin(), copy.end(), [](const geo::Point& a, const geo::Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+  return copy.size();
+}
+
+std::string OutcomeDataset::Summary() const {
+  return StrFormat("%s: n=%s, positives=%s (rate %.4f), bbox=%s",
+                   name_.empty() ? "<unnamed>" : name_.c_str(),
+                   WithThousands(static_cast<int64_t>(size())).c_str(),
+                   WithThousands(static_cast<int64_t>(PositiveCount())).c_str(),
+                   PositiveRate(), BoundingBox().ToString().c_str());
+}
+
+}  // namespace sfa::data

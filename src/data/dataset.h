@@ -1,0 +1,74 @@
+// The audit input: individuals with a location, a binary model prediction,
+// and (optionally) a binary ground-truth outcome. This is the only data
+// format the core audit framework consumes; fairness measures (statistical
+// parity / equal opportunity / predictive equality) are realized as views of
+// this container (see core/measure.h).
+#ifndef SFA_DATA_DATASET_H_
+#define SFA_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace sfa::data {
+
+class OutcomeDataset {
+ public:
+  OutcomeDataset() = default;
+  explicit OutcomeDataset(std::string name) : name_(std::move(name)) {}
+
+  /// Appends an individual with a prediction only (no ground truth).
+  void Add(const geo::Point& location, uint8_t predicted);
+
+  /// Appends an individual with both prediction and ground truth.
+  void Add(const geo::Point& location, uint8_t predicted, uint8_t actual);
+
+  /// Validates internal consistency: parallel array sizes, 0/1 labels, and
+  /// that ground truth is either absent or present for every individual.
+  Status Validate() const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return locations_.size(); }
+  bool empty() const { return locations_.empty(); }
+  bool has_actual() const { return !actual_.empty(); }
+
+  const std::vector<geo::Point>& locations() const { return locations_; }
+  const std::vector<uint8_t>& predicted() const { return predicted_; }
+  const std::vector<uint8_t>& actual() const { return actual_; }
+
+  /// Number of individuals predicted positive (P in the paper).
+  uint64_t PositiveCount() const;
+
+  /// Overall positive rate ρ = P/N (0 when empty).
+  double PositiveRate() const;
+
+  /// Bounding box of all locations.
+  geo::Rect BoundingBox() const { return geo::Rect::BoundingBox(locations_); }
+
+  /// Subset with only the individuals whose ground truth equals
+  /// `actual_value` (used to audit TPR: keep Y=1, measure on predictions).
+  /// Fails when the dataset has no ground truth.
+  Result<OutcomeDataset> FilterByActual(uint8_t actual_value) const;
+
+  /// Number of distinct locations (exact; sorts a copy).
+  size_t CountDistinctLocations() const;
+
+  /// One-line human summary: size, positives, rate, bbox.
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  std::vector<geo::Point> locations_;
+  std::vector<uint8_t> predicted_;
+  std::vector<uint8_t> actual_;  // empty when ground truth is unavailable
+};
+
+}  // namespace sfa::data
+
+#endif  // SFA_DATA_DATASET_H_

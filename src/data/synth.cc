@@ -1,0 +1,120 @@
+#include "data/synth.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "data/us_geography.h"
+
+namespace sfa::data {
+
+Result<OutcomeDataset> MakeSynth(const SynthOptions& options) {
+  if (options.num_outcomes == 0) {
+    return Status::InvalidArgument("Synth needs at least one outcome");
+  }
+  if (!(options.extent.Area() > 0.0)) {
+    return Status::InvalidArgument("Synth extent must have positive area");
+  }
+  for (double rate : {options.left_positive_rate, options.right_positive_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      return Status::InvalidArgument("positive rates must lie in [0, 1]");
+    }
+  }
+  Rng rng(options.seed);
+  OutcomeDataset out("Synth");
+  const geo::Rect& extent = options.extent;
+  const double mid_x = extent.Center().x;
+  const uint64_t half = options.num_outcomes / 2;
+  for (uint64_t i = 0; i < options.num_outcomes; ++i) {
+    const bool left = i < half;
+    const double x = left ? rng.Uniform(extent.min_x, mid_x)
+                          : rng.Uniform(mid_x, extent.max_x);
+    const double y = rng.Uniform(extent.min_y, extent.max_y);
+    const double rate =
+        left ? options.left_positive_rate : options.right_positive_rate;
+    out.Add(geo::Point(x, y), rng.Bernoulli(rate) ? 1 : 0);
+  }
+  return out;
+}
+
+namespace {
+
+Status ValidateSemiSynthOptions(const SemiSynthOptions& options) {
+  if (options.num_outcomes == 0) {
+    return Status::InvalidArgument("SemiSynth needs at least one outcome");
+  }
+  if (options.positive_rate < 0.0 || options.positive_rate > 1.0) {
+    return Status::InvalidArgument("positive rate must lie in [0, 1]");
+  }
+  if (options.rural_fraction < 0.0 || options.rural_fraction > 1.0) {
+    return Status::InvalidArgument("rural fraction must lie in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<OutcomeDataset> MakeSemiSynth(const std::vector<geo::Point>& base_locations,
+                                     const SemiSynthOptions& options) {
+  SFA_RETURN_NOT_OK(ValidateSemiSynthOptions(options));
+  const geo::Polygon& florida = FloridaOutline();
+  std::vector<geo::Point> florida_locations;
+  for (const geo::Point& p : base_locations) {
+    if (florida.Contains(p)) florida_locations.push_back(p);
+  }
+  if (florida_locations.empty()) {
+    return Status::FailedPrecondition(
+        "no base locations fall inside the Florida outline");
+  }
+  Rng rng(options.seed);
+  OutcomeDataset out("SemiSynth");
+  for (uint64_t i = 0; i < options.num_outcomes; ++i) {
+    const geo::Point& p =
+        florida_locations[rng.NextUint64(florida_locations.size())];
+    out.Add(p, rng.Bernoulli(options.positive_rate) ? 1 : 0);
+  }
+  return out;
+}
+
+Result<OutcomeDataset> MakeSemiSynthStandalone(const SemiSynthOptions& options) {
+  SFA_RETURN_NOT_OK(ValidateSemiSynthOptions(options));
+  const geo::Polygon& florida = FloridaOutline();
+  const geo::Rect bbox = florida.bounding_box();
+
+  // Florida metros from the gazetteer, population-weighted, with the same
+  // sprawl model as LarSim (sigma grows with metro size).
+  std::vector<const Metro*> fl_metros;
+  std::vector<double> weights;
+  for (const Metro& metro : UsMetros()) {
+    if (florida.Contains(metro.center)) {
+      fl_metros.push_back(&metro);
+      weights.push_back(metro.population_m);
+    }
+  }
+  if (fl_metros.empty()) {
+    return Status::Internal("gazetteer has no Florida metros");
+  }
+
+  Rng rng(options.seed);
+  OutcomeDataset out("SemiSynth");
+  uint64_t produced = 0;
+  while (produced < options.num_outcomes) {
+    geo::Point p;
+    if (rng.Bernoulli(options.rural_fraction)) {
+      // Rejection-sample the state outline from its bounding box.
+      do {
+        p = {rng.Uniform(bbox.min_x, bbox.max_x), rng.Uniform(bbox.min_y, bbox.max_y)};
+      } while (!florida.Contains(p));
+    } else {
+      const Metro& metro = *fl_metros[rng.Categorical(weights)];
+      const double sigma = 0.03 + 0.06 * std::sqrt(metro.population_m);
+      p = {rng.Normal(metro.center.x, sigma), rng.Normal(metro.center.y, sigma)};
+      if (!florida.Contains(p)) continue;  // fell into the sea or a neighbor
+    }
+    out.Add(p, rng.Bernoulli(options.positive_rate) ? 1 : 0);
+    ++produced;
+  }
+  return out;
+}
+
+}  // namespace sfa::data

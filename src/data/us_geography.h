@@ -1,0 +1,39 @@
+// Small built-in gazetteer used by the dataset simulators: ~60 continental-US
+// metropolitan areas with approximate (lon, lat) centers and population
+// weights, a coarse Florida outline, and the bounding boxes the paper's
+// datasets live in. This replaces the Census Gazetteer files the paper uses
+// to geocode census tracts (see DESIGN.md §3 on substitutions).
+#ifndef SFA_DATA_US_GEOGRAPHY_H_
+#define SFA_DATA_US_GEOGRAPHY_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/polygon.h"
+#include "geo/rect.h"
+
+namespace sfa::data {
+
+struct Metro {
+  std::string name;
+  geo::Point center;     ///< (lon, lat) degrees
+  double population_m;   ///< metro population, millions (sampling weight)
+};
+
+/// The built-in metro table, ordered by descending population.
+const std::vector<Metro>& UsMetros();
+
+/// Bounding box of the continental United States.
+geo::Rect ContinentalUsBounds();
+
+/// Coarse polygon outline of Florida (panhandle through the southern tip;
+/// Keys excluded). Suitable for point-in-state tests at ~0.1 degree fidelity.
+const geo::Polygon& FloridaOutline();
+
+/// Bounding box of the City of Los Angeles (the Crime dataset's extent).
+geo::Rect LosAngelesBounds();
+
+}  // namespace sfa::data
+
+#endif  // SFA_DATA_US_GEOGRAPHY_H_

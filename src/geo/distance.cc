@@ -1,0 +1,28 @@
+#include "geo/distance.h"
+
+#include <cmath>
+
+namespace sfa::geo {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}
+
+double HaversineKm(const Point& a, const Point& b) {
+  const double lat1 = a.y * kDegToRad;
+  const double lat2 = b.y * kDegToRad;
+  const double dlat = (b.y - a.y) * kDegToRad;
+  const double dlon = (b.x - a.x) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+double KmPerDegreeLonAt(double latitude_deg) {
+  return kKmPerDegreeLat * std::cos(latitude_deg * kDegToRad);
+}
+
+double EuclideanDegrees(const Point& a, const Point& b) { return a.DistanceTo(b); }
+
+}  // namespace sfa::geo

@@ -1,0 +1,30 @@
+// Geographic distance helpers. The paper works in degrees ("side lengths
+// from 0.1 up to 2 degrees, roughly 10 to 200 kilometers"); these helpers
+// make that degree <-> km correspondence explicit for reports.
+#ifndef SFA_GEO_DISTANCE_H_
+#define SFA_GEO_DISTANCE_H_
+
+#include "geo/point.h"
+
+namespace sfa::geo {
+
+/// Mean Earth radius (km).
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// Kilometers spanned by one degree of latitude (constant on the sphere).
+inline constexpr double kKmPerDegreeLat = 111.195;
+
+/// Great-circle distance in km between two (lon, lat) degree points
+/// (haversine formula).
+double HaversineKm(const Point& lonlat_a, const Point& lonlat_b);
+
+/// Kilometers spanned by one degree of longitude at the given latitude.
+double KmPerDegreeLonAt(double latitude_deg);
+
+/// Euclidean distance in degree space (used when regions are defined in
+/// degrees, as in the paper's square-scan experiment).
+double EuclideanDegrees(const Point& a, const Point& b);
+
+}  // namespace sfa::geo
+
+#endif  // SFA_GEO_DISTANCE_H_

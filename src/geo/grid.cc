@@ -1,0 +1,72 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::geo {
+
+GridSpec::GridSpec(const Rect& extent, uint32_t nx, uint32_t ny)
+    : extent_(extent),
+      nx_(nx),
+      ny_(ny),
+      cell_w_(extent.width() / nx),
+      cell_h_(extent.height() / ny) {}
+
+Result<GridSpec> GridSpec::Create(const Rect& extent, uint32_t nx, uint32_t ny) {
+  if (nx == 0 || ny == 0) {
+    return Status::InvalidArgument(
+        StrFormat("grid must have at least one cell per axis, got %u x %u", nx, ny));
+  }
+  if (!(extent.width() > 0.0) || !(extent.height() > 0.0)) {
+    return Status::InvalidArgument("grid extent must have positive area, got " +
+                                   extent.ToString());
+  }
+  if (static_cast<uint64_t>(nx) * ny > (1ULL << 31)) {
+    return Status::InvalidArgument(
+        StrFormat("grid of %u x %u cells exceeds the 2^31 cell budget", nx, ny));
+  }
+  return GridSpec(extent, nx, ny);
+}
+
+uint32_t GridSpec::ColumnOf(double x) const {
+  double rel = (x - extent_.min_x) / cell_w_;
+  auto col = static_cast<int64_t>(std::floor(rel));
+  col = std::clamp<int64_t>(col, 0, static_cast<int64_t>(nx_) - 1);
+  return static_cast<uint32_t>(col);
+}
+
+uint32_t GridSpec::RowOf(double y) const {
+  double rel = (y - extent_.min_y) / cell_h_;
+  auto row = static_cast<int64_t>(std::floor(rel));
+  row = std::clamp<int64_t>(row, 0, static_cast<int64_t>(ny_) - 1);
+  return static_cast<uint32_t>(row);
+}
+
+uint32_t GridSpec::CellOf(const Point& p) const {
+  SFA_DCHECK(Covers(p));
+  return RowOf(p.y) * nx_ + ColumnOf(p.x);
+}
+
+Rect GridSpec::CellRect(uint32_t cx, uint32_t cy) const {
+  SFA_DCHECK(cx < nx_ && cy < ny_);
+  return Rect(extent_.min_x + cx * cell_w_, extent_.min_y + cy * cell_h_,
+              extent_.min_x + (cx + 1) * cell_w_, extent_.min_y + (cy + 1) * cell_h_);
+}
+
+Rect GridSpec::CellRectById(uint32_t cell_id) const {
+  SFA_DCHECK(cell_id < num_cells());
+  return CellRect(cell_id % nx_, cell_id / nx_);
+}
+
+std::vector<uint32_t> GridSpec::AssignCells(const std::vector<Point>& points) const {
+  std::vector<uint32_t> cells(points.size(), kInvalidCell);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (Covers(points[i])) cells[i] = CellOf(points[i]);
+  }
+  return cells;
+}
+
+}  // namespace sfa::geo

@@ -1,0 +1,69 @@
+// Regular grid over a bounding rectangle: nx * ny equally sized cells with
+// half-open edges, except that points on the global max edge are clamped into
+// the last row/column so every point of the covered rect maps to a cell.
+#ifndef SFA_GEO_GRID_H_
+#define SFA_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace sfa::geo {
+
+/// Row-major cell addressing: cell id = cy * nx + cx, with cx fastest.
+class GridSpec {
+ public:
+  GridSpec() = default;
+
+  /// Grid of nx x ny cells over `extent`. Requires nx, ny >= 1 and a
+  /// non-degenerate extent.
+  static Result<GridSpec> Create(const Rect& extent, uint32_t nx, uint32_t ny);
+
+  const Rect& extent() const { return extent_; }
+  uint32_t nx() const { return nx_; }
+  uint32_t ny() const { return ny_; }
+  uint32_t num_cells() const { return nx_ * ny_; }
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+
+  /// True when `p` is inside the extent (closed on all edges for lookup
+  /// convenience: max-edge points clamp into the last cell).
+  bool Covers(const Point& p) const {
+    return p.x >= extent_.min_x && p.x <= extent_.max_x && p.y >= extent_.min_y &&
+           p.y <= extent_.max_y;
+  }
+
+  /// Cell id of `p`; requires Covers(p).
+  uint32_t CellOf(const Point& p) const;
+
+  /// Column of x coordinate (clamped into [0, nx-1]).
+  uint32_t ColumnOf(double x) const;
+  /// Row of y coordinate (clamped into [0, ny-1]).
+  uint32_t RowOf(double y) const;
+
+  /// Rectangle of cell (cx, cy).
+  Rect CellRect(uint32_t cx, uint32_t cy) const;
+  /// Rectangle of cell `cell_id` (row-major).
+  Rect CellRectById(uint32_t cell_id) const;
+
+  /// Assigns each point its cell id; points outside the extent get
+  /// `kInvalidCell`.
+  static constexpr uint32_t kInvalidCell = 0xFFFFFFFFu;
+  std::vector<uint32_t> AssignCells(const std::vector<Point>& points) const;
+
+ private:
+  GridSpec(const Rect& extent, uint32_t nx, uint32_t ny);
+
+  Rect extent_;
+  uint32_t nx_ = 0;
+  uint32_t ny_ = 0;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+};
+
+}  // namespace sfa::geo
+
+#endif  // SFA_GEO_GRID_H_

@@ -1,0 +1,153 @@
+#include "geo/partitioning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::geo {
+
+namespace {
+
+// Sorts, deduplicates, and validates interior splits for one axis.
+Status NormalizeSplits(double lo, double hi, std::vector<double>* splits) {
+  std::sort(splits->begin(), splits->end());
+  splits->erase(std::unique(splits->begin(), splits->end()), splits->end());
+  for (double s : *splits) {
+    if (!(s > lo) || !(s < hi)) {
+      return Status::InvalidArgument(
+          StrFormat("split %.6f not strictly inside (%.6f, %.6f)", s, lo, hi));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Partitioning::Partitioning(const Rect& extent, std::vector<double> x_splits,
+                           std::vector<double> y_splits)
+    : extent_(extent), x_splits_(std::move(x_splits)), y_splits_(std::move(y_splits)) {}
+
+Result<Partitioning> Partitioning::Create(const Rect& extent,
+                                          std::vector<double> x_splits,
+                                          std::vector<double> y_splits) {
+  if (!(extent.width() > 0.0) || !(extent.height() > 0.0)) {
+    return Status::InvalidArgument("partitioning extent must have positive area");
+  }
+  SFA_RETURN_NOT_OK(NormalizeSplits(extent.min_x, extent.max_x, &x_splits));
+  SFA_RETURN_NOT_OK(NormalizeSplits(extent.min_y, extent.max_y, &y_splits));
+  return Partitioning(extent, std::move(x_splits), std::move(y_splits));
+}
+
+Result<Partitioning> Partitioning::Regular(const Rect& extent, uint32_t g_x,
+                                           uint32_t g_y) {
+  if (g_x == 0 || g_y == 0) {
+    return Status::InvalidArgument("regular partitioning needs >= 1 cell per axis");
+  }
+  std::vector<double> xs, ys;
+  xs.reserve(g_x - 1);
+  ys.reserve(g_y - 1);
+  for (uint32_t i = 1; i < g_x; ++i) {
+    xs.push_back(extent.min_x + extent.width() * i / g_x);
+  }
+  for (uint32_t j = 1; j < g_y; ++j) {
+    ys.push_back(extent.min_y + extent.height() * j / g_y);
+  }
+  return Create(extent, std::move(xs), std::move(ys));
+}
+
+Result<Partitioning> Partitioning::Random(const Rect& extent, uint32_t num_x_splits,
+                                          uint32_t num_y_splits, Rng* rng) {
+  SFA_CHECK(rng != nullptr);
+  std::vector<double> xs, ys;
+  xs.reserve(num_x_splits);
+  ys.reserve(num_y_splits);
+  for (uint32_t i = 0; i < num_x_splits; ++i) {
+    xs.push_back(rng->Uniform(extent.min_x, extent.max_x));
+  }
+  for (uint32_t j = 0; j < num_y_splits; ++j) {
+    ys.push_back(rng->Uniform(extent.min_y, extent.max_y));
+  }
+  // Uniform draws can collide with the boundary only with probability 0;
+  // duplicates are removed by Create.
+  return Create(extent, std::move(xs), std::move(ys));
+}
+
+uint32_t Partitioning::ColumnOf(double x) const {
+  auto it = std::upper_bound(x_splits_.begin(), x_splits_.end(), x);
+  return static_cast<uint32_t>(it - x_splits_.begin());
+}
+
+uint32_t Partitioning::RowOf(double y) const {
+  auto it = std::upper_bound(y_splits_.begin(), y_splits_.end(), y);
+  return static_cast<uint32_t>(it - y_splits_.begin());
+}
+
+uint32_t Partitioning::PartitionOf(const Point& p) const {
+  return RowOf(p.y) * columns() + ColumnOf(p.x);
+}
+
+Rect Partitioning::PartitionRect(uint32_t cx, uint32_t cy) const {
+  SFA_DCHECK(cx < columns() && cy < rows());
+  const double x0 = cx == 0 ? extent_.min_x : x_splits_[cx - 1];
+  const double x1 = cx == columns() - 1 ? extent_.max_x : x_splits_[cx];
+  const double y0 = cy == 0 ? extent_.min_y : y_splits_[cy - 1];
+  const double y1 = cy == rows() - 1 ? extent_.max_y : y_splits_[cy];
+  return Rect(x0, y0, x1, y1);
+}
+
+Rect Partitioning::PartitionRectById(uint32_t id) const {
+  SFA_DCHECK(id < num_partitions());
+  return PartitionRect(id % columns(), id / columns());
+}
+
+std::vector<uint32_t> Partitioning::AssignPartitions(
+    const std::vector<Point>& points) const {
+  std::vector<uint32_t> out(points.size());
+  for (size_t i = 0; i < points.size(); ++i) out[i] = PartitionOf(points[i]);
+  return out;
+}
+
+Result<std::vector<Partitioning>> MakeRandomPartitionings(const Rect& extent,
+                                                          uint32_t count,
+                                                          uint32_t min_splits,
+                                                          uint32_t max_splits,
+                                                          Rng* rng) {
+  SFA_CHECK(rng != nullptr);
+  if (min_splits > max_splits) {
+    return Status::InvalidArgument(
+        StrFormat("min_splits %u > max_splits %u", min_splits, max_splits));
+  }
+  std::vector<Partitioning> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const auto sx = static_cast<uint32_t>(rng->UniformInt(min_splits, max_splits));
+    const auto sy = static_cast<uint32_t>(rng->UniformInt(min_splits, max_splits));
+    SFA_ASSIGN_OR_RETURN(Partitioning p, Partitioning::Random(extent, sx, sy, rng));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+Result<std::vector<Partitioning>> MakeRandomResolutionPartitionings(
+    const Rect& extent, uint32_t count, uint32_t min_splits, uint32_t max_splits,
+    Rng* rng) {
+  SFA_CHECK(rng != nullptr);
+  if (min_splits > max_splits) {
+    return Status::InvalidArgument(
+        StrFormat("min_splits %u > max_splits %u", min_splits, max_splits));
+  }
+  std::vector<Partitioning> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const auto sx = static_cast<uint32_t>(rng->UniformInt(min_splits, max_splits));
+    const auto sy = static_cast<uint32_t>(rng->UniformInt(min_splits, max_splits));
+    SFA_ASSIGN_OR_RETURN(Partitioning p,
+                         Partitioning::Regular(extent, sx + 1, sy + 1));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace sfa::geo

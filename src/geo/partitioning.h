@@ -1,0 +1,94 @@
+// Axis-aligned rectangular partitionings of a bounding rectangle.
+//
+// A Partitioning is defined by sorted interior split coordinates on each
+// axis; (s_x splits) x (s_y splits) produce (s_x+1)*(s_y+1) rectangular
+// partitions that tile the extent. This is the region structure used both by
+// the MeanVar baseline of Xie et al. (2022) and by the paper's §4.2
+// partitioning-restricted audits.
+#ifndef SFA_GEO_PARTITIONING_H_
+#define SFA_GEO_PARTITIONING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace sfa::geo {
+
+class Partitioning {
+ public:
+  Partitioning() = default;
+
+  /// Builds a partitioning from interior split coordinates. Splits must lie
+  /// strictly inside the extent; they are sorted and deduplicated.
+  static Result<Partitioning> Create(const Rect& extent, std::vector<double> x_splits,
+                                     std::vector<double> y_splits);
+
+  /// Regular g_x x g_y partitioning (equally spaced splits).
+  static Result<Partitioning> Regular(const Rect& extent, uint32_t g_x, uint32_t g_y);
+
+  /// Random partitioning with `num_x_splits` / `num_y_splits` interior splits
+  /// drawn uniformly inside the extent (the construction used by the paper's
+  /// §4.2: split counts drawn from U{10..40} by the caller).
+  static Result<Partitioning> Random(const Rect& extent, uint32_t num_x_splits,
+                                     uint32_t num_y_splits, Rng* rng);
+
+  const Rect& extent() const { return extent_; }
+  const std::vector<double>& x_splits() const { return x_splits_; }
+  const std::vector<double>& y_splits() const { return y_splits_; }
+
+  uint32_t columns() const { return static_cast<uint32_t>(x_splits_.size()) + 1; }
+  uint32_t rows() const { return static_cast<uint32_t>(y_splits_.size()) + 1; }
+  uint32_t num_partitions() const { return columns() * rows(); }
+
+  /// Partition id of `p` (row-major, column fastest). Points outside the
+  /// extent are clamped into the nearest boundary partition, mirroring
+  /// GridSpec's closed max edge.
+  uint32_t PartitionOf(const Point& p) const;
+
+  /// Column index of x via binary search over x_splits.
+  uint32_t ColumnOf(double x) const;
+  /// Row index of y via binary search over y_splits.
+  uint32_t RowOf(double y) const;
+
+  /// Rectangle of partition (cx, cy).
+  Rect PartitionRect(uint32_t cx, uint32_t cy) const;
+  /// Rectangle of partition `id` (row-major).
+  Rect PartitionRectById(uint32_t id) const;
+
+  /// Partition id for every point (clamped as in PartitionOf).
+  std::vector<uint32_t> AssignPartitions(const std::vector<Point>& points) const;
+
+ private:
+  Partitioning(const Rect& extent, std::vector<double> x_splits,
+               std::vector<double> y_splits);
+
+  Rect extent_;
+  std::vector<double> x_splits_;
+  std::vector<double> y_splits_;
+};
+
+/// Generates `count` random partitionings whose per-axis split counts are
+/// drawn uniformly from [min_splits, max_splits] and whose split POSITIONS
+/// are uniform random inside the extent.
+Result<std::vector<Partitioning>> MakeRandomPartitionings(const Rect& extent,
+                                                          uint32_t count,
+                                                          uint32_t min_splits,
+                                                          uint32_t max_splits,
+                                                          Rng* rng);
+
+/// Generates `count` REGULAR partitionings whose per-axis split counts are
+/// drawn uniformly from [min_splits, max_splits] (splits equally spaced).
+/// This is the construction of the paper's "Is it fair?" experiment (100
+/// partitionings, splits in U{10..40}), matching the grid-aligned
+/// partitionings of Xie et al.'s MeanVar.
+Result<std::vector<Partitioning>> MakeRandomResolutionPartitionings(
+    const Rect& extent, uint32_t count, uint32_t min_splits, uint32_t max_splits,
+    Rng* rng);
+
+}  // namespace sfa::geo
+
+#endif  // SFA_GEO_PARTITIONING_H_

@@ -1,0 +1,43 @@
+// 2-d point type. Coordinates are generic doubles; throughout the library
+// x = longitude (degrees East) and y = latitude (degrees North) for
+// geographic data, but nothing in geo/ assumes a particular CRS.
+#ifndef SFA_GEO_POINT_H_
+#define SFA_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace sfa::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+
+  constexpr bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  constexpr bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Squared Euclidean distance to `o` (cheap; no sqrt).
+  double DistanceSquaredTo(const Point& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return dx * dx + dy * dy;
+  }
+
+  /// Euclidean distance to `o`.
+  double DistanceTo(const Point& o) const { return std::sqrt(DistanceSquaredTo(o)); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace sfa::geo
+
+#endif  // SFA_GEO_POINT_H_

@@ -1,0 +1,45 @@
+#include "geo/polygon.h"
+
+namespace sfa::geo {
+
+Polygon::Polygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)), bbox_(Rect::BoundingBox(vertices_)) {}
+
+Result<Polygon> Polygon::Create(std::vector<Point> vertices) {
+  if (vertices.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 vertices");
+  }
+  return Polygon(std::move(vertices));
+}
+
+bool Polygon::Contains(const Point& p) const {
+  // Bounding-box reject first: polygons here are country/state outlines and
+  // most queried points are far away.
+  if (!(p.x >= bbox_.min_x && p.x <= bbox_.max_x && p.y >= bbox_.min_y &&
+        p.y <= bbox_.max_y)) {
+    return false;
+  }
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double x_at_y = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_at_y) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::SignedArea() const {
+  double twice_area = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    twice_area += vertices_[j].x * vertices_[i].y - vertices_[i].x * vertices_[j].y;
+  }
+  return twice_area / 2.0;
+}
+
+}  // namespace sfa::geo

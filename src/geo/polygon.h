@@ -1,0 +1,46 @@
+// Simple (non-self-intersecting) polygon with even-odd point-in-polygon
+// testing. Used for coarse state outlines (e.g. Florida for the SemiSynth
+// dataset); not a general-purpose computational-geometry kernel.
+#ifndef SFA_GEO_POLYGON_H_
+#define SFA_GEO_POLYGON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace sfa::geo {
+
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Builds a polygon from its vertex ring (implicitly closed; do not repeat
+  /// the first vertex). Requires >= 3 vertices.
+  static Result<Polygon> Create(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  const Rect& bounding_box() const { return bbox_; }
+
+  /// Even-odd (ray casting) membership test. Boundary points may land on
+  /// either side; this is acceptable for sampling use cases.
+  bool Contains(const Point& p) const;
+
+  /// Signed area via the shoelace formula (positive for counter-clockwise
+  /// vertex order).
+  double SignedArea() const;
+
+  /// Absolute area.
+  double Area() const { return SignedArea() < 0 ? -SignedArea() : SignedArea(); }
+
+ private:
+  explicit Polygon(std::vector<Point> vertices);
+
+  std::vector<Point> vertices_;
+  Rect bbox_;
+};
+
+}  // namespace sfa::geo
+
+#endif  // SFA_GEO_POLYGON_H_

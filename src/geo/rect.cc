@@ -1,0 +1,55 @@
+#include "geo/rect.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace sfa::geo {
+
+Rect Rect::CenteredSquare(const Point& center, double side) {
+  const double half = side / 2.0;
+  return Rect(center.x - half, center.y - half, center.x + half, center.y + half);
+}
+
+Rect Rect::BoundingBox(const std::vector<Point>& points) {
+  if (points.empty()) return Rect();
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (const Point& p : points) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  return Rect(min_x, min_y, max_x, max_y);
+}
+
+Rect Rect::Intersection(const Rect& other) const {
+  Rect out(std::max(min_x, other.min_x), std::max(min_y, other.min_y),
+           std::min(max_x, other.max_x), std::min(max_y, other.max_y));
+  if (out.max_x < out.min_x) out.max_x = out.min_x;
+  if (out.max_y < out.min_y) out.max_y = out.min_y;
+  return out;
+}
+
+Rect Rect::Union(const Rect& other) const {
+  return Rect(std::min(min_x, other.min_x), std::min(min_y, other.min_y),
+              std::max(max_x, other.max_x), std::max(max_y, other.max_y));
+}
+
+Rect Rect::Expanded(double margin) const {
+  return Rect(min_x - margin, min_y - margin, max_x + margin, max_y + margin);
+}
+
+std::string Rect::ToString() const {
+  return StrFormat("[%.4f, %.4f] x [%.4f, %.4f]", min_x, max_x, min_y, max_y);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.ToString();
+}
+
+}  // namespace sfa::geo

@@ -1,0 +1,80 @@
+// Axis-aligned rectangle with half-open upper edges: a point is inside when
+// min_x <= x < max_x and min_y <= y < max_y. Half-open semantics make grid
+// cells and partitions tile the plane without double counting; Contains- and
+// intersection-style predicates all follow this convention.
+#ifndef SFA_GEO_RECT_H_
+#define SFA_GEO_RECT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace sfa::geo {
+
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  constexpr Rect() = default;
+  constexpr Rect(double min_x_in, double min_y_in, double max_x_in, double max_y_in)
+      : min_x(min_x_in), min_y(min_y_in), max_x(max_x_in), max_y(max_y_in) {}
+
+  /// Square of side `side` centered at `center`.
+  static Rect CenteredSquare(const Point& center, double side);
+
+  /// Smallest rectangle covering all `points`; empty input gives a degenerate
+  /// rect at the origin.
+  static Rect BoundingBox(const std::vector<Point>& points);
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double Area() const { return width() * height(); }
+  Point Center() const { return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0}; }
+
+  /// True when width and height are both >= 0 (degenerate rects allowed).
+  bool IsValid() const { return max_x >= min_x && max_y >= min_y; }
+
+  /// Half-open membership test (upper edges excluded).
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
+  }
+
+  /// True when `other` lies entirely within this rect.
+  bool ContainsRect(const Rect& other) const {
+    return other.min_x >= min_x && other.max_x <= max_x && other.min_y >= min_y &&
+           other.max_y <= max_y;
+  }
+
+  /// True when the interiors overlap (shared edges do not count, consistent
+  /// with half-open membership).
+  bool Intersects(const Rect& other) const {
+    return min_x < other.max_x && other.min_x < max_x && min_y < other.max_y &&
+           other.min_y < max_y;
+  }
+
+  /// The overlapping rectangle; degenerate (zero-area) when disjoint.
+  Rect Intersection(const Rect& other) const;
+
+  /// Smallest rect covering both.
+  Rect Union(const Rect& other) const;
+
+  /// Expands every side outward by `margin` (>= 0).
+  Rect Expanded(double margin) const;
+
+  bool operator==(const Rect& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace sfa::geo
+
+#endif  // SFA_GEO_RECT_H_

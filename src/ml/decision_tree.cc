@@ -1,0 +1,153 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace sfa::ml {
+
+namespace {
+
+double GiniFromCounts(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Fit(const Table& table,
+                                       const std::vector<uint32_t>& rows,
+                                       const DecisionTreeOptions& options) {
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  if (table.num_features() == 0) {
+    return Status::InvalidArgument("table has no features");
+  }
+  DecisionTree tree;
+  Rng rng(options.seed);
+  std::vector<uint32_t> working = rows;
+  tree.BuildNode(table, &working, 0, working.size(), 0, options, &rng);
+  return tree;
+}
+
+DecisionTree::SplitCandidate DecisionTree::FindBestSplit(
+    const Table& table, const std::vector<uint32_t>& rows, size_t begin, size_t end,
+    const DecisionTreeOptions& options, Rng* rng) const {
+  const size_t count = end - begin;
+  const size_t num_features = table.num_features();
+
+  // Choose the candidate feature subset (all, or max_features at random).
+  std::vector<uint16_t> features(num_features);
+  std::iota(features.begin(), features.end(), static_cast<uint16_t>(0));
+  if (options.max_features > 0 && options.max_features < num_features) {
+    rng->Shuffle(features.begin(), features.end());
+    features.resize(options.max_features);
+  }
+
+  SplitCandidate best;
+  best.gini_after = 2.0;  // larger than any achievable weighted Gini
+
+  for (uint16_t f : features) {
+    // Histogram pass: per feature value, row and positive counts.
+    std::array<uint32_t, 256> count_per_value{};
+    std::array<uint32_t, 256> pos_per_value{};
+    uint8_t max_value = 0;
+    uint32_t total_pos = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t row = rows[i];
+      const uint8_t v = table.Feature(row, f);
+      ++count_per_value[v];
+      const uint8_t label = table.Label(row);
+      pos_per_value[v] += label;
+      total_pos += label;
+      max_value = std::max(max_value, v);
+    }
+    // Scan thresholds t: left = {value <= t}. Stop before the last observed
+    // value so both sides stay non-empty.
+    double left_count = 0.0;
+    double left_pos = 0.0;
+    for (uint32_t t = 0; t < max_value; ++t) {
+      left_count += count_per_value[t];
+      left_pos += pos_per_value[t];
+      if (left_count == 0) continue;
+      const double right_count = static_cast<double>(count) - left_count;
+      if (right_count == 0) break;
+      if (left_count < options.min_samples_leaf ||
+          right_count < options.min_samples_leaf) {
+        continue;
+      }
+      const double right_pos = static_cast<double>(total_pos) - left_pos;
+      const double weighted =
+          (left_count * GiniFromCounts(left_pos, left_count) +
+           right_count * GiniFromCounts(right_pos, right_count)) /
+          static_cast<double>(count);
+      if (weighted < best.gini_after) {
+        best.valid = true;
+        best.feature = f;
+        best.threshold = static_cast<uint8_t>(t);
+        best.gini_after = weighted;
+        best.left_count = static_cast<size_t>(left_count);
+      }
+    }
+  }
+  return best;
+}
+
+int32_t DecisionTree::BuildNode(const Table& table, std::vector<uint32_t>* rows,
+                                size_t begin, size_t end, uint32_t depth,
+                                const DecisionTreeOptions& options, Rng* rng) {
+  const size_t count = end - begin;
+  SFA_DCHECK(count > 0);
+  depth_ = std::max(depth_, depth);
+
+  size_t positives = 0;
+  for (size_t i = begin; i < end; ++i) positives += table.Label((*rows)[i]);
+  const double prob = static_cast<double>(positives) / static_cast<double>(count);
+
+  const auto node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().prob = static_cast<float>(prob);
+
+  const bool pure = positives == 0 || positives == count;
+  if (pure || depth >= options.max_depth || count < options.min_samples_split) {
+    return node_index;  // leaf
+  }
+
+  const SplitCandidate split = FindBestSplit(table, *rows, begin, end, options, rng);
+  const double gini_before = GiniFromCounts(static_cast<double>(positives),
+                                            static_cast<double>(count));
+  if (!split.valid || split.gini_after >= gini_before - 1e-12) {
+    return node_index;  // no useful split
+  }
+
+  // In-place stable partition of the row range by the chosen split.
+  auto middle = std::stable_partition(
+      rows->begin() + static_cast<ptrdiff_t>(begin),
+      rows->begin() + static_cast<ptrdiff_t>(end), [&](uint32_t row) {
+        return table.Feature(row, split.feature) <= split.threshold;
+      });
+  const auto mid = static_cast<size_t>(middle - rows->begin());
+  SFA_DCHECK(mid > begin && mid < end);
+
+  nodes_[static_cast<size_t>(node_index)].feature = split.feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = split.threshold;
+  const int32_t left = BuildNode(table, rows, begin, mid, depth + 1, options, rng);
+  const int32_t right = BuildNode(table, rows, mid, end, depth + 1, options, rng);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictProba(const uint8_t* features) const {
+  SFA_DCHECK(!nodes_.empty());
+  int32_t index = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.left < 0) return node.prob;
+    index = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+}  // namespace sfa::ml

@@ -1,0 +1,79 @@
+// CART binary classifier over uint8 ordinal features with histogram-based
+// split search (Gini impurity). One pass per (node, feature) accumulates
+// class counts per feature value; candidate thresholds are the <= v cuts, so
+// split search costs O(rows + 256) per feature instead of O(rows log rows).
+#ifndef SFA_ML_DECISION_TREE_H_
+#define SFA_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/table.h"
+
+namespace sfa::ml {
+
+struct DecisionTreeOptions {
+  uint32_t max_depth = 12;
+  uint32_t min_samples_split = 20;
+  uint32_t min_samples_leaf = 5;
+  /// Features examined per split: 0 means all, otherwise a random subset of
+  /// this size (used by the random forest).
+  uint32_t max_features = 0;
+  uint64_t seed = 7;
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits a tree on `rows` of `table` (row-index subset; pass all rows for a
+  /// full fit). Fails on an empty training set.
+  static Result<DecisionTree> Fit(const Table& table,
+                                  const std::vector<uint32_t>& rows,
+                                  const DecisionTreeOptions& options);
+
+  /// Predicted probability of class 1 for a feature row.
+  double PredictProba(const uint8_t* features) const;
+
+  /// Hard 0/1 prediction at threshold 0.5.
+  uint8_t Predict(const uint8_t* features) const {
+    return PredictProba(features) >= 0.5 ? 1 : 0;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  uint32_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf iff left < 0; then `prob` is the class-1 probability.
+    int32_t left = -1;
+    int32_t right = -1;
+    uint16_t feature = 0;
+    uint8_t threshold = 0;  // go left when feature value <= threshold
+    float prob = 0.0f;
+  };
+
+  struct SplitCandidate {
+    bool valid = false;
+    uint16_t feature = 0;
+    uint8_t threshold = 0;
+    double gini_after = 0.0;
+    size_t left_count = 0;
+  };
+
+  int32_t BuildNode(const Table& table, std::vector<uint32_t>* rows, size_t begin,
+                    size_t end, uint32_t depth, const DecisionTreeOptions& options,
+                    Rng* rng);
+  SplitCandidate FindBestSplit(const Table& table, const std::vector<uint32_t>& rows,
+                               size_t begin, size_t end,
+                               const DecisionTreeOptions& options, Rng* rng) const;
+
+  std::vector<Node> nodes_;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace sfa::ml
+
+#endif  // SFA_ML_DECISION_TREE_H_

@@ -1,0 +1,72 @@
+#include "ml/metrics.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::ml {
+
+double ConfusionMatrix::Accuracy() const {
+  const uint64_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(t);
+}
+
+double ConfusionMatrix::TruePositiveRate() const {
+  const uint64_t ap = actual_positives();
+  if (ap == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(ap);
+}
+
+double ConfusionMatrix::FalsePositiveRate() const {
+  const uint64_t an = actual_negatives();
+  if (an == 0) return 0.0;
+  return static_cast<double>(false_positives) / static_cast<double>(an);
+}
+
+double ConfusionMatrix::Precision() const {
+  const uint64_t pp = true_positives + false_positives;
+  if (pp == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(pp);
+}
+
+double ConfusionMatrix::PositiveRate() const {
+  const uint64_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(true_positives + false_positives) /
+         static_cast<double>(t);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  return StrFormat(
+      "TP=%llu FP=%llu TN=%llu FN=%llu | acc=%.4f tpr=%.4f fpr=%.4f",
+      static_cast<unsigned long long>(true_positives),
+      static_cast<unsigned long long>(false_positives),
+      static_cast<unsigned long long>(true_negatives),
+      static_cast<unsigned long long>(false_negatives), Accuracy(),
+      TruePositiveRate(), FalsePositiveRate());
+}
+
+ConfusionMatrix ComputeConfusion(const std::vector<uint8_t>& predicted,
+                                 const std::vector<uint8_t>& actual) {
+  SFA_CHECK_MSG(predicted.size() == actual.size(),
+                "predicted size " << predicted.size() << " != actual "
+                                  << actual.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const bool pred = predicted[i] != 0;
+    const bool truth = actual[i] != 0;
+    if (pred && truth) {
+      ++cm.true_positives;
+    } else if (pred && !truth) {
+      ++cm.false_positives;
+    } else if (!pred && truth) {
+      ++cm.false_negatives;
+    } else {
+      ++cm.true_negatives;
+    }
+  }
+  return cm;
+}
+
+}  // namespace sfa::ml

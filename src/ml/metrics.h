@@ -1,0 +1,44 @@
+// Classification metrics: confusion matrix, accuracy, and the rate family
+// (TPR/FPR/precision) the fairness measures are built on.
+#ifndef SFA_ML_METRICS_H_
+#define SFA_ML_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfa::ml {
+
+struct ConfusionMatrix {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t true_negatives = 0;
+  uint64_t false_negatives = 0;
+
+  uint64_t total() const {
+    return true_positives + false_positives + true_negatives + false_negatives;
+  }
+  uint64_t actual_positives() const { return true_positives + false_negatives; }
+  uint64_t actual_negatives() const { return true_negatives + false_positives; }
+
+  double Accuracy() const;
+  /// TPR = TP / (TP + FN); 0 when there are no actual positives.
+  double TruePositiveRate() const;
+  /// FPR = FP / (FP + TN); 0 when there are no actual negatives.
+  double FalsePositiveRate() const;
+  /// Precision = TP / (TP + FP); 0 when nothing was predicted positive.
+  double Precision() const;
+  /// Fraction of predictions that are positive.
+  double PositiveRate() const;
+
+  std::string ToString() const;
+};
+
+/// Builds the confusion matrix of `predicted` against `actual` (0/1 vectors
+/// of equal length).
+ConfusionMatrix ComputeConfusion(const std::vector<uint8_t>& predicted,
+                                 const std::vector<uint8_t>& actual);
+
+}  // namespace sfa::ml
+
+#endif  // SFA_ML_METRICS_H_

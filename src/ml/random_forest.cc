@@ -1,0 +1,80 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace sfa::ml {
+
+Result<RandomForest> RandomForest::Fit(const Table& table,
+                                       const std::vector<uint32_t>& rows,
+                                       const RandomForestOptions& options) {
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  if (options.num_trees == 0) {
+    return Status::InvalidArgument("forest needs at least one tree");
+  }
+  if (options.bootstrap_fraction <= 0.0 || options.bootstrap_fraction > 1.0) {
+    return Status::InvalidArgument("bootstrap_fraction must be in (0, 1]");
+  }
+
+  RandomForestOptions opts = options;
+  if (opts.tree.max_features == 0) {
+    opts.tree.max_features = static_cast<uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(table.num_features()))));
+  }
+
+  RandomForest forest;
+  forest.trees_.resize(opts.num_trees);
+  Rng root_rng(opts.seed);
+  const auto sample_size = static_cast<size_t>(
+      opts.bootstrap_fraction * static_cast<double>(rows.size()));
+  SFA_CHECK(sample_size > 0);
+
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+  auto fit_one = [&](size_t t) {
+    Rng rng = root_rng.Split(t);
+    std::vector<uint32_t> sample(sample_size);
+    for (size_t i = 0; i < sample_size; ++i) {
+      sample[i] = rows[rng.NextUint64(rows.size())];
+    }
+    DecisionTreeOptions tree_opts = opts.tree;
+    tree_opts.seed = rng.Next();
+    auto tree = DecisionTree::Fit(table, sample, tree_opts);
+    if (!tree.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = tree.status();
+      return;
+    }
+    forest.trees_[t] = std::move(tree).value();
+  };
+
+  if (opts.parallel) {
+    DefaultThreadPool().ParallelFor(opts.num_trees, fit_one);
+  } else {
+    for (size_t t = 0; t < opts.num_trees; ++t) fit_one(t);
+  }
+  SFA_RETURN_NOT_OK(first_error);
+  return forest;
+}
+
+double RandomForest::PredictProba(const uint8_t* features) const {
+  SFA_DCHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.PredictProba(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<uint8_t> RandomForest::PredictRows(
+    const Table& table, const std::vector<uint32_t>& rows) const {
+  std::vector<uint8_t> out(rows.size());
+  DefaultThreadPool().ParallelFor(rows.size(), [&](size_t i) {
+    out[i] = Predict(table.Row(rows[i]));
+  });
+  return out;
+}
+
+}  // namespace sfa::ml

@@ -1,0 +1,57 @@
+// Bagged random forest over DecisionTree: bootstrap row sampling plus
+// per-split feature subsampling, probability averaging across trees. This is
+// the classifier audited in the paper's Crime experiment (its authors used a
+// scikit-learn random forest; the audit only needs its predictions).
+#ifndef SFA_ML_RANDOM_FOREST_H_
+#define SFA_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/decision_tree.h"
+#include "ml/table.h"
+
+namespace sfa::ml {
+
+struct RandomForestOptions {
+  uint32_t num_trees = 20;
+  DecisionTreeOptions tree;
+  /// Bootstrap sample size as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  uint64_t seed = 1234;
+  /// Trees trained in parallel on the default thread pool when true.
+  bool parallel = true;
+};
+
+class RandomForest {
+ public:
+  RandomForest() = default;
+
+  /// Fits `options.num_trees` trees on bootstrap samples of `rows`. If
+  /// options.tree.max_features == 0 it defaults to ceil(sqrt(num_features)).
+  static Result<RandomForest> Fit(const Table& table,
+                                  const std::vector<uint32_t>& rows,
+                                  const RandomForestOptions& options);
+
+  /// Mean class-1 probability across trees.
+  double PredictProba(const uint8_t* features) const;
+
+  /// Hard prediction at threshold 0.5.
+  uint8_t Predict(const uint8_t* features) const {
+    return PredictProba(features) >= 0.5 ? 1 : 0;
+  }
+
+  /// Predictions for a list of table rows.
+  std::vector<uint8_t> PredictRows(const Table& table,
+                                   const std::vector<uint32_t>& rows) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace sfa::ml
+
+#endif  // SFA_ML_RANDOM_FOREST_H_

@@ -1,0 +1,41 @@
+#include "ml/table.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace sfa::ml {
+
+Table::Table(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void Table::AddRow(const std::vector<uint8_t>& features, uint8_t label) {
+  SFA_CHECK_MSG(features.size() == num_features(),
+                "row has " << features.size() << " features, table expects "
+                           << num_features());
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+double Table::PositiveRate() const {
+  if (labels_.empty()) return 0.0;
+  size_t positives = 0;
+  for (uint8_t label : labels_) positives += (label != 0);
+  return static_cast<double>(positives) / static_cast<double>(labels_.size());
+}
+
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> Table::TrainTestSplit(
+    double train_fraction, uint64_t seed) const {
+  SFA_CHECK_MSG(train_fraction > 0.0 && train_fraction < 1.0,
+                "train_fraction " << train_fraction << " outside (0,1)");
+  std::vector<uint32_t> rows(num_rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  Rng rng(seed);
+  rng.Shuffle(rows.begin(), rows.end());
+  const auto cut = static_cast<size_t>(train_fraction * static_cast<double>(rows.size()));
+  std::vector<uint32_t> train(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(cut));
+  std::vector<uint32_t> test(rows.begin() + static_cast<ptrdiff_t>(cut), rows.end());
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace sfa::ml

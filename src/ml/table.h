@@ -1,0 +1,60 @@
+// Feature table for the classifier substrate. Features are small ordinal
+// integers (0..255): every feature the paper's Crime experiment uses (hour,
+// precinct, victim age bucket, sex, descent, premise type, weapon) is
+// naturally categorical or binnable, which lets the tree learner use O(256)
+// histogram splits instead of sort-based exact splits.
+#ifndef SFA_ML_TABLE_H_
+#define SFA_ML_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace sfa::ml {
+
+/// Row-major table of uint8 features plus a binary label per row.
+class Table {
+ public:
+  Table() = default;
+
+  /// Creates an empty table with the given feature names.
+  explicit Table(std::vector<std::string> feature_names);
+
+  size_t num_rows() const { return labels_.size(); }
+  size_t num_features() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  /// Appends one row; `features` must have num_features() entries.
+  void AddRow(const std::vector<uint8_t>& features, uint8_t label);
+
+  uint8_t Feature(size_t row, size_t col) const {
+    return features_[row * num_features() + col];
+  }
+  uint8_t Label(size_t row) const { return labels_[row]; }
+  const std::vector<uint8_t>& labels() const { return labels_; }
+
+  /// Pointer to the contiguous feature row (num_features() entries).
+  const uint8_t* Row(size_t row) const {
+    return features_.data() + row * num_features();
+  }
+
+  /// Fraction of rows with label 1.
+  double PositiveRate() const;
+
+  /// Deterministic train/test split: shuffles row indices with `seed` and
+  /// returns (train_rows, test_rows) with ~train_fraction of rows in train.
+  std::pair<std::vector<uint32_t>, std::vector<uint32_t>> TrainTestSplit(
+      double train_fraction, uint64_t seed) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<uint8_t> features_;
+  std::vector<uint8_t> labels_;
+};
+
+}  // namespace sfa::ml
+
+#endif  // SFA_ML_TABLE_H_

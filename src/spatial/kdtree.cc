@@ -1,0 +1,145 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace sfa::spatial {
+
+KdTree::KdTree(std::vector<geo::Point> points) : points_(std::move(points)) {
+  const size_t n = points_.size();
+  ids_.resize(n);
+  for (size_t i = 0; i < n; ++i) ids_[i] = static_cast<uint32_t>(i);
+  if (n == 0) return;
+  nodes_.reserve(n);
+  // Expand the bounding box infinitesimally on the max edges so the half-open
+  // node-bounds bookkeeping still covers points sitting exactly on them.
+  bounds_ = geo::Rect::BoundingBox(points_);
+  bounds_.max_x = std::nextafter(bounds_.max_x, std::numeric_limits<double>::max());
+  bounds_.max_y = std::nextafter(bounds_.max_y, std::numeric_limits<double>::max());
+  Build(0, static_cast<uint32_t>(n), 0);
+}
+
+int32_t KdTree::Build(uint32_t begin, uint32_t end, int depth) {
+  if (begin >= end) return -1;
+  const uint8_t axis = static_cast<uint8_t>(depth & 1);
+  const uint32_t mid = begin + (end - begin) / 2;
+  auto cmp = [this, axis](uint32_t a, uint32_t b) {
+    return axis == 0 ? points_[a].x < points_[b].x : points_[a].y < points_[b].y;
+  };
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid, ids_.begin() + end, cmp);
+
+  const auto node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].axis = axis;
+  nodes_[static_cast<size_t>(node_index)].begin = begin;
+  nodes_[static_cast<size_t>(node_index)].end = end;
+  nodes_[static_cast<size_t>(node_index)].split_id = ids_[mid];
+
+  const int32_t left = Build(begin, mid, depth + 1);
+  const int32_t right = Build(mid + 1, end, depth + 1);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+size_t KdTree::CountInRect(const geo::Rect& rect) const {
+  if (nodes_.empty()) return 0;
+  size_t count = 0;
+  CountRecursive(0, bounds_, rect, &count);
+  return count;
+}
+
+void KdTree::CountRecursive(int32_t node_index, const geo::Rect& node_bounds,
+                            const geo::Rect& query, size_t* count) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (!node_bounds.Intersects(query)) return;
+  if (query.ContainsRect(node_bounds)) {
+    *count += node.end - node.begin;
+    return;
+  }
+  const geo::Point& p = points_[node.split_id];
+  if (query.Contains(p)) ++(*count);
+  geo::Rect left_bounds = node_bounds;
+  geo::Rect right_bounds = node_bounds;
+  if (node.axis == 0) {
+    left_bounds.max_x = p.x;
+    right_bounds.min_x = p.x;
+  } else {
+    left_bounds.max_y = p.y;
+    right_bounds.min_y = p.y;
+  }
+  if (node.left >= 0) CountRecursive(node.left, left_bounds, query, count);
+  if (node.right >= 0) CountRecursive(node.right, right_bounds, query, count);
+}
+
+std::vector<uint32_t> KdTree::ReportRect(const geo::Rect& rect) const {
+  std::vector<uint32_t> out;
+  VisitRect(rect, [&out](uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+uint32_t KdTree::Nearest(const geo::Point& query) const {
+  SFA_CHECK(!points_.empty());
+  uint32_t best_id = 0;
+  double best_dist_sq = std::numeric_limits<double>::infinity();
+  NearestRecursive(0, query, &best_id, &best_dist_sq);
+  return best_id;
+}
+
+std::vector<uint32_t> KdTree::KNearest(const geo::Point& query, size_t k) const {
+  SFA_CHECK_MSG(k >= 1 && k <= points_.size(),
+                "k=" << k << " outside [1, " << points_.size() << "]");
+  std::vector<HeapEntry> heap;
+  heap.reserve(k + 1);
+  KNearestRecursive(0, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<uint32_t> out(heap.size());
+  for (size_t i = 0; i < heap.size(); ++i) out[i] = heap[i].id;
+  return out;
+}
+
+void KdTree::KNearestRecursive(int32_t node_index, const geo::Point& query,
+                               size_t k, std::vector<HeapEntry>* heap) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  const geo::Point& p = points_[node.split_id];
+  const double d = query.DistanceSquaredTo(p);
+  if (heap->size() < k) {
+    heap->push_back({d, node.split_id});
+    std::push_heap(heap->begin(), heap->end());
+  } else if (d < heap->front().dist_sq) {
+    std::pop_heap(heap->begin(), heap->end());
+    heap->back() = {d, node.split_id};
+    std::push_heap(heap->begin(), heap->end());
+  }
+  const double delta = node.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_child = delta < 0 ? node.left : node.right;
+  const int32_t far_child = delta < 0 ? node.right : node.left;
+  if (near_child >= 0) KNearestRecursive(near_child, query, k, heap);
+  const bool heap_full = heap->size() >= k;
+  if (far_child >= 0 &&
+      (!heap_full || delta * delta < heap->front().dist_sq)) {
+    KNearestRecursive(far_child, query, k, heap);
+  }
+}
+
+void KdTree::NearestRecursive(int32_t node_index, const geo::Point& query,
+                              uint32_t* best_id, double* best_dist_sq) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  const geo::Point& p = points_[node.split_id];
+  const double d = query.DistanceSquaredTo(p);
+  if (d < *best_dist_sq) {
+    *best_dist_sq = d;
+    *best_id = node.split_id;
+  }
+  const double delta = node.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_child = delta < 0 ? node.left : node.right;
+  const int32_t far_child = delta < 0 ? node.right : node.left;
+  if (near_child >= 0) NearestRecursive(near_child, query, best_id, best_dist_sq);
+  if (far_child >= 0 && delta * delta < *best_dist_sq) {
+    NearestRecursive(far_child, query, best_id, best_dist_sq);
+  }
+}
+
+}  // namespace sfa::spatial

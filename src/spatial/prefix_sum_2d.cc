@@ -1,0 +1,31 @@
+#include "spatial/prefix_sum_2d.h"
+
+#include "common/macros.h"
+
+namespace sfa::spatial {
+
+PrefixSum2D::PrefixSum2D(uint32_t nx, uint32_t ny, const std::vector<uint32_t>& values)
+    : nx_(nx), ny_(ny) {
+  SFA_CHECK_MSG(values.size() == static_cast<size_t>(nx) * ny,
+                "values size " << values.size() << " != " << nx << "*" << ny);
+  table_.assign(static_cast<size_t>(nx + 1) * (ny + 1), 0ULL);
+  const size_t stride = nx_ + 1;
+  for (uint32_t y = 0; y < ny_; ++y) {
+    uint64_t row_sum = 0;
+    for (uint32_t x = 0; x < nx_; ++x) {
+      row_sum += values[static_cast<size_t>(y) * nx_ + x];
+      table_[(y + 1) * stride + (x + 1)] = table_[y * stride + (x + 1)] + row_sum;
+    }
+  }
+}
+
+uint64_t PrefixSum2D::SumRange(uint32_t cx0, uint32_t cy0, uint32_t cx1,
+                               uint32_t cy1) const {
+  SFA_DCHECK(cx0 <= cx1 && cx1 <= nx_);
+  SFA_DCHECK(cy0 <= cy1 && cy1 <= ny_);
+  const size_t stride = nx_ + 1;
+  return table_[cy1 * stride + cx1] - table_[cy0 * stride + cx1] -
+         table_[cy1 * stride + cx0] + table_[cy0 * stride + cx0];
+}
+
+}  // namespace sfa::spatial

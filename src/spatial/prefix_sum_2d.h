@@ -1,0 +1,40 @@
+// 2-d prefix sums (summed-area table) over per-cell values of a regular
+// grid, enabling O(1) aggregation over any axis-aligned block of cells.
+#ifndef SFA_SPATIAL_PREFIX_SUM_2D_H_
+#define SFA_SPATIAL_PREFIX_SUM_2D_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sfa::spatial {
+
+/// Summed-area table over an nx x ny row-major value array.
+class PrefixSum2D {
+ public:
+  PrefixSum2D() = default;
+
+  /// Builds from row-major `values` of an nx x ny grid (values.size() must be
+  /// nx*ny).
+  PrefixSum2D(uint32_t nx, uint32_t ny, const std::vector<uint32_t>& values);
+
+  uint32_t nx() const { return nx_; }
+  uint32_t ny() const { return ny_; }
+
+  /// Sum of values over cell columns [cx0, cx1) and rows [cy0, cy1).
+  /// Requires cx0 <= cx1 <= nx and cy0 <= cy1 <= ny.
+  uint64_t SumRange(uint32_t cx0, uint32_t cy0, uint32_t cx1, uint32_t cy1) const;
+
+  /// Sum over the whole grid.
+  uint64_t Total() const { return SumRange(0, 0, nx_, ny_); }
+
+ private:
+  // table_ has (nx+1) x (ny+1) entries; table_[(y)*(nx_+1)+x] = sum of the
+  // block [0,x) x [0,y).
+  uint32_t nx_ = 0;
+  uint32_t ny_ = 0;
+  std::vector<uint64_t> table_;
+};
+
+}  // namespace sfa::spatial
+
+#endif  // SFA_SPATIAL_PREFIX_SUM_2D_H_

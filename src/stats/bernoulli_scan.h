@@ -1,0 +1,75 @@
+// The Bernoulli spatial scan statistic (Kulldorff 1997) as used by the
+// paper's spatial-fairness likelihood-ratio test (§3).
+//
+// For a region R with n = n(R) individuals of which p = p(R) are positive,
+// inside a population of N individuals with P positives:
+//
+//   log L0max        = ll(P, N)                      (one global rate)
+//   log L1max(R)     = ll(p, n) + ll(P-p, N-n)       (inside/outside rates)
+//   Λ(R)             = log L1max(R) - log L0max      (the log-likelihood ratio)
+//
+// with ll(k, m) = k log(k/m) + (m-k) log(1 - k/m) and 0·log 0 := 0. The paper
+// calls L1max(R) the spatial unfairness likelihood (SUL, its Eq. 1) and keeps
+// the statistic two-sided: any difference between the inside and outside rates
+// counts. Directional variants restrict to regions whose inside rate is higher
+// ("green") or lower ("red") than the outside rate (paper App. B.2).
+#ifndef SFA_STATS_BERNOULLI_SCAN_H_
+#define SFA_STATS_BERNOULLI_SCAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sfa::stats {
+
+/// Which deviations of the inside rate count as signal.
+enum class ScanDirection {
+  kTwoSided,  ///< any inside/outside difference (the paper's default)
+  kHigh,      ///< inside rate above outside rate ("green" regions)
+  kLow,       ///< inside rate below outside rate ("red" regions)
+};
+
+const char* ScanDirectionToString(ScanDirection d);
+
+/// Maximized Bernoulli log-likelihood of k successes in m trials:
+/// k log(k/m) + (m-k) log(1-k/m), with the 0 log 0 = 0 convention.
+/// Requires 0 <= k <= m; returns 0 for m == 0.
+double MaxBernoulliLogLikelihood(uint64_t k, uint64_t m);
+
+/// Counts that parameterize one evaluation of the scan statistic.
+struct ScanCounts {
+  uint64_t n = 0;  ///< individuals inside the region
+  uint64_t p = 0;  ///< positives inside the region
+  uint64_t total_n = 0;  ///< N, individuals overall
+  uint64_t total_p = 0;  ///< P, positives overall
+
+  bool IsValid() const {
+    return p <= n && total_p <= total_n && n <= total_n && p <= total_p &&
+           (total_n - n) >= (total_p - p);
+  }
+
+  double inside_rate() const { return n == 0 ? 0.0 : static_cast<double>(p) / n; }
+  double outside_rate() const {
+    const uint64_t m = total_n - n;
+    return m == 0 ? 0.0 : static_cast<double>(total_p - p) / m;
+  }
+  double overall_rate() const {
+    return total_n == 0 ? 0.0 : static_cast<double>(total_p) / total_n;
+  }
+};
+
+/// Log-likelihood ratio Λ(R) >= 0 of the alternative (inside != outside)
+/// over the null (single rate). Returns 0 when the observed inside and
+/// outside rates coincide, or when the deviation does not match `direction`.
+double BernoulliLogLikelihoodRatio(const ScanCounts& counts,
+                                   ScanDirection direction = ScanDirection::kTwoSided);
+
+/// log L1max(R): the log of the paper's SUL (Eq. 1). Equals
+/// BernoulliLogLikelihoodRatio(counts) + log L0max.
+double LogSpatialUnfairnessLikelihood(const ScanCounts& counts);
+
+/// log L0max: maximized null log-likelihood for the whole dataset.
+double NullLogLikelihood(uint64_t total_p, uint64_t total_n);
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_BERNOULLI_SCAN_H_

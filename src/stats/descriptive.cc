@@ -1,0 +1,86 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sfa::stats {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance_population() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::variance_sample() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev_population() const {
+  return std::sqrt(variance_population());
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(count_) *
+             static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  return rs.mean();
+}
+
+double VariancePopulation(const std::vector<double>& values) {
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  return rs.variance_population();
+}
+
+double Quantile(std::vector<double> values, double q) {
+  SFA_CHECK(!values.empty());
+  SFA_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile " << q << " outside [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = static_cast<size_t>(std::ceil(pos));
+  if (lo == hi) return values[lo];
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double KthLargest(std::vector<double> values, size_t k) {
+  SFA_CHECK(k >= 1 && k <= values.size());
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(k - 1),
+                   values.end(), std::greater<double>());
+  return values[k - 1];
+}
+
+}  // namespace sfa::stats

@@ -1,0 +1,60 @@
+// Descriptive statistics: streaming mean/variance (Welford), order
+// statistics, and empirical quantiles. Variance is the population variance
+// by default because the MeanVar baseline of Xie et al. aggregates variances
+// of finite partition populations, not samples.
+#ifndef SFA_STATS_DESCRIPTIVE_H_
+#define SFA_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sfa::stats {
+
+/// Numerically stable streaming accumulator for mean and variance.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divide by n); 0 for fewer than 2 observations.
+  double variance_population() const;
+
+  /// Sample variance (divide by n-1); 0 for fewer than 2 observations.
+  double variance_sample() const;
+
+  double stddev_population() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `values` (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Population variance of `values`.
+double VariancePopulation(const std::vector<double>& values);
+
+/// Empirical quantile with linear interpolation between order statistics
+/// (type-7, the numpy/R default). q must be in [0, 1]; input need not be
+/// sorted. Requires non-empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// The k-th largest element (1-based: k=1 is the maximum). Requires
+/// 1 <= k <= values.size().
+double KthLargest(std::vector<double> values, size_t k);
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_DESCRIPTIVE_H_

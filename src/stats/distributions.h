@@ -1,0 +1,44 @@
+// Probability distributions needed by the audit framework and its tests:
+// exact binomial pmf/cdf (log-space, stable for large n), normal cdf, and
+// log-gamma. These back the false-alarm analysis (Fig. 6 of the paper) and
+// the property tests for the scan statistic.
+#ifndef SFA_STATS_DISTRIBUTIONS_H_
+#define SFA_STATS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+namespace sfa::stats {
+
+/// log Γ(x) for x > 0 (Lanczos approximation, |error| < 1e-13).
+double LogGamma(double x);
+
+/// log C(n, k); requires k <= n.
+double LogBinomialCoefficient(uint64_t n, uint64_t k);
+
+/// log P[Binomial(n, p) = k]. Handles p in {0, 1} exactly; -inf for
+/// impossible outcomes.
+double BinomialLogPmf(uint64_t k, uint64_t n, double p);
+
+/// P[Binomial(n, p) = k].
+double BinomialPmf(uint64_t k, uint64_t n, double p);
+
+/// P[Binomial(n, p) <= k], summed in the shorter tail for accuracy.
+double BinomialCdf(uint64_t k, uint64_t n, double p);
+
+/// P[Binomial(n, p) >= k].
+double BinomialSf(uint64_t k, uint64_t n, double p);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Standard normal density.
+double NormalPdf(double z);
+
+/// Two-sided binomial test p-value: probability under Binomial(n, p) of an
+/// outcome at most as probable as the observed k (minlike method, the same
+/// convention as R's binom.test).
+double BinomialTestTwoSided(uint64_t k, uint64_t n, double p);
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_DISTRIBUTIONS_H_

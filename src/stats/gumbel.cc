@@ -1,0 +1,51 @@
+#include "stats/gumbel.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "stats/descriptive.h"
+
+namespace sfa::stats {
+
+namespace {
+constexpr double kEulerMascheroni = 0.5772156649015329;
+}
+
+GumbelDistribution::GumbelDistribution(double mu, double beta)
+    : mu_(mu), beta_(beta) {
+  SFA_CHECK_MSG(beta > 0.0, "Gumbel scale must be positive, got " << beta);
+}
+
+double GumbelDistribution::Cdf(double x) const {
+  return std::exp(-std::exp(-(x - mu_) / beta_));
+}
+
+double GumbelDistribution::UpperTail(double x) const {
+  const double z = (x - mu_) / beta_;
+  // 1 - exp(-e^{-z}) = -expm1(-e^{-z}); for large z, e^{-z} underflows but
+  // -expm1(-t) ~ t keeps full precision.
+  return -std::expm1(-std::exp(-z));
+}
+
+double GumbelDistribution::Quantile(double q) const {
+  SFA_CHECK_MSG(q > 0.0 && q < 1.0, "quantile level " << q << " outside (0,1)");
+  return mu_ - beta_ * std::log(-std::log(q));
+}
+
+Result<GumbelDistribution> GumbelDistribution::FitMoments(
+    const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("Gumbel fit needs at least 2 samples");
+  }
+  RunningStats stats;
+  for (double v : samples) stats.Add(v);
+  const double sd = std::sqrt(stats.variance_sample());
+  if (!(sd > 0.0)) {
+    return Status::InvalidArgument("Gumbel fit needs non-constant samples");
+  }
+  const double beta = sd * std::sqrt(6.0) / M_PI;
+  const double mu = stats.mean() - kEulerMascheroni * beta;
+  return GumbelDistribution(mu, beta);
+}
+
+}  // namespace sfa::stats

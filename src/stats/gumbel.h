@@ -1,0 +1,51 @@
+// Gumbel (type-I extreme value) tail approximation for scan-statistic
+// p-values.
+//
+// A Monte Carlo null with W-1 worlds cannot resolve p-values below 1/W; yet
+// strong findings (the paper's Λ ≈ 1000 against a critical value of ~10)
+// deserve a quantitative tail estimate. Following the approach popularized
+// for spatial scan statistics by Abrams, Kulldorff & Kleinman (2010), the
+// null distribution of the *maximum* LLR across regions is approximately
+// Gumbel; fitting its two parameters to the simulated maxima by the method
+// of moments yields smooth, far-tail p-values that agree closely with the
+// empirical distribution in the range the simulation can check.
+#ifndef SFA_STATS_GUMBEL_H_
+#define SFA_STATS_GUMBEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace sfa::stats {
+
+/// Gumbel distribution with location mu and scale beta > 0:
+/// CDF F(x) = exp(-exp(-(x - mu)/beta)).
+class GumbelDistribution {
+ public:
+  GumbelDistribution(double mu, double beta);
+
+  double mu() const { return mu_; }
+  double beta() const { return beta_; }
+
+  /// P[X <= x].
+  double Cdf(double x) const;
+
+  /// Upper-tail probability P[X > x], evaluated stably for large x (uses
+  /// -expm1(-e^{-z}) so far-tail values do not round to zero prematurely).
+  double UpperTail(double x) const;
+
+  /// Quantile function: the x with F(x) = q, q in (0, 1).
+  double Quantile(double q) const;
+
+  /// Fits by the method of moments to samples (needs >= 2 distinct values):
+  /// beta = s * sqrt(6)/pi, mu = mean - gamma*beta (gamma: Euler-Mascheroni).
+  static Result<GumbelDistribution> FitMoments(const std::vector<double>& samples);
+
+ private:
+  double mu_;
+  double beta_;
+};
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_GUMBEL_H_

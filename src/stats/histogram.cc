@@ -1,0 +1,51 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::stats {
+
+Histogram::Histogram(double lo, double hi, uint32_t num_bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / num_bins), counts_(num_bins, 0) {
+  SFA_CHECK_MSG(lo < hi, "histogram range [" << lo << ", " << hi << ") is empty");
+  SFA_CHECK(num_bins >= 1);
+}
+
+void Histogram::Add(double value) {
+  auto bin = static_cast<int64_t>(std::floor((value - lo_) / bin_width_));
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+  raw_.push_back(value);
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double Histogram::BinLow(uint32_t b) const { return lo_ + b * bin_width_; }
+
+double Histogram::FractionAtOrAbove(double value) const {
+  if (total_ == 0) return 0.0;
+  const auto count = static_cast<uint64_t>(
+      std::count_if(raw_.begin(), raw_.end(), [&](double v) { return v >= value; }));
+  return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(uint32_t max_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (uint32_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<uint32_t>(counts_[b] * max_width / peak);
+    out += StrFormat("%10.3f | %-*s %llu\n", BinLow(b), static_cast<int>(max_width),
+                     std::string(bar, '#').c_str(),
+                     static_cast<unsigned long long>(counts_[b]));
+  }
+  return out;
+}
+
+}  // namespace sfa::stats

@@ -1,0 +1,46 @@
+// Fixed-bin histogram for summarizing Monte Carlo null distributions in
+// reports and benches.
+#ifndef SFA_STATS_HISTOGRAM_H_
+#define SFA_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfa::stats {
+
+class Histogram {
+ public:
+  /// Histogram of `num_bins` equal-width bins over [lo, hi). Values outside
+  /// the range are clamped into the first/last bin. Requires lo < hi and
+  /// num_bins >= 1.
+  Histogram(double lo, double hi, uint32_t num_bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  uint32_t num_bins() const { return static_cast<uint32_t>(counts_.size()); }
+  uint64_t total_count() const { return total_; }
+  uint64_t bin_count(uint32_t bin) const { return counts_[bin]; }
+
+  /// Inclusive-lower bin edge of bin `b`.
+  double BinLow(uint32_t b) const;
+
+  /// Fraction of mass at or above `value` (empirical upper tail).
+  double FractionAtOrAbove(double value) const;
+
+  /// Multi-line ASCII rendering (one bin per row with a bar).
+  std::string ToAscii(uint32_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  std::vector<double> raw_;  // kept for exact tail queries
+};
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_HISTOGRAM_H_

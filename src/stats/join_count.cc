@@ -1,0 +1,139 @@
+#include "stats/join_count.h"
+
+#include <algorithm>
+#include <cmath>
+
+
+#include "common/macros.h"
+#include "spatial/kdtree.h"
+
+namespace sfa::stats {
+
+Result<KnnGraph> BuildKnnGraph(const std::vector<geo::Point>& points, uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (points.size() <= k) {
+    return Status::InvalidArgument("need more than k points");
+  }
+  const spatial::KdTree tree(points);
+
+  // Collect each node's k nearest by expanding a square window around the
+  // point until it holds more than k candidates, then keeping the k nearest
+  // by distance. The initial window uses an average-spacing heuristic so the
+  // expected number of expansions is O(1) for roughly uniform densities.
+  const geo::Rect bbox = geo::Rect::BoundingBox(points);
+  const double initial_half = std::max(bbox.width(), bbox.height()) /
+                              std::sqrt(static_cast<double>(points.size())) * 1.5;
+  std::vector<std::vector<uint32_t>> neighbors(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    double half = std::max(initial_half, 1e-9);
+    std::vector<uint32_t> candidates;
+    for (int expand = 0; expand < 40; ++expand) {
+      candidates = tree.ReportRect(geo::Rect(points[i].x - half, points[i].y - half,
+                                             points[i].x + half,
+                                             points[i].y + half));
+      if (candidates.size() > k) break;
+      half *= 2.0;
+    }
+    SFA_CHECK_MSG(candidates.size() > k, "kNN window expansion failed");
+    std::sort(candidates.begin(), candidates.end(),
+              [&](uint32_t a, uint32_t b) {
+                return points[i].DistanceSquaredTo(points[a]) <
+                       points[i].DistanceSquaredTo(points[b]);
+              });
+    for (uint32_t c : candidates) {
+      if (c == i) continue;
+      neighbors[i].push_back(c);
+      if (neighbors[i].size() == k) break;
+    }
+  }
+
+  // Symmetrize and deduplicate.
+  std::vector<std::vector<uint32_t>> sym(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    for (uint32_t j : neighbors[i]) {
+      sym[i].push_back(j);
+      sym[j].push_back(i);
+    }
+  }
+  KnnGraph graph;
+  graph.begin.resize(points.size() + 1, 0);
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    std::sort(sym[i].begin(), sym[i].end());
+    sym[i].erase(std::unique(sym[i].begin(), sym[i].end()), sym[i].end());
+    graph.begin[i + 1] = graph.begin[i] + static_cast<uint32_t>(sym[i].size());
+  }
+  graph.neighbor_ids.reserve(graph.begin.back());
+  for (const auto& adj : sym) {
+    graph.neighbor_ids.insert(graph.neighbor_ids.end(), adj.begin(), adj.end());
+  }
+  return graph;
+}
+
+JoinCounts CountJoins(const KnnGraph& graph, const std::vector<uint8_t>& labels) {
+  SFA_CHECK(labels.size() == graph.num_nodes());
+  JoinCounts counts;
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) {
+    for (uint32_t e = graph.begin[i]; e < graph.begin[i + 1]; ++e) {
+      const uint32_t j = graph.neighbor_ids[e];
+      if (j <= i) continue;  // each undirected edge once
+      const int sum = labels[i] + labels[j];
+      if (sum == 2) {
+        ++counts.bb;
+      } else if (sum == 0) {
+        ++counts.ww;
+      } else {
+        ++counts.bw;
+      }
+    }
+  }
+  return counts;
+}
+
+double BinaryMoransI(const KnnGraph& graph, const std::vector<uint8_t>& labels) {
+  SFA_CHECK(labels.size() == graph.num_nodes());
+  const auto n = static_cast<double>(labels.size());
+  double mean = 0.0;
+  for (uint8_t label : labels) mean += label;
+  mean /= n;
+  double denominator = 0.0;
+  for (uint8_t label : labels) {
+    const double d = label - mean;
+    denominator += d * d;
+  }
+  if (denominator == 0.0) return 0.0;  // constant labels
+  double numerator = 0.0;
+  double weight_sum = 0.0;
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) {
+    for (uint32_t e = graph.begin[i]; e < graph.begin[i + 1]; ++e) {
+      const uint32_t j = graph.neighbor_ids[e];
+      numerator += (labels[i] - mean) * (labels[j] - mean);
+      weight_sum += 1.0;
+    }
+  }
+  if (weight_sum == 0.0) return 0.0;
+  return (n / weight_sum) * (numerator / denominator);
+}
+
+Result<double> MoransIPValue(const KnnGraph& graph,
+                             const std::vector<uint8_t>& labels,
+                             uint32_t num_worlds, uint64_t seed) {
+  if (num_worlds == 0) return Status::InvalidArgument("need >= 1 world");
+  if (labels.size() != graph.num_nodes()) {
+    return Status::InvalidArgument("labels do not match the graph");
+  }
+  double rho = 0.0;
+  for (uint8_t label : labels) rho += label;
+  rho /= static_cast<double>(labels.size());
+
+  const double observed = std::fabs(BinaryMoransI(graph, labels));
+  Rng rng(seed);
+  uint32_t at_least = 0;
+  std::vector<uint8_t> fake(labels.size());
+  for (uint32_t w = 0; w < num_worlds; ++w) {
+    for (auto& label : fake) label = rng.Bernoulli(rho) ? 1 : 0;
+    if (std::fabs(BinaryMoransI(graph, fake)) >= observed) ++at_least;
+  }
+  return static_cast<double>(1 + at_least) / static_cast<double>(num_worlds + 1);
+}
+
+}  // namespace sfa::stats

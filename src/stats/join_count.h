@@ -1,0 +1,62 @@
+// Classical spatial-autocorrelation diagnostics for binary outcomes:
+// join-count statistics and a binary Moran's I over a k-nearest-neighbor
+// graph.
+//
+// These are the tools a spatial statistician would reach for FIRST when
+// asked "do outcomes depend on location?" — and an instructive contrast to
+// the paper's framework: they detect *global* spatial autocorrelation with
+// one number but cannot localize it (no "where is it unfair?"), and their
+// null calibration assumes exchangeability rather than an explicit outcome
+// model. bench_ablation_autocorrelation compares them with the scan audit.
+#ifndef SFA_STATS_JOIN_COUNT_H_
+#define SFA_STATS_JOIN_COUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace sfa::stats {
+
+/// Symmetrized k-nearest-neighbor adjacency over 2-d points: edge (i, j)
+/// exists when j is among i's k nearest or vice versa. Self-edges excluded.
+struct KnnGraph {
+  /// CSR adjacency: neighbors of i are neighbor_ids[begin[i] .. begin[i+1]).
+  std::vector<uint32_t> begin;
+  std::vector<uint32_t> neighbor_ids;
+
+  size_t num_nodes() const { return begin.empty() ? 0 : begin.size() - 1; }
+  size_t num_edges() const { return neighbor_ids.size() / 2; }
+};
+
+/// Builds the symmetrized kNN graph (k >= 1; needs at least k+1 points).
+Result<KnnGraph> BuildKnnGraph(const std::vector<geo::Point>& points, uint32_t k);
+
+/// Join counts over a graph for binary labels: BB (both ends 1),
+/// WW (both 0), BW (mixed).
+struct JoinCounts {
+  uint64_t bb = 0;
+  uint64_t ww = 0;
+  uint64_t bw = 0;
+  uint64_t total() const { return bb + ww + bw; }
+};
+
+JoinCounts CountJoins(const KnnGraph& graph, const std::vector<uint8_t>& labels);
+
+/// Binary Moran's I over the graph (equal weights): I in [-1, 1]-ish, ~0
+/// under independence, positive when like outcomes cluster.
+double BinaryMoransI(const KnnGraph& graph, const std::vector<uint8_t>& labels);
+
+/// Permutation test for spatial autocorrelation: redraws labels as
+/// independent Bernoulli(rho) `num_worlds` times and returns the fraction of
+/// worlds whose |Moran's I| reaches the observed value (two-sided Monte
+/// Carlo p-value, observed world included).
+Result<double> MoransIPValue(const KnnGraph& graph,
+                             const std::vector<uint8_t>& labels,
+                             uint32_t num_worlds, uint64_t seed);
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_JOIN_COUNT_H_

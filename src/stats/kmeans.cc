@@ -1,0 +1,142 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace sfa::stats {
+
+namespace {
+
+// k-means++ seeding: each next center is drawn with probability proportional
+// to the squared distance from the nearest already-chosen center.
+std::vector<geo::Point> PlusPlusInit(const std::vector<geo::Point>& points,
+                                     uint32_t k, Rng* rng) {
+  std::vector<geo::Point> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->NextUint64(points.size())]);
+  std::vector<double> dist_sq(points.size(),
+                              std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist_sq[i] = std::min(dist_sq[i], points[i].DistanceSquaredTo(centers.back()));
+      total += dist_sq[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centers; duplicate one.
+      centers.push_back(centers.back());
+      continue;
+    }
+    double u = rng->NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      u -= dist_sq[i];
+      if (u < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<geo::Point>& points,
+                            const KMeansOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (points.size() < options.k) {
+    return Status::InvalidArgument(
+        StrFormat("k=%u exceeds number of points %zu", options.k, points.size()));
+  }
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centers = PlusPlusInit(points, options.k, &rng);
+  result.assignment.assign(points.size(), 0);
+  result.cluster_sizes.assign(options.k, 0);
+
+  // Parallel assignment with deterministic reduction: fixed chunking and a
+  // merge in chunk order keep floating-point sums identical for any thread
+  // count.
+  struct ChunkAccumulator {
+    std::vector<geo::Point> sums;
+    std::vector<uint32_t> counts;
+    double inertia = 0.0;
+  };
+  const size_t num_chunks =
+      std::min<size_t>(64, (points.size() + 1023) / 1024) + 1;
+  const size_t chunk_size = (points.size() + num_chunks - 1) / num_chunks;
+
+  std::vector<geo::Point> sums(options.k);
+  std::vector<ChunkAccumulator> chunks(num_chunks);
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    DefaultThreadPool().ParallelFor(num_chunks, [&](size_t chunk) {
+      ChunkAccumulator& acc = chunks[chunk];
+      acc.sums.assign(options.k, geo::Point{0.0, 0.0});
+      acc.counts.assign(options.k, 0u);
+      acc.inertia = 0.0;
+      const size_t begin = chunk * chunk_size;
+      const size_t end = std::min(points.size(), begin + chunk_size);
+      for (size_t i = begin; i < end; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        uint32_t best_c = 0;
+        for (uint32_t c = 0; c < options.k; ++c) {
+          const double d = points[i].DistanceSquaredTo(result.centers[c]);
+          if (d < best) {
+            best = d;
+            best_c = c;
+          }
+        }
+        result.assignment[i] = best_c;
+        ++acc.counts[best_c];
+        acc.sums[best_c] = acc.sums[best_c] + points[i];
+        acc.inertia += best;
+      }
+    });
+    std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0u);
+    std::fill(sums.begin(), sums.end(), geo::Point{0.0, 0.0});
+    result.inertia = 0.0;
+    for (const ChunkAccumulator& acc : chunks) {
+      for (uint32_t c = 0; c < options.k; ++c) {
+        result.cluster_sizes[c] += acc.counts[c];
+        sums[c] = sums[c] + acc.sums[c];
+      }
+      result.inertia += acc.inertia;
+    }
+    // Update step.
+    double movement = 0.0;
+    for (uint32_t c = 0; c < options.k; ++c) {
+      geo::Point new_center;
+      if (result.cluster_sizes[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its center.
+        size_t farthest = 0;
+        double farthest_d = -1.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+          const double d =
+              points[i].DistanceSquaredTo(result.centers[result.assignment[i]]);
+          if (d > farthest_d) {
+            farthest_d = d;
+            farthest = i;
+          }
+        }
+        new_center = points[farthest];
+      } else {
+        new_center = sums[c] * (1.0 / result.cluster_sizes[c]);
+      }
+      movement += new_center.DistanceSquaredTo(result.centers[c]);
+      result.centers[c] = new_center;
+    }
+    if (movement < options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace sfa::stats

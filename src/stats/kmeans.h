@@ -1,0 +1,41 @@
+// Lloyd's k-means with k-means++ initialization over 2-d points. The paper
+// places the centers of its square scan regions at the 100 k-means centers of
+// the observation locations (§4.3); this is the implementation behind
+// core::SquareScanFamily.
+#ifndef SFA_STATS_KMEANS_H_
+#define SFA_STATS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace sfa::stats {
+
+struct KMeansOptions {
+  uint32_t k = 8;
+  uint32_t max_iterations = 50;
+  /// Convergence threshold on total squared center movement per iteration.
+  double tolerance = 1e-7;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::vector<geo::Point> centers;       ///< k cluster centers
+  std::vector<uint32_t> assignment;      ///< cluster of each input point
+  std::vector<uint32_t> cluster_sizes;   ///< points per cluster
+  double inertia = 0.0;                  ///< sum of squared point-center distances
+  uint32_t iterations = 0;               ///< Lloyd iterations performed
+};
+
+/// Clusters `points` into options.k groups. Fails when k == 0 or k exceeds
+/// the number of points. Deterministic for a fixed seed. Empty clusters are
+/// re-seeded from the point farthest from its center.
+Result<KMeansResult> KMeans(const std::vector<geo::Point>& points,
+                            const KMeansOptions& options);
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_KMEANS_H_

@@ -1,0 +1,46 @@
+#include "stats/multinomial_scan.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sfa::stats {
+
+namespace {
+
+// k log(k/m) with the 0 log 0 convention.
+inline double XLogXOverM(uint64_t k, uint64_t m) {
+  if (k == 0) return 0.0;
+  SFA_DCHECK(m > 0);
+  return static_cast<double>(k) *
+         std::log(static_cast<double>(k) / static_cast<double>(m));
+}
+
+}  // namespace
+
+double MultinomialLogLikelihoodRatio(const std::vector<uint64_t>& inside,
+                                     const std::vector<uint64_t>& total) {
+  SFA_CHECK_MSG(!inside.empty(), "need at least one class");
+  SFA_CHECK_MSG(inside.size() == total.size(),
+                "inside has " << inside.size() << " classes, total "
+                              << total.size());
+  uint64_t n = 0, big_n = 0;
+  for (size_t k = 0; k < inside.size(); ++k) {
+    SFA_DCHECK(inside[k] <= total[k]);
+    n += inside[k];
+    big_n += total[k];
+  }
+  const uint64_t m = big_n - n;
+  if (n == 0 || m == 0) return 0.0;  // degenerate: alternative collapses
+
+  double llr = 0.0;
+  for (size_t k = 0; k < inside.size(); ++k) {
+    const uint64_t c = inside[k];
+    const uint64_t d = total[k] - c;
+    llr += XLogXOverM(c, n) + XLogXOverM(d, m) - XLogXOverM(total[k], big_n);
+  }
+  // Nested hypotheses: mathematically >= 0; clamp floating-point residue.
+  return llr < 0.0 ? 0.0 : llr;
+}
+
+}  // namespace sfa::stats

@@ -1,0 +1,32 @@
+// Multinomial spatial scan statistic (Jung, Kulldorff & Richard 2010) — the
+// multi-class generalization the paper's Bernoulli test derives from (§2.3,
+// §3 "The discussion that follows is based on the multinomial spatial scan
+// statistic").
+//
+// For K outcome classes, the null hypothesis holds one global class
+// distribution; the alternative allows a region with different class
+// proportions inside than outside. The log-likelihood ratio is
+//
+//   Λ(R) = Σ_k [ c_k log(c_k/n) + d_k log(d_k/m) − C_k log(C_k/N) ]
+//
+// with c_k/d_k/C_k the inside/outside/total counts of class k, n/m/N the
+// inside/outside/total sizes, and 0·log 0 := 0. For K = 2 this reduces
+// exactly to the two-sided Bernoulli scan LLR (a property test asserts it).
+#ifndef SFA_STATS_MULTINOMIAL_SCAN_H_
+#define SFA_STATS_MULTINOMIAL_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sfa::stats {
+
+/// Log-likelihood ratio for class counts inside a region vs the totals.
+/// `inside[k]` and `total[k]` are the class-k counts inside the region and
+/// overall; requires inside[k] <= total[k] and at least one class. Returns 0
+/// for degenerate regions (empty or everything).
+double MultinomialLogLikelihoodRatio(const std::vector<uint64_t>& inside,
+                                     const std::vector<uint64_t>& total);
+
+}  // namespace sfa::stats
+
+#endif  // SFA_STATS_MULTINOMIAL_SCAN_H_

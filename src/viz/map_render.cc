@@ -1,0 +1,70 @@
+#include "viz/map_render.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::viz {
+
+Result<std::string> RenderOutcomeMap(const data::OutcomeDataset& dataset,
+                                     const std::vector<MapRegion>& regions,
+                                     const MapOptions& options) {
+  SFA_RETURN_NOT_OK(dataset.Validate());
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  geo::Rect bounds = dataset.BoundingBox();
+  for (const MapRegion& region : regions) bounds = bounds.Union(region.rect);
+  if (!(bounds.Area() > 0.0)) {
+    return Status::InvalidArgument("degenerate map bounds");
+  }
+
+  uint32_t height = options.height;
+  if (height == 0) {
+    height = static_cast<uint32_t>(std::clamp(
+        options.width * bounds.height() / bounds.width(), 100.0, 4000.0));
+  }
+  SvgCanvas canvas(bounds, options.width, height);
+
+  // Outcome points: negatives first so positives remain visible on top in
+  // dense areas (matching the paper's green-over-red rendering).
+  const size_t n = dataset.size();
+  const size_t stride =
+      n <= options.max_points ? 1 : (n + options.max_points - 1) / options.max_points;
+  for (const uint8_t pass : {0, 1}) {
+    for (size_t i = 0; i < n; i += stride) {
+      if (dataset.predicted()[i] != pass) continue;
+      canvas.DrawPoint(dataset.locations()[i], options.point_radius_px,
+                       pass ? Color::Green() : Color::Red(),
+                       options.point_opacity);
+    }
+  }
+
+  for (const MapRegion& region : regions) {
+    canvas.DrawRect(region.rect, region.color, 2.0, /*fill_opacity=*/0.08);
+    if (!region.caption.empty()) {
+      canvas.DrawText({region.rect.min_x, region.rect.max_y}, region.caption, 12,
+                      region.color);
+    }
+  }
+  if (!options.title.empty()) {
+    canvas.DrawTextAtPixel(10, 18, options.title, 15);
+  }
+  return canvas.Finish();
+}
+
+Status WriteOutcomeMap(const data::OutcomeDataset& dataset,
+                       const std::vector<MapRegion>& regions,
+                       const std::string& path, const MapOptions& options) {
+  SFA_ASSIGN_OR_RETURN(std::string svg, RenderOutcomeMap(dataset, regions, options));
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << svg;
+  out.flush();
+  if (!out.good()) return Status::IOError("failed while writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace sfa::viz

@@ -1,0 +1,48 @@
+// Map renderings of audit inputs and outputs — the visual idiom of the
+// paper's figures: green/red outcome points, blue rectangles for flagged
+// regions, state outlines for context.
+#ifndef SFA_VIZ_MAP_RENDER_H_
+#define SFA_VIZ_MAP_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "geo/rect.h"
+#include "viz/svg.h"
+
+namespace sfa::viz {
+
+struct MapOptions {
+  uint32_t width = 1000;
+  /// Height 0 derives from the data aspect ratio (equirectangular).
+  uint32_t height = 0;
+  /// At most this many outcome points are drawn (uniformly strided).
+  size_t max_points = 20000;
+  double point_radius_px = 1.6;
+  double point_opacity = 0.55;
+  std::string title;
+};
+
+/// A rectangle to overlay (a finding, a planted region, a partition).
+struct MapRegion {
+  geo::Rect rect;
+  Color color = Color::Blue();
+  std::string caption;  ///< drawn beside the rectangle when non-empty
+};
+
+/// Renders the dataset as a green (positive) / red (negative) point map with
+/// region overlays, in the style of the paper's Figures 1-5.
+Result<std::string> RenderOutcomeMap(const data::OutcomeDataset& dataset,
+                                     const std::vector<MapRegion>& regions,
+                                     const MapOptions& options = {});
+
+/// Renders and writes to `path` (.svg).
+Status WriteOutcomeMap(const data::OutcomeDataset& dataset,
+                       const std::vector<MapRegion>& regions,
+                       const std::string& path, const MapOptions& options = {});
+
+}  // namespace sfa::viz
+
+#endif  // SFA_VIZ_MAP_RENDER_H_

@@ -1,0 +1,120 @@
+#include "viz/svg.h"
+
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace sfa::viz {
+
+std::string Color::ToHex() const { return StrFormat("#%02x%02x%02x", r, g, b); }
+
+SvgCanvas::SvgCanvas(const geo::Rect& data_bounds, uint32_t width, uint32_t height)
+    : bounds_(data_bounds.Expanded(
+          std::max(data_bounds.width(), data_bounds.height()) * 0.02)),
+      width_(width),
+      height_(height) {
+  SFA_CHECK_MSG(width > 0 && height > 0, "canvas must have positive size");
+  SFA_CHECK_MSG(bounds_.Area() > 0.0, "data bounds must have positive area");
+}
+
+geo::Point SvgCanvas::ToPixel(const geo::Point& data) const {
+  const double x = (data.x - bounds_.min_x) / bounds_.width() * width_;
+  // SVG y grows downward.
+  const double y = (1.0 - (data.y - bounds_.min_y) / bounds_.height()) * height_;
+  return {x, y};
+}
+
+void SvgCanvas::DrawPoint(const geo::Point& at, double radius_px, const Color& fill,
+                          double opacity) {
+  const geo::Point p = ToPixel(at);
+  body_ += StrFormat(
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\" "
+      "fill-opacity=\"%.3f\"/>\n",
+      p.x, p.y, radius_px, fill.ToHex().c_str(), opacity);
+}
+
+void SvgCanvas::DrawRect(const geo::Rect& rect, const Color& stroke,
+                         double stroke_px, double fill_opacity) {
+  const geo::Point top_left = ToPixel({rect.min_x, rect.max_y});
+  const geo::Point bottom_right = ToPixel({rect.max_x, rect.min_y});
+  body_ += StrFormat(
+      "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" "
+      "fill-opacity=\"%.3f\" stroke=\"%s\" stroke-width=\"%.2f\"/>\n",
+      top_left.x, top_left.y, bottom_right.x - top_left.x,
+      bottom_right.y - top_left.y, stroke.ToHex().c_str(), fill_opacity,
+      stroke.ToHex().c_str(), stroke_px);
+}
+
+void SvgCanvas::DrawPolygon(const geo::Polygon& polygon, const Color& stroke,
+                            double stroke_px) {
+  std::string points;
+  for (const geo::Point& v : polygon.vertices()) {
+    const geo::Point p = ToPixel(v);
+    points += StrFormat("%.2f,%.2f ", p.x, p.y);
+  }
+  body_ += StrFormat(
+      "<polygon points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.2f\"/>\n",
+      points.c_str(), stroke.ToHex().c_str(), stroke_px);
+}
+
+namespace {
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void SvgCanvas::DrawText(const geo::Point& at, const std::string& text,
+                         double size_px, const Color& fill) {
+  const geo::Point p = ToPixel(at);
+  DrawTextAtPixel(p.x, p.y, text, size_px, fill);
+}
+
+void SvgCanvas::DrawTextAtPixel(double x_px, double y_px, const std::string& text,
+                                double size_px, const Color& fill) {
+  body_ += StrFormat(
+      "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" font-family=\"sans-serif\" "
+      "fill=\"%s\">%s</text>\n",
+      x_px, y_px, size_px, fill.ToHex().c_str(), XmlEscape(text).c_str());
+}
+
+std::string SvgCanvas::Finish() const {
+  return StrFormat(
+             "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%u\" "
+             "height=\"%u\" viewBox=\"0 0 %u %u\">\n"
+             "<rect width=\"%u\" height=\"%u\" fill=\"white\"/>\n",
+             width_, height_, width_, height_, width_, height_) +
+         body_ + "</svg>\n";
+}
+
+Status SvgCanvas::WriteTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << Finish();
+  out.flush();
+  if (!out.good()) return Status::IOError("failed while writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace sfa::viz

@@ -1,0 +1,80 @@
+// Minimal SVG document builder: enough vector-graphics surface to regenerate
+// the paper's map figures (point clouds colored by outcome, rectangle
+// overlays for regions, polygon outlines, captions). Coordinates are given
+// in *data space*; the canvas maps a data rectangle onto the pixel viewport
+// with the y axis flipped (SVG y grows downward, latitude grows upward).
+#ifndef SFA_VIZ_SVG_H_
+#define SFA_VIZ_SVG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/polygon.h"
+#include "geo/rect.h"
+
+namespace sfa::viz {
+
+/// RGB color with CSS hex rendering.
+struct Color {
+  uint8_t r = 0, g = 0, b = 0;
+  std::string ToHex() const;
+
+  static Color Green() { return {0x2e, 0x8b, 0x57}; }
+  static Color Red() { return {0xd0, 0x31, 0x2d}; }
+  static Color Blue() { return {0x1f, 0x77, 0xb4}; }
+  static Color Orange() { return {0xff, 0x7f, 0x0e}; }
+  static Color Gray() { return {0x88, 0x88, 0x88}; }
+  static Color Black() { return {0x00, 0x00, 0x00}; }
+};
+
+class SvgCanvas {
+ public:
+  /// Canvas of `width` x `height` pixels showing `data_bounds` (plus a small
+  /// margin). Aspect ratio is not forced; pass proportionate sizes for
+  /// undistorted maps.
+  SvgCanvas(const geo::Rect& data_bounds, uint32_t width, uint32_t height);
+
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+
+  /// Data-space to pixel-space.
+  geo::Point ToPixel(const geo::Point& data) const;
+
+  /// Filled circle at a data-space location.
+  void DrawPoint(const geo::Point& at, double radius_px, const Color& fill,
+                 double opacity = 1.0);
+
+  /// Rectangle outline (optionally translucent fill) in data space.
+  void DrawRect(const geo::Rect& rect, const Color& stroke, double stroke_px = 1.5,
+                double fill_opacity = 0.0);
+
+  /// Closed polygon outline in data space.
+  void DrawPolygon(const geo::Polygon& polygon, const Color& stroke,
+                   double stroke_px = 1.0);
+
+  /// Text anchored at a data-space location (pixel-space font size).
+  void DrawText(const geo::Point& at, const std::string& text, double size_px = 12,
+                const Color& fill = Color::Black());
+
+  /// Text at a fixed pixel position (for titles/legends).
+  void DrawTextAtPixel(double x_px, double y_px, const std::string& text,
+                       double size_px = 12, const Color& fill = Color::Black());
+
+  /// Completed document.
+  std::string Finish() const;
+
+  /// Writes Finish() to `path`.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  geo::Rect bounds_;
+  uint32_t width_;
+  uint32_t height_;
+  std::string body_;
+};
+
+}  // namespace sfa::viz
+
+#endif  // SFA_VIZ_SVG_H_

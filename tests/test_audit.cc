@@ -1,0 +1,273 @@
+// Integration tests of the full audit pipeline — the paper's headline
+// claims at test scale: the unfair-by-design Synth dataset must be declared
+// unfair, the fair-by-design SemiSynth-style dataset fair, and the evidence
+// regions must be the planted ones.
+#include "core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/grid_family.h"
+#include "core/partitioning_family.h"
+#include "core/square_family.h"
+#include "data/synth.h"
+
+namespace sfa::core {
+namespace {
+
+AuditOptions FastOptions(double alpha = 0.01) {
+  AuditOptions opts;
+  opts.alpha = alpha;
+  opts.monte_carlo.num_worlds = 199;
+  opts.monte_carlo.seed = 1;
+  return opts;
+}
+
+data::OutcomeDataset FairUniform(size_t n, double rho, uint64_t seed) {
+  sfa::Rng rng(seed);
+  data::OutcomeDataset ds("fair-uniform");
+  for (size_t i = 0; i < n; ++i) {
+    ds.Add({rng.Uniform(0, 2), rng.Uniform(0, 1)}, rng.Bernoulli(rho) ? 1 : 0);
+  }
+  return ds;
+}
+
+TEST(Auditor, DeclaresSynthUnfair) {
+  data::SynthOptions synth;
+  synth.num_outcomes = 4000;
+  auto ds = data::MakeSynth(synth);
+  ASSERT_TRUE(ds.ok());
+  auto family = GridPartitionFamily::Create(ds->locations(), 8, 4);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions(0.01));
+  auto result = auditor.Audit(*ds, **family);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->spatially_fair);
+  EXPECT_LE(result->p_value, 0.01);
+  EXPECT_FALSE(result->findings.empty());
+  EXPECT_GT(result->tau, result->critical_value);
+}
+
+TEST(Auditor, DeclaresFairDataFair) {
+  const data::OutcomeDataset ds = FairUniform(4000, 0.5, 81);
+  auto family = GridPartitionFamily::Create(ds.locations(), 8, 4);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions(0.01));
+  auto result = auditor.Audit(ds, **family);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->spatially_fair) << "p=" << result->p_value;
+  EXPECT_GT(result->p_value, 0.01);
+}
+
+TEST(Auditor, FindingsAreRankedAndAboveCritical) {
+  data::SynthOptions synth;
+  synth.num_outcomes = 6000;
+  auto ds = data::MakeSynth(synth);
+  ASSERT_TRUE(ds.ok());
+  auto family = GridPartitionFamily::Create(ds->locations(), 10, 5);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions());
+  auto result = auditor.Audit(*ds, **family);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->findings.empty());
+  for (size_t i = 0; i < result->findings.size(); ++i) {
+    ASSERT_GT(result->findings[i].llr, result->critical_value);
+    if (i > 0) {
+      ASSERT_LE(result->findings[i].llr, result->findings[i - 1].llr);
+    }
+    // log SUL = Λ + log L0max (constant shift).
+    ASSERT_NEAR(result->findings[i].log_sul - result->findings[i].llr,
+                result->findings[0].log_sul - result->findings[0].llr, 1e-9);
+  }
+}
+
+TEST(Auditor, FindingCountsAreConsistent) {
+  data::SynthOptions synth;
+  synth.num_outcomes = 3000;
+  auto ds = data::MakeSynth(synth);
+  ASSERT_TRUE(ds.ok());
+  auto family = GridPartitionFamily::Create(ds->locations(), 6, 3);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions());
+  auto result = auditor.Audit(*ds, **family);
+  ASSERT_TRUE(result.ok());
+  for (const RegionFinding& f : result->findings) {
+    ASSERT_LE(f.p, f.n);
+    ASSERT_NEAR(f.local_rate,
+                static_cast<double>(f.p) / static_cast<double>(f.n), 1e-12);
+    ASSERT_EQ(f.n, (*family)->PointCount(f.region_index));
+  }
+  EXPECT_EQ(result->total_n, 3000u);
+  EXPECT_EQ(result->total_p, ds->PositiveCount());
+}
+
+TEST(Auditor, RejectsMismatchedFamily) {
+  const data::OutcomeDataset ds = FairUniform(100, 0.5, 82);
+  const data::OutcomeDataset other = FairUniform(200, 0.5, 83);
+  auto family = GridPartitionFamily::Create(other.locations(), 4, 4);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions());
+  EXPECT_TRUE(auditor.Audit(ds, **family).status().IsInvalidArgument());
+}
+
+TEST(Auditor, RejectsBadAlpha) {
+  const data::OutcomeDataset ds = FairUniform(100, 0.5, 84);
+  auto family = GridPartitionFamily::Create(ds.locations(), 2, 2);
+  ASSERT_TRUE(family.ok());
+  AuditOptions opts = FastOptions();
+  opts.alpha = 0.0;
+  EXPECT_TRUE(Auditor(opts).Audit(ds, **family).status().IsInvalidArgument());
+  opts.alpha = 1.0;
+  EXPECT_TRUE(Auditor(opts).Audit(ds, **family).status().IsInvalidArgument());
+}
+
+TEST(Auditor, EqualOpportunityMeasureAuditsTprSurface) {
+  // Ground truth everywhere positive rate 0.5; predictions perfect outside a
+  // planted zone where the model misses half the true positives.
+  sfa::Rng rng(85);
+  data::OutcomeDataset ds("model");
+  const geo::Rect bad_zone(0.0, 0.0, 0.5, 1.0);
+  for (size_t i = 0; i < 6000; ++i) {
+    const geo::Point loc(rng.Uniform(0, 2), rng.Uniform(0, 1));
+    const uint8_t actual = rng.Bernoulli(0.5) ? 1 : 0;
+    uint8_t predicted = actual;
+    if (actual == 1 && bad_zone.Contains(loc) && rng.Bernoulli(0.5)) {
+      predicted = 0;  // false negative cluster
+    }
+    ds.Add(loc, predicted, actual);
+  }
+  // Family must be bound to the *measure view* (Y=1 individuals).
+  auto view = BuildMeasureView(ds, FairnessMeasure::kEqualOpportunity);
+  ASSERT_TRUE(view.ok());
+  auto family = GridPartitionFamily::Create(view->locations(), 8, 4);
+  ASSERT_TRUE(family.ok());
+  AuditOptions opts = FastOptions();
+  opts.measure = FairnessMeasure::kEqualOpportunity;
+  const Auditor auditor(opts);
+  auto result = auditor.Audit(ds, **family);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->spatially_fair);
+  // The top finding must be inside the planted bad zone.
+  ASSERT_FALSE(result->findings.empty());
+  EXPECT_TRUE(bad_zone.Intersects(result->findings[0].rect));
+  EXPECT_LT(result->findings[0].local_rate, result->overall_rate);
+}
+
+TEST(Auditor, DirectionalAuditSeparatesRedAndGreen) {
+  data::SynthOptions synth;
+  synth.num_outcomes = 5000;
+  auto ds = data::MakeSynth(synth);
+  ASSERT_TRUE(ds.ok());
+  auto family = GridPartitionFamily::Create(ds->locations(), 6, 3);
+  ASSERT_TRUE(family.ok());
+
+  AuditOptions high_opts = FastOptions();
+  high_opts.direction = stats::ScanDirection::kHigh;
+  auto high = Auditor(high_opts).Audit(*ds, **family);
+  ASSERT_TRUE(high.ok());
+
+  AuditOptions low_opts = FastOptions();
+  low_opts.direction = stats::ScanDirection::kLow;
+  auto low = Auditor(low_opts).Audit(*ds, **family);
+  ASSERT_TRUE(low.ok());
+
+  const double mid_x = synth.extent.Center().x;
+  // Green (high) findings live in the left half, red (low) in the right.
+  for (const RegionFinding& f : high->findings) {
+    EXPECT_LT(f.rect.Center().x, mid_x) << f.label;
+    EXPECT_GT(f.local_rate, high->overall_rate);
+  }
+  for (const RegionFinding& f : low->findings) {
+    EXPECT_GT(f.rect.Center().x, mid_x) << f.label;
+    EXPECT_LT(f.local_rate, low->overall_rate);
+  }
+  EXPECT_FALSE(high->findings.empty());
+  EXPECT_FALSE(low->findings.empty());
+}
+
+TEST(Auditor, WorksWithPartitioningCollectionFamily) {
+  data::SynthOptions synth;
+  synth.num_outcomes = 3000;
+  auto ds = data::MakeSynth(synth);
+  ASSERT_TRUE(ds.ok());
+  sfa::Rng rng(86);
+  auto partitionings = geo::MakeRandomPartitionings(
+      geo::Rect::BoundingBox(ds->locations()).Expanded(1e-6), 10, 5, 15, &rng);
+  ASSERT_TRUE(partitionings.ok());
+  auto family =
+      PartitioningCollectionFamily::Create(ds->locations(), *partitionings);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions());
+  auto result = auditor.Audit(*ds, **family);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spatially_fair);
+}
+
+TEST(Auditor, WorksWithSquareScanFamily) {
+  data::SynthOptions synth;
+  synth.num_outcomes = 3000;
+  auto ds = data::MakeSynth(synth);
+  ASSERT_TRUE(ds.ok());
+  SquareScanOptions scan;
+  scan.centers = {{0.5, 0.5}, {1.0, 0.5}, {1.5, 0.5}};
+  scan.side_lengths = {0.4, 0.8};
+  auto family = SquareScanFamily::Create(ds->locations(), scan);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions());
+  auto result = auditor.Audit(*ds, **family);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spatially_fair);
+}
+
+TEST(Auditor, ResultIsDeterministicForFixedSeed) {
+  const data::OutcomeDataset ds = FairUniform(1000, 0.4, 87);
+  auto family = GridPartitionFamily::Create(ds.locations(), 5, 5);
+  ASSERT_TRUE(family.ok());
+  const Auditor auditor(FastOptions());
+  auto a = auditor.Audit(ds, **family);
+  auto b = auditor.Audit(ds, **family);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->p_value, b->p_value);
+  EXPECT_EQ(a->tau, b->tau);
+  EXPECT_EQ(a->critical_value, b->critical_value);
+  EXPECT_EQ(a->findings.size(), b->findings.size());
+}
+
+// Calibration sweep: the type-I error of the audit at level alpha should be
+// near alpha. Run many fair worlds through a small audit and count
+// rejections. (Statistical test with generous tolerance.)
+class CalibrationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrationSweep, TypeIErrorIsControlled) {
+  const double alpha = GetParam();
+  sfa::Rng rng(88);
+  // One shared location cloud; labels redrawn per trial.
+  std::vector<geo::Point> pts(600);
+  for (auto& p : pts) p = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+  auto family = GridPartitionFamily::Create(pts, 4, 4);
+  ASSERT_TRUE(family.ok());
+
+  AuditOptions opts;
+  opts.alpha = alpha;
+  opts.monte_carlo.num_worlds = 99;
+
+  int rejections = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    data::OutcomeDataset ds("calibration");
+    for (const auto& p : pts) ds.Add(p, rng.Bernoulli(0.5) ? 1 : 0);
+    opts.monte_carlo.seed = 1000 + static_cast<uint64_t>(trial);
+    auto result = Auditor(opts).Audit(ds, **family);
+    ASSERT_TRUE(result.ok());
+    rejections += result->spatially_fair ? 0 : 1;
+  }
+  // E[rejections] = alpha * trials; allow ~4 standard deviations.
+  const double expected = alpha * trials;
+  const double sigma = std::sqrt(trials * alpha * (1 - alpha));
+  EXPECT_LE(rejections, expected + 4 * sigma + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CalibrationSweep, ::testing::Values(0.05, 0.1));
+
+}  // namespace
+}  // namespace sfa::core

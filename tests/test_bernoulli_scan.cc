@@ -1,0 +1,183 @@
+// Tests for the Bernoulli scan statistic — the mathematical heart of the
+// audit. Verifies the closed forms against direct binomial log-likelihood
+// evaluation and checks every invariant the paper relies on.
+#include "stats/bernoulli_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfa::stats {
+namespace {
+
+// Direct evaluation of k log(k/m) + (m-k) log(1-k/m).
+double NaiveLL(uint64_t k, uint64_t m) {
+  if (m == 0) return 0.0;
+  const double kd = static_cast<double>(k), md = static_cast<double>(m);
+  double ll = 0.0;
+  if (k > 0) ll += kd * std::log(kd / md);
+  if (k < m) ll += (md - kd) * std::log1p(-kd / md);
+  return ll;
+}
+
+TEST(MaxBernoulliLogLikelihood, MatchesDirectFormula) {
+  EXPECT_NEAR(MaxBernoulliLogLikelihood(3, 10), NaiveLL(3, 10), 1e-12);
+  EXPECT_NEAR(MaxBernoulliLogLikelihood(500, 1000), NaiveLL(500, 1000), 1e-9);
+}
+
+TEST(MaxBernoulliLogLikelihood, ZeroLogZeroConvention) {
+  // All-or-nothing outcomes have likelihood 1 → log-likelihood 0.
+  EXPECT_DOUBLE_EQ(MaxBernoulliLogLikelihood(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(MaxBernoulliLogLikelihood(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(MaxBernoulliLogLikelihood(0, 0), 0.0);
+}
+
+TEST(MaxBernoulliLogLikelihood, IsNegativeForMixedOutcomes) {
+  for (uint64_t k = 1; k < 10; ++k) {
+    EXPECT_LT(MaxBernoulliLogLikelihood(k, 10), 0.0) << k;
+  }
+}
+
+TEST(MaxBernoulliLogLikelihood, SymmetricInSuccessFailure) {
+  for (uint64_t k = 0; k <= 20; ++k) {
+    EXPECT_NEAR(MaxBernoulliLogLikelihood(k, 20),
+                MaxBernoulliLogLikelihood(20 - k, 20), 1e-12);
+  }
+}
+
+TEST(ScanCounts, RatesAndValidity) {
+  ScanCounts c{.n = 10, .p = 4, .total_n = 100, .total_p = 40};
+  EXPECT_TRUE(c.IsValid());
+  EXPECT_DOUBLE_EQ(c.inside_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(c.outside_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(c.overall_rate(), 0.4);
+  // Inconsistent: more positives inside than total positives.
+  ScanCounts bad{.n = 10, .p = 9, .total_n = 100, .total_p = 5};
+  EXPECT_FALSE(bad.IsValid());
+}
+
+TEST(LogLikelihoodRatio, ZeroWhenRatesEqual) {
+  // Inside rate == outside rate → alternative collapses to the null.
+  ScanCounts c{.n = 50, .p = 20, .total_n = 150, .total_p = 60};
+  EXPECT_DOUBLE_EQ(BernoulliLogLikelihoodRatio(c), 0.0);
+}
+
+TEST(LogLikelihoodRatio, ZeroForDegenerateRegions) {
+  ScanCounts empty{.n = 0, .p = 0, .total_n = 100, .total_p = 40};
+  EXPECT_DOUBLE_EQ(BernoulliLogLikelihoodRatio(empty), 0.0);
+  ScanCounts everything{.n = 100, .p = 40, .total_n = 100, .total_p = 40};
+  EXPECT_DOUBLE_EQ(BernoulliLogLikelihoodRatio(everything), 0.0);
+}
+
+TEST(LogLikelihoodRatio, MatchesHandComputedExample) {
+  // n=10 all positive inside; outside 90 with 30 positive.
+  const ScanCounts c{.n = 10, .p = 10, .total_n = 100, .total_p = 40};
+  const double alt = NaiveLL(10, 10) + NaiveLL(30, 90);
+  const double null = NaiveLL(40, 100);
+  EXPECT_NEAR(BernoulliLogLikelihoodRatio(c), alt - null, 1e-12);
+  EXPECT_GT(BernoulliLogLikelihoodRatio(c), 0.0);
+}
+
+TEST(LogLikelihoodRatio, GrowsWithEffectSize) {
+  // Same inside size, increasingly extreme inside rate.
+  const double llr_mild = BernoulliLogLikelihoodRatio(
+      ScanCounts{.n = 100, .p = 60, .total_n = 1000, .total_p = 500});
+  const double llr_strong = BernoulliLogLikelihoodRatio(
+      ScanCounts{.n = 100, .p = 90, .total_n = 1000, .total_p = 500});
+  EXPECT_GT(llr_strong, llr_mild);
+}
+
+TEST(LogLikelihoodRatio, GrowsWithSampleSizeAtFixedRates) {
+  // Doubling all counts at the same rates roughly doubles the LLR.
+  const ScanCounts small{.n = 100, .p = 70, .total_n = 1000, .total_p = 500};
+  const ScanCounts big{.n = 200, .p = 140, .total_n = 2000, .total_p = 1000};
+  const double llr_small = BernoulliLogLikelihoodRatio(small);
+  const double llr_big = BernoulliLogLikelihoodRatio(big);
+  EXPECT_NEAR(llr_big, 2.0 * llr_small, 1e-9);
+}
+
+TEST(LogLikelihoodRatio, SparseExtremeRegionScoresLow) {
+  // The paper's Fig. 2 contrast: five all-negative points in a big dataset
+  // score ~1 nat; a dense moderate deviation scores hundreds.
+  const double sparse = BernoulliLogLikelihoodRatio(
+      ScanCounts{.n = 5, .p = 0, .total_n = 206418, .total_p = 127286});
+  const double dense = BernoulliLogLikelihoodRatio(
+      ScanCounts{.n = 8000, .p = 6720, .total_n = 206418, .total_p = 127286});
+  EXPECT_LT(sparse, 10.0);
+  EXPECT_GT(dense, 100.0);
+  EXPECT_GT(sparse, 0.0);
+}
+
+TEST(LogLikelihoodRatio, DirectionalFiltering) {
+  const ScanCounts high{.n = 100, .p = 90, .total_n = 1000, .total_p = 500};
+  const ScanCounts low{.n = 100, .p = 10, .total_n = 1000, .total_p = 500};
+  // Two-sided sees both.
+  EXPECT_GT(BernoulliLogLikelihoodRatio(high, ScanDirection::kTwoSided), 0.0);
+  EXPECT_GT(BernoulliLogLikelihoodRatio(low, ScanDirection::kTwoSided), 0.0);
+  // kHigh sees only the elevated region.
+  EXPECT_GT(BernoulliLogLikelihoodRatio(high, ScanDirection::kHigh), 0.0);
+  EXPECT_DOUBLE_EQ(BernoulliLogLikelihoodRatio(low, ScanDirection::kHigh), 0.0);
+  // kLow sees only the depressed region.
+  EXPECT_DOUBLE_EQ(BernoulliLogLikelihoodRatio(high, ScanDirection::kLow), 0.0);
+  EXPECT_GT(BernoulliLogLikelihoodRatio(low, ScanDirection::kLow), 0.0);
+}
+
+TEST(LogLikelihoodRatio, TwoSidedIsMaxOfDirectional) {
+  const ScanCounts c{.n = 30, .p = 25, .total_n = 300, .total_p = 150};
+  const double two = BernoulliLogLikelihoodRatio(c, ScanDirection::kTwoSided);
+  const double hi = BernoulliLogLikelihoodRatio(c, ScanDirection::kHigh);
+  const double lo = BernoulliLogLikelihoodRatio(c, ScanDirection::kLow);
+  EXPECT_DOUBLE_EQ(two, std::max(hi, lo));
+}
+
+TEST(LogSpatialUnfairnessLikelihood, DecomposesAsLlrPlusNull) {
+  const ScanCounts c{.n = 40, .p = 30, .total_n = 400, .total_p = 100};
+  const double log_sul = LogSpatialUnfairnessLikelihood(c);
+  const double llr = BernoulliLogLikelihoodRatio(c);
+  const double null = NullLogLikelihood(c.total_p, c.total_n);
+  EXPECT_NEAR(log_sul, llr + null, 1e-12);
+  // SUL is a likelihood (<= 1), so its log is <= 0.
+  EXPECT_LE(log_sul, 0.0);
+}
+
+TEST(ScanDirectionToString, Names) {
+  EXPECT_STREQ(ScanDirectionToString(ScanDirection::kTwoSided), "two-sided");
+  EXPECT_STREQ(ScanDirectionToString(ScanDirection::kHigh), "high (green)");
+  EXPECT_STREQ(ScanDirectionToString(ScanDirection::kLow), "low (red)");
+}
+
+// Property sweep: Λ >= 0 always, equals 0 iff rates coincide, and the
+// alternative likelihood never falls below the null (Eq. 1's case split).
+class LlrGridSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(LlrGridSweep, NonNegativityAndNesting) {
+  const auto [n, total_n] = GetParam();
+  for (uint64_t p = 0; p <= n; ++p) {
+    for (uint64_t total_p = p; total_p <= total_n - (n - p); ++total_p) {
+      const ScanCounts c{.n = n, .p = p, .total_n = total_n, .total_p = total_p};
+      ASSERT_TRUE(c.IsValid());
+      const double llr = BernoulliLogLikelihoodRatio(c);
+      ASSERT_GE(llr, 0.0);
+      const bool rates_equal =
+          std::abs(c.inside_rate() - c.outside_rate()) < 1e-12;
+      if (rates_equal) {
+        ASSERT_DOUBLE_EQ(llr, 0.0);
+      }
+      // Eq. 1: log L1max = max(alt, null) → log SUL >= log L0max.
+      ASSERT_GE(LogSpatialUnfairnessLikelihood(c) + 1e-9,
+                NullLogLikelihood(total_p, total_n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LlrGridSweep,
+    ::testing::Values(std::make_tuple<uint64_t, uint64_t>(1, 10),
+                      std::make_tuple<uint64_t, uint64_t>(5, 10),
+                      std::make_tuple<uint64_t, uint64_t>(9, 10),
+                      std::make_tuple<uint64_t, uint64_t>(10, 30),
+                      std::make_tuple<uint64_t, uint64_t>(25, 40)));
+
+}  // namespace
+}  // namespace sfa::stats

@@ -1,0 +1,153 @@
+// Tests for streaming statistics, quantiles, and order statistics.
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sfa::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance_population(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance_population(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance_population(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(rs.stddev_population(), 2.0);
+  EXPECT_NEAR(rs.variance_sample(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesNaiveOnRandomData) {
+  sfa::Rng rng(3);
+  std::vector<double> values(5000);
+  RunningStats rs;
+  double sum = 0.0;
+  for (double& v : values) {
+    v = rng.Uniform(-50, 50);
+    rs.Add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  EXPECT_NEAR(rs.mean(), mean, 1e-9);
+  EXPECT_NEAR(rs.variance_population(), sq / static_cast<double>(values.size()),
+              1e-7);
+}
+
+TEST(RunningStats, NumericallyStableAtLargeOffset) {
+  // Naive sum-of-squares catastrophically cancels here; Welford must not.
+  RunningStats rs;
+  const double offset = 1e9;
+  for (double v : {offset + 1, offset + 2, offset + 3}) rs.Add(v);
+  EXPECT_NEAR(rs.variance_population(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  sfa::Rng rng(4);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(3.0, 7.0);
+    all.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance_population(), all.variance_population(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean_before = a.mean();
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(MeanAndVariance, FreeFunctions) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(VariancePopulation({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(VariancePopulation({0.0, 2.0}), 1.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  // Type-7 on {10, 20}: q=0.25 → 12.5.
+  EXPECT_DOUBLE_EQ(Quantile({10.0, 20.0}, 0.25), 12.5);
+  EXPECT_DOUBLE_EQ(Quantile({10.0, 20.0, 30.0, 40.0}, 1.0 / 3), 20.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile({42.0}, 0.73), 42.0);
+}
+
+TEST(KthLargest, Basics) {
+  const std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(KthLargest(v, 1), 5.0);
+  EXPECT_DOUBLE_EQ(KthLargest(v, 3), 3.0);
+  EXPECT_DOUBLE_EQ(KthLargest(v, 5), 1.0);
+}
+
+TEST(KthLargest, WithDuplicates) {
+  const std::vector<double> v = {2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(KthLargest(v, 1), 2.0);
+  EXPECT_DOUBLE_EQ(KthLargest(v, 2), 2.0);
+  EXPECT_DOUBLE_EQ(KthLargest(v, 3), 1.0);
+}
+
+// Property sweep: quantile is monotone in q and bracketed by min/max.
+class QuantileSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantileSweep, MonotoneAndBracketed) {
+  sfa::Rng rng(GetParam());
+  std::vector<double> v(257);
+  for (double& x : v) x = rng.Normal(0, 10);
+  double prev = Quantile(v, 0.0);
+  for (int i = 1; i <= 20; ++i) {
+    const double q = Quantile(v, i / 20.0);
+    ASSERT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), *std::min_element(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), *std::max_element(v.begin(), v.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sfa::stats

@@ -1,0 +1,150 @@
+// Tests for the probability distribution helpers against known values and
+// cross-identities (pmf sums, cdf complements, normal symmetry).
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfa::stats {
+namespace {
+
+TEST(LogGamma, MatchesFactorials) {
+  // Γ(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);                    // 0! = 1
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);                    // 1! = 1
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);         // 4! = 24
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);    // 10!
+}
+
+TEST(LogGamma, HalfIntegerValues) {
+  // Γ(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  // Γ(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogBinomialCoefficient, SmallValues) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 5), std::log(252.0), 1e-9);
+  EXPECT_DOUBLE_EQ(LogBinomialCoefficient(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomialCoefficient(7, 7), 0.0);
+}
+
+TEST(LogBinomialCoefficient, Symmetry) {
+  for (uint64_t k = 0; k <= 30; ++k) {
+    EXPECT_NEAR(LogBinomialCoefficient(30, k), LogBinomialCoefficient(30, 30 - k),
+                1e-9);
+  }
+}
+
+TEST(BinomialPmf, KnownValues) {
+  // Binomial(4, 0.5): pmf = 1/16, 4/16, 6/16, 4/16, 1/16.
+  EXPECT_NEAR(BinomialPmf(0, 4, 0.5), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(2, 4, 0.5), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 4, 0.5), 1.0 / 16, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(0, 5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(1, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(4, 5, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, ImpossibleOutcome) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(6, 5, 0.5), 0.0);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (double p : {0.1, 0.37, 0.5, 0.93}) {
+    double total = 0.0;
+    for (uint64_t k = 0; k <= 25; ++k) total += BinomialPmf(k, 25, p);
+    EXPECT_NEAR(total, 1.0, 1e-10) << p;
+  }
+}
+
+TEST(BinomialCdf, MatchesPartialSums) {
+  const uint64_t n = 30;
+  const double p = 0.42;
+  double partial = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    partial += BinomialPmf(k, n, p);
+    EXPECT_NEAR(BinomialCdf(k, n, p), partial, 1e-10) << k;
+  }
+  EXPECT_DOUBLE_EQ(BinomialCdf(n, n, p), 1.0);
+}
+
+TEST(BinomialCdf, LargeNStability) {
+  // Median of Binomial(10^5, 0.5) → CDF at n/2 is ~0.5.
+  EXPECT_NEAR(BinomialCdf(50000, 100000, 0.5), 0.5, 0.01);
+  EXPECT_NEAR(BinomialCdf(49000, 100000, 0.5), 0.0, 1e-6);
+  EXPECT_NEAR(BinomialCdf(51000, 100000, 0.5), 1.0, 1e-6);
+}
+
+TEST(BinomialSf, ComplementsCdf) {
+  const uint64_t n = 20;
+  const double p = 0.3;
+  for (uint64_t k = 1; k <= n; ++k) {
+    EXPECT_NEAR(BinomialSf(k, n, p), 1.0 - BinomialCdf(k - 1, n, p), 1e-10);
+  }
+  EXPECT_DOUBLE_EQ(BinomialSf(0, n, p), 1.0);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959964), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959964), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double z : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(NormalCdf(z) + NormalCdf(-z), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalPdf, PeakAndSymmetry) {
+  EXPECT_NEAR(NormalPdf(0.0), 1.0 / std::sqrt(2 * M_PI), 1e-12);
+  EXPECT_NEAR(NormalPdf(1.5), NormalPdf(-1.5), 1e-15);
+}
+
+TEST(BinomialTestTwoSided, FairCoinExtremes) {
+  // 0 heads in 10 fair flips: p = 2 * (1/1024) ≈ 0.00195.
+  EXPECT_NEAR(BinomialTestTwoSided(0, 10, 0.5), 2.0 / 1024, 1e-9);
+  // 5 heads in 10 is the mode: p = 1.
+  EXPECT_NEAR(BinomialTestTwoSided(5, 10, 0.5), 1.0, 1e-9);
+}
+
+TEST(BinomialTestTwoSided, FiveNegativesExample) {
+  // The paper's Fig. 2(a) intuition: a region of 5 points all-negative when
+  // the global negative rate is 0.38 is NOT statistically surprising.
+  // Observing k=0 positives among n=5 at rho=0.62.
+  const double p_value = BinomialTestTwoSided(0, 5, 0.62);
+  EXPECT_GT(p_value, 0.005);  // not significant at the paper's level
+}
+
+// Property sweep: CDF is monotone in k and bounded in [0, 1].
+class BinomialCdfSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(BinomialCdfSweep, MonotoneAndBounded) {
+  const auto [n, p] = GetParam();
+  double prev = -1.0;
+  for (uint64_t k = 0; k <= n; ++k) {
+    const double c = BinomialCdf(k, n, p);
+    ASSERT_GE(c, prev - 1e-12);
+    ASSERT_GE(c, 0.0);
+    ASSERT_LE(c, 1.0);
+    prev = c;
+  }
+  ASSERT_NEAR(prev, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, BinomialCdfSweep,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 10, 100),
+                       ::testing::Values(0.01, 0.3, 0.5, 0.8, 0.99)));
+
+}  // namespace
+}  // namespace sfa::stats

@@ -1,0 +1,125 @@
+// Tests for the joint equal-odds audit.
+#include "core/equal_odds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/grid_family.h"
+
+namespace sfa::core {
+namespace {
+
+FamilyFactory GridFactory(uint32_t g) {
+  return [g](const std::vector<geo::Point>& locations)
+             -> Result<std::unique_ptr<RegionFamily>> {
+    SFA_ASSIGN_OR_RETURN(std::unique_ptr<GridPartitionFamily> family,
+                         GridPartitionFamily::Create(locations, g, g));
+    return std::unique_ptr<RegionFamily>(std::move(family));
+  };
+}
+
+AuditOptions FastOptions() {
+  AuditOptions opts;
+  opts.alpha = 0.02;
+  opts.monte_carlo.num_worlds = 199;
+  return opts;
+}
+
+// Model with a TPR hole in one zone and an FPR spike in another.
+data::OutcomeDataset MakeModel(bool tpr_hole, bool fpr_spike, uint64_t seed) {
+  Rng rng(seed);
+  data::OutcomeDataset ds("model");
+  const geo::Rect tpr_zone(0.0, 0.0, 3.0, 10.0);
+  const geo::Rect fpr_zone(7.0, 0.0, 10.0, 10.0);
+  for (int i = 0; i < 8000; ++i) {
+    const geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    const uint8_t actual = rng.Bernoulli(0.5) ? 1 : 0;
+    uint8_t predicted = actual;
+    // Baseline noise both ways.
+    if (rng.Bernoulli(0.1)) predicted ^= 1;
+    if (tpr_hole && actual == 1 && tpr_zone.Contains(loc) && rng.Bernoulli(0.4)) {
+      predicted = 0;
+    }
+    if (fpr_spike && actual == 0 && fpr_zone.Contains(loc) && rng.Bernoulli(0.4)) {
+      predicted = 1;
+    }
+    ds.Add(loc, predicted, actual);
+  }
+  return ds;
+}
+
+TEST(EqualOdds, RequiresGroundTruth) {
+  data::OutcomeDataset ds;
+  ds.Add({0, 0}, 1);
+  EXPECT_TRUE(AuditEqualOdds(ds, GridFactory(4), FastOptions())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(EqualOdds, CleanModelIsFair) {
+  const data::OutcomeDataset ds = MakeModel(false, false, 81);
+  auto result = AuditEqualOdds(ds, GridFactory(5), FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->spatially_fair)
+      << "tpr p=" << result->tpr.p_value << " fpr p=" << result->fpr.p_value;
+  EXPECT_TRUE(result->tpr.spatially_fair);
+  EXPECT_TRUE(result->fpr.spatially_fair);
+}
+
+TEST(EqualOdds, TprHoleAloneViolatesEqualOdds) {
+  const data::OutcomeDataset ds = MakeModel(true, false, 82);
+  auto result = AuditEqualOdds(ds, GridFactory(5), FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spatially_fair);
+  EXPECT_FALSE(result->tpr.spatially_fair);
+  EXPECT_TRUE(result->fpr.spatially_fair);
+  // The evidence sits in the planted TPR zone.
+  ASSERT_FALSE(result->tpr.findings.empty());
+  EXPECT_LT(result->tpr.findings[0].rect.Center().x, 4.0);
+}
+
+TEST(EqualOdds, FprSpikeAloneViolatesEqualOdds) {
+  const data::OutcomeDataset ds = MakeModel(false, true, 83);
+  auto result = AuditEqualOdds(ds, GridFactory(5), FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spatially_fair);
+  EXPECT_TRUE(result->tpr.spatially_fair);
+  EXPECT_FALSE(result->fpr.spatially_fair);
+  ASSERT_FALSE(result->fpr.findings.empty());
+  EXPECT_GT(result->fpr.findings[0].rect.Center().x, 6.0);
+}
+
+TEST(EqualOdds, BothHolesFlagBothSurfaces) {
+  const data::OutcomeDataset ds = MakeModel(true, true, 84);
+  auto result = AuditEqualOdds(ds, GridFactory(5), FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spatially_fair);
+  EXPECT_FALSE(result->tpr.spatially_fair);
+  EXPECT_FALSE(result->fpr.spatially_fair);
+}
+
+TEST(EqualOdds, ComponentsTestAtHalfAlpha) {
+  const data::OutcomeDataset ds = MakeModel(false, false, 85);
+  AuditOptions opts = FastOptions();
+  opts.alpha = 0.1;
+  auto result = AuditEqualOdds(ds, GridFactory(4), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->alpha, 0.1);
+  EXPECT_DOUBLE_EQ(result->tpr.alpha, 0.05);
+  EXPECT_DOUBLE_EQ(result->fpr.alpha, 0.05);
+}
+
+TEST(EqualOdds, FactoryErrorsPropagate) {
+  const data::OutcomeDataset ds = MakeModel(false, false, 86);
+  FamilyFactory failing =
+      [](const std::vector<geo::Point>&) -> Result<std::unique_ptr<RegionFamily>> {
+    return Status::Internal("factory boom");
+  };
+  const Status status = AuditEqualOdds(ds, failing, FastOptions()).status();
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfa::core

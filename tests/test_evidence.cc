@@ -1,0 +1,109 @@
+// Tests for evidence post-processing: top-k, best-per-group, and greedy
+// non-overlapping selection.
+#include "core/evidence.h"
+
+#include <gtest/gtest.h>
+
+namespace sfa::core {
+namespace {
+
+RegionFinding MakeFinding(double llr, const geo::Rect& rect, uint32_t group = 0) {
+  RegionFinding f;
+  f.llr = llr;
+  f.rect = rect;
+  f.group = group;
+  f.significant = true;
+  return f;
+}
+
+TEST(TopK, TakesPrefix) {
+  std::vector<RegionFinding> findings = {
+      MakeFinding(9, {0, 0, 1, 1}), MakeFinding(5, {2, 2, 3, 3}),
+      MakeFinding(1, {4, 4, 5, 5})};
+  EXPECT_EQ(TopK(findings, 2).size(), 2u);
+  EXPECT_DOUBLE_EQ(TopK(findings, 2)[0].llr, 9.0);
+  EXPECT_EQ(TopK(findings, 10).size(), 3u);
+  EXPECT_TRUE(TopK(findings, 0).empty());
+  EXPECT_TRUE(TopK({}, 3).empty());
+}
+
+TEST(BestPerGroup, KeepsMaxLlrPerGroup) {
+  std::vector<RegionFinding> findings = {
+      MakeFinding(3, {0, 0, 1, 1}, /*group=*/0),
+      MakeFinding(7, {0, 0, 2, 2}, /*group=*/0),
+      MakeFinding(5, {4, 4, 5, 5}, /*group=*/1),
+      MakeFinding(2, {4, 4, 6, 6}, /*group=*/1),
+      MakeFinding(1, {8, 8, 9, 9}, /*group=*/2)};
+  const auto best = BestPerGroup(findings);
+  ASSERT_EQ(best.size(), 3u);
+  // Sorted by LLR descending.
+  EXPECT_DOUBLE_EQ(best[0].llr, 7.0);
+  EXPECT_DOUBLE_EQ(best[1].llr, 5.0);
+  EXPECT_DOUBLE_EQ(best[2].llr, 1.0);
+  EXPECT_EQ(best[0].group, 0u);
+}
+
+TEST(BestPerGroup, EmptyInput) { EXPECT_TRUE(BestPerGroup({}).empty()); }
+
+TEST(SelectNonOverlapping, KeepsDisjointRegions) {
+  std::vector<RegionFinding> findings = {
+      MakeFinding(10, {0, 0, 2, 2}),   // kept (best)
+      MakeFinding(8, {1, 1, 3, 3}),    // overlaps the first → dropped
+      MakeFinding(6, {5, 5, 7, 7}),    // disjoint → kept
+      MakeFinding(4, {6, 6, 8, 8}),    // overlaps the third → dropped
+      MakeFinding(2, {9, 9, 10, 10}),  // disjoint → kept
+  };
+  const auto kept = SelectNonOverlapping(findings);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].llr, 10.0);
+  EXPECT_DOUBLE_EQ(kept[1].llr, 6.0);
+  EXPECT_DOUBLE_EQ(kept[2].llr, 2.0);
+  // Pairwise disjoint.
+  for (size_t i = 0; i < kept.size(); ++i) {
+    for (size_t j = i + 1; j < kept.size(); ++j) {
+      EXPECT_FALSE(kept[i].rect.Intersects(kept[j].rect));
+    }
+  }
+}
+
+TEST(SelectNonOverlapping, SortsByLlrBeforeSelecting) {
+  // Input deliberately unsorted: the low-LLR overlapping region must lose
+  // even though it comes first.
+  std::vector<RegionFinding> findings = {
+      MakeFinding(1, {0, 0, 2, 2}),
+      MakeFinding(9, {1, 1, 3, 3}),
+  };
+  const auto kept = SelectNonOverlapping(findings);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].llr, 9.0);
+}
+
+TEST(SelectNonOverlapping, TouchingEdgesDoNotOverlap) {
+  std::vector<RegionFinding> findings = {
+      MakeFinding(5, {0, 0, 1, 1}),
+      MakeFinding(4, {1, 0, 2, 1}),  // shares an edge only
+  };
+  EXPECT_EQ(SelectNonOverlapping(findings).size(), 2u);
+}
+
+TEST(SelectNonOverlapping, EmptyInput) {
+  EXPECT_TRUE(SelectNonOverlapping({}).empty());
+}
+
+TEST(EvidencePipeline, BestPerGroupThenNonOverlapping) {
+  // Two scan centers, several side lengths each, as in the paper's Fig. 5
+  // procedure: first the best region per center, then the overlap filter.
+  std::vector<RegionFinding> findings = {
+      MakeFinding(3, {0, 0, 1, 1}, 0), MakeFinding(8, {0, 0, 4, 4}, 0),
+      MakeFinding(6, {3, 3, 5, 5}, 1), MakeFinding(2, {3, 3, 6, 6}, 1)};
+  const auto best = BestPerGroup(findings);
+  ASSERT_EQ(best.size(), 2u);
+  const auto kept = SelectNonOverlapping(best);
+  // Center 0's best (llr 8, rect 0..4) overlaps center 1's best (llr 6,
+  // rect 3..5) → only the stronger survives.
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].llr, 8.0);
+}
+
+}  // namespace
+}  // namespace sfa::core

@@ -1,0 +1,134 @@
+// Tests for GeoJSON / CSV export of audit artifacts.
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace sfa::core {
+namespace {
+
+RegionFinding MakeFinding(double llr, const geo::Rect& rect,
+                          const std::string& label = "r") {
+  RegionFinding f;
+  f.llr = llr;
+  f.rect = rect;
+  f.label = label;
+  f.n = 100;
+  f.p = 40;
+  f.local_rate = 0.4;
+  return f;
+}
+
+TEST(FindingsToGeoJson, EmptyCollection) {
+  EXPECT_EQ(FindingsToGeoJson({}),
+            "{\"type\":\"FeatureCollection\",\"features\":[]}");
+}
+
+TEST(FindingsToGeoJson, StructureAndProperties) {
+  const std::string json = FindingsToGeoJson(
+      {MakeFinding(12.5, geo::Rect(-80.5, 25.0, -80.0, 25.5), "miami")});
+  EXPECT_NE(json.find("\"type\":\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"Polygon\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"n\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"local_rate\":0.400000"), std::string::npos);
+  EXPECT_NE(json.find("\"llr\":12.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"miami\""), std::string::npos);
+  // The ring is closed: first coordinate appears twice.
+  EXPECT_NE(json.find("[-80.500000,25.000000],[-80.000000,25.000000]"),
+            std::string::npos);
+}
+
+TEST(FindingsToGeoJson, EscapesLabels) {
+  const std::string json = FindingsToGeoJson(
+      {MakeFinding(1.0, geo::Rect(0, 0, 1, 1), "say \"hi\"\nback\\slash")});
+  EXPECT_NE(json.find("say \\\"hi\\\"\\nback\\\\slash"), std::string::npos);
+}
+
+TEST(FindingsToGeoJson, MultipleFeaturesCommaSeparated) {
+  const std::string json =
+      FindingsToGeoJson({MakeFinding(2.0, geo::Rect(0, 0, 1, 1)),
+                         MakeFinding(1.0, geo::Rect(2, 2, 3, 3))});
+  EXPECT_NE(json.find("\"rank\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rank\":2"), std::string::npos);
+  EXPECT_NE(json.find("},{"), std::string::npos);
+}
+
+TEST(DatasetToGeoJson, PointsWithOutcomes) {
+  data::OutcomeDataset ds("x");
+  ds.Add({1.0, 2.0}, 1);
+  ds.Add({3.0, 4.0}, 0);
+  const std::string json = DatasetToGeoJson(ds);
+  EXPECT_NE(json.find("\"type\":\"Point\""), std::string::npos);
+  EXPECT_NE(json.find("[1.000000,2.000000]"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":0"), std::string::npos);
+}
+
+TEST(DatasetToGeoJson, StridesDownLargeDatasets) {
+  data::OutcomeDataset ds("big");
+  for (int i = 0; i < 1000; ++i) {
+    ds.Add({static_cast<double>(i), 0.0}, 0);
+  }
+  const std::string json = DatasetToGeoJson(ds, /*max_points=*/100);
+  // Count features by counting "Point".
+  size_t count = 0;
+  for (size_t pos = json.find("Point"); pos != std::string::npos;
+       pos = json.find("Point", pos + 1)) {
+    ++count;
+  }
+  EXPECT_LE(count, 100u);
+  EXPECT_GE(count, 90u);
+}
+
+class ExportFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("sfa_export_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST_F(ExportFileTest, WriteFindingsGeoJsonRoundTrip) {
+  ASSERT_TRUE(
+      WriteFindingsGeoJson({MakeFinding(3.0, geo::Rect(0, 0, 1, 1))}, path())
+          .ok());
+  std::ifstream in(path());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, FindingsToGeoJson({MakeFinding(3.0, geo::Rect(0, 0, 1, 1))}));
+}
+
+TEST_F(ExportFileTest, WriteFindingsCsvHasHeaderAndRows) {
+  ASSERT_TRUE(WriteFindingsCsv({MakeFinding(3.0, geo::Rect(0, 0, 1, 1), "a"),
+                                MakeFinding(2.0, geo::Rect(2, 2, 3, 3), "b")},
+                               path())
+                  .ok());
+  std::ifstream in(path());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "rank,min_lon,min_lat,max_lon,max_lat,n,p,local_rate,llr,label");
+  std::getline(in, line);
+  EXPECT_NE(line.find("1,0.000000,0.000000,1.000000,1.000000,100,40"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"a\""), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find("\"b\""), std::string::npos);
+}
+
+TEST(ExportErrors, UnwritablePathIsIOError) {
+  EXPECT_TRUE(WriteFindingsGeoJson({}, "/nonexistent/dir/out.geojson").IsIOError());
+  EXPECT_TRUE(WriteFindingsCsv({}, "/nonexistent/dir/out.csv").IsIOError());
+}
+
+}  // namespace
+}  // namespace sfa::core

@@ -1,0 +1,335 @@
+// Tests for the dataset generators: Synth, SemiSynth, LarSim, CrimeSim.
+// These verify the structural properties the paper's evaluation depends on,
+// at reduced sizes for speed.
+#include <gtest/gtest.h>
+
+#include "data/crime_sim.h"
+#include "data/lar_sim.h"
+#include "data/synth.h"
+#include "data/us_geography.h"
+#include "geo/grid.h"
+
+namespace sfa::data {
+namespace {
+
+TEST(Synth, RejectsBadOptions) {
+  SynthOptions opts;
+  opts.num_outcomes = 0;
+  EXPECT_FALSE(MakeSynth(opts).ok());
+  opts = SynthOptions();
+  opts.left_positive_rate = 1.5;
+  EXPECT_FALSE(MakeSynth(opts).ok());
+  opts = SynthOptions();
+  opts.extent = geo::Rect(0, 0, 0, 1);
+  EXPECT_FALSE(MakeSynth(opts).ok());
+}
+
+TEST(Synth, HalvesHaveDesignedRates) {
+  SynthOptions opts;
+  opts.num_outcomes = 20000;
+  auto ds = MakeSynth(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 20000u);
+  const double mid_x = opts.extent.Center().x;
+  uint64_t left_n = 0, left_p = 0, right_n = 0, right_p = 0;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    if (ds->locations()[i].x < mid_x) {
+      ++left_n;
+      left_p += ds->predicted()[i];
+    } else {
+      ++right_n;
+      right_p += ds->predicted()[i];
+    }
+  }
+  EXPECT_EQ(left_n, 10000u);
+  EXPECT_EQ(right_n, 10000u);
+  // Left rate ≈ 2/3, right ≈ 1/3 (the paper's "twice as many positives").
+  EXPECT_NEAR(static_cast<double>(left_p) / left_n, 2.0 / 3, 0.02);
+  EXPECT_NEAR(static_cast<double>(right_p) / right_n, 1.0 / 3, 0.02);
+}
+
+TEST(Synth, AllPointsInsideExtent) {
+  SynthOptions opts;
+  opts.num_outcomes = 1000;
+  auto ds = MakeSynth(opts);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& p : ds->locations()) {
+    EXPECT_TRUE(opts.extent.Contains(p));
+  }
+}
+
+TEST(Synth, DeterministicForSeed) {
+  SynthOptions opts;
+  opts.num_outcomes = 500;
+  auto a = MakeSynth(opts);
+  auto b = MakeSynth(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->predicted(), b->predicted());
+  EXPECT_EQ(a->locations()[123], b->locations()[123]);
+  opts.seed += 1;
+  auto c = MakeSynth(opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->predicted(), c->predicted());
+}
+
+TEST(SemiSynth, SamplesInsideFloridaWithFairLabels) {
+  // Base locations: a grid straddling Florida and the Atlantic.
+  std::vector<geo::Point> base;
+  for (double lon = -84.0; lon <= -78.0; lon += 0.1) {
+    for (double lat = 25.0; lat <= 31.0; lat += 0.1) {
+      base.push_back({lon, lat});
+    }
+  }
+  SemiSynthOptions opts;
+  opts.num_outcomes = 5000;
+  auto ds = MakeSemiSynth(base, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 5000u);
+  const geo::Polygon& florida = FloridaOutline();
+  for (const auto& p : ds->locations()) {
+    ASSERT_TRUE(florida.Contains(p));
+  }
+  EXPECT_NEAR(ds->PositiveRate(), 0.5, 0.02);
+}
+
+TEST(SemiSynth, FailsWithoutFloridaLocations) {
+  const std::vector<geo::Point> base = {{-74.0, 40.7}, {-118.2, 34.0}};
+  EXPECT_TRUE(MakeSemiSynth(base, {}).status().IsFailedPrecondition());
+}
+
+TEST(SemiSynthStandalone, GeneratesClusteredFloridaLocations) {
+  SemiSynthOptions opts;
+  opts.num_outcomes = 8000;
+  auto ds = MakeSemiSynthStandalone(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 8000u);
+  const geo::Polygon& florida = FloridaOutline();
+  for (const auto& p : ds->locations()) ASSERT_TRUE(florida.Contains(p));
+  EXPECT_NEAR(ds->PositiveRate(), 0.5, 0.02);
+  // Locations are (a) essentially all distinct and (b) strongly clustered:
+  // a Miami-sized box should hold far more than its area share.
+  EXPECT_GT(ds->CountDistinctLocations(), 7990u);
+  const geo::Rect miami(-80.6, 25.4, -79.9, 26.2);
+  size_t in_miami = 0;
+  for (const auto& p : ds->locations()) in_miami += miami.Contains(p);
+  EXPECT_GT(in_miami, 8000u / 20);  // >5% of points in <1% of the state bbox
+}
+
+TEST(SemiSynthStandalone, RejectsBadRuralFraction) {
+  SemiSynthOptions opts;
+  opts.rural_fraction = 1.5;
+  EXPECT_FALSE(MakeSemiSynthStandalone(opts).ok());
+}
+
+TEST(SemiSynthStandalone, DeterministicForSeed) {
+  SemiSynthOptions opts;
+  opts.num_outcomes = 500;
+  auto a = MakeSemiSynthStandalone(opts);
+  auto b = MakeSemiSynthStandalone(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->predicted(), b->predicted());
+  EXPECT_EQ(a->locations()[17], b->locations()[17]);
+}
+
+LarSimOptions SmallLar() {
+  LarSimOptions opts;
+  opts.num_locations = 5000;
+  opts.num_applications = 20000;
+  return opts;
+}
+
+TEST(LarSim, RejectsBadOptions) {
+  LarSimOptions opts = SmallLar();
+  opts.num_applications = 100;  // fewer than locations
+  EXPECT_FALSE(MakeLarSim(opts).ok());
+  opts = SmallLar();
+  opts.overall_positive_rate = 1.5;
+  EXPECT_FALSE(MakeLarSim(opts).ok());
+  opts = SmallLar();
+  opts.planted.push_back({"bad", geo::Rect(0, 0, 1, 1), 2.0});
+  EXPECT_FALSE(MakeLarSim(opts).ok());
+}
+
+TEST(LarSim, HitsTargetPositiveRate) {
+  auto result = MakeLarSim(SmallLar());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dataset.size(), 20000u);
+  EXPECT_NEAR(result->dataset.PositiveRate(), 0.62, 0.02);
+}
+
+TEST(LarSim, PlantedRegionsHavePlantedRates) {
+  LarSimOptions opts = SmallLar();
+  opts.num_applications = 100000;
+  opts.num_locations = 20000;
+  auto result = MakeLarSim(opts);
+  ASSERT_TRUE(result.ok());
+  // Check the strongest planted regions empirically.
+  for (size_t r = 0; r < opts.planted.size(); ++r) {
+    const PlantedRegion& region = opts.planted[r];
+    uint64_t n = 0, p = 0;
+    for (size_t i = 0; i < result->dataset.size(); ++i) {
+      if (region.rect.Contains(result->dataset.locations()[i])) {
+        // Respect first-match-wins: skip points claimed by earlier regions.
+        bool claimed_earlier = false;
+        for (size_t q = 0; q < r; ++q) {
+          if (opts.planted[q].rect.Contains(result->dataset.locations()[i])) {
+            claimed_earlier = true;
+            break;
+          }
+        }
+        if (claimed_earlier) continue;
+        ++n;
+        p += result->dataset.predicted()[i];
+      }
+    }
+    ASSERT_EQ(n, result->planted_counts[r]) << region.label;
+    if (n >= 500) {
+      EXPECT_NEAR(static_cast<double>(p) / static_cast<double>(n),
+                  region.positive_rate, 0.05)
+          << region.label;
+    }
+  }
+}
+
+TEST(LarSim, LocationsAreIrregular) {
+  // Spatial density must be highly non-uniform (metro clustering): the most
+  // crowded 10% of grid cells should hold well over half the points.
+  auto result = MakeLarSim(SmallLar());
+  ASSERT_TRUE(result.ok());
+  auto grid = geo::GridSpec::Create(ContinentalUsBounds(), 40, 20);
+  ASSERT_TRUE(grid.ok());
+  std::vector<uint32_t> counts(grid->num_cells(), 0);
+  for (const auto& p : result->dataset.locations()) {
+    if (grid->Covers(p)) ++counts[grid->CellOf(p)];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<uint32_t>());
+  uint64_t total = 0, top = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < counts.size() / 10) top += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.6);
+}
+
+TEST(LarSim, NoPlantedRegionsMeansUniformRate) {
+  LarSimOptions opts = SmallLar();
+  opts.planted.clear();
+  auto result = MakeLarSim(opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->base_rate, 0.62, 1e-9);
+  EXPECT_NEAR(result->dataset.PositiveRate(), 0.62, 0.02);
+  EXPECT_TRUE(result->planted_counts.empty());
+}
+
+TEST(LarSim, DeterministicForSeed) {
+  auto a = MakeLarSim(SmallLar());
+  auto b = MakeLarSim(SmallLar());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->dataset.predicted(), b->dataset.predicted());
+  EXPECT_EQ(a->base_rate, b->base_rate);
+}
+
+CrimeSimOptions SmallCrime() {
+  CrimeSimOptions opts;
+  opts.num_incidents = 30000;
+  return opts;
+}
+
+TEST(CrimeSim, GeneratesIncidentsInLaBounds) {
+  auto sim = MakeCrimeIncidents(SmallCrime());
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim->table.num_rows(), 30000u);
+  EXPECT_EQ(sim->table.num_features(), 7u);
+  EXPECT_EQ(sim->locations.size(), 30000u);
+  const geo::Rect la = LosAngelesBounds();
+  for (const auto& p : sim->locations) {
+    ASSERT_TRUE(p.x >= la.min_x && p.x <= la.max_x);
+    ASSERT_TRUE(p.y >= la.min_y && p.y <= la.max_y);
+  }
+}
+
+TEST(CrimeSim, FeatureRangesAreValid) {
+  auto sim = MakeCrimeIncidents(SmallCrime());
+  ASSERT_TRUE(sim.ok());
+  for (size_t i = 0; i < sim->table.num_rows(); ++i) {
+    ASSERT_LT(sim->table.Feature(i, 0), 24);   // hour
+    ASSERT_LT(sim->table.Feature(i, 1), 21);   // precinct
+    ASSERT_LT(sim->table.Feature(i, 2), 10);   // age bucket
+    ASSERT_LT(sim->table.Feature(i, 3), 3);    // sex
+    ASSERT_LT(sim->table.Feature(i, 4), 6);    // descent
+    ASSERT_LT(sim->table.Feature(i, 5), 10);   // premise
+    ASSERT_LT(sim->table.Feature(i, 6), 8);    // weapon
+  }
+}
+
+TEST(CrimeSim, SeriousRateIsModerate) {
+  auto sim = MakeCrimeIncidents(SmallCrime());
+  ASSERT_TRUE(sim.ok());
+  const double rate = sim->table.PositiveRate();
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.45);
+}
+
+TEST(CrimeSim, RejectsBadScramble) {
+  CrimeSimOptions opts = SmallCrime();
+  opts.hollywood_scramble = 1.5;
+  EXPECT_FALSE(MakeCrimeIncidents(opts).ok());
+}
+
+TEST(CrimeAudit, EndToEndBundle) {
+  CrimeAuditOptions opts;
+  opts.sim.num_incidents = 40000;
+  opts.forest.num_trees = 8;
+  opts.forest.tree.max_depth = 8;
+  auto bundle = BuildCrimeAudit(opts);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ(bundle->num_test, 12000u);
+  EXPECT_GT(bundle->model_accuracy, 0.7);
+  EXPECT_GT(bundle->global_tpr, 0.3);
+  EXPECT_LT(bundle->global_tpr, 0.95);
+  // The equal-opportunity view holds only Y=1 individuals, and its positive
+  // rate equals the model's TPR.
+  ASSERT_TRUE(bundle->equal_opportunity.has_actual());
+  for (uint8_t y : bundle->equal_opportunity.actual()) ASSERT_EQ(y, 1);
+  EXPECT_NEAR(bundle->equal_opportunity.PositiveRate(), bundle->global_tpr, 1e-9);
+  EXPECT_EQ(bundle->equal_opportunity.size(), bundle->num_test_positives);
+}
+
+TEST(CrimeAudit, HollywoodTprIsDepressed) {
+  CrimeAuditOptions opts;
+  opts.sim.num_incidents = 120000;
+  opts.forest.num_trees = 10;
+  auto bundle = BuildCrimeAudit(opts);
+  ASSERT_TRUE(bundle.ok());
+  // Hollywood precinct center ±0.03 deg (location noise sigma).
+  const geo::Rect hollywood(-118.33 - 0.06, 34.10 - 0.06, -118.33 + 0.06,
+                            34.10 + 0.06);
+  uint64_t n = 0, p = 0;
+  const auto& eo = bundle->equal_opportunity;
+  for (size_t i = 0; i < eo.size(); ++i) {
+    if (hollywood.Contains(eo.locations()[i])) {
+      ++n;
+      p += eo.predicted()[i];
+    }
+  }
+  ASSERT_GT(n, 100u);
+  const double local_tpr = static_cast<double>(p) / static_cast<double>(n);
+  EXPECT_LT(local_tpr, bundle->global_tpr - 0.03);
+}
+
+TEST(UsGeography, MetroTableIsPlausible) {
+  const auto& metros = UsMetros();
+  EXPECT_GT(metros.size(), 50u);
+  const geo::Rect us = ContinentalUsBounds();
+  for (const Metro& m : metros) {
+    EXPECT_TRUE(us.Contains(m.center)) << m.name;
+    EXPECT_GT(m.population_m, 0.0);
+  }
+  // Sorted descending by population.
+  for (size_t i = 1; i < metros.size(); ++i) {
+    EXPECT_GE(metros[i - 1].population_m, metros[i].population_m);
+  }
+}
+
+}  // namespace
+}  // namespace sfa::data

@@ -1,0 +1,114 @@
+// Tests for GridSpec: cell addressing, clamped max edges, and assignment.
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace sfa::geo {
+namespace {
+
+GridSpec MakeGrid(const Rect& extent, uint32_t nx, uint32_t ny) {
+  auto grid = GridSpec::Create(extent, nx, ny);
+  EXPECT_TRUE(grid.ok()) << grid.status();
+  return *grid;
+}
+
+TEST(GridSpec, RejectsDegenerateInputs) {
+  EXPECT_FALSE(GridSpec::Create(Rect(0, 0, 1, 1), 0, 5).ok());
+  EXPECT_FALSE(GridSpec::Create(Rect(0, 0, 1, 1), 5, 0).ok());
+  EXPECT_FALSE(GridSpec::Create(Rect(0, 0, 0, 1), 2, 2).ok());  // zero width
+  EXPECT_FALSE(GridSpec::Create(Rect(1, 1, 1, 1), 2, 2).ok());
+  EXPECT_FALSE(GridSpec::Create(Rect(0, 0, 1, 1), 1u << 16, 1u << 16).ok());
+}
+
+TEST(GridSpec, BasicGeometry) {
+  const GridSpec g = MakeGrid(Rect(0, 0, 10, 4), 5, 2);
+  EXPECT_EQ(g.nx(), 5u);
+  EXPECT_EQ(g.ny(), 2u);
+  EXPECT_EQ(g.num_cells(), 10u);
+  EXPECT_DOUBLE_EQ(g.cell_width(), 2.0);
+  EXPECT_DOUBLE_EQ(g.cell_height(), 2.0);
+}
+
+TEST(GridSpec, CellOfInteriorPoints) {
+  const GridSpec g = MakeGrid(Rect(0, 0, 10, 10), 10, 10);
+  EXPECT_EQ(g.CellOf({0.5, 0.5}), 0u);
+  EXPECT_EQ(g.CellOf({9.5, 0.5}), 9u);
+  EXPECT_EQ(g.CellOf({0.5, 9.5}), 90u);
+  EXPECT_EQ(g.CellOf({9.5, 9.5}), 99u);
+  EXPECT_EQ(g.CellOf({5.5, 3.5}), 35u);
+}
+
+TEST(GridSpec, MaxEdgePointsClampIntoLastCells) {
+  const GridSpec g = MakeGrid(Rect(0, 0, 10, 10), 10, 10);
+  EXPECT_TRUE(g.Covers({10.0, 10.0}));
+  EXPECT_EQ(g.CellOf({10.0, 5.0}), 59u);
+  EXPECT_EQ(g.CellOf({5.0, 10.0}), 95u);
+  EXPECT_EQ(g.CellOf({10.0, 10.0}), 99u);
+}
+
+TEST(GridSpec, CellBoundariesBelongToUpperCell) {
+  const GridSpec g = MakeGrid(Rect(0, 0, 10, 10), 10, 10);
+  // x = 3.0 is the boundary between columns 2 and 3; half-open cells put it
+  // in column 3.
+  EXPECT_EQ(g.ColumnOf(3.0), 3u);
+  EXPECT_EQ(g.RowOf(7.0), 7u);
+}
+
+TEST(GridSpec, CellRectRoundTrip) {
+  const GridSpec g = MakeGrid(Rect(-2, -2, 2, 2), 4, 4);
+  for (uint32_t id = 0; id < g.num_cells(); ++id) {
+    const Rect cell = g.CellRectById(id);
+    EXPECT_EQ(g.CellOf(cell.Center()), id);
+  }
+}
+
+TEST(GridSpec, CellRectsTileTheExtent) {
+  const GridSpec g = MakeGrid(Rect(0, 0, 6, 3), 3, 3);
+  double total_area = 0.0;
+  for (uint32_t id = 0; id < g.num_cells(); ++id) {
+    total_area += g.CellRectById(id).Area();
+  }
+  EXPECT_NEAR(total_area, g.extent().Area(), 1e-9);
+}
+
+TEST(GridSpec, AssignCellsFlagsOutsiders) {
+  const GridSpec g = MakeGrid(Rect(0, 0, 1, 1), 2, 2);
+  const std::vector<Point> pts = {{0.25, 0.25}, {1.5, 0.5}, {0.75, 0.75},
+                                  {-0.1, 0.5}};
+  const std::vector<uint32_t> cells = g.AssignCells(pts);
+  EXPECT_EQ(cells[0], 0u);
+  EXPECT_EQ(cells[1], GridSpec::kInvalidCell);
+  EXPECT_EQ(cells[2], 3u);
+  EXPECT_EQ(cells[3], GridSpec::kInvalidCell);
+}
+
+// Property sweep: every covered point maps to the cell whose rect contains
+// it (or the clamped boundary cell).
+class GridRoundTripSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(GridRoundTripSweep, PointToCellToRectConsistency) {
+  const auto [nx, ny] = GetParam();
+  const GridSpec g = MakeGrid(Rect(-3, 2, 7, 12), nx, ny);
+  for (int i = 0; i <= 20; ++i) {
+    for (int j = 0; j <= 20; ++j) {
+      const Point p(-3.0 + 10.0 * i / 20.0, 2.0 + 10.0 * j / 20.0);
+      ASSERT_TRUE(g.Covers(p));
+      const uint32_t cell = g.CellOf(p);
+      const Rect r = g.CellRectById(cell);
+      // Either properly inside, or on the grid's global max edge (clamped).
+      const bool inside = r.Contains(p);
+      const bool on_max_edge = p.x == 7.0 || p.y == 12.0;
+      ASSERT_TRUE(inside || on_max_edge)
+          << "point " << p.x << "," << p.y << " cell " << cell;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GridRoundTripSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 7u, 100u),
+                       ::testing::Values(1u, 3u, 50u)));
+
+}  // namespace
+}  // namespace sfa::geo

@@ -1,0 +1,150 @@
+// Tests for rectangular partitionings: construction, assignment via binary
+// search, and the random generator used by the MeanVar experiments.
+#include "geo/partitioning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sfa::geo {
+namespace {
+
+const Rect kExtent(0.0, 0.0, 10.0, 10.0);
+
+TEST(Partitioning, CreateValidatesSplits) {
+  EXPECT_TRUE(Partitioning::Create(kExtent, {2.0, 5.0}, {3.0}).ok());
+  // Splits on or outside the boundary are rejected.
+  EXPECT_FALSE(Partitioning::Create(kExtent, {0.0}, {}).ok());
+  EXPECT_FALSE(Partitioning::Create(kExtent, {10.0}, {}).ok());
+  EXPECT_FALSE(Partitioning::Create(kExtent, {-1.0}, {}).ok());
+  EXPECT_FALSE(Partitioning::Create(Rect(0, 0, 0, 1), {}, {}).ok());
+}
+
+TEST(Partitioning, SplitsAreSortedAndDeduplicated) {
+  auto p = Partitioning::Create(kExtent, {7.0, 2.0, 7.0}, {});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->x_splits(), (std::vector<double>{2.0, 7.0}));
+  EXPECT_EQ(p->columns(), 3u);
+  EXPECT_EQ(p->rows(), 1u);
+  EXPECT_EQ(p->num_partitions(), 3u);
+}
+
+TEST(Partitioning, PartitionOfUsesHalfOpenCells) {
+  auto p = Partitioning::Create(kExtent, {5.0}, {5.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->PartitionOf({2.0, 2.0}), 0u);   // bottom-left
+  EXPECT_EQ(p->PartitionOf({7.0, 2.0}), 1u);   // bottom-right
+  EXPECT_EQ(p->PartitionOf({2.0, 7.0}), 2u);   // top-left
+  EXPECT_EQ(p->PartitionOf({7.0, 7.0}), 3u);   // top-right
+  // A point exactly on a split belongs to the upper partition.
+  EXPECT_EQ(p->PartitionOf({5.0, 0.0}), 1u);
+  EXPECT_EQ(p->PartitionOf({0.0, 5.0}), 2u);
+}
+
+TEST(Partitioning, RegularMatchesManualSplits) {
+  auto p = Partitioning::Regular(kExtent, 4, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->columns(), 4u);
+  EXPECT_EQ(p->rows(), 2u);
+  EXPECT_EQ(p->x_splits(), (std::vector<double>{2.5, 5.0, 7.5}));
+  EXPECT_EQ(p->y_splits(), (std::vector<double>{5.0}));
+}
+
+TEST(Partitioning, RegularRejectsZeroCells) {
+  EXPECT_FALSE(Partitioning::Regular(kExtent, 0, 2).ok());
+}
+
+TEST(Partitioning, PartitionRectsTileExtent) {
+  auto p = Partitioning::Create(kExtent, {3.0, 8.0}, {2.0, 4.0, 9.0});
+  ASSERT_TRUE(p.ok());
+  double total = 0.0;
+  for (uint32_t id = 0; id < p->num_partitions(); ++id) {
+    total += p->PartitionRectById(id).Area();
+  }
+  EXPECT_NEAR(total, kExtent.Area(), 1e-9);
+}
+
+TEST(Partitioning, RectRoundTrip) {
+  auto p = Partitioning::Create(kExtent, {1.0, 4.0, 6.5}, {3.3, 7.7});
+  ASSERT_TRUE(p.ok());
+  for (uint32_t id = 0; id < p->num_partitions(); ++id) {
+    EXPECT_EQ(p->PartitionOf(p->PartitionRectById(id).Center()), id);
+  }
+}
+
+TEST(Partitioning, AssignPartitionsMatchesPointwise) {
+  auto p = Partitioning::Create(kExtent, {5.0}, {5.0});
+  ASSERT_TRUE(p.ok());
+  const std::vector<Point> pts = {{1, 1}, {6, 1}, {1, 6}, {6, 6}, {5, 5}};
+  const auto ids = p->AssignPartitions(pts);
+  ASSERT_EQ(ids.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(ids[i], p->PartitionOf(pts[i]));
+  }
+}
+
+TEST(Partitioning, RandomHasRequestedSplitCounts) {
+  Rng rng(5);
+  auto p = Partitioning::Random(kExtent, 12, 30, &rng);
+  ASSERT_TRUE(p.ok());
+  // Duplicate uniform draws have probability zero.
+  EXPECT_EQ(p->x_splits().size(), 12u);
+  EXPECT_EQ(p->y_splits().size(), 30u);
+  for (double s : p->x_splits()) {
+    EXPECT_GT(s, kExtent.min_x);
+    EXPECT_LT(s, kExtent.max_x);
+  }
+}
+
+TEST(MakeRandomPartitionings, CountAndSplitRanges) {
+  Rng rng(9);
+  auto ps = MakeRandomPartitionings(kExtent, 100, 10, 40, &rng);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_EQ(ps->size(), 100u);
+  for (const Partitioning& p : *ps) {
+    EXPECT_GE(p.x_splits().size(), 10u);
+    EXPECT_LE(p.x_splits().size(), 40u);
+    EXPECT_GE(p.y_splits().size(), 10u);
+    EXPECT_LE(p.y_splits().size(), 40u);
+  }
+}
+
+TEST(MakeRandomPartitionings, RejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeRandomPartitionings(kExtent, 5, 10, 5, &rng).ok());
+}
+
+TEST(MakeRandomPartitionings, DeterministicForSeed) {
+  Rng rng_a(33), rng_b(33);
+  auto a = MakeRandomPartitionings(kExtent, 10, 5, 15, &rng_a);
+  auto b = MakeRandomPartitionings(kExtent, 10, 5, 15, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].x_splits(), (*b)[i].x_splits());
+    EXPECT_EQ((*a)[i].y_splits(), (*b)[i].y_splits());
+  }
+}
+
+// Property sweep: every point of a lattice lands in exactly the partition
+// whose rect contains it.
+class PartitionConsistencySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionConsistencySweep, AssignmentMatchesGeometry) {
+  Rng rng(GetParam());
+  auto p = Partitioning::Random(kExtent, 8, 8, &rng);
+  ASSERT_TRUE(p.ok());
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < 15; ++j) {
+      const Point pt(10.0 * i / 15.0, 10.0 * j / 15.0);
+      const uint32_t id = p->PartitionOf(pt);
+      ASSERT_TRUE(p->PartitionRectById(id).Contains(pt) ||
+                  pt.x == kExtent.max_x || pt.y == kExtent.max_y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionConsistencySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sfa::geo

@@ -1,0 +1,111 @@
+// Tests for polygon point-in-polygon, areas, and the distance helpers.
+#include "geo/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "data/us_geography.h"
+#include "geo/distance.h"
+
+namespace sfa::geo {
+namespace {
+
+Polygon MakeSquare() {
+  auto p = Polygon::Create({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(p.ok());
+  return *p;
+}
+
+TEST(Polygon, RejectsTooFewVertices) {
+  EXPECT_FALSE(Polygon::Create({}).ok());
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {1, 1}}).ok());
+}
+
+TEST(Polygon, SquareContainment) {
+  const Polygon square = MakeSquare();
+  EXPECT_TRUE(square.Contains({2, 2}));
+  EXPECT_TRUE(square.Contains({0.01, 3.99}));
+  EXPECT_FALSE(square.Contains({-1, 2}));
+  EXPECT_FALSE(square.Contains({5, 2}));
+  EXPECT_FALSE(square.Contains({2, -0.5}));
+}
+
+TEST(Polygon, SquareArea) {
+  const Polygon square = MakeSquare();
+  EXPECT_DOUBLE_EQ(square.Area(), 16.0);
+  // Counter-clockwise ring → positive signed area.
+  EXPECT_DOUBLE_EQ(square.SignedArea(), 16.0);
+}
+
+TEST(Polygon, ClockwiseRingHasNegativeSignedArea) {
+  auto p = Polygon::Create({{0, 0}, {0, 4}, {4, 4}, {4, 0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->SignedArea(), -16.0);
+  EXPECT_DOUBLE_EQ(p->Area(), 16.0);
+}
+
+TEST(Polygon, ConcaveShape) {
+  // L-shape: the notch must be outside.
+  auto p = Polygon::Create({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains({1, 3}));
+  EXPECT_TRUE(p->Contains({3, 1}));
+  EXPECT_FALSE(p->Contains({3, 3}));  // inside bbox, outside polygon
+  EXPECT_DOUBLE_EQ(p->Area(), 12.0);
+}
+
+TEST(Polygon, BoundingBoxCoversVertices) {
+  auto p = Polygon::Create({{-1, 2}, {3, -4}, {5, 6}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->bounding_box(), Rect(-1, -4, 5, 6));
+}
+
+TEST(FloridaOutline, ContainsMajorFloridaCities) {
+  const Polygon& florida = sfa::data::FloridaOutline();
+  EXPECT_TRUE(florida.Contains({-80.19, 25.76}));  // Miami
+  EXPECT_TRUE(florida.Contains({-82.46, 27.95}));  // Tampa
+  EXPECT_TRUE(florida.Contains({-81.38, 28.54}));  // Orlando
+  EXPECT_TRUE(florida.Contains({-81.66, 30.33}));  // Jacksonville
+  EXPECT_TRUE(florida.Contains({-84.28, 30.44}));  // Tallahassee
+}
+
+TEST(FloridaOutline, ExcludesNonFloridaCities) {
+  const Polygon& florida = sfa::data::FloridaOutline();
+  EXPECT_FALSE(florida.Contains({-84.39, 33.75}));   // Atlanta
+  EXPECT_FALSE(florida.Contains({-90.07, 29.95}));   // New Orleans
+  EXPECT_FALSE(florida.Contains({-74.01, 40.71}));   // New York
+  EXPECT_FALSE(florida.Contains({-79.0, 26.5}));     // Atlantic ocean
+  EXPECT_FALSE(florida.Contains({-85.0, 27.5}));     // Gulf of Mexico
+}
+
+TEST(Distance, HaversineKnownPairs) {
+  // New York to Los Angeles is about 3936 km.
+  const Point nyc(-74.0060, 40.7128);
+  const Point la(-118.2437, 34.0522);
+  EXPECT_NEAR(HaversineKm(nyc, la), 3936.0, 40.0);
+  EXPECT_DOUBLE_EQ(HaversineKm(nyc, nyc), 0.0);
+  EXPECT_NEAR(HaversineKm(nyc, la), HaversineKm(la, nyc), 1e-9);
+}
+
+TEST(Distance, OneDegreeLatitudeIs111Km) {
+  const Point a(-100.0, 40.0);
+  const Point b(-100.0, 41.0);
+  EXPECT_NEAR(HaversineKm(a, b), 111.2, 0.5);
+}
+
+TEST(Distance, LongitudeDegreesShrinkWithLatitude) {
+  EXPECT_NEAR(KmPerDegreeLonAt(0.0), 111.2, 0.5);
+  EXPECT_LT(KmPerDegreeLonAt(60.0), KmPerDegreeLonAt(30.0));
+  EXPECT_NEAR(KmPerDegreeLonAt(60.0), 111.195 * 0.5, 0.5);
+}
+
+TEST(Distance, PaperDegreeToKmCorrespondence) {
+  // The paper equates 0.1..2 degrees with roughly 10..200 km.
+  const Point a(-98.0, 38.0);
+  const Point b(-98.0, 38.1);
+  const double km = HaversineKm(a, b);
+  EXPECT_GT(km, 10.0);
+  EXPECT_LT(km, 12.0);
+}
+
+}  // namespace
+}  // namespace sfa::geo

@@ -1,0 +1,125 @@
+// Tests for Point and the half-open Rect semantics the whole counting stack
+// depends on.
+#include "geo/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/point.h"
+
+namespace sfa::geo {
+namespace {
+
+TEST(Point, ArithmeticAndDistance) {
+  const Point a(1.0, 2.0);
+  const Point b(4.0, 6.0);
+  EXPECT_EQ(a + b, Point(5.0, 8.0));
+  EXPECT_EQ(b - a, Point(3.0, 4.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(a.DistanceSquaredTo(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+}
+
+TEST(Rect, BasicAccessors) {
+  const Rect r(0.0, 1.0, 4.0, 3.0);
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+  EXPECT_EQ(r.Center(), Point(2.0, 2.0));
+  EXPECT_TRUE(r.IsValid());
+}
+
+TEST(Rect, ContainsIsHalfOpen) {
+  const Rect r(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(r.Contains({0.0, 0.0}));    // min edges inclusive
+  EXPECT_TRUE(r.Contains({0.5, 0.5}));
+  EXPECT_FALSE(r.Contains({1.0, 0.5}));   // max edges exclusive
+  EXPECT_FALSE(r.Contains({0.5, 1.0}));
+  EXPECT_FALSE(r.Contains({1.0, 1.0}));
+  EXPECT_FALSE(r.Contains({-0.1, 0.5}));
+}
+
+TEST(Rect, AdjacentCellsPartitionPoints) {
+  // A point on a shared edge belongs to exactly one of two adjacent cells.
+  const Rect left(0.0, 0.0, 1.0, 1.0);
+  const Rect right(1.0, 0.0, 2.0, 1.0);
+  const Point edge(1.0, 0.5);
+  EXPECT_EQ(left.Contains(edge) + right.Contains(edge), 1);
+}
+
+TEST(Rect, CenteredSquare) {
+  const Rect r = Rect::CenteredSquare({2.0, 3.0}, 4.0);
+  EXPECT_EQ(r, Rect(0.0, 1.0, 4.0, 5.0));
+  EXPECT_EQ(r.Center(), Point(2.0, 3.0));
+}
+
+TEST(Rect, BoundingBox) {
+  const Rect r = Rect::BoundingBox({{1, 5}, {-2, 3}, {4, -1}});
+  EXPECT_EQ(r, Rect(-2.0, -1.0, 4.0, 5.0));
+  EXPECT_EQ(Rect::BoundingBox({}), Rect());
+  EXPECT_EQ(Rect::BoundingBox({{2, 2}}), Rect(2, 2, 2, 2));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.ContainsRect(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.ContainsRect(outer));  // closed containment
+  EXPECT_FALSE(outer.ContainsRect(Rect(5, 5, 11, 9)));
+  EXPECT_FALSE(outer.ContainsRect(Rect(-1, 0, 5, 5)));
+}
+
+TEST(Rect, IntersectsOpenInteriors) {
+  const Rect a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Intersects(Rect(1, 1, 3, 3)));
+  EXPECT_FALSE(a.Intersects(Rect(2, 0, 4, 2)));  // shared edge only
+  EXPECT_FALSE(a.Intersects(Rect(3, 3, 4, 4)));
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(Rect, IntersectionAndUnion) {
+  const Rect a(0, 0, 4, 4);
+  const Rect b(2, 1, 6, 3);
+  EXPECT_EQ(a.Intersection(b), Rect(2, 1, 4, 3));
+  EXPECT_EQ(a.Union(b), Rect(0, 0, 6, 4));
+  // Disjoint intersection degenerates to zero area.
+  const Rect far(10, 10, 12, 12);
+  EXPECT_DOUBLE_EQ(a.Intersection(far).Area(), 0.0);
+}
+
+TEST(Rect, Expanded) {
+  EXPECT_EQ(Rect(0, 0, 1, 1).Expanded(0.5), Rect(-0.5, -0.5, 1.5, 1.5));
+}
+
+TEST(Rect, SymmetryOfIntersects) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(1, -1, 3, 1);
+  EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+}
+
+// Property sweep: Intersection area is never larger than either input and
+// Union contains both inputs.
+class RectPairSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectPairSweep, IntersectionUnionInvariants) {
+  const int seed = GetParam();
+  auto pseudo = [&](int k) {
+    return static_cast<double>(((seed * 2654435761u + k * 40503u) % 1000)) / 100.0;
+  };
+  Rect a(pseudo(1), pseudo(2), pseudo(1) + pseudo(3), pseudo(2) + pseudo(4));
+  Rect b(pseudo(5), pseudo(6), pseudo(5) + pseudo(7), pseudo(6) + pseudo(8));
+  const Rect inter = a.Intersection(b);
+  const Rect uni = a.Union(b);
+  EXPECT_LE(inter.Area(), a.Area() + 1e-12);
+  EXPECT_LE(inter.Area(), b.Area() + 1e-12);
+  EXPECT_TRUE(uni.ContainsRect(a));
+  EXPECT_TRUE(uni.ContainsRect(b));
+  if (inter.Area() > 0) {
+    EXPECT_TRUE(a.Intersects(b));
+    EXPECT_TRUE(a.ContainsRect(inter) && b.ContainsRect(inter));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPairSweep, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace sfa::geo

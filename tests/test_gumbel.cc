@@ -1,0 +1,82 @@
+// Tests for the Gumbel tail approximation used for far-tail p-values.
+#include "stats/gumbel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace sfa::stats {
+namespace {
+
+TEST(GumbelDistribution, CdfKnownValues) {
+  const GumbelDistribution g(0.0, 1.0);
+  // F(mu) = exp(-1) ≈ 0.3679.
+  EXPECT_NEAR(g.Cdf(0.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(g.Cdf(5.0), std::exp(-std::exp(-5.0)), 1e-12);
+  EXPECT_GT(g.Cdf(2.0), g.Cdf(1.0));  // monotone
+}
+
+TEST(GumbelDistribution, UpperTailComplementsCdf) {
+  const GumbelDistribution g(3.0, 2.0);
+  for (double x : {-5.0, 0.0, 3.0, 10.0, 20.0}) {
+    EXPECT_NEAR(g.UpperTail(x), 1.0 - g.Cdf(x), 1e-12) << x;
+  }
+}
+
+TEST(GumbelDistribution, UpperTailIsStableFarOut) {
+  const GumbelDistribution g(10.0, 2.0);
+  // At x = mu + 60*beta, 1 - Cdf underflows via naive evaluation; UpperTail
+  // must still return a positive subnormal-free value ~ e^{-z}.
+  const double x = 10.0 + 60.0 * 2.0;
+  const double tail = g.UpperTail(x);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_NEAR(std::log(tail), -(x - 10.0) / 2.0, 1e-6);
+}
+
+TEST(GumbelDistribution, QuantileInvertsCdf) {
+  const GumbelDistribution g(-2.0, 0.7);
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.995}) {
+    EXPECT_NEAR(g.Cdf(g.Quantile(q)), q, 1e-10) << q;
+  }
+}
+
+TEST(GumbelDistribution, FitRejectsDegenerateInput) {
+  EXPECT_FALSE(GumbelDistribution::FitMoments({}).ok());
+  EXPECT_FALSE(GumbelDistribution::FitMoments({1.0}).ok());
+  EXPECT_FALSE(GumbelDistribution::FitMoments({2.0, 2.0, 2.0}).ok());
+}
+
+TEST(GumbelDistribution, FitRecoversParameters) {
+  // Sample from a known Gumbel via inverse transform and refit.
+  const GumbelDistribution truth(5.0, 1.5);
+  sfa::Rng rng(42);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = truth.Quantile(rng.NextDouble());
+  auto fitted = GumbelDistribution::FitMoments(samples);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->mu(), 5.0, 0.05);
+  EXPECT_NEAR(fitted->beta(), 1.5, 0.05);
+}
+
+TEST(GumbelDistribution, FitTailAgreesWithEmpirical) {
+  // For Gumbel-ish data, the fitted upper tail at the empirical 95th
+  // percentile should be ~0.05.
+  const GumbelDistribution truth(0.0, 1.0);
+  sfa::Rng rng(43);
+  std::vector<double> samples(5000);
+  for (double& s : samples) s = truth.Quantile(rng.NextDouble());
+  auto fitted = GumbelDistribution::FitMoments(samples);
+  ASSERT_TRUE(fitted.ok());
+  std::sort(samples.begin(), samples.end());
+  const double q95 = samples[static_cast<size_t>(0.95 * samples.size())];
+  EXPECT_NEAR(fitted->UpperTail(q95), 0.05, 0.015);
+}
+
+TEST(GumbelDistributionDeathTest, RejectsNonPositiveScale) {
+  EXPECT_DEATH(GumbelDistribution(0.0, 0.0), "scale");
+}
+
+}  // namespace
+}  // namespace sfa::stats

@@ -1,0 +1,63 @@
+// Tests for the fixed-bin histogram used in Monte Carlo reports.
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sfa::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.7);
+  h.Add(9.9);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 0u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, BinLowEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(2), 3.0);
+}
+
+TEST(Histogram, FractionAtOrAboveUsesExactValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.FractionAtOrAbove(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrAbove(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrAbove(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrAbove(4.1), 0.0);
+}
+
+TEST(Histogram, EmptyFraction) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.FractionAtOrAbove(0.5), 0.0);
+}
+
+TEST(Histogram, AsciiRenderingHasOneRowPerBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.AddAll({0.5, 1.5, 1.6, 2.5});
+  const std::string art = h.ToAscii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramDeathTest, RejectsEmptyRange) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 4), "empty");
+}
+
+}  // namespace
+}  // namespace sfa::stats

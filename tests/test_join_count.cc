@@ -1,0 +1,129 @@
+// Tests for the kNN graph, join counts, and binary Moran's I.
+#include "stats/join_count.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sfa::stats {
+namespace {
+
+TEST(BuildKnnGraph, RejectsBadInputs) {
+  EXPECT_FALSE(BuildKnnGraph({{0, 0}, {1, 1}}, 0).ok());
+  EXPECT_FALSE(BuildKnnGraph({{0, 0}, {1, 1}}, 2).ok());  // k >= n
+}
+
+TEST(BuildKnnGraph, LineGraphStructure) {
+  // Points on a line: 1-NN graph connects consecutive points.
+  std::vector<geo::Point> pts;
+  for (int i = 0; i < 5; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  auto graph = BuildKnnGraph(pts, 1);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 5u);
+  // Symmetrized 1-NN on a line: middle nodes have 1-2 neighbors, each
+  // endpoint exactly one.
+  EXPECT_EQ(graph->begin[1] - graph->begin[0], 1u);
+  // Every edge is symmetric.
+  for (uint32_t i = 0; i < graph->num_nodes(); ++i) {
+    for (uint32_t e = graph->begin[i]; e < graph->begin[i + 1]; ++e) {
+      const uint32_t j = graph->neighbor_ids[e];
+      bool back = false;
+      for (uint32_t e2 = graph->begin[j]; e2 < graph->begin[j + 1]; ++e2) {
+        back |= graph->neighbor_ids[e2] == i;
+      }
+      EXPECT_TRUE(back) << i << "->" << j;
+    }
+  }
+}
+
+TEST(BuildKnnGraph, NoSelfLoopsAndKRespected) {
+  Rng rng(3);
+  std::vector<geo::Point> pts(300);
+  for (auto& p : pts) p = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+  auto graph = BuildKnnGraph(pts, 4);
+  ASSERT_TRUE(graph.ok());
+  for (uint32_t i = 0; i < graph->num_nodes(); ++i) {
+    const size_t degree = graph->begin[i + 1] - graph->begin[i];
+    EXPECT_GE(degree, 4u);        // own k neighbors at least
+    EXPECT_LE(degree, 300u);      // sanity
+    for (uint32_t e = graph->begin[i]; e < graph->begin[i + 1]; ++e) {
+      EXPECT_NE(graph->neighbor_ids[e], i);
+    }
+  }
+}
+
+TEST(CountJoins, KnownTinyGraph) {
+  // Path 0-1-2 with labels 1,1,0: edges (0,1)=BB, (1,2)=BW.
+  std::vector<geo::Point> pts = {{0, 0}, {1, 0}, {2, 0}};
+  auto graph = BuildKnnGraph(pts, 1);
+  ASSERT_TRUE(graph.ok());
+  const JoinCounts counts = CountJoins(*graph, {1, 1, 0});
+  EXPECT_EQ(counts.bb, 1u);
+  EXPECT_EQ(counts.bw, 1u);
+  EXPECT_EQ(counts.ww, 0u);
+  EXPECT_EQ(counts.total(), graph->num_edges());
+}
+
+TEST(MoransI, PositiveForSegregatedLabels) {
+  // Left half all 1, right half all 0 → strong positive autocorrelation.
+  Rng rng(7);
+  std::vector<geo::Point> pts(400);
+  std::vector<uint8_t> labels(400);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {rng.Uniform(0, 2), rng.Uniform(0, 1)};
+    labels[i] = pts[i].x < 1.0 ? 1 : 0;
+  }
+  auto graph = BuildKnnGraph(pts, 5);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_GT(BinaryMoransI(*graph, labels), 0.6);
+}
+
+TEST(MoransI, NearZeroForIndependentLabels) {
+  Rng rng(8);
+  std::vector<geo::Point> pts(1000);
+  std::vector<uint8_t> labels(1000);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  auto graph = BuildKnnGraph(pts, 5);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(BinaryMoransI(*graph, labels), 0.0, 0.08);
+}
+
+TEST(MoransI, ConstantLabelsGiveZero) {
+  std::vector<geo::Point> pts = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  auto graph = BuildKnnGraph(pts, 1);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(BinaryMoransI(*graph, {1, 1, 1, 1}), 0.0);
+}
+
+TEST(MoransIPValue, DetectsSegregationAndControlsNull) {
+  Rng rng(9);
+  std::vector<geo::Point> pts(500);
+  std::vector<uint8_t> segregated(500), fair(500);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {rng.Uniform(0, 2), rng.Uniform(0, 1)};
+    segregated[i] = pts[i].x < 1.0 ? (rng.Bernoulli(0.8) ? 1 : 0)
+                                   : (rng.Bernoulli(0.2) ? 1 : 0);
+    fair[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  auto graph = BuildKnnGraph(pts, 5);
+  ASSERT_TRUE(graph.ok());
+  auto p_segregated = MoransIPValue(*graph, segregated, 199, 11);
+  auto p_fair = MoransIPValue(*graph, fair, 199, 12);
+  ASSERT_TRUE(p_segregated.ok() && p_fair.ok());
+  EXPECT_LE(*p_segregated, 0.01);
+  EXPECT_GT(*p_fair, 0.05);
+}
+
+TEST(MoransIPValue, RejectsBadInputs) {
+  std::vector<geo::Point> pts = {{0, 0}, {1, 0}, {2, 0}};
+  auto graph = BuildKnnGraph(pts, 1);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(MoransIPValue(*graph, {1, 0}, 99, 1).ok());       // size mismatch
+  EXPECT_FALSE(MoransIPValue(*graph, {1, 0, 1}, 0, 1).ok());     // no worlds
+}
+
+}  // namespace
+}  // namespace sfa::stats

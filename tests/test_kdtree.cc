@@ -1,0 +1,136 @@
+// Tests for the KD-tree: range counting/reporting and nearest neighbor,
+// verified against brute force on randomized point sets.
+#include "spatial/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/random.h"
+
+namespace sfa::spatial {
+namespace {
+
+std::vector<geo::Point> RandomPoints(size_t n, uint64_t seed,
+                                     double lo = -10.0, double hi = 10.0) {
+  sfa::Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.Uniform(lo, hi);
+    p.y = rng.Uniform(lo, hi);
+  }
+  return pts;
+}
+
+size_t NaiveCount(const std::vector<geo::Point>& pts, const geo::Rect& r) {
+  return static_cast<size_t>(std::count_if(
+      pts.begin(), pts.end(), [&r](const geo::Point& p) { return r.Contains(p); }));
+}
+
+TEST(KdTree, EmptyTree) {
+  KdTree tree{std::vector<geo::Point>{}};
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.CountInRect(geo::Rect(-1, -1, 1, 1)), 0u);
+  EXPECT_TRUE(tree.ReportRect(geo::Rect(-1, -1, 1, 1)).empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  KdTree tree{{geo::Point(1.0, 2.0)}};
+  EXPECT_EQ(tree.CountInRect(geo::Rect(0, 0, 2, 3)), 1u);
+  EXPECT_EQ(tree.CountInRect(geo::Rect(2, 2, 3, 3)), 0u);
+  EXPECT_EQ(tree.Nearest({5, 5}), 0u);
+}
+
+TEST(KdTree, CountMatchesHalfOpenSemantics) {
+  KdTree tree{{{0, 0}, {1, 0}, {0, 1}, {1, 1}}};
+  // Half-open: the max edges are excluded.
+  EXPECT_EQ(tree.CountInRect(geo::Rect(0, 0, 1, 1)), 1u);
+  EXPECT_EQ(tree.CountInRect(geo::Rect(0, 0, 1.001, 1.001)), 4u);
+}
+
+TEST(KdTree, DuplicatePoints) {
+  std::vector<geo::Point> pts(50, geo::Point(3.0, 3.0));
+  KdTree tree{pts};
+  EXPECT_EQ(tree.CountInRect(geo::Rect(2, 2, 4, 4)), 50u);
+  EXPECT_EQ(tree.CountInRect(geo::Rect(3.001, 3.001, 4, 4)), 0u);
+  EXPECT_EQ(tree.ReportRect(geo::Rect(2, 2, 4, 4)).size(), 50u);
+}
+
+TEST(KdTree, ReportReturnsExactIds) {
+  const std::vector<geo::Point> pts = {{0, 0}, {5, 5}, {2, 2}, {8, 8}};
+  KdTree tree{pts};
+  auto ids = tree.ReportRect(geo::Rect(1, 1, 6, 6));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(KdTree, VisitRectVisitsEachOnce) {
+  const auto pts = RandomPoints(500, 11);
+  KdTree tree{pts};
+  const geo::Rect query(-3, -3, 4, 4);
+  std::vector<int> visits(pts.size(), 0);
+  tree.VisitRect(query, [&](uint32_t id) { ++visits[id]; });
+  for (size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_EQ(visits[i], query.Contains(pts[i]) ? 1 : 0) << i;
+  }
+}
+
+TEST(KdTree, NearestMatchesBruteForce) {
+  const auto pts = RandomPoints(300, 21);
+  KdTree tree{pts};
+  sfa::Rng rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    const geo::Point q(rng.Uniform(-12, 12), rng.Uniform(-12, 12));
+    const uint32_t got = tree.Nearest(q);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : pts) best = std::min(best, q.DistanceSquaredTo(p));
+    EXPECT_DOUBLE_EQ(q.DistanceSquaredTo(pts[got]), best);
+  }
+}
+
+TEST(KdTree, WholeSpaceQueryCountsEverything) {
+  const auto pts = RandomPoints(1000, 31);
+  KdTree tree{pts};
+  EXPECT_EQ(tree.CountInRect(geo::Rect(-100, -100, 100, 100)), 1000u);
+}
+
+TEST(KdTree, DegenerateColinearPoints) {
+  std::vector<geo::Point> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  KdTree tree{pts};
+  EXPECT_EQ(tree.CountInRect(geo::Rect(10, -1, 20, 1)), 10u);  // x in [10,20)
+  EXPECT_EQ(tree.Nearest({14.4, 0.0}), 14u);
+}
+
+// Property sweep: counts and reports match brute force over random queries
+// and point-set sizes.
+class KdTreeRandomSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(KdTreeRandomSweep, CountAndReportMatchBruteForce) {
+  const auto [n, seed] = GetParam();
+  const auto pts = RandomPoints(n, seed);
+  KdTree tree{pts};
+  sfa::Rng rng(seed + 1000);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x0 = rng.Uniform(-12, 12);
+    const double y0 = rng.Uniform(-12, 12);
+    const geo::Rect query(x0, y0, x0 + rng.Uniform(0, 15), y0 + rng.Uniform(0, 15));
+    const size_t expected = NaiveCount(pts, query);
+    ASSERT_EQ(tree.CountInRect(query), expected);
+    auto ids = tree.ReportRect(query);
+    ASSERT_EQ(ids.size(), expected);
+    for (uint32_t id : ids) ASSERT_TRUE(query.Contains(pts[id]));
+    std::sort(ids.begin(), ids.end());
+    ASSERT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeRandomSweep,
+    ::testing::Combine(::testing::Values<size_t>(2, 10, 100, 1000, 5000),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace sfa::spatial

@@ -1,0 +1,130 @@
+// Tests for k-means clustering (scan-center placement substrate).
+#include "stats/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sfa::stats {
+namespace {
+
+std::vector<geo::Point> ThreeBlobs(size_t per_blob, uint64_t seed) {
+  sfa::Rng rng(seed);
+  const std::vector<geo::Point> centers = {{0, 0}, {10, 0}, {5, 10}};
+  std::vector<geo::Point> pts;
+  for (const auto& c : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      pts.push_back({rng.Normal(c.x, 0.5), rng.Normal(c.y, 0.5)});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeans, RejectsBadArguments) {
+  const std::vector<geo::Point> pts = {{0, 0}, {1, 1}};
+  KMeansOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(KMeans(pts, opts).ok());
+  opts.k = 3;  // more clusters than points
+  EXPECT_FALSE(KMeans(pts, opts).ok());
+}
+
+TEST(KMeans, KEqualsNPutsOneCenterPerPoint) {
+  const std::vector<geo::Point> pts = {{0, 0}, {5, 5}, {9, 1}};
+  KMeansOptions opts;
+  opts.k = 3;
+  auto result = KMeans(pts, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-18);
+  for (uint32_t size : result->cluster_sizes) EXPECT_EQ(size, 1u);
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const auto pts = ThreeBlobs(100, 5);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 9;
+  auto result = KMeans(pts, opts);
+  ASSERT_TRUE(result.ok());
+  // Each true blob center should be within 0.5 of some k-means center.
+  for (const geo::Point truth : {geo::Point{0, 0}, {10, 0}, {5, 10}}) {
+    double best = 1e18;
+    for (const auto& c : result->centers) {
+      best = std::min(best, truth.DistanceTo(c));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+  // Balanced assignment.
+  for (uint32_t size : result->cluster_sizes) {
+    EXPECT_NEAR(size, 100u, 10u);
+  }
+}
+
+TEST(KMeans, AssignmentIsNearestCenter) {
+  const auto pts = ThreeBlobs(50, 6);
+  KMeansOptions opts;
+  opts.k = 3;
+  auto result = KMeans(pts, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const double assigned =
+        pts[i].DistanceSquaredTo(result->centers[result->assignment[i]]);
+    for (const auto& c : result->centers) {
+      ASSERT_LE(assigned, pts[i].DistanceSquaredTo(c) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeans, ClusterSizesSumToN) {
+  const auto pts = ThreeBlobs(40, 7);
+  KMeansOptions opts;
+  opts.k = 5;
+  auto result = KMeans(pts, opts);
+  ASSERT_TRUE(result.ok());
+  uint64_t total = 0;
+  for (uint32_t size : result->cluster_sizes) total += size;
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const auto pts = ThreeBlobs(60, 8);
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.seed = 1234;
+  auto a = KMeans(pts, opts);
+  auto b = KMeans(pts, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->centers.size(), b->centers.size());
+  for (size_t i = 0; i < a->centers.size(); ++i) {
+    EXPECT_EQ(a->centers[i], b->centers[i]);
+  }
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeans, MoreClustersNeverIncreaseInertia) {
+  const auto pts = ThreeBlobs(80, 10);
+  double prev = 1e300;
+  for (uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.seed = 55;
+    opts.max_iterations = 100;
+    auto result = KMeans(pts, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev * 1.05);  // small slack for local optima
+    prev = result->inertia;
+  }
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  std::vector<geo::Point> pts(20, geo::Point{1.0, 1.0});
+  pts.push_back({5.0, 5.0});
+  KMeansOptions opts;
+  opts.k = 2;
+  auto result = KMeans(pts, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-18);
+}
+
+}  // namespace
+}  // namespace sfa::stats

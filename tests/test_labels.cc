@@ -1,0 +1,80 @@
+// Tests for the dual-representation Labels used by the Monte Carlo loop.
+#include "core/labels.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sfa::core {
+namespace {
+
+TEST(Labels, FromBytesKeepsBothViewsConsistent) {
+  const Labels labels = Labels::FromBytes({1, 0, 1, 1, 0, 0, 1});
+  EXPECT_EQ(labels.size(), 7u);
+  EXPECT_EQ(labels.positive_count(), 4u);
+  EXPECT_NEAR(labels.positive_rate(), 4.0 / 7, 1e-12);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels.bits().Get(i), labels.bytes()[i] != 0) << i;
+  }
+  EXPECT_EQ(labels.bits().Popcount(), 4u);
+}
+
+TEST(Labels, EmptyLabels) {
+  const Labels labels = Labels::FromBytes({});
+  EXPECT_EQ(labels.size(), 0u);
+  EXPECT_EQ(labels.positive_count(), 0u);
+  EXPECT_DOUBLE_EQ(labels.positive_rate(), 0.0);
+}
+
+TEST(Labels, BernoulliSamplingApproximatesRho) {
+  sfa::Rng rng(31);
+  const Labels labels = Labels::SampleBernoulli(50000, 0.62, &rng);
+  EXPECT_EQ(labels.size(), 50000u);
+  EXPECT_NEAR(labels.positive_rate(), 0.62, 0.01);
+  EXPECT_EQ(labels.bits().Popcount(), labels.positive_count());
+}
+
+TEST(Labels, BernoulliExtremes) {
+  sfa::Rng rng(32);
+  EXPECT_EQ(Labels::SampleBernoulli(100, 0.0, &rng).positive_count(), 0u);
+  EXPECT_EQ(Labels::SampleBernoulli(100, 1.0, &rng).positive_count(), 100u);
+}
+
+TEST(Labels, PermutationSamplingHasExactCount) {
+  sfa::Rng rng(33);
+  for (uint64_t positives : {0ull, 1ull, 250ull, 499ull, 500ull}) {
+    const Labels labels = Labels::SamplePermutation(500, positives, &rng);
+    ASSERT_EQ(labels.positive_count(), positives);
+    ASSERT_EQ(labels.bits().Popcount(), positives);
+  }
+}
+
+TEST(Labels, PermutationPositionsVaryAcrossDraws) {
+  sfa::Rng rng(34);
+  const Labels a = Labels::SamplePermutation(200, 100, &rng);
+  const Labels b = Labels::SamplePermutation(200, 100, &rng);
+  EXPECT_NE(a.bytes(), b.bytes());  // same count, different placement w.h.p.
+}
+
+TEST(Labels, PermutationIsUniformish) {
+  // Each position should receive the positive label about half the time.
+  sfa::Rng rng(35);
+  const size_t n = 50;
+  std::vector<int> hits(n, 0);
+  const int reps = 2000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Labels labels = Labels::SamplePermutation(n, n / 2, &rng);
+    for (size_t i = 0; i < n; ++i) hits[i] += labels.bytes()[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(reps), 0.5, 0.06) << i;
+  }
+}
+
+TEST(LabelsDeathTest, PermutationRejectsTooManyPositives) {
+  sfa::Rng rng(36);
+  EXPECT_DEATH(Labels::SamplePermutation(10, 11, &rng), "more positives");
+}
+
+}  // namespace
+}  // namespace sfa::core

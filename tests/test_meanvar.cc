@@ -1,0 +1,170 @@
+// Tests for the MeanVar baseline (Xie et al. 2022) — including the paper's
+// central qualitative claim: MeanVar inverts the fairness ordering of a
+// fair-by-design irregular dataset vs an unfair-by-design uniform one.
+#include "core/meanvar.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synth.h"
+
+namespace sfa::core {
+namespace {
+
+geo::Partitioning Halves(const geo::Rect& extent) {
+  auto p = geo::Partitioning::Create(extent, {extent.Center().x}, {});
+  EXPECT_TRUE(p.ok());
+  return *p;
+}
+
+TEST(MeanVar, RejectsBadInputs) {
+  data::OutcomeDataset empty;
+  EXPECT_FALSE(ComputeMeanVar(empty, {Halves(geo::Rect(0, 0, 2, 1))}).ok());
+  data::OutcomeDataset ds;
+  ds.Add({0.5, 0.5}, 1);
+  EXPECT_FALSE(ComputeMeanVar(ds, {}).ok());
+}
+
+TEST(MeanVar, PerfectlyUniformRatesGiveZeroVariance) {
+  data::OutcomeDataset ds;
+  // Two partitions, each 2 points with one positive → rate 0.5 everywhere.
+  ds.Add({0.25, 0.5}, 1);
+  ds.Add({0.30, 0.5}, 0);
+  ds.Add({1.25, 0.5}, 1);
+  ds.Add({1.30, 0.5}, 0);
+  auto result = ComputeMeanVar(ds, {Halves(geo::Rect(0, 0, 2, 1))});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_var, 0.0);
+}
+
+TEST(MeanVar, KnownTwoPartitionVariance) {
+  data::OutcomeDataset ds;
+  // Left rate 1.0 (2/2), right rate 0.0 (0/2): measures {1, 0}, mean 0.5,
+  // population variance 0.25.
+  ds.Add({0.25, 0.5}, 1);
+  ds.Add({0.30, 0.5}, 1);
+  ds.Add({1.25, 0.5}, 0);
+  ds.Add({1.30, 0.5}, 0);
+  auto result = ComputeMeanVar(ds, {Halves(geo::Rect(0, 0, 2, 1))});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_var, 0.25);
+  ASSERT_EQ(result->per_partitioning_variance.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->per_partitioning_variance[0], 0.25);
+  // Contributions: each partition contributes 0.25^2... deviation^2/(K*T) =
+  // 0.25/2 = 0.125, summing to the mean_var.
+  double total_contribution = 0.0;
+  for (const auto& c : result->ranked_partitions) {
+    total_contribution += c.contribution;
+  }
+  EXPECT_NEAR(total_contribution, result->mean_var, 1e-12);
+}
+
+TEST(MeanVar, EmptyPartitionsAreSkippedByDefault) {
+  data::OutcomeDataset ds;
+  ds.Add({0.25, 0.5}, 1);
+  ds.Add({0.30, 0.5}, 0);
+  // Right half empty.
+  auto result = ComputeMeanVar(ds, {Halves(geo::Rect(0, 0, 2, 1))});
+  ASSERT_TRUE(result.ok());
+  // Only one non-empty partition → variance 0.
+  EXPECT_DOUBLE_EQ(result->mean_var, 0.0);
+  EXPECT_EQ(result->ranked_partitions.size(), 1u);
+}
+
+TEST(MeanVar, IncludingEmptyPartitionsChangesTheScore) {
+  data::OutcomeDataset ds;
+  ds.Add({0.25, 0.5}, 1);
+  ds.Add({0.30, 0.5}, 1);
+  MeanVarOptions keep_empty;
+  keep_empty.skip_empty_partitions = false;
+  auto result =
+      ComputeMeanVar(ds, {Halves(geo::Rect(0, 0, 2, 1))}, keep_empty);
+  ASSERT_TRUE(result.ok());
+  // Measures {1.0, 0.0 (empty)} → variance 0.25.
+  EXPECT_DOUBLE_EQ(result->mean_var, 0.25);
+  EXPECT_EQ(result->ranked_partitions.size(), 2u);
+}
+
+TEST(MeanVar, ContributionsSumToMeanVar) {
+  sfa::Rng rng(91);
+  data::OutcomeDataset ds;
+  for (int i = 0; i < 2000; ++i) {
+    ds.Add({rng.Uniform(0, 2), rng.Uniform(0, 1)}, rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  auto partitionings =
+      geo::MakeRandomPartitionings(geo::Rect(0, 0, 2, 1), 7, 3, 9, &rng);
+  ASSERT_TRUE(partitionings.ok());
+  auto result = ComputeMeanVar(ds, *partitionings);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (const auto& c : result->ranked_partitions) total += c.contribution;
+  EXPECT_NEAR(total, result->mean_var, 1e-9);
+  // Ranked descending.
+  for (size_t i = 1; i < result->ranked_partitions.size(); ++i) {
+    ASSERT_LE(result->ranked_partitions[i].contribution,
+              result->ranked_partitions[i - 1].contribution);
+  }
+}
+
+TEST(MeanVar, SparseExtremePartitionsDominateTheRanking) {
+  // The failure mode the paper documents (Fig. 2a): a partition with very
+  // few, all-negative points outranks a dense partition with a moderate
+  // deviation.
+  sfa::Rng rng(92);
+  data::OutcomeDataset ds;
+  // Dense background at rate 0.6 across the left partition, dense moderate
+  // deviation (rate 0.75) in the middle, 4 all-negative points on the right.
+  for (int i = 0; i < 3000; ++i) {
+    ds.Add({rng.Uniform(0.0, 1.0), rng.Uniform(0, 1)}, rng.Bernoulli(0.6) ? 1 : 0);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    ds.Add({rng.Uniform(1.0, 2.0), rng.Uniform(0, 1)}, rng.Bernoulli(0.75) ? 1 : 0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    ds.Add({rng.Uniform(2.0, 3.0), rng.Uniform(0, 1)}, 0);
+  }
+  auto thirds = geo::Partitioning::Create(geo::Rect(0, 0, 3, 1), {1.0, 2.0}, {});
+  ASSERT_TRUE(thirds.ok());
+  auto result = ComputeMeanVar(ds, {*thirds});
+  ASSERT_TRUE(result.ok());
+  // The sparse all-negative partition has measure 0 → by far the farthest
+  // from the mean → ranked first.
+  EXPECT_EQ(result->ranked_partitions[0].n, 4u);
+  EXPECT_DOUBLE_EQ(result->ranked_partitions[0].measure, 0.0);
+}
+
+TEST(MeanVar, ReproducesThePaperInversionAtTestScale) {
+  // Fair-by-design but irregular (SemiSynth-like) vs unfair-by-design
+  // uniform (Synth): MeanVar must order the fair one as MORE unfair.
+  sfa::Rng rng(93);
+
+  // Irregular fair data: tight clusters + sparse scatter, labels Bernoulli(.5).
+  data::OutcomeDataset fair("fair-irregular");
+  for (int c = 0; c < 8; ++c) {
+    const geo::Point center{rng.Uniform(0.2, 1.8), rng.Uniform(0.2, 0.8)};
+    for (int i = 0; i < 400; ++i) {
+      fair.Add({rng.Normal(center.x, 0.02), rng.Normal(center.y, 0.02)},
+               rng.Bernoulli(0.5) ? 1 : 0);
+    }
+  }
+  for (int i = 0; i < 300; ++i) {  // sparse scatter → tiny partitions
+    fair.Add({rng.Uniform(0, 2), rng.Uniform(0, 1)}, rng.Bernoulli(0.5) ? 1 : 0);
+  }
+
+  data::SynthOptions synth_opts;
+  synth_opts.num_outcomes = fair.size();
+  auto unfair = data::MakeSynth(synth_opts);
+  ASSERT_TRUE(unfair.ok());
+
+  auto partitionings = geo::MakeRandomPartitionings(geo::Rect(0, 0, 2, 1), 40,
+                                                    10, 40, &rng);
+  ASSERT_TRUE(partitionings.ok());
+  auto mv_fair = ComputeMeanVar(fair, *partitionings);
+  auto mv_unfair = ComputeMeanVar(*unfair, *partitionings);
+  ASSERT_TRUE(mv_fair.ok() && mv_unfair.ok());
+  // The inversion: the fair irregular dataset scores as less fair.
+  EXPECT_GT(mv_fair->mean_var, mv_unfair->mean_var);
+}
+
+}  // namespace
+}  // namespace sfa::core

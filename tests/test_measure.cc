@@ -1,0 +1,91 @@
+// Tests for fairness-measure views.
+#include "core/measure.h"
+
+#include <gtest/gtest.h>
+
+namespace sfa::core {
+namespace {
+
+data::OutcomeDataset Mixed() {
+  data::OutcomeDataset ds("mixed");
+  // (predicted, actual): TP, FN, FP, TN, TP
+  ds.Add({0, 0}, 1, 1);
+  ds.Add({1, 0}, 0, 1);
+  ds.Add({2, 0}, 1, 0);
+  ds.Add({3, 0}, 0, 0);
+  ds.Add({4, 0}, 1, 1);
+  return ds;
+}
+
+TEST(BuildMeasureView, StatisticalParityIsIdentity) {
+  const data::OutcomeDataset ds = Mixed();
+  auto view = BuildMeasureView(ds, FairnessMeasure::kStatisticalParity);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 5u);
+  EXPECT_EQ(view->predicted(), ds.predicted());
+  // Positive rate of the view = model positive rate (3/5).
+  EXPECT_DOUBLE_EQ(view->PositiveRate(), 0.6);
+}
+
+TEST(BuildMeasureView, StatisticalParityWorksWithoutGroundTruth) {
+  data::OutcomeDataset ds;
+  ds.Add({0, 0}, 1);
+  ds.Add({1, 1}, 0);
+  auto view = BuildMeasureView(ds, FairnessMeasure::kStatisticalParity);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 2u);
+}
+
+TEST(BuildMeasureView, EqualOpportunityKeepsOnlyActualPositives) {
+  auto view = BuildMeasureView(Mixed(), FairnessMeasure::kEqualOpportunity);
+  ASSERT_TRUE(view.ok());
+  // Three Y=1 rows; their predictions are 1, 0, 1 → positive rate = TPR = 2/3.
+  EXPECT_EQ(view->size(), 3u);
+  EXPECT_NEAR(view->PositiveRate(), 2.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(view->locations()[1].x, 1.0);  // the FN row
+}
+
+TEST(BuildMeasureView, PredictiveEqualityKeepsOnlyActualNegatives) {
+  auto view = BuildMeasureView(Mixed(), FairnessMeasure::kPredictiveEquality);
+  ASSERT_TRUE(view.ok());
+  // Two Y=0 rows; predictions 1, 0 → positive rate = FPR = 1/2.
+  EXPECT_EQ(view->size(), 2u);
+  EXPECT_DOUBLE_EQ(view->PositiveRate(), 0.5);
+}
+
+TEST(BuildMeasureView, AccuracyMeasuresNeedGroundTruth) {
+  data::OutcomeDataset ds;
+  ds.Add({0, 0}, 1);
+  EXPECT_TRUE(BuildMeasureView(ds, FairnessMeasure::kEqualOpportunity)
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(BuildMeasureView(ds, FairnessMeasure::kPredictiveEquality)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(BuildMeasureView, EmptyViewsAreRejected) {
+  data::OutcomeDataset ds;
+  ds.Add({0, 0}, 1, 1);  // no Y=0 rows at all
+  EXPECT_TRUE(BuildMeasureView(ds, FairnessMeasure::kPredictiveEquality)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(FairnessMeasureToString, Names) {
+  EXPECT_NE(std::string(FairnessMeasureToString(
+                FairnessMeasure::kStatisticalParity))
+                .find("positive rate"),
+            std::string::npos);
+  EXPECT_NE(std::string(FairnessMeasureToString(
+                FairnessMeasure::kEqualOpportunity))
+                .find("true positive"),
+            std::string::npos);
+  EXPECT_NE(std::string(FairnessMeasureToString(
+                FairnessMeasure::kPredictiveEquality))
+                .find("false positive"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfa::core

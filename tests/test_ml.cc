@@ -1,0 +1,264 @@
+// Tests for the ML substrate: feature table, decision tree, random forest,
+// and classification metrics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/table.h"
+
+namespace sfa::ml {
+namespace {
+
+std::vector<uint32_t> AllRows(const Table& table) {
+  std::vector<uint32_t> rows(table.num_rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  return rows;
+}
+
+// Labels determined by a single threshold on feature 0.
+Table ThresholdTable(size_t n, uint64_t seed) {
+  sfa::Rng rng(seed);
+  Table t({"f0", "f1"});
+  for (size_t i = 0; i < n; ++i) {
+    const auto f0 = static_cast<uint8_t>(rng.NextUint64(100));
+    const auto f1 = static_cast<uint8_t>(rng.NextUint64(100));
+    t.AddRow({f0, f1}, f0 > 50 ? 1 : 0);
+  }
+  return t;
+}
+
+// XOR of two binary features — needs depth >= 2 to learn.
+Table XorTable(size_t n, uint64_t seed) {
+  sfa::Rng rng(seed);
+  Table t({"a", "b"});
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t a = rng.Bernoulli(0.5) ? 1 : 0;
+    const uint8_t b = rng.Bernoulli(0.5) ? 1 : 0;
+    t.AddRow({a, b}, a ^ b);
+  }
+  return t;
+}
+
+TEST(Table, AddAndAccess) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.num_features(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({1, 2, 3}, 1);
+  t.AddRow({4, 5, 6}, 0);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Feature(0, 2), 3);
+  EXPECT_EQ(t.Feature(1, 0), 4);
+  EXPECT_EQ(t.Label(0), 1);
+  EXPECT_EQ(t.Label(1), 0);
+  EXPECT_EQ(t.Row(1)[1], 5);
+  EXPECT_DOUBLE_EQ(t.PositiveRate(), 0.5);
+}
+
+TEST(Table, TrainTestSplitPartitionsRows) {
+  const Table t = ThresholdTable(1000, 1);
+  auto [train, test] = t.TrainTestSplit(0.7, 42);
+  EXPECT_EQ(train.size(), 700u);
+  EXPECT_EQ(test.size(), 300u);
+  std::vector<uint32_t> all;
+  all.insert(all.end(), train.begin(), train.end());
+  all.insert(all.end(), test.begin(), test.end());
+  std::sort(all.begin(), all.end());
+  for (uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(all[i], i);
+}
+
+TEST(Table, TrainTestSplitDeterministic) {
+  const Table t = ThresholdTable(100, 2);
+  auto [a_train, a_test] = t.TrainTestSplit(0.5, 7);
+  auto [b_train, b_test] = t.TrainTestSplit(0.5, 7);
+  EXPECT_EQ(a_train, b_train);
+  EXPECT_EQ(a_test, b_test);
+  auto [c_train, c_test] = t.TrainTestSplit(0.5, 8);
+  EXPECT_NE(a_train, c_train);
+}
+
+TEST(DecisionTree, RejectsEmptyTrainingSet) {
+  const Table t = ThresholdTable(10, 3);
+  EXPECT_FALSE(DecisionTree::Fit(t, {}, {}).ok());
+}
+
+TEST(DecisionTree, LearnsSimpleThreshold) {
+  const Table t = ThresholdTable(2000, 4);
+  DecisionTreeOptions opts;
+  opts.max_depth = 3;
+  auto tree = DecisionTree::Fit(t, AllRows(t), opts);
+  ASSERT_TRUE(tree.ok());
+  int correct = 0;
+  const Table test = ThresholdTable(500, 5);
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    correct += tree->Predict(test.Row(i)) == test.Label(i);
+  }
+  EXPECT_GT(correct, 490);  // threshold concept is exactly learnable
+}
+
+TEST(DecisionTree, LearnsXorWithDepthTwo) {
+  const Table t = XorTable(2000, 6);
+  DecisionTreeOptions opts;
+  opts.max_depth = 2;
+  opts.min_samples_leaf = 1;
+  opts.min_samples_split = 2;
+  auto tree = DecisionTree::Fit(t, AllRows(t), opts);
+  ASSERT_TRUE(tree.ok());
+  const uint8_t zz[2] = {0, 0}, zo[2] = {0, 1}, oz[2] = {1, 0}, oo[2] = {1, 1};
+  EXPECT_EQ(tree->Predict(zz), 0);
+  EXPECT_EQ(tree->Predict(zo), 1);
+  EXPECT_EQ(tree->Predict(oz), 1);
+  EXPECT_EQ(tree->Predict(oo), 0);
+}
+
+TEST(DecisionTree, DepthZeroIsMajorityVote) {
+  Table t({"f"});
+  for (int i = 0; i < 10; ++i) t.AddRow({static_cast<uint8_t>(i)}, i < 7 ? 1 : 0);
+  DecisionTreeOptions opts;
+  opts.max_depth = 0;
+  auto tree = DecisionTree::Fit(t, AllRows(t), opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  const uint8_t probe[1] = {0};
+  EXPECT_NEAR(tree->PredictProba(probe), 0.7, 1e-6);  // stored as float
+  EXPECT_EQ(tree->Predict(probe), 1);
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Table t({"f"});
+  for (int i = 0; i < 50; ++i) t.AddRow({static_cast<uint8_t>(i % 7)}, 1);
+  auto tree = DecisionTree::Fit(t, AllRows(t), {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+}
+
+TEST(DecisionTree, MinSamplesLeafIsRespected) {
+  const Table t = ThresholdTable(100, 8);
+  DecisionTreeOptions opts;
+  opts.min_samples_leaf = 60;  // no split can satisfy this
+  auto tree = DecisionTree::Fit(t, AllRows(t), opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+}
+
+TEST(RandomForest, RejectsBadOptions) {
+  const Table t = ThresholdTable(50, 9);
+  RandomForestOptions opts;
+  opts.num_trees = 0;
+  EXPECT_FALSE(RandomForest::Fit(t, AllRows(t), opts).ok());
+  opts.num_trees = 3;
+  opts.bootstrap_fraction = 0.0;
+  EXPECT_FALSE(RandomForest::Fit(t, AllRows(t), opts).ok());
+  EXPECT_FALSE(RandomForest::Fit(t, {}, RandomForestOptions{}).ok());
+}
+
+TEST(RandomForest, BeatsChanceOnNoisyThreshold) {
+  // Threshold concept with 15% label noise.
+  sfa::Rng rng(10);
+  Table t({"f0", "f1"});
+  for (int i = 0; i < 3000; ++i) {
+    const auto f0 = static_cast<uint8_t>(rng.NextUint64(100));
+    const auto f1 = static_cast<uint8_t>(rng.NextUint64(100));
+    uint8_t label = f0 > 50 ? 1 : 0;
+    if (rng.Bernoulli(0.15)) label ^= 1;
+    t.AddRow({f0, f1}, label);
+  }
+  auto [train, test] = t.TrainTestSplit(0.7, 11);
+  RandomForestOptions opts;
+  opts.num_trees = 10;
+  opts.tree.max_depth = 6;
+  auto forest = RandomForest::Fit(t, train, opts);
+  ASSERT_TRUE(forest.ok());
+  const auto predictions = forest->PredictRows(t, test);
+  std::vector<uint8_t> actual(test.size());
+  for (size_t i = 0; i < test.size(); ++i) actual[i] = t.Label(test[i]);
+  const ConfusionMatrix cm = ComputeConfusion(predictions, actual);
+  // Bayes accuracy is 0.85; the forest should land close to it.
+  EXPECT_GT(cm.Accuracy(), 0.80);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  const Table t = ThresholdTable(500, 12);
+  RandomForestOptions opts;
+  opts.num_trees = 5;
+  opts.seed = 77;
+  auto a = RandomForest::Fit(t, AllRows(t), opts);
+  auto b = RandomForest::Fit(t, AllRows(t), opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    ASSERT_DOUBLE_EQ(a->PredictProba(t.Row(i)), b->PredictProba(t.Row(i)));
+  }
+}
+
+TEST(RandomForest, ProbaIsAverageOfTrees) {
+  const Table t = ThresholdTable(300, 13);
+  RandomForestOptions opts;
+  opts.num_trees = 7;
+  auto forest = RandomForest::Fit(t, AllRows(t), opts);
+  ASSERT_TRUE(forest.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const double proba = forest->PredictProba(t.Row(i));
+    ASSERT_GE(proba, 0.0);
+    ASSERT_LE(proba, 1.0);
+  }
+}
+
+TEST(ConfusionMatrix, CountsAndRates) {
+  // predicted: 1 1 0 0 1 ; actual: 1 0 0 1 1
+  const ConfusionMatrix cm =
+      ComputeConfusion({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(cm.true_positives, 2u);
+  EXPECT_EQ(cm.false_positives, 1u);
+  EXPECT_EQ(cm.true_negatives, 1u);
+  EXPECT_EQ(cm.false_negatives, 1u);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(cm.TruePositiveRate(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.FalsePositiveRate(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.PositiveRate(), 0.6);
+}
+
+TEST(ConfusionMatrix, EmptyAndDegenerate) {
+  const ConfusionMatrix empty = ComputeConfusion({}, {});
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.TruePositiveRate(), 0.0);
+  // No actual positives → TPR defined as 0.
+  const ConfusionMatrix no_pos = ComputeConfusion({0, 1}, {0, 0});
+  EXPECT_DOUBLE_EQ(no_pos.TruePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(no_pos.FalsePositiveRate(), 0.5);
+}
+
+TEST(ConfusionMatrix, ToStringMentionsCounts) {
+  const ConfusionMatrix cm = ComputeConfusion({1, 0}, {1, 0});
+  const std::string s = cm.ToString();
+  EXPECT_NE(s.find("TP=1"), std::string::npos);
+  EXPECT_NE(s.find("acc=1.0000"), std::string::npos);
+}
+
+// Property sweep: forest accuracy improves (or stays) as trees are added on
+// a learnable concept.
+class ForestSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ForestSizeSweep, ReasonableAccuracyAtAllSizes) {
+  const Table t = ThresholdTable(1500, 21);
+  auto [train, test] = t.TrainTestSplit(0.7, 22);
+  RandomForestOptions opts;
+  opts.num_trees = GetParam();
+  opts.tree.max_depth = 5;
+  opts.seed = 3;
+  auto forest = RandomForest::Fit(t, train, opts);
+  ASSERT_TRUE(forest.ok());
+  const auto predictions = forest->PredictRows(t, test);
+  std::vector<uint8_t> actual(test.size());
+  for (size_t i = 0; i < test.size(); ++i) actual[i] = t.Label(test[i]);
+  EXPECT_GT(ComputeConfusion(predictions, actual).Accuracy(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForestSizeSweep, ::testing::Values(1, 5, 20));
+
+}  // namespace
+}  // namespace sfa::ml

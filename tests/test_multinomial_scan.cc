@@ -1,0 +1,157 @@
+// Tests for the multinomial scan statistic and the multi-class grid audit.
+#include "stats/multinomial_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/multiclass.h"
+#include "stats/bernoulli_scan.h"
+
+namespace sfa {
+namespace {
+
+TEST(MultinomialLlr, ZeroForDegenerateRegions) {
+  // Empty region.
+  EXPECT_DOUBLE_EQ(
+      stats::MultinomialLogLikelihoodRatio({0, 0}, {10, 10}), 0.0);
+  // Region == everything.
+  EXPECT_DOUBLE_EQ(
+      stats::MultinomialLogLikelihoodRatio({10, 10}, {10, 10}), 0.0);
+}
+
+TEST(MultinomialLlr, ZeroWhenProportionsMatch) {
+  // Inside is a perfect miniature of the totals.
+  EXPECT_NEAR(stats::MultinomialLogLikelihoodRatio({5, 10, 15}, {10, 20, 30}),
+              0.0, 1e-12);
+}
+
+TEST(MultinomialLlr, PositiveForDeviations) {
+  EXPECT_GT(stats::MultinomialLogLikelihoodRatio({10, 0}, {20, 20}), 0.0);
+  EXPECT_GT(stats::MultinomialLogLikelihoodRatio({1, 9, 0}, {10, 10, 10}), 0.0);
+}
+
+TEST(MultinomialLlr, TwoClassesReduceToBernoulli) {
+  // K=2 multinomial LLR == two-sided Bernoulli scan LLR, counting class 0 as
+  // "positive".
+  for (uint64_t p = 0; p <= 8; ++p) {
+    for (uint64_t big_p = p; big_p <= 30; big_p += 3) {
+      const uint64_t n = 8, big_n = 40;
+      if (big_n - big_p < n - p) continue;
+      const stats::ScanCounts counts{.n = n, .p = p, .total_n = big_n,
+                                     .total_p = big_p};
+      const double bernoulli = stats::BernoulliLogLikelihoodRatio(counts);
+      const double multinomial = stats::MultinomialLogLikelihoodRatio(
+          {p, n - p}, {big_p, big_n - big_p});
+      ASSERT_NEAR(bernoulli, multinomial, 1e-10)
+          << "p=" << p << " P=" << big_p;
+    }
+  }
+}
+
+TEST(MultinomialLlr, GrowsWithEffectSize) {
+  const double mild =
+      stats::MultinomialLogLikelihoodRatio({12, 8, 10}, {100, 100, 100});
+  const double strong =
+      stats::MultinomialLogLikelihoodRatio({28, 1, 1}, {100, 100, 100});
+  EXPECT_GT(strong, mild);
+}
+
+TEST(MultinomialLlrDeathTest, RejectsEmptyAndMismatched) {
+  EXPECT_DEATH(stats::MultinomialLogLikelihoodRatio({}, {}), "class");
+  EXPECT_DEATH(stats::MultinomialLogLikelihoodRatio({1}, {1, 2}), "classes");
+}
+
+core::MulticlassAuditOptions FastOptions() {
+  core::MulticlassAuditOptions opts;
+  opts.alpha = 0.01;
+  opts.grid_x = 6;
+  opts.grid_y = 6;
+  opts.monte_carlo.num_worlds = 199;
+  return opts;
+}
+
+TEST(MulticlassAudit, RejectsBadInputs) {
+  const std::vector<geo::Point> pts = {{0, 0}, {1, 1}};
+  EXPECT_FALSE(core::AuditMulticlassGrid({}, {}, 3, FastOptions()).ok());
+  EXPECT_FALSE(core::AuditMulticlassGrid(pts, {0}, 3, FastOptions()).ok());
+  EXPECT_FALSE(core::AuditMulticlassGrid(pts, {0, 1}, 1, FastOptions()).ok());
+  EXPECT_FALSE(core::AuditMulticlassGrid(pts, {0, 5}, 3, FastOptions()).ok());
+}
+
+TEST(MulticlassAudit, FairMixtureIsDeclaredFair) {
+  Rng rng(71);
+  std::vector<geo::Point> pts(4000);
+  std::vector<uint8_t> classes(pts.size());
+  const std::vector<double> mix = {0.5, 0.3, 0.2};
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    classes[i] = static_cast<uint8_t>(rng.Categorical(mix));
+  }
+  auto result = core::AuditMulticlassGrid(pts, classes, 3, FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->spatially_fair) << "p=" << result->p_value;
+  EXPECT_NEAR(result->class_distribution[0], 0.5, 0.03);
+}
+
+TEST(MulticlassAudit, DetectsPlantedMixtureShift) {
+  // Same marginal classes, but one corner swaps class 0 mass for class 2.
+  Rng rng(72);
+  std::vector<geo::Point> pts(6000);
+  std::vector<uint8_t> classes(pts.size());
+  const geo::Rect zone(7.0, 7.0, 10.0, 10.0);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const bool shifted = zone.Contains(pts[i]);
+    const std::vector<double> mix =
+        shifted ? std::vector<double>{0.1, 0.3, 0.6}
+                : std::vector<double>{0.5, 0.3, 0.2};
+    classes[i] = static_cast<uint8_t>(rng.Categorical(mix));
+  }
+  auto result = core::AuditMulticlassGrid(pts, classes, 3, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spatially_fair);
+  ASSERT_FALSE(result->findings.empty());
+  // Top finding lies in the planted zone and shows the shifted mix.
+  const auto& top = result->findings[0];
+  EXPECT_TRUE(zone.Intersects(top.rect));
+  EXPECT_GT(top.class_counts[2], top.class_counts[0]);
+  // Counts are consistent.
+  uint64_t sum = 0;
+  for (uint64_t c : top.class_counts) sum += c;
+  EXPECT_EQ(sum, top.n);
+}
+
+TEST(MulticlassAudit, BinaryCaseAgreesWithBinaryAuditDirectionally) {
+  // A 2-class multiclass audit must reach the same verdict as the binary
+  // machinery on the same data (both calibrate by Monte Carlo, so compare
+  // verdicts, not exact p-values).
+  Rng rng(73);
+  std::vector<geo::Point> pts(4000);
+  std::vector<uint8_t> classes(pts.size());
+  const geo::Rect zone(0.0, 0.0, 3.0, 10.0);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    classes[i] = rng.Bernoulli(zone.Contains(pts[i]) ? 0.75 : 0.5) ? 1 : 0;
+  }
+  auto result = core::AuditMulticlassGrid(pts, classes, 2, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spatially_fair);
+}
+
+TEST(MulticlassAudit, DeterministicForSeed) {
+  Rng rng(74);
+  std::vector<geo::Point> pts(1000);
+  std::vector<uint8_t> classes(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    classes[i] = static_cast<uint8_t>(rng.NextUint64(4));
+  }
+  auto a = core::AuditMulticlassGrid(pts, classes, 4, FastOptions());
+  auto b = core::AuditMulticlassGrid(pts, classes, 4, FastOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->p_value, b->p_value);
+  EXPECT_EQ(a->tau, b->tau);
+}
+
+}  // namespace
+}  // namespace sfa

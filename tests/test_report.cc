@@ -1,0 +1,91 @@
+// Tests for the textual report rendering.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace sfa::core {
+namespace {
+
+AuditResult SampleResult() {
+  AuditResult result;
+  result.spatially_fair = false;
+  result.p_value = 0.001;
+  result.tau = 123.456;
+  result.critical_value = 9.6;
+  result.alpha = 0.005;
+  result.total_n = 206418;
+  result.total_p = 127286;
+  result.overall_rate = 0.6166;
+  RegionFinding f;
+  f.n = 7800;
+  f.p = 6552;
+  f.local_rate = 0.84;
+  f.llr = 123.456;
+  f.rect = geo::Rect(-123.0, 37.0, -121.0, 39.0);
+  f.label = "cell(3,4)";
+  result.findings.push_back(f);
+  return result;
+}
+
+TEST(FormatAuditSummary, ContainsVerdictAndNumbers) {
+  const std::string s = FormatAuditSummary(SampleResult(), "LAR");
+  EXPECT_NE(s.find("LAR"), std::string::npos);
+  EXPECT_NE(s.find("SPATIALLY UNFAIR"), std::string::npos);
+  EXPECT_NE(s.find("206,418"), std::string::npos);
+  EXPECT_NE(s.find("127,286"), std::string::npos);
+  EXPECT_NE(s.find("0.6166"), std::string::npos);
+  EXPECT_NE(s.find("123.456"), std::string::npos);
+  EXPECT_NE(s.find("significant regions: 1"), std::string::npos);
+}
+
+TEST(FormatAuditSummary, FairVerdict) {
+  AuditResult result = SampleResult();
+  result.spatially_fair = true;
+  result.findings.clear();
+  const std::string s = FormatAuditSummary(result, "x");
+  EXPECT_NE(s.find("SPATIALLY FAIR"), std::string::npos);
+  EXPECT_NE(s.find("significant regions: 0"), std::string::npos);
+}
+
+TEST(FormatFindingsTable, RendersRowsAndTruncation) {
+  AuditResult result = SampleResult();
+  for (int i = 0; i < 30; ++i) result.findings.push_back(result.findings[0]);
+  const std::string s = FormatFindingsTable(result.findings, 5);
+  // Header + separator + 5 rows + "more" line.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 8);
+  EXPECT_NE(s.find("(26 more)"), std::string::npos);
+  EXPECT_NE(s.find("0.840"), std::string::npos);
+}
+
+TEST(FormatFindingsTable, EmptyFindings) {
+  const std::string s = FormatFindingsTable({}, 5);
+  EXPECT_NE(s.find("rank"), std::string::npos);
+  EXPECT_EQ(s.find("more"), std::string::npos);
+}
+
+TEST(FormatFinding, OneLiner) {
+  const std::string s = FormatFinding(SampleResult().findings[0]);
+  EXPECT_NE(s.find("n=7800"), std::string::npos);
+  EXPECT_NE(s.find("local rate=0.840"), std::string::npos);
+  EXPECT_EQ(s.find('\n'), std::string::npos);
+}
+
+TEST(FormatMeanVarTable, RendersContributions) {
+  MeanVarResult mv;
+  mv.mean_var = 0.0522;
+  mv.per_partitioning_variance = {0.05, 0.054};
+  PartitionContribution c;
+  c.n = 5;
+  c.p = 0;
+  c.measure = 0.0;
+  c.contribution = 1.2e-4;
+  c.rect = geo::Rect(0, 0, 1, 1);
+  mv.ranked_partitions.push_back(c);
+  const std::string s = FormatMeanVarTable(mv, 10);
+  EXPECT_NE(s.find("0.052200"), std::string::npos);
+  EXPECT_NE(s.find("2 partitionings"), std::string::npos);
+  EXPECT_NE(s.find("1.20e-04"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfa::core

@@ -1,0 +1,172 @@
+// Tests for Monte Carlo null calibration: p-value semantics, critical
+// values, determinism across thread counts, and the two null models.
+#include "core/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/grid_family.h"
+#include "core/scan.h"
+
+namespace sfa::core {
+namespace {
+
+TEST(NullDistribution, PValueRankSemantics) {
+  // Null maxima: 5 worlds. With the observed world, w = 6.
+  NullDistribution dist({1.0, 2.0, 3.0, 4.0, 5.0});
+  // Observed 10 beats everything: p = 1/6.
+  EXPECT_NEAR(dist.PValue(10.0), 1.0 / 6, 1e-12);
+  // Observed 0 beats nothing: p = 6/6.
+  EXPECT_NEAR(dist.PValue(0.0), 1.0, 1e-12);
+  // Observed 3.5: three null values >= 3.5? No — 4 and 5 → p = 3/6.
+  EXPECT_NEAR(dist.PValue(3.5), 3.0 / 6, 1e-12);
+  // Ties count against the observed world (conservative): observed 3.0 →
+  // {3, 4, 5} are >= → p = 4/6.
+  EXPECT_NEAR(dist.PValue(3.0), 4.0 / 6, 1e-12);
+}
+
+TEST(NullDistribution, CriticalValueMatchesPValue) {
+  std::vector<double> maxima;
+  for (int i = 1; i <= 999; ++i) maxima.push_back(static_cast<double>(i));
+  NullDistribution dist(std::move(maxima));
+  const double critical = dist.CriticalValue(0.005);
+  // alpha*w = 0.005*1000 = 5 → the 5th largest null value, 995.
+  EXPECT_DOUBLE_EQ(critical, 995.0);
+  // Just above the critical value → significant.
+  EXPECT_LE(dist.PValue(995.5), 0.005);
+  // At or below → not significant.
+  EXPECT_GT(dist.PValue(995.0), 0.005);
+}
+
+TEST(NullDistribution, UnattainableAlphaGivesInfinity) {
+  NullDistribution dist({1.0, 2.0, 3.0});  // w = 4, min p = 0.25
+  EXPECT_TRUE(std::isinf(dist.CriticalValue(0.1)));
+  EXPECT_FALSE(std::isinf(dist.CriticalValue(0.25)));
+}
+
+TEST(NullDistribution, SortsInput) {
+  NullDistribution dist({3.0, 1.0, 2.0});
+  EXPECT_EQ(dist.sorted_max(), (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+std::unique_ptr<GridPartitionFamily> UniformFamily(size_t n, uint64_t seed,
+                                                   uint32_t g = 4) {
+  sfa::Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) p = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+  auto family = GridPartitionFamily::Create(pts, g, g);
+  EXPECT_TRUE(family.ok());
+  return std::move(*family);
+}
+
+TEST(SimulateNull, RejectsBadOptions) {
+  auto family = UniformFamily(100, 71);
+  MonteCarloOptions opts;
+  opts.num_worlds = 0;
+  EXPECT_FALSE(SimulateNull(*family, 0.5, 50, stats::ScanDirection::kTwoSided, opts)
+                   .ok());
+  opts.num_worlds = 10;
+  EXPECT_FALSE(SimulateNull(*family, 1.5, 50, stats::ScanDirection::kTwoSided, opts)
+                   .ok());
+  EXPECT_FALSE(
+      SimulateNull(*family, 0.5, 200, stats::ScanDirection::kTwoSided, opts).ok());
+}
+
+TEST(SimulateNull, DeterministicAcrossParallelism) {
+  auto family = UniformFamily(500, 72);
+  MonteCarloOptions serial;
+  serial.num_worlds = 50;
+  serial.seed = 7;
+  serial.parallel = false;
+  MonteCarloOptions parallel = serial;
+  parallel.parallel = true;
+  auto a = SimulateNull(*family, 0.4, 200, stats::ScanDirection::kTwoSided, serial);
+  auto b =
+      SimulateNull(*family, 0.4, 200, stats::ScanDirection::kTwoSided, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sorted_max(), b->sorted_max());
+}
+
+TEST(SimulateNull, DifferentSeedsGiveDifferentDistributions) {
+  auto family = UniformFamily(500, 73);
+  MonteCarloOptions opts;
+  opts.num_worlds = 20;
+  opts.seed = 1;
+  auto a = SimulateNull(*family, 0.5, 250, stats::ScanDirection::kTwoSided, opts);
+  opts.seed = 2;
+  auto b = SimulateNull(*family, 0.5, 250, stats::ScanDirection::kTwoSided, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->sorted_max(), b->sorted_max());
+}
+
+TEST(SimulateNull, NullMaximaArePositiveAndFinite) {
+  auto family = UniformFamily(1000, 74);
+  MonteCarloOptions opts;
+  opts.num_worlds = 100;
+  auto dist = SimulateNull(*family, 0.62, 620, stats::ScanDirection::kTwoSided, opts);
+  ASSERT_TRUE(dist.ok());
+  for (double v : dist->sorted_max()) {
+    ASSERT_GT(v, 0.0);  // some cell always deviates a little
+    ASSERT_LT(v, 100.0);
+  }
+}
+
+TEST(SimulateNull, PermutationNullWorksToo) {
+  auto family = UniformFamily(500, 75);
+  MonteCarloOptions opts;
+  opts.num_worlds = 50;
+  opts.null_model = NullModel::kPermutation;
+  auto dist = SimulateNull(*family, 0.5, 250, stats::ScanDirection::kTwoSided, opts);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->num_worlds(), 50u);
+}
+
+TEST(SimulateNull, BernoulliAndPermutationNullsAgreeRoughly) {
+  // For moderate N the two null models produce similar critical values.
+  auto family = UniformFamily(2000, 76);
+  MonteCarloOptions opts;
+  opts.num_worlds = 199;
+  opts.null_model = NullModel::kBernoulli;
+  auto bern = SimulateNull(*family, 0.5, 1000, stats::ScanDirection::kTwoSided, opts);
+  opts.null_model = NullModel::kPermutation;
+  auto perm = SimulateNull(*family, 0.5, 1000, stats::ScanDirection::kTwoSided, opts);
+  ASSERT_TRUE(bern.ok() && perm.ok());
+  const double c_bern = bern->CriticalValue(0.05);
+  const double c_perm = perm->CriticalValue(0.05);
+  EXPECT_NEAR(c_bern, c_perm, std::max(c_bern, c_perm));  // same order of magnitude
+}
+
+// The statistical contract: under a fair world, the p-value of a fresh
+// fair draw should be roughly uniform — in particular, it should exceed
+// 0.05 most of the time. (Smoke-level calibration check.)
+TEST(SimulateNull, FairWorldsAreRarelySignificant) {
+  auto family = UniformFamily(800, 77);
+  MonteCarloOptions opts;
+  opts.num_worlds = 99;
+  opts.seed = 31;
+  auto dist = SimulateNull(*family, 0.5, 400, stats::ScanDirection::kTwoSided, opts);
+  ASSERT_TRUE(dist.ok());
+
+  sfa::Rng rng(32);
+  int significant = 0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Labels labels = Labels::SampleBernoulli(800, 0.5, &rng);
+    std::vector<uint64_t> scratch;
+    const double observed =
+        ScanMaxStatistic(*family, labels, stats::ScanDirection::kTwoSided, &scratch);
+    if (dist->PValue(observed) <= 0.05) ++significant;
+  }
+  // Expect about 5% of 60 ≈ 3; allow generous slack.
+  EXPECT_LE(significant, 10);
+}
+
+TEST(NullModelToString, Names) {
+  EXPECT_STREQ(NullModelToString(NullModel::kBernoulli),
+               "unconditional Bernoulli");
+  EXPECT_STREQ(NullModelToString(NullModel::kPermutation),
+               "conditional permutation");
+}
+
+}  // namespace
+}  // namespace sfa::core

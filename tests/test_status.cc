@@ -1,0 +1,135 @@
+// Tests for the Status/Result error model and propagation macros.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+namespace sfa {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::InvalidArgument("bad input").message(), "bad input");
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("bad").ToString(), "InvalidArgument: bad");
+  EXPECT_EQ(Status::IOError("").ToString(), "IOError");
+}
+
+TEST(Status, WithContextPrependsAndPreservesCode) {
+  Status s = Status::ParseError("line 3").WithContext("file.csv");
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "file.csv: line 3");
+}
+
+TEST(Status, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeToString, CoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented), "NotImplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists), "AlreadyExists");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueOnSuccess) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  SFA_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(Macros, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SFA_ASSIGN_OR_RETURN(int h, Half(x));
+  SFA_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Macros, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2=3 is odd
+  EXPECT_TRUE(Quarter(5).status().IsInvalidArgument());
+}
+
+TEST(Macros, CheckOkPassesOnOk) { SFA_CHECK_OK(Status::OK()); }
+
+TEST(MacrosDeathTest, CheckAborts) {
+  EXPECT_DEATH(SFA_CHECK(false), "SFA_CHECK failed");
+}
+
+TEST(MacrosDeathTest, CheckMsgIncludesMessage) {
+  EXPECT_DEATH(SFA_CHECK_MSG(1 == 2, "custom detail " << 42), "custom detail 42");
+}
+
+TEST(MacrosDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(SFA_CHECK_OK(Status::Internal("boom")), "boom");
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,88 @@
+// Tests for string helpers and strict numeric parsing.
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sfa {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(Trim, RemovesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(ParseDouble, AcceptsValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  42 "), 42.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1.5 2.5").ok());
+}
+
+TEST(ParseInt64, AcceptsValid) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-9"), -9);
+  EXPECT_EQ(*ParseInt64(" 0 "), 0);
+}
+
+TEST(ParseInt64, RejectsInvalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("7seven").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());  // overflow
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(WithThousands, GroupsDigits) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(206418), "206,418");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,133 @@
+// Tests for the SVG canvas and map rendering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/random.h"
+#include "viz/map_render.h"
+#include "viz/svg.h"
+
+namespace sfa::viz {
+namespace {
+
+TEST(Color, HexRendering) {
+  EXPECT_EQ(Color({0, 0, 0}).ToHex(), "#000000");
+  EXPECT_EQ(Color({255, 128, 1}).ToHex(), "#ff8001");
+  EXPECT_EQ(Color::Green().ToHex(), "#2e8b57");
+}
+
+TEST(SvgCanvas, PixelMappingFlipsY) {
+  // Data square [0,10]^2 on a 100x100 canvas (2% margin).
+  SvgCanvas canvas(geo::Rect(0, 0, 10, 10), 100, 100);
+  const geo::Point bottom_left = canvas.ToPixel({0, 0});
+  const geo::Point top_right = canvas.ToPixel({10, 10});
+  // Bottom-left of data maps near the bottom-left of pixels (y large).
+  EXPECT_LT(bottom_left.x, 5.0);
+  EXPECT_GT(bottom_left.y, 95.0);
+  EXPECT_GT(top_right.x, 95.0);
+  EXPECT_LT(top_right.y, 5.0);
+}
+
+TEST(SvgCanvas, FinishProducesWellFormedDocument) {
+  SvgCanvas canvas(geo::Rect(0, 0, 1, 1), 200, 100);
+  canvas.DrawPoint({0.5, 0.5}, 2.0, Color::Red());
+  canvas.DrawRect(geo::Rect(0.1, 0.1, 0.9, 0.9), Color::Blue());
+  const std::string svg = canvas.Finish();
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"200\""), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgCanvas, PolygonAndText) {
+  SvgCanvas canvas(geo::Rect(0, 0, 4, 4), 100, 100);
+  auto triangle = geo::Polygon::Create({{1, 1}, {3, 1}, {2, 3}});
+  ASSERT_TRUE(triangle.ok());
+  canvas.DrawPolygon(*triangle, Color::Gray());
+  canvas.DrawText({2, 2}, "A<B&C>\"D\"");
+  const std::string svg = canvas.Finish();
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  // XML special characters must be escaped.
+  EXPECT_NE(svg.find("A&lt;B&amp;C&gt;&quot;D&quot;"), std::string::npos);
+  EXPECT_EQ(svg.find("A<B"), std::string::npos);
+}
+
+TEST(SvgCanvasDeathTest, RejectsDegenerateInputs) {
+  EXPECT_DEATH(SvgCanvas(geo::Rect(0, 0, 1, 1), 0, 100), "positive size");
+  EXPECT_DEATH(SvgCanvas(geo::Rect(0, 0, 0, 0), 10, 10), "positive area");
+}
+
+data::OutcomeDataset SmallDataset() {
+  Rng rng(5);
+  data::OutcomeDataset ds("map");
+  for (int i = 0; i < 500; ++i) {
+    ds.Add({rng.Uniform(0, 10), rng.Uniform(0, 5)}, rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  return ds;
+}
+
+TEST(RenderOutcomeMap, RejectsEmptyDataset) {
+  EXPECT_FALSE(RenderOutcomeMap(data::OutcomeDataset(), {}).ok());
+}
+
+TEST(RenderOutcomeMap, ContainsPointsAndOverlays) {
+  MapRegion overlay;
+  overlay.rect = geo::Rect(2, 2, 4, 4);
+  overlay.caption = "suspicious";
+  MapOptions opts;
+  opts.title = "test map";
+  auto svg = RenderOutcomeMap(SmallDataset(), {overlay}, opts);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("<circle"), std::string::npos);
+  EXPECT_NE(svg->find("suspicious"), std::string::npos);
+  EXPECT_NE(svg->find("test map"), std::string::npos);
+  // Both outcome colors appear.
+  EXPECT_NE(svg->find(Color::Green().ToHex()), std::string::npos);
+  EXPECT_NE(svg->find(Color::Red().ToHex()), std::string::npos);
+}
+
+TEST(RenderOutcomeMap, DerivedHeightKeepsAspect) {
+  MapOptions opts;
+  opts.width = 1000;
+  opts.height = 0;  // derive: data is 10 x 5 -> height ~500
+  auto svg = RenderOutcomeMap(SmallDataset(), {}, opts);
+  ASSERT_TRUE(svg.ok());
+  const size_t pos = svg->find("height=\"");
+  ASSERT_NE(pos, std::string::npos);
+  const int height = std::atoi(svg->c_str() + pos + 8);
+  EXPECT_GT(height, 450);
+  EXPECT_LT(height, 550);
+}
+
+TEST(RenderOutcomeMap, MaxPointsLimitsCircleCount) {
+  MapOptions opts;
+  opts.max_points = 50;
+  auto svg = RenderOutcomeMap(SmallDataset(), {}, opts);
+  ASSERT_TRUE(svg.ok());
+  size_t circles = 0;
+  for (size_t pos = svg->find("<circle"); pos != std::string::npos;
+       pos = svg->find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_LE(circles, 60u);  // stride rounding slack
+}
+
+TEST(WriteOutcomeMap, WritesFile) {
+  const auto path = std::filesystem::temp_directory_path() / "sfa_viz_test.svg";
+  ASSERT_TRUE(WriteOutcomeMap(SmallDataset(), {}, path.string()).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(WriteOutcomeMap, BadPathIsIOError) {
+  EXPECT_TRUE(WriteOutcomeMap(SmallDataset(), {}, "/nonexistent/x/y.svg")
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace sfa::viz

@@ -13,6 +13,7 @@
 #include "spatial/bitvector.h"
 #include "spatial/kdtree.h"
 #include "stats/bernoulli_scan.h"
+#include "stats/distributions.h"
 
 namespace sfa {
 namespace {
@@ -133,8 +134,9 @@ void BM_SquareFamilyWorld(benchmark::State& state) {
 }
 BENCHMARK(BM_SquareFamilyWorld)->Range(1 << 12, 1 << 17);
 
-void BM_MonteCarloEndToEnd(benchmark::State& state) {
-  // Full null calibration at the given world count (parallel).
+void RunMonteCarloBench(benchmark::State& state, const core::MonteCarloOptions& base) {
+  // Full null calibration at the given world count against a 50x25 grid
+  // family at N=20k — the ISSUE 1 headline configuration.
   const size_t n = 20000;
   const auto pts = Cloud(n);
   auto family = core::GridPartitionFamily::Create(pts, 50, 25);
@@ -142,7 +144,7 @@ void BM_MonteCarloEndToEnd(benchmark::State& state) {
     state.SkipWithError("family creation failed");
     return;
   }
-  core::MonteCarloOptions mc;
+  core::MonteCarloOptions mc = base;
   mc.num_worlds = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
     auto dist = core::SimulateNull(**family, 0.62, n * 62 / 100,
@@ -156,7 +158,95 @@ void BM_MonteCarloEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
 }
+
+void BM_MonteCarloEndToEnd(benchmark::State& state) {
+  // Production defaults: batched engine, closed-form cell sampling.
+  RunMonteCarloBench(state, core::MonteCarloOptions{});
+}
 BENCHMARK(BM_MonteCarloEndToEnd)->Arg(99)->Arg(199)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloEndToEndPointLevel(benchmark::State& state) {
+  // Batched engine without the closed-form sampler: isolates what batching,
+  // pooled arenas, and the log-table LLR buy on their own.
+  core::MonteCarloOptions mc;
+  mc.closed_form_cells = false;
+  RunMonteCarloBench(state, mc);
+}
+BENCHMARK(BM_MonteCarloEndToEndPointLevel)
+    ->Arg(99)
+    ->Arg(199)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloEndToEndReference(benchmark::State& state) {
+  // Per-world reference strategy with point-level sampling: the pre-engine
+  // baseline (fresh buffers every world, scalar counting).
+  core::MonteCarloOptions mc;
+  mc.engine = core::McEngine::kReference;
+  mc.closed_form_cells = false;
+  RunMonteCarloBench(state, mc);
+}
+BENCHMARK(BM_MonteCarloEndToEndReference)
+    ->Arg(99)
+    ->Arg(199)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloSquareFamily(benchmark::State& state) {
+  // Popcount-family calibration: batched (range 1) vs reference (range 0)
+  // engines over 2,000 memoized square regions at N = 2^15.
+  const size_t n = 1 << 15;
+  const auto pts = Cloud(n);
+  core::SquareScanOptions opts;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    opts.centers.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  opts.side_lengths = core::SquareScanOptions::DefaultSideLengths(0.2, 4.0, 20);
+  auto family = core::SquareScanFamily::Create(pts, opts);
+  if (!family.ok()) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  core::MonteCarloOptions mc;
+  mc.num_worlds = 49;
+  mc.engine = state.range(0) == 0 ? core::McEngine::kReference
+                                  : core::McEngine::kBatched;
+  for (auto _ : state) {
+    auto dist = core::SimulateNull(**family, 0.62, n * 62 / 100,
+                                   stats::ScanDirection::kTwoSided, mc);
+    if (!dist.ok()) {
+      state.SkipWithError("simulation failed");
+      return;
+    }
+    benchmark::DoNotOptimize(dist->sorted_max());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          mc.num_worlds);
+}
+BENCHMARK(BM_MonteCarloSquareFamily)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RngBinomial(benchmark::State& state) {
+  // One-off Binomial draws across regimes: small n·p (CDF inversion) and
+  // large n·p (BTRS rejection).
+  const auto n = static_cast<uint64_t>(state.range(0));
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Binomial(n, 0.62));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngBinomial)->Arg(8)->Arg(64)->Arg(1024)->Arg(20000);
+
+void BM_FixedBinomialSampler(benchmark::State& state) {
+  // The engine's per-cell alias sampler: O(1) per draw for fixed (n, p).
+  const auto n = static_cast<uint64_t>(state.range(0));
+  const stats::FixedBinomialSampler sampler(n, 0.62);
+  Rng rng(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Draw(&rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FixedBinomialSampler)->Arg(8)->Arg(64)->Arg(1024)->Arg(20000);
 
 void BM_LabelsSampling(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));

@@ -80,10 +80,12 @@ class Rng {
   /// PTRS rejection for large).
   uint64_t Poisson(double mean);
 
-  /// Binomial(n, p) via inversion for small n*p, otherwise normal-tail-safe
-  /// BTPE-style rejection is overkill here — we fall back to summing Bernoulli
-  /// blocks in O(n) only for modest n and use a normal approximation with
-  /// explicit correction for very large n (documented in random.cc).
+  /// Binomial(n, p), exact for all (n, p): CDF inversion by sequential
+  /// search when n·min(p,1-p) is small (O(n·p) cheap arithmetic steps, no
+  /// logs), Hörmann's BTRS transformed rejection otherwise (O(1) expected
+  /// draws). This is the closed-form null-world sampler of the Monte Carlo
+  /// engine: partition families draw per-cell positives directly instead of
+  /// labeling N points.
   uint64_t Binomial(uint64_t n, double p);
 
   /// Samples an index in [0, weights.size()) proportional to weights (all

@@ -1,5 +1,6 @@
 #include "core/grid_family.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/macros.h"
@@ -25,7 +26,8 @@ geo::Rect SnugExtent(const std::vector<geo::Point>& points) {
 GridPartitionFamily::GridPartitionFamily(const geo::GridSpec& grid,
                                          const std::vector<geo::Point>& points)
     : index_(grid, points) {
-  cell_counts_ = index_.CountsPerCell();
+  cells_.cell_counts = index_.CountsPerCell();
+  cells_.num_outside = index_.num_unassigned();
 }
 
 Result<std::unique_ptr<GridPartitionFamily>> GridPartitionFamily::Create(
@@ -66,6 +68,38 @@ void GridPartitionFamily::CountPositives(const Labels& labels,
     const uint32_t cell = cells[i];
     if (cell != geo::GridSpec::kInvalidCell && bytes[i]) ++(*out)[cell];
   }
+}
+
+void GridPartitionFamily::CountPositivesBatch(const Labels* const* batch,
+                                              size_t num_worlds,
+                                              uint64_t* out) const {
+  SFA_CHECK(batch != nullptr && out != nullptr);
+  const std::vector<uint32_t>& cells = index_.cell_assignments();
+  const size_t stride = num_regions();
+  std::fill(out, out + num_worlds * stride, 0ULL);
+  // The assignment array (the large stream) is read once for the whole
+  // batch; per-world count rows stay cache-resident.
+  std::vector<const uint8_t*> bytes(num_worlds);
+  std::vector<uint64_t*> rows(num_worlds);
+  for (size_t b = 0; b < num_worlds; ++b) {
+    SFA_CHECK_MSG(batch[b]->size() == num_points(),
+                  "labels " << batch[b]->size() << " != points " << num_points());
+    bytes[b] = batch[b]->bytes().data();
+    rows[b] = out + b * stride;
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const uint32_t cell = cells[i];
+    if (cell == geo::GridSpec::kInvalidCell) continue;
+    for (size_t b = 0; b < num_worlds; ++b) {
+      rows[b][cell] += bytes[b][i];
+    }
+  }
+}
+
+void GridPartitionFamily::CountPositivesFromCells(const uint32_t* cell_positives,
+                                                  uint64_t* out) const {
+  const size_t regions = num_regions();
+  for (size_t r = 0; r < regions; ++r) out[r] = cell_positives[r];
 }
 
 std::string GridPartitionFamily::Name() const {

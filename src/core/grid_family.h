@@ -29,9 +29,19 @@ class GridPartitionFamily : public RegionFamily {
   size_t num_regions() const override { return index_.grid().num_cells(); }
   size_t num_points() const override { return index_.num_points(); }
   RegionDescriptor Describe(size_t r) const override;
-  uint64_t PointCount(size_t r) const override { return cell_counts_[r]; }
+  uint64_t PointCount(size_t r) const override {
+    return cells_.cell_counts[r];
+  }
   void CountPositives(const Labels& labels,
                       std::vector<uint64_t>* out) const override;
+  /// One pass over cell assignments counts all worlds of the batch.
+  void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
+                           uint64_t* out) const override;
+  /// Regions ARE the cells: the decomposition is exact, enabling closed-form
+  /// Binomial null sampling in O(cells) per world.
+  const CellDecomposition* cell_decomposition() const override { return &cells_; }
+  void CountPositivesFromCells(const uint32_t* cell_positives,
+                               uint64_t* out) const override;
   std::string Name() const override;
 
   const geo::GridSpec& grid() const { return index_.grid(); }
@@ -42,7 +52,7 @@ class GridPartitionFamily : public RegionFamily {
                       const std::vector<geo::Point>& points);
 
   spatial::GridIndex index_;
-  std::vector<uint32_t> cell_counts_;
+  CellDecomposition cells_;
 };
 
 }  // namespace sfa::core

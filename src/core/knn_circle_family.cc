@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/membership_batch.h"
 #include "spatial/kdtree.h"
 
 namespace sfa::core {
@@ -92,6 +93,13 @@ void KnnCircleFamily::CountPositives(const Labels& labels,
   for (size_t r = 0; r < memberships_.size(); ++r) {
     (*out)[r] = spatial::BitVector::AndPopcount(memberships_[r], labels.bits());
   }
+}
+
+void KnnCircleFamily::CountPositivesBatch(const Labels* const* batch,
+                                          size_t num_worlds,
+                                          uint64_t* out) const {
+  CountPositivesBatchWithMemberships(memberships_, num_points_, batch, num_worlds,
+                                     out);
 }
 
 std::string KnnCircleFamily::Name() const {

@@ -8,39 +8,64 @@ namespace sfa::core {
 
 Labels Labels::FromBytes(std::vector<uint8_t> bytes) {
   Labels out;
-  out.bits_ = spatial::BitVector(bytes.size());
-  for (size_t i = 0; i < bytes.size(); ++i) {
-    SFA_DCHECK(bytes[i] <= 1);
-    if (bytes[i]) {
-      out.bits_.Set(i);
-      ++out.positive_count_;
-    }
+  uint64_t positives = 0;
+  for (uint8_t b : bytes) {
+    SFA_DCHECK(b <= 1);
+    positives += b;
   }
   out.bytes_ = std::move(bytes);
+  out.positive_count_ = positives;
   return out;
 }
 
 Labels Labels::SampleBernoulli(size_t n, double rho, Rng* rng) {
-  SFA_CHECK(rng != nullptr);
-  std::vector<uint8_t> bytes(n);
-  for (size_t i = 0; i < n; ++i) bytes[i] = rng->Bernoulli(rho) ? 1 : 0;
-  return FromBytes(std::move(bytes));
+  Labels out;
+  out.ResampleBernoulli(n, rho, rng);
+  return out;
 }
 
 Labels Labels::SamplePermutation(size_t n, uint64_t positives, Rng* rng) {
+  Labels out;
+  out.ResamplePermutation(n, positives, rng);
+  return out;
+}
+
+void Labels::ResampleBernoulli(size_t n, double rho, Rng* rng) {
+  SFA_CHECK(rng != nullptr);
+  bytes_.resize(n);
+  bits_valid_ = false;
+  uint64_t positives = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t b = rng->Bernoulli(rho) ? 1 : 0;
+    bytes_[i] = b;
+    positives += b;
+  }
+  positive_count_ = positives;
+}
+
+void Labels::ResamplePermutation(size_t n, uint64_t positives, Rng* rng,
+                                 std::vector<uint32_t>* order_scratch) {
   SFA_CHECK(rng != nullptr);
   SFA_CHECK_MSG(positives <= n, "more positives than points");
+  bits_valid_ = false;
   // Partial Fisher-Yates over point indices: the first `positives` slots of
   // the shuffled order receive label 1.
-  std::vector<uint32_t> order(n);
+  std::vector<uint32_t> local_order;
+  std::vector<uint32_t>& order = order_scratch ? *order_scratch : local_order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0u);
-  std::vector<uint8_t> bytes(n, 0);
+  bytes_.assign(n, 0);
   for (uint64_t i = 0; i < positives; ++i) {
     const uint64_t j = i + rng->NextUint64(n - i);
     std::swap(order[i], order[j]);
-    bytes[order[i]] = 1;
+    bytes_[order[i]] = 1;
   }
-  return FromBytes(std::move(bytes));
+  positive_count_ = positives;
+}
+
+void Labels::BuildBits() const {
+  bits_.AssignFromBytes(bytes_.data(), bytes_.size());
+  bits_valid_ = true;
 }
 
 }  // namespace sfa::core

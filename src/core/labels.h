@@ -3,8 +3,10 @@
 // Different region families want different label layouts: grid-aligned
 // families accumulate per-cell counts from a byte array in one O(N) pass,
 // while memoized square-scan families intersect a label *bit vector* with
-// per-region membership bit vectors via popcount. A Labels instance keeps
-// both views consistent so each family uses its fast path.
+// per-region membership bit vectors via popcount. A Labels instance keeps the
+// byte view authoritative and materializes the bit view lazily (word-packed,
+// not bit-by-bit) on first use, so audits whose families never touch bits —
+// e.g. grid-only audits — never pay for it.
 #ifndef SFA_CORE_LABELS_H_
 #define SFA_CORE_LABELS_H_
 
@@ -20,7 +22,7 @@ class Labels {
  public:
   Labels() = default;
 
-  /// Builds both representations from a 0/1 byte vector.
+  /// Builds from a 0/1 byte vector (the bit view stays lazy).
   static Labels FromBytes(std::vector<uint8_t> bytes);
 
   /// Null-world generator, unconditional variant (the paper's §3): each
@@ -32,6 +34,17 @@ class Labels {
   /// (permutation null). Provided for comparison ablations.
   static Labels SamplePermutation(size_t n, uint64_t positives, Rng* rng);
 
+  /// In-place Bernoulli resampling reusing existing storage: after the first
+  /// call on a pooled instance, drawing a world allocates nothing. Consumes
+  /// exactly the same RNG stream as SampleBernoulli.
+  void ResampleBernoulli(size_t n, double rho, Rng* rng);
+
+  /// In-place permutation resampling (same stream as SamplePermutation).
+  /// `order_scratch` (optional) supplies the shuffle buffer so pooled callers
+  /// avoid its allocation too.
+  void ResamplePermutation(size_t n, uint64_t positives, Rng* rng,
+                           std::vector<uint32_t>* order_scratch = nullptr);
+
   size_t size() const { return bytes_.size(); }
   uint64_t positive_count() const { return positive_count_; }
   double positive_rate() const {
@@ -40,11 +53,22 @@ class Labels {
   }
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
-  const spatial::BitVector& bits() const { return bits_; }
+
+  /// The bit view, built word-at-a-time on first access and cached until the
+  /// next resample. NOT thread-safe for the *first* call on a shared
+  /// instance; materialize before sharing across threads (the Monte Carlo
+  /// engine's label pools are thread-local, so worlds never race here).
+  const spatial::BitVector& bits() const {
+    if (!bits_valid_) BuildBits();
+    return bits_;
+  }
 
  private:
+  void BuildBits() const;
+
   std::vector<uint8_t> bytes_;
-  spatial::BitVector bits_;
+  mutable spatial::BitVector bits_;
+  mutable bool bits_valid_ = false;
   uint64_t positive_count_ = 0;
 };
 

@@ -1,0 +1,46 @@
+// The Monte Carlo world engine: simulates the null distribution of the max
+// scan statistic for a region family (paper §3), organized around three
+// cost levers the naive per-world loop leaves on the table:
+//
+//   closed-form null sampling   partition-structured families under the
+//                               Bernoulli null never label points — each
+//                               cell's positive count is an independent
+//                               Binomial(n_c, ρ) draw, O(cells) per world
+//                               instead of O(N);
+//   log-table LLR               every count is an integer <= N, so Λ(R) is
+//                               evaluated from a shared k·log k table
+//                               (stats::LogLikelihoodTable) with zero
+//                               std::log calls per region;
+//   allocation-free batches     worlds are processed in batches of B through
+//                               RegionFamily::CountPositivesBatch, with all
+//                               per-world buffers (labels, counts, shuffle
+//                               scratch) pooled in thread-local arenas.
+//
+// Both execution strategies — the batched engine and the plain per-world
+// reference — draw each world's randomness from the same per-world RNG
+// substream (Rng::Split(world)) and evaluate Λ through the same table, so
+// their NullDistributions are bit-identical for a fixed seed, independent of
+// batch size, thread count, and parallel on/off (test_mc_engine.cc enforces
+// this across every bundled family and both null models).
+#ifndef SFA_CORE_MC_ENGINE_H_
+#define SFA_CORE_MC_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/region_family.h"
+#include "core/significance.h"
+#include "stats/bernoulli_scan.h"
+
+namespace sfa::core {
+
+/// Simulates options.num_worlds null worlds and returns their max statistics
+/// in world order (unsorted). Inputs are assumed validated by SimulateNull.
+std::vector<double> RunMonteCarloWorlds(const RegionFamily& family, double rho,
+                                        uint64_t total_positives,
+                                        stats::ScanDirection direction,
+                                        const MonteCarloOptions& options);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_MC_ENGINE_H_

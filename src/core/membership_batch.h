@@ -1,0 +1,39 @@
+// Shared batch-counting kernel for region families whose regions are
+// memoized membership bit vectors over point ids (SquareScanFamily,
+// KnnCircleFamily): each membership vector is streamed once per batch and
+// intersected against every world's label bits via the word-blocked
+// BitVector::AndPopcountMany.
+#ifndef SFA_CORE_MEMBERSHIP_BATCH_H_
+#define SFA_CORE_MEMBERSHIP_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/labels.h"
+#include "spatial/bitvector.h"
+
+namespace sfa::core {
+
+inline void CountPositivesBatchWithMemberships(
+    const std::vector<spatial::BitVector>& memberships, size_t num_points,
+    const Labels* const* batch, size_t num_worlds, uint64_t* out) {
+  SFA_CHECK(batch != nullptr && out != nullptr);
+  const size_t stride = memberships.size();
+  std::vector<const spatial::BitVector*> bits(num_worlds);
+  for (size_t b = 0; b < num_worlds; ++b) {
+    SFA_CHECK_MSG(batch[b]->size() == num_points,
+                  "labels " << batch[b]->size() << " != points " << num_points);
+    bits[b] = &batch[b]->bits();  // materialized once per world, word-packed
+  }
+  std::vector<uint64_t> counts(num_worlds);
+  for (size_t r = 0; r < stride; ++r) {
+    spatial::BitVector::AndPopcountMany(memberships[r], bits.data(), num_worlds,
+                                        counts.data());
+    for (size_t b = 0; b < num_worlds; ++b) out[b * stride + r] = counts[b];
+  }
+}
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_MEMBERSHIP_BATCH_H_

@@ -25,6 +25,13 @@ PartitioningCollectionFamily::PartitioningCollectionFamily(
       ++point_counts_[offsets_[t] + partition];
     }
   }
+  if (t_count == 1) {
+    // A lone partitioning tiles the point set (PartitionOf clamps every point
+    // into a partition), so the regions themselves form a cell decomposition.
+    single_partitioning_cells_.cell_counts.assign(point_counts_.begin(),
+                                                  point_counts_.end());
+    single_partitioning_cells_.num_outside = 0;
+  }
 }
 
 Result<std::unique_ptr<PartitioningCollectionFamily>>
@@ -70,6 +77,39 @@ void PartitioningCollectionFamily::CountPositives(const Labels& labels,
       counts[assignment[i]] += bytes[i];
     }
   }
+}
+
+void PartitioningCollectionFamily::CountPositivesBatch(const Labels* const* batch,
+                                                       size_t num_worlds,
+                                                       uint64_t* out) const {
+  SFA_CHECK(batch != nullptr && out != nullptr);
+  const size_t stride = total_regions_;
+  std::fill(out, out + num_worlds * stride, 0ULL);
+  std::vector<const uint8_t*> bytes(num_worlds);
+  for (size_t b = 0; b < num_worlds; ++b) {
+    SFA_CHECK_MSG(batch[b]->size() == num_points_,
+                  "labels " << batch[b]->size() << " != points " << num_points_);
+    bytes[b] = batch[b]->bytes().data();
+  }
+  std::vector<uint64_t*> rows(num_worlds);
+  for (size_t t = 0; t < partitionings_.size(); ++t) {
+    const std::vector<uint32_t>& assignment = assignment_[t];
+    for (size_t b = 0; b < num_worlds; ++b) {
+      rows[b] = out + b * stride + offsets_[t];
+    }
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      const uint32_t partition = assignment[i];
+      for (size_t b = 0; b < num_worlds; ++b) {
+        rows[b][partition] += bytes[b][i];
+      }
+    }
+  }
+}
+
+void PartitioningCollectionFamily::CountPositivesFromCells(
+    const uint32_t* cell_positives, uint64_t* out) const {
+  SFA_DCHECK(partitionings_.size() == 1);
+  for (size_t r = 0; r < total_regions_; ++r) out[r] = cell_positives[r];
 }
 
 std::string PartitioningCollectionFamily::Name() const {

@@ -30,6 +30,21 @@ class PartitioningCollectionFamily : public RegionFamily {
   uint64_t PointCount(size_t r) const override { return point_counts_[r]; }
   void CountPositives(const Labels& labels,
                       std::vector<uint64_t>* out) const override;
+  /// Each partitioning's assignment array is streamed once per batch.
+  void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
+                           uint64_t* out) const override;
+  /// Non-null only for a single partitioning: its partitions then tile the
+  /// points and closed-form Binomial sampling applies. With several
+  /// partitionings the same point feeds regions of every partitioning, so
+  /// per-region counts are jointly coupled through point-level labels and no
+  /// disjoint decomposition exists.
+  const CellDecomposition* cell_decomposition() const override {
+    return single_partitioning_cells_.cell_counts.empty()
+               ? nullptr
+               : &single_partitioning_cells_;
+  }
+  void CountPositivesFromCells(const uint32_t* cell_positives,
+                               uint64_t* out) const override;
   std::string Name() const override;
 
   size_t num_partitionings() const { return partitionings_.size(); }
@@ -50,6 +65,7 @@ class PartitioningCollectionFamily : public RegionFamily {
   std::vector<std::vector<uint32_t>> assignment_;
   std::vector<size_t> offsets_;  // prefix sums of partitions per partitioning
   std::vector<uint64_t> point_counts_;
+  CellDecomposition single_partitioning_cells_;  // populated iff T == 1
   size_t total_regions_ = 0;
   size_t num_points_ = 0;
 };

@@ -24,6 +24,8 @@ RectangleSweepFamily::RectangleSweepFamily(const geo::GridSpec& grid,
                                            const std::vector<geo::Point>& points)
     : index_(grid, points),
       count_prefix_(grid.nx(), grid.ny(), index_.CountsPerCell()) {
+  cells_.cell_counts = index_.CountsPerCell();
+  cells_.num_outside = index_.num_unassigned();
   const size_t nx = grid.nx();
   const size_t ny = grid.ny();
   x_intervals_ = nx * (nx + 1) / 2;
@@ -113,12 +115,27 @@ void RectangleSweepFamily::CountPositives(const Labels& labels,
   SFA_CHECK_MSG(labels.size() == num_points(),
                 "labels " << labels.size() << " != points " << num_points());
   // One O(N) pass for per-cell positives, then a prefix sum, then O(1) per
-  // rectangle — enumerated in the same canonical order DecodeRegion uses.
-  std::vector<uint32_t> positives_per_cell(grid().num_cells());
+  // rectangle. The cell buffer and summed-area table are thread-local pools:
+  // after each worker thread's first world, recounting allocates nothing.
+  static thread_local std::vector<uint32_t> positives_per_cell;
+  static thread_local spatial::PrefixSum2D positive_prefix;
+  positives_per_cell.resize(grid().num_cells());
   index_.AccumulateLabelCounts(labels.bytes(), &positives_per_cell);
-  const spatial::PrefixSum2D positive_prefix(grid().nx(), grid().ny(),
-                                             positives_per_cell);
+  positive_prefix.Rebuild(grid().nx(), grid().ny(), positives_per_cell.data());
   out->resize(num_regions_);
+  FoldPrefixIntoRegions(positive_prefix, out->data());
+}
+
+void RectangleSweepFamily::CountPositivesFromCells(const uint32_t* cell_positives,
+                                                   uint64_t* out) const {
+  static thread_local spatial::PrefixSum2D positive_prefix;
+  positive_prefix.Rebuild(grid().nx(), grid().ny(), cell_positives);
+  FoldPrefixIntoRegions(positive_prefix, out);
+}
+
+void RectangleSweepFamily::FoldPrefixIntoRegions(
+    const spatial::PrefixSum2D& positive_prefix, uint64_t* out) const {
+  // Enumerated in the same canonical order DecodeRegion uses.
   const uint32_t nx = grid().nx();
   const uint32_t ny = grid().ny();
   size_t r = 0;
@@ -126,7 +143,7 @@ void RectangleSweepFamily::CountPositives(const Labels& labels,
     for (uint32_t y1 = y0 + 1; y1 <= ny; ++y1) {
       for (uint32_t x0 = 0; x0 < nx; ++x0) {
         for (uint32_t x1 = x0 + 1; x1 <= nx; ++x1) {
-          (*out)[r++] = positive_prefix.SumRange(x0, y0, x1, y1);
+          out[r++] = positive_prefix.SumRange(x0, y0, x1, y1);
         }
       }
     }

@@ -42,6 +42,12 @@ class RectangleSweepFamily : public RegionFamily {
   uint64_t PointCount(size_t r) const override;
   void CountPositives(const Labels& labels,
                       std::vector<uint64_t>* out) const override;
+  /// Every rectangle aggregates base-grid cells, so per-cell positives
+  /// determine all region counts: the base cells form the decomposition and
+  /// closed-form Binomial sampling applies.
+  const CellDecomposition* cell_decomposition() const override { return &cells_; }
+  void CountPositivesFromCells(const uint32_t* cell_positives,
+                               uint64_t* out) const override;
   std::string Name() const override;
 
   const geo::GridSpec& grid() const { return index_.grid(); }
@@ -57,8 +63,14 @@ class RectangleSweepFamily : public RegionFamily {
   RectangleSweepFamily(const geo::GridSpec& grid,
                        const std::vector<geo::Point>& points);
 
+  /// O(1)-per-rectangle fold of a per-cell summed-area table into the
+  /// canonical region order.
+  void FoldPrefixIntoRegions(const spatial::PrefixSum2D& positive_prefix,
+                             uint64_t* out) const;
+
   spatial::GridIndex index_;
   spatial::PrefixSum2D count_prefix_;  // point counts (fixed)
+  CellDecomposition cells_;            // base-grid cells (+ extent misses)
   std::vector<uint64_t> point_counts_;  // n(R) cached in canonical order
   size_t num_regions_ = 0;
   // Numbers of (begin, end) column/row intervals: nx(nx+1)/2 and ny(ny+1)/2.

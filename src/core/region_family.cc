@@ -1,5 +1,30 @@
 #include "core/region_family.h"
 
-// Interface-only translation unit: anchors the RegionFamily vtable.
+#include <algorithm>
 
-namespace sfa::core {}  // namespace sfa::core
+#include "common/macros.h"
+
+namespace sfa::core {
+
+void RegionFamily::CountPositivesBatch(const Labels* const* batch,
+                                       size_t num_worlds, uint64_t* out) const {
+  SFA_CHECK(batch != nullptr && out != nullptr);
+  // Reference path: one world at a time through the scalar interface. The
+  // scratch vector is hoisted so the only per-world cost beyond CountPositives
+  // is one row copy.
+  std::vector<uint64_t> scratch;
+  const size_t stride = num_regions();
+  for (size_t b = 0; b < num_worlds; ++b) {
+    CountPositives(*batch[b], &scratch);
+    std::copy(scratch.begin(), scratch.end(), out + b * stride);
+  }
+}
+
+void RegionFamily::CountPositivesFromCells(const uint32_t* /*cell_positives*/,
+                                           uint64_t* /*out*/) const {
+  SFA_CHECK_MSG(false,
+                "CountPositivesFromCells called on a family without a cell "
+                "decomposition");
+}
+
+}  // namespace sfa::core

@@ -12,6 +12,17 @@
 //                              rectangular partitionings       O(T·N) / world
 //   SquareScanFamily           k-means-centered squares of
 //                              several side lengths            popcount / world
+//
+// Two optional fast paths serve the batched Monte Carlo engine:
+//
+//   CountPositivesBatch  evaluates B worlds per pass over the family's
+//                        geometry, amortizing memory traffic (tuned
+//                        overrides in every bundled family);
+//   cell_decomposition   declares that p(R) is a pure function of positive
+//                        counts over a disjoint cell partition of the
+//                        points, letting the engine draw per-cell positives
+//                        in closed form — Binomial(n_c, ρ) per cell, O(cells)
+//                        instead of O(N) per Bernoulli null world.
 #ifndef SFA_CORE_REGION_FAMILY_H_
 #define SFA_CORE_REGION_FAMILY_H_
 
@@ -34,6 +45,18 @@ struct RegionDescriptor {
   uint32_t group = 0;
 };
 
+/// Disjoint-cell decomposition of a family's point set. Cells are pairwise
+/// disjoint; every point belongs to exactly one cell or is "outside" (counted
+/// toward N and P but toward no region). Valid only when per-region positive
+/// counts are a pure function of per-cell positive counts
+/// (CountPositivesFromCells).
+struct CellDecomposition {
+  /// Bound points per cell.
+  std::vector<uint32_t> cell_counts;
+  /// Points belonging to no cell (e.g. outside the grid extent).
+  uint64_t num_outside = 0;
+};
+
 class RegionFamily {
  public:
   virtual ~RegionFamily() = default;
@@ -52,9 +75,35 @@ class RegionFamily {
 
   /// p(R) for every region under `labels` (labels.size() == num_points()).
   /// `out` is resized to num_regions(). Must be thread-safe for concurrent
-  /// calls with distinct `out` buffers (the Monte Carlo loop relies on it).
+  /// calls with distinct `out` buffers AND distinct (or bit-materialized)
+  /// Labels: the bit view of Labels is built lazily on first access, so
+  /// sharing one Labels instance across threads requires calling
+  /// labels.bits() once beforehand. The Monte Carlo engine's label pools are
+  /// thread-local, satisfying this by construction.
   virtual void CountPositives(const Labels& labels,
                               std::vector<uint64_t>* out) const = 0;
+
+  /// p(R) for `num_worlds` label worlds in one pass. `out` is a row-major
+  /// [num_worlds x num_regions()] buffer owned by the caller. The base
+  /// implementation loops over CountPositives; families override it to
+  /// amortize passes over their geometry across worlds. Same thread-safety
+  /// contract as CountPositives. Results must be identical to per-world
+  /// CountPositives calls (counts are integers; the equivalence is exact and
+  /// is enforced by test_mc_engine.cc).
+  virtual void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
+                                   uint64_t* out) const;
+
+  /// The family's cell decomposition, or nullptr when region counts are not
+  /// cell-decomposable (the default). The returned pointer must stay valid
+  /// for the family's lifetime.
+  virtual const CellDecomposition* cell_decomposition() const { return nullptr; }
+
+  /// Maps per-cell positive counts (parallel to cell_decomposition()->
+  /// cell_counts) to per-region positives in `out` (size num_regions(),
+  /// caller-owned). Only called when cell_decomposition() is non-null; the
+  /// default aborts. Must be thread-safe for distinct `out` buffers.
+  virtual void CountPositivesFromCells(const uint32_t* cell_positives,
+                                       uint64_t* out) const;
 
   /// Human-readable one-liner for reports.
   virtual std::string Name() const = 0;

@@ -26,8 +26,10 @@ struct ScanResult {
 ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
                           stats::ScanDirection direction);
 
-/// Max-only evaluation for Monte Carlo worlds; `scratch` (resized as needed)
-/// avoids per-world allocations.
+/// Max-only evaluation with caller-provided counting buffer (`scratch` is
+/// resized as needed). The Monte Carlo engine (core/mc_engine.h) has its own
+/// table-driven max-Λ path; this entry point remains for observed-world
+/// one-offs, ablations, and tests.
 double ScanMaxStatistic(const RegionFamily& family, const Labels& labels,
                         stats::ScanDirection direction,
                         std::vector<uint64_t>* scratch);

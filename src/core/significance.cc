@@ -5,9 +5,7 @@
 #include <limits>
 
 #include "common/macros.h"
-#include "common/random.h"
-#include "common/thread_pool.h"
-#include "core/scan.h"
+#include "core/mc_engine.h"
 #include "stats/gumbel.h"
 
 namespace sfa::core {
@@ -18,6 +16,16 @@ const char* NullModelToString(NullModel model) {
       return "unconditional Bernoulli";
     case NullModel::kPermutation:
       return "conditional permutation";
+  }
+  return "?";
+}
+
+const char* McEngineToString(McEngine engine) {
+  switch (engine) {
+    case McEngine::kBatched:
+      return "batched";
+    case McEngine::kReference:
+      return "per-world reference";
   }
   return "?";
 }
@@ -69,25 +77,8 @@ Result<NullDistribution> SimulateNull(const RegionFamily& family, double rho,
   if (total_positives > n) {
     return Status::InvalidArgument("more positives than points");
   }
-
-  std::vector<double> max_llrs(options.num_worlds, 0.0);
-  Rng root(options.seed);
-  auto run_world = [&](size_t w) {
-    Rng rng = root.Split(w);
-    const Labels labels =
-        options.null_model == NullModel::kBernoulli
-            ? Labels::SampleBernoulli(n, rho, &rng)
-            : Labels::SamplePermutation(n, total_positives, &rng);
-    std::vector<uint64_t> scratch;
-    max_llrs[w] = ScanMaxStatistic(family, labels, direction, &scratch);
-  };
-
-  if (options.parallel) {
-    DefaultThreadPool().ParallelFor(options.num_worlds, run_world);
-  } else {
-    for (size_t w = 0; w < options.num_worlds; ++w) run_world(w);
-  }
-  return NullDistribution(std::move(max_llrs));
+  return NullDistribution(
+      RunMonteCarloWorlds(family, rho, total_positives, direction, options));
 }
 
 }  // namespace sfa::core

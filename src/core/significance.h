@@ -25,6 +25,20 @@ enum class NullModel {
 
 const char* NullModelToString(NullModel model);
 
+/// Execution strategy of the world engine. Both strategies produce
+/// bit-identical NullDistributions for the same options (per-world RNG
+/// substreams + shared log-table LLR); kReference exists as the semantic
+/// baseline and for A/B benchmarking.
+enum class McEngine {
+  /// Worlds in batches of batch_size through CountPositivesBatch, all
+  /// per-world buffers pooled in thread-local arenas (the default).
+  kBatched,
+  /// One world at a time, fresh buffers, scalar CountPositives.
+  kReference,
+};
+
+const char* McEngineToString(McEngine engine);
+
 struct MonteCarloOptions {
   /// Number of simulated worlds (W-1 in the paper's notation; the observed
   /// world makes it W). 999 gives p-value resolution 0.001.
@@ -34,6 +48,18 @@ struct MonteCarloOptions {
   /// Worlds are simulated on the default thread pool when true; results are
   /// identical either way (per-world substreams).
   bool parallel = true;
+  McEngine engine = McEngine::kBatched;
+  /// Worlds per batch in the kBatched engine. Affects performance only,
+  /// never results.
+  uint32_t batch_size = 8;
+  /// When the family exposes a cell decomposition (grid, rectangle sweep,
+  /// single partitioning) and the null is Bernoulli, draw per-cell positives
+  /// directly as independent Binomial(n_c, ρ) — O(cells) per world instead of
+  /// O(N) point labeling. Distributionally identical to point-level sampling
+  /// (the per-cell counts of i.i.d. Bernoulli labels ARE independent
+  /// binomials) but consumes a different RNG stream, so disable it to
+  /// reproduce point-level draws world-by-world.
+  bool closed_form_cells = true;
 };
 
 /// The simulated null distribution of the max statistic.

@@ -47,6 +47,10 @@ class SquareScanFamily : public RegionFamily {
   uint64_t PointCount(size_t r) const override { return point_counts_[r]; }
   void CountPositives(const Labels& labels,
                       std::vector<uint64_t>* out) const override;
+  /// Intersects each membership vector against all B label bit vectors
+  /// word-blocked, so membership words are streamed once per batch.
+  void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
+                           uint64_t* out) const override;
   std::string Name() const override;
 
   size_t num_centers() const { return centers_.size(); }

@@ -1,6 +1,7 @@
 #include "spatial/bitvector.h"
 
 #include <bit>
+#include <cstring>
 
 #include "common/macros.h"
 
@@ -18,6 +19,35 @@ BitVector BitVector::FromBools(const std::vector<uint8_t>& bools) {
 
 void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0ULL); }
 
+void BitVector::AssignFromBytes(const uint8_t* bytes, size_t n) {
+  if (size_ != n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0ULL);
+  }
+  const size_t full_words = n / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    uint64_t word = 0;
+    const uint8_t* chunk_base = bytes + w * 64;
+    for (size_t g = 0; g < 8; ++g) {
+      // Gather 8 label bytes at once; the multiply shifts each byte's LSB
+      // into the top byte's consecutive bit lanes (little-endian SWAR).
+      uint64_t chunk;
+      std::memcpy(&chunk, chunk_base + g * 8, 8);
+      const uint64_t bits8 =
+          ((chunk & 0x0101010101010101ULL) * 0x0102040810204080ULL) >> 56;
+      word |= bits8 << (g * 8);
+    }
+    words_[w] = word;
+  }
+  if (n % 64 != 0) {
+    uint64_t word = 0;
+    for (size_t i = full_words * 64; i < n; ++i) {
+      word |= static_cast<uint64_t>(bytes[i] & 1) << (i & 63);
+    }
+    words_[full_words] = word;  // tail bits beyond size_ stay zero
+  }
+}
+
 size_t BitVector::Popcount() const {
   size_t total = 0;
   for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
@@ -32,6 +62,36 @@ size_t BitVector::AndPopcount(const BitVector& a, const BitVector& b) {
     total += static_cast<size_t>(std::popcount(a.words_[i] & b.words_[i]));
   }
   return total;
+}
+
+void BitVector::AndPopcountMany(const BitVector& a, const BitVector* const* batch,
+                                size_t count, uint64_t* out) {
+  const size_t num_words = a.words_.size();
+  // Process worlds in blocks of 4 so the accumulators live in registers while
+  // each word of `a` is loaded exactly once per block.
+  size_t b = 0;
+  for (; b + 4 <= count; b += 4) {
+    SFA_DCHECK(batch[b]->size_ == a.size_);
+    uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    const uint64_t* w0 = batch[b]->words_.data();
+    const uint64_t* w1 = batch[b + 1]->words_.data();
+    const uint64_t* w2 = batch[b + 2]->words_.data();
+    const uint64_t* w3 = batch[b + 3]->words_.data();
+    for (size_t i = 0; i < num_words; ++i) {
+      const uint64_t aw = a.words_[i];
+      acc0 += static_cast<uint64_t>(std::popcount(aw & w0[i]));
+      acc1 += static_cast<uint64_t>(std::popcount(aw & w1[i]));
+      acc2 += static_cast<uint64_t>(std::popcount(aw & w2[i]));
+      acc3 += static_cast<uint64_t>(std::popcount(aw & w3[i]));
+    }
+    out[b] = acc0;
+    out[b + 1] = acc1;
+    out[b + 2] = acc2;
+    out[b + 3] = acc3;
+  }
+  for (; b < count; ++b) {
+    out[b] = AndPopcount(a, *batch[b]);
+  }
 }
 
 size_t BitVector::AndNotPopcount(const BitVector& a, const BitVector& b) {

@@ -24,6 +24,12 @@ class BitVector {
   /// Builds from a bool vector (bit i = bools[i]).
   static BitVector FromBools(const std::vector<uint8_t>& bools);
 
+  /// Rebuilds the vector from `n` 0/1 bytes, packing one 64-bit word per 8
+  /// byte-loads (SWAR, no per-bit read-modify-write) and reusing existing
+  /// word storage when the size already matches — the allocation-free refill
+  /// path of the Monte Carlo label pool.
+  void AssignFromBytes(const uint8_t* bytes, size_t n);
+
   size_t size() const { return size_; }
   size_t num_words() const { return words_.size(); }
 
@@ -49,6 +55,13 @@ class BitVector {
 
   /// Number of positions set in both `a` and `b`. Sizes must match.
   static size_t AndPopcount(const BitVector& a, const BitVector& b);
+
+  /// Batched intersection counts: out[b] = AndPopcount(a, *batch[b]) for all
+  /// `count` vectors, word-blocked so each word of `a` is loaded once and
+  /// intersected against every world — the memory-traffic-amortized kernel of
+  /// batched Monte Carlo recounting. All sizes must match `a`.
+  static void AndPopcountMany(const BitVector& a, const BitVector* const* batch,
+                              size_t count, uint64_t* out);
 
   /// Number of positions set in `a` but not in `b`. Sizes must match.
   static size_t AndNotPopcount(const BitVector& a, const BitVector& b);

@@ -4,11 +4,29 @@
 
 namespace sfa::spatial {
 
-PrefixSum2D::PrefixSum2D(uint32_t nx, uint32_t ny, const std::vector<uint32_t>& values)
-    : nx_(nx), ny_(ny) {
+PrefixSum2D::PrefixSum2D(uint32_t nx, uint32_t ny, const std::vector<uint32_t>& values) {
+  Rebuild(nx, ny, values);
+}
+
+void PrefixSum2D::Rebuild(uint32_t nx, uint32_t ny,
+                          const std::vector<uint32_t>& values) {
   SFA_CHECK_MSG(values.size() == static_cast<size_t>(nx) * ny,
                 "values size " << values.size() << " != " << nx << "*" << ny);
-  table_.assign(static_cast<size_t>(nx + 1) * (ny + 1), 0ULL);
+  Rebuild(nx, ny, values.data());
+}
+
+void PrefixSum2D::Rebuild(uint32_t nx, uint32_t ny, const uint32_t* values) {
+  SFA_CHECK(values != nullptr);
+  // The first row and column stay zero; every other entry is overwritten
+  // below, so the zero-fill is only needed when the layout changes. Dimension
+  // changes must refill even at equal table size (e.g. 2x3 -> 3x2): the new
+  // layout's first row/column would otherwise alias stale interior sums.
+  const size_t wanted = static_cast<size_t>(nx + 1) * (ny + 1);
+  if (table_.size() != wanted || nx != nx_ || ny != ny_) {
+    table_.assign(wanted, 0ULL);
+  }
+  nx_ = nx;
+  ny_ = ny;
   const size_t stride = nx_ + 1;
   for (uint32_t y = 0; y < ny_; ++y) {
     uint64_t row_sum = 0;

@@ -17,6 +17,14 @@ class PrefixSum2D {
   /// nx*ny).
   PrefixSum2D(uint32_t nx, uint32_t ny, const std::vector<uint32_t>& values);
 
+  /// Rebuilds in place from new `values`, reusing the table storage when the
+  /// dimensions are unchanged — the per-world refill path of the rectangle
+  /// sweep's Monte Carlo counting (no allocation after the first world).
+  void Rebuild(uint32_t nx, uint32_t ny, const std::vector<uint32_t>& values);
+
+  /// Same, from a raw row-major array of nx*ny values.
+  void Rebuild(uint32_t nx, uint32_t ny, const uint32_t* values);
+
   uint32_t nx() const { return nx_; }
   uint32_t ny() const { return ny_; }
 

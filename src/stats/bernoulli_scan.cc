@@ -63,6 +63,44 @@ double BernoulliLogLikelihoodRatio(const ScanCounts& c, ScanDirection direction)
   return llr < 0.0 ? 0.0 : llr;
 }
 
+LogLikelihoodTable::LogLikelihoodTable(uint64_t max_count) {
+  klogk_.resize(max_count + 1);
+  klogk_[0] = 0.0;
+  for (uint64_t k = 1; k <= max_count; ++k) {
+    const auto kd = static_cast<double>(k);
+    klogk_[k] = kd * std::log(kd);
+  }
+}
+
+double BernoulliLogLikelihoodRatio(const ScanCounts& c, ScanDirection direction,
+                                   const LogLikelihoodTable& table) {
+  SFA_DCHECK(c.IsValid());
+  SFA_DCHECK(c.total_n <= table.max_count());
+  const uint64_t n_out = c.total_n - c.n;
+  const uint64_t p_out = c.total_p - c.p;
+  if (c.n == 0 || n_out == 0) return 0.0;
+
+  // rate_in vs rate_out as exact integer cross-products: p/n <=> p_out/n_out
+  // iff p*n_out <=> p_out*n. 128-bit products cannot overflow for any N.
+  const auto lhs = static_cast<unsigned __int128>(c.p) * n_out;
+  const auto rhs = static_cast<unsigned __int128>(p_out) * c.n;
+  if (lhs == rhs) return 0.0;
+  switch (direction) {
+    case ScanDirection::kTwoSided:
+      break;
+    case ScanDirection::kHigh:
+      if (lhs < rhs) return 0.0;
+      break;
+    case ScanDirection::kLow:
+      if (lhs > rhs) return 0.0;
+      break;
+  }
+  const double llr = table.MaxBernoulliLogLikelihood(c.p, c.n) +
+                     table.MaxBernoulliLogLikelihood(p_out, n_out) -
+                     table.MaxBernoulliLogLikelihood(c.total_p, c.total_n);
+  return llr < 0.0 ? 0.0 : llr;
+}
+
 double LogSpatialUnfairnessLikelihood(const ScanCounts& c) {
   return BernoulliLogLikelihoodRatio(c, ScanDirection::kTwoSided) +
          NullLogLikelihood(c.total_p, c.total_n);

@@ -6,6 +6,9 @@
 #define SFA_STATS_DISTRIBUTIONS_H_
 
 #include <cstdint>
+#include <vector>
+
+#include "common/random.h"
 
 namespace sfa::stats {
 
@@ -38,6 +41,48 @@ double NormalPdf(double z);
 /// outcome at most as probable as the observed k (minlike method, the same
 /// convention as R's binom.test).
 double BinomialTestTwoSided(uint64_t k, uint64_t n, double p);
+
+/// O(1)-per-draw Binomial(n, p) sampler for FIXED (n, p): a Walker/Vose
+/// alias table over the (numerically supported) binomial outcomes, built once
+/// in O(n). One draw costs one uniform and two table loads — no
+/// transcendentals, no rejection loop.
+///
+/// This is the Monte Carlo engine's closed-form null sampler: a partition
+/// family's cell keeps the same (n_c, ρ) across every simulated world, so
+/// the per-cell pmf is computed once and each world pays O(cells) uniforms
+/// total. The pmf is evaluated outward from the mode (stable recurrence);
+/// outcomes whose probability underflows double precision are excluded,
+/// a truncation below 1e-300 of mass. Use Rng::Binomial for one-off draws.
+class FixedBinomialSampler {
+ public:
+  /// Degenerate sampler that always returns 0.
+  FixedBinomialSampler() = default;
+
+  FixedBinomialSampler(uint64_t n, double p);
+
+  /// Draws one variate; consumes exactly one uniform unless the distribution
+  /// is a point mass (then none).
+  uint64_t Draw(Rng* rng) const {
+    if (threshold_.empty()) return first_;
+    const double x = rng->NextDouble() * static_cast<double>(threshold_.size());
+    size_t i = static_cast<size_t>(x);
+    if (i >= threshold_.size()) i = threshold_.size() - 1;  // u ~ 1 edge
+    return first_ + ((x - static_cast<double>(i)) < threshold_[i] ? i : alias_[i]);
+  }
+
+  uint64_t n() const { return n_; }
+  double p() const { return p_; }
+
+ private:
+  uint64_t n_ = 0;
+  double p_ = 0.0;
+  uint64_t first_ = 0;  // smallest representable outcome
+  // Vose alias structure over outcomes [first_, first_ + K): entry i keeps
+  // outcome first_+i with probability threshold_[i], else alias to
+  // first_+alias_[i].
+  std::vector<double> threshold_;
+  std::vector<uint32_t> alias_;
+};
 
 }  // namespace sfa::stats
 

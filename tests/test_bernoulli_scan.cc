@@ -179,5 +179,44 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple<uint64_t, uint64_t>(10, 30),
                       std::make_tuple<uint64_t, uint64_t>(25, 40)));
 
+TEST(LogLikelihoodTable, MatchesDirectLogLikelihood) {
+  const LogLikelihoodTable table(200);
+  for (uint64_t m = 0; m <= 200; m += 7) {
+    for (uint64_t k = 0; k <= m; ++k) {
+      const double direct = MaxBernoulliLogLikelihood(k, m);
+      const double via_table = table.MaxBernoulliLogLikelihood(k, m);
+      // Same math, reassociated (k log k + (m-k) log(m-k) - m log m), so
+      // agreement is to additive rounding, not bit-exact.
+      ASSERT_NEAR(via_table, direct, 1e-9 * std::max(1.0, std::abs(direct)))
+          << k << "/" << m;
+    }
+  }
+}
+
+TEST(LogLikelihoodTable, LlrMatchesDirectAcrossDirections) {
+  const uint64_t total_n = 500;
+  const LogLikelihoodTable table(total_n);
+  for (uint64_t n : {1ULL, 20ULL, 250ULL, 499ULL}) {
+    for (uint64_t p_frac = 0; p_frac <= 4; ++p_frac) {
+      const uint64_t p = n * p_frac / 4;
+      for (uint64_t total_p : {p, p + (total_n - n) / 3, p + (total_n - n)}) {
+        ScanCounts c{.n = n, .p = p, .total_n = total_n, .total_p = total_p};
+        if (!c.IsValid()) continue;
+        for (ScanDirection d :
+             {ScanDirection::kTwoSided, ScanDirection::kHigh, ScanDirection::kLow}) {
+          const double direct = BernoulliLogLikelihoodRatio(c, d);
+          const double via_table = BernoulliLogLikelihoodRatio(c, d, table);
+          ASSERT_NEAR(via_table, direct, 1e-9 * std::max(1.0, direct));
+          // The zero gates (degenerate regions, equal rates, direction
+          // mismatch) are integer decisions in the table path: exact.
+          ASSERT_EQ(via_table == 0.0, direct == 0.0)
+              << n << " " << p << " " << total_p << " "
+              << ScanDirectionToString(d);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sfa::stats

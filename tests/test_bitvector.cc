@@ -142,5 +142,53 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorRandomSweep,
                          ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129, 1000,
                                            4096, 10001));
 
+class AssignFromBytesSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AssignFromBytesSweep, MatchesFromBools) {
+  const size_t n = GetParam();
+  sfa::Rng rng(n * 13 + 1);
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) b = rng.Bernoulli(0.4) ? 1 : 0;
+  BitVector packed;
+  packed.AssignFromBytes(bytes.data(), n);
+  EXPECT_EQ(packed, BitVector::FromBools(bytes));
+  EXPECT_EQ(packed.size(), n);
+
+  // Refill in place (storage reuse path): old bits must not survive.
+  for (auto& b : bytes) b = rng.Bernoulli(0.7) ? 1 : 0;
+  packed.AssignFromBytes(bytes.data(), n);
+  EXPECT_EQ(packed, BitVector::FromBools(bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AssignFromBytesSweep,
+                         ::testing::Values(0, 1, 8, 63, 64, 65, 100, 128, 500,
+                                           4096, 10001));
+
+TEST(BitVector, AndPopcountManyMatchesPairwise) {
+  sfa::Rng rng(29);
+  const size_t n = 777;
+  BitVector membership(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) membership.Set(i);
+  }
+  // 7 worlds exercises the 4-wide register block plus the scalar tail.
+  std::vector<BitVector> worlds;
+  std::vector<const BitVector*> ptrs;
+  for (int b = 0; b < 7; ++b) {
+    BitVector w(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) w.Set(i);
+    }
+    worlds.push_back(std::move(w));
+  }
+  for (const auto& w : worlds) ptrs.push_back(&w);
+  std::vector<uint64_t> batched(worlds.size());
+  BitVector::AndPopcountMany(membership, ptrs.data(), worlds.size(),
+                             batched.data());
+  for (size_t b = 0; b < worlds.size(); ++b) {
+    EXPECT_EQ(batched[b], BitVector::AndPopcount(membership, worlds[b])) << b;
+  }
+}
+
 }  // namespace
 }  // namespace sfa::spatial

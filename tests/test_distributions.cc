@@ -146,5 +146,96 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<uint64_t>(1, 2, 10, 100),
                        ::testing::Values(0.01, 0.3, 0.5, 0.8, 0.99)));
 
+TEST(FixedBinomialSampler, PointMasses) {
+  sfa::Rng rng(51);
+  const FixedBinomialSampler zero_n(0, 0.5);
+  const FixedBinomialSampler zero_p(25, 0.0);
+  const FixedBinomialSampler one_p(25, 1.0);
+  const FixedBinomialSampler default_constructed;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(zero_n.Draw(&rng), 0u);
+    EXPECT_EQ(zero_p.Draw(&rng), 0u);
+    EXPECT_EQ(one_p.Draw(&rng), 25u);
+    EXPECT_EQ(default_constructed.Draw(&rng), 0u);
+  }
+}
+
+TEST(FixedBinomialSampler, DeterministicGivenRngState) {
+  const FixedBinomialSampler sampler(100, 0.37);
+  sfa::Rng a(9), b(9);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(sampler.Draw(&a), sampler.Draw(&b));
+}
+
+// Chi-square goodness of fit of the alias sampler against the exact pmf.
+// Deterministic (fixed seed); the acceptance bound df + 5*sqrt(2 df) is ~5
+// sigma above the chi-square mean.
+class FixedBinomialGof
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(FixedBinomialGof, MatchesExactPmf) {
+  const auto [n, p] = GetParam();
+  const FixedBinomialSampler sampler(n, p);
+  sfa::Rng rng(1234 + n);
+  const int draws = 40000;
+  std::vector<int> observed(n + 1, 0);
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t k = sampler.Draw(&rng);
+    ASSERT_LE(k, n);
+    ++observed[k];
+  }
+  // Merge outcomes into bins with expected count >= 5 (standard chi-square
+  // validity rule), sweeping k in order.
+  double chi2 = 0.0;
+  int df = -1;  // one constraint: totals match
+  double expected_bin = 0.0, observed_bin = 0.0;
+  for (uint64_t k = 0; k <= n; ++k) {
+    expected_bin += BinomialPmf(k, n, p) * draws;
+    observed_bin += observed[k];
+    if (expected_bin >= 5.0) {
+      chi2 += (observed_bin - expected_bin) * (observed_bin - expected_bin) /
+              expected_bin;
+      ++df;
+      expected_bin = 0.0;
+      observed_bin = 0.0;
+    }
+  }
+  if (expected_bin > 0.0) {  // trailing partial bin
+    chi2 += (observed_bin - expected_bin) * (observed_bin - expected_bin) /
+            std::max(expected_bin, 1e-9);
+    ++df;
+  }
+  ASSERT_GE(df, 1);
+  EXPECT_LT(chi2, df + 5.0 * std::sqrt(2.0 * df))
+      << "n=" << n << " p=" << p << " df=" << df;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, FixedBinomialGof,
+    ::testing::Values(std::make_tuple<uint64_t, double>(12, 0.3),
+                      std::make_tuple<uint64_t, double>(40, 0.62),
+                      std::make_tuple<uint64_t, double>(100, 0.5),
+                      std::make_tuple<uint64_t, double>(1000, 0.01),
+                      std::make_tuple<uint64_t, double>(500, 0.93)));
+
+TEST(FixedBinomialSampler, LargeNMomentsMatch) {
+  const uint64_t n = 20000;
+  const double p = 0.62;
+  const FixedBinomialSampler sampler(n, p);
+  sfa::Rng rng(77);
+  const int draws = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double k = static_cast<double>(sampler.Draw(&rng));
+    sum += k;
+    sum_sq += k * k;
+  }
+  const double mean = sum / draws;
+  const double var = sum_sq / draws - mean * mean;
+  const double expected_mean = n * p;
+  const double expected_var = n * p * (1 - p);
+  EXPECT_NEAR(mean, expected_mean, 6.0 * std::sqrt(expected_var / draws));
+  EXPECT_NEAR(var, expected_var, 0.05 * expected_var);
+}
+
 }  // namespace
 }  // namespace sfa::stats

@@ -76,5 +76,54 @@ TEST(LabelsDeathTest, PermutationRejectsTooManyPositives) {
   EXPECT_DEATH(Labels::SamplePermutation(10, 11, &rng), "more positives");
 }
 
+TEST(Labels, ResampleBernoulliMatchesFactoryStream) {
+  sfa::Rng a(40), b(40);
+  Labels pooled;
+  for (int round = 0; round < 3; ++round) {
+    pooled.ResampleBernoulli(300, 0.35, &a);
+    const Labels fresh = Labels::SampleBernoulli(300, 0.35, &b);
+    ASSERT_EQ(pooled.bytes(), fresh.bytes()) << round;
+    ASSERT_EQ(pooled.positive_count(), fresh.positive_count());
+    ASSERT_EQ(pooled.bits(), fresh.bits());
+  }
+}
+
+TEST(Labels, ResamplePermutationMatchesFactoryStream) {
+  sfa::Rng a(41), b(41);
+  Labels pooled;
+  std::vector<uint32_t> order_scratch;
+  for (int round = 0; round < 3; ++round) {
+    pooled.ResamplePermutation(200, 80, &a, &order_scratch);
+    const Labels fresh = Labels::SamplePermutation(200, 80, &b);
+    ASSERT_EQ(pooled.bytes(), fresh.bytes()) << round;
+    ASSERT_EQ(pooled.positive_count(), 80u);
+    ASSERT_EQ(pooled.bits(), fresh.bits());
+  }
+}
+
+TEST(Labels, ResampleAcrossSizesDropsStaleState) {
+  sfa::Rng rng(42);
+  Labels pooled;
+  pooled.ResampleBernoulli(500, 0.9, &rng);
+  EXPECT_EQ(pooled.bits().size(), 500u);
+  pooled.ResampleBernoulli(64, 0.1, &rng);
+  EXPECT_EQ(pooled.size(), 64u);
+  EXPECT_EQ(pooled.bits().size(), 64u);
+  EXPECT_EQ(pooled.bits().Popcount(), pooled.positive_count());
+}
+
+TEST(Labels, BitsAreLazyAndConsistentAfterEachResample) {
+  sfa::Rng rng(43);
+  Labels pooled;
+  for (int round = 0; round < 4; ++round) {
+    pooled.ResampleBernoulli(137, 0.5, &rng);
+    const spatial::BitVector& bits = pooled.bits();  // built on demand
+    ASSERT_EQ(bits.size(), 137u);
+    for (size_t i = 0; i < pooled.size(); ++i) {
+      ASSERT_EQ(bits.Get(i), pooled.bytes()[i] != 0) << "round " << round;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sfa::core

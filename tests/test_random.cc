@@ -247,5 +247,89 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<uint64_t>(1, 5, 50, 500),
                        ::testing::Values(0.01, 0.25, 0.5, 0.75, 0.99)));
 
+TEST(Rng, BinomialIsDeterministic) {
+  Rng a(55), b(55);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(a.Binomial(30, 0.1), b.Binomial(30, 0.1));   // inversion branch
+    ASSERT_EQ(a.Binomial(200, 0.4), b.Binomial(200, 0.4));  // BTRS branch
+  }
+}
+
+// Chi-square goodness of fit against the exact pmf, for both sampler
+// branches: CDF inversion (n·p < 10) and BTRS rejection (n·p >= 10),
+// including the p > 1/2 reflection. Deterministic (fixed seeds); the bound
+// df + 5*sqrt(2 df) sits ~5 sigma above the chi-square mean.
+class BinomialChiSquare
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(BinomialChiSquare, MatchesExactPmf) {
+  const auto [n, p] = GetParam();
+  Rng rng(4242 + n);
+  const int draws = 40000;
+  std::vector<int> observed(n + 1, 0);
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t k = rng.Binomial(n, p);
+    ASSERT_LE(k, n);
+    ++observed[k];
+  }
+  // Exact pmf by the stable recurrence from the mode (independent of the
+  // sampler under test).
+  std::vector<double> pmf(n + 1, 0.0);
+  const double nd = static_cast<double>(n);
+  const auto mode = static_cast<uint64_t>(
+      std::min(nd, std::floor((nd + 1) * p)));
+  {
+    double log_pmf = 0.0;  // log C(n, mode) + mode log p + (n-mode) log q
+    for (uint64_t i = 1; i <= mode; ++i) {
+      log_pmf += std::log(nd - static_cast<double>(i) + 1.0) -
+                 std::log(static_cast<double>(i));
+    }
+    log_pmf += static_cast<double>(mode) * std::log(p) +
+               (nd - static_cast<double>(mode)) * std::log1p(-p);
+    pmf[mode] = std::exp(log_pmf);
+  }
+  const double odds = p / (1.0 - p);
+  for (uint64_t k = mode; k > 0; --k) {
+    pmf[k - 1] = pmf[k] * static_cast<double>(k) /
+                 (odds * (nd - static_cast<double>(k) + 1.0));
+  }
+  for (uint64_t k = mode; k < n; ++k) {
+    pmf[k + 1] = pmf[k] * odds * (nd - static_cast<double>(k)) /
+                 (static_cast<double>(k) + 1.0);
+  }
+  // Merge outcomes into bins with expected >= 5, then chi-square.
+  double chi2 = 0.0;
+  int df = -1;
+  double expected_bin = 0.0, observed_bin = 0.0;
+  for (uint64_t k = 0; k <= n; ++k) {
+    expected_bin += pmf[k] * draws;
+    observed_bin += observed[k];
+    if (expected_bin >= 5.0) {
+      chi2 += (observed_bin - expected_bin) * (observed_bin - expected_bin) /
+              expected_bin;
+      ++df;
+      expected_bin = 0.0;
+      observed_bin = 0.0;
+    }
+  }
+  if (expected_bin > 0.0) {
+    chi2 += (observed_bin - expected_bin) * (observed_bin - expected_bin) /
+            std::max(expected_bin, 1e-9);
+    ++df;
+  }
+  ASSERT_GE(df, 1);
+  EXPECT_LT(chi2, df + 5.0 * std::sqrt(2.0 * df))
+      << "n=" << n << " p=" << p << " df=" << df << " chi2=" << chi2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, BinomialChiSquare,
+    ::testing::Values(std::make_tuple<uint64_t, double>(30, 0.1),    // inversion
+                      std::make_tuple<uint64_t, double>(12, 0.45),   // inversion
+                      std::make_tuple<uint64_t, double>(200, 0.4),   // BTRS
+                      std::make_tuple<uint64_t, double>(5000, 0.3),  // BTRS
+                      std::make_tuple<uint64_t, double>(64, 0.85),   // reflected
+                      std::make_tuple<uint64_t, double>(400, 0.97)));  // refl+inv
+
 }  // namespace
 }  // namespace sfa

@@ -208,5 +208,51 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(7u, 1u), std::make_tuple(6u, 6u),
                       std::make_tuple(12u, 3u)));
 
+// Regression: Rebuild with transposed dimensions keeps the same table size
+// ((nx+1)*(ny+1) unchanged), so the reuse path must still refill — stale
+// interior sums would otherwise alias the new layout's zero row/column.
+// Matters in production because CountPositives pools its summed-area table
+// thread-locally across families.
+TEST(PrefixSum2DRebuild, TransposedDimensionsRefillCompletely) {
+  const std::vector<uint32_t> ones(6, 1);
+  spatial::PrefixSum2D prefix(2, 3, ones);
+  ASSERT_EQ(prefix.Total(), 6u);
+  prefix.Rebuild(3, 2, ones.data());
+  EXPECT_EQ(prefix.Total(), 6u);
+  EXPECT_EQ(prefix.SumRange(0, 0, 1, 1), 1u);
+  EXPECT_EQ(prefix.SumRange(0, 0, 3, 1), 3u);
+}
+
+// Two families with transposed grids recounted on the same thread must not
+// contaminate each other through the thread-local prefix pools.
+TEST(RectangleSweep, InterleavedTransposedFamiliesCountIndependently) {
+  sfa::Rng rng(314);
+  std::vector<geo::Point> pts(400);
+  for (auto& p : pts) p = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+  auto tall = RectangleSweepFamily::Create(pts, 4, 9);
+  auto wide = RectangleSweepFamily::Create(pts, 9, 4);
+  ASSERT_TRUE(tall.ok() && wide.ok());
+  const Labels labels = Labels::SampleBernoulli(pts.size(), 0.5, &rng);
+  std::vector<uint64_t> tall_before, wide_counts, tall_after;
+  (*tall)->CountPositives(labels, &tall_before);
+  (*wide)->CountPositives(labels, &wide_counts);
+  (*tall)->CountPositives(labels, &tall_after);
+  EXPECT_EQ(tall_before, tall_after);
+  // The full-extent rectangle of each family sees every positive.
+  const auto full_extent_count = [&](const RectangleSweepFamily& family,
+                                     const std::vector<uint64_t>& counts) {
+    for (size_t r = 0; r < family.num_regions(); ++r) {
+      const auto range = family.DecodeRegion(r);
+      if (range.x0 == 0 && range.y0 == 0 && range.x1 == family.grid().nx() &&
+          range.y1 == family.grid().ny()) {
+        return counts[r];
+      }
+    }
+    return uint64_t{0};
+  };
+  EXPECT_EQ(full_extent_count(**tall, tall_before), labels.positive_count());
+  EXPECT_EQ(full_extent_count(**wide, wide_counts), labels.positive_count());
+}
+
 }  // namespace
 }  // namespace sfa::core

@@ -4,8 +4,11 @@
 // throughput.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/random.h"
 #include "core/grid_family.h"
+#include "core/knn_circle_family.h"
 #include "core/labels.h"
 #include "core/scan.h"
 #include "core/significance.h"
@@ -190,28 +193,16 @@ BENCHMARK(BM_MonteCarloEndToEndReference)
     ->Arg(199)
     ->Unit(benchmark::kMillisecond);
 
-void BM_MonteCarloSquareFamily(benchmark::State& state) {
-  // Popcount-family calibration: batched (range 1) vs reference (range 0)
-  // engines over 2,000 memoized square regions at N = 2^15.
-  const size_t n = 1 << 15;
-  const auto pts = Cloud(n);
-  core::SquareScanOptions opts;
-  Rng rng(13);
-  for (int i = 0; i < 100; ++i) {
-    opts.centers.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
-  }
-  opts.side_lengths = core::SquareScanOptions::DefaultSideLengths(0.2, 4.0, 20);
-  auto family = core::SquareScanFamily::Create(pts, opts);
-  if (!family.ok()) {
-    state.SkipWithError("family creation failed");
-    return;
-  }
+void RunOverlappingFamilyBench(benchmark::State& state,
+                               const core::RegionFamily& family, size_t n) {
+  // Overlapping-family calibration: batched (range 1) vs reference (range 0)
+  // engines; the counting backend is fixed by the family instance.
   core::MonteCarloOptions mc;
   mc.num_worlds = 49;
   mc.engine = state.range(0) == 0 ? core::McEngine::kReference
                                   : core::McEngine::kBatched;
   for (auto _ : state) {
-    auto dist = core::SimulateNull(**family, 0.62, n * 62 / 100,
+    auto dist = core::SimulateNull(family, 0.62, n * 62 / 100,
                                    stats::ScanDirection::kTwoSided, mc);
     if (!dist.ok()) {
       state.SkipWithError("simulation failed");
@@ -222,7 +213,88 @@ void BM_MonteCarloSquareFamily(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           mc.num_worlds);
 }
+
+std::unique_ptr<core::SquareScanFamily> BenchSquareFamily(
+    size_t n, core::CountingBackend backend) {
+  const auto pts = Cloud(n);
+  core::SquareScanOptions opts;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    opts.centers.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  opts.side_lengths = core::SquareScanOptions::DefaultSideLengths(0.2, 4.0, 20);
+  opts.backend = backend;
+  auto family = core::SquareScanFamily::Create(pts, opts);
+  return family.ok() ? std::move(*family) : nullptr;
+}
+
+std::unique_ptr<core::KnnCircleFamily> BenchKnnFamily(
+    size_t n, core::CountingBackend backend) {
+  const auto pts = Cloud(n);
+  core::KnnCircleOptions opts;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    opts.centers.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  opts.backend = backend;
+  auto family = core::KnnCircleFamily::Create(pts, opts);
+  return family.ok() ? std::move(*family) : nullptr;
+}
+
+void BM_MonteCarloSquareFamily(benchmark::State& state) {
+  // 2,000 square regions at N = 2^15 through the default sparse-annulus
+  // scatter backend.
+  const size_t n = 1 << 15;
+  const auto family = BenchSquareFamily(n, core::CountingBackend::kSparseAnnulus);
+  if (!family) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  RunOverlappingFamilyBench(state, *family, n);
+}
 BENCHMARK(BM_MonteCarloSquareFamily)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloSquareFamilyDense(benchmark::State& state) {
+  // Same configuration through the dense AND+popcount reference backend.
+  const size_t n = 1 << 15;
+  const auto family = BenchSquareFamily(n, core::CountingBackend::kDenseBits);
+  if (!family) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  RunOverlappingFamilyBench(state, *family, n);
+}
+BENCHMARK(BM_MonteCarloSquareFamilyDense)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloKnnFamily(benchmark::State& state) {
+  // 700 kNN circles (100 centers x 7-rung SaTScan ladder) at N = 2^15,
+  // sparse-annulus scatter backend.
+  const size_t n = 1 << 15;
+  const auto family = BenchKnnFamily(n, core::CountingBackend::kSparseAnnulus);
+  if (!family) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  RunOverlappingFamilyBench(state, *family, n);
+}
+BENCHMARK(BM_MonteCarloKnnFamily)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloKnnFamilyDense(benchmark::State& state) {
+  const size_t n = 1 << 15;
+  const auto family = BenchKnnFamily(n, core::CountingBackend::kDenseBits);
+  if (!family) {
+    state.SkipWithError("family creation failed");
+    return;
+  }
+  RunOverlappingFamilyBench(state, *family, n);
+}
+BENCHMARK(BM_MonteCarloKnnFamilyDense)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RngBinomial(benchmark::State& state) {
   // One-off Binomial draws across regimes: small n·p (CDF inversion) and

@@ -1,0 +1,126 @@
+#include "core/annulus_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace sfa::core {
+
+std::vector<uint32_t> CollapseEmptyAnnuli(size_t num_rungs,
+                                          std::vector<AnnulusEntry>* entries) {
+  SFA_CHECK(entries != nullptr && num_rungs >= 1);
+  std::vector<uint64_t> occupancy(num_rungs, 0);
+  for (const AnnulusEntry& e : *entries) {
+    SFA_DCHECK(e.rank < num_rungs);
+    ++occupancy[e.rank];
+  }
+  std::vector<uint32_t> kept;
+  std::vector<uint32_t> remap(num_rungs, 0);
+  for (size_t l = 0; l < num_rungs; ++l) {
+    if (l == 0 || occupancy[l] > 0) {
+      remap[l] = static_cast<uint32_t>(kept.size());
+      kept.push_back(static_cast<uint32_t>(l));
+    }
+    // Dropped rungs have no entries, so their remap slot is never read.
+  }
+  if (kept.size() != num_rungs) {
+    for (AnnulusEntry& e : *entries) e.rank = remap[e.rank];
+  }
+  return kept;
+}
+
+AnnulusIndex::AnnulusIndex(size_t num_points, size_t num_centers,
+                           size_t num_rungs,
+                           const std::vector<AnnulusEntry>& entries)
+    : num_points_(num_points), num_centers_(num_centers), num_rungs_(num_rungs) {
+  SFA_CHECK(num_centers >= 1 && num_rungs >= 1);
+  SFA_CHECK_MSG(num_centers * num_rungs <=
+                    std::numeric_limits<uint32_t>::max(),
+                "region slots " << num_centers * num_rungs
+                                << " exceed uint32 histogram addressing");
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(entries.size());
+  for (const AnnulusEntry& e : entries) {
+    SFA_DCHECK(e.point < num_points && e.center < num_centers &&
+               e.rank < num_rungs);
+    pairs.emplace_back(
+        e.point, static_cast<uint32_t>(e.center * num_rungs + e.rank));
+  }
+  csr_ = spatial::BuildCsr32(num_points, pairs);
+
+  // n(R): the all-positive world, via the same annulus histogram + prefix sum
+  // the per-world counting path uses.
+  region_point_counts_.assign(num_regions(), 0);
+  std::vector<uint64_t> hist(num_regions(), 0);
+  for (uint32_t slot : csr_.values) ++hist[slot];
+  for (size_t c = 0; c < num_centers_; ++c) {
+    uint64_t acc = 0;
+    const size_t base = c * num_rungs_;
+    for (size_t l = 0; l < num_rungs_; ++l) {
+      acc += hist[base + l];
+      region_point_counts_[base + l] = acc;
+    }
+  }
+}
+
+size_t AnnulusIndex::MemoryBytes() const {
+  return csr_.MemoryBytes() + region_point_counts_.capacity() * sizeof(uint64_t);
+}
+
+void AnnulusIndex::CountPositives(const uint32_t* positives,
+                                  size_t num_positives, uint32_t* hist,
+                                  uint64_t* out) const {
+  SFA_CHECK(hist != nullptr && out != nullptr);
+  std::fill_n(hist, num_regions(), 0u);
+  const uint32_t* offsets = csr_.offsets.data();
+  const uint32_t* slots = csr_.values.data();
+  for (size_t i = 0; i < num_positives; ++i) {
+    const uint32_t p = positives[i];
+    SFA_DCHECK(p < num_points_);
+    const uint32_t end = offsets[p + 1];
+    for (uint32_t j = offsets[p]; j < end; ++j) ++hist[slots[j]];
+  }
+  for (size_t c = 0; c < num_centers_; ++c) {
+    uint64_t acc = 0;
+    const size_t base = c * num_rungs_;
+    for (size_t l = 0; l < num_rungs_; ++l) {
+      acc += hist[base + l];
+      out[base + l] = acc;
+    }
+  }
+}
+
+std::vector<uint32_t>& LocalAnnulusHistogram() {
+  static thread_local std::vector<uint32_t> hist;
+  return hist;
+}
+
+void CountPositivesWithAnnulus(const AnnulusIndex& index, const Labels& labels,
+                               uint64_t* out) {
+  SFA_CHECK(out != nullptr);
+  std::vector<uint32_t>& hist = LocalAnnulusHistogram();
+  hist.resize(index.num_regions());
+  const std::vector<uint32_t>& positives = labels.positive_indices();
+  index.CountPositives(positives.data(), positives.size(), hist.data(), out);
+}
+
+void CountPositivesBatchWithAnnulus(const AnnulusIndex& index,
+                                    size_t num_points,
+                                    const Labels* const* batch,
+                                    size_t num_worlds, uint64_t* out) {
+  SFA_CHECK(batch != nullptr && out != nullptr);
+  const size_t stride = index.num_regions();
+  std::vector<uint32_t>& hist = LocalAnnulusHistogram();
+  hist.resize(stride);
+  for (size_t b = 0; b < num_worlds; ++b) {
+    SFA_CHECK_MSG(batch[b]->size() == num_points,
+                  "labels " << batch[b]->size() << " != points " << num_points);
+    const std::vector<uint32_t>& positives = batch[b]->positive_indices();
+    index.CountPositives(positives.data(), positives.size(), hist.data(),
+                         out + b * stride);
+  }
+}
+
+}  // namespace sfa::core

@@ -1,0 +1,116 @@
+// Sparse nested-ladder counting backend for overlapping region families.
+//
+// SquareScanFamily and KnnCircleFamily share one structure: per scan center,
+// the size ladder is a chain R_1 ⊂ R_2 ⊂ … ⊂ R_L (kNN circles by
+// construction, concentric half-open squares by nesting of their rects). The
+// chain decomposes into disjoint per-center *annuli*: every point inside the
+// largest rung has a unique rank — the smallest rung that contains it — and
+// rung ℓ's member set is exactly the union of annuli 0..ℓ.
+//
+// The index therefore stores each center's membership ONCE, as (point, rank)
+// entries over the largest rung, instead of L dense bit vectors — an L-fold
+// cut in membership memory and construction work. Entries are laid out as a
+// point-major CSR (spatial::Csr32) whose payload is the flat histogram slot
+// center * L + rank, so counting a world is a scatter over only its POSITIVE
+// points:
+//
+//   for each positive point p:  for each slot s of p:  ++hist[s]
+//   per center: prefix-sum hist over ranks  =>  p(R) for all L rungs at once
+//
+// O(positive entries) per world, no dense label bits, no per-region
+// AND+popcount pass. The dense bit-vector path remains available in the
+// families as the bit-identical reference (core::CountingBackend).
+#ifndef SFA_CORE_ANNULUS_INDEX_H_
+#define SFA_CORE_ANNULUS_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/labels.h"
+#include "spatial/csr.h"
+
+namespace sfa::core {
+
+/// One (point, center, rank) incidence: `point` belongs to the annulus of
+/// rank `rank` at `center`, i.e. rank is the smallest ladder rung whose
+/// region contains the point.
+struct AnnulusEntry {
+  uint32_t point = 0;
+  uint32_t center = 0;
+  uint32_t rank = 0;
+};
+
+/// Drops ladder rungs that capture no annulus entry at any center — rung ℓ>0
+/// is empty exactly when every center's rung-ℓ member set equals its rung-
+/// (ℓ-1) set, so such rungs are duplicate regions. Entry ranks are remapped
+/// in place to the surviving ladder; returns the surviving original rung
+/// indices, ascending (rung 0 always survives). Families use this to dedup
+/// their size ladders identically in both counting backends.
+std::vector<uint32_t> CollapseEmptyAnnuli(size_t num_rungs,
+                                          std::vector<AnnulusEntry>* entries);
+
+class AnnulusIndex {
+ public:
+  AnnulusIndex() = default;
+
+  /// Builds the point-major scatter index. `num_rungs` is the ladder length
+  /// (after any dedup); every entry's rank must be < num_rungs and its
+  /// center < num_centers. Region index convention matches the families:
+  /// region r = center * num_rungs + rank-prefix.
+  AnnulusIndex(size_t num_points, size_t num_centers, size_t num_rungs,
+               const std::vector<AnnulusEntry>& entries);
+
+  size_t num_points() const { return num_points_; }
+  size_t num_centers() const { return num_centers_; }
+  size_t num_rungs() const { return num_rungs_; }
+  size_t num_regions() const { return num_centers_ * num_rungs_; }
+  size_t num_entries() const { return csr_.num_entries(); }
+
+  /// Heap bytes held by the index (CSR arrays + cached point counts) — the
+  /// sparse side of the family memory comparison.
+  size_t MemoryBytes() const;
+
+  /// n(R) for every region, precomputed at build (all labels positive).
+  const std::vector<uint64_t>& region_point_counts() const {
+    return region_point_counts_;
+  }
+
+  /// p(R) for one world given the ids of its positive points. `hist` is
+  /// caller-owned scratch of num_regions() uint32 slots (zeroed here), `out`
+  /// caller-owned with num_regions() slots. Thread-safe for distinct
+  /// scratch/out buffers.
+  void CountPositives(const uint32_t* positives, size_t num_positives,
+                      uint32_t* hist, uint64_t* out) const;
+
+ private:
+  spatial::Csr32 csr_;  // row = point, value = center * num_rungs + rank
+  std::vector<uint64_t> region_point_counts_;
+  size_t num_points_ = 0;
+  size_t num_centers_ = 0;
+  size_t num_rungs_ = 0;
+};
+
+/// Thread-local annulus histogram scratch shared by the scatter paths of all
+/// families on a thread (only live within one counting call).
+std::vector<uint32_t>& LocalAnnulusHistogram();
+
+/// Scalar kernel of the sparse backend: p(R) for one world through `index`
+/// via the world's sparse positive view, histogram scratch pooled
+/// thread-locally. `out` is caller-owned with index.num_regions() slots.
+void CountPositivesWithAnnulus(const AnnulusIndex& index, const Labels& labels,
+                               uint64_t* out);
+
+/// Batch kernel of the sparse backend: counts `num_worlds` worlds through
+/// `index` via each world's sparse positive view (Labels::positive_indices),
+/// scatter scratch pooled thread-locally. `out` is row-major
+/// [num_worlds x index.num_regions()], caller-owned. Never materializes
+/// dense label bits.
+void CountPositivesBatchWithAnnulus(const AnnulusIndex& index,
+                                    size_t num_points,
+                                    const Labels* const* batch,
+                                    size_t num_worlds, uint64_t* out);
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_ANNULUS_INDEX_H_

@@ -17,28 +17,65 @@ std::vector<double> KnnCircleOptions::DefaultPopulationFractions() {
 
 KnnCircleFamily::KnnCircleFamily(const std::vector<geo::Point>& points,
                                  std::vector<geo::Point> centers,
-                                 std::vector<size_t> ladder)
+                                 std::vector<size_t> ladder,
+                                 size_t num_requested_fractions,
+                                 CountingBackend backend)
     : centers_(std::move(centers)),
       ladder_(std::move(ladder)),
+      num_requested_fractions_(num_requested_fractions),
+      backend_(backend),
       num_points_(points.size()) {
-  const size_t total = centers_.size() * ladder_.size();
-  memberships_.assign(total, spatial::BitVector());
+  const size_t num_centers = centers_.size();
+  const size_t num_rungs = ladder_.size();
+  const size_t total = num_centers * num_rungs;
   point_counts_.assign(total, 0);
   radii_.assign(total, 0.0);
 
   const spatial::KdTree tree(points);
   const size_t max_k = ladder_.back();
-  DefaultThreadPool().ParallelFor(centers_.size(), [&](size_t c) {
-    // One kNN query at the largest k serves every rung of the ladder.
+  // One kNN query at the largest k serves every rung: position i of the
+  // nearest list has annulus rank = index of the first ladder value > i
+  // (prefixes of the list ARE the rungs). Every rung is strictly larger than
+  // its predecessor (ladder k values are deduped), so no annulus is empty.
+  std::vector<std::vector<AnnulusEntry>> per_center(num_centers);
+  DefaultThreadPool().ParallelFor(num_centers, [&](size_t c) {
     const std::vector<uint32_t> nearest = tree.KNearest(centers_[c], max_k);
-    for (size_t rung = 0; rung < ladder_.size(); ++rung) {
-      const size_t r = c * ladder_.size() + rung;
+    std::vector<AnnulusEntry>& out = per_center[c];
+    out.reserve(max_k);
+    for (size_t i = 0; i < max_k; ++i) {
+      const size_t rank = static_cast<size_t>(
+          std::upper_bound(ladder_.begin(), ladder_.end(), i) -
+          ladder_.begin());
+      out.push_back({nearest[i], static_cast<uint32_t>(c),
+                     static_cast<uint32_t>(rank)});
+    }
+    for (size_t rung = 0; rung < num_rungs; ++rung) {
+      const size_t r = c * num_rungs + rung;
       const size_t k = ladder_[rung];
-      spatial::BitVector membership(num_points_);
-      for (size_t i = 0; i < k; ++i) membership.Set(nearest[i]);
       point_counts_[r] = k;
       radii_[r] = centers_[c].DistanceTo(points[nearest[k - 1]]);
-      memberships_[r] = std::move(membership);
+    }
+  });
+  std::vector<AnnulusEntry> entries;
+  entries.reserve(num_centers * max_k);
+  for (std::vector<AnnulusEntry>& chunk : per_center) {
+    entries.insert(entries.end(), chunk.begin(), chunk.end());
+    chunk.clear();
+    chunk.shrink_to_fit();
+  }
+
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    annulus_ = AnnulusIndex(num_points_, num_centers, num_rungs, entries);
+    return;
+  }
+  memberships_.assign(total, spatial::BitVector());
+  DefaultThreadPool().ParallelFor(num_centers, [&](size_t c) {
+    spatial::BitVector cumulative(num_points_);
+    for (size_t rung = 0; rung < num_rungs; ++rung) {
+      for (size_t i = c * max_k; i < (c + 1) * max_k; ++i) {
+        if (entries[i].rank == rung) cumulative.Set(entries[i].point);
+      }
+      memberships_[c * num_rungs + rung] = cumulative;
     }
   });
 }
@@ -66,8 +103,9 @@ Result<std::unique_ptr<KnnCircleFamily>> KnnCircleFamily::Create(
   }
   std::sort(ladder.begin(), ladder.end());
   ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
-  return std::unique_ptr<KnnCircleFamily>(
-      new KnnCircleFamily(points, options.centers, std::move(ladder)));
+  return std::unique_ptr<KnnCircleFamily>(new KnnCircleFamily(
+      points, options.centers, std::move(ladder),
+      options.population_fractions.size(), options.backend));
 }
 
 RegionDescriptor KnnCircleFamily::Describe(size_t r) const {
@@ -90,6 +128,10 @@ void KnnCircleFamily::CountPositives(const Labels& labels,
   SFA_CHECK_MSG(labels.size() == num_points_,
                 "labels " << labels.size() << " != points " << num_points_);
   out->resize(num_regions());
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    CountPositivesWithAnnulus(annulus_, labels, out->data());
+    return;
+  }
   for (size_t r = 0; r < memberships_.size(); ++r) {
     (*out)[r] = spatial::BitVector::AndPopcount(memberships_[r], labels.bits());
   }
@@ -98,14 +140,31 @@ void KnnCircleFamily::CountPositives(const Labels& labels,
 void KnnCircleFamily::CountPositivesBatch(const Labels* const* batch,
                                           size_t num_worlds,
                                           uint64_t* out) const {
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    CountPositivesBatchWithAnnulus(annulus_, num_points_, batch, num_worlds,
+                                   out);
+    return;
+  }
   CountPositivesBatchWithMemberships(memberships_, num_points_, batch, num_worlds,
                                      out);
 }
 
+size_t KnnCircleFamily::MembershipBytes() const {
+  return backend_ == CountingBackend::kSparseAnnulus
+             ? annulus_.MemoryBytes()
+             : DenseMembershipBytes(memberships_);
+}
+
 std::string KnnCircleFamily::Name() const {
+  std::string dedup =
+      ladder_.size() == num_requested_fractions_
+          ? ""
+          : StrFormat(", deduped from %zu fractions", num_requested_fractions_);
   return StrFormat(
-      "%zu kNN circles (%zu centers x %zu population rungs) over %zu points",
-      num_regions(), centers_.size(), ladder_.size(), num_points_);
+      "%zu kNN circles (%zu centers x %zu population rungs%s) over %zu points "
+      "[%s]",
+      num_regions(), centers_.size(), ladder_.size(), dedup.c_str(), num_points_,
+      CountingBackendToString(backend_));
 }
 
 }  // namespace sfa::core

@@ -34,6 +34,7 @@ void Labels::ResampleBernoulli(size_t n, double rho, Rng* rng) {
   SFA_CHECK(rng != nullptr);
   bytes_.resize(n);
   bits_valid_ = false;
+  positives_valid_ = false;
   uint64_t positives = 0;
   for (size_t i = 0; i < n; ++i) {
     const uint8_t b = rng->Bernoulli(rho) ? 1 : 0;
@@ -48,6 +49,7 @@ void Labels::ResamplePermutation(size_t n, uint64_t positives, Rng* rng,
   SFA_CHECK(rng != nullptr);
   SFA_CHECK_MSG(positives <= n, "more positives than points");
   bits_valid_ = false;
+  positives_valid_ = false;
   // Partial Fisher-Yates over point indices: the first `positives` slots of
   // the shuffled order receive label 1.
   std::vector<uint32_t> local_order;
@@ -66,6 +68,15 @@ void Labels::ResamplePermutation(size_t n, uint64_t positives, Rng* rng,
 void Labels::BuildBits() const {
   bits_.AssignFromBytes(bytes_.data(), bytes_.size());
   bits_valid_ = true;
+}
+
+void Labels::BuildPositiveIndices() const {
+  positive_indices_.clear();
+  positive_indices_.reserve(positive_count_);
+  for (size_t i = 0; i < bytes_.size(); ++i) {
+    if (bytes_[i]) positive_indices_.push_back(static_cast<uint32_t>(i));
+  }
+  positives_valid_ = true;
 }
 
 }  // namespace sfa::core

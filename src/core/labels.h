@@ -63,12 +63,27 @@ class Labels {
     return bits_;
   }
 
+  /// The sparse view: ascending ids of the positive points, built lazily from
+  /// the byte view and cached until the next resample, reusing its capacity
+  /// across resamples on pooled instances. This is the input of the sparse
+  /// annulus scatter backend (core/annulus_index.h) — families counting
+  /// through it never materialize dense label bits at all. Same thread-safety
+  /// contract as bits(): pre-materialize before sharing one instance across
+  /// threads.
+  const std::vector<uint32_t>& positive_indices() const {
+    if (!positives_valid_) BuildPositiveIndices();
+    return positive_indices_;
+  }
+
  private:
   void BuildBits() const;
+  void BuildPositiveIndices() const;
 
   std::vector<uint8_t> bytes_;
   mutable spatial::BitVector bits_;
+  mutable std::vector<uint32_t> positive_indices_;
   mutable bool bits_valid_ = false;
+  mutable bool positives_valid_ = false;
   uint64_t positive_count_ = 0;
 };
 

@@ -14,7 +14,16 @@
 //   allocation-free batches     worlds are processed in batches of B through
 //                               RegionFamily::CountPositivesBatch, with all
 //                               per-world buffers (labels, counts, shuffle
-//                               scratch) pooled in thread-local arenas.
+//                               scratch) pooled in thread-local arenas;
+//   sparse positive scatter     overlapping families (squares, kNN circles)
+//                               default to the annulus CSR backend
+//                               (core/annulus_index.h): each batched world is
+//                               counted by scattering its positive point ids —
+//                               Labels' sparse view — into per-center annulus
+//                               histograms, O(positive entries) per world with
+//                               no dense label bits; batches parallelize the
+//                               scatter across worker threads like any other
+//                               counting backend.
 //
 // Both execution strategies — the batched engine and the plain per-world
 // reference — draw each world's randomness from the same per-world RNG

@@ -1,8 +1,8 @@
 // Shared batch-counting kernel for region families whose regions are
-// memoized membership bit vectors over point ids (SquareScanFamily,
-// KnnCircleFamily): each membership vector is streamed once per batch and
-// intersected against every world's label bits via the word-blocked
-// BitVector::AndPopcountMany.
+// memoized membership bit vectors over point ids (the dense-bits backend of
+// SquareScanFamily and KnnCircleFamily): each membership vector is streamed
+// once per batch and intersected against every world's label bits via the
+// word-blocked BitVector::AndPopcountMany.
 #ifndef SFA_CORE_MEMBERSHIP_BATCH_H_
 #define SFA_CORE_MEMBERSHIP_BATCH_H_
 
@@ -15,22 +15,50 @@
 
 namespace sfa::core {
 
+/// Thread-local scratch of the kernel below — the per-batch bit-view pointer
+/// table and the per-membership count row — so steady-state batches allocate
+/// nothing, matching the Monte Carlo engine's arena discipline. Safe because
+/// the buffers are only live within one kernel call on the owning thread.
+struct MembershipBatchScratch {
+  std::vector<const spatial::BitVector*> bits;
+  std::vector<uint64_t> counts;
+};
+
+inline MembershipBatchScratch& LocalMembershipBatchScratch() {
+  static thread_local MembershipBatchScratch scratch;
+  return scratch;
+}
+
+/// Heap bytes of a dense membership representation, the dense side of the
+/// families' sparse-vs-dense MembershipBytes comparison.
+inline size_t DenseMembershipBytes(
+    const std::vector<spatial::BitVector>& memberships) {
+  size_t bytes = 0;
+  for (const spatial::BitVector& m : memberships) {
+    bytes += m.num_words() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
 inline void CountPositivesBatchWithMemberships(
     const std::vector<spatial::BitVector>& memberships, size_t num_points,
     const Labels* const* batch, size_t num_worlds, uint64_t* out) {
   SFA_CHECK(batch != nullptr && out != nullptr);
   const size_t stride = memberships.size();
-  std::vector<const spatial::BitVector*> bits(num_worlds);
+  MembershipBatchScratch& scratch = LocalMembershipBatchScratch();
+  scratch.bits.resize(num_worlds);
+  scratch.counts.resize(num_worlds);
   for (size_t b = 0; b < num_worlds; ++b) {
     SFA_CHECK_MSG(batch[b]->size() == num_points,
                   "labels " << batch[b]->size() << " != points " << num_points);
-    bits[b] = &batch[b]->bits();  // materialized once per world, word-packed
+    scratch.bits[b] = &batch[b]->bits();  // materialized once per world
   }
-  std::vector<uint64_t> counts(num_worlds);
   for (size_t r = 0; r < stride; ++r) {
-    spatial::BitVector::AndPopcountMany(memberships[r], bits.data(), num_worlds,
-                                        counts.data());
-    for (size_t b = 0; b < num_worlds; ++b) out[b * stride + r] = counts[b];
+    spatial::BitVector::AndPopcountMany(memberships[r], scratch.bits.data(),
+                                        num_worlds, scratch.counts.data());
+    for (size_t b = 0; b < num_worlds; ++b) {
+      out[b * stride + r] = scratch.counts[b];
+    }
   }
 }
 

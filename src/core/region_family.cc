@@ -6,6 +6,16 @@
 
 namespace sfa::core {
 
+const char* CountingBackendToString(CountingBackend backend) {
+  switch (backend) {
+    case CountingBackend::kSparseAnnulus:
+      return "sparse-annulus";
+    case CountingBackend::kDenseBits:
+      return "dense-bits";
+  }
+  return "?";
+}
+
 void RegionFamily::CountPositivesBatch(const Labels* const* batch,
                                        size_t num_worlds, uint64_t* out) const {
   SFA_CHECK(batch != nullptr && out != nullptr);

@@ -35,6 +35,25 @@
 
 namespace sfa::core {
 
+/// Counting backend of the memoized overlapping families (SquareScanFamily,
+/// KnnCircleFamily). Both backends produce identical integer counts — and
+/// therefore bit-identical Monte Carlo null distributions for a fixed seed —
+/// the choice trades memory and per-world cost only
+/// (tests/test_annulus_index.cc enforces the equivalence).
+enum class CountingBackend {
+  /// Per-center nested ladders stored once as a point-major sparse CSR of
+  /// (point, annulus-rank) entries (core/annulus_index.h); worlds are counted
+  /// by scattering only their positive points into per-center annulus
+  /// histograms. ~L× less membership memory and construction work for an
+  /// L-rung ladder, no dense label bits touched. The default.
+  kSparseAnnulus,
+  /// One dense membership bit vector per region, AND+popcount against the
+  /// world's label bits — the reference path.
+  kDenseBits,
+};
+
+const char* CountingBackendToString(CountingBackend backend);
+
 /// Static description of one region in a family.
 struct RegionDescriptor {
   geo::Rect rect;

@@ -28,20 +28,86 @@ SquareScanFamily::SquareScanFamily(const std::vector<geo::Point>& points,
                                    const SquareScanOptions& options)
     : centers_(options.centers),
       side_lengths_(options.side_lengths),
+      num_requested_sides_(options.side_lengths.size()),
+      backend_(options.backend),
       num_points_(points.size()) {
-  const size_t total = centers_.size() * side_lengths_.size();
+  std::sort(side_lengths_.begin(), side_lengths_.end());
+  const size_t num_centers = centers_.size();
+  const size_t full_ladder = side_lengths_.size();
+  const spatial::KdTree tree(points);
+
+  // One range report per center over the LARGEST square covers the whole
+  // ladder: each reported point's annulus rank is the smallest side whose
+  // square contains it, found by binary search on the actual half-open
+  // Rect::Contains predicate (nesting makes it monotone in the side), so
+  // ranks agree exactly with per-rung range reports even for points on
+  // rect boundaries.
+  std::vector<std::vector<AnnulusEntry>> per_center(num_centers);
+  DefaultThreadPool().ParallelFor(num_centers, [&](size_t c) {
+    const geo::Point& center = centers_[c];
+    std::vector<AnnulusEntry>& out = per_center[c];
+    tree.VisitRect(
+        geo::Rect::CenteredSquare(center, side_lengths_.back()),
+        [&](uint32_t id) {
+          const geo::Point& p = points[id];
+          size_t lo = 0;
+          size_t hi = full_ladder - 1;
+          while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if (geo::Rect::CenteredSquare(center, side_lengths_[mid])
+                    .Contains(p)) {
+              hi = mid;
+            } else {
+              lo = mid + 1;
+            }
+          }
+          out.push_back({id, static_cast<uint32_t>(c),
+                         static_cast<uint32_t>(lo)});
+        });
+  });
+  std::vector<AnnulusEntry> entries;
+  std::vector<size_t> center_offsets(num_centers + 1, 0);
+  for (size_t c = 0; c < num_centers; ++c) {
+    center_offsets[c] = entries.size();
+    entries.insert(entries.end(), per_center[c].begin(), per_center[c].end());
+    per_center[c].clear();
+    per_center[c].shrink_to_fit();
+  }
+  center_offsets[num_centers] = entries.size();
+
+  // Collapse sides that capture identical member sets to their predecessor at
+  // every center (their annulus rank is globally empty). Both backends apply
+  // the same collapse, so their region sets are identical.
+  const std::vector<uint32_t> kept =
+      CollapseEmptyAnnuli(full_ladder, &entries);
+  if (kept.size() != full_ladder) {
+    std::vector<double> deduped(kept.size());
+    for (size_t i = 0; i < kept.size(); ++i) deduped[i] = side_lengths_[kept[i]];
+    side_lengths_ = std::move(deduped);
+  }
+  const size_t num_sides = side_lengths_.size();
+
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    annulus_ = AnnulusIndex(num_points_, num_centers, num_sides, entries);
+    point_counts_ = annulus_.region_point_counts();
+    return;
+  }
+
+  // Dense reference: expand each center's annulus entries into cumulative
+  // membership bit vectors, one per rung.
+  const size_t total = num_centers * num_sides;
   memberships_.assign(total, spatial::BitVector());
   point_counts_.assign(total, 0);
-
-  const spatial::KdTree tree(points);
-  DefaultThreadPool().ParallelFor(total, [&](size_t r) {
-    const geo::Point& center = centers_[r / side_lengths_.size()];
-    const double side = side_lengths_[r % side_lengths_.size()];
-    spatial::BitVector membership(num_points_);
-    tree.VisitRect(geo::Rect::CenteredSquare(center, side),
-                   [&membership](uint32_t id) { membership.Set(id); });
-    point_counts_[r] = membership.Popcount();
-    memberships_[r] = std::move(membership);
+  DefaultThreadPool().ParallelFor(num_centers, [&](size_t c) {
+    spatial::BitVector cumulative(num_points_);
+    for (size_t rung = 0; rung < num_sides; ++rung) {
+      for (size_t i = center_offsets[c]; i < center_offsets[c + 1]; ++i) {
+        if (entries[i].rank == rung) cumulative.Set(entries[i].point);
+      }
+      const size_t r = c * num_sides + rung;
+      point_counts_[r] = cumulative.Popcount();
+      memberships_[r] = cumulative;
+    }
   });
 }
 
@@ -84,6 +150,10 @@ void SquareScanFamily::CountPositives(const Labels& labels,
   SFA_CHECK_MSG(labels.size() == num_points_,
                 "labels " << labels.size() << " != points " << num_points_);
   out->resize(num_regions());
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    CountPositivesWithAnnulus(annulus_, labels, out->data());
+    return;
+  }
   for (size_t r = 0; r < memberships_.size(); ++r) {
     (*out)[r] = spatial::BitVector::AndPopcount(memberships_[r], labels.bits());
   }
@@ -92,13 +162,31 @@ void SquareScanFamily::CountPositives(const Labels& labels,
 void SquareScanFamily::CountPositivesBatch(const Labels* const* batch,
                                            size_t num_worlds,
                                            uint64_t* out) const {
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    CountPositivesBatchWithAnnulus(annulus_, num_points_, batch, num_worlds,
+                                   out);
+    return;
+  }
   CountPositivesBatchWithMemberships(memberships_, num_points_, batch, num_worlds,
                                      out);
 }
 
+size_t SquareScanFamily::MembershipBytes() const {
+  return backend_ == CountingBackend::kSparseAnnulus
+             ? annulus_.MemoryBytes()
+             : DenseMembershipBytes(memberships_);
+}
+
 std::string SquareScanFamily::Name() const {
-  return StrFormat("%zu square regions (%zu centers x %zu side lengths) over %zu points",
-                   num_regions(), centers_.size(), side_lengths_.size(), num_points_);
+  std::string dedup =
+      num_sides() == num_requested_sides_
+          ? ""
+          : StrFormat(", deduped from %zu", num_requested_sides_);
+  return StrFormat(
+      "%zu square regions (%zu centers x %zu side lengths%s) over %zu points "
+      "[%s]",
+      num_regions(), centers_.size(), num_sides(), dedup.c_str(), num_points_,
+      CountingBackendToString(backend_));
 }
 
 }  // namespace sfa::core

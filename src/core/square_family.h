@@ -3,9 +3,22 @@
 // setting: 100 k-means centers x 20 side lengths from 0.1 to 2 degrees =
 // 2,000 regions.
 //
-// Membership of every region is memoized as a bit vector over point ids
-// (built with one KD-tree range report per region), so each Monte Carlo
-// world costs one AND+popcount pass per region.
+// Side lengths are sorted ascending at construction, so each center's
+// regions form a nested chain (half-open CenteredSquare rects nest with the
+// side), and side lengths whose member sets are identical to the next-smaller
+// side at EVERY center are collapsed away (duplicate regions; the dedup is
+// reported by Name()).
+//
+// Two counting backends (core::CountingBackend, identical integer counts):
+//
+//   kSparseAnnulus (default)  one KD-tree range report per center over the
+//                             largest square; members are stored once as a
+//                             point-major CSR of (point, annulus-rank)
+//                             entries (core/annulus_index.h) and worlds are
+//                             counted by scattering only positive points;
+//   kDenseBits                one membership bit vector per region, each
+//                             world costing one AND+popcount pass per region
+//                             — the bit-identical reference.
 #ifndef SFA_CORE_SQUARE_FAMILY_H_
 #define SFA_CORE_SQUARE_FAMILY_H_
 
@@ -13,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/annulus_index.h"
 #include "core/region_family.h"
 #include "geo/point.h"
 #include "spatial/bitvector.h"
@@ -24,8 +38,12 @@ struct SquareScanOptions {
   /// Scan centers. Typically stats::KMeans centers of the observation
   /// locations; any point set works.
   std::vector<geo::Point> centers;
-  /// Side lengths in coordinate units (degrees for geographic data).
+  /// Side lengths in coordinate units (degrees for geographic data). Sorted
+  /// ascending at construction; sides capturing duplicate member sets at
+  /// every center are collapsed.
   std::vector<double> side_lengths;
+  /// Counting backend; results are identical either way.
+  CountingBackend backend = CountingBackend::kSparseAnnulus;
 
   /// The paper's default ladder: `count` side lengths evenly spaced in
   /// [min_side, max_side] (20 lengths from 0.1 to 2.0 degrees).
@@ -36,18 +54,22 @@ struct SquareScanOptions {
 
 class SquareScanFamily : public RegionFamily {
  public:
-  /// Builds membership bit vectors for all centers x side lengths over
-  /// `points`. Region index = center_index * num_sides + side_index.
+  /// Builds the counting structures for all centers x (deduped) side lengths
+  /// over `points`. Region index = center_index * num_sides + side_index with
+  /// sides ascending.
   static Result<std::unique_ptr<SquareScanFamily>> Create(
       const std::vector<geo::Point>& points, const SquareScanOptions& options);
 
-  size_t num_regions() const override { return memberships_.size(); }
+  size_t num_regions() const override {
+    return centers_.size() * side_lengths_.size();
+  }
   size_t num_points() const override { return num_points_; }
   RegionDescriptor Describe(size_t r) const override;
   uint64_t PointCount(size_t r) const override { return point_counts_[r]; }
   void CountPositives(const Labels& labels,
                       std::vector<uint64_t>* out) const override;
-  /// Intersects each membership vector against all B label bit vectors
+  /// Sparse backend: per-world positive scatter through the annulus CSR.
+  /// Dense backend: memberships intersected against all B label bit vectors
   /// word-blocked, so membership words are streamed once per batch.
   void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
                            uint64_t* out) const override;
@@ -60,15 +82,23 @@ class SquareScanFamily : public RegionFamily {
     return side_lengths_[r % side_lengths_.size()];
   }
   const std::vector<geo::Point>& centers() const { return centers_; }
+  /// Surviving side lengths, ascending.
   const std::vector<double>& side_lengths() const { return side_lengths_; }
+  CountingBackend backend() const { return backend_; }
+  /// Heap bytes of the active membership representation (CSR index or dense
+  /// bit vectors) — the quantity the sparse-vs-dense memory claims compare.
+  size_t MembershipBytes() const;
 
  private:
   SquareScanFamily(const std::vector<geo::Point>& points,
                    const SquareScanOptions& options);
 
   std::vector<geo::Point> centers_;
-  std::vector<double> side_lengths_;
-  std::vector<spatial::BitVector> memberships_;
+  std::vector<double> side_lengths_;   // post-dedup, ascending
+  size_t num_requested_sides_ = 0;     // pre-dedup ladder length
+  CountingBackend backend_ = CountingBackend::kSparseAnnulus;
+  AnnulusIndex annulus_;                          // sparse backend
+  std::vector<spatial::BitVector> memberships_;   // dense backend
   std::vector<uint64_t> point_counts_;
   size_t num_points_ = 0;
 };

@@ -1,0 +1,31 @@
+#include "spatial/csr.h"
+
+#include <limits>
+
+#include "common/macros.h"
+
+namespace sfa::spatial {
+
+Csr32 BuildCsr32(size_t num_rows,
+                 const std::vector<std::pair<uint32_t, uint32_t>>& entries) {
+  SFA_CHECK_MSG(entries.size() <= std::numeric_limits<uint32_t>::max(),
+                "CSR entry count " << entries.size() << " exceeds uint32");
+  Csr32 csr;
+  csr.offsets.assign(num_rows + 1, 0);
+  for (const auto& [row, value] : entries) {
+    SFA_DCHECK(row < num_rows);
+    (void)value;
+    ++csr.offsets[row + 1];
+  }
+  for (size_t r = 0; r < num_rows; ++r) csr.offsets[r + 1] += csr.offsets[r];
+  csr.values.resize(entries.size());
+  // Stable placement: cursor[r] starts at the row's offset and advances as
+  // entries land, preserving input order within each row.
+  std::vector<uint32_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& [row, value] : entries) {
+    csr.values[cursor[row]++] = value;
+  }
+  return csr;
+}
+
+}  // namespace sfa::spatial

@@ -1,0 +1,461 @@
+// Cross-backend equivalence suite for the sparse annulus counting backend
+// (core/annulus_index.h): for both overlapping families (SquareScanFamily,
+// KnnCircleFamily) the sparse CSR scatter counts must equal the dense
+// AND+popcount counts and a hand-rolled scalar loop, across random seeds,
+// both ScanDirections, and degenerate ladders (L=1, duplicate centers, empty
+// regions); the sparse backend's Monte Carlo null distribution must be
+// bit-identical to the dense reference for both null models, any batch size,
+// and parallel on/off. Also covers the CSR builder, the annulus collapse
+// helper, the ladder dedup both families report in Name(), and the sparse
+// backend's membership-memory advantage.
+#include "core/annulus_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/knn_circle_family.h"
+#include "core/labels.h"
+#include "core/scan.h"
+#include "core/significance.h"
+#include "core/square_family.h"
+#include "spatial/csr.h"
+#include "spatial/kdtree.h"
+
+namespace sfa::core {
+namespace {
+
+std::vector<geo::Point> Cloud(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) {
+    if (rng.Bernoulli(0.6)) {
+      p = {rng.Normal(3, 0.7), rng.Normal(7, 0.7)};
+    } else {
+      p = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    }
+  }
+  return pts;
+}
+
+std::vector<geo::Point> RandomCenters(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::Point> centers(count);
+  for (auto& c : centers) c = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+  return centers;
+}
+
+// ------------------------------------------------------------ CSR builder ---
+
+TEST(Csr32, BuildsStableRowMajorLayout) {
+  const std::vector<std::pair<uint32_t, uint32_t>> entries = {
+      {2, 7}, {0, 1}, {2, 5}, {0, 3}, {3, 9}};
+  const spatial::Csr32 csr = spatial::BuildCsr32(5, entries);
+  ASSERT_EQ(csr.num_rows(), 5u);
+  ASSERT_EQ(csr.num_entries(), 5u);
+  EXPECT_EQ(csr.offsets, (std::vector<uint32_t>{0, 2, 2, 4, 5, 5}));
+  // Stable within a row: values keep input order.
+  EXPECT_EQ(csr.values, (std::vector<uint32_t>{1, 3, 7, 5, 9}));
+  EXPECT_GT(csr.MemoryBytes(), 0u);
+}
+
+TEST(Csr32, EmptyInputs) {
+  const spatial::Csr32 none = spatial::BuildCsr32(3, {});
+  EXPECT_EQ(none.num_rows(), 3u);
+  EXPECT_EQ(none.num_entries(), 0u);
+  EXPECT_EQ(none.offsets, (std::vector<uint32_t>{0, 0, 0, 0}));
+}
+
+// ---------------------------------------------------------- annulus index ---
+
+TEST(AnnulusIndex, HandExampleCountsAllRungsAtOnce) {
+  // 2 centers, 3 rungs. Center 0: point 0 in rung 0, points 1,2 enter at
+  // rung 1, point 3 at rung 2. Center 1: point 2 in rung 0, point 4 at rung 2.
+  const std::vector<AnnulusEntry> entries = {
+      {0, 0, 0}, {1, 0, 1}, {2, 0, 1}, {3, 0, 2}, {2, 1, 0}, {4, 1, 2}};
+  const AnnulusIndex index(6, 2, 3, entries);
+  EXPECT_EQ(index.num_regions(), 6u);
+  EXPECT_EQ(index.num_entries(), 6u);
+  EXPECT_EQ(index.region_point_counts(),
+            (std::vector<uint64_t>{1, 3, 4, 1, 1, 2}));
+
+  const std::vector<uint32_t> positives = {2, 3, 4};  // labels 0,1 negative
+  std::vector<uint32_t> hist(index.num_regions());
+  std::vector<uint64_t> out(index.num_regions());
+  index.CountPositives(positives.data(), positives.size(), hist.data(),
+                       out.data());
+  // Center 0: rung0 {0} -> 0, rung1 {0,1,2} -> 1, rung2 {0..3} -> 2.
+  // Center 1: rung0 {2} -> 1, rung1 same -> 1, rung2 {2,4} -> 2.
+  EXPECT_EQ(out, (std::vector<uint64_t>{0, 1, 2, 1, 1, 2}));
+
+  // No positives.
+  index.CountPositives(nullptr, 0, hist.data(), out.data());
+  EXPECT_EQ(out, (std::vector<uint64_t>{0, 0, 0, 0, 0, 0}));
+}
+
+TEST(CollapseEmptyAnnuli, DropsGloballyEmptyRungsAndRemaps) {
+  // Rungs 1 and 3 have no entries at any center.
+  std::vector<AnnulusEntry> entries = {{0, 0, 0}, {1, 0, 2}, {2, 1, 4}};
+  const std::vector<uint32_t> kept = CollapseEmptyAnnuli(5, &entries);
+  EXPECT_EQ(kept, (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_EQ(entries[0].rank, 0u);
+  EXPECT_EQ(entries[1].rank, 1u);
+  EXPECT_EQ(entries[2].rank, 2u);
+}
+
+TEST(CollapseEmptyAnnuli, KeepsEmptyRungZero) {
+  // Rung 0 empty everywhere but rung 1 occupied: the empty base region is a
+  // distinct (empty) member set and must survive.
+  std::vector<AnnulusEntry> entries = {{0, 0, 1}};
+  const std::vector<uint32_t> kept = CollapseEmptyAnnuli(2, &entries);
+  EXPECT_EQ(kept, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(entries[0].rank, 1u);
+}
+
+// ----------------------------------------------- cross-backend equivalence ---
+
+struct FamilyPair {
+  std::unique_ptr<RegionFamily> sparse;
+  std::unique_ptr<RegionFamily> dense;
+};
+
+FamilyPair MakeSquarePair(const std::vector<geo::Point>& points,
+                          SquareScanOptions opts) {
+  FamilyPair pair;
+  opts.backend = CountingBackend::kSparseAnnulus;
+  auto sparse = SquareScanFamily::Create(points, opts);
+  EXPECT_TRUE(sparse.ok());
+  pair.sparse = std::move(*sparse);
+  opts.backend = CountingBackend::kDenseBits;
+  auto dense = SquareScanFamily::Create(points, opts);
+  EXPECT_TRUE(dense.ok());
+  pair.dense = std::move(*dense);
+  return pair;
+}
+
+FamilyPair MakeKnnPair(const std::vector<geo::Point>& points,
+                       KnnCircleOptions opts) {
+  FamilyPair pair;
+  opts.backend = CountingBackend::kSparseAnnulus;
+  auto sparse = KnnCircleFamily::Create(points, opts);
+  EXPECT_TRUE(sparse.ok());
+  pair.sparse = std::move(*sparse);
+  opts.backend = CountingBackend::kDenseBits;
+  auto dense = KnnCircleFamily::Create(points, opts);
+  EXPECT_TRUE(dense.ok());
+  pair.dense = std::move(*dense);
+  return pair;
+}
+
+/// Asserts the two backends agree with each other on n(R), p(R) (scalar and
+/// batched), and ScanMaxStatistic under every direction, for `worlds` random
+/// label assignments.
+void CheckBackendsAgree(const FamilyPair& pair, size_t worlds, uint64_t seed) {
+  const RegionFamily& sparse = *pair.sparse;
+  const RegionFamily& dense = *pair.dense;
+  ASSERT_EQ(sparse.num_regions(), dense.num_regions());
+  ASSERT_EQ(sparse.num_points(), dense.num_points());
+  for (size_t r = 0; r < sparse.num_regions(); ++r) {
+    ASSERT_EQ(sparse.PointCount(r), dense.PointCount(r)) << "region " << r;
+  }
+
+  Rng rng(seed);
+  std::vector<Labels> labels;
+  std::vector<const Labels*> ptrs;
+  for (size_t w = 0; w < worlds; ++w) {
+    labels.push_back(
+        Labels::SampleBernoulli(sparse.num_points(), 0.1 + 0.2 * (w % 5), &rng));
+  }
+  for (const Labels& l : labels) ptrs.push_back(&l);
+
+  std::vector<uint64_t> from_sparse, from_dense;
+  for (size_t w = 0; w < worlds; ++w) {
+    sparse.CountPositives(labels[w], &from_sparse);
+    dense.CountPositives(labels[w], &from_dense);
+    ASSERT_EQ(from_sparse, from_dense) << "world " << w;
+  }
+
+  const size_t stride = sparse.num_regions();
+  std::vector<uint64_t> batch_sparse(worlds * stride);
+  std::vector<uint64_t> batch_dense(worlds * stride);
+  sparse.CountPositivesBatch(ptrs.data(), worlds, batch_sparse.data());
+  dense.CountPositivesBatch(ptrs.data(), worlds, batch_dense.data());
+  ASSERT_EQ(batch_sparse, batch_dense);
+
+  std::vector<uint64_t> scratch;
+  for (stats::ScanDirection direction :
+       {stats::ScanDirection::kTwoSided, stats::ScanDirection::kHigh,
+        stats::ScanDirection::kLow}) {
+    for (size_t w = 0; w < std::min<size_t>(worlds, 3); ++w) {
+      const double tau_sparse =
+          ScanMaxStatistic(sparse, labels[w], direction, &scratch);
+      const double tau_dense =
+          ScanMaxStatistic(dense, labels[w], direction, &scratch);
+      ASSERT_EQ(tau_sparse, tau_dense)
+          << "direction " << static_cast<int>(direction) << " world " << w;
+    }
+  }
+}
+
+TEST(AnnulusBackend, SquareCountsMatchDenseAndScalarLoop) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const auto pts = Cloud(400 + 150 * seed, seed);
+    SquareScanOptions opts;
+    opts.centers = RandomCenters(8, seed + 100);
+    opts.side_lengths = SquareScanOptions::DefaultSideLengths(0.4, 3.5, 6);
+    const FamilyPair pair = MakeSquarePair(pts, opts);
+    CheckBackendsAgree(pair, 6, seed + 200);
+
+    // Scalar loop over the described rects, the third independent counter.
+    Rng rng(seed + 300);
+    const Labels labels = Labels::SampleBernoulli(pts.size(), 0.37, &rng);
+    std::vector<uint64_t> counts;
+    pair.sparse->CountPositives(labels, &counts);
+    for (size_t r = 0; r < pair.sparse->num_regions(); ++r) {
+      const geo::Rect rect = pair.sparse->Describe(r).rect;
+      uint64_t expected_n = 0, expected_p = 0;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (rect.Contains(pts[i])) {
+          ++expected_n;
+          expected_p += labels.bytes()[i];
+        }
+      }
+      ASSERT_EQ(pair.sparse->PointCount(r), expected_n) << "region " << r;
+      ASSERT_EQ(counts[r], expected_p) << "region " << r;
+    }
+  }
+}
+
+TEST(AnnulusBackend, KnnCountsMatchDenseAndScalarLoop) {
+  for (uint64_t seed : {4u, 5u}) {
+    const auto pts = Cloud(500, seed);
+    KnnCircleOptions opts;
+    opts.centers = RandomCenters(7, seed + 100);
+    opts.population_fractions = {0.01, 0.03, 0.08, 0.15};
+    const FamilyPair pair = MakeKnnPair(pts, opts);
+    CheckBackendsAgree(pair, 6, seed + 200);
+
+    // Scalar loop: recompute the ladder and each center's nearest list
+    // directly and count positives by hand.
+    std::vector<size_t> ladder;
+    for (double f : opts.population_fractions) {
+      ladder.push_back(std::clamp<size_t>(
+          static_cast<size_t>(std::ceil(f * static_cast<double>(pts.size()))),
+          1, pts.size()));
+    }
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+
+    Rng rng(seed + 300);
+    const Labels labels = Labels::SampleBernoulli(pts.size(), 0.42, &rng);
+    std::vector<uint64_t> counts;
+    pair.sparse->CountPositives(labels, &counts);
+    const spatial::KdTree tree(pts);
+    for (size_t c = 0; c < opts.centers.size(); ++c) {
+      const auto nearest = tree.KNearest(opts.centers[c], ladder.back());
+      for (size_t rung = 0; rung < ladder.size(); ++rung) {
+        uint64_t expected_p = 0;
+        for (size_t i = 0; i < ladder[rung]; ++i) {
+          expected_p += labels.bytes()[nearest[i]];
+        }
+        ASSERT_EQ(counts[c * ladder.size() + rung], expected_p)
+            << "center " << c << " rung " << rung;
+      }
+    }
+  }
+}
+
+TEST(AnnulusBackend, DegenerateLadders) {
+  const auto pts = Cloud(300, 9);
+
+  // L=1 ladders.
+  {
+    SquareScanOptions opts;
+    opts.centers = RandomCenters(5, 1);
+    opts.side_lengths = {1.25};
+    CheckBackendsAgree(MakeSquarePair(pts, opts), 4, 10);
+    KnnCircleOptions kopts;
+    kopts.centers = RandomCenters(5, 2);
+    kopts.population_fractions = {0.05};
+    CheckBackendsAgree(MakeKnnPair(pts, kopts), 4, 11);
+  }
+
+  // Duplicate centers (overlap is total across the duplicated groups).
+  {
+    SquareScanOptions opts;
+    opts.centers = {{3, 7}, {3, 7}, {5, 5}};
+    opts.side_lengths = {0.5, 2.0, 3.0};
+    CheckBackendsAgree(MakeSquarePair(pts, opts), 4, 12);
+    KnnCircleOptions kopts;
+    kopts.centers = {{3, 7}, {3, 7}};
+    kopts.population_fractions = {0.02, 0.10};
+    CheckBackendsAgree(MakeKnnPair(pts, kopts), 4, 13);
+  }
+
+  // Empty regions: centers far outside the cloud capture nothing at small
+  // sides (and everything-empty ladders collapse to the base rung).
+  {
+    SquareScanOptions opts;
+    opts.centers = {{120, 120}, {5, 5}};
+    opts.side_lengths = {0.5, 1.0};
+    const FamilyPair pair = MakeSquarePair(pts, opts);
+    CheckBackendsAgree(pair, 4, 14);
+    EXPECT_EQ(pair.sparse->PointCount(0), 0u);
+  }
+
+  // Single point, single center.
+  {
+    const std::vector<geo::Point> one = {{1.0, 1.0}};
+    SquareScanOptions opts;
+    opts.centers = {{1.0, 1.0}};
+    opts.side_lengths = {0.5, 2.0};
+    CheckBackendsAgree(MakeSquarePair(one, opts), 2, 15);
+  }
+}
+
+// ------------------------------------------------------------ ladder dedup ---
+
+TEST(AnnulusBackend, SquareLadderDedupCollapsesIdenticalMemberSets) {
+  // Points on an integer lattice: sides 0.5 and 0.9 capture identical member
+  // sets at integer centers (no point between the two rects), so one of the
+  // pair must collapse; exact duplicate sides always collapse.
+  std::vector<geo::Point> pts;
+  for (int x = 0; x <= 9; ++x) {
+    for (int y = 0; y <= 9; ++y) pts.push_back({double(x), double(y)});
+  }
+  SquareScanOptions opts;
+  opts.centers = {{4, 4}, {7, 2}};
+  opts.side_lengths = {0.5, 0.9, 2.5, 2.5};
+  for (CountingBackend backend :
+       {CountingBackend::kSparseAnnulus, CountingBackend::kDenseBits}) {
+    opts.backend = backend;
+    auto family = SquareScanFamily::Create(pts, opts);
+    ASSERT_TRUE(family.ok());
+    EXPECT_EQ((*family)->num_sides(), 2u) << (*family)->Name();
+    EXPECT_EQ((*family)->num_regions(), 4u);
+    EXPECT_NE((*family)->Name().find("deduped from 4"), std::string::npos)
+        << (*family)->Name();
+  }
+}
+
+TEST(AnnulusBackend, KnnLadderDedupReportedInName) {
+  const auto pts = Cloud(100, 21);
+  KnnCircleOptions opts;
+  opts.centers = {{5, 5}};
+  opts.population_fractions = {0.005, 0.01, 0.02};  // k = 1, 1, 2
+  auto family = KnnCircleFamily::Create(pts, opts);
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ((*family)->num_regions(), 2u);
+  EXPECT_NE((*family)->Name().find("deduped from 3 fractions"),
+            std::string::npos)
+      << (*family)->Name();
+}
+
+TEST(AnnulusBackend, NameReportsBackend) {
+  const auto pts = Cloud(200, 22);
+  SquareScanOptions opts;
+  opts.centers = RandomCenters(3, 23);
+  opts.side_lengths = SquareScanOptions::DefaultSideLengths(0.5, 2.0, 4);
+  const FamilyPair pair = MakeSquarePair(pts, opts);
+  EXPECT_NE(pair.sparse->Name().find("sparse-annulus"), std::string::npos);
+  EXPECT_NE(pair.dense->Name().find("dense-bits"), std::string::npos);
+}
+
+// -------------------------------------------------------------- memory win ---
+
+TEST(AnnulusBackend, SparseMembershipMemoryBeatsDenseByLadderFactor) {
+  // Representative paper-style configuration: 20-rung ladder, sides well
+  // below the domain size. The sparse index must undercut the dense bit
+  // vectors by at least L/3 (ISSUE 2 acceptance bar).
+  const auto pts = Cloud(4096, 31);
+  SquareScanOptions opts;
+  opts.centers = RandomCenters(100, 32);
+  opts.side_lengths = SquareScanOptions::DefaultSideLengths(0.1, 1.5, 20);
+  auto sparse_family = SquareScanFamily::Create(pts, opts);
+  ASSERT_TRUE(sparse_family.ok());
+  opts.backend = CountingBackend::kDenseBits;
+  auto dense_family = SquareScanFamily::Create(pts, opts);
+  ASSERT_TRUE(dense_family.ok());
+
+  const double ladder = static_cast<double>((*sparse_family)->num_sides());
+  const auto sparse_bytes =
+      static_cast<double>((*sparse_family)->MembershipBytes());
+  const auto dense_bytes =
+      static_cast<double>((*dense_family)->MembershipBytes());
+  EXPECT_GT(sparse_bytes, 0.0);
+  EXPECT_GE(dense_bytes / sparse_bytes, ladder / 3.0)
+      << "sparse " << sparse_bytes << "B vs dense " << dense_bytes << "B, L="
+      << ladder;
+
+  // kNN circles: the ladder is shallower but sparse must still win.
+  KnnCircleOptions kopts;
+  kopts.centers = RandomCenters(50, 33);
+  auto knn_sparse = KnnCircleFamily::Create(pts, kopts);
+  ASSERT_TRUE(knn_sparse.ok());
+  kopts.backend = CountingBackend::kDenseBits;
+  auto knn_dense = KnnCircleFamily::Create(pts, kopts);
+  ASSERT_TRUE(knn_dense.ok());
+  EXPECT_LT((*knn_sparse)->MembershipBytes(), (*knn_dense)->MembershipBytes());
+}
+
+// ------------------------------------- bit-identical null distributions ---
+
+NullDistribution MustSimulate(const RegionFamily& family,
+                              const MonteCarloOptions& mc) {
+  auto dist = SimulateNull(family, 0.41, 120, stats::ScanDirection::kTwoSided, mc);
+  EXPECT_TRUE(dist.ok());
+  return *dist;
+}
+
+TEST(AnnulusBackend, NullDistributionBitIdenticalToDenseReference) {
+  const auto pts = Cloud(600, 41);
+  SquareScanOptions sq_opts;
+  sq_opts.centers = RandomCenters(9, 42);
+  sq_opts.side_lengths = SquareScanOptions::DefaultSideLengths(0.5, 3.0, 5);
+  KnnCircleOptions knn_opts;
+  knn_opts.centers = RandomCenters(8, 43);
+
+  std::vector<std::pair<std::string, FamilyPair>> pairs;
+  pairs.emplace_back("square", MakeSquarePair(pts, sq_opts));
+  pairs.emplace_back("knn-circle", MakeKnnPair(pts, knn_opts));
+
+  for (const auto& [name, pair] : pairs) {
+    for (NullModel null_model :
+         {NullModel::kBernoulli, NullModel::kPermutation}) {
+      MonteCarloOptions mc;
+      mc.num_worlds = 40;
+      mc.seed = 777;
+      mc.null_model = null_model;
+      mc.parallel = false;
+      mc.engine = McEngine::kReference;
+      const NullDistribution reference = MustSimulate(*pair.dense, mc);
+
+      for (bool parallel : {false, true}) {
+        for (McEngine engine : {McEngine::kBatched, McEngine::kReference}) {
+          for (uint32_t batch_size : {1u, 3u, 64u}) {
+            mc.parallel = parallel;
+            mc.engine = engine;
+            mc.batch_size = batch_size;
+            const NullDistribution sparse_run = MustSimulate(*pair.sparse, mc);
+            const NullDistribution dense_run = MustSimulate(*pair.dense, mc);
+            EXPECT_EQ(sparse_run.sorted_max(), reference.sorted_max())
+                << name << " sparse / " << NullModelToString(null_model)
+                << " / " << McEngineToString(engine) << " / parallel="
+                << parallel << " / batch=" << batch_size;
+            EXPECT_EQ(dense_run.sorted_max(), reference.sorted_max())
+                << name << " dense / " << NullModelToString(null_model)
+                << " / " << McEngineToString(engine) << " / parallel="
+                << parallel << " / batch=" << batch_size;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfa::core

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/random.h"
 
 namespace sfa::core {
@@ -110,6 +113,37 @@ TEST(Labels, ResampleAcrossSizesDropsStaleState) {
   EXPECT_EQ(pooled.size(), 64u);
   EXPECT_EQ(pooled.bits().size(), 64u);
   EXPECT_EQ(pooled.bits().Popcount(), pooled.positive_count());
+}
+
+TEST(Labels, PositiveIndicesMatchBytes) {
+  const Labels labels = Labels::FromBytes({1, 0, 1, 1, 0, 0, 1});
+  EXPECT_EQ(labels.positive_indices(), (std::vector<uint32_t>{0, 2, 3, 6}));
+  EXPECT_TRUE(Labels::FromBytes({}).positive_indices().empty());
+  EXPECT_TRUE(Labels::FromBytes({0, 0, 0}).positive_indices().empty());
+}
+
+TEST(Labels, PositiveIndicesRefreshAfterEachResample) {
+  sfa::Rng rng(44);
+  Labels pooled;
+  for (int round = 0; round < 4; ++round) {
+    pooled.ResampleBernoulli(211, 0.3, &rng);
+    const std::vector<uint32_t>& positives = pooled.positive_indices();
+    ASSERT_EQ(positives.size(), pooled.positive_count()) << round;
+    // Ascending, and exactly the set bytes.
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < pooled.size(); ++i) {
+      if (pooled.bytes()[i]) expected.push_back(i);
+    }
+    ASSERT_EQ(positives, expected) << round;
+  }
+  std::vector<uint32_t> scratch;
+  for (int round = 0; round < 3; ++round) {
+    pooled.ResamplePermutation(150, 60, &rng, &scratch);
+    const std::vector<uint32_t>& positives = pooled.positive_indices();
+    ASSERT_EQ(positives.size(), 60u) << round;
+    for (uint32_t id : positives) ASSERT_EQ(pooled.bytes()[id], 1) << round;
+    ASSERT_TRUE(std::is_sorted(positives.begin(), positives.end())) << round;
+  }
 }
 
 TEST(Labels, BitsAreLazyAndConsistentAfterEachResample) {

@@ -69,6 +69,8 @@ std::vector<NamedFamily> AllFamilies() {
   EXPECT_TRUE(single_family.ok());
   out.push_back({"single-partitioning", std::move(*single_family)});
 
+  // Both counting backends of the overlapping families ride through the
+  // whole engine equivalence suite.
   SquareScanOptions square_opts;
   Rng crng(13);
   for (int i = 0; i < 12; ++i) {
@@ -78,6 +80,10 @@ std::vector<NamedFamily> AllFamilies() {
   auto square = SquareScanFamily::Create(pts, square_opts);
   EXPECT_TRUE(square.ok());
   out.push_back({"square", std::move(*square)});
+  square_opts.backend = CountingBackend::kDenseBits;
+  auto square_dense = SquareScanFamily::Create(pts, square_opts);
+  EXPECT_TRUE(square_dense.ok());
+  out.push_back({"square-dense", std::move(*square_dense)});
 
   KnnCircleOptions knn_opts;
   for (int i = 0; i < 10; ++i) {
@@ -86,6 +92,10 @@ std::vector<NamedFamily> AllFamilies() {
   auto knn = KnnCircleFamily::Create(pts, knn_opts);
   EXPECT_TRUE(knn.ok());
   out.push_back({"knn-circle", std::move(*knn)});
+  knn_opts.backend = CountingBackend::kDenseBits;
+  auto knn_dense = KnnCircleFamily::Create(pts, knn_opts);
+  EXPECT_TRUE(knn_dense.ok());
+  out.push_back({"knn-circle-dense", std::move(*knn_dense)});
 
   auto sweep = RectangleSweepFamily::Create(pts, 6, 5);
   EXPECT_TRUE(sweep.ok());

@@ -1,0 +1,195 @@
+// Throughput of the concurrent AuditPipeline vs the naive request loop.
+//
+// The workload is the acceptance scenario of the pipeline PR: a mixed
+// 32-request batch — two cities, three family types (partition grid,
+// overlapping square scan, equal-opportunity slice), both null models, two
+// scan directions — where every (family, totals, null, direction)
+// combination is audited at eight α levels. That α-sweep is the production
+// shape the calibration cache exists for: 32 requests collapse onto 4
+// Monte Carlo calibrations (87.5% hit rate, ≥ the 50% the acceptance bar
+// asks for).
+//
+//   BM_LoopAuditor         one Auditor::Audit per request, no sharing — the
+//                          pre-pipeline baseline;
+//   BM_PipelineColdCache   the same batch through AuditPipeline::Run with
+//                          the cache cleared every iteration (intra-batch
+//                          sharing only);
+//   BM_PipelineWarmCache   steady-state replay: calibrations stay cached
+//                          across iterations (assembly cost only).
+//
+// Counters report requests/s and the manifest's calibration hit rate; the
+// JSON artifact (bench_json target) tracks all three across PRs. The
+// acceptance criterion — pipeline ≥ 3× loop on this batch — is the
+// cold-cache ratio.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/audit_pipeline.h"
+#include "core/grid_family.h"
+#include "core/measure.h"
+#include "core/square_family.h"
+#include "data/dataset.h"
+#include "stats/kmeans.h"
+
+namespace {
+
+using namespace sfa;
+using namespace sfa::core;
+
+constexpr uint32_t kNumWorlds = 199;
+constexpr size_t kCityPoints = 8000;
+
+struct Workload {
+  data::OutcomeDataset city_a;
+  data::OutcomeDataset city_b;
+  data::OutcomeDataset city_a_eo;
+  std::vector<std::unique_ptr<RegionFamily>> families;
+  std::vector<AuditRequest> requests;
+};
+
+data::OutcomeDataset MakeCity(uint64_t seed, double planted_rate) {
+  Rng rng(seed);
+  data::OutcomeDataset ds("bench-city");
+  const geo::Rect zone(6.0, 6.0, 9.0, 9.0);
+  for (size_t i = 0; i < kCityPoints; ++i) {
+    const geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    const double rate = zone.Contains(loc) ? planted_rate : 0.55;
+    ds.Add(loc, rng.Bernoulli(rate) ? 1 : 0, rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  return ds;
+}
+
+std::unique_ptr<RegionFamily> MakeSquares(const std::vector<geo::Point>& pts,
+                                          uint64_t seed) {
+  stats::KMeansOptions kmeans;
+  kmeans.k = 24;
+  kmeans.seed = seed;
+  auto centers = stats::KMeans(pts, kmeans);
+  SFA_CHECK_OK(centers.status());
+  SquareScanOptions opts;
+  opts.centers = centers->centers;
+  opts.side_lengths = {0.5, 1.0, 1.5, 2.0};
+  auto family = SquareScanFamily::Create(pts, opts);
+  SFA_CHECK_OK(family.status());
+  return std::move(family).value();
+}
+
+/// The mixed batch: 4 unique calibrations × 8 α levels = 32 requests.
+const Workload& SharedWorkload() {
+  static Workload* w = [] {
+    auto* wl = new Workload;
+    wl->city_a = MakeCity(11, 0.40);
+    wl->city_b = MakeCity(22, 0.55);
+    auto eo = BuildMeasureView(wl->city_a, FairnessMeasure::kEqualOpportunity);
+    SFA_CHECK_OK(eo.status());
+    wl->city_a_eo = std::move(eo).value();
+
+    auto grid_a = GridPartitionFamily::Create(wl->city_a.locations(), 12, 12);
+    auto grid_b = GridPartitionFamily::Create(wl->city_b.locations(), 10, 10);
+    auto grid_eo = GridPartitionFamily::Create(wl->city_a_eo.locations(), 8, 8);
+    SFA_CHECK_OK(grid_a.status());
+    SFA_CHECK_OK(grid_b.status());
+    SFA_CHECK_OK(grid_eo.status());
+    wl->families.push_back(std::move(grid_a).value());   // [0]
+    wl->families.push_back(std::move(grid_b).value());   // [1]
+    wl->families.push_back(std::move(grid_eo).value());  // [2]
+    wl->families.push_back(MakeSquares(wl->city_a.locations(), 31));  // [3]
+    wl->families.push_back(MakeSquares(wl->city_b.locations(), 32));  // [4]
+
+    struct Combo {
+      const data::OutcomeDataset* ds;
+      size_t family;
+      NullModel null_model;
+      stats::ScanDirection direction;
+      const char* tag;
+    };
+    const Combo combos[4] = {
+        {&wl->city_a, 0, NullModel::kBernoulli, stats::ScanDirection::kTwoSided,
+         "a-grid"},
+        {&wl->city_a, 3, NullModel::kBernoulli, stats::ScanDirection::kTwoSided,
+         "a-squares"},
+        {&wl->city_a_eo, 2, NullModel::kBernoulli, stats::ScanDirection::kLow,
+         "a-eo-low"},
+        {&wl->city_b, 1, NullModel::kPermutation,
+         stats::ScanDirection::kTwoSided, "b-grid-perm"},
+    };
+    const double alphas[8] = {0.1, 0.05, 0.02, 0.01,
+                              0.005, 0.002, 0.001, 0.0005};
+    for (const Combo& combo : combos) {
+      for (double alpha : alphas) {
+        AuditRequest req;
+        req.id = std::string(combo.tag) + "@" + std::to_string(alpha);
+        req.dataset = combo.ds;
+        req.dataset_is_view = true;  // city_a_eo is already a view
+        req.family = wl->families[combo.family].get();
+        req.options.alpha = alpha;
+        req.options.direction = combo.direction;
+        req.options.monte_carlo.num_worlds = kNumWorlds;
+        req.options.monte_carlo.null_model = combo.null_model;
+        wl->requests.push_back(std::move(req));
+      }
+    }
+    return wl;
+  }();
+  return *w;
+}
+
+void BM_LoopAuditor(benchmark::State& state) {
+  const Workload& wl = SharedWorkload();
+  size_t served = 0;
+  for (auto _ : state) {
+    for (const AuditRequest& req : wl.requests) {
+      auto result = Auditor(req.options).AuditView(*req.dataset, *req.family);
+      SFA_CHECK_OK(result.status());
+      benchmark::DoNotOptimize(result->p_value);
+      ++served;
+    }
+  }
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LoopAuditor)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PipelineColdCache(benchmark::State& state) {
+  const Workload& wl = SharedWorkload();
+  AuditPipeline pipeline;
+  PipelineManifest manifest;
+  size_t served = 0;
+  for (auto _ : state) {
+    pipeline.cache().Clear();
+    auto responses = pipeline.Run(wl.requests, &manifest);
+    SFA_CHECK_OK(responses.status());
+    SFA_CHECK(manifest.num_failed == 0);
+    served += responses->size();
+  }
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["hit_rate"] = manifest.HitRate();
+}
+BENCHMARK(BM_PipelineColdCache)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PipelineWarmCache(benchmark::State& state) {
+  const Workload& wl = SharedWorkload();
+  AuditPipeline pipeline;
+  // Prime the cache once outside timing.
+  SFA_CHECK_OK(pipeline.Run(wl.requests).status());
+  PipelineManifest manifest;
+  size_t served = 0;
+  for (auto _ : state) {
+    auto responses = pipeline.Run(wl.requests, &manifest);
+    SFA_CHECK_OK(responses.status());
+    served += responses->size();
+  }
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["hit_rate"] = manifest.HitRate();
+}
+BENCHMARK(BM_PipelineWarmCache)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

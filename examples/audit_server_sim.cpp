@@ -1,0 +1,174 @@
+// Audit server simulation: replays a synthetic stream of audit requests
+// through the concurrent AuditPipeline the way a production endpoint would —
+// requests arrive in waves, each wave is executed as one batch, and the
+// calibration cache stays warm across waves. Reports per-wave throughput,
+// end-to-end latency percentiles, cache hit rates, and finishes with the
+// machine-readable run manifest of the last wave.
+//
+// The stream mixes three "cities" (two with planted bias), two fairness
+// measures, four α levels, and two scan directions; many requests differ
+// only in α or direction-irrelevant knobs, so the cache collapses their
+// Monte Carlo calibrations — the effect this binary exists to demonstrate.
+//
+//   SFA_QUICK=1 shrinks the stream for smoke runs (CI builds it and runs it
+//   this way).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/audit_pipeline.h"
+#include "core/grid_family.h"
+#include "core/measure.h"
+#include "data/dataset.h"
+
+namespace {
+
+using sfa::Rng;
+using namespace sfa::core;
+
+struct City {
+  std::string name;
+  sfa::data::OutcomeDataset dataset;
+  sfa::data::OutcomeDataset eo_view;  // equal-opportunity slice (Y=1)
+  std::unique_ptr<GridPartitionFamily> sp_family;
+  std::unique_ptr<GridPartitionFamily> eo_family;
+};
+
+City MakeCity(const std::string& name, uint64_t seed, size_t n,
+              double planted_rate) {
+  Rng rng(seed);
+  City city;
+  city.name = name;
+  city.dataset.set_name(name);
+  const sfa::geo::Rect zone(6.0, 6.0, 9.0, 9.0);
+  for (size_t i = 0; i < n; ++i) {
+    const sfa::geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    const double rate = zone.Contains(loc) ? planted_rate : 0.55;
+    city.dataset.Add(loc, rng.Bernoulli(rate) ? 1 : 0,
+                     rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  auto view = BuildMeasureView(city.dataset, FairnessMeasure::kEqualOpportunity);
+  SFA_CHECK_OK(view.status());
+  city.eo_view = std::move(view).value();
+  auto sp = GridPartitionFamily::Create(city.dataset.locations(), 10, 10);
+  auto eo = GridPartitionFamily::Create(city.eo_view.locations(), 8, 8);
+  SFA_CHECK_OK(sp.status());
+  SFA_CHECK_OK(eo.status());
+  city.sp_family = std::move(sp).value();
+  city.eo_family = std::move(eo).value();
+  return city;
+}
+
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double pos = q * (sorted_ms.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  return sorted_ms[lo] + (pos - lo) * (sorted_ms[hi] - sorted_ms[lo]);
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = [] {
+    const char* env = std::getenv("SFA_QUICK");
+    return env != nullptr && env[0] == '1';
+  }();
+  const size_t city_points = quick ? 4000 : 20000;
+  const uint32_t num_worlds = quick ? 99 : 499;
+  const size_t num_waves = quick ? 3 : 5;
+  const size_t wave_size = quick ? 16 : 32;
+
+  std::printf("== audit_server_sim: concurrent pipeline + calibration cache ==\n");
+  std::printf("3 cities x {statistical parity, equal opportunity} x 4 alphas "
+              "x 2 directions, %u worlds/calibration%s\n\n",
+              num_worlds, quick ? " (SFA_QUICK=1)" : "");
+
+  std::vector<City> cities;
+  cities.push_back(MakeCity("riverton", 11, city_points, 0.35));
+  cities.push_back(MakeCity("lakeside", 22, city_points, 0.55));  // fair
+  cities.push_back(MakeCity("hillcrest", 33, city_points, 0.45));
+
+  const double alphas[4] = {0.05, 0.01, 0.005, 0.001};
+  const sfa::stats::ScanDirection directions[2] = {
+      sfa::stats::ScanDirection::kTwoSided, sfa::stats::ScanDirection::kLow};
+
+  // The request stream: uniformly random (city, measure, α, direction)
+  // draws, i.e. heavy key collision by design — an α-sweep of one city costs
+  // one calibration, not four.
+  Rng stream_rng(777);
+  AuditPipeline pipeline;
+  std::vector<double> all_latencies_ms;
+  size_t served = 0, failed = 0;
+  PipelineManifest manifest;
+
+  for (size_t wave = 0; wave < num_waves; ++wave) {
+    std::vector<AuditRequest> batch;
+    batch.reserve(wave_size);
+    for (size_t i = 0; i < wave_size; ++i) {
+      const City& city = cities[stream_rng.NextUint64(cities.size())];
+      const bool eo = stream_rng.Bernoulli(0.4);
+      AuditRequest req;
+      req.id = sfa::StrFormat("w%zu-r%zu-%s-%s", wave, i, city.name.c_str(),
+                              eo ? "eo" : "sp");
+      req.dataset = eo ? &city.eo_view : &city.dataset;
+      req.dataset_is_view = true;
+      req.family = eo ? city.eo_family.get() : city.sp_family.get();
+      req.options.measure = eo ? FairnessMeasure::kEqualOpportunity
+                               : FairnessMeasure::kStatisticalParity;
+      req.options.alpha = alphas[stream_rng.NextUint64(4)];
+      req.options.direction = directions[stream_rng.NextUint64(2)];
+      req.options.monte_carlo.num_worlds = num_worlds;
+      batch.push_back(std::move(req));
+    }
+
+    sfa::Stopwatch wall;
+    auto responses = pipeline.Run(batch, &manifest);
+    SFA_CHECK_OK(responses.status());
+    const double wave_ms = wall.ElapsedMillis();
+
+    std::vector<double> latencies;
+    size_t wave_hits = 0, unfair = 0;
+    for (const AuditResponse& response : *responses) {
+      if (!response.status.ok()) {
+        ++failed;
+        continue;
+      }
+      ++served;
+      latencies.push_back(response.assemble_ms);
+      all_latencies_ms.push_back(response.assemble_ms);
+      if (response.cache_hit) ++wave_hits;
+      if (!response.result.spatially_fair) ++unfair;
+    }
+    std::printf(
+        "wave %zu: %2zu requests in %7.1f ms  (%6.1f req/s)  "
+        "calibrations computed=%llu reused=%llu  hit-rate=%.0f%%  unfair=%zu\n",
+        wave, batch.size(), wave_ms, 1e3 * batch.size() / wave_ms,
+        static_cast<unsigned long long>(manifest.calibrations_computed),
+        static_cast<unsigned long long>(manifest.calibrations_reused),
+        100.0 * manifest.HitRate(), unfair);
+  }
+
+  const auto cache = pipeline.cache().stats();
+  std::printf("\n== totals ==\n");
+  std::printf("served %zu requests (%zu failed), %llu distinct calibrations "
+              "cached, cache hits=%llu misses=%llu\n",
+              served, failed, static_cast<unsigned long long>(cache.entries),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
+  std::printf("assembly latency: p50=%.2f ms  p90=%.2f ms  p99=%.2f ms\n",
+              Percentile(all_latencies_ms, 0.50),
+              Percentile(all_latencies_ms, 0.90),
+              Percentile(all_latencies_ms, 0.99));
+  std::printf("\n== manifest of the last wave (machine-readable) ==\n%s\n",
+              manifest.ToJson().c_str());
+  return failed == 0 ? 0 : 1;
+}

@@ -24,18 +24,58 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Enqueue(TaskGroup* group, std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(Entry{std::move(task), group});
     ++in_flight_;
+    if (group != nullptr) ++group->pending_;
   }
   task_available_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue(nullptr, std::move(task));
+}
+
+void ThreadPool::Submit(TaskGroup* group, std::function<void()> task) {
+  Enqueue(group, std::move(task));
+}
+
+void ThreadPool::FinishTask(TaskGroup* group) {
+  --in_flight_;
+  if (group != nullptr && --group->pending_ == 0) {
+    // Helpers idle-wait on task_available_; wake them all so any thread
+    // waiting on this group re-checks its predicate.
+    task_available_.notify_all();
+  }
+  if (in_flight_ == 0) all_done_.notify_all();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WaitGroup(TaskGroup* group) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (group->pending_ > 0) {
+    if (!tasks_.empty()) {
+      Entry entry = std::move(tasks_.front());
+      tasks_.pop();
+      lock.unlock();
+      entry.fn();
+      lock.lock();
+      FinishTask(entry.group);
+    } else {
+      // The group's remaining tasks are all being executed by other threads;
+      // sleep until either new work arrives to help with or the group
+      // completes (FinishTask broadcasts on task_available_).
+      task_available_.wait(lock, [&] {
+        return group->pending_ == 0 || !tasks_.empty();
+      });
+    }
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -49,8 +89,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   const size_t chunks = std::min(n, workers_.size() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
   std::atomic<size_t> next{0};
+  TaskGroup group;
   for (size_t c = 0; c < chunks; ++c) {
-    Submit([&next, n, chunk_size, &fn] {
+    Submit(&group, [&next, n, chunk_size, &fn] {
       while (true) {
         const size_t begin = next.fetch_add(chunk_size);
         if (begin >= n) break;
@@ -59,12 +100,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       }
     });
   }
-  Wait();
+  // Helping wait: `next`, `fn`, and `group` stay alive until every chunk
+  // task has finished, which is exactly WaitGroup's postcondition.
+  WaitGroup(&group);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,
@@ -73,14 +116,13 @@ void ThreadPool::WorkerLoop() {
         if (shutting_down_) return;
         continue;
       }
-      task = std::move(tasks_.front());
+      entry = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    entry.fn();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      FinishTask(entry.group);
     }
   }
 }

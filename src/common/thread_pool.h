@@ -1,7 +1,16 @@
-// Fixed-size thread pool used to parallelize Monte Carlo replications and
-// region scans. Determinism note: callers must not rely on task execution
-// order — all sfa uses derive per-task RNG substreams (Rng::Split) so results
-// are identical for any thread count.
+// Fixed-size thread pool used to parallelize Monte Carlo replications,
+// region scans, and (since the audit pipeline) whole audit requests.
+//
+// Nested parallelism: ParallelFor and WaitGroup never sleep while useful
+// work is queued — the waiting thread *helps* by executing queued tasks
+// until its own group drains. A task running on a pool worker may therefore
+// call ParallelFor again (e.g. an audit request scheduled on the pool whose
+// Monte Carlo calibration fans out world batches) without deadlock and
+// without spawning threads beyond the pool's fixed size.
+//
+// Determinism note: callers must not rely on task execution order — all sfa
+// uses derive per-task RNG substreams (Rng::Split) so results are identical
+// for any thread count and any interleaving, including help-running.
 #ifndef SFA_COMMON_THREAD_POOL_H_
 #define SFA_COMMON_THREAD_POOL_H_
 
@@ -17,6 +26,19 @@ namespace sfa {
 
 class ThreadPool {
  public:
+  /// A completion counter for one logical batch of tasks. Stack-allocate,
+  /// Submit against it, then WaitGroup; the group must outlive its tasks.
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+   private:
+    friend class ThreadPool;
+    size_t pending_ = 0;  // guarded by the owning pool's mu_
+  };
+
   /// Creates a pool with `num_threads` workers; 0 means hardware concurrency
   /// (at least 1).
   explicit ThreadPool(size_t num_threads = 0);
@@ -32,18 +54,41 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a task tracked by `group` (see WaitGroup).
+  void Submit(TaskGroup* group, std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Top-level callers only:
+  /// calling Wait from inside a pool task deadlocks (the caller's own task
+  /// can never drain). Prefer TaskGroup + WaitGroup, which is safe anywhere.
   void Wait();
 
+  /// Returns once every task submitted against `group` has finished. The
+  /// calling thread helps: while the group is outstanding it executes queued
+  /// pool tasks (of any group) instead of sleeping, so WaitGroup is safe to
+  /// call from inside a pool task and keeps the pool at its fixed width —
+  /// nested parallel sections interleave on the same workers instead of
+  /// oversubscribing.
+  void WaitGroup(TaskGroup* group);
+
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all are
-  /// done. Work is chunked to limit queue overhead.
+  /// done. Work is chunked to limit queue overhead. Implemented as a
+  /// TaskGroup + helping WaitGroup, so nesting ParallelFor inside pool tasks
+  /// is safe (see class comment).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  struct Entry {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
   void WorkerLoop();
+  void Enqueue(TaskGroup* group, std::function<void()> task);
+  /// Post-run bookkeeping; requires mu_ held.
+  void FinishTask(TaskGroup* group);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Entry> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;

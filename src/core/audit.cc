@@ -17,6 +17,13 @@ Result<AuditResult> Auditor::Audit(const data::OutcomeDataset& dataset,
 
 Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
                                        const RegionFamily& family) const {
+  return AuditView(view, family, /*calibration=*/nullptr, /*scratch=*/nullptr);
+}
+
+Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
+                                       const RegionFamily& family,
+                                       const NullDistribution* calibration,
+                                       AuditScratch* scratch) const {
   SFA_RETURN_NOT_OK(view.Validate());
   if (view.empty()) return Status::InvalidArgument("empty audit view");
   if (view.size() != family.num_points()) {
@@ -32,20 +39,27 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
   AuditResult result;
   result.alpha = options_.alpha;
 
-  // Observed world.
-  const Labels observed_labels = Labels::FromBytes(view.predicted());
-  result.observed = ScanAllRegions(family, observed_labels, options_.direction);
+  // Observed world (scratch recycles the label buffers across pooled calls).
+  AuditScratch local_scratch;
+  AuditScratch& s = scratch != nullptr ? *scratch : local_scratch;
+  s.observed_labels.AssignBytes(view.predicted().data(), view.predicted().size());
+  result.observed = ScanAllRegions(family, s.observed_labels, options_.direction,
+                                   s.TableFor(view.size()));
   result.tau = result.observed.max_llr;
   result.best_region = result.observed.argmax;
   result.total_n = result.observed.total_n;
   result.total_p = result.observed.total_p;
   result.overall_rate = view.PositiveRate();
 
-  // Null calibration.
-  SFA_ASSIGN_OR_RETURN(
-      result.null_distribution,
-      SimulateNull(family, result.overall_rate, result.total_p, options_.direction,
-                   options_.monte_carlo));
+  // Null calibration: injected (calibration cache) or simulated in place.
+  if (calibration != nullptr) {
+    result.null_distribution = *calibration;
+  } else {
+    SFA_ASSIGN_OR_RETURN(
+        result.null_distribution,
+        SimulateNull(family, result.overall_rate, result.total_p,
+                     options_.direction, options_.monte_carlo));
+  }
   result.p_value = result.null_distribution.PValue(result.tau);
   result.spatially_fair = result.p_value > options_.alpha;
   result.critical_value = result.null_distribution.CriticalValue(options_.alpha);
@@ -74,9 +88,13 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
     finding.significant = true;
     result.findings.push_back(std::move(finding));
   }
+  // Tie-break on region index: equal-Λ findings (e.g. two partitions with
+  // the same counts) must rank identically on every platform — the pipeline
+  // determinism contract and the golden pins cover finding order.
   std::sort(result.findings.begin(), result.findings.end(),
             [](const RegionFinding& a, const RegionFinding& b) {
-              return a.llr > b.llr;
+              if (a.llr != b.llr) return a.llr > b.llr;
+              return a.region_index < b.region_index;
             });
   return result;
 }

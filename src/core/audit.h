@@ -11,6 +11,7 @@
 #define SFA_CORE_AUDIT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,24 @@ struct AuditResult {
   size_t num_significant() const { return findings.size(); }
 };
 
+/// Reusable per-thread buffers for pooled audit execution: the audit
+/// pipeline keeps one AuditScratch per worker so the steady state of a
+/// request stream allocates no observed-world storage and rebuilds the
+/// O(N)-std::log likelihood table only when the view size changes. Plain
+/// Audit/AuditView calls allocate transparently when no scratch is supplied.
+struct AuditScratch {
+  Labels observed_labels;
+  std::optional<stats::LogLikelihoodTable> table;
+
+  /// The k·log k table for views of `total_n` points, rebuilt on size change.
+  const stats::LogLikelihoodTable& TableFor(uint64_t total_n) {
+    if (!table.has_value() || table->max_count() != total_n) {
+      table.emplace(total_n);
+    }
+    return *table;
+  }
+};
+
 class Auditor {
  public:
   explicit Auditor(AuditOptions options) : options_(std::move(options)) {}
@@ -81,6 +100,19 @@ class Auditor {
   /// Audits a pre-built measure view (locations + 0/1 outcomes).
   Result<AuditResult> AuditView(const data::OutcomeDataset& view,
                                 const RegionFamily& family) const;
+
+  /// Pipeline entry point: AuditView with an optionally injected null
+  /// calibration and pooled scratch. When `calibration` is non-null it is
+  /// used verbatim instead of running SimulateNull — the caller (e.g.
+  /// core::CalibrationCache) vouches that it was simulated for this family,
+  /// this view's totals, this direction, and these Monte Carlo options, so a
+  /// cache hit yields a byte-identical AuditResult to a fresh simulation.
+  /// `scratch` (optional) recycles observed-world buffers across calls; it
+  /// must not be shared between concurrent calls.
+  Result<AuditResult> AuditView(const data::OutcomeDataset& view,
+                                const RegionFamily& family,
+                                const NullDistribution* calibration,
+                                AuditScratch* scratch) const;
 
  private:
   AuditOptions options_;

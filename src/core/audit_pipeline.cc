@@ -1,0 +1,295 @@
+#include "core/audit_pipeline.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/export.h"
+#include "core/measure.h"
+
+namespace sfa::core {
+
+namespace {
+
+/// Per-request state threaded between the pipeline phases.
+struct Prep {
+  Status status = Status::OK();
+  /// Materialized measure view (only when filtering was required).
+  data::OutcomeDataset view_storage;
+  /// The view audited: &view_storage or the request's dataset.
+  const data::OutcomeDataset* view = nullptr;
+  CalibrationKey key;
+  uint64_t total_n = 0;
+  uint64_t total_p = 0;
+};
+
+/// One unique calibration of the batch.
+struct UniqueCalibration {
+  CalibrationKey key;
+  const RegionFamily* family = nullptr;
+  double rho = 0.0;
+  uint64_t total_p = 0;
+  stats::ScanDirection direction = stats::ScanDirection::kTwoSided;
+  MonteCarloOptions mc;
+  size_t first_request = 0;  ///< request index that introduced the key
+  bool warm = false;         ///< served from the cache of a previous Run
+  std::shared_ptr<const NullDistribution> value;
+  Status status = Status::OK();
+};
+
+void PrepareRequest(const AuditRequest& req, uint64_t family_fingerprint,
+                    Prep* prep) {
+  if (req.dataset_is_view ||
+      req.options.measure == FairnessMeasure::kStatisticalParity) {
+    // Statistical parity audits every individual on the prediction bit —
+    // the dataset IS the view; skip the copy BuildMeasureView would make.
+    prep->view = req.dataset;
+  } else {
+    auto view = BuildMeasureView(*req.dataset, req.options.measure);
+    if (!view.ok()) {
+      prep->status = view.status();
+      return;
+    }
+    prep->view_storage = std::move(view).value();
+    prep->view = &prep->view_storage;
+  }
+  if (prep->view->size() != req.family->num_points()) {
+    prep->status = Status::InvalidArgument(StrFormat(
+        "request '%s': family is bound to %zu points but the measure view "
+        "has %zu",
+        req.id.c_str(), req.family->num_points(), prep->view->size()));
+    return;
+  }
+  if (prep->view->empty()) {
+    prep->status =
+        Status::InvalidArgument(StrFormat("request '%s': empty audit view",
+                                          req.id.c_str()));
+    return;
+  }
+  prep->total_n = prep->view->size();
+  prep->total_p = prep->view->PositiveCount();
+  prep->key = MakeCalibrationKey(*req.family, family_fingerprint,
+                                 prep->total_n, prep->total_p,
+                                 req.options.direction,
+                                 req.options.monte_carlo);
+}
+
+}  // namespace
+
+double PipelineManifest::HitRate() const {
+  const uint64_t total = calibrations_computed + calibrations_reused;
+  return total == 0 ? 0.0
+                    : static_cast<double>(calibrations_reused) /
+                          static_cast<double>(total);
+}
+
+std::string PipelineManifest::ToJson() const {
+  std::string out;
+  out.reserve(256 + rows.size() * 256);
+  out += StrFormat(
+      "{\"num_requests\":%zu,\"num_failed\":%zu,\"parallel\":%s,"
+      "\"wall_ms\":%.3f,\"calibrations\":{\"computed\":%llu,\"reused\":%llu,"
+      "\"hit_rate\":%.4f},\"cache\":{\"hits\":%llu,\"misses\":%llu,"
+      "\"entries\":%llu},\"requests\":[",
+      num_requests, num_failed, parallel ? "true" : "false", wall_ms,
+      static_cast<unsigned long long>(calibrations_computed),
+      static_cast<unsigned long long>(calibrations_reused), HitRate(),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.entries));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (i > 0) out += ',';
+    if (!row.ok) {
+      out += StrFormat("{\"id\":\"%s\",\"ok\":false,\"error\":\"%s\"}",
+                       JsonEscape(row.id).c_str(),
+                       JsonEscape(row.error).c_str());
+      continue;
+    }
+    out += StrFormat(
+        "{\"id\":\"%s\",\"ok\":true,\"calibration_key\":\"%s\","
+        "\"cache_hit\":%s,\"spatially_fair\":%s,\"p_value\":%.17g,"
+        "\"tau\":%.17g,\"n\":%llu,\"p\":%llu,\"num_findings\":%zu,"
+        "\"assemble_ms\":%.3f}",
+        JsonEscape(row.id).c_str(), JsonEscape(row.calibration_key).c_str(),
+        row.cache_hit ? "true" : "false",
+        row.spatially_fair ? "true" : "false", row.p_value, row.tau,
+        static_cast<unsigned long long>(row.total_n),
+        static_cast<unsigned long long>(row.total_p), row.num_findings,
+        row.assemble_ms);
+  }
+  out += "]}";
+  return out;
+}
+
+Result<std::vector<AuditResponse>> AuditPipeline::Run(
+    const std::vector<AuditRequest>& batch, PipelineManifest* manifest) {
+  Stopwatch wall;
+  // Structural misuse fails the whole batch: there is no per-request result
+  // to attach an error to when the request itself is not addressable.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].dataset == nullptr || batch[i].family == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("request %zu ('%s') has a null dataset or family", i,
+                    batch[i].id.c_str()));
+    }
+  }
+
+  ThreadPool& pool = DefaultThreadPool();
+  const bool parallel = options_.parallel;
+  auto for_each = [&](size_t n, const std::function<void(size_t)>& fn) {
+    if (parallel) {
+      pool.ParallelFor(n, fn);
+    } else {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
+
+  // Phase 1 — prepare: family fingerprints (once per distinct family — the
+  // probe worlds are the expensive part of a key and depend only on the
+  // immutable family), then per-request measure views, totals, and keys.
+  std::unordered_map<const RegionFamily*, uint64_t> fingerprints;
+  std::vector<const RegionFamily*> distinct_families;
+  for (const AuditRequest& req : batch) {
+    if (fingerprints.emplace(req.family, 0).second) {
+      distinct_families.push_back(req.family);
+    }
+  }
+  for_each(distinct_families.size(), [&](size_t f) {
+    // Distinct keys: concurrent writes touch distinct, pre-inserted map
+    // slots; the map's structure is frozen here (find, never insert).
+    fingerprints.find(distinct_families[f])->second =
+        FamilyFingerprint(*distinct_families[f]);
+  });
+  std::vector<Prep> preps(batch.size());
+  for_each(batch.size(), [&](size_t i) {
+    PrepareRequest(batch[i], fingerprints.at(batch[i].family), &preps[i]);
+  });
+
+  // Phase 2 — calibrate: dedupe keys (first-occurrence order, so manifests
+  // are stable), serve warm entries from the cache, simulate the rest. The
+  // outer loop parallelizes across unique calibrations while each
+  // simulation's world engine fans out onto the same pool underneath.
+  std::vector<UniqueCalibration> uniques;
+  std::unordered_map<std::string, size_t> key_to_unique;
+  std::vector<size_t> request_unique(batch.size(), SIZE_MAX);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!preps[i].status.ok()) continue;
+    auto [it, inserted] =
+        key_to_unique.emplace(preps[i].key.debug, uniques.size());
+    if (inserted) {
+      UniqueCalibration cal;
+      cal.key = preps[i].key;
+      cal.family = batch[i].family;
+      cal.rho = preps[i].total_n == 0
+                    ? 0.0
+                    : static_cast<double>(preps[i].total_p) /
+                          static_cast<double>(preps[i].total_n);
+      cal.total_p = preps[i].total_p;
+      cal.direction = batch[i].options.direction;
+      cal.mc = batch[i].options.monte_carlo;
+      // Honor the pipeline-level parallel switch inside the world engine
+      // too; execution-only, never part of the key or the results.
+      cal.mc.parallel = cal.mc.parallel && parallel;
+      cal.first_request = i;
+      cal.value = cache_.Lookup(cal.key);
+      cal.warm = cal.value != nullptr;
+      uniques.push_back(std::move(cal));
+    }
+    request_unique[i] = it->second;
+  }
+  std::vector<size_t> misses;
+  for (size_t u = 0; u < uniques.size(); ++u) {
+    if (!uniques[u].warm) misses.push_back(u);
+  }
+  for_each(misses.size(), [&](size_t m) {
+    UniqueCalibration& cal = uniques[misses[m]];
+    auto computed = cache_.GetOrCompute(cal.key, [&] {
+      return SimulateNull(*cal.family, cal.rho, cal.total_p, cal.direction,
+                          cal.mc);
+    });
+    if (computed.ok()) {
+      cal.value = std::move(computed).value();
+    } else {
+      cal.status = computed.status();
+    }
+  });
+
+  // Phase 3 — assemble: full audit per request with the shared calibration
+  // injected; per-worker scratch recycles observed-world buffers.
+  std::vector<AuditResponse> responses(batch.size());
+  for_each(batch.size(), [&](size_t i) {
+    static thread_local AuditScratch scratch;
+    Stopwatch timer;
+    AuditResponse& response = responses[i];
+    response.id = batch[i].id;
+    if (!preps[i].status.ok()) {
+      response.status = preps[i].status;
+      return;
+    }
+    const UniqueCalibration& cal = uniques[request_unique[i]];
+    response.calibration_key = cal.key.debug;
+    response.cache_hit = cal.warm || i != cal.first_request;
+    if (!cal.status.ok()) {
+      response.status = cal.status;
+      return;
+    }
+    auto result = Auditor(batch[i].options)
+                      .AuditView(*preps[i].view, *batch[i].family,
+                                 cal.value.get(), &scratch);
+    if (!result.ok()) {
+      response.status = result.status();
+      return;
+    }
+    response.result = std::move(result).value();
+    response.assemble_ms = timer.ElapsedMillis();
+  });
+
+  if (manifest != nullptr) {
+    manifest->num_requests = batch.size();
+    manifest->num_failed = 0;
+    manifest->parallel = parallel;
+    manifest->calibrations_computed = 0;
+    for (const UniqueCalibration& cal : uniques) {
+      if (!cal.warm && cal.status.ok()) ++manifest->calibrations_computed;
+    }
+    uint64_t served = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (preps[i].status.ok() && responses[i].status.ok()) ++served;
+    }
+    manifest->calibrations_reused =
+        served >= manifest->calibrations_computed
+            ? served - manifest->calibrations_computed
+            : 0;
+    manifest->cache = cache_.stats();
+    manifest->rows.clear();
+    manifest->rows.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      PipelineManifest::Row row;
+      const AuditResponse& response = responses[i];
+      row.id = response.id;
+      row.ok = response.status.ok();
+      if (!row.ok) {
+        row.error = response.status.ToString();
+        ++manifest->num_failed;
+      } else {
+        row.calibration_key = response.calibration_key;
+        row.cache_hit = response.cache_hit;
+        row.spatially_fair = response.result.spatially_fair;
+        row.p_value = response.result.p_value;
+        row.tau = response.result.tau;
+        row.total_n = response.result.total_n;
+        row.total_p = response.result.total_p;
+        row.num_findings = response.result.findings.size();
+        row.assemble_ms = response.assemble_ms;
+      }
+      manifest->rows.push_back(std::move(row));
+    }
+    manifest->wall_ms = wall.ElapsedMillis();
+  }
+  return responses;
+}
+
+}  // namespace sfa::core

@@ -1,0 +1,139 @@
+// Concurrent multi-audit pipeline: many (dataset × measure × family ×
+// null-model × α) audit requests executed as one batch on the shared
+// common::ThreadPool, with null calibrations deduplicated through a
+// core::CalibrationCache.
+//
+// Execution model — two-level parallelism on one fixed-width pool:
+//
+//   across requests    view construction and observed-world scans run as
+//                      pool tasks, one per request;
+//   within a request   each *unique* null calibration runs the batched
+//                      Monte Carlo world engine, whose ParallelFor fans
+//                      world batches onto the same pool (the pool's helping
+//                      WaitGroup makes the nesting deadlock-free and never
+//                      oversubscribes — see common/thread_pool.h).
+//
+// The determinism contract, and the headline guarantee of this layer: for a
+// fixed set of requests (including their seeds), the statistical payload of
+// every AuditResponse — the entire AuditResult — is byte-identical
+// regardless of request order within the batch, PipelineOptions::parallel,
+// thread count, and whether calibrations were computed fresh or served from
+// a warm cache. This holds because (a) every per-request computation depends
+// only on that request's inputs, (b) the world engine is bit-identical
+// across execution strategies, and (c) cache keys (core/calibration_cache.h)
+// hash every draw-relevant simulation input, so a hit substitutes a value
+// the request's own simulation would have produced bit-for-bit.
+// Timing/caching metadata on the response (cache_hit, milliseconds) is
+// diagnostic and exempt.
+#ifndef SFA_CORE_AUDIT_PIPELINE_H_
+#define SFA_CORE_AUDIT_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/audit.h"
+#include "core/calibration_cache.h"
+
+namespace sfa::core {
+
+/// One audit request. Dataset and family are borrowed and must outlive the
+/// Run() call; the family must be bound to the locations of the request's
+/// measure view (for kStatisticalParity, the dataset itself).
+struct AuditRequest {
+  /// Caller-chosen tag echoed in the response and the manifest.
+  std::string id;
+  const data::OutcomeDataset* dataset = nullptr;
+  const RegionFamily* family = nullptr;
+  AuditOptions options;
+  /// When true, `dataset` is already the measure view (e.g. a pre-filtered
+  /// Y=1 slice) and BuildMeasureView is skipped; options.measure is then
+  /// only descriptive.
+  bool dataset_is_view = false;
+};
+
+/// One audit outcome. `result` is valid iff `status` is OK; a failed request
+/// never poisons the rest of the batch.
+struct AuditResponse {
+  std::string id;
+  Status status = Status::OK();
+  AuditResult result;
+  /// True when this request's calibration was served from the cache (warm
+  /// from a previous Run, or computed once by a sibling request in this
+  /// batch). Diagnostic — not covered by the determinism contract.
+  bool cache_hit = false;
+  /// The calibration identity (CalibrationKey::debug) for manifest joins.
+  std::string calibration_key;
+  /// Wall-clock milliseconds of this request's assembly (scan + evidence),
+  /// excluding shared calibration time. Diagnostic.
+  double assemble_ms = 0.0;
+};
+
+/// Machine-readable record of one Run(): per-request rows plus batch-level
+/// cache and timing aggregates. Serialize with ToJson().
+struct PipelineManifest {
+  struct Row {
+    std::string id;
+    std::string calibration_key;
+    bool cache_hit = false;
+    bool ok = false;
+    std::string error;  ///< status message when !ok
+    bool spatially_fair = false;
+    double p_value = 0.0;
+    double tau = 0.0;
+    uint64_t total_n = 0;
+    uint64_t total_p = 0;
+    size_t num_findings = 0;
+    double assemble_ms = 0.0;
+  };
+
+  size_t num_requests = 0;
+  size_t num_failed = 0;
+  /// Calibrations simulated (unique misses) vs reused during this Run.
+  uint64_t calibrations_computed = 0;
+  uint64_t calibrations_reused = 0;
+  /// Cumulative cache stats after this Run (spans Runs on a shared cache).
+  CalibrationCache::Stats cache;
+  double wall_ms = 0.0;
+  bool parallel = false;
+  std::vector<Row> rows;  ///< in request order
+
+  /// Hit fraction of this Run (reused / (computed + reused)); 0 when empty.
+  double HitRate() const;
+
+  std::string ToJson() const;
+};
+
+struct PipelineOptions {
+  /// Schedule request preparation/assembly and unique calibrations on the
+  /// shared thread pool. Results are identical either way (contract above);
+  /// serial execution exists for debugging and as the determinism baseline.
+  bool parallel = true;
+};
+
+/// The pipeline. Thread-compatible: one Run() at a time per instance; the
+/// calibration cache persists across Run() calls, so replaying a request
+/// stream in waves keeps earlier calibrations warm.
+class AuditPipeline {
+ public:
+  explicit AuditPipeline(PipelineOptions options = {}) : options_(options) {}
+
+  const PipelineOptions& options() const { return options_; }
+  CalibrationCache& cache() { return cache_; }
+
+  /// Executes `batch`, returning one response per request in request order.
+  /// Per-request failures are reported in AuditResponse::status; the
+  /// batch-level Status is reserved for structural misuse (null pointers in
+  /// a request). `manifest` (optional) receives the run record.
+  Result<std::vector<AuditResponse>> Run(const std::vector<AuditRequest>& batch,
+                                         PipelineManifest* manifest = nullptr);
+
+ private:
+  PipelineOptions options_;
+  CalibrationCache cache_;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_AUDIT_PIPELINE_H_

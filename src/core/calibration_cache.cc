@@ -1,0 +1,202 @@
+#include "core/calibration_cache.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/labels.h"
+
+namespace sfa::core {
+
+namespace {
+
+/// SplitMix64 finalizer as the mixing step of a running 64-bit content hash:
+/// cheap, well-dispersed, and endian-independent for the integer fields we
+/// feed it.
+uint64_t Mix(uint64_t h, uint64_t value) {
+  uint64_t z = (h ^ value) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t MixBytes(uint64_t h, const char* data, size_t n) {
+  uint64_t word = 0;
+  size_t filled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    word |= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+            << (8 * filled);
+    if (++filled == 8) {
+      h = Mix(h, word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) h = Mix(h, word | (static_cast<uint64_t>(filled) << 56));
+  return Mix(h, n);
+}
+
+}  // namespace
+
+uint64_t FamilyFingerprint(const RegionFamily& family) {
+  // Structural fingerprint of the family: its self-description, the full
+  // per-region point-count profile, the per-cell profile when the family is
+  // cell-decomposable (the closed-form sampler draws one binomial per cell,
+  // so cell structure shapes the RNG stream) — and, because none of those
+  // capture *membership* (two kNN families over different cities share every
+  // per-region count), the count vectors of a few fixed pseudo-random probe
+  // worlds. The null distribution of max Λ is a functional of how region
+  // counts respond to random labelings, so probing with deterministic label
+  // worlds fingerprints exactly the structure that shapes it; each probe
+  // costs one world-equivalent CountPositives pass, noise against the W-1
+  // worlds a key collision would wrongly share.
+  uint64_t fp = 0x5fa0c0de5fa0c0deULL;
+  const std::string name = family.Name();
+  fp = MixBytes(fp, name.data(), name.size());
+  fp = Mix(fp, family.num_points());
+  fp = Mix(fp, family.num_regions());
+  for (size_t r = 0; r < family.num_regions(); ++r) {
+    fp = Mix(fp, family.PointCount(r));
+  }
+  if (const CellDecomposition* cells = family.cell_decomposition()) {
+    fp = Mix(fp, cells->cell_counts.size());
+    for (uint32_t c : cells->cell_counts) fp = Mix(fp, c);
+    fp = Mix(fp, cells->num_outside);
+  }
+  {
+    // Fixed probe seed, unrelated to any Monte Carlo stream: the probes are
+    // structural identity, not simulation randomness.
+    Rng probe_rng(0x9d0be5fa0c0de001ULL);
+    std::vector<uint64_t> counts;
+    for (int probe = 0; probe < 3; ++probe) {
+      const Labels labels =
+          Labels::SampleBernoulli(family.num_points(), 0.5, &probe_rng);
+      family.CountPositives(labels, &counts);
+      for (uint64_t c : counts) fp = Mix(fp, c);
+    }
+  }
+  return fp;
+}
+
+CalibrationKey MakeCalibrationKey(const RegionFamily& family, uint64_t total_n,
+                                  uint64_t total_p,
+                                  stats::ScanDirection direction,
+                                  const MonteCarloOptions& options) {
+  return MakeCalibrationKey(family, FamilyFingerprint(family), total_n,
+                            total_p, direction, options);
+}
+
+CalibrationKey MakeCalibrationKey(const RegionFamily& family,
+                                  uint64_t fingerprint, uint64_t total_n,
+                                  uint64_t total_p,
+                                  stats::ScanDirection direction,
+                                  const MonteCarloOptions& options) {
+  SFA_DCHECK(total_n == family.num_points());
+  const uint64_t fp = fingerprint;
+  const std::string name = family.Name();
+
+  // Draw-relevant inputs. engine / batch_size / parallel are intentionally
+  // absent: the world engine is bit-identical across them (core/mc_engine.h).
+  uint64_t h = fp;
+  h = Mix(h, total_n);
+  h = Mix(h, total_p);
+  h = Mix(h, static_cast<uint64_t>(direction));
+  h = Mix(h, options.num_worlds);
+  h = Mix(h, static_cast<uint64_t>(options.null_model));
+  h = Mix(h, options.seed);
+  h = Mix(h, options.closed_form_cells ? 1u : 0u);
+
+  CalibrationKey key;
+  key.hash = h;
+  key.debug = StrFormat(
+      "family=\"%s\" regions=%zu N=%llu P=%llu dir=%s worlds=%u null=%s "
+      "seed=%llu cf=%d fp=%016llx",
+      name.c_str(), family.num_regions(),
+      static_cast<unsigned long long>(total_n),
+      static_cast<unsigned long long>(total_p),
+      stats::ScanDirectionToString(direction), options.num_worlds,
+      NullModelToString(options.null_model),
+      static_cast<unsigned long long>(options.seed),
+      options.closed_form_cells ? 1 : 0, static_cast<unsigned long long>(fp));
+  return key;
+}
+
+Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
+    const CalibrationKey& key,
+    const std::function<Result<NullDistribution>()>& compute) {
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(key.debug);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(key.debug, slot);
+      owner = true;
+      ++misses_;
+    } else {
+      slot = it->second;
+      if (slot->ready) {
+        ++hits_;
+        return slot->value;
+      }
+      // Joining an in-flight computation still counts as a miss: the caller
+      // pays (waits for) the simulation rather than being served instantly.
+      ++misses_;
+    }
+  }
+
+  if (owner) {
+    Result<NullDistribution> computed = compute();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (computed.ok()) {
+      slot->value = std::make_shared<const NullDistribution>(
+          std::move(computed).value());
+      slot->status = Status::OK();
+    } else {
+      slot->status = computed.status();
+      // Failed computations are not cached; erase so a later call retries.
+      slots_.erase(key.debug);
+    }
+    slot->ready = true;
+    slot_ready_.notify_all();
+    if (!slot->status.ok()) return slot->status;
+    return slot->value;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  slot_ready_.wait(lock, [&] { return slot->ready; });
+  if (!slot->status.ok()) return slot->status;
+  return slot->value;
+}
+
+std::shared_ptr<const NullDistribution> CalibrationCache::Lookup(
+    const CalibrationKey& key) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(key.debug);
+  if (it == slots_.end() || !it->second->ready || !it->second->status.ok()) {
+    return nullptr;
+  }
+  ++hits_;
+  return it->second->value;
+}
+
+CalibrationCache::Stats CalibrationCache::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = slots_.size();
+  return s;
+}
+
+void CalibrationCache::Clear() {
+  std::unique_lock<std::mutex> lock(mu_);
+  slots_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace sfa::core

@@ -1,0 +1,133 @@
+// Shared null-calibration cache for multi-audit workloads.
+//
+// Under a fixed null model the simulated NullDistribution of the max scan
+// statistic depends only on the simulation inputs: the region family's
+// counting structure, the measure view's totals (N, P — and through them
+// ρ = P/N), the scan direction, and the Monte Carlo options that shape the
+// random draws. It does NOT depend on which request asked for it — so a
+// batch that audits the same city at several α levels, or statistical-parity
+// and equal-odds slices that happen to share a family binding and totals,
+// needs ONE Monte Carlo run where the naive loop pays W-1 worlds per
+// request. This cache keys calibrations by a content hash of exactly those
+// inputs and shares the resulting NullDistribution across requests.
+//
+// Keys deliberately EXCLUDE the execution-only Monte Carlo knobs (engine,
+// batch_size, parallel): the world engine guarantees bit-identical maxima
+// across all of them (core/mc_engine.h), so requests differing only there
+// still share one calibration. Everything that can shift a drawn value —
+// num_worlds, null model, seed, closed_form_cells (different RNG stream) —
+// is hashed.
+#ifndef SFA_CORE_CALIBRATION_CACHE_H_
+#define SFA_CORE_CALIBRATION_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/region_family.h"
+#include "core/significance.h"
+#include "stats/bernoulli_scan.h"
+
+namespace sfa::core {
+
+/// Content-hashed identity of one null calibration.
+struct CalibrationKey {
+  /// 64-bit content hash over the family fingerprint (Name(), point and
+  /// region counts, per-region n(R), cell profile, and the count vectors of
+  /// three fixed pseudo-random probe worlds — the latter capture membership
+  /// structure that size profiles miss), the view totals, the direction,
+  /// and the draw-relevant Monte Carlo options.
+  uint64_t hash = 0;
+  /// Human-readable rendering for manifests and collision disambiguation;
+  /// equality compares BOTH hash and this string.
+  std::string debug;
+
+  bool operator==(const CalibrationKey& other) const {
+    return hash == other.hash && debug == other.debug;
+  }
+  bool operator!=(const CalibrationKey& other) const { return !(*this == other); }
+};
+
+/// The family-only part of the key: Name(), size profiles, and the probe
+/// worlds. This walks every region and runs three CountPositives passes, so
+/// batch executors computing keys for many requests against one family
+/// should compute it once per family and use the fingerprint overload below
+/// (the fingerprint is a pure function of the immutable family).
+uint64_t FamilyFingerprint(const RegionFamily& family);
+
+/// Builds the calibration key for auditing a view with the given totals
+/// against `family`. `total_n` must equal family.num_points().
+CalibrationKey MakeCalibrationKey(const RegionFamily& family, uint64_t total_n,
+                                  uint64_t total_p,
+                                  stats::ScanDirection direction,
+                                  const MonteCarloOptions& options);
+
+/// Same, with a precomputed FamilyFingerprint(family).
+CalibrationKey MakeCalibrationKey(const RegionFamily& family,
+                                  uint64_t fingerprint, uint64_t total_n,
+                                  uint64_t total_p,
+                                  stats::ScanDirection direction,
+                                  const MonteCarloOptions& options);
+
+/// Thread-safe get-or-compute cache of NullDistributions. Values are
+/// immutable and shared by pointer; a cached hit therefore yields the exact
+/// same distribution object a fresh simulation would produce (the simulation
+/// is deterministic in the key's inputs). Single-flight: concurrent callers
+/// of the same key run the computation once and share its result (or its
+/// error).
+class CalibrationCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;    ///< lookups served from a finished entry
+    uint64_t misses = 0;  ///< lookups that ran (or joined) a computation
+    uint64_t entries = 0; ///< distinct calibrations currently cached
+  };
+
+  CalibrationCache() = default;
+  CalibrationCache(const CalibrationCache&) = delete;
+  CalibrationCache& operator=(const CalibrationCache&) = delete;
+
+  /// Returns the calibration for `key`, invoking `compute` at most once per
+  /// key (errors are NOT cached: a failed computation clears the slot so a
+  /// later call may retry). `compute` runs without the cache lock held and
+  /// may itself parallelize on the shared pool.
+  Result<std::shared_ptr<const NullDistribution>> GetOrCompute(
+      const CalibrationKey& key,
+      const std::function<Result<NullDistribution>()>& compute);
+
+  /// Lookup without computing; nullptr when absent or still in flight. A
+  /// successful lookup counts as a hit in stats(); a failed one changes
+  /// nothing (the caller presumably proceeds to GetOrCompute, which records
+  /// the miss).
+  std::shared_ptr<const NullDistribution> Lookup(const CalibrationKey& key) const;
+
+  Stats stats() const;
+
+  /// Drops every cached calibration and resets the stats.
+  void Clear();
+
+ private:
+  struct Slot {
+    std::shared_ptr<const NullDistribution> value;
+    Status status = Status::OK();
+    bool ready = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_ready_;
+  /// Keyed by the debug rendering (which embeds the content hash), so two
+  /// keys collide only when hash AND rendering agree — CalibrationKey
+  /// equality exactly.
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+  mutable uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_CALIBRATION_CACHE_H_

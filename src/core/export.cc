@@ -6,8 +6,6 @@
 
 namespace sfa::core {
 
-namespace {
-
 // Minimal JSON string escaping (quotes, backslashes, control chars) — labels
 // are library-generated but may embed user-provided family names.
 std::string JsonEscape(const std::string& s) {
@@ -40,6 +38,8 @@ std::string JsonEscape(const std::string& s) {
   }
   return out;
 }
+
+namespace {
 
 std::string RectRingCoordinates(const geo::Rect& r) {
   // GeoJSON polygons are arrays of linear rings, closed (first == last),

@@ -14,6 +14,10 @@
 
 namespace sfa::core {
 
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+/// Shared by the GeoJSON exporters and the pipeline run manifest.
+std::string JsonEscape(const std::string& s);
+
 /// Serializes findings as a GeoJSON FeatureCollection of rectangle polygons
 /// with properties {rank, n, p, local_rate, llr, label}.
 std::string FindingsToGeoJson(const std::vector<RegionFinding>& findings);

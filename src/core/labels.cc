@@ -6,16 +6,32 @@
 
 namespace sfa::core {
 
+namespace {
+
+/// Shared validate-and-count pass over a 0/1 byte span.
+uint64_t CountPositiveBytes(const uint8_t* bytes, size_t n) {
+  uint64_t positives = 0;
+  for (size_t i = 0; i < n; ++i) {
+    SFA_DCHECK(bytes[i] <= 1);
+    positives += bytes[i];
+  }
+  return positives;
+}
+
+}  // namespace
+
 Labels Labels::FromBytes(std::vector<uint8_t> bytes) {
   Labels out;
-  uint64_t positives = 0;
-  for (uint8_t b : bytes) {
-    SFA_DCHECK(b <= 1);
-    positives += b;
-  }
+  out.positive_count_ = CountPositiveBytes(bytes.data(), bytes.size());
   out.bytes_ = std::move(bytes);
-  out.positive_count_ = positives;
   return out;
+}
+
+void Labels::AssignBytes(const uint8_t* bytes, size_t n) {
+  bytes_.assign(bytes, bytes + n);
+  bits_valid_ = false;
+  positives_valid_ = false;
+  positive_count_ = CountPositiveBytes(bytes_.data(), n);
 }
 
 Labels Labels::SampleBernoulli(size_t n, double rho, Rng* rng) {

@@ -25,6 +25,12 @@ class Labels {
   /// Builds from a 0/1 byte vector (the bit view stays lazy).
   static Labels FromBytes(std::vector<uint8_t> bytes);
 
+  /// In-place copy-assignment from a 0/1 byte span, reusing existing storage
+  /// and invalidating the cached bit/sparse views — the pooled-scratch
+  /// counterpart of FromBytes for contexts (e.g. the audit pipeline) that
+  /// materialize many observed worlds on one recycled instance.
+  void AssignBytes(const uint8_t* bytes, size_t n);
+
   /// Null-world generator, unconditional variant (the paper's §3): each
   /// point's label is an independent Bernoulli(rho) trial.
   static Labels SampleBernoulli(size_t n, double rho, Rng* rng);

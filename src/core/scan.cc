@@ -20,7 +20,9 @@ stats::ScanCounts MakeCounts(const RegionFamily& family, size_t region,
 }  // namespace
 
 ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
-                          stats::ScanDirection direction) {
+                          stats::ScanDirection direction,
+                          const stats::LogLikelihoodTable& table) {
+  SFA_DCHECK(table.max_count() == labels.size());
   ScanResult result;
   result.total_n = labels.size();
   result.total_p = labels.positive_count();
@@ -29,7 +31,7 @@ ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
   for (size_t r = 0; r < family.num_regions(); ++r) {
     const stats::ScanCounts counts =
         MakeCounts(family, r, result.positives[r], result.total_n, result.total_p);
-    const double llr = stats::BernoulliLogLikelihoodRatio(counts, direction);
+    const double llr = stats::BernoulliLogLikelihoodRatio(counts, direction, table);
     result.llr[r] = llr;
     if (llr > result.max_llr) {
       result.max_llr = llr;
@@ -37,6 +39,32 @@ ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
     }
   }
   return result;
+}
+
+ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
+                          stats::ScanDirection direction) {
+  // The shared k·log k table: identical arithmetic to the Monte Carlo
+  // engine, so observed-vs-null ties are exact (see header contract).
+  const stats::LogLikelihoodTable table(labels.size());
+  return ScanAllRegions(family, labels, direction, table);
+}
+
+double ScanMaxStatistic(const RegionFamily& family, const Labels& labels,
+                        stats::ScanDirection direction,
+                        std::vector<uint64_t>* scratch,
+                        const stats::LogLikelihoodTable& table) {
+  SFA_CHECK(scratch != nullptr);
+  family.CountPositives(labels, scratch);
+  const uint64_t total_n = labels.size();
+  const uint64_t total_p = labels.positive_count();
+  double max_llr = 0.0;
+  for (size_t r = 0; r < family.num_regions(); ++r) {
+    const stats::ScanCounts counts =
+        MakeCounts(family, r, (*scratch)[r], total_n, total_p);
+    const double llr = stats::BernoulliLogLikelihoodRatio(counts, direction, table);
+    if (llr > max_llr) max_llr = llr;
+  }
+  return max_llr;
 }
 
 double ScanMaxStatistic(const RegionFamily& family, const Labels& labels,

@@ -1,5 +1,14 @@
 // One pass of the scan statistic over a region family: per-region Λ(R) and
 // the maximum statistic τ = max_R Λ(R) (paper §3).
+//
+// Arithmetic contract: ScanAllRegions evaluates Λ through the same
+// k·log k table (stats::LogLikelihoodTable) the Monte Carlo world engine
+// uses, so an observed world and a simulated null world with identical
+// counts produce bit-identical statistics. This matters for the rank
+// p-value: exact ties between the observed max and null maxima must count
+// toward #{null >= observed} (the conservative side); with mixed arithmetic
+// (std::log observed vs table nulls) a tie can land an ulp on either side,
+// which test_pvalue_calibration.cc showed as a small anti-conservative bias.
 #ifndef SFA_CORE_SCAN_H_
 #define SFA_CORE_SCAN_H_
 
@@ -22,14 +31,28 @@ struct ScanResult {
   uint64_t total_p = 0;             ///< P
 };
 
-/// Evaluates Λ for every region of `family` under `labels`.
+/// Evaluates Λ for every region of `family` under `labels`, through the
+/// shared log-table (see the arithmetic contract above). The table overload
+/// reuses a caller-held table (table.max_count() must equal labels.size());
+/// the other builds one per call.
+ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
+                          stats::ScanDirection direction,
+                          const stats::LogLikelihoodTable& table);
 ScanResult ScanAllRegions(const RegionFamily& family, const Labels& labels,
                           stats::ScanDirection direction);
 
 /// Max-only evaluation with caller-provided counting buffer (`scratch` is
-/// resized as needed). The Monte Carlo engine (core/mc_engine.h) has its own
-/// table-driven max-Λ path; this entry point remains for observed-world
-/// one-offs, ablations, and tests.
+/// resized as needed) and log-table. Bit-identical to
+/// ScanAllRegions(...).max_llr for the same inputs.
+double ScanMaxStatistic(const RegionFamily& family, const Labels& labels,
+                        stats::ScanDirection direction,
+                        std::vector<uint64_t>* scratch,
+                        const stats::LogLikelihoodTable& table);
+
+/// Max-only evaluation via direct std::log arithmetic — no table build, so
+/// per-world loops over very large N (ablation harnesses) stay cheap. May
+/// differ from the table paths by ~1 ulp; do not mix it with table-evaluated
+/// statistics where exact tie semantics matter.
 double ScanMaxStatistic(const RegionFamily& family, const Labels& labels,
                         stats::ScanDirection direction,
                         std::vector<uint64_t>* scratch);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "core/grid_family.h"
 #include "core/partitioning_family.h"
@@ -78,6 +80,48 @@ TEST(Auditor, FindingsAreRankedAndAboveCritical) {
     // log SUL = Λ + log L0max (constant shift).
     ASSERT_NEAR(result->findings[i].log_sul - result->findings[i].llr,
                 result->findings[0].log_sul - result->findings[0].llr, 1e-9);
+  }
+}
+
+TEST(Auditor, LogSulMatchesEq1Definition) {
+  // The paper's Eq. 1: SUL(R) = L1max(R), the maximized alternative
+  // likelihood with separate inside/outside rates. RegionFinding::log_sul is
+  // computed as Λ + log L0max; it must agree with a direct evaluation of
+  // log L1max(R) = ll(p, n) + ll(P-p, N-n) from the finding's counts, for
+  // every finding and every scan direction (directional gating never applies
+  // to findings — they all have Λ > 0 in the scanned direction, where the
+  // directional and two-sided statistics coincide).
+  data::SynthOptions synth;
+  synth.num_outcomes = 5000;
+  auto ds = data::MakeSynth(synth);
+  ASSERT_TRUE(ds.ok());
+  auto family = GridPartitionFamily::Create(ds->locations(), 8, 4);
+  ASSERT_TRUE(family.ok());
+  for (auto direction :
+       {stats::ScanDirection::kTwoSided, stats::ScanDirection::kHigh,
+        stats::ScanDirection::kLow}) {
+    AuditOptions opts = FastOptions();
+    opts.direction = direction;
+    auto result = Auditor(opts).Audit(*ds, **family);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->findings.empty())
+        << stats::ScanDirectionToString(direction);
+    for (const RegionFinding& f : result->findings) {
+      stats::ScanCounts counts;
+      counts.n = f.n;
+      counts.p = f.p;
+      counts.total_n = result->total_n;
+      counts.total_p = result->total_p;
+      const double eq1 = stats::LogSpatialUnfairnessLikelihood(counts);
+      ASSERT_NEAR(f.log_sul, eq1, 1e-9 * (1.0 + std::fabs(eq1)))
+          << "region " << f.region_index << " under "
+          << stats::ScanDirectionToString(direction);
+    }
+    // Ranking by Λ and ranking by SUL must be the same order (log_sul is a
+    // constant shift of llr — the comment in audit.cc, now enforced).
+    for (size_t i = 1; i < result->findings.size(); ++i) {
+      ASSERT_LE(result->findings[i].log_sul, result->findings[i - 1].log_sul);
+    }
   }
 }
 

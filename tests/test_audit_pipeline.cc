@@ -1,0 +1,353 @@
+// The pipeline's headline guarantee: for a fixed request batch (seeds
+// included), the statistical payload of every AuditResponse is byte-identical
+// regardless of scheduling order, parallel on/off, request order within the
+// batch, and calibration cache state (cold, warm, or shared intra-batch) —
+// and equals what a standalone Auditor::Audit of the same request produces.
+#include "core/audit_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/grid_family.h"
+#include "core/measure.h"
+#include "data/dataset.h"
+
+namespace sfa::core {
+namespace {
+
+data::OutcomeDataset MakeCity(uint64_t seed, size_t n, bool planted_bias) {
+  Rng rng(seed);
+  data::OutcomeDataset ds(planted_bias ? "biased-city" : "fair-city");
+  const geo::Rect zone(6.0, 6.0, 9.0, 9.0);
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    const double rate =
+        planted_bias && zone.Contains(loc) ? 0.35 : 0.55;
+    const uint8_t predicted = rng.Bernoulli(rate) ? 1 : 0;
+    const uint8_t actual = rng.Bernoulli(0.5) ? 1 : 0;
+    ds.Add(loc, predicted, actual);
+  }
+  return ds;
+}
+
+/// A reusable batch fixture: two cities, several families (incl. one bound
+/// to the equal-opportunity view), mixed α / null models / engines.
+struct Batch {
+  data::OutcomeDataset city_a = MakeCity(101, 6000, /*planted_bias=*/true);
+  data::OutcomeDataset city_b = MakeCity(202, 4000, /*planted_bias=*/false);
+  data::OutcomeDataset city_a_eo_view;
+  std::unique_ptr<GridPartitionFamily> family_a;
+  std::unique_ptr<GridPartitionFamily> family_a_eo;
+  std::unique_ptr<GridPartitionFamily> family_b;
+  std::vector<AuditRequest> requests;
+
+  Batch() {
+    auto view = BuildMeasureView(city_a, FairnessMeasure::kEqualOpportunity);
+    SFA_CHECK_OK(view.status());
+    city_a_eo_view = std::move(view).value();
+
+    auto fa = GridPartitionFamily::Create(city_a.locations(), 8, 8);
+    auto fae = GridPartitionFamily::Create(city_a_eo_view.locations(), 6, 6);
+    auto fb = GridPartitionFamily::Create(city_b.locations(), 10, 5);
+    SFA_CHECK_OK(fa.status());
+    SFA_CHECK_OK(fae.status());
+    SFA_CHECK_OK(fb.status());
+    family_a = std::move(fa).value();
+    family_a_eo = std::move(fae).value();
+    family_b = std::move(fb).value();
+
+    auto base = [](double alpha) {
+      AuditOptions o;
+      o.alpha = alpha;
+      o.monte_carlo.num_worlds = 99;
+      o.monte_carlo.seed = 7;
+      return o;
+    };
+    // City A, statistical parity, three α levels → one shared calibration.
+    for (double alpha : {0.05, 0.01, 0.005}) {
+      AuditRequest r;
+      r.id = "a-sp-" + std::to_string(alpha);
+      r.dataset = &city_a;
+      r.family = family_a.get();
+      r.options = base(alpha);
+      requests.push_back(r);
+    }
+    // Same audit through the reference engine: excluded from the key, so it
+    // must share the calibration AND produce identical results.
+    {
+      AuditRequest r;
+      r.id = "a-sp-reference-engine";
+      r.dataset = &city_a;
+      r.family = family_a.get();
+      r.options = base(0.01);
+      r.options.monte_carlo.engine = McEngine::kReference;
+      requests.push_back(r);
+    }
+    // City A, equal opportunity (view rebuilt by the pipeline) — distinct
+    // totals, distinct calibration.
+    {
+      AuditRequest r;
+      r.id = "a-eo";
+      r.dataset = &city_a;
+      r.family = family_a_eo.get();
+      r.options = base(0.01);
+      r.options.measure = FairnessMeasure::kEqualOpportunity;
+      requests.push_back(r);
+    }
+    // City A under the permutation null — distinct calibration.
+    {
+      AuditRequest r;
+      r.id = "a-sp-permutation";
+      r.dataset = &city_a;
+      r.family = family_a.get();
+      r.options = base(0.01);
+      r.options.monte_carlo.null_model = NullModel::kPermutation;
+      requests.push_back(r);
+    }
+    // City B at two α levels and one low-direction variant.
+    for (double alpha : {0.05, 0.005}) {
+      AuditRequest r;
+      r.id = "b-sp-" + std::to_string(alpha);
+      r.dataset = &city_b;
+      r.family = family_b.get();
+      r.options = base(alpha);
+      requests.push_back(r);
+    }
+    {
+      AuditRequest r;
+      r.id = "b-sp-low";
+      r.dataset = &city_b;
+      r.family = family_b.get();
+      r.options = base(0.01);
+      r.options.direction = stats::ScanDirection::kLow;
+      requests.push_back(r);
+    }
+  }
+};
+
+void ExpectIdenticalResult(const AuditResult& a, const AuditResult& b,
+                           const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.spatially_fair, b.spatially_fair);
+  EXPECT_EQ(a.p_value, b.p_value);
+  EXPECT_EQ(a.tau, b.tau);
+  EXPECT_EQ(a.best_region, b.best_region);
+  EXPECT_EQ(a.critical_value, b.critical_value);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.total_n, b.total_n);
+  EXPECT_EQ(a.total_p, b.total_p);
+  EXPECT_EQ(a.overall_rate, b.overall_rate);
+  EXPECT_EQ(a.observed.llr, b.observed.llr);
+  EXPECT_EQ(a.observed.positives, b.observed.positives);
+  EXPECT_EQ(a.null_distribution.sorted_max(), b.null_distribution.sorted_max());
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].region_index, b.findings[i].region_index);
+    EXPECT_EQ(a.findings[i].llr, b.findings[i].llr);
+    EXPECT_EQ(a.findings[i].log_sul, b.findings[i].log_sul);
+    EXPECT_EQ(a.findings[i].n, b.findings[i].n);
+    EXPECT_EQ(a.findings[i].p, b.findings[i].p);
+  }
+}
+
+std::vector<AuditResponse> RunOrDie(AuditPipeline& pipeline,
+                                    const std::vector<AuditRequest>& batch,
+                                    PipelineManifest* manifest = nullptr) {
+  auto responses = pipeline.Run(batch, manifest);
+  SFA_CHECK_OK(responses.status());
+  for (const AuditResponse& r : *responses) SFA_CHECK_OK(r.status);
+  return std::move(responses).value();
+}
+
+TEST(AuditPipeline, MatchesStandaloneAuditor) {
+  Batch b;
+  AuditPipeline pipeline(PipelineOptions{.parallel = true});
+  const auto responses = RunOrDie(pipeline, b.requests);
+  ASSERT_EQ(responses.size(), b.requests.size());
+  for (size_t i = 0; i < b.requests.size(); ++i) {
+    auto direct = Auditor(b.requests[i].options)
+                      .Audit(*b.requests[i].dataset, *b.requests[i].family);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    ExpectIdenticalResult(responses[i].result, *direct,
+                          "request " + b.requests[i].id);
+  }
+}
+
+TEST(AuditPipeline, DeterministicAcrossParallelismAndCacheState) {
+  Batch b;
+  // Baseline: serial, cold cache.
+  AuditPipeline serial(PipelineOptions{.parallel = false});
+  const auto baseline = RunOrDie(serial, b.requests);
+
+  // Parallel, cold cache.
+  AuditPipeline parallel_cold(PipelineOptions{.parallel = true});
+  const auto cold = RunOrDie(parallel_cold, b.requests);
+  // Parallel, fully warm cache (same pipeline, second run).
+  const auto warm = RunOrDie(parallel_cold, b.requests);
+
+  for (size_t i = 0; i < b.requests.size(); ++i) {
+    ExpectIdenticalResult(baseline[i].result, cold[i].result,
+                          "serial-vs-parallel " + b.requests[i].id);
+    ExpectIdenticalResult(baseline[i].result, warm[i].result,
+                          "cold-vs-warm " + b.requests[i].id);
+    EXPECT_TRUE(warm[i].cache_hit);
+  }
+}
+
+TEST(AuditPipeline, DeterministicUnderRequestShuffle) {
+  Batch b;
+  AuditPipeline pipeline(PipelineOptions{.parallel = true});
+  const auto in_order = RunOrDie(pipeline, b.requests);
+
+  std::vector<size_t> perm(b.requests.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  Rng rng(5);
+  rng.Shuffle(perm.begin(), perm.end());
+  std::vector<AuditRequest> shuffled;
+  for (size_t i : perm) shuffled.push_back(b.requests[i]);
+
+  AuditPipeline pipeline2(PipelineOptions{.parallel = true});
+  const auto out_of_order = RunOrDie(pipeline2, shuffled);
+  for (size_t j = 0; j < perm.size(); ++j) {
+    ASSERT_EQ(out_of_order[j].id, b.requests[perm[j]].id);
+    ExpectIdenticalResult(in_order[perm[j]].result, out_of_order[j].result,
+                          "shuffled " + out_of_order[j].id);
+  }
+}
+
+TEST(AuditPipeline, SharesCalibrationsAndReportsThem) {
+  Batch b;
+  AuditPipeline pipeline(PipelineOptions{.parallel = true});
+  PipelineManifest manifest;
+  RunOrDie(pipeline, b.requests, &manifest);
+
+  // 9 requests, 5 unique calibrations: a-sp (3 α's + reference engine share
+  // one), a-eo, a-sp-permutation, b-sp (2 α's share one), b-sp-low.
+  EXPECT_EQ(manifest.num_requests, 9u);
+  EXPECT_EQ(manifest.num_failed, 0u);
+  EXPECT_EQ(manifest.calibrations_computed, 5u);
+  EXPECT_EQ(manifest.calibrations_reused, 4u);
+  EXPECT_NEAR(manifest.HitRate(), 4.0 / 9.0, 1e-12);
+
+  // Warm rerun: everything is reused.
+  PipelineManifest warm;
+  RunOrDie(pipeline, b.requests, &warm);
+  EXPECT_EQ(warm.calibrations_computed, 0u);
+  EXPECT_EQ(warm.calibrations_reused, 9u);
+  EXPECT_EQ(pipeline.cache().stats().entries, 5u);
+
+  // Requests sharing a key report the same calibration identity.
+  auto key_of = [&](const std::string& id) {
+    for (const auto& row : warm.rows) {
+      if (row.id == id) return row.calibration_key;
+    }
+    ADD_FAILURE() << "row not found: " << id;
+    return std::string();
+  };
+  EXPECT_EQ(key_of("a-sp-0.050000"), key_of("a-sp-0.010000"));
+  EXPECT_EQ(key_of("a-sp-0.010000"), key_of("a-sp-reference-engine"));
+  EXPECT_NE(key_of("a-sp-0.010000"), key_of("a-sp-permutation"));
+  EXPECT_NE(key_of("a-sp-0.010000"), key_of("a-eo"));
+  EXPECT_NE(key_of("b-sp-0.050000"), key_of("b-sp-low"));
+}
+
+TEST(AuditPipeline, ManifestSerializesToJson) {
+  Batch b;
+  AuditPipeline pipeline;
+  PipelineManifest manifest;
+  RunOrDie(pipeline, b.requests, &manifest);
+  const std::string json = manifest.ToJson();
+  EXPECT_NE(json.find("\"num_requests\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"a-eo\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\":"), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\":"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(AuditPipeline, IsolatesPerRequestFailures) {
+  Batch b;
+  // A family bound to the wrong point set: per-request error, not batch.
+  AuditRequest bad;
+  bad.id = "bad-binding";
+  bad.dataset = &b.city_b;
+  bad.family = b.family_a.get();
+  bad.options.monte_carlo.num_worlds = 99;
+  std::vector<AuditRequest> batch = {b.requests[0], bad, b.requests[4]};
+
+  AuditPipeline pipeline;
+  PipelineManifest manifest;
+  auto responses = pipeline.Run(batch, &manifest);
+  ASSERT_TRUE(responses.ok());
+  EXPECT_TRUE((*responses)[0].status.ok());
+  EXPECT_FALSE((*responses)[1].status.ok());
+  EXPECT_TRUE((*responses)[2].status.ok());
+  EXPECT_EQ(manifest.num_failed, 1u);
+  EXPECT_FALSE(manifest.rows[1].ok);
+  EXPECT_NE(manifest.rows[1].error.find("bad-binding"), std::string::npos);
+}
+
+TEST(AuditPipeline, RejectsNullPointersAtBatchLevel) {
+  AuditPipeline pipeline;
+  AuditRequest r;
+  r.id = "null";
+  auto responses = pipeline.Run({r});
+  EXPECT_FALSE(responses.ok());
+}
+
+TEST(AuditPipeline, EmptyBatchYieldsEmptyResponses) {
+  AuditPipeline pipeline;
+  PipelineManifest manifest;
+  auto responses = pipeline.Run({}, &manifest);
+  ASSERT_TRUE(responses.ok());
+  EXPECT_TRUE(responses->empty());
+  EXPECT_EQ(manifest.num_requests, 0u);
+  EXPECT_EQ(manifest.HitRate(), 0.0);
+}
+
+TEST(CalibrationKey, DistinguishesDrawRelevantInputsOnly) {
+  Batch b;
+  MonteCarloOptions mc;
+  mc.num_worlds = 99;
+  mc.seed = 7;
+  const auto key = [&](const MonteCarloOptions& m) {
+    return MakeCalibrationKey(*b.family_a, b.city_a.size(),
+                              b.city_a.PositiveCount(),
+                              stats::ScanDirection::kTwoSided, m);
+  };
+  const CalibrationKey base = key(mc);
+
+  MonteCarloOptions engine = mc;
+  engine.engine = McEngine::kReference;
+  engine.batch_size = 3;
+  engine.parallel = false;
+  EXPECT_EQ(base, key(engine)) << "execution-only knobs must not split keys";
+
+  MonteCarloOptions seeded = mc;
+  seeded.seed = 8;
+  EXPECT_NE(base, key(seeded));
+  MonteCarloOptions worlds = mc;
+  worlds.num_worlds = 199;
+  EXPECT_NE(base, key(worlds));
+  MonteCarloOptions null_model = mc;
+  null_model.null_model = NullModel::kPermutation;
+  EXPECT_NE(base, key(null_model));
+  MonteCarloOptions closed_form = mc;
+  closed_form.closed_form_cells = false;
+  EXPECT_NE(base, key(closed_form));
+
+  // Different family, same totals → different fingerprint.
+  EXPECT_NE(base.hash,
+            MakeCalibrationKey(*b.family_a_eo, b.city_a_eo_view.size(),
+                               b.city_a_eo_view.PositiveCount(),
+                               stats::ScanDirection::kTwoSided, mc)
+                .hash);
+}
+
+}  // namespace
+}  // namespace sfa::core

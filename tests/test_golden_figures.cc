@@ -1,0 +1,144 @@
+// Golden regression pins for the paper-figure experiments at test scale.
+//
+// These values were produced by the audit stack at the PR that introduced
+// this file and are asserted EXACTLY (to EXPECT_DOUBLE_EQ's 4-ulp slack for
+// transcendental-dependent doubles, bit-exact for counts/indices). They are
+// the tripwire for engine and backend refactors: a change to the world
+// engine, counting backends, LLR evaluation, or RNG streams that silently
+// shifts any paper-figure number fails here first, with a diff a human can
+// read (τ, p-value, finding ranks) instead of a flaky downstream figure.
+//
+// If a change fails this test INTENTIONALLY (e.g. a new RNG stream layout),
+// regenerate the constants and say so in the commit: the point is that
+// shifts are loud and deliberate, never silent.
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/audit.h"
+#include "core/grid_family.h"
+#include "core/partitioning_family.h"
+#include "data/crime_sim.h"
+#include "data/synth.h"
+#include "geo/partitioning.h"
+
+namespace sfa::core {
+namespace {
+
+AuditOptions GoldenOptions() {
+  AuditOptions opts;
+  opts.alpha = 0.005;
+  opts.monte_carlo.num_worlds = 199;  // default seed 99, batched engine
+  return opts;
+}
+
+/// Fig. 1's family construction at reduced scale: 20 random rectangular
+/// partitionings with 4-12 splits per axis.
+Result<std::unique_ptr<PartitioningCollectionFamily>> Fig1Family(
+    const data::OutcomeDataset& ds) {
+  Rng rng(2023);
+  auto parts = geo::MakeRandomResolutionPartitionings(
+      ds.BoundingBox().Expanded(1e-6), 20, 4, 12, &rng);
+  SFA_RETURN_NOT_OK(parts.status());
+  return PartitioningCollectionFamily::Create(ds.locations(), *parts);
+}
+
+TEST(GoldenFigures, Fig1SynthUnfairByDesign) {
+  data::SynthOptions so;
+  so.num_outcomes = 4000;  // seed 17 (default)
+  auto ds = data::MakeSynth(so);
+  ASSERT_TRUE(ds.ok());
+  auto family = Fig1Family(*ds);
+  ASSERT_TRUE(family.ok());
+  auto r = Auditor(GoldenOptions()).Audit(*ds, **family);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  EXPECT_EQ(r->total_n, 4000u);
+  EXPECT_EQ(r->total_p, 1981u);
+  EXPECT_FALSE(r->spatially_fair);
+  EXPECT_DOUBLE_EQ(r->tau, 17.193572302669963);
+  EXPECT_DOUBLE_EQ(r->p_value, 0.0050000000000000001);
+  EXPECT_DOUBLE_EQ(r->critical_value, 12.046794690610113);
+  EXPECT_EQ(r->best_region, 305u);
+  ASSERT_EQ(r->findings.size(), 18u);
+
+  // Top-5 findings: index, Λ, and the region's (n, p).
+  const size_t idx[5] = {305, 1652, 1089, 107, 989};
+  const double llr[5] = {17.193572302669963, 15.160603144817742,
+                         14.921887168933154, 14.26717168918367,
+                         14.26717168918367};
+  const uint64_t n[5] = {54, 92, 50, 130, 130};
+  const uint64_t p[5] = {47, 71, 43, 35, 35};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r->findings[i].region_index, idx[i]) << "rank " << i;
+    EXPECT_DOUBLE_EQ(r->findings[i].llr, llr[i]) << "rank " << i;
+    EXPECT_EQ(r->findings[i].n, n[i]) << "rank " << i;
+    EXPECT_EQ(r->findings[i].p, p[i]) << "rank " << i;
+  }
+}
+
+TEST(GoldenFigures, Fig1SemiSynthFairByDesign) {
+  data::SemiSynthOptions so;
+  so.num_outcomes = 4000;  // seed 23 (default)
+  auto ds = data::MakeSemiSynthStandalone(so);
+  ASSERT_TRUE(ds.ok());
+  auto family = Fig1Family(*ds);
+  ASSERT_TRUE(family.ok());
+  auto r = Auditor(GoldenOptions()).Audit(*ds, **family);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  EXPECT_EQ(r->total_n, 4000u);
+  EXPECT_EQ(r->total_p, 2026u);
+  EXPECT_TRUE(r->spatially_fair);
+  EXPECT_DOUBLE_EQ(r->tau, 4.73573818701243);
+  EXPECT_DOUBLE_EQ(r->p_value, 0.62);
+  EXPECT_DOUBLE_EQ(r->critical_value, 13.123729507773533);
+  EXPECT_EQ(r->best_region, 259u);
+  EXPECT_EQ(r->findings.size(), 0u);
+}
+
+TEST(GoldenFigures, Fig4CrimeEqualOpportunity20x20) {
+  data::CrimeAuditOptions co;
+  co.sim.num_incidents = 120000;  // sim seed 1019, split seed 404 (defaults)
+  // The paper-scale planted effect needs ~700k incidents to surface at the
+  // default scramble; at test scale we deepen the Hollywood scramble so the
+  // audit stays decisively unfair and pins non-trivial findings.
+  co.sim.hollywood_scramble = 0.55;
+  auto bundle = data::BuildCrimeAudit(co);
+  ASSERT_TRUE(bundle.ok());
+  const data::OutcomeDataset& view = bundle->equal_opportunity;
+  auto family = GridPartitionFamily::CreateWithExtent(
+      view.locations(), view.BoundingBox().Expanded(1e-9), 20, 20);
+  ASSERT_TRUE(family.ok());
+  AuditOptions opts = GoldenOptions();
+  opts.measure = FairnessMeasure::kEqualOpportunity;
+  auto r = Auditor(opts).AuditView(view, **family);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  EXPECT_EQ(r->total_n, 13531u);
+  EXPECT_EQ(r->total_p, 8553u);
+  EXPECT_FALSE(r->spatially_fair);
+  EXPECT_DOUBLE_EQ(r->tau, 23.85982846549814);
+  EXPECT_DOUBLE_EQ(r->p_value, 0.0050000000000000001);
+  EXPECT_DOUBLE_EQ(r->critical_value, 7.2323803935996693);
+  EXPECT_EQ(r->best_region, 253u);
+  ASSERT_EQ(r->findings.size(), 4u);
+
+  const size_t idx[4] = {253, 272, 273, 252};
+  const double llr[4] = {23.85982846549814, 17.483322309115465,
+                         16.382610097038196, 15.687261796956591};
+  const uint64_t n[4] = {245, 120, 114, 221};
+  const uint64_t p[4] = {102, 44, 42, 99};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r->findings[i].region_index, idx[i]) << "rank " << i;
+    EXPECT_DOUBLE_EQ(r->findings[i].llr, llr[i]) << "rank " << i;
+    EXPECT_EQ(r->findings[i].n, n[i]) << "rank " << i;
+    EXPECT_EQ(r->findings[i].p, p[i]) << "rank " << i;
+  }
+  // The paper's under-detection exhibit: the top region's local TPR sits
+  // far below the global rate.
+  EXPECT_LT(r->findings[0].local_rate, r->overall_rate);
+}
+
+}  // namespace
+}  // namespace sfa::core

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "core/grid_family.h"
 
@@ -86,7 +88,10 @@ TEST(ScanMaxStatistic, AgreesWithFullScan) {
     const ScanResult full = ScanAllRegions(*s.family, labels, direction);
     std::vector<uint64_t> scratch;
     const double max_only = ScanMaxStatistic(*s.family, labels, direction, &scratch);
-    EXPECT_DOUBLE_EQ(full.max_llr, max_only);
+    // The table-free overload reassociates the log terms, so agreement is
+    // to rounding, not bitwise (the bitwise contract binds the table paths;
+    // see TableOverloadIsBitIdenticalToFullScan).
+    EXPECT_NEAR(full.max_llr, max_only, 1e-9 * (1.0 + std::fabs(full.max_llr)));
   }
 }
 
@@ -103,6 +108,25 @@ TEST(ScanMaxStatistic, DirectionalScansSplitTheSignal) {
   EXPECT_EQ(low.argmax, 1u);
   EXPECT_GT(high.max_llr, 0.0);
   EXPECT_GT(low.max_llr, 0.0);
+}
+
+TEST(ScanMaxStatistic, TableOverloadIsBitIdenticalToFullScan) {
+  // The tie contract of the rank p-value: observed statistics (full scan)
+  // and table-driven evaluations of the same counts must agree bit-for-bit,
+  // not just to a tolerance — an ulp of daylight turns exact ties into
+  // coin flips (see scan.h).
+  ScanWorld s = BiasedHalves(1000, 0.7, 0.4, 68);
+  const Labels labels = Labels::FromBytes(s.labels);
+  const stats::LogLikelihoodTable table(labels.size());
+  for (auto direction :
+       {stats::ScanDirection::kTwoSided, stats::ScanDirection::kHigh,
+        stats::ScanDirection::kLow}) {
+    const ScanResult full = ScanAllRegions(*s.family, labels, direction);
+    std::vector<uint64_t> scratch;
+    const double max_only =
+        ScanMaxStatistic(*s.family, labels, direction, &scratch, table);
+    EXPECT_EQ(full.max_llr, max_only);  // exact, no tolerance
+  }
 }
 
 TEST(ScanAllRegions, AllSameLabelGivesZeroStatistic) {

@@ -168,5 +168,18 @@ TEST(NullModelToString, Names) {
                "conditional permutation");
 }
 
+TEST(McEngineToString, Names) {
+  EXPECT_STREQ(McEngineToString(McEngine::kBatched), "batched");
+  EXPECT_STREQ(McEngineToString(McEngine::kReference), "per-world reference");
+}
+
+TEST(EnumToString, NamesAreDistinct) {
+  // Reports embed these strings; two enum values must never render alike.
+  EXPECT_STRNE(NullModelToString(NullModel::kBernoulli),
+               NullModelToString(NullModel::kPermutation));
+  EXPECT_STRNE(McEngineToString(McEngine::kBatched),
+               McEngineToString(McEngine::kReference));
+}
+
 }  // namespace
 }  // namespace sfa::core

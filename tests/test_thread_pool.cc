@@ -81,6 +81,84 @@ TEST(ThreadPool, SplitRngReductionIsThreadCountInvariant) {
   EXPECT_EQ(run(2), run(16));
 }
 
+TEST(ThreadPool, TaskGroupWaitsOnlyForItsOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> grouped{0};
+  std::atomic<int> ungrouped{0};
+  ThreadPool::TaskGroup group;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit(&group, [&] { grouped.fetch_add(1); });
+    pool.Submit([&] { ungrouped.fetch_add(1); });
+  }
+  pool.WaitGroup(&group);
+  EXPECT_EQ(grouped.load(), 64);
+  pool.Wait();
+  EXPECT_EQ(ungrouped.load(), 64);
+}
+
+TEST(ThreadPool, WaitGroupOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group;
+  pool.WaitGroup(&group);  // must not deadlock
+  SUCCEED();
+}
+
+// The nested-parallelism guarantee the audit pipeline relies on: a task
+// running on the pool may itself call ParallelFor. The helping WaitGroup
+// keeps this deadlock-free even when the pool is saturated with outer tasks
+// (pre-task-group pools deadlocked here: every worker blocked in Wait while
+// the inner tasks starved).
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);  // fewer workers than outer tasks forces helping
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(32, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 32);
+}
+
+TEST(ThreadPool, TriplyNestedParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) {
+      pool.ParallelFor(4, [&](size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t outer = 16, inner = 256;
+  std::vector<std::atomic<int>> visits(outer * inner);
+  pool.ParallelFor(outer, [&](size_t i) {
+    pool.ParallelFor(inner,
+                     [&](size_t j) { visits[i * inner + j].fetch_add(1); });
+  });
+  for (size_t k = 0; k < visits.size(); ++k) ASSERT_EQ(visits[k].load(), 1) << k;
+}
+
+TEST(ThreadPool, NestedSplitRngReductionIsThreadCountInvariant) {
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    Rng root(99);
+    std::vector<double> out(8 * 16);
+    pool.ParallelFor(8, [&](size_t i) {
+      Rng outer = root.Split(i);
+      pool.ParallelFor(16, [&](size_t j) {
+        Rng rng = outer.Split(j);
+        double acc = 0.0;
+        for (int k = 0; k < 50; ++k) acc += rng.NextDouble();
+        out[i * 16 + j] = acc;
+      });
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(5));
+  EXPECT_EQ(run(2), run(13));
+}
+
 TEST(DefaultThreadPool, IsSingletonAndUsable) {
   ThreadPool& a = DefaultThreadPool();
   ThreadPool& b = DefaultThreadPool();

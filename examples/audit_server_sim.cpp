@@ -1,22 +1,34 @@
-// Audit server simulation: replays a synthetic stream of audit requests
-// through the concurrent AuditPipeline the way a production endpoint would —
-// requests arrive in waves, each wave is executed as one batch, and the
-// calibration cache stays warm across waves. Reports per-wave throughput,
-// end-to-end latency percentiles, cache hit rates, and finishes with the
-// machine-readable run manifest of the last wave.
+// Audit server simulation: drives the STREAMING audit service the way a
+// production endpoint would — concurrent producers submit mixed-priority
+// requests through the bounded admission queue, dispatcher workers yield
+// each response the moment it finishes, and the calibration cache persists
+// to an on-disk CalibrationStore. The run then simulates a process restart:
+// a fresh pipeline (empty memory cache) warm-starts from the store
+// directory, replays the same request stream, and the sim verifies the
+// replayed responses are byte-identical to the live run with ZERO Monte
+// Carlo simulations — the persisted-warm contract.
 //
 // The stream mixes three "cities" (two with planted bias), two fairness
-// measures, four α levels, and two scan directions; many requests differ
-// only in α or direction-irrelevant knobs, so the cache collapses their
-// Monte Carlo calibrations — the effect this binary exists to demonstrate.
+// measures, four α levels, two scan directions, and three priority classes;
+// many requests differ only in α or direction-irrelevant knobs, so the
+// cache collapses their Monte Carlo calibrations.
+//
+// Reports per-phase throughput, queue wait and assembly latency
+// percentiles, cache/store hit rates, and writes a machine-readable JSON
+// run summary (every string routed through the shared core::JsonEscape —
+// city and family names are user-controlled in a real deployment).
 //
 //   SFA_QUICK=1 shrinks the stream for smoke runs (CI builds it and runs it
 //   this way).
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/macros.h"
@@ -24,6 +36,8 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/audit_pipeline.h"
+#include "core/calibration_store.h"
+#include "core/export.h"
 #include "core/grid_family.h"
 #include "core/measure.h"
 #include "data/dataset.h"
@@ -84,12 +98,13 @@ int main() {
   }();
   const size_t city_points = quick ? 4000 : 20000;
   const uint32_t num_worlds = quick ? 99 : 499;
-  const size_t num_waves = quick ? 3 : 5;
-  const size_t wave_size = quick ? 16 : 32;
+  const size_t num_requests = quick ? 48 : 160;
+  const size_t num_producers = 4;
 
-  std::printf("== audit_server_sim: concurrent pipeline + calibration cache ==\n");
+  std::printf("== audit_server_sim: streaming service + persistent calibration "
+              "store ==\n");
   std::printf("3 cities x {statistical parity, equal opportunity} x 4 alphas "
-              "x 2 directions, %u worlds/calibration%s\n\n",
+              "x 2 directions x 3 priorities, %u worlds/calibration%s\n\n",
               num_worlds, quick ? " (SFA_QUICK=1)" : "");
 
   std::vector<City> cities;
@@ -100,75 +115,190 @@ int main() {
   const double alphas[4] = {0.05, 0.01, 0.005, 0.001};
   const sfa::stats::ScanDirection directions[2] = {
       sfa::stats::ScanDirection::kTwoSided, sfa::stats::ScanDirection::kLow};
+  const RequestPriority priorities[3] = {RequestPriority::kInteractive,
+                                         RequestPriority::kNormal,
+                                         RequestPriority::kBulk};
 
-  // The request stream: uniformly random (city, measure, α, direction)
-  // draws, i.e. heavy key collision by design — an α-sweep of one city costs
-  // one calibration, not four.
+  // The request stream: uniformly random (city, measure, α, direction,
+  // priority) draws, i.e. heavy key collision by design — an α-sweep of one
+  // city costs one calibration, not four.
   Rng stream_rng(777);
-  AuditPipeline pipeline;
-  std::vector<double> all_latencies_ms;
-  size_t served = 0, failed = 0;
-  PipelineManifest manifest;
-
-  for (size_t wave = 0; wave < num_waves; ++wave) {
-    std::vector<AuditRequest> batch;
-    batch.reserve(wave_size);
-    for (size_t i = 0; i < wave_size; ++i) {
-      const City& city = cities[stream_rng.NextUint64(cities.size())];
-      const bool eo = stream_rng.Bernoulli(0.4);
-      AuditRequest req;
-      req.id = sfa::StrFormat("w%zu-r%zu-%s-%s", wave, i, city.name.c_str(),
-                              eo ? "eo" : "sp");
-      req.dataset = eo ? &city.eo_view : &city.dataset;
-      req.dataset_is_view = true;
-      req.family = eo ? city.eo_family.get() : city.sp_family.get();
-      req.options.measure = eo ? FairnessMeasure::kEqualOpportunity
-                               : FairnessMeasure::kStatisticalParity;
-      req.options.alpha = alphas[stream_rng.NextUint64(4)];
-      req.options.direction = directions[stream_rng.NextUint64(2)];
-      req.options.monte_carlo.num_worlds = num_worlds;
-      batch.push_back(std::move(req));
-    }
-
-    sfa::Stopwatch wall;
-    auto responses = pipeline.Run(batch, &manifest);
-    SFA_CHECK_OK(responses.status());
-    const double wave_ms = wall.ElapsedMillis();
-
-    std::vector<double> latencies;
-    size_t wave_hits = 0, unfair = 0;
-    for (const AuditResponse& response : *responses) {
-      if (!response.status.ok()) {
-        ++failed;
-        continue;
-      }
-      ++served;
-      latencies.push_back(response.assemble_ms);
-      all_latencies_ms.push_back(response.assemble_ms);
-      if (response.cache_hit) ++wave_hits;
-      if (!response.result.spatially_fair) ++unfair;
-    }
-    std::printf(
-        "wave %zu: %2zu requests in %7.1f ms  (%6.1f req/s)  "
-        "calibrations computed=%llu reused=%llu  hit-rate=%.0f%%  unfair=%zu\n",
-        wave, batch.size(), wave_ms, 1e3 * batch.size() / wave_ms,
-        static_cast<unsigned long long>(manifest.calibrations_computed),
-        static_cast<unsigned long long>(manifest.calibrations_reused),
-        100.0 * manifest.HitRate(), unfair);
+  std::vector<AuditRequest> requests;
+  std::vector<RequestPriority> request_priorities;
+  requests.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    const City& city = cities[stream_rng.NextUint64(cities.size())];
+    const bool eo = stream_rng.Bernoulli(0.4);
+    AuditRequest req;
+    req.id = sfa::StrFormat("r%03zu-%s-%s", i, city.name.c_str(),
+                            eo ? "eo" : "sp");
+    req.dataset = eo ? &city.eo_view : &city.dataset;
+    req.dataset_is_view = true;
+    req.family = eo ? city.eo_family.get() : city.sp_family.get();
+    req.options.measure = eo ? FairnessMeasure::kEqualOpportunity
+                             : FairnessMeasure::kStatisticalParity;
+    req.options.alpha = alphas[stream_rng.NextUint64(4)];
+    req.options.direction = directions[stream_rng.NextUint64(2)];
+    req.options.monte_carlo.num_worlds = num_worlds;
+    requests.push_back(std::move(req));
+    request_priorities.push_back(priorities[stream_rng.NextUint64(3)]);
   }
 
-  const auto cache = pipeline.cache().stats();
-  std::printf("\n== totals ==\n");
-  std::printf("served %zu requests (%zu failed), %llu distinct calibrations "
-              "cached, cache hits=%llu misses=%llu\n",
-              served, failed, static_cast<unsigned long long>(cache.entries),
-              static_cast<unsigned long long>(cache.hits),
-              static_cast<unsigned long long>(cache.misses));
-  std::printf("assembly latency: p50=%.2f ms  p90=%.2f ms  p99=%.2f ms\n",
-              Percentile(all_latencies_ms, 0.50),
-              Percentile(all_latencies_ms, 0.90),
-              Percentile(all_latencies_ms, 0.99));
-  std::printf("\n== manifest of the last wave (machine-readable) ==\n%s\n",
-              manifest.ToJson().c_str());
-  return failed == 0 ? 0 : 1;
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() /
+      sfa::StrFormat("sfa_audit_server_sim_store_%d", ::getpid());
+  std::filesystem::remove_all(store_dir);
+
+  // ---------------------------------------------------- phase 1: streaming
+  std::printf("-- phase 1: streaming service, cold store --\n");
+  std::vector<std::shared_ptr<AuditTicket>> tickets(requests.size());
+  double stream_wall_ms = 0.0;
+  StreamStats stream_stats;
+  CalibrationCache::Stats live_cache_stats;
+  {
+    AuditPipeline pipeline;
+    auto store = CalibrationStore::Open({.directory = store_dir.string()});
+    SFA_CHECK_OK(store.status());
+    pipeline.cache().AttachStore(
+        std::shared_ptr<CalibrationStore>(std::move(*store)));
+
+    StreamOptions opts;
+    opts.queue_capacity = 16;
+    opts.num_workers = 3;
+    opts.block_when_full = true;  // a replayed trace sheds no load
+    SFA_CHECK_OK(pipeline.StartStream(opts));
+
+    sfa::Stopwatch wall;
+    std::vector<std::thread> producers;
+    const size_t per_producer = (requests.size() + num_producers - 1) /
+                                num_producers;
+    for (size_t p = 0; p < num_producers; ++p) {
+      producers.emplace_back([&, p] {
+        const size_t begin = p * per_producer;
+        const size_t end = std::min(requests.size(), begin + per_producer);
+        for (size_t i = begin; i < end; ++i) {
+          auto ticket = pipeline.Submit(requests[i], request_priorities[i]);
+          SFA_CHECK_OK(ticket.status());
+          tickets[i] = *ticket;
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    SFA_CHECK_OK(pipeline.FinishStream());  // drains + flushes write-behind
+    stream_wall_ms = wall.ElapsedMillis();
+    stream_stats = pipeline.stream_stats();
+    live_cache_stats = pipeline.cache().stats();
+  }
+
+  std::vector<double> queue_waits, assembly_ms;
+  size_t unfair = 0, hits = 0;
+  for (const auto& ticket : tickets) {
+    const AuditResponse& response = ticket->Get();
+    SFA_CHECK_OK(response.status);
+    queue_waits.push_back(response.queue_wait_ms);
+    assembly_ms.push_back(response.assemble_ms);
+    if (!response.result.spatially_fair) ++unfair;
+    if (response.cache_hit) ++hits;
+  }
+  std::printf(
+      "streamed %llu requests in %.1f ms (%.1f req/s): completed=%llu "
+      "max-queue-depth=%zu unfair=%zu cache-hits=%zu\n",
+      static_cast<unsigned long long>(stream_stats.submitted), stream_wall_ms,
+      1e3 * static_cast<double>(stream_stats.submitted) / stream_wall_ms,
+      static_cast<unsigned long long>(stream_stats.completed),
+      stream_stats.max_queue_depth, unfair, hits);
+  std::printf("submit-to-dispatch wait (incl. backpressure blocking): "
+              "p50=%.2f ms p90=%.2f ms p99=%.2f ms\n",
+              Percentile(queue_waits, 0.50), Percentile(queue_waits, 0.90),
+              Percentile(queue_waits, 0.99));
+  std::printf("assembly:   p50=%.2f ms p90=%.2f ms p99=%.2f ms\n",
+              Percentile(assembly_ms, 0.50), Percentile(assembly_ms, 0.90),
+              Percentile(assembly_ms, 0.99));
+  std::printf("store writes queued: %llu\n\n",
+              static_cast<unsigned long long>(live_cache_stats.store_writes));
+
+  // ------------------------------------------- phase 2: restart and replay
+  std::printf("-- phase 2: restart replay, persisted-warm store --\n");
+  PipelineManifest replay_manifest;
+  size_t mismatches = 0;
+  double replay_wall_ms = 0.0;
+  {
+    AuditPipeline restarted;  // fresh process: empty memory cache
+    auto store = CalibrationStore::Open(
+        {.directory = store_dir.string(), .create_if_missing = false});
+    SFA_CHECK_OK(store.status());
+    restarted.cache().AttachStore(
+        std::shared_ptr<CalibrationStore>(std::move(*store)));
+
+    sfa::Stopwatch wall;
+    auto replayed = restarted.Run(requests, &replay_manifest);
+    SFA_CHECK_OK(replayed.status());
+    replay_wall_ms = wall.ElapsedMillis();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const AuditResponse& live = tickets[i]->Get();
+      const AuditResponse& replay = (*replayed)[i];
+      SFA_CHECK_OK(replay.status);
+      // The authoritative full-payload comparison (core::ResultsBitIdentical)
+      // — this binary's exit code is the restart-replay pass/fail signal.
+      if (!ResultsBitIdentical(live.result, replay.result)) {
+        ++mismatches;
+        std::printf("MISMATCH at %s: live p=%.17g tau=%.17g vs replay "
+                    "p=%.17g tau=%.17g\n",
+                    requests[i].id.c_str(), live.result.p_value,
+                    live.result.tau, replay.result.p_value, replay.result.tau);
+      }
+    }
+  }
+  std::printf(
+      "replayed %zu requests in %.1f ms: calibrations computed=%llu "
+      "loaded-from-store=%llu reused=%llu — %s\n\n",
+      requests.size(), replay_wall_ms,
+      static_cast<unsigned long long>(replay_manifest.calibrations_computed),
+      static_cast<unsigned long long>(replay_manifest.calibrations_loaded),
+      static_cast<unsigned long long>(replay_manifest.calibrations_reused),
+      mismatches == 0 ? "byte-identical to the live stream"
+                      : "RESPONSES DIVERGED");
+
+  // --------------------------------------------- machine-readable summary
+  // Every string below is user-controlled in a real deployment (city names
+  // arrive from datasets, family names embed construction parameters), so
+  // all of them go through the shared JSON escaper.
+  std::string summary;
+  summary += sfa::StrFormat(
+      "{\"quick\":%s,\"num_requests\":%zu,\"stream\":{\"wall_ms\":%.3f,"
+      "\"completed\":%llu,\"rejected\":%llu,\"max_queue_depth\":%zu,"
+      "\"queue_wait_p90_ms\":%.3f},\"replay\":{\"wall_ms\":%.3f,"
+      "\"calibrations_computed\":%llu,\"calibrations_loaded\":%llu,"
+      "\"mismatches\":%zu},\"store_dir\":\"%s\",\"cities\":[",
+      quick ? "true" : "false", requests.size(), stream_wall_ms,
+      static_cast<unsigned long long>(stream_stats.completed),
+      static_cast<unsigned long long>(stream_stats.rejected),
+      stream_stats.max_queue_depth, Percentile(queue_waits, 0.90),
+      replay_wall_ms,
+      static_cast<unsigned long long>(replay_manifest.calibrations_computed),
+      static_cast<unsigned long long>(replay_manifest.calibrations_loaded),
+      mismatches, JsonEscape(store_dir.string()).c_str());
+  for (size_t c = 0; c < cities.size(); ++c) {
+    if (c > 0) summary += ',';
+    summary += sfa::StrFormat(
+        "{\"name\":\"%s\",\"sp_family\":\"%s\",\"eo_family\":\"%s\","
+        "\"n\":%zu}",
+        JsonEscape(cities[c].name).c_str(),
+        JsonEscape(cities[c].sp_family->Name()).c_str(),
+        JsonEscape(cities[c].eo_family->Name()).c_str(),
+        cities[c].dataset.size());
+  }
+  summary += "],\"last_manifest\":";
+  summary += replay_manifest.ToJson();
+  summary += "}";
+  std::printf("== run summary (machine-readable) ==\n%s\n", summary.c_str());
+
+  std::filesystem::remove_all(store_dir);
+  const bool ok = mismatches == 0 && replay_manifest.num_failed == 0 &&
+                  replay_manifest.calibrations_computed == 0;
+  if (!ok) {
+    std::printf("\nFAILED: restart replay violated the persisted-warm "
+                "contract\n");
+  }
+  return ok ? 0 : 1;
 }

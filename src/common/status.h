@@ -26,6 +26,7 @@ enum class StatusCode : uint8_t {
   kParseError = 7,
   kInternal = 8,
   kNotImplemented = 9,
+  kResourceExhausted = 10,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -71,6 +72,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +89,9 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -14,15 +14,149 @@
 #ifndef SFA_COMMON_THREAD_POOL_H_
 #define SFA_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace sfa {
+
+/// Cooperative cancellation flag shared between a controller and workers.
+/// Cancel() is sticky and thread-safe; workers poll cancelled() at natural
+/// checkpoints (between requests, between world batches) — cancellation never
+/// interrupts a computation mid-flight, it only stops new work from starting.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Outcome of an admission attempt against a BoundedPriorityQueue.
+enum class QueuePush {
+  kAdmitted,  ///< the item was enqueued
+  kRejected,  ///< the queue was at capacity (TryPush only)
+  kClosed,    ///< the queue no longer accepts items
+};
+
+/// A bounded multi-producer/multi-consumer queue with fixed priority lanes:
+/// Pop always serves the lowest-numbered non-empty lane (0 = most urgent) and
+/// is FIFO within a lane. Capacity bounds the TOTAL number of queued items
+/// across lanes, giving producers backpressure in one of two flavors:
+/// TryPush rejects immediately when full (load shedding), Push blocks until
+/// space frees up. Close() makes all subsequent pushes fail and lets
+/// consumers drain: Pop returns false once the queue is closed AND empty.
+///
+/// The admission decision is serialized under one lock, so "how many items a
+/// fixed submission sequence admits before rejecting" is a deterministic
+/// function of capacity and consumer progress — with consumers held (see
+/// AuditPipeline's paused dispatch), exactly `capacity` admissions succeed
+/// regardless of producer interleaving.
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  BoundedPriorityQueue(size_t capacity, size_t num_priorities)
+      : capacity_(capacity < 1 ? 1 : capacity),
+        lanes_(num_priorities < 1 ? 1 : num_priorities) {}
+
+  BoundedPriorityQueue(const BoundedPriorityQueue&) = delete;
+  BoundedPriorityQueue& operator=(const BoundedPriorityQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_priorities() const { return lanes_.size(); }
+
+  /// Current number of queued items (racy by nature; exact under external
+  /// serialization, e.g. while consumers are paused).
+  size_t size() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  /// Admits or rejects immediately. `priority` is clamped to the last lane.
+  QueuePush TryPush(size_t priority, T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return QueuePush::kClosed;
+    if (size_ >= capacity_) return QueuePush::kRejected;
+    Enqueue(priority, std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueuePush::kAdmitted;
+  }
+
+  /// Admits, blocking while the queue is full. Returns kClosed if the queue
+  /// is (or becomes) closed before space frees up.
+  QueuePush Push(size_t priority, T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < capacity_; });
+    if (closed_) return QueuePush::kClosed;
+    Enqueue(priority, std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueuePush::kAdmitted;
+  }
+
+  /// Blocks until an item is available (highest-priority lane first, FIFO
+  /// within the lane) or the queue is closed and drained; false on the
+  /// latter.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;  // closed and drained
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      *out = std::move(lane.front());
+      lane.pop_front();
+      --size_;
+      lock.unlock();
+      not_full_.notify_one();
+      return true;
+    }
+    return false;  // unreachable: size_ > 0 implies a non-empty lane
+  }
+
+  /// Stops admissions; queued items remain poppable until drained. Wakes
+  /// every blocked producer and consumer.
+  void Close() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  void Enqueue(size_t priority, T item) {  // requires mu_ held, size_ < cap
+    if (priority >= lanes_.size()) priority = lanes_.size() - 1;
+    lanes_[priority].push_back(std::move(item));
+    ++size_;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  const size_t capacity_;
+  size_t size_ = 0;
+  bool closed_ = false;
+  std::vector<std::deque<T>> lanes_;
+};
 
 class ThreadPool {
  public:

@@ -99,4 +99,37 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
   return result;
 }
 
+bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
+  if (a.spatially_fair != b.spatially_fair || a.p_value != b.p_value ||
+      a.tau != b.tau || a.best_region != b.best_region ||
+      a.critical_value != b.critical_value || a.alpha != b.alpha ||
+      a.total_n != b.total_n || a.total_p != b.total_p ||
+      a.overall_rate != b.overall_rate) {
+    return false;
+  }
+  if (a.observed.llr != b.observed.llr ||
+      a.observed.positives != b.observed.positives ||
+      a.observed.max_llr != b.observed.max_llr ||
+      a.observed.argmax != b.observed.argmax ||
+      a.observed.total_n != b.observed.total_n ||
+      a.observed.total_p != b.observed.total_p) {
+    return false;
+  }
+  if (a.null_distribution.sorted_max() != b.null_distribution.sorted_max()) {
+    return false;
+  }
+  if (a.findings.size() != b.findings.size()) return false;
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    const RegionFinding& fa = a.findings[i];
+    const RegionFinding& fb = b.findings[i];
+    if (fa.region_index != fb.region_index || !(fa.rect == fb.rect) ||
+        fa.label != fb.label || fa.group != fb.group || fa.n != fb.n ||
+        fa.p != fb.p || fa.local_rate != fb.local_rate || fa.llr != fb.llr ||
+        fa.log_sul != fb.log_sul || fa.significant != fb.significant) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace sfa::core

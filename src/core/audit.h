@@ -67,6 +67,15 @@ struct AuditResult {
   size_t num_significant() const { return findings.size(); }
 };
 
+/// True iff two results carry the SAME statistical payload, bit-for-bit:
+/// verdict, p-value, τ, thresholds, totals, the full observed per-region
+/// scan, the null distribution, and every field of every finding (exact
+/// double equality throughout — no tolerance). This is the authoritative
+/// field list of the pipeline determinism contract; the determinism test
+/// suites and the restart-replay example both delegate to it so the list
+/// cannot silently fork when AuditResult grows a field.
+bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b);
+
 /// Reusable per-thread buffers for pooled audit execution: the audit
 /// pipeline keeps one AuditScratch per worker so the steady state of a
 /// request stream allocates no observed-world storage and rebuilds the

@@ -35,6 +35,7 @@ struct UniqueCalibration {
   MonteCarloOptions mc;
   size_t first_request = 0;  ///< request index that introduced the key
   bool warm = false;         ///< served from the cache of a previous Run
+  CalibrationCache::Source source = CalibrationCache::Source::kMemory;
   std::shared_ptr<const NullDistribution> value;
   Status status = Status::OK();
 };
@@ -76,13 +77,57 @@ void PrepareRequest(const AuditRequest& req, uint64_t family_fingerprint,
                                  req.options.monte_carlo);
 }
 
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
+const char* RequestPriorityToString(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kInteractive:
+      return "interactive";
+    case RequestPriority::kNormal:
+      return "normal";
+    case RequestPriority::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+// ----------------------------------------------------------------- ticket --
+
+bool AuditTicket::done() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return done_;
+}
+
+const AuditResponse& AuditTicket::Get() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_; });
+  return response_;
+}
+
+void AuditTicket::Complete(AuditResponse response) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    response_ = std::move(response);
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+// --------------------------------------------------------------- manifest --
+
 double PipelineManifest::HitRate() const {
-  const uint64_t total = calibrations_computed + calibrations_reused;
-  return total == 0 ? 0.0
-                    : static_cast<double>(calibrations_reused) /
-                          static_cast<double>(total);
+  const uint64_t total =
+      calibrations_computed + calibrations_loaded + calibrations_reused;
+  return total == 0
+             ? 0.0
+             : static_cast<double>(calibrations_loaded + calibrations_reused) /
+                   static_cast<double>(total);
 }
 
 std::string PipelineManifest::ToJson() const {
@@ -90,15 +135,19 @@ std::string PipelineManifest::ToJson() const {
   out.reserve(256 + rows.size() * 256);
   out += StrFormat(
       "{\"num_requests\":%zu,\"num_failed\":%zu,\"parallel\":%s,"
-      "\"wall_ms\":%.3f,\"calibrations\":{\"computed\":%llu,\"reused\":%llu,"
-      "\"hit_rate\":%.4f},\"cache\":{\"hits\":%llu,\"misses\":%llu,"
-      "\"entries\":%llu},\"requests\":[",
+      "\"wall_ms\":%.3f,\"calibrations\":{\"computed\":%llu,\"loaded\":%llu,"
+      "\"reused\":%llu,\"hit_rate\":%.4f},\"cache\":{\"hits\":%llu,"
+      "\"misses\":%llu,\"entries\":%llu,\"store_hits\":%llu,"
+      "\"store_writes\":%llu},\"requests\":[",
       num_requests, num_failed, parallel ? "true" : "false", wall_ms,
       static_cast<unsigned long long>(calibrations_computed),
+      static_cast<unsigned long long>(calibrations_loaded),
       static_cast<unsigned long long>(calibrations_reused), HitRate(),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
-      static_cast<unsigned long long>(cache.entries));
+      static_cast<unsigned long long>(cache.entries),
+      static_cast<unsigned long long>(cache.store_hits),
+      static_cast<unsigned long long>(cache.store_writes));
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     if (i > 0) out += ',';
@@ -124,9 +173,22 @@ std::string PipelineManifest::ToJson() const {
   return out;
 }
 
+// -------------------------------------------------------------- batch Run --
+
+AuditPipeline::~AuditPipeline() {
+  // An abandoned session must not leave detached workers touching freed
+  // pipeline state; drain-free teardown mirrors AbortStream.
+  AbortStream();
+}
+
 Result<std::vector<AuditResponse>> AuditPipeline::Run(
     const std::vector<AuditRequest>& batch, PipelineManifest* manifest) {
   Stopwatch wall;
+  if (streaming()) {
+    return Status::FailedPrecondition(
+        "batch Run() while a streaming session is active; FinishStream() "
+        "first");
+  }
   // Structural misuse fails the whole batch: there is no per-request result
   // to attach an error to when the request itself is not addressable.
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -169,9 +231,10 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
   });
 
   // Phase 2 — calibrate: dedupe keys (first-occurrence order, so manifests
-  // are stable), serve warm entries from the cache, simulate the rest. The
-  // outer loop parallelizes across unique calibrations while each
-  // simulation's world engine fans out onto the same pool underneath.
+  // are stable), serve warm entries from the cache, simulate (or load from
+  // the persistent store) the rest. The outer loop parallelizes across
+  // unique calibrations while each simulation's world engine fans out onto
+  // the same pool underneath.
   std::vector<UniqueCalibration> uniques;
   std::unordered_map<std::string, size_t> key_to_unique;
   std::vector<size_t> request_unique(batch.size(), SIZE_MAX);
@@ -206,10 +269,13 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
   }
   for_each(misses.size(), [&](size_t m) {
     UniqueCalibration& cal = uniques[misses[m]];
-    auto computed = cache_.GetOrCompute(cal.key, [&] {
-      return SimulateNull(*cal.family, cal.rho, cal.total_p, cal.direction,
-                          cal.mc);
-    });
+    auto computed = cache_.GetOrCompute(
+        cal.key,
+        [&] {
+          return SimulateNull(*cal.family, cal.rho, cal.total_p, cal.direction,
+                              cal.mc);
+        },
+        &cal.source);
     if (computed.ok()) {
       cal.value = std::move(computed).value();
     } else {
@@ -231,7 +297,9 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
     }
     const UniqueCalibration& cal = uniques[request_unique[i]];
     response.calibration_key = cal.key.debug;
-    response.cache_hit = cal.warm || i != cal.first_request;
+    response.cache_hit = cal.warm ||
+                         cal.source == CalibrationCache::Source::kStore ||
+                         i != cal.first_request;
     if (!cal.status.ok()) {
       response.status = cal.status;
       return;
@@ -252,17 +320,22 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
     manifest->num_failed = 0;
     manifest->parallel = parallel;
     manifest->calibrations_computed = 0;
+    manifest->calibrations_loaded = 0;
     for (const UniqueCalibration& cal : uniques) {
-      if (!cal.warm && cal.status.ok()) ++manifest->calibrations_computed;
+      if (cal.warm || !cal.status.ok()) continue;
+      if (cal.source == CalibrationCache::Source::kStore) {
+        ++manifest->calibrations_loaded;
+      } else {
+        ++manifest->calibrations_computed;
+      }
     }
     uint64_t served = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
       if (preps[i].status.ok() && responses[i].status.ok()) ++served;
     }
-    manifest->calibrations_reused =
-        served >= manifest->calibrations_computed
-            ? served - manifest->calibrations_computed
-            : 0;
+    const uint64_t fresh =
+        manifest->calibrations_computed + manifest->calibrations_loaded;
+    manifest->calibrations_reused = served >= fresh ? served - fresh : 0;
     manifest->cache = cache_.stats();
     manifest->rows.clear();
     manifest->rows.reserve(batch.size());
@@ -290,6 +363,288 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
     manifest->wall_ms = wall.ElapsedMillis();
   }
   return responses;
+}
+
+// -------------------------------------------------------------- streaming --
+
+std::shared_ptr<AuditPipeline::Stream> AuditPipeline::CurrentStream() const {
+  std::unique_lock<std::mutex> lock(stream_ptr_mu_);
+  return stream_;
+}
+
+Status AuditPipeline::StartStream(const StreamOptions& options) {
+  if (streaming()) {
+    return Status::FailedPrecondition("streaming session already active");
+  }
+  StreamOptions opts = options;
+  if (opts.num_workers == 0) opts.num_workers = 1;
+  auto stream = std::make_shared<Stream>(opts);
+  stream->paused = opts.start_paused;
+  Stream* s = stream.get();
+  s->workers.reserve(opts.num_workers);
+  for (size_t w = 0; w < opts.num_workers; ++w) {
+    s->workers.emplace_back([this, s] { StreamWorkerLoop(s); });
+  }
+  std::unique_lock<std::mutex> lock(stream_ptr_mu_);
+  stream_ = std::move(stream);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<AuditTicket>> AuditPipeline::Submit(
+    AuditRequest request, RequestPriority priority, AuditCallback callback) {
+  // Hold a reference for the whole call: a submitter woken from a blocking
+  // Push by a concurrent teardown (queue closed) must still find the Stream
+  // alive to record its rejection.
+  const std::shared_ptr<Stream> stream = CurrentStream();
+  Stream* s = stream.get();
+  if (s == nullptr) {
+    return Status::FailedPrecondition("Submit() without an active stream");
+  }
+  {
+    std::unique_lock<std::mutex> lock(s->mu);
+    if (!s->accepting) {
+      // Racing a teardown: fail fast without touching stats, so the final
+      // snapshot's invariants (header contract) hold exactly.
+      return Status::FailedPrecondition("stream is shutting down");
+    }
+    ++s->stats.submitted;
+    ++s->inflight_submits;
+  }
+  StreamEntry entry;
+  entry.request = std::move(request);
+  entry.priority = priority;
+  entry.ticket = std::make_shared<AuditTicket>();
+  entry.callback = std::move(callback);
+  // Exact under serialized submission (e.g. paused dispatch, one producer);
+  // approximate when producers and workers race — diagnostic either way.
+  entry.depth_at_admission = s->queue.size() + 1;
+  entry.admitted_at = std::chrono::steady_clock::now();
+  std::shared_ptr<AuditTicket> ticket = entry.ticket;
+
+  const size_t lane = static_cast<size_t>(priority);
+  const QueuePush outcome =
+      s->options.block_when_full ? s->queue.Push(lane, std::move(entry))
+                                 : s->queue.TryPush(lane, std::move(entry));
+  Result<std::shared_ptr<AuditTicket>> result =
+      Status::Internal("unreachable admission outcome");
+  {
+    std::unique_lock<std::mutex> lock(s->mu);
+    switch (outcome) {
+      case QueuePush::kAdmitted: {
+        ++s->stats.admitted;
+        const size_t depth = s->queue.size();
+        if (depth > s->stats.max_queue_depth) s->stats.max_queue_depth = depth;
+        result = ticket;
+        break;
+      }
+      case QueuePush::kRejected:
+        ++s->stats.rejected;
+        result = Status::ResourceExhausted(
+            StrFormat("admission queue full (capacity %zu); request rejected "
+                      "by backpressure policy",
+                      s->options.queue_capacity));
+        break;
+      case QueuePush::kClosed:
+        // Woken (or bounced) by a concurrent teardown closing the queue.
+        ++s->stats.rejected;
+        result = Status::FailedPrecondition("stream is shutting down");
+        break;
+    }
+    if (--s->inflight_submits == 0 && !s->accepting) {
+      // A tearing-down controller may be waiting for submit quiescence.
+      s->resume_cv.notify_all();
+    }
+  }
+  return result;
+}
+
+void AuditPipeline::ResumeDispatch() {
+  const std::shared_ptr<Stream> stream = CurrentStream();
+  Stream* s = stream.get();
+  if (s == nullptr) return;
+  {
+    std::unique_lock<std::mutex> lock(s->mu);
+    s->paused = false;
+  }
+  s->resume_cv.notify_all();
+}
+
+Status AuditPipeline::FinishStream() {
+  if (!streaming()) {
+    return Status::FailedPrecondition("FinishStream() without an active stream");
+  }
+  TeardownStream(/*abort=*/false);
+  return Status::OK();
+}
+
+void AuditPipeline::AbortStream() {
+  if (!streaming()) return;
+  TeardownStream(/*abort=*/true);
+}
+
+void AuditPipeline::TeardownStream(bool abort) {
+  const std::shared_ptr<Stream> stream = CurrentStream();
+  Stream* s = stream.get();
+  if (s == nullptr) return;
+  {
+    // Gate state (accepting, cancel, paused) changes under s->mu: these are
+    // CV predicates, and a predicate mutated outside its mutex can race a
+    // waiter's check-then-block window and lose the wakeup forever (the
+    // abort path would then hang in the worker join below).
+    std::unique_lock<std::mutex> lock(s->mu);
+    s->accepting = false;
+    if (abort) {
+      s->cancel.Cancel();
+    } else {
+      // A paused session must drain before the join below can return.
+      s->paused = false;
+    }
+  }
+  s->queue.Close();
+  s->resume_cv.notify_all();
+  for (std::thread& worker : s->workers) worker.join();
+  // Streaming sessions are durability boundaries: queued write-behind
+  // persists land before the session reports finished.
+  cache_.FlushStore();
+  StreamStats final_stats;
+  {
+    // Submit quiescence: producers woken from a blocking Push by the queue
+    // close may still be about to record their rejection; the snapshot must
+    // include them or the documented invariants break.
+    std::unique_lock<std::mutex> lock(s->mu);
+    s->resume_cv.wait(lock, [&] { return s->inflight_submits == 0; });
+    final_stats = s->stats;
+  }
+  std::unique_lock<std::mutex> ptr_lock(stream_ptr_mu_);
+  last_stream_stats_ = final_stats;
+  stream_.reset();
+  // Late submitters may still hold `stream` (they fail fast on the cleared
+  // accepting gate); the Stream is freed when the last reference drops.
+}
+
+StreamStats AuditPipeline::stream_stats() const {
+  const std::shared_ptr<Stream> stream = CurrentStream();
+  const Stream* s = stream.get();
+  if (s == nullptr) {
+    std::unique_lock<std::mutex> lock(stream_ptr_mu_);
+    return last_stream_stats_;
+  }
+  std::unique_lock<std::mutex> lock(s->mu);
+  return s->stats;
+}
+
+void AuditPipeline::StreamWorkerLoop(Stream* s) {
+  StreamEntry entry;
+  for (;;) {
+    {
+      // The dispatch gate: a paused session admits but never pops, so the
+      // queue's occupancy (and therefore every admission decision) is a
+      // deterministic function of the submission sequence.
+      std::unique_lock<std::mutex> lock(s->mu);
+      s->resume_cv.wait(lock,
+                        [&] { return !s->paused || s->cancel.cancelled(); });
+    }
+    if (!s->queue.Pop(&entry)) return;  // closed and drained
+
+    AuditResponse response;
+    const double wait_ms = MillisSince(entry.admitted_at);
+    const bool cancelled = s->cancel.cancelled();
+    if (cancelled) {
+      response.id = entry.request.id;
+      response.status = Status::FailedPrecondition(
+          "stream aborted before the request was dispatched");
+    } else {
+      response = ExecuteStreamRequest(s, entry);
+    }
+    response.priority = entry.priority;
+    response.queue_depth = entry.depth_at_admission;
+    response.queue_wait_ms = wait_ms;
+    {
+      std::unique_lock<std::mutex> lock(s->mu);
+      if (cancelled) {
+        ++s->stats.cancelled;
+      } else if (response.status.ok()) {
+        ++s->stats.completed;
+      } else {
+        ++s->stats.failed;
+      }
+    }
+    // Complete the ticket first so a callback observing done() sees it.
+    entry.ticket->Complete(std::move(response));
+    if (entry.callback) entry.callback(entry.ticket->Get());
+    entry = StreamEntry();  // drop borrowed pointers before the next wait
+  }
+}
+
+AuditResponse AuditPipeline::ExecuteStreamRequest(Stream* s,
+                                                  const StreamEntry& entry) {
+  AuditResponse response;
+  const AuditRequest& request = entry.request;
+  response.id = request.id;
+  if (request.dataset == nullptr || request.family == nullptr) {
+    response.status = Status::InvalidArgument(StrFormat(
+        "request '%s' has a null dataset or family", request.id.c_str()));
+    return response;
+  }
+
+  // Fingerprint memo: the probe-world pass is the expensive part of a key
+  // and depends only on the immutable family. Racing workers may both
+  // compute a missing entry — the value is identical, the second insert is
+  // a no-op.
+  uint64_t fingerprint = 0;
+  bool have_fingerprint = false;
+  {
+    std::unique_lock<std::mutex> lock(s->mu);
+    auto it = s->fingerprints.find(request.family);
+    if (it != s->fingerprints.end()) {
+      fingerprint = it->second;
+      have_fingerprint = true;
+    }
+  }
+  if (!have_fingerprint) {
+    fingerprint = FamilyFingerprint(*request.family);
+    std::unique_lock<std::mutex> lock(s->mu);
+    s->fingerprints.emplace(request.family, fingerprint);
+  }
+
+  Prep prep;
+  PrepareRequest(request, fingerprint, &prep);
+  if (!prep.status.ok()) {
+    response.status = prep.status;
+    return response;
+  }
+  response.calibration_key = prep.key.debug;
+
+  MonteCarloOptions mc = request.options.monte_carlo;
+  mc.parallel = mc.parallel && options_.parallel;
+  const double rho = static_cast<double>(prep.total_p) /
+                     static_cast<double>(prep.total_n);
+  CalibrationCache::Source source = CalibrationCache::Source::kMemory;
+  auto calibration = cache_.GetOrCompute(
+      prep.key,
+      [&] {
+        return SimulateNull(*request.family, rho, prep.total_p,
+                            request.options.direction, mc);
+      },
+      &source);
+  if (!calibration.ok()) {
+    response.status = calibration.status();
+    return response;
+  }
+  response.cache_hit = source != CalibrationCache::Source::kComputed;
+
+  static thread_local AuditScratch scratch;
+  Stopwatch timer;
+  auto result = Auditor(request.options)
+                    .AuditView(*prep.view, *request.family,
+                               calibration->get(), &scratch);
+  if (!result.ok()) {
+    response.status = result.status();
+    return response;
+  }
+  response.result = std::move(result).value();
+  response.assemble_ms = timer.ElapsedMillis();
+  return response;
 }
 
 }  // namespace sfa::core

@@ -1,46 +1,66 @@
 // Concurrent multi-audit pipeline: many (dataset × measure × family ×
-// null-model × α) audit requests executed as one batch on the shared
-// common::ThreadPool, with null calibrations deduplicated through a
-// core::CalibrationCache.
+// null-model × α) audit requests executed on the shared common::ThreadPool,
+// with null calibrations deduplicated through a core::CalibrationCache —
+// either as one batch (Run) or as a streaming service (Submit) that yields
+// each AuditResponse the moment its request finishes.
 //
 // Execution model — two-level parallelism on one fixed-width pool:
 //
 //   across requests    view construction and observed-world scans run as
-//                      pool tasks, one per request;
+//                      pool tasks (batch mode) or on dedicated stream
+//                      workers (streaming mode), one per request;
 //   within a request   each *unique* null calibration runs the batched
 //                      Monte Carlo world engine, whose ParallelFor fans
 //                      world batches onto the same pool (the pool's helping
 //                      WaitGroup makes the nesting deadlock-free and never
 //                      oversubscribes — see common/thread_pool.h).
 //
+// Streaming mode adds an admission layer in front of the workers: a bounded
+// queue with priority classes (common::BoundedPriorityQueue). When the queue
+// is at capacity the configured backpressure policy applies — reject (Submit
+// fails with ResourceExhausted, load shedding) or block (Submit waits for a
+// slot). Queue depth at admission and time spent queued are reported on the
+// response; rejected submissions never consume simulation work.
+//
 // The determinism contract, and the headline guarantee of this layer: for a
 // fixed set of requests (including their seeds), the statistical payload of
 // every AuditResponse — the entire AuditResult — is byte-identical
-// regardless of request order within the batch, PipelineOptions::parallel,
-// thread count, and whether calibrations were computed fresh or served from
-// a warm cache. This holds because (a) every per-request computation depends
-// only on that request's inputs, (b) the world engine is bit-identical
-// across execution strategies, and (c) cache keys (core/calibration_cache.h)
-// hash every draw-relevant simulation input, so a hit substitutes a value
-// the request's own simulation would have produced bit-for-bit.
-// Timing/caching metadata on the response (cache_hit, milliseconds) is
-// diagnostic and exempt.
+// regardless of request order, batch vs. streaming submission, priorities
+// and queue capacity, PipelineOptions::parallel, thread count, and whether
+// calibrations were computed fresh, served from a warm in-memory cache, or
+// loaded from a persistent CalibrationStore written by an earlier process.
+// This holds because (a) every per-request computation depends only on that
+// request's inputs, (b) the world engine is bit-identical across execution
+// strategies, and (c) cache keys (core/calibration_cache.h) hash every
+// draw-relevant simulation input, so a hit — memory or disk — substitutes a
+// value the request's own simulation would have produced bit-for-bit.
+// Timing/caching/admission metadata on the response (cache_hit,
+// milliseconds, queue depth/wait) is diagnostic and exempt.
 #ifndef SFA_CORE_AUDIT_PIPELINE_H_
 #define SFA_CORE_AUDIT_PIPELINE_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/audit.h"
 #include "core/calibration_cache.h"
 
 namespace sfa::core {
 
 /// One audit request. Dataset and family are borrowed and must outlive the
-/// Run() call; the family must be bound to the locations of the request's
-/// measure view (for kStatisticalParity, the dataset itself).
+/// Run() call (batch) or the request's completion (streaming); the family
+/// must be bound to the locations of the request's measure view (for
+/// kStatisticalParity, the dataset itself).
 struct AuditRequest {
   /// Caller-chosen tag echoed in the response and the manifest.
   std::string id;
@@ -53,21 +73,44 @@ struct AuditRequest {
   bool dataset_is_view = false;
 };
 
+/// Admission priority class of a streamed request. Lower value = served
+/// first: the dispatcher always drains kInteractive before kNormal before
+/// kBulk, FIFO within a class.
+enum class RequestPriority : uint8_t {
+  kInteractive = 0,
+  kNormal = 1,
+  kBulk = 2,
+};
+inline constexpr size_t kNumRequestPriorities = 3;
+const char* RequestPriorityToString(RequestPriority priority);
+
 /// One audit outcome. `result` is valid iff `status` is OK; a failed request
-/// never poisons the rest of the batch.
+/// never poisons the rest of the batch/stream.
 struct AuditResponse {
   std::string id;
   Status status = Status::OK();
   AuditResult result;
-  /// True when this request's calibration was served from the cache (warm
-  /// from a previous Run, or computed once by a sibling request in this
-  /// batch). Diagnostic — not covered by the determinism contract.
+  /// True when this request's calibration was served without simulating —
+  /// warm from a previous Run, computed once by a sibling request, or loaded
+  /// from the persistent store. Diagnostic — not covered by the determinism
+  /// contract.
   bool cache_hit = false;
   /// The calibration identity (CalibrationKey::debug) for manifest joins.
   std::string calibration_key;
   /// Wall-clock milliseconds of this request's assembly (scan + evidence),
   /// excluding shared calibration time. Diagnostic.
   double assemble_ms = 0.0;
+  /// Streaming admission metadata (diagnostic; defaults in batch mode):
+  /// the request's priority class, the number of queued requests at
+  /// admission including this one (exact when producers are serialized,
+  /// approximate under concurrent submission), and the submit-to-dispatch
+  /// wait — from the Submit call until a worker picked the request up,
+  /// INCLUDING any time the producer spent blocked on backpressure
+  /// admission under the block_when_full policy (so it is the full
+  /// end-to-end queueing delay a caller experienced, not queue dwell alone).
+  RequestPriority priority = RequestPriority::kNormal;
+  size_t queue_depth = 0;
+  double queue_wait_ms = 0.0;
 };
 
 /// Machine-readable record of one Run(): per-request rows plus batch-level
@@ -90,8 +133,10 @@ struct PipelineManifest {
 
   size_t num_requests = 0;
   size_t num_failed = 0;
-  /// Calibrations simulated (unique misses) vs reused during this Run.
+  /// Calibrations simulated (unique misses) vs loaded from the persistent
+  /// store vs reused from memory during this Run.
   uint64_t calibrations_computed = 0;
+  uint64_t calibrations_loaded = 0;
   uint64_t calibrations_reused = 0;
   /// Cumulative cache stats after this Run (spans Runs on a shared cache).
   CalibrationCache::Stats cache;
@@ -99,7 +144,8 @@ struct PipelineManifest {
   bool parallel = false;
   std::vector<Row> rows;  ///< in request order
 
-  /// Hit fraction of this Run (reused / (computed + reused)); 0 when empty.
+  /// Fraction of served requests that did not simulate
+  /// ((loaded + reused) / (computed + loaded + reused)); 0 when empty.
   double HitRate() const;
 
   std::string ToJson() const;
@@ -112,12 +158,88 @@ struct PipelineOptions {
   bool parallel = true;
 };
 
-/// The pipeline. Thread-compatible: one Run() at a time per instance; the
-/// calibration cache persists across Run() calls, so replaying a request
-/// stream in waves keeps earlier calibrations warm.
+/// Configuration of one streaming session (StartStream).
+struct StreamOptions {
+  /// Total queued requests across all priority classes; admissions beyond
+  /// this trigger the backpressure policy.
+  size_t queue_capacity = 64;
+  /// Dedicated dispatcher threads draining the admission queue. Each worker
+  /// executes one request at a time; the Monte Carlo calibration inside
+  /// still fans out on the shared pool.
+  size_t num_workers = 2;
+  /// Backpressure policy at capacity: block Submit until a slot frees (true)
+  /// or reject immediately with ResourceExhausted (false).
+  bool block_when_full = false;
+  /// Admit but do not dispatch until ResumeDispatch(). With dispatch paused,
+  /// admission outcomes are a deterministic function of capacity and the
+  /// submission sequence — the backpressure/ordering tests rely on this, and
+  /// it doubles as a warm-up barrier for latency measurement.
+  bool start_paused = false;
+};
+
+/// Cumulative counters of one streaming session. `submitted` counts every
+/// Submit call that reached an accepting session (a Submit racing teardown
+/// fails fast and counts nowhere); `admitted + rejected` = submitted (a
+/// closed-queue failure counts as rejected); `completed + failed +
+/// cancelled` = admitted once the session is finished. The final snapshot
+/// reported after FinishStream/AbortStream is taken only after every
+/// in-flight Submit has recorded its outcome, so the invariants hold
+/// exactly there too.
+struct StreamStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;  ///< finished with OK status
+  uint64_t failed = 0;     ///< finished with a per-request error
+  uint64_t cancelled = 0;  ///< failed by AbortStream before dispatch
+  size_t max_queue_depth = 0;
+};
+
+/// Pollable handle to one streamed request: a one-shot future completed by
+/// the dispatcher. done() polls; Get() blocks. Tickets are always completed
+/// — on success, per-request failure, or stream abort — so Get() never
+/// hangs past FinishStream/AbortStream.
+class AuditTicket {
+ public:
+  AuditTicket() = default;
+  AuditTicket(const AuditTicket&) = delete;
+  AuditTicket& operator=(const AuditTicket&) = delete;
+
+  bool done() const;
+  /// Blocks until the response is ready, then returns it (valid for the
+  /// ticket's lifetime).
+  const AuditResponse& Get() const;
+
+ private:
+  friend class AuditPipeline;
+  void Complete(AuditResponse response);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable done_cv_;
+  bool done_ = false;
+  AuditResponse response_;
+};
+
+/// Completion callback of a streamed request, invoked on the dispatching
+/// worker thread after the ticket is completed. Must be thread-safe against
+/// other completions; keep it cheap (it blocks the worker).
+using AuditCallback = std::function<void(const AuditResponse&)>;
+
+/// The pipeline. The calibration cache persists across Run() calls and
+/// streaming sessions, so replaying a request stream in waves keeps earlier
+/// calibrations warm; attach a CalibrationStore to the cache to keep them
+/// warm across processes.
+///
+/// Threading: batch Run() is one-at-a-time per instance. Streaming control
+/// calls (StartStream / ResumeDispatch / FinishStream / AbortStream) belong
+/// to one controller thread; Submit() may be called from any number of
+/// producer threads between StartStream and the finishing call. Batch and
+/// streaming modes are mutually exclusive — Run() fails while a stream is
+/// active.
 class AuditPipeline {
  public:
   explicit AuditPipeline(PipelineOptions options = {}) : options_(options) {}
+  ~AuditPipeline();
 
   const PipelineOptions& options() const { return options_; }
   CalibrationCache& cache() { return cache_; }
@@ -125,13 +247,105 @@ class AuditPipeline {
   /// Executes `batch`, returning one response per request in request order.
   /// Per-request failures are reported in AuditResponse::status; the
   /// batch-level Status is reserved for structural misuse (null pointers in
-  /// a request). `manifest` (optional) receives the run record.
+  /// a request, active streaming session). `manifest` (optional) receives
+  /// the run record.
   Result<std::vector<AuditResponse>> Run(const std::vector<AuditRequest>& batch,
                                          PipelineManifest* manifest = nullptr);
 
+  // ------------------------------------------------------------- streaming
+  /// Opens a streaming session: spawns the dispatcher workers and the
+  /// bounded admission queue. Fails if a session is already active.
+  Status StartStream(const StreamOptions& options = {});
+
+  bool streaming() const { return CurrentStream() != nullptr; }
+
+  /// Submits one request to the active session. On admission, returns a
+  /// ticket that completes when the request finishes; `callback` (optional)
+  /// additionally fires on the worker thread at completion. On backpressure
+  /// rejection returns ResourceExhausted (reject policy) — the request
+  /// consumed no simulation work and may be retried. Borrowed dataset/family
+  /// must outlive the request's completion.
+  Result<std::shared_ptr<AuditTicket>> Submit(
+      AuditRequest request,
+      RequestPriority priority = RequestPriority::kNormal,
+      AuditCallback callback = nullptr);
+
+  /// Releases a start_paused session's dispatch gate. Idempotent.
+  void ResumeDispatch();
+
+  /// Drains the session: stops admissions, lets workers finish every queued
+  /// request, joins them, flushes write-behind persists, and records the
+  /// final StreamStats. Fails only when no session is active.
+  Status FinishStream();
+
+  /// Tears the session down without draining: queued-but-undispatched
+  /// requests fail with FailedPrecondition (counted as cancelled); requests
+  /// already executing finish normally. Joins workers and records stats.
+  /// No-op when no session is active.
+  void AbortStream();
+
+  /// Counters of the active session, or of the last finished one.
+  StreamStats stream_stats() const;
+
  private:
+  struct StreamEntry {
+    AuditRequest request;
+    RequestPriority priority = RequestPriority::kNormal;
+    std::shared_ptr<AuditTicket> ticket;
+    AuditCallback callback;
+    size_t depth_at_admission = 0;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  /// State of one streaming session (lives between StartStream and
+  /// FinishStream/AbortStream).
+  struct Stream {
+    explicit Stream(const StreamOptions& opts)
+        : options(opts),
+          queue(opts.queue_capacity, kNumRequestPriorities) {}
+
+    StreamOptions options;
+    BoundedPriorityQueue<StreamEntry> queue;
+    std::vector<std::thread> workers;
+    CancellationToken cancel;
+    /// Guards paused, accepting, inflight_submits, stats, fingerprints —
+    /// and the cancel token's transition, which doubles as a CV predicate
+    /// for the worker dispatch gate (a CV predicate must change under the
+    /// mutex or the wakeup can be lost).
+    mutable std::mutex mu;
+    std::condition_variable resume_cv;
+    bool paused = false;
+    /// Cleared by teardown before the queue closes: a Submit that finds
+    /// accepting == false fails fast without touching stats, so the final
+    /// stats snapshot (taken after inflight_submits drains) satisfies the
+    /// documented invariants exactly.
+    bool accepting = true;
+    /// Submits past the accepting gate but not yet recorded; teardown waits
+    /// for zero before snapshotting stats.
+    size_t inflight_submits = 0;
+    StreamStats stats;
+    /// Session-scoped FamilyFingerprint memo (the expensive part of a
+    /// calibration key, a pure function of the immutable family). Keyed by
+    /// pointer: families must outlive the session and must not be destroyed
+    /// and reallocated mid-session.
+    std::unordered_map<const RegionFamily*, uint64_t> fingerprints;
+  };
+
+  void StreamWorkerLoop(Stream* stream);
+  AuditResponse ExecuteStreamRequest(Stream* stream, const StreamEntry& entry);
+  void TeardownStream(bool abort);
+  /// Snapshot of the session pointer. Submitters hold the returned reference
+  /// for the duration of the call, so a producer woken from a blocking Push
+  /// by teardown's queue.Close() still has a live Stream to record its
+  /// rejection against even after the controller dropped the session.
+  std::shared_ptr<Stream> CurrentStream() const;
+
   PipelineOptions options_;
   CalibrationCache cache_;
+  /// Guards stream_ (the pointer itself) and last_stream_stats_.
+  mutable std::mutex stream_ptr_mu_;
+  std::shared_ptr<Stream> stream_;
+  StreamStats last_stream_stats_;
 };
 
 }  // namespace sfa::core

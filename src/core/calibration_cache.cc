@@ -6,6 +6,8 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/calibration_store.h"
 #include "core/labels.h"
 
 namespace sfa::core {
@@ -123,11 +125,28 @@ CalibrationKey MakeCalibrationKey(const RegionFamily& family,
   return key;
 }
 
+CalibrationCache::~CalibrationCache() { FlushStore(); }
+
+void CalibrationCache::AttachStore(std::shared_ptr<CalibrationStore> store) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SFA_CHECK_MSG(store_ == nullptr, "CalibrationCache store attached twice");
+  store_ = std::move(store);
+}
+
+void CalibrationCache::FlushStore() {
+  // Helping wait: safe even when called from a pool task (e.g. a pipeline
+  // tearing down inside a scheduled request).
+  DefaultThreadPool().WaitGroup(&store_writes_group_);
+}
+
 Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
     const CalibrationKey& key,
-    const std::function<Result<NullDistribution>()>& compute) {
+    const std::function<Result<NullDistribution>()>& compute,
+    Source* source) {
+  if (source != nullptr) *source = Source::kMemory;
   std::shared_ptr<Slot> slot;
   bool owner = false;
+  std::shared_ptr<CalibrationStore> store;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = slots_.find(key.debug);
@@ -136,6 +155,7 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
       slots_.emplace(key.debug, slot);
       owner = true;
       ++misses_;
+      store = store_;
     } else {
       slot = it->second;
       if (slot->ready) {
@@ -149,12 +169,41 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
   }
 
   if (owner) {
-    Result<NullDistribution> computed = compute();
+    // Read-through: a valid persisted frame substitutes for the simulation
+    // (it holds the exact bytes the simulation would produce). Any load
+    // defect — absent, truncated, corrupt, version-skewed — falls back to
+    // compute().
+    Result<NullDistribution> computed = Status::NotFound("no store attached");
+    bool from_store = false;
+    if (store != nullptr) {
+      computed = store->Load(key);
+      from_store = computed.ok();
+    }
+    if (!from_store) computed = compute();
     std::unique_lock<std::mutex> lock(mu_);
     if (computed.ok()) {
       slot->value = std::make_shared<const NullDistribution>(
           std::move(computed).value());
       slot->status = Status::OK();
+      if (source != nullptr) {
+        *source = from_store ? Source::kStore : Source::kComputed;
+      }
+      if (from_store) ++store_hits_;
+      if (!from_store && store != nullptr) {
+        // Write-behind: persist off the compute path. The task captures the
+        // store and the immutable value by shared_ptr, so it is self-
+        // contained; the TaskGroup ties its lifetime to this cache (flushed
+        // in the destructor). Store errors are absorbed — persistence is an
+        // optimization, never a correctness dependency.
+        ++store_writes_;
+        std::shared_ptr<const NullDistribution> value = slot->value;
+        CalibrationKey key_copy = key;
+        DefaultThreadPool().Submit(
+            &store_writes_group_,
+            [store, key_copy = std::move(key_copy), value = std::move(value)] {
+              store->Store(key_copy, *value).ok();
+            });
+      }
     } else {
       slot->status = computed.status();
       // Failed computations are not cached; erase so a later call retries.
@@ -189,6 +238,8 @@ CalibrationCache::Stats CalibrationCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.entries = slots_.size();
+  s.store_hits = store_hits_;
+  s.store_writes = store_writes_;
   return s;
 }
 
@@ -197,6 +248,8 @@ void CalibrationCache::Clear() {
   slots_.clear();
   hits_ = 0;
   misses_ = 0;
+  store_hits_ = 0;
+  store_writes_ = 0;
 }
 
 }  // namespace sfa::core

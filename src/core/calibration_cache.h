@@ -29,11 +29,14 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/region_family.h"
 #include "core/significance.h"
 #include "stats/bernoulli_scan.h"
 
 namespace sfa::core {
+
+class CalibrationStore;  // core/calibration_store.h
 
 /// Content-hashed identity of one null calibration.
 struct CalibrationKey {
@@ -86,19 +89,47 @@ class CalibrationCache {
     uint64_t hits = 0;    ///< lookups served from a finished entry
     uint64_t misses = 0;  ///< lookups that ran (or joined) a computation
     uint64_t entries = 0; ///< distinct calibrations currently cached
+    uint64_t store_hits = 0;   ///< misses served by the persistent store
+    uint64_t store_writes = 0; ///< write-behind persists queued
+  };
+
+  /// Where a GetOrCompute value came from. Diagnostic only — the value is
+  /// byte-identical across all three sources (that is the point of the
+  /// content-hashed key and the deterministic simulation).
+  enum class Source {
+    kMemory,    ///< already cached in memory (or joined an in-flight compute)
+    kStore,     ///< read through from the attached CalibrationStore
+    kComputed,  ///< simulated fresh by this call
   };
 
   CalibrationCache() = default;
+  /// Blocks on outstanding write-behind persists (see AttachStore).
+  ~CalibrationCache();
   CalibrationCache(const CalibrationCache&) = delete;
   CalibrationCache& operator=(const CalibrationCache&) = delete;
+
+  /// Attaches a persistent backing store, making the cache a read-through /
+  /// write-behind layer: a memory miss first consults the store (a valid
+  /// frame is adopted without simulating), and freshly computed calibrations
+  /// are persisted asynchronously on the default thread pool so the compute
+  /// path never waits on disk. Call FlushStore() (or destroy the cache)
+  /// before relying on durability. Attach at most once, before concurrent
+  /// use; `store` is shared because write-behind tasks may outlive callers.
+  void AttachStore(std::shared_ptr<CalibrationStore> store);
+  const std::shared_ptr<CalibrationStore>& store() const { return store_; }
+
+  /// Blocks until every queued write-behind persist has landed on disk.
+  void FlushStore();
 
   /// Returns the calibration for `key`, invoking `compute` at most once per
   /// key (errors are NOT cached: a failed computation clears the slot so a
   /// later call may retry). `compute` runs without the cache lock held and
-  /// may itself parallelize on the shared pool.
+  /// may itself parallelize on the shared pool. `source` (optional) reports
+  /// where the value came from.
   Result<std::shared_ptr<const NullDistribution>> GetOrCompute(
       const CalibrationKey& key,
-      const std::function<Result<NullDistribution>()>& compute);
+      const std::function<Result<NullDistribution>()>& compute,
+      Source* source = nullptr);
 
   /// Lookup without computing; nullptr when absent or still in flight. A
   /// successful lookup counts as a hit in stats(); a failed one changes
@@ -126,6 +157,13 @@ class CalibrationCache {
   std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
   mutable uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t store_hits_ = 0;
+  uint64_t store_writes_ = 0;
+  /// Persistence layer (immutable after AttachStore). Write-behind tasks
+  /// capture the shared_ptr by value, so they stay valid past the cache.
+  std::shared_ptr<CalibrationStore> store_;
+  /// Outstanding write-behind persists; FlushStore waits on it (helping).
+  ThreadPool::TaskGroup store_writes_group_;
 };
 
 }  // namespace sfa::core

@@ -1,0 +1,243 @@
+#include "core/calibration_store.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace sfa::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'F', 'A', 'N', 'U', 'L', 'L', 'D'};
+
+uint64_t Fnv1a(const char* data, size_t n, uint64_t h = 0xcbf29ce484222325ULL) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void AppendU32(std::string* out, uint32_t v) { AppendRaw(out, &v, sizeof v); }
+void AppendU64(std::string* out, uint64_t v) { AppendRaw(out, &v, sizeof v); }
+
+/// Bounds-checked little cursor over a loaded frame.
+struct Reader {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Read(void* out, size_t n) {
+    if (n > size - pos) return false;
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof *v); }
+  bool ReadU64(uint64_t* v) { return Read(v, sizeof *v); }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
+    const Options& options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("calibration store directory is empty");
+  }
+  std::error_code ec;
+  const std::filesystem::path dir(options.directory);
+  if (!std::filesystem::exists(dir, ec)) {
+    if (!options.create_if_missing) {
+      return Status::NotFound(
+          StrFormat("calibration store directory '%s' does not exist",
+                    options.directory.c_str()));
+    }
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError(
+          StrFormat("cannot create calibration store directory '%s': %s",
+                    options.directory.c_str(), ec.message().c_str()));
+    }
+  } else if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::InvalidArgument(
+        StrFormat("calibration store path '%s' is not a directory",
+                  options.directory.c_str()));
+  }
+  return std::unique_ptr<CalibrationStore>(new CalibrationStore(options));
+}
+
+std::string CalibrationStore::FilePathFor(const CalibrationKey& key) const {
+  // Hash + debug-hash: CalibrationKey equality compares both fields, so keys
+  // that collide on the content hash alone still map to distinct files.
+  const uint64_t debug_hash = Fnv1a(key.debug.data(), key.debug.size());
+  return (std::filesystem::path(options_.directory) /
+          StrFormat("%016llx-%016llx.nulldist",
+                    static_cast<unsigned long long>(key.hash),
+                    static_cast<unsigned long long>(debug_hash)))
+      .string();
+}
+
+Result<NullDistribution> CalibrationStore::Load(
+    const CalibrationKey& key) const {
+  const std::string path = FilePathFor(key);
+
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++stats_.load_misses;
+      return Status::NotFound("no persisted calibration for key");
+    }
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+      return Status::IOError(
+          StrFormat("failed reading calibration frame '%s'", path.c_str()));
+    }
+  }
+
+  // Validation failures all land here: count the rejection, report NotFound
+  // so the caller falls back to recompute.
+  const auto reject = [&](const char* why) -> Status {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.load_rejected;
+    return Status::NotFound(
+        StrFormat("persisted calibration '%s' rejected: %s", path.c_str(), why));
+  };
+
+  if (bytes.size() < sizeof kMagic + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return reject("truncated header");
+  }
+  Reader r{bytes.data(), bytes.size() - sizeof(uint64_t)};  // body sans trailer
+  char magic[sizeof kMagic];
+  if (!r.Read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return reject("bad magic");
+  }
+  uint32_t version = 0;
+  if (!r.ReadU32(&version)) return reject("truncated version");
+  if (version != kFormatVersion) return reject("unsupported format version");
+
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, bytes.data() + bytes.size() - sizeof checksum,
+              sizeof checksum);
+  if (Fnv1a(bytes.data(), bytes.size() - sizeof checksum) != checksum) {
+    return reject("checksum mismatch");
+  }
+
+  uint64_t key_hash = 0;
+  if (!r.ReadU64(&key_hash)) return reject("truncated key hash");
+  uint32_t debug_len = 0;
+  if (!r.ReadU32(&debug_len)) return reject("truncated key");
+  std::string debug(debug_len, '\0');
+  if (!r.Read(debug.data(), debug_len)) return reject("truncated key");
+  if (key_hash != key.hash || debug != key.debug) {
+    return reject("frame belongs to a different calibration key");
+  }
+
+  uint64_t num_worlds = 0;
+  if (!r.ReadU64(&num_worlds)) return reject("truncated world count");
+  if (num_worlds > (r.size - r.pos) / sizeof(double)) {
+    return reject("truncated maxima");
+  }
+  std::vector<double> maxima(num_worlds);
+  if (num_worlds > 0 && !r.Read(maxima.data(), num_worlds * sizeof(double))) {
+    return reject("truncated maxima");
+  }
+  if (r.pos != r.size) return reject("trailing bytes");
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.load_hits;
+  }
+  // The ctor re-sorts descending — a no-op for a well-formed frame, and it
+  // restores the class invariant even if a hand-edited file reordered values.
+  return NullDistribution(std::move(maxima));
+}
+
+Status CalibrationStore::Store(const CalibrationKey& key,
+                               const NullDistribution& distribution) const {
+  const auto fail = [&](Status s) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.store_failures;
+    return s;
+  };
+
+  std::string frame;
+  const std::vector<double>& maxima = distribution.sorted_max();
+  frame.reserve(64 + key.debug.size() + maxima.size() * sizeof(double));
+  AppendRaw(&frame, kMagic, sizeof kMagic);
+  AppendU32(&frame, kFormatVersion);
+  AppendU64(&frame, key.hash);
+  AppendU32(&frame, static_cast<uint32_t>(key.debug.size()));
+  AppendRaw(&frame, key.debug.data(), key.debug.size());
+  AppendU64(&frame, maxima.size());
+  if (!maxima.empty()) {
+    AppendRaw(&frame, maxima.data(), maxima.size() * sizeof(double));
+  }
+  AppendU64(&frame, Fnv1a(frame.data(), frame.size()));
+
+  const std::string path = FilePathFor(key);
+  uint64_t nonce;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    nonce = ++temp_counter_;
+  }
+  // Same-directory temp + rename: rename(2) is atomic within a filesystem,
+  // so concurrent readers never observe a partial frame. The temp name is
+  // unique per (process, store instance, write) — pid included because two
+  // processes sharing the directory can allocate stores at the same address
+  // — so concurrent writers of one key never stomp each other's temp file.
+  const std::string temp = StrFormat(
+      "%s.tmp.%d.%p.%llu", path.c_str(), static_cast<int>(::getpid()),
+      static_cast<const void*>(this), static_cast<unsigned long long>(nonce));
+
+  std::FILE* f = std::fopen(temp.c_str(), "wb");
+  if (f == nullptr) {
+    return fail(Status::IOError(
+        StrFormat("cannot open '%s' for writing", temp.c_str())));
+  }
+  const size_t written = std::fwrite(frame.data(), 1, frame.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != frame.size() || !flushed) {
+    std::remove(temp.c_str());
+    return fail(Status::IOError(
+        StrFormat("short write persisting calibration to '%s'", temp.c_str())));
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::remove(temp.c_str());
+    return fail(Status::IOError(StrFormat("cannot rename '%s' into '%s': %s",
+                                          temp.c_str(), path.c_str(),
+                                          ec.message().c_str())));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.stores;
+  }
+  return Status::OK();
+}
+
+CalibrationStore::Stats CalibrationStore::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sfa::core

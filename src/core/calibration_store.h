@@ -1,0 +1,94 @@
+// Persistent, versioned on-disk store of null calibrations, so Monte Carlo
+// calibration survives the process: a pipeline warm-started from a store
+// directory skips every simulation a previous process already paid for and
+// still produces byte-identical AuditResponses (doubles round-trip exactly
+// through the binary format; keys content-hash every draw-relevant input, so
+// a loaded NullDistribution IS the one a fresh simulation would produce).
+//
+// Layout: one file per calibration under the store directory, named by the
+// key's content hash plus a hash of its debug rendering (CalibrationKey
+// equality compares both, so hash-colliding keys get distinct files). Each
+// file is a self-verifying binary frame:
+//
+//   magic "SFANULLD" | u32 version | u64 key hash | u32 debug len | debug
+//   bytes | u64 world count | f64 sorted maxima (descending) | u64 FNV-1a
+//   checksum of everything before it
+//
+// Writes are crash-safe: the frame is written to a dot-temp file in the same
+// directory and atomically renamed into place, so readers (including
+// concurrent pipelines sharing the directory) only ever observe absent or
+// complete files; concurrent writers of the same key race benignly (their
+// bytes are identical). Loads are corruption-tolerant by contract: ANY
+// defect — short file, bad magic, foreign version, checksum or key mismatch
+// — surfaces as NotFound, which callers (CalibrationCache read-through)
+// treat as a miss and recompute; a corrupt file can therefore never poison a
+// result, only cost a simulation.
+#ifndef SFA_CORE_CALIBRATION_STORE_H_
+#define SFA_CORE_CALIBRATION_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/calibration_cache.h"
+#include "core/significance.h"
+
+namespace sfa::core {
+
+class CalibrationStore {
+ public:
+  /// Bumped whenever the frame layout changes; loaders reject every other
+  /// version (forward AND backward) as NotFound so mixed-version fleets
+  /// sharing a directory degrade to recompute, never to misparse.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  struct Options {
+    std::string directory;
+    /// Create the directory (and parents) on Open when absent.
+    bool create_if_missing = true;
+  };
+
+  /// Cumulative counters (monotone over the store's lifetime; thread-safe).
+  struct Stats {
+    uint64_t load_hits = 0;      ///< loads that returned a calibration
+    uint64_t load_misses = 0;    ///< loads with no file for the key
+    uint64_t load_rejected = 0;  ///< loads with a file that failed validation
+    uint64_t stores = 0;         ///< successful writes
+    uint64_t store_failures = 0; ///< writes that returned an error
+  };
+
+  /// Opens (and optionally creates) a store directory.
+  static Result<std::unique_ptr<CalibrationStore>> Open(const Options& options);
+
+  const std::string& directory() const { return options_.directory; }
+
+  /// Loads the calibration persisted for `key`. NotFound when the key has no
+  /// file OR its file fails any validation (truncation, corruption, version
+  /// or key mismatch) — the caller recomputes either way. IOError only for
+  /// filesystem-level read failures of an existing file.
+  Result<NullDistribution> Load(const CalibrationKey& key) const;
+
+  /// Persists `distribution` for `key` (atomic rename; replaces any previous
+  /// frame for the key).
+  Status Store(const CalibrationKey& key,
+               const NullDistribution& distribution) const;
+
+  /// The file a key maps to (exposed for tests and manifests).
+  std::string FilePathFor(const CalibrationKey& key) const;
+
+  Stats stats() const;
+
+ private:
+  explicit CalibrationStore(Options options) : options_(std::move(options)) {}
+
+  Options options_;
+  mutable std::mutex mu_;  ///< guards stats_ and the temp-name counter
+  mutable Stats stats_;
+  mutable uint64_t temp_counter_ = 0;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_CALIBRATION_STORE_H_

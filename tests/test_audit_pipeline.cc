@@ -16,23 +16,17 @@
 #include "core/grid_family.h"
 #include "core/measure.h"
 #include "data/dataset.h"
+#include "testing_util.h"
 
 namespace sfa::core {
 namespace {
 
+using core::testing::ExpectIdenticalResult;
+using core::testing::MakePlantedCity;
+
 data::OutcomeDataset MakeCity(uint64_t seed, size_t n, bool planted_bias) {
-  Rng rng(seed);
-  data::OutcomeDataset ds(planted_bias ? "biased-city" : "fair-city");
-  const geo::Rect zone(6.0, 6.0, 9.0, 9.0);
-  for (size_t i = 0; i < n; ++i) {
-    const geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
-    const double rate =
-        planted_bias && zone.Contains(loc) ? 0.35 : 0.55;
-    const uint8_t predicted = rng.Bernoulli(rate) ? 1 : 0;
-    const uint8_t actual = rng.Bernoulli(0.5) ? 1 : 0;
-    ds.Add(loc, predicted, actual);
-  }
-  return ds;
+  return MakePlantedCity(seed, n, planted_bias ? 0.35 : 0.55, 0.55,
+                         planted_bias ? "biased-city" : "fair-city");
 }
 
 /// A reusable batch fixture: two cities, several families (incl. one bound
@@ -129,31 +123,6 @@ struct Batch {
     }
   }
 };
-
-void ExpectIdenticalResult(const AuditResult& a, const AuditResult& b,
-                           const std::string& context) {
-  SCOPED_TRACE(context);
-  EXPECT_EQ(a.spatially_fair, b.spatially_fair);
-  EXPECT_EQ(a.p_value, b.p_value);
-  EXPECT_EQ(a.tau, b.tau);
-  EXPECT_EQ(a.best_region, b.best_region);
-  EXPECT_EQ(a.critical_value, b.critical_value);
-  EXPECT_EQ(a.alpha, b.alpha);
-  EXPECT_EQ(a.total_n, b.total_n);
-  EXPECT_EQ(a.total_p, b.total_p);
-  EXPECT_EQ(a.overall_rate, b.overall_rate);
-  EXPECT_EQ(a.observed.llr, b.observed.llr);
-  EXPECT_EQ(a.observed.positives, b.observed.positives);
-  EXPECT_EQ(a.null_distribution.sorted_max(), b.null_distribution.sorted_max());
-  ASSERT_EQ(a.findings.size(), b.findings.size());
-  for (size_t i = 0; i < a.findings.size(); ++i) {
-    EXPECT_EQ(a.findings[i].region_index, b.findings[i].region_index);
-    EXPECT_EQ(a.findings[i].llr, b.findings[i].llr);
-    EXPECT_EQ(a.findings[i].log_sul, b.findings[i].log_sul);
-    EXPECT_EQ(a.findings[i].n, b.findings[i].n);
-    EXPECT_EQ(a.findings[i].p, b.findings[i].p);
-  }
-}
 
 std::vector<AuditResponse> RunOrDie(AuditPipeline& pipeline,
                                     const std::vector<AuditRequest>& batch,

@@ -1,0 +1,304 @@
+// The persistence contract of the CalibrationStore: a pipeline warm-started
+// from a store directory reproduces cold-run responses byte-for-byte, and
+// every way a frame can go bad — version skew, truncation, corruption, a
+// frame for a different key — degrades to recompute, never to a wrong
+// result. Labeled `stream` (with test_pipeline_streaming.cc) and run under
+// TSan in CI: the concurrent read-through test exercises two pipelines
+// sharing one directory.
+#include "core/calibration_store.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/audit_pipeline.h"
+#include "core/grid_family.h"
+#include "testing_util.h"
+
+namespace sfa::core {
+namespace {
+
+using core::testing::ExpectIdenticalResult;
+using core::testing::MakePlantedCity;
+
+/// A fresh, empty store directory, removed on destruction.
+struct TempStoreDir {
+  std::filesystem::path path;
+
+  explicit TempStoreDir(const std::string& tag) {
+    path = std::filesystem::temp_directory_path() /
+           ("sfa_calibration_store_test_" + tag + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempStoreDir() { std::filesystem::remove_all(path); }
+
+  std::shared_ptr<CalibrationStore> OpenOrDie() const {
+    auto store = CalibrationStore::Open({.directory = path.string()});
+    SFA_CHECK_OK(store.status());
+    return std::shared_ptr<CalibrationStore>(std::move(store).value());
+  }
+};
+
+/// A small fixture batch: one city, one family, two calibrations (two-sided
+/// + low direction) spread over four requests.
+struct StoreBatch {
+  data::OutcomeDataset city = MakePlantedCity(71, 3000, 0.40);
+  std::unique_ptr<GridPartitionFamily> family;
+  std::vector<AuditRequest> requests;
+
+  StoreBatch() {
+    auto f = GridPartitionFamily::Create(city.locations(), 8, 8);
+    SFA_CHECK_OK(f.status());
+    family = std::move(f).value();
+    for (double alpha : {0.05, 0.01}) {
+      for (auto direction :
+           {stats::ScanDirection::kTwoSided, stats::ScanDirection::kLow}) {
+        AuditRequest r;
+        r.id = std::to_string(alpha) + "-" +
+               stats::ScanDirectionToString(direction);
+        r.dataset = &city;
+        r.family = family.get();
+        r.options.alpha = alpha;
+        r.options.direction = direction;
+        r.options.monte_carlo.num_worlds = 99;
+        r.options.monte_carlo.seed = 13;
+        requests.push_back(r);
+      }
+    }
+  }
+};
+
+std::vector<AuditResponse> RunOrDie(AuditPipeline& pipeline,
+                                    const std::vector<AuditRequest>& batch,
+                                    PipelineManifest* manifest = nullptr) {
+  auto responses = pipeline.Run(batch, manifest);
+  SFA_CHECK_OK(responses.status());
+  for (const AuditResponse& r : *responses) SFA_CHECK_OK(r.status);
+  return std::move(responses).value();
+}
+
+CalibrationKey KeyFor(const StoreBatch& b, const AuditRequest& req) {
+  return MakeCalibrationKey(*b.family, b.city.size(), b.city.PositiveCount(),
+                            req.options.direction, req.options.monte_carlo);
+}
+
+TEST(CalibrationStore, RoundTripsNullDistributionExactly) {
+  TempStoreDir dir("roundtrip");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  const CalibrationKey key = KeyFor(b, b.requests[0]);
+
+  auto simulated = SimulateNull(*b.family, b.city.PositiveRate(),
+                                b.city.PositiveCount(),
+                                b.requests[0].options.direction,
+                                b.requests[0].options.monte_carlo);
+  ASSERT_TRUE(simulated.ok()) << simulated.status();
+
+  ASSERT_TRUE(store->Store(key, *simulated).ok());
+  auto loaded = store->Load(key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // Bit-exact round trip: doubles survive the binary frame unchanged.
+  EXPECT_EQ(loaded->sorted_max(), simulated->sorted_max());
+  EXPECT_EQ(store->stats().load_hits, 1u);
+  EXPECT_EQ(store->stats().stores, 1u);
+}
+
+TEST(CalibrationStore, WarmStartedPipelineIsByteIdenticalToColdRun) {
+  TempStoreDir dir("warmstart");
+  StoreBatch b;
+
+  // Process 1: cold run with write-behind persistence.
+  PipelineManifest cold_manifest;
+  std::vector<AuditResponse> cold;
+  {
+    AuditPipeline pipeline;
+    pipeline.cache().AttachStore(dir.OpenOrDie());
+    cold = RunOrDie(pipeline, b.requests, &cold_manifest);
+    pipeline.cache().FlushStore();
+    EXPECT_EQ(cold_manifest.calibrations_computed, 2u);
+    EXPECT_EQ(cold_manifest.calibrations_loaded, 0u);
+    EXPECT_EQ(pipeline.cache().stats().store_writes, 2u);
+  }
+
+  // "Process" 2: fresh pipeline + fresh store handle on the same directory —
+  // no simulation runs, responses match bit-for-bit.
+  PipelineManifest warm_manifest;
+  AuditPipeline restarted;
+  restarted.cache().AttachStore(dir.OpenOrDie());
+  const auto warm = RunOrDie(restarted, b.requests, &warm_manifest);
+  EXPECT_EQ(warm_manifest.calibrations_computed, 0u);
+  EXPECT_EQ(warm_manifest.calibrations_loaded, 2u);
+  EXPECT_EQ(restarted.cache().stats().store_hits, 2u);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    ExpectIdenticalResult(cold[i].result, warm[i].result,
+                          "persisted-warm " + b.requests[i].id);
+    EXPECT_TRUE(warm[i].cache_hit);
+  }
+}
+
+TEST(CalibrationStore, RejectsForeignFormatVersion) {
+  TempStoreDir dir("version");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  const CalibrationKey key = KeyFor(b, b.requests[0]);
+  NullDistribution dist(std::vector<double>{3.0, 2.0, 1.0});
+  ASSERT_TRUE(store->Store(key, dist).ok());
+
+  // Bump the version field in place (bytes 8..11, after the 8-byte magic).
+  const std::string path = store->FilePathFor(key);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(8);
+    const uint32_t foreign = CalibrationStore::kFormatVersion + 1;
+    f.write(reinterpret_cast<const char*>(&foreign), sizeof foreign);
+  }
+  auto loaded = store->Load(key);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status();
+  EXPECT_EQ(store->stats().load_rejected, 1u);
+}
+
+TEST(CalibrationStore, RejectsTruncatedAndCorruptedFrames) {
+  TempStoreDir dir("corrupt");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  const CalibrationKey key = KeyFor(b, b.requests[0]);
+  NullDistribution dist(std::vector<double>{5.5, 4.5, 3.5, 2.5});
+  ASSERT_TRUE(store->Store(key, dist).ok());
+  const std::string path = store->FilePathFor(key);
+  const auto full_size = std::filesystem::file_size(path);
+
+  // Truncation at several byte lengths, including mid-header and mid-payload.
+  for (uintmax_t keep : {uintmax_t{0}, uintmax_t{5}, uintmax_t{19},
+                         full_size / 2, full_size - 1}) {
+    ASSERT_TRUE(store->Store(key, dist).ok());
+    std::filesystem::resize_file(path, keep);
+    auto loaded = store->Load(key);
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_TRUE(loaded.status().IsNotFound());
+  }
+
+  // Bit-flip in the payload: the checksum trailer catches it.
+  ASSERT_TRUE(store->Store(key, dist).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(-16, std::ios::end);  // inside the last double, before the trailer
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-16, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto loaded = store->Load(key);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+  EXPECT_GE(store->stats().load_rejected, 6u);
+
+  // And the pipeline-level fallback: a corrupt store never poisons results —
+  // the calibration is recomputed and responses match a store-less run.
+  std::filesystem::resize_file(path, full_size / 3);
+  AuditPipeline clean, fallback;
+  PipelineManifest manifest;
+  fallback.cache().AttachStore(store);
+  const auto expected = RunOrDie(clean, b.requests);
+  const auto recovered = RunOrDie(fallback, b.requests, &manifest);
+  EXPECT_EQ(manifest.calibrations_loaded, 0u);
+  EXPECT_EQ(manifest.calibrations_computed, 2u);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ExpectIdenticalResult(expected[i].result, recovered[i].result,
+                          "corrupt-fallback " + b.requests[i].id);
+  }
+}
+
+TEST(CalibrationStore, RejectsFrameBelongingToAnotherKey) {
+  TempStoreDir dir("wrongkey");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  const CalibrationKey key_a = KeyFor(b, b.requests[0]);   // two-sided
+  const CalibrationKey key_b = KeyFor(b, b.requests[1]);   // low
+  ASSERT_NE(key_a, key_b);
+  NullDistribution dist(std::vector<double>{2.0, 1.0});
+  ASSERT_TRUE(store->Store(key_a, dist).ok());
+
+  // Masquerade key A's frame under key B's filename: the embedded key wins.
+  std::filesystem::copy_file(store->FilePathFor(key_a),
+                             store->FilePathFor(key_b));
+  auto loaded = store->Load(key_b);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+  EXPECT_EQ(store->stats().load_rejected, 1u);
+}
+
+TEST(CalibrationStore, OpenRequiresUsableDirectory) {
+  TempStoreDir dir("open");
+  // A file where the directory should be.
+  const auto file_path = dir.path / "not_a_dir";
+  { std::ofstream(file_path) << "x"; }
+  EXPECT_FALSE(
+      CalibrationStore::Open({.directory = file_path.string()}).ok());
+  EXPECT_FALSE(CalibrationStore::Open({.directory = ""}).ok());
+  // create_if_missing=false on an absent path.
+  auto absent = CalibrationStore::Open(
+      {.directory = (dir.path / "absent").string(), .create_if_missing = false});
+  EXPECT_FALSE(absent.ok());
+  EXPECT_TRUE(absent.status().IsNotFound());
+  // And the success path creates nested directories.
+  EXPECT_TRUE(CalibrationStore::Open(
+                  {.directory = (dir.path / "a" / "b").string()})
+                  .ok());
+}
+
+TEST(CalibrationStore, ConcurrentReadThroughFromTwoPipelinesSharingADirectory) {
+  TempStoreDir dir("concurrent");
+  StoreBatch b;
+
+  // Baseline without any store.
+  AuditPipeline baseline_pipeline;
+  const auto baseline = RunOrDie(baseline_pipeline, b.requests);
+
+  // Seed the directory with one of the two calibrations so the concurrent
+  // run mixes read-through hits and compute+write-behind misses.
+  {
+    AuditPipeline seeder;
+    seeder.cache().AttachStore(dir.OpenOrDie());
+    RunOrDie(seeder, {b.requests[0]});
+  }
+
+  // Two pipelines, each with its OWN store handle on the shared directory,
+  // running the full batch concurrently.
+  AuditPipeline p1, p2;
+  p1.cache().AttachStore(dir.OpenOrDie());
+  p2.cache().AttachStore(dir.OpenOrDie());
+  std::vector<AuditResponse> r1, r2;
+  std::thread t1([&] { r1 = RunOrDie(p1, b.requests); });
+  std::thread t2([&] { r2 = RunOrDie(p2, b.requests); });
+  t1.join();
+  t2.join();
+
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ExpectIdenticalResult(baseline[i].result, r1[i].result,
+                          "concurrent-p1 " + b.requests[i].id);
+    ExpectIdenticalResult(baseline[i].result, r2[i].result,
+                          "concurrent-p2 " + b.requests[i].id);
+  }
+  // Each pipeline served at least the seeded calibration from disk.
+  EXPECT_GE(p1.cache().stats().store_hits, 1u);
+  EXPECT_GE(p2.cache().stats().store_hits, 1u);
+}
+
+}  // namespace
+}  // namespace sfa::core

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 namespace sfa::core {
 namespace {
@@ -128,6 +130,42 @@ TEST_F(ExportFileTest, WriteFindingsCsvHasHeaderAndRows) {
 TEST(ExportErrors, UnwritablePathIsIOError) {
   EXPECT_TRUE(WriteFindingsGeoJson({}, "/nonexistent/dir/out.geojson").IsIOError());
   EXPECT_TRUE(WriteFindingsCsv({}, "/nonexistent/dir/out.csv").IsIOError());
+}
+
+// The shared escaper guards every JSON artifact (GeoJSON labels, pipeline
+// manifests, the audit server simulation's run summary): user-controlled
+// strings — dataset/family names, request ids — flow into all of them.
+TEST(JsonEscape, PassesPlainStringsThrough) {
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("riverton grid 10x10"), "riverton grid 10x10");
+  EXPECT_EQ(JsonEscape("utf-8 déjà vu"), "utf-8 déjà vu");  // bytes >= 0x20
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("\"\\\""), "\\\"\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("car\rriage"), "car\\rriage");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(JsonEscape("\x01\x1f"), "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, RoundTripsThroughAManifestShapedDocument) {
+  // A family name with every hazardous character class embedded in a JSON
+  // document must keep the document balanced.
+  const std::string hostile = "grid \"10x10\"\n\\path\tend";
+  const std::string json = "{\"family\":\"" + JsonEscape(hostile) + "\"}";
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 0);
+  size_t unescaped_quotes = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++unescaped_quotes;
+  }
+  EXPECT_EQ(unescaped_quotes, 4u);  // {"family":"..."} exactly
 }
 
 }  // namespace

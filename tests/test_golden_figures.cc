@@ -21,6 +21,7 @@
 #include "data/crime_sim.h"
 #include "data/synth.h"
 #include "geo/partitioning.h"
+#include "testing_util.h"
 
 namespace sfa::core {
 namespace {
@@ -33,14 +34,11 @@ AuditOptions GoldenOptions() {
 }
 
 /// Fig. 1's family construction at reduced scale: 20 random rectangular
-/// partitionings with 4-12 splits per axis.
+/// partitionings with 4-12 splits per axis, from the shared seeded helper
+/// (the golden constants below pin its RNG stream).
 Result<std::unique_ptr<PartitioningCollectionFamily>> Fig1Family(
     const data::OutcomeDataset& ds) {
-  Rng rng(2023);
-  auto parts = geo::MakeRandomResolutionPartitionings(
-      ds.BoundingBox().Expanded(1e-6), 20, 4, 12, &rng);
-  SFA_RETURN_NOT_OK(parts.status());
-  return PartitioningCollectionFamily::Create(ds.locations(), *parts);
+  return core::testing::MakeSeededPartitioningFamily(ds, 2023, 20, 4, 12);
 }
 
 TEST(GoldenFigures, Fig1SynthUnfairByDesign) {

@@ -29,9 +29,12 @@
 #include "core/audit_pipeline.h"
 #include "core/grid_family.h"
 #include "data/dataset.h"
+#include "testing_util.h"
 
 namespace sfa::core {
 namespace {
+
+using core::testing::MakeFairDataset;
 
 constexpr size_t kNumAudits = 200;
 constexpr uint32_t kNumWorlds = 99;
@@ -60,13 +63,9 @@ std::vector<double> FairWorldPValues(NullModel null_model) {
   datasets.reserve(kNumAudits);
   families.reserve(kNumAudits);
   for (size_t k = 0; k < kNumAudits; ++k) {
-    Rng rng(1000 + k);
-    auto ds = std::make_unique<data::OutcomeDataset>("fair-" + std::to_string(k));
-    for (size_t i = 0; i < kPointsPerAudit; ++i) {
-      // Fair by construction: the label ignores the location.
-      ds->Add({rng.Uniform(0, 3), rng.Uniform(0, 2)},
-              rng.Bernoulli(kRho) ? 1 : 0);
-    }
+    // Fair by construction: the label ignores the location.
+    auto ds = std::make_unique<data::OutcomeDataset>(MakeFairDataset(
+        1000 + k, kPointsPerAudit, kRho, 3, 2, "fair-" + std::to_string(k)));
     auto family = GridPartitionFamily::Create(ds->locations(), 6, 6);
     SFA_CHECK_OK(family.status());
 
@@ -137,12 +136,8 @@ TEST(PValueCalibration, DirectionalScansAreCalibratedToo) {
     std::vector<std::unique_ptr<GridPartitionFamily>> families;
     std::vector<AuditRequest> requests;
     for (size_t k = 0; k < kNumAudits; ++k) {
-      Rng rng(3000 + k);
-      auto ds = std::make_unique<data::OutcomeDataset>("fair");
-      for (size_t i = 0; i < kPointsPerAudit; ++i) {
-        ds->Add({rng.Uniform(0, 3), rng.Uniform(0, 2)},
-                rng.Bernoulli(kRho) ? 1 : 0);
-      }
+      auto ds = std::make_unique<data::OutcomeDataset>(
+          MakeFairDataset(3000 + k, kPointsPerAudit, kRho));
       auto family = GridPartitionFamily::Create(ds->locations(), 6, 6);
       SFA_CHECK_OK(family.status());
       AuditRequest req;

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -166,6 +167,129 @@ TEST(DefaultThreadPool, IsSingletonAndUsable) {
   std::atomic<int> counter{0};
   a.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(CancellationToken, IsSticky) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(BoundedPriorityQueue, PopsByPriorityThenFifo) {
+  BoundedPriorityQueue<int> queue(/*capacity=*/8, /*num_priorities=*/3);
+  EXPECT_EQ(queue.TryPush(2, 20), QueuePush::kAdmitted);
+  EXPECT_EQ(queue.TryPush(0, 1), QueuePush::kAdmitted);
+  EXPECT_EQ(queue.TryPush(1, 10), QueuePush::kAdmitted);
+  EXPECT_EQ(queue.TryPush(0, 2), QueuePush::kAdmitted);
+  EXPECT_EQ(queue.TryPush(2, 21), QueuePush::kAdmitted);
+  EXPECT_EQ(queue.size(), 5u);
+
+  int out = 0;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.Pop(&out));
+    order.push_back(out);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 20, 21}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedPriorityQueue, TryPushRejectsAtCapacityAcrossLanes) {
+  BoundedPriorityQueue<int> queue(2, 3);
+  EXPECT_EQ(queue.TryPush(0, 1), QueuePush::kAdmitted);
+  EXPECT_EQ(queue.TryPush(2, 2), QueuePush::kAdmitted);
+  // The bound is TOTAL occupancy, not per-lane.
+  EXPECT_EQ(queue.TryPush(1, 3), QueuePush::kRejected);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(queue.TryPush(1, 3), QueuePush::kAdmitted);
+}
+
+TEST(BoundedPriorityQueue, PushBlocksUntilSpaceThenAdmits) {
+  BoundedPriorityQueue<int> queue(1, 1);
+  ASSERT_EQ(queue.TryPush(0, 1), QueuePush::kAdmitted);
+  std::atomic<bool> admitted{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(0, 2), QueuePush::kAdmitted);  // blocks: queue full
+    admitted.store(true);
+  });
+  // Consume the first item; the blocked producer must then get its slot.
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(admitted.load());
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedPriorityQueue, CloseFailsPushesAndDrainsConsumers) {
+  BoundedPriorityQueue<int> queue(4, 2);
+  ASSERT_EQ(queue.TryPush(1, 7), QueuePush::kAdmitted);
+  ASSERT_EQ(queue.TryPush(0, 8), QueuePush::kAdmitted);
+  // A consumer blocked on an empty queue unblocks on Close too.
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(0, 9), QueuePush::kClosed);
+  EXPECT_EQ(queue.Push(0, 9), QueuePush::kClosed);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 8);  // priority still honored while draining
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+}
+
+TEST(BoundedPriorityQueue, CloseUnblocksBlockedProducerAndConsumer) {
+  BoundedPriorityQueue<int> full(1, 1);
+  ASSERT_EQ(full.TryPush(0, 1), QueuePush::kAdmitted);
+  std::thread blocked_producer([&] {
+    EXPECT_EQ(full.Push(0, 2), QueuePush::kClosed);
+  });
+  BoundedPriorityQueue<int> empty(1, 1);
+  std::thread blocked_consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(empty.Pop(&out));
+  });
+  full.Close();
+  empty.Close();
+  blocked_producer.join();
+  blocked_consumer.join();
+}
+
+TEST(BoundedPriorityQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedPriorityQueue<int> queue(5, 3);
+  std::vector<std::thread> threads;
+  std::atomic<int> sum{0};
+  std::atomic<int> popped{0};
+  for (size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int out = 0;
+      while (queue.Pop(&out)) {
+        sum.fetch_add(out);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = static_cast<int>(p) * kPerProducer + i + 1;
+        ASSERT_EQ(queue.Push(value % 3, value), QueuePush::kAdmitted);
+      }
+    });
+  }
+  for (size_t t = kConsumers; t < threads.size(); ++t) threads[t].join();
+  queue.Close();
+  for (size_t t = 0; t < kConsumers; ++t) threads[t].join();
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal + 1) / 2);
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+// Shared seeded-RNG fixtures and assertions for the audit test suites.
+//
+// The dataset generators here were promoted from ad-hoc copies in
+// test_audit_pipeline.cc, test_pvalue_calibration.cc, and
+// test_golden_figures.cc. Their RNG draw ORDER is part of the test contract:
+// several suites pin exact statistical outputs (golden figures) or seeded
+// statistical bounds (p-value calibration) produced by these exact streams,
+// so any change to the draw sequence must be loud and deliberate — treat
+// these helpers like the golden constants themselves.
+#ifndef SFA_TESTS_TESTING_UTIL_H_
+#define SFA_TESTS_TESTING_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/audit.h"
+#include "core/partitioning_family.h"
+#include "data/dataset.h"
+#include "geo/partitioning.h"
+#include "geo/rect.h"
+
+namespace sfa::core::testing {
+
+/// A synthetic "city" on the [0,10)² plane: uniform locations, prediction
+/// rate `planted_rate` inside the fixed zone [6,9]² and `base_rate` outside,
+/// plus a Bernoulli(0.5) ground-truth bit (so equal-opportunity views can be
+/// built). Draw order per individual: location x, location y, prediction,
+/// ground truth. `planted_rate == base_rate` yields a spatially fair city.
+inline data::OutcomeDataset MakePlantedCity(uint64_t seed, size_t n,
+                                            double planted_rate,
+                                            double base_rate = 0.55,
+                                            std::string name = "city") {
+  Rng rng(seed);
+  data::OutcomeDataset ds(std::move(name));
+  const geo::Rect zone(6.0, 6.0, 9.0, 9.0);
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    const double rate = zone.Contains(loc) ? planted_rate : base_rate;
+    ds.Add(loc, rng.Bernoulli(rate) ? 1 : 0, rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  return ds;
+}
+
+/// A spatially fair dataset on a `width`×`height` plane: the Bernoulli(rho)
+/// label ignores the location by construction. Draw order per individual:
+/// location x, location y, label. No ground-truth bit (prediction only).
+inline data::OutcomeDataset MakeFairDataset(uint64_t seed, size_t n,
+                                            double rho, double width = 3.0,
+                                            double height = 2.0,
+                                            std::string name = "fair") {
+  Rng rng(seed);
+  data::OutcomeDataset ds(std::move(name));
+  for (size_t i = 0; i < n; ++i) {
+    ds.Add({rng.Uniform(0, width), rng.Uniform(0, height)},
+           rng.Bernoulli(rho) ? 1 : 0);
+  }
+  return ds;
+}
+
+/// The paper Fig. 1 family construction at test scale: `count` random
+/// rectangular partitionings with `min_splits`..`max_splits` per axis, drawn
+/// from a dedicated seeded stream over the dataset's (expanded) bounding
+/// box. Golden pins depend on this exact stream.
+inline Result<std::unique_ptr<PartitioningCollectionFamily>>
+MakeSeededPartitioningFamily(const data::OutcomeDataset& ds, uint64_t seed,
+                             uint32_t count = 20, uint32_t min_splits = 4,
+                             uint32_t max_splits = 12) {
+  Rng rng(seed);
+  auto parts = geo::MakeRandomResolutionPartitionings(
+      ds.BoundingBox().Expanded(1e-6), count, min_splits, max_splits, &rng);
+  SFA_RETURN_NOT_OK(parts.status());
+  return PartitioningCollectionFamily::Create(ds.locations(), *parts);
+}
+
+/// Asserts that two AuditResults carry the same statistical payload,
+/// bit-for-bit — the pipeline determinism contract. The per-field EXPECTs
+/// exist for readable failure diffs; the authoritative (complete) field
+/// list is core::ResultsBitIdentical, asserted at the end so this helper
+/// can never silently lag behind a grown AuditResult.
+inline void ExpectIdenticalResult(const AuditResult& a, const AuditResult& b,
+                                  const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_TRUE(ResultsBitIdentical(a, b));
+  EXPECT_EQ(a.spatially_fair, b.spatially_fair);
+  EXPECT_EQ(a.p_value, b.p_value);
+  EXPECT_EQ(a.tau, b.tau);
+  EXPECT_EQ(a.best_region, b.best_region);
+  EXPECT_EQ(a.critical_value, b.critical_value);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.total_n, b.total_n);
+  EXPECT_EQ(a.total_p, b.total_p);
+  EXPECT_EQ(a.overall_rate, b.overall_rate);
+  EXPECT_EQ(a.observed.llr, b.observed.llr);
+  EXPECT_EQ(a.observed.positives, b.observed.positives);
+  EXPECT_EQ(a.null_distribution.sorted_max(), b.null_distribution.sorted_max());
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].region_index, b.findings[i].region_index);
+    EXPECT_EQ(a.findings[i].llr, b.findings[i].llr);
+    EXPECT_EQ(a.findings[i].log_sul, b.findings[i].log_sul);
+    EXPECT_EQ(a.findings[i].n, b.findings[i].n);
+    EXPECT_EQ(a.findings[i].p, b.findings[i].p);
+  }
+}
+
+}  // namespace sfa::core::testing
+
+#endif  // SFA_TESTS_TESTING_UTIL_H_

@@ -200,6 +200,66 @@ void BM_PipelineWarmCache(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineWarmCache)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Multinomial audits through the same pipeline (the statistic layer): a
+// 3-class city audited over a grid at the full α sweep — one multinomial
+// calibration shared by 8 requests, closed-form per-cell Multinomial(n_c, q)
+// null worlds. Tracks what the statistic abstraction costs relative to the
+// binary path (same serving stack, K−1 counting passes per labeled world).
+void BM_PipelineMultinomial(benchmark::State& state) {
+  static const auto* mc_workload = [] {
+    struct MulticlassWorkload {
+      data::OutcomeDataset view{"bench-multiclass"};
+      std::unique_ptr<RegionFamily> family;
+      std::vector<AuditRequest> requests;
+    };
+    auto* wl = new MulticlassWorkload;
+    Rng rng(77);
+    const geo::Rect zone(6.0, 6.0, 9.0, 9.0);
+    const std::vector<double> base = {0.5, 0.3, 0.2};
+    const std::vector<double> shifted = {0.25, 0.3, 0.45};
+    std::vector<geo::Point> pts;
+    for (size_t i = 0; i < kCityPoints; ++i) {
+      const geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
+      const auto& mix = zone.Contains(loc) ? shifted : base;
+      pts.push_back(loc);
+      wl->view.Add(loc, static_cast<uint8_t>(rng.Categorical(mix)));
+    }
+    auto family = GridPartitionFamily::Create(pts, 12, 12);
+    SFA_CHECK_OK(family.status());
+    wl->family = std::move(family).value();
+    const double alphas[8] = {0.1, 0.05, 0.02, 0.01,
+                              0.005, 0.002, 0.001, 0.0005};
+    for (double alpha : alphas) {
+      AuditRequest req;
+      req.id = "multinomial@" + std::to_string(alpha);
+      req.dataset = &wl->view;
+      req.dataset_is_view = true;
+      req.family = wl->family.get();
+      req.options.alpha = alpha;
+      req.options.statistic = StatisticKind::kMultinomial;
+      req.options.num_classes = 3;
+      req.options.monte_carlo.num_worlds = kNumWorlds;
+      wl->requests.push_back(std::move(req));
+    }
+    return wl;
+  }();
+
+  AuditPipeline pipeline;
+  PipelineManifest manifest;
+  size_t served = 0;
+  for (auto _ : state) {
+    pipeline.cache().Clear();
+    auto responses = pipeline.Run(mc_workload->requests, &manifest);
+    SFA_CHECK_OK(responses.status());
+    SFA_CHECK(manifest.num_failed == 0);
+    served += responses->size();
+  }
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["hit_rate"] = manifest.HitRate();
+}
+BENCHMARK(BM_PipelineMultinomial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_PipelinePersistedWarm(benchmark::State& state) {
   const Workload& wl = SharedWorkload();
   // One-time persist outside timing: a "previous process" computes all four

@@ -266,14 +266,11 @@ int main() {
   std::string summary;
   summary += sfa::StrFormat(
       "{\"quick\":%s,\"num_requests\":%zu,\"stream\":{\"wall_ms\":%.3f,"
-      "\"completed\":%llu,\"rejected\":%llu,\"max_queue_depth\":%zu,"
-      "\"queue_wait_p90_ms\":%.3f},\"replay\":{\"wall_ms\":%.3f,"
+      "\"queue_wait_p90_ms\":%.3f,\"stats\":%s},\"replay\":{\"wall_ms\":%.3f,"
       "\"calibrations_computed\":%llu,\"calibrations_loaded\":%llu,"
       "\"mismatches\":%zu},\"store_dir\":\"%s\",\"cities\":[",
       quick ? "true" : "false", requests.size(), stream_wall_ms,
-      static_cast<unsigned long long>(stream_stats.completed),
-      static_cast<unsigned long long>(stream_stats.rejected),
-      stream_stats.max_queue_depth, Percentile(queue_waits, 0.90),
+      Percentile(queue_waits, 0.90), stream_stats.ToJson().c_str(),
       replay_wall_ms,
       static_cast<unsigned long long>(replay_manifest.calibrations_computed),
       static_cast<unsigned long long>(replay_manifest.calibrations_loaded),

@@ -27,6 +27,7 @@ enum class StatusCode : uint8_t {
   kInternal = 8,
   kNotImplemented = 9,
   kResourceExhausted = 10,
+  kCancelled = 11,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -75,6 +76,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -92,6 +96,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

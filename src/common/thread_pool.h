@@ -126,6 +126,30 @@ class BoundedPriorityQueue {
     return false;  // unreachable: size_ > 0 implies a non-empty lane
   }
 
+  /// Removes the first queued item matching `pred` (lanes scanned in
+  /// priority order, FIFO within a lane — the order Pop would serve), moving
+  /// it into `*out` and freeing its capacity slot (one blocked producer is
+  /// woken). Returns false when no queued item matches — items already
+  /// popped by a consumer are out of reach, which is what makes this safe as
+  /// a cancellation primitive: an item is either removed here exactly once
+  /// or dispatched exactly once, never both.
+  template <typename Pred>
+  bool RemoveIf(const Pred& pred, T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto& lane : lanes_) {
+      for (auto it = lane.begin(); it != lane.end(); ++it) {
+        if (!pred(*it)) continue;
+        *out = std::move(*it);
+        lane.erase(it);
+        --size_;
+        lock.unlock();
+        not_full_.notify_one();
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Stops admissions; queued items remain poppable until drained. Wakes
   /// every blocked producer and consumer.
   void Close() {

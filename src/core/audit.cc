@@ -4,9 +4,29 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
-#include "stats/bernoulli_scan.h"
+#include "core/bernoulli_statistic.h"
+#include "core/multinomial_statistic.h"
 
 namespace sfa::core {
+
+Result<std::shared_ptr<const ScanStatistic>> MakeScanStatistic(
+    const AuditOptions& options, const data::OutcomeDataset& view) {
+  switch (options.statistic) {
+    case StatisticKind::kBernoulli:
+      return std::shared_ptr<const ScanStatistic>(
+          std::make_shared<BernoulliScanStatistic>(
+              options.direction, view.size(), view.PositiveCount()));
+    case StatisticKind::kMultinomial: {
+      SFA_ASSIGN_OR_RETURN(
+          std::unique_ptr<MultinomialScanStatistic> statistic,
+          MultinomialScanStatistic::FromOutcomes(
+              view.predicted().data(), view.predicted().size(),
+              options.num_classes));
+      return std::shared_ptr<const ScanStatistic>(std::move(statistic));
+    }
+  }
+  return Status::InvalidArgument("unknown statistic kind");
+}
 
 Result<AuditResult> Auditor::Audit(const data::OutcomeDataset& dataset,
                                    const RegionFamily& family) const {
@@ -17,14 +37,22 @@ Result<AuditResult> Auditor::Audit(const data::OutcomeDataset& dataset,
 
 Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
                                        const RegionFamily& family) const {
-  return AuditView(view, family, /*calibration=*/nullptr, /*scratch=*/nullptr);
+  return AuditView(view, family, /*statistic=*/nullptr, /*calibration=*/nullptr,
+                   /*scratch=*/nullptr);
 }
 
 Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
                                        const RegionFamily& family,
                                        const NullDistribution* calibration,
                                        AuditScratch* scratch) const {
-  SFA_RETURN_NOT_OK(view.Validate());
+  return AuditView(view, family, /*statistic=*/nullptr, calibration, scratch);
+}
+
+Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
+                                       const RegionFamily& family,
+                                       const ScanStatistic* statistic,
+                                       const NullDistribution* calibration,
+                                       AuditScratch* scratch) const {
   if (view.empty()) return Status::InvalidArgument("empty audit view");
   if (view.size() != family.num_points()) {
     return Status::InvalidArgument(StrFormat(
@@ -36,29 +64,49 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
     return Status::InvalidArgument("alpha must be in (0, 1)");
   }
 
+  // The outcome model: injected (pipeline) or built from the options. An
+  // injected statistic arrives VALIDATED against this view (the pipeline's
+  // prepare phase ran ValidateOutcomes before keying the calibration), so
+  // the O(N) outcome scans are not repeated on the pooled hot path. For a
+  // locally-built statistic, the multiclass-aware Validate covers structure
+  // and outcome range, and construction from this same view guarantees the
+  // statistic's totals match it.
+  std::shared_ptr<const ScanStatistic> owned_statistic;
+  if (statistic == nullptr) {
+    const uint32_t expected_classes =
+        options_.statistic == StatisticKind::kMultinomial
+            ? options_.num_classes
+            : 2;
+    SFA_RETURN_NOT_OK(view.Validate(expected_classes));
+    SFA_ASSIGN_OR_RETURN(owned_statistic, MakeScanStatistic(options_, view));
+    statistic = owned_statistic.get();
+  }
+
   AuditResult result;
   result.alpha = options_.alpha;
+  result.statistic = statistic->kind();
+  result.class_distribution = statistic->ClassDistribution();
 
   // Observed world (scratch recycles the label buffers across pooled calls).
   AuditScratch local_scratch;
   AuditScratch& s = scratch != nullptr ? *scratch : local_scratch;
-  s.observed_labels.AssignBytes(view.predicted().data(), view.predicted().size());
-  result.observed = ScanAllRegions(family, s.observed_labels, options_.direction,
-                                   s.TableFor(view.size()));
+  result.observed = statistic->ScanObserved(family, view.predicted().data(),
+                                            view.predicted().size(), &s);
   result.tau = result.observed.max_llr;
   result.best_region = result.observed.argmax;
   result.total_n = result.observed.total_n;
   result.total_p = result.observed.total_p;
-  result.overall_rate = view.PositiveRate();
+  result.overall_rate =
+      statistic->kind() == StatisticKind::kBernoulli ? view.PositiveRate()
+                                                     : 0.0;
 
   // Null calibration: injected (calibration cache) or simulated in place.
   if (calibration != nullptr) {
     result.null_distribution = *calibration;
   } else {
-    SFA_ASSIGN_OR_RETURN(
-        result.null_distribution,
-        SimulateNull(family, result.overall_rate, result.total_p,
-                     options_.direction, options_.monte_carlo));
+    SFA_ASSIGN_OR_RETURN(result.null_distribution,
+                         SimulateNull(*statistic, family,
+                                      options_.monte_carlo));
   }
   result.p_value = result.null_distribution.PValue(result.tau);
   result.spatially_fair = result.p_value > options_.alpha;
@@ -67,8 +115,6 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
   // Evidence: regions individually significant against the null max
   // distribution, ranked by Λ (equivalently by SUL, since log SUL =
   // Λ + log L0max and L0max is constant across regions).
-  const double log_null =
-      stats::NullLogLikelihood(result.total_p, result.total_n);
   for (size_t r = 0; r < family.num_regions(); ++r) {
     const double llr = result.observed.llr[r];
     if (!(llr > result.critical_value)) continue;
@@ -78,14 +124,9 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
     finding.rect = desc.rect;
     finding.label = desc.label;
     finding.group = desc.group;
-    finding.n = family.PointCount(r);
-    finding.p = result.observed.positives[r];
-    finding.local_rate =
-        finding.n == 0 ? 0.0
-                       : static_cast<double>(finding.p) / static_cast<double>(finding.n);
     finding.llr = llr;
-    finding.log_sul = llr + log_null;
     finding.significant = true;
+    statistic->FillFinding(family, result.observed, r, &finding);
     result.findings.push_back(std::move(finding));
   }
   // Tie-break on region index: equal-Λ findings (e.g. two partitions with
@@ -104,7 +145,8 @@ bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
       a.tau != b.tau || a.best_region != b.best_region ||
       a.critical_value != b.critical_value || a.alpha != b.alpha ||
       a.total_n != b.total_n || a.total_p != b.total_p ||
-      a.overall_rate != b.overall_rate) {
+      a.overall_rate != b.overall_rate || a.statistic != b.statistic ||
+      a.class_distribution != b.class_distribution) {
     return false;
   }
   if (a.observed.llr != b.observed.llr ||
@@ -112,7 +154,9 @@ bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
       a.observed.max_llr != b.observed.max_llr ||
       a.observed.argmax != b.observed.argmax ||
       a.observed.total_n != b.observed.total_n ||
-      a.observed.total_p != b.observed.total_p) {
+      a.observed.total_p != b.observed.total_p ||
+      a.observed.class_counts != b.observed.class_counts ||
+      a.observed.num_classes != b.observed.num_classes) {
     return false;
   }
   if (a.null_distribution.sorted_max() != b.null_distribution.sorted_max()) {
@@ -125,7 +169,8 @@ bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
     if (fa.region_index != fb.region_index || !(fa.rect == fb.rect) ||
         fa.label != fb.label || fa.group != fb.group || fa.n != fb.n ||
         fa.p != fb.p || fa.local_rate != fb.local_rate || fa.llr != fb.llr ||
-        fa.log_sul != fb.log_sul || fa.significant != fb.significant) {
+        fa.log_sul != fb.log_sul || fa.significant != fb.significant ||
+        fa.class_counts != fb.class_counts) {
       return false;
     }
   }

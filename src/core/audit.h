@@ -7,10 +7,16 @@
 //   4. verdict: spatially fair iff p > α ("is it fair?");
 //   5. evidence: every region whose Λ exceeds the null critical value,
 //      ranked by SUL ("where is it unfair?").
+//
+// Steps 2, 3, and 5 are statistic-generic: the outcome model is a pluggable
+// core::ScanStatistic (Bernoulli by default — the paper's binary test;
+// multinomial for full class-distribution audits), selected via
+// AuditOptions::statistic and built per audit by MakeScanStatistic.
 #ifndef SFA_CORE_AUDIT_H_
 #define SFA_CORE_AUDIT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +25,7 @@
 #include "core/measure.h"
 #include "core/region_family.h"
 #include "core/scan.h"
+#include "core/scan_statistic.h"
 #include "core/significance.h"
 #include "data/dataset.h"
 
@@ -29,21 +36,14 @@ struct AuditOptions {
   double alpha = 0.005;
   FairnessMeasure measure = FairnessMeasure::kStatisticalParity;
   stats::ScanDirection direction = stats::ScanDirection::kTwoSided;
+  /// Outcome model of the scan. kBernoulli audits the rate of a binary
+  /// outcome (the paper's test); kMultinomial audits the full class
+  /// distribution of a categorical outcome (set num_classes).
+  StatisticKind statistic = StatisticKind::kBernoulli;
+  /// Number of outcome classes for kMultinomial (>= 2); the view's predicted
+  /// values must lie in [0, num_classes). Ignored for kBernoulli.
+  uint32_t num_classes = 0;
   MonteCarloOptions monte_carlo;
-};
-
-/// One region offered as evidence of spatial unfairness.
-struct RegionFinding {
-  size_t region_index = 0;
-  geo::Rect rect;
-  std::string label;
-  uint32_t group = 0;
-  uint64_t n = 0;          ///< individuals inside
-  uint64_t p = 0;          ///< positives inside
-  double local_rate = 0.0; ///< ρ(R) = p/n
-  double llr = 0.0;        ///< Λ(R); ranking by Λ == ranking by SUL
-  double log_sul = 0.0;    ///< log of the paper's Eq. 1
-  bool significant = false;
 };
 
 struct AuditResult {
@@ -55,8 +55,12 @@ struct AuditResult {
   double critical_value = 0.0;   ///< per-region significance threshold at α
   double alpha = 0.0;
   uint64_t total_n = 0;          ///< N in the measure view
-  uint64_t total_p = 0;          ///< P in the measure view
-  double overall_rate = 0.0;     ///< ρ
+  uint64_t total_p = 0;          ///< P in the measure view (Bernoulli; 0 else)
+  double overall_rate = 0.0;     ///< ρ (Bernoulli; 0 for multinomial)
+  /// The outcome model that produced this result.
+  StatisticKind statistic = StatisticKind::kBernoulli;
+  /// Global empirical class proportions (multinomial; empty for Bernoulli).
+  std::vector<double> class_distribution;
   /// Significant regions ranked by Λ (equivalently SUL) descending.
   std::vector<RegionFinding> findings;
   /// Full per-region scan of the observed world (parallel to family regions).
@@ -76,23 +80,13 @@ struct AuditResult {
 /// cannot silently fork when AuditResult grows a field.
 bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b);
 
-/// Reusable per-thread buffers for pooled audit execution: the audit
-/// pipeline keeps one AuditScratch per worker so the steady state of a
-/// request stream allocates no observed-world storage and rebuilds the
-/// O(N)-std::log likelihood table only when the view size changes. Plain
-/// Audit/AuditView calls allocate transparently when no scratch is supplied.
-struct AuditScratch {
-  Labels observed_labels;
-  std::optional<stats::LogLikelihoodTable> table;
-
-  /// The k·log k table for views of `total_n` points, rebuilt on size change.
-  const stats::LogLikelihoodTable& TableFor(uint64_t total_n) {
-    if (!table.has_value() || table->max_count() != total_n) {
-      table.emplace(total_n);
-    }
-    return *table;
-  }
-};
+/// Builds the scan statistic `options` select, bound to the totals of
+/// `view`: a BernoulliScanStatistic over (N, P, direction), or a
+/// MultinomialScanStatistic over the view's per-class totals. Fails when the
+/// view's outcomes don't fit the statistic (non-binary values for Bernoulli,
+/// class ids outside [0, num_classes) or num_classes < 2 for multinomial).
+Result<std::shared_ptr<const ScanStatistic>> MakeScanStatistic(
+    const AuditOptions& options, const data::OutcomeDataset& view);
 
 class Auditor {
  public:
@@ -106,18 +100,27 @@ class Auditor {
   Result<AuditResult> Audit(const data::OutcomeDataset& dataset,
                             const RegionFamily& family) const;
 
-  /// Audits a pre-built measure view (locations + 0/1 outcomes).
+  /// Audits a pre-built measure view (locations + outcomes).
   Result<AuditResult> AuditView(const data::OutcomeDataset& view,
                                 const RegionFamily& family) const;
 
-  /// Pipeline entry point: AuditView with an optionally injected null
-  /// calibration and pooled scratch. When `calibration` is non-null it is
-  /// used verbatim instead of running SimulateNull — the caller (e.g.
-  /// core::CalibrationCache) vouches that it was simulated for this family,
-  /// this view's totals, this direction, and these Monte Carlo options, so a
-  /// cache hit yields a byte-identical AuditResult to a fresh simulation.
+  /// Pipeline entry point: AuditView with an optionally injected statistic
+  /// and null calibration plus pooled scratch. When `statistic` is non-null
+  /// it is used instead of MakeScanStatistic (the caller vouches it was
+  /// built for this view's totals and these options). When `calibration` is
+  /// non-null it is used verbatim instead of running SimulateNull — the
+  /// caller (e.g. core::CalibrationCache) vouches that it was simulated for
+  /// this family, this statistic, and these Monte Carlo options, so a cache
+  /// hit yields a byte-identical AuditResult to a fresh simulation.
   /// `scratch` (optional) recycles observed-world buffers across calls; it
   /// must not be shared between concurrent calls.
+  Result<AuditResult> AuditView(const data::OutcomeDataset& view,
+                                const RegionFamily& family,
+                                const ScanStatistic* statistic,
+                                const NullDistribution* calibration,
+                                AuditScratch* scratch) const;
+
+  /// Back-compat overload without statistic injection.
   Result<AuditResult> AuditView(const data::OutcomeDataset& view,
                                 const RegionFamily& family,
                                 const NullDistribution* calibration,

@@ -20,18 +20,17 @@ struct Prep {
   data::OutcomeDataset view_storage;
   /// The view audited: &view_storage or the request's dataset.
   const data::OutcomeDataset* view = nullptr;
+  /// The outcome model bound to the view's totals; shared with the unique
+  /// calibration so simulation and assembly use the exact same instance.
+  std::shared_ptr<const ScanStatistic> statistic;
   CalibrationKey key;
-  uint64_t total_n = 0;
-  uint64_t total_p = 0;
 };
 
 /// One unique calibration of the batch.
 struct UniqueCalibration {
   CalibrationKey key;
   const RegionFamily* family = nullptr;
-  double rho = 0.0;
-  uint64_t total_p = 0;
-  stats::ScanDirection direction = stats::ScanDirection::kTwoSided;
+  std::shared_ptr<const ScanStatistic> statistic;
   MonteCarloOptions mc;
   size_t first_request = 0;  ///< request index that introduced the key
   bool warm = false;         ///< served from the cache of a previous Run
@@ -69,12 +68,26 @@ void PrepareRequest(const AuditRequest& req, uint64_t family_fingerprint,
                                           req.id.c_str()));
     return;
   }
-  prep->total_n = prep->view->size();
-  prep->total_p = prep->view->PositiveCount();
+  auto statistic = MakeScanStatistic(req.options, *prep->view);
+  if (!statistic.ok()) {
+    prep->status = statistic.status().WithContext(
+        StrFormat("request '%s'", req.id.c_str()));
+    return;
+  }
+  prep->statistic = std::move(statistic).value();
+  // Validate the outcome stream BEFORE the calibration phase: a view whose
+  // outcomes don't fit the statistic (e.g. class ids fed to a Bernoulli
+  // audit) must fail here, not after a wasted — and wrongly-keyed —
+  // simulation.
+  Status outcomes = prep->statistic->ValidateOutcomes(
+      prep->view->predicted().data(), prep->view->size());
+  if (!outcomes.ok()) {
+    prep->status =
+        outcomes.WithContext(StrFormat("request '%s'", req.id.c_str()));
+    return;
+  }
   prep->key = MakeCalibrationKey(*req.family, family_fingerprint,
-                                 prep->total_n, prep->total_p,
-                                 req.options.direction,
-                                 req.options.monte_carlo);
+                                 *prep->statistic, req.options.monte_carlo);
 }
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
@@ -117,6 +130,19 @@ void AuditTicket::Complete(AuditResponse response) {
     done_ = true;
   }
   done_cv_.notify_all();
+}
+
+std::string StreamStats::ToJson() const {
+  return StrFormat(
+      "{\"submitted\":%llu,\"admitted\":%llu,\"rejected\":%llu,"
+      "\"completed\":%llu,\"failed\":%llu,\"cancelled\":%llu,"
+      "\"max_queue_depth\":%zu}",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(cancelled), max_queue_depth);
 }
 
 // --------------------------------------------------------------- manifest --
@@ -246,12 +272,7 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
       UniqueCalibration cal;
       cal.key = preps[i].key;
       cal.family = batch[i].family;
-      cal.rho = preps[i].total_n == 0
-                    ? 0.0
-                    : static_cast<double>(preps[i].total_p) /
-                          static_cast<double>(preps[i].total_n);
-      cal.total_p = preps[i].total_p;
-      cal.direction = batch[i].options.direction;
+      cal.statistic = preps[i].statistic;
       cal.mc = batch[i].options.monte_carlo;
       // Honor the pipeline-level parallel switch inside the world engine
       // too; execution-only, never part of the key or the results.
@@ -271,10 +292,7 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
     UniqueCalibration& cal = uniques[misses[m]];
     auto computed = cache_.GetOrCompute(
         cal.key,
-        [&] {
-          return SimulateNull(*cal.family, cal.rho, cal.total_p, cal.direction,
-                              cal.mc);
-        },
+        [&] { return SimulateNull(*cal.statistic, *cal.family, cal.mc); },
         &cal.source);
     if (computed.ok()) {
       cal.value = std::move(computed).value();
@@ -306,7 +324,8 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
     }
     auto result = Auditor(batch[i].options)
                       .AuditView(*preps[i].view, *batch[i].family,
-                                 cal.value.get(), &scratch);
+                                 preps[i].statistic.get(), cal.value.get(),
+                                 &scratch);
     if (!result.ok()) {
       response.status = result.status();
       return;
@@ -456,6 +475,60 @@ Result<std::shared_ptr<AuditTicket>> AuditPipeline::Submit(
     }
   }
   return result;
+}
+
+Status AuditPipeline::Cancel(const std::shared_ptr<AuditTicket>& ticket) {
+  if (ticket == nullptr) {
+    return Status::InvalidArgument("Cancel() of a null ticket");
+  }
+  const std::shared_ptr<Stream> stream = CurrentStream();
+  Stream* s = stream.get();
+  if (s == nullptr) {
+    return Status::FailedPrecondition("Cancel() without an active stream");
+  }
+  {
+    // Join the teardown quiescence protocol exactly like Submit: past this
+    // gate the cancellation's stat update and ticket completion are counted
+    // as in-flight, so a concurrent FinishStream/AbortStream waits for them
+    // before snapshotting final stats — the completed+failed+cancelled ==
+    // admitted invariant holds in the snapshot.
+    std::unique_lock<std::mutex> lock(s->mu);
+    if (!s->accepting) {
+      return Status::FailedPrecondition("stream is shutting down");
+    }
+    ++s->inflight_submits;
+  }
+  const auto leave_quiescence_gate = [&] {
+    std::unique_lock<std::mutex> lock(s->mu);
+    if (--s->inflight_submits == 0 && !s->accepting) {
+      s->resume_cv.notify_all();
+    }
+  };
+  StreamEntry entry;
+  if (!s->queue.RemoveIf(
+          [&](const StreamEntry& e) { return e.ticket == ticket; }, &entry)) {
+    leave_quiescence_gate();
+    return Status::NotFound(
+        "ticket is not queued (already dispatched, finished, cancelled, or "
+        "not from this session)");
+  }
+  // The entry is exclusively ours now: the queue removal is atomic against
+  // Pop, so no worker can also complete this ticket.
+  AuditResponse response;
+  response.id = entry.request.id;
+  response.status =
+      Status::Cancelled("request cancelled by Cancel() before dispatch");
+  response.priority = entry.priority;
+  response.queue_depth = entry.depth_at_admission;
+  response.queue_wait_ms = MillisSince(entry.admitted_at);
+  {
+    std::unique_lock<std::mutex> lock(s->mu);
+    ++s->stats.cancelled;
+  }
+  entry.ticket->Complete(std::move(response));
+  if (entry.callback) entry.callback(entry.ticket->Get());
+  leave_quiescence_gate();
+  return Status::OK();
 }
 
 void AuditPipeline::ResumeDispatch() {
@@ -617,15 +690,10 @@ AuditResponse AuditPipeline::ExecuteStreamRequest(Stream* s,
 
   MonteCarloOptions mc = request.options.monte_carlo;
   mc.parallel = mc.parallel && options_.parallel;
-  const double rho = static_cast<double>(prep.total_p) /
-                     static_cast<double>(prep.total_n);
   CalibrationCache::Source source = CalibrationCache::Source::kMemory;
   auto calibration = cache_.GetOrCompute(
       prep.key,
-      [&] {
-        return SimulateNull(*request.family, rho, prep.total_p,
-                            request.options.direction, mc);
-      },
+      [&] { return SimulateNull(*prep.statistic, *request.family, mc); },
       &source);
   if (!calibration.ok()) {
     response.status = calibration.status();
@@ -637,7 +705,8 @@ AuditResponse AuditPipeline::ExecuteStreamRequest(Stream* s,
   Stopwatch timer;
   auto result = Auditor(request.options)
                     .AuditView(*prep.view, *request.family,
-                               calibration->get(), &scratch);
+                               prep.statistic.get(), calibration->get(),
+                               &scratch);
   if (!result.ok()) {
     response.status = result.status();
     return response;

@@ -191,8 +191,13 @@ struct StreamStats {
   uint64_t rejected = 0;
   uint64_t completed = 0;  ///< finished with OK status
   uint64_t failed = 0;     ///< finished with a per-request error
-  uint64_t cancelled = 0;  ///< failed by AbortStream before dispatch
+  /// Resolved before dispatch: by AbortStream tearing the session down or by
+  /// a per-ticket Cancel() removing the request from the admission queue.
+  uint64_t cancelled = 0;
   size_t max_queue_depth = 0;
+
+  /// One-line JSON object of the counters (for manifests and run summaries).
+  std::string ToJson() const;
 };
 
 /// Pollable handle to one streamed request: a one-shot future completed by
@@ -220,9 +225,11 @@ class AuditTicket {
   AuditResponse response_;
 };
 
-/// Completion callback of a streamed request, invoked on the dispatching
-/// worker thread after the ticket is completed. Must be thread-safe against
-/// other completions; keep it cheap (it blocks the worker).
+/// Completion callback of a streamed request, invoked after the ticket is
+/// completed — on the dispatching worker thread normally, or on the
+/// Cancel() caller's thread for a per-ticket cancellation. Must be
+/// thread-safe against other completions; keep it cheap (it blocks the
+/// worker).
 using AuditCallback = std::function<void(const AuditResponse&)>;
 
 /// The pipeline. The calibration cache persists across Run() calls and
@@ -269,6 +276,17 @@ class AuditPipeline {
       AuditRequest request,
       RequestPriority priority = RequestPriority::kNormal,
       AuditCallback callback = nullptr);
+
+  /// Cancels one still-queued request of the active session: removes it from
+  /// the admission queue (freeing its capacity slot) and resolves its ticket
+  /// with a kCancelled status, counted in StreamStats::cancelled. Returns
+  /// NotFound when the ticket is not waiting in the queue — already
+  /// dispatched to a worker, already finished, cancelled before, or foreign
+  /// to this session — in which case nothing changes (a dispatched request
+  /// runs to completion; cancellation never interrupts work in flight).
+  /// With dispatch paused (StreamOptions::start_paused) outcomes are a
+  /// deterministic function of the Submit/Cancel sequence.
+  Status Cancel(const std::shared_ptr<AuditTicket>& ticket);
 
   /// Releases a start_paused session's dispatch gate. Idempotent.
   void ResumeDispatch();

@@ -7,8 +7,10 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/bernoulli_statistic.h"
 #include "core/calibration_store.h"
 #include "core/labels.h"
+#include "core/scan_statistic.h"
 
 namespace sfa::core {
 
@@ -82,6 +84,48 @@ uint64_t FamilyFingerprint(const RegionFamily& family) {
   return fp;
 }
 
+CalibrationKey MakeCalibrationKey(const RegionFamily& family,
+                                  const ScanStatistic& statistic,
+                                  const MonteCarloOptions& options) {
+  return MakeCalibrationKey(family, FamilyFingerprint(family), statistic,
+                            options);
+}
+
+CalibrationKey MakeCalibrationKey(const RegionFamily& family,
+                                  uint64_t fingerprint,
+                                  const ScanStatistic& statistic,
+                                  const MonteCarloOptions& options) {
+  SFA_DCHECK(statistic.total_n() == family.num_points());
+  const uint64_t fp = fingerprint;
+  const std::string name = family.Name();
+  const std::string stat_fp = statistic.Fingerprint();
+
+  // Draw-relevant inputs. engine / batch_size / parallel are intentionally
+  // absent: the world engine is bit-identical across them (core/mc_engine.h).
+  // The statistic fingerprint carries everything statistic-specific that
+  // shapes the draws or the arithmetic (kind, direction/class config, view
+  // totals beyond N).
+  uint64_t h = fp;
+  h = Mix(h, statistic.total_n());
+  h = MixBytes(h, stat_fp.data(), stat_fp.size());
+  h = Mix(h, options.num_worlds);
+  h = Mix(h, static_cast<uint64_t>(options.null_model));
+  h = Mix(h, options.seed);
+  h = Mix(h, options.closed_form_cells ? 1u : 0u);
+
+  CalibrationKey key;
+  key.hash = h;
+  key.debug = StrFormat(
+      "family=\"%s\" regions=%zu N=%llu stat=\"%s\" worlds=%u null=%s "
+      "seed=%llu cf=%d fp=%016llx",
+      name.c_str(), family.num_regions(),
+      static_cast<unsigned long long>(statistic.total_n()), stat_fp.c_str(),
+      options.num_worlds, NullModelToString(options.null_model),
+      static_cast<unsigned long long>(options.seed),
+      options.closed_form_cells ? 1 : 0, static_cast<unsigned long long>(fp));
+  return key;
+}
+
 CalibrationKey MakeCalibrationKey(const RegionFamily& family, uint64_t total_n,
                                   uint64_t total_p,
                                   stats::ScanDirection direction,
@@ -95,40 +139,15 @@ CalibrationKey MakeCalibrationKey(const RegionFamily& family,
                                   uint64_t total_p,
                                   stats::ScanDirection direction,
                                   const MonteCarloOptions& options) {
-  SFA_DCHECK(total_n == family.num_points());
-  const uint64_t fp = fingerprint;
-  const std::string name = family.Name();
-
-  // Draw-relevant inputs. engine / batch_size / parallel are intentionally
-  // absent: the world engine is bit-identical across them (core/mc_engine.h).
-  uint64_t h = fp;
-  h = Mix(h, total_n);
-  h = Mix(h, total_p);
-  h = Mix(h, static_cast<uint64_t>(direction));
-  h = Mix(h, options.num_worlds);
-  h = Mix(h, static_cast<uint64_t>(options.null_model));
-  h = Mix(h, options.seed);
-  h = Mix(h, options.closed_form_cells ? 1u : 0u);
-
-  CalibrationKey key;
-  key.hash = h;
-  key.debug = StrFormat(
-      "family=\"%s\" regions=%zu N=%llu P=%llu dir=%s worlds=%u null=%s "
-      "seed=%llu cf=%d fp=%016llx",
-      name.c_str(), family.num_regions(),
-      static_cast<unsigned long long>(total_n),
-      static_cast<unsigned long long>(total_p),
-      stats::ScanDirectionToString(direction), options.num_worlds,
-      NullModelToString(options.null_model),
-      static_cast<unsigned long long>(options.seed),
-      options.closed_form_cells ? 1 : 0, static_cast<unsigned long long>(fp));
-  return key;
+  const BernoulliScanStatistic statistic(direction, total_n, total_p);
+  return MakeCalibrationKey(family, fingerprint, statistic, options);
 }
 
 CalibrationCache::~CalibrationCache() { FlushStore(); }
 
 void CalibrationCache::AttachStore(std::shared_ptr<CalibrationStore> store) {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Contractually before concurrent use, so plain assignment is safe and
+  // GetOrCompute may read store_ without a lock.
   SFA_CHECK_MSG(store_ == nullptr, "CalibrationCache store attached twice");
   store_ = std::move(store);
 }
@@ -144,27 +163,28 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
     const std::function<Result<NullDistribution>()>& compute,
     Source* source) {
   if (source != nullptr) *source = Source::kMemory;
+  Shard& shard = ShardFor(key);
   std::shared_ptr<Slot> slot;
   bool owner = false;
   std::shared_ptr<CalibrationStore> store;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto it = slots_.find(key.debug);
-    if (it == slots_.end()) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.slots.find(key.debug);
+    if (it == shard.slots.end()) {
       slot = std::make_shared<Slot>();
-      slots_.emplace(key.debug, slot);
+      shard.slots.emplace(key.debug, slot);
       owner = true;
-      ++misses_;
+      ++shard.misses;
       store = store_;
     } else {
       slot = it->second;
       if (slot->ready) {
-        ++hits_;
+        ++shard.hits;
         return slot->value;
       }
       // Joining an in-flight computation still counts as a miss: the caller
       // pays (waits for) the simulation rather than being served instantly.
-      ++misses_;
+      ++shard.misses;
     }
   }
 
@@ -180,7 +200,7 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
       from_store = computed.ok();
     }
     if (!from_store) computed = compute();
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(shard.mu);
     if (computed.ok()) {
       slot->value = std::make_shared<const NullDistribution>(
           std::move(computed).value());
@@ -188,14 +208,14 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
       if (source != nullptr) {
         *source = from_store ? Source::kStore : Source::kComputed;
       }
-      if (from_store) ++store_hits_;
+      if (from_store) ++shard.store_hits;
       if (!from_store && store != nullptr) {
         // Write-behind: persist off the compute path. The task captures the
         // store and the immutable value by shared_ptr, so it is self-
         // contained; the TaskGroup ties its lifetime to this cache (flushed
         // in the destructor). Store errors are absorbed — persistence is an
         // optimization, never a correctness dependency.
-        ++store_writes_;
+        ++shard.store_writes;
         std::shared_ptr<const NullDistribution> value = slot->value;
         CalibrationKey key_copy = key;
         DefaultThreadPool().Submit(
@@ -207,49 +227,55 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
     } else {
       slot->status = computed.status();
       // Failed computations are not cached; erase so a later call retries.
-      slots_.erase(key.debug);
+      shard.slots.erase(key.debug);
     }
     slot->ready = true;
-    slot_ready_.notify_all();
+    shard.slot_ready.notify_all();
     if (!slot->status.ok()) return slot->status;
     return slot->value;
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  slot_ready_.wait(lock, [&] { return slot->ready; });
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.slot_ready.wait(lock, [&] { return slot->ready; });
   if (!slot->status.ok()) return slot->status;
   return slot->value;
 }
 
 std::shared_ptr<const NullDistribution> CalibrationCache::Lookup(
     const CalibrationKey& key) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = slots_.find(key.debug);
-  if (it == slots_.end() || !it->second->ready || !it->second->status.ok()) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.slots.find(key.debug);
+  if (it == shard.slots.end() || !it->second->ready ||
+      !it->second->status.ok()) {
     return nullptr;
   }
-  ++hits_;
+  ++shard.hits;
   return it->second->value;
 }
 
 CalibrationCache::Stats CalibrationCache::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.entries = slots_.size();
-  s.store_hits = store_hits_;
-  s.store_writes = store_writes_;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+    s.entries += shard.slots.size();
+    s.store_hits += shard.store_hits;
+    s.store_writes += shard.store_writes;
+  }
   return s;
 }
 
 void CalibrationCache::Clear() {
-  std::unique_lock<std::mutex> lock(mu_);
-  slots_.clear();
-  hits_ = 0;
-  misses_ = 0;
-  store_hits_ = 0;
-  store_writes_ = 0;
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.slots.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.store_hits = 0;
+    shard.store_writes = 0;
+  }
 }
 
 }  // namespace sfa::core

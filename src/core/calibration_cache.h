@@ -16,10 +16,15 @@
 // across all of them (core/mc_engine.h), so requests differing only there
 // still share one calibration. Everything that can shift a drawn value —
 // num_worlds, null model, seed, closed_form_cells (different RNG stream) —
-// is hashed.
+// is hashed, and so is the ScanStatistic's Fingerprint(): the statistic's
+// kind, configuration (direction / class count), and view totals beyond N
+// are part of the calibration identity, so a Bernoulli and a multinomial
+// calibration over the same family and N can never collide in the cache or
+// the persistent store.
 #ifndef SFA_CORE_CALIBRATION_CACHE_H_
 #define SFA_CORE_CALIBRATION_CACHE_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -37,6 +42,7 @@
 namespace sfa::core {
 
 class CalibrationStore;  // core/calibration_store.h
+class ScanStatistic;     // core/scan_statistic.h
 
 /// Content-hashed identity of one null calibration.
 struct CalibrationKey {
@@ -63,14 +69,25 @@ struct CalibrationKey {
 /// (the fingerprint is a pure function of the immutable family).
 uint64_t FamilyFingerprint(const RegionFamily& family);
 
-/// Builds the calibration key for auditing a view with the given totals
-/// against `family`. `total_n` must equal family.num_points().
+/// Builds the calibration key for `statistic` (which carries the view totals
+/// and its own fingerprint; statistic.total_n() must equal
+/// family.num_points()) simulated over `family` with `options`.
+CalibrationKey MakeCalibrationKey(const RegionFamily& family,
+                                  const ScanStatistic& statistic,
+                                  const MonteCarloOptions& options);
+
+/// Same, with a precomputed FamilyFingerprint(family).
+CalibrationKey MakeCalibrationKey(const RegionFamily& family,
+                                  uint64_t fingerprint,
+                                  const ScanStatistic& statistic,
+                                  const MonteCarloOptions& options);
+
+/// Bernoulli convenience overloads (the pre-statistic-layer signatures):
+/// key the binary statistic over (N, P, direction).
 CalibrationKey MakeCalibrationKey(const RegionFamily& family, uint64_t total_n,
                                   uint64_t total_p,
                                   stats::ScanDirection direction,
                                   const MonteCarloOptions& options);
-
-/// Same, with a precomputed FamilyFingerprint(family).
 CalibrationKey MakeCalibrationKey(const RegionFamily& family,
                                   uint64_t fingerprint, uint64_t total_n,
                                   uint64_t total_p,
@@ -83,8 +100,16 @@ CalibrationKey MakeCalibrationKey(const RegionFamily& family,
 /// is deterministic in the key's inputs). Single-flight: concurrent callers
 /// of the same key run the computation once and share its result (or its
 /// error).
+///
+/// Internally striped: slots live in kNumShards independent shards selected
+/// by the key's content hash, each with its own mutex and wakeup CV, so
+/// lookups of distinct keys from many stream workers don't serialize on one
+/// lock. Striping is invisible to callers — single-flight still holds per
+/// key (a key maps to exactly one shard), and stats() aggregates across
+/// shards.
 class CalibrationCache {
  public:
+  static constexpr size_t kNumShards = 16;
   struct Stats {
     uint64_t hits = 0;    ///< lookups served from a finished entry
     uint64_t misses = 0;  ///< lookups that ran (or joined) a computation
@@ -149,18 +174,30 @@ class CalibrationCache {
     bool ready = false;
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable slot_ready_;
-  /// Keyed by the debug rendering (which embeds the content hash), so two
-  /// keys collide only when hash AND rendering agree — CalibrationKey
-  /// equality exactly.
-  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
-  mutable uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t store_hits_ = 0;
-  uint64_t store_writes_ = 0;
-  /// Persistence layer (immutable after AttachStore). Write-behind tasks
-  /// capture the shared_ptr by value, so they stay valid past the cache.
+  /// One lock stripe: its own mutex, single-flight wakeup CV, slot map, and
+  /// stat counters (aggregated by stats()).
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable slot_ready;
+    /// Keyed by the debug rendering (which embeds the content hash), so two
+    /// keys collide only when hash AND rendering agree — CalibrationKey
+    /// equality exactly.
+    std::unordered_map<std::string, std::shared_ptr<Slot>> slots;
+    mutable uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t store_hits = 0;
+    uint64_t store_writes = 0;
+  };
+
+  /// The key's shard. The content hash is already SplitMix64-dispersed, so
+  /// the low bits stripe evenly.
+  Shard& ShardFor(const CalibrationKey& key) const {
+    return shards_[key.hash % kNumShards];
+  }
+
+  mutable std::array<Shard, kNumShards> shards_;
+  /// Persistence layer. Immutable after AttachStore, which the contract
+  /// requires to happen before concurrent use — reads take no lock.
   std::shared_ptr<CalibrationStore> store_;
   /// Outstanding write-behind persists; FlushStore waits on it (helping).
   ThreadPool::TaskGroup store_writes_group_;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -74,7 +75,75 @@ Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
         StrFormat("calibration store path '%s' is not a directory",
                   options.directory.c_str()));
   }
-  return std::unique_ptr<CalibrationStore>(new CalibrationStore(options));
+  auto store = std::unique_ptr<CalibrationStore>(new CalibrationStore(options));
+  if (options.sweep_on_open && options.max_bytes > 0) {
+    // Startup GC: bound a long-lived directory before serving from it.
+    // max_bytes == 0 means unbounded, so the sweep is a no-op then —
+    // EvictToBudget(0) would wipe every frame. A sweep failure is an IO
+    // problem worth surfacing at Open time (the directory was just proven
+    // accessible).
+    auto evicted = store->EvictToBudget(options.max_bytes);
+    if (!evicted.ok()) {
+      return evicted.status().WithContext("startup eviction sweep");
+    }
+  }
+  return store;
+}
+
+Result<uint64_t> CalibrationStore::EvictToBudget(uint64_t budget_bytes) const {
+  struct Frame {
+    std::filesystem::path path;
+    uint64_t size = 0;
+    std::filesystem::file_time_type mtime;
+  };
+  std::vector<Frame> frames;
+  uint64_t total_bytes = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory, ec)) {
+    if (entry.path().extension() != ".nulldist") continue;
+    std::error_code entry_ec;
+    Frame frame;
+    frame.path = entry.path();
+    frame.size = entry.file_size(entry_ec);
+    if (entry_ec) continue;  // raced a concurrent eviction/rename
+    frame.mtime = entry.last_write_time(entry_ec);
+    if (entry_ec) continue;
+    total_bytes += frame.size;
+    frames.push_back(std::move(frame));
+  }
+  if (ec) {
+    return Status::IOError(
+        StrFormat("cannot list calibration store directory '%s': %s",
+                  options_.directory.c_str(), ec.message().c_str()));
+  }
+
+  // Oldest mtime first; name breaks ties so the sweep order is deterministic
+  // on filesystems with coarse timestamps.
+  std::sort(frames.begin(), frames.end(), [](const Frame& a, const Frame& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.native() < b.path.native();
+  });
+
+  uint64_t deleted = 0;
+  uint64_t reclaimed = 0;
+  for (const Frame& frame : frames) {
+    if (total_bytes <= budget_bytes) break;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(frame.path, remove_ec) && !remove_ec) {
+      ++deleted;
+      reclaimed += frame.size;
+    }
+    // A failed or raced removal still reduces the accounted total: the goal
+    // is a bounded directory, and the next sweep re-measures from disk.
+    total_bytes -= frame.size;
+  }
+  if (deleted > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.evicted_files += deleted;
+    stats_.evicted_bytes += reclaimed;
+  }
+  return deleted;
 }
 
 std::string CalibrationStore::FilePathFor(const CalibrationKey& key) const {
@@ -165,6 +234,11 @@ Result<NullDistribution> CalibrationStore::Load(
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.load_hits;
   }
+  // LRU touch (best-effort): a served frame counts as recently used, so
+  // EvictToBudget's mtime ordering approximates true LRU, not FIFO.
+  std::error_code touch_ec;
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now(), touch_ec);
   // The ctor re-sorts descending — a no-op for a well-formed frame, and it
   // restores the class invariant even if a hand-edited file reordered values.
   return NullDistribution(std::move(maxima));

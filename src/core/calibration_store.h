@@ -39,15 +39,27 @@ namespace sfa::core {
 
 class CalibrationStore {
  public:
-  /// Bumped whenever the frame layout changes; loaders reject every other
-  /// version (forward AND backward) as NotFound so mixed-version fleets
-  /// sharing a directory degrade to recompute, never to misparse.
-  static constexpr uint32_t kFormatVersion = 1;
+  /// Bumped whenever the frame layout OR the keyspace semantics change;
+  /// loaders reject every other version (forward AND backward) as NotFound
+  /// so mixed-version fleets sharing a directory degrade to recompute, never
+  /// to misparse. v1 → v2: calibration keys embed the ScanStatistic
+  /// fingerprint (core/scan_statistic.h), so v1 frames — keyed without a
+  /// statistic identity — must never be adopted by a statistic-aware reader.
+  static constexpr uint32_t kFormatVersion = 2;
 
   struct Options {
     std::string directory;
     /// Create the directory (and parents) on Open when absent.
     bool create_if_missing = true;
+    /// Size budget for eviction sweeps (total bytes of calibration frames);
+    /// 0 = unbounded. Enforced by EvictToBudget and the startup sweep — not
+    /// continuously on writes.
+    uint64_t max_bytes = 0;
+    /// Run EvictToBudget(max_bytes) during Open, so a long-lived directory
+    /// no longer grows without bound across process generations. A no-op
+    /// when max_bytes == 0 (unbounded) — an explicit EvictToBudget(0) call
+    /// is the only way to clear everything.
+    bool sweep_on_open = false;
   };
 
   /// Cumulative counters (monotone over the store's lifetime; thread-safe).
@@ -57,6 +69,8 @@ class CalibrationStore {
     uint64_t load_rejected = 0;  ///< loads with a file that failed validation
     uint64_t stores = 0;         ///< successful writes
     uint64_t store_failures = 0; ///< writes that returned an error
+    uint64_t evicted_files = 0;  ///< frames deleted by eviction sweeps
+    uint64_t evicted_bytes = 0;  ///< bytes reclaimed by eviction sweeps
   };
 
   /// Opens (and optionally creates) a store directory.
@@ -77,6 +91,15 @@ class CalibrationStore {
 
   /// The file a key maps to (exposed for tests and manifests).
   std::string FilePathFor(const CalibrationKey& key) const;
+
+  /// Size-capped LRU sweep: deletes calibration frames — least-recently-used
+  /// first, judged by filesystem mtime (Store writes and Load hits both
+  /// refresh it), ties broken by name for determinism — until the total
+  /// bytes of `.nulldist` files is <= budget_bytes. Concurrent-writer safe:
+  /// a frame evicted while another process still wants it costs that process
+  /// one recompute (the cache's NotFound→recompute contract), never a wrong
+  /// result. Returns the number of files deleted.
+  Result<uint64_t> EvictToBudget(uint64_t budget_bytes) const;
 
   Stats stats() const;
 

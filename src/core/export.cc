@@ -71,10 +71,21 @@ std::string FindingsToGeoJson(const std::vector<RegionFinding>& findings) {
     out += StrFormat(
         "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
         "\"coordinates\":%s},\"properties\":{\"rank\":%zu,\"n\":%llu,"
-        "\"p\":%llu,\"local_rate\":%.6f,\"llr\":%.6f,\"label\":\"%s\"}}",
+        "\"p\":%llu,\"local_rate\":%.6f,\"llr\":%.6f,\"label\":\"%s\"",
         RectRingCoordinates(f.rect).c_str(), i + 1,
         static_cast<unsigned long long>(f.n), static_cast<unsigned long long>(f.p),
         f.local_rate, f.llr, JsonEscape(f.label).c_str());
+    if (!f.class_counts.empty()) {
+      // Multinomial findings carry the per-class counts inside the region.
+      out += ",\"class_counts\":[";
+      for (size_t k = 0; k < f.class_counts.size(); ++k) {
+        if (k > 0) out += ',';
+        out += StrFormat("%llu",
+                         static_cast<unsigned long long>(f.class_counts[k]));
+      }
+      out += ']';
+    }
+    out += "}}";
   }
   out += "]}";
   return out;

@@ -1,231 +1,20 @@
 #include "core/mc_engine.h"
 
 #include <algorithm>
-#include <memory>
 
-#include "common/macros.h"
-#include "common/random.h"
 #include "common/thread_pool.h"
-#include "stats/distributions.h"
+#include "core/bernoulli_statistic.h"
 
 namespace sfa::core {
 
-namespace {
-
-/// Max Λ over all regions from a row of positive counts, using the shared
-/// k·log k table. Region point counts are pre-gathered into `region_n` so the
-/// hot loop makes no virtual calls.
-double MaxLlrFromCounts(const uint64_t* positives,
-                        const std::vector<uint64_t>& region_n, uint64_t total_n,
-                        uint64_t total_p, stats::ScanDirection direction,
-                        const stats::LogLikelihoodTable& table) {
-  double max_llr = 0.0;
-  const size_t num_regions = region_n.size();
-  // Inlined table LLR with the per-world constant null term hoisted out of
-  // the region loop. Operation order matches
-  // stats::BernoulliLogLikelihoodRatio(counts, direction, table) exactly —
-  // (ll_in + ll_out) - null with the same gating — so maxima are bit-equal
-  // to the stats-layer evaluation (asserted by test_mc_engine.cc).
-  const double null_ll = table.MaxBernoulliLogLikelihood(total_p, total_n);
-  for (size_t r = 0; r < num_regions; ++r) {
-    const uint64_t n = region_n[r];
-    const uint64_t p = positives[r];
-    const uint64_t n_out = total_n - n;
-    const uint64_t p_out = total_p - p;
-    if (n == 0 || n_out == 0) continue;
-    const auto lhs = static_cast<unsigned __int128>(p) * n_out;
-    const auto rhs = static_cast<unsigned __int128>(p_out) * n;
-    if (lhs == rhs) continue;
-    if (direction == stats::ScanDirection::kHigh && lhs < rhs) continue;
-    if (direction == stats::ScanDirection::kLow && lhs > rhs) continue;
-    const double llr = table.MaxBernoulliLogLikelihood(p, n) +
-                       table.MaxBernoulliLogLikelihood(p_out, n_out) - null_ll;
-    if (llr > max_llr) max_llr = llr;
-  }
-  return max_llr;
-}
-
-/// Per-cell Binomial(n_c, ρ) samplers, built once per simulation: (n_c, ρ)
-/// never change across worlds, so each cell's alias table turns every world's
-/// draw into one uniform + two loads (stats::FixedBinomialSampler). The last
-/// sampler covers the points outside every cell (they shift total P only).
-struct CellSamplerBank {
-  std::vector<stats::FixedBinomialSampler> cells;
-  stats::FixedBinomialSampler outside;
-
-  CellSamplerBank(const CellDecomposition& decomposition, double rho) {
-    cells.reserve(decomposition.cell_counts.size());
-    for (uint32_t n_c : decomposition.cell_counts) {
-      cells.emplace_back(n_c, rho);
-    }
-    if (decomposition.num_outside > 0) {
-      outside = stats::FixedBinomialSampler(decomposition.num_outside, rho);
-    }
-  }
-};
-
-/// Draws one closed-form Bernoulli null world over a cell decomposition.
-/// Returns the world's total positive count. Cell order is fixed, so for a
-/// given per-world RNG the draw is identical in every engine.
-uint64_t DrawCellWorld(const CellSamplerBank& bank, Rng* rng,
-                       uint32_t* cell_positives) {
-  uint64_t total_p = 0;
-  const size_t num_cells = bank.cells.size();
-  for (size_t c = 0; c < num_cells; ++c) {
-    const auto p = static_cast<uint32_t>(bank.cells[c].Draw(rng));
-    cell_positives[c] = p;
-    total_p += p;
-  }
-  total_p += bank.outside.Draw(rng);
-  return total_p;
-}
-
-/// Everything per-world execution needs, precomputed once per simulation and
-/// shared read-only across worker threads.
-struct SimulationContext {
-  const RegionFamily& family;
-  double rho;
-  uint64_t total_positives;
-  stats::ScanDirection direction;
-  const MonteCarloOptions& options;
-  stats::LogLikelihoodTable table;
-  std::vector<uint64_t> region_n;
-  const CellDecomposition* cells;  // non-null => closed-form sampling
-  std::unique_ptr<CellSamplerBank> samplers;  // non-null iff cells is
-  Rng root;
-
-  SimulationContext(const RegionFamily& family_in, double rho_in,
-                    uint64_t total_positives_in, stats::ScanDirection direction_in,
-                    const MonteCarloOptions& options_in)
-      : family(family_in),
-        rho(rho_in),
-        total_positives(total_positives_in),
-        direction(direction_in),
-        options(options_in),
-        table(family_in.num_points()),
-        cells(options_in.closed_form_cells &&
-                      options_in.null_model == NullModel::kBernoulli
-                  ? family_in.cell_decomposition()
-                  : nullptr),
-        root(options_in.seed) {
-    region_n.resize(family.num_regions());
-    for (size_t r = 0; r < region_n.size(); ++r) region_n[r] = family.PointCount(r);
-    if (cells != nullptr) {
-      samplers = std::make_unique<CellSamplerBank>(*cells, rho);
-    }
-  }
-};
-
-// ------------------------------------------------------------- reference ---
-
-/// The reference strategy: one world at a time, fresh buffers per world, the
-/// family's scalar counting interface. Kept as the semantic baseline the
-/// batched engine must match bit-for-bit.
-void RunWorldReference(const SimulationContext& ctx, size_t w,
-                       std::vector<double>* max_llrs) {
-  Rng rng = ctx.root.Split(w);
-  const size_t num_regions = ctx.family.num_regions();
-  const uint64_t total_n = ctx.family.num_points();
-  if (ctx.cells != nullptr) {
-    std::vector<uint32_t> cell_positives(ctx.cells->cell_counts.size());
-    const uint64_t total_p =
-        DrawCellWorld(*ctx.samplers, &rng, cell_positives.data());
-    std::vector<uint64_t> counts(num_regions);
-    ctx.family.CountPositivesFromCells(cell_positives.data(), counts.data());
-    (*max_llrs)[w] = MaxLlrFromCounts(counts.data(), ctx.region_n, total_n, total_p,
-                                      ctx.direction, ctx.table);
-    return;
-  }
-  const Labels labels =
-      ctx.options.null_model == NullModel::kBernoulli
-          ? Labels::SampleBernoulli(total_n, ctx.rho, &rng)
-          : Labels::SamplePermutation(total_n, ctx.total_positives, &rng);
-  std::vector<uint64_t> counts;
-  ctx.family.CountPositives(labels, &counts);
-  (*max_llrs)[w] = MaxLlrFromCounts(counts.data(), ctx.region_n, total_n,
-                                    labels.positive_count(), ctx.direction,
-                                    ctx.table);
-}
-
-// --------------------------------------------------------------- batched ---
-
-/// Thread-local buffer pool: label worlds, count rows, cell draws, and the
-/// permutation shuffle buffer all live here, so after a worker's first batch
-/// the steady state allocates nothing.
-struct BatchArena {
-  std::vector<Labels> labels;
-  std::vector<const Labels*> label_ptrs;
-  std::vector<uint64_t> counts;          // batch x num_regions, row-major
-  std::vector<uint32_t> cell_positives;  // one world's cell draws
-  std::vector<uint64_t> region_counts;   // one world's folded region counts
-  std::vector<uint32_t> perm_scratch;
-};
-
-BatchArena& LocalArena() {
-  static thread_local BatchArena arena;
-  return arena;
-}
-
-void RunBatch(const SimulationContext& ctx, size_t batch_index, size_t batch_size,
-              std::vector<double>* max_llrs) {
-  const size_t w_lo = batch_index * batch_size;
-  const size_t w_hi = std::min<size_t>(max_llrs->size(), w_lo + batch_size);
-  const size_t worlds = w_hi - w_lo;
-  const size_t num_regions = ctx.family.num_regions();
-  const uint64_t total_n = ctx.family.num_points();
-  BatchArena& arena = LocalArena();
-
-  if (ctx.cells != nullptr) {
-    // Closed-form worlds: O(cells) sampling dominates and has no cross-world
-    // memory traffic to amortize, so the batch is a plain loop over pooled
-    // buffers.
-    arena.cell_positives.resize(ctx.cells->cell_counts.size());
-    arena.region_counts.resize(num_regions);
-    for (size_t w = w_lo; w < w_hi; ++w) {
-      Rng rng = ctx.root.Split(w);
-      const uint64_t total_p =
-          DrawCellWorld(*ctx.samplers, &rng, arena.cell_positives.data());
-      ctx.family.CountPositivesFromCells(arena.cell_positives.data(),
-                                         arena.region_counts.data());
-      (*max_llrs)[w] = MaxLlrFromCounts(arena.region_counts.data(), ctx.region_n,
-                                        total_n, total_p, ctx.direction, ctx.table);
-    }
-    return;
-  }
-
-  if (arena.labels.size() < worlds) arena.labels.resize(worlds);
-  arena.label_ptrs.resize(worlds);
-  arena.counts.resize(worlds * num_regions);
-  for (size_t j = 0; j < worlds; ++j) {
-    Rng rng = ctx.root.Split(w_lo + j);
-    if (ctx.options.null_model == NullModel::kBernoulli) {
-      arena.labels[j].ResampleBernoulli(total_n, ctx.rho, &rng);
-    } else {
-      arena.labels[j].ResamplePermutation(total_n, ctx.total_positives, &rng,
-                                          &arena.perm_scratch);
-    }
-    arena.label_ptrs[j] = &arena.labels[j];
-  }
-  ctx.family.CountPositivesBatch(arena.label_ptrs.data(), worlds,
-                                 arena.counts.data());
-  for (size_t j = 0; j < worlds; ++j) {
-    (*max_llrs)[w_lo + j] = MaxLlrFromCounts(
-        arena.counts.data() + j * num_regions, ctx.region_n, total_n,
-        arena.labels[j].positive_count(), ctx.direction, ctx.table);
-  }
-}
-
-}  // namespace
-
-std::vector<double> RunMonteCarloWorlds(const RegionFamily& family, double rho,
-                                        uint64_t total_positives,
-                                        stats::ScanDirection direction,
+std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
                                         const MonteCarloOptions& options) {
-  const SimulationContext ctx(family, rho, total_positives, direction, options);
   std::vector<double> max_llrs(options.num_worlds, 0.0);
 
   if (options.engine == McEngine::kReference) {
-    auto run_world = [&](size_t w) { RunWorldReference(ctx, w, &max_llrs); };
+    auto run_world = [&](size_t w) {
+      max_llrs[w] = simulation.RunWorldReference(w);
+    };
     if (options.parallel) {
       DefaultThreadPool().ParallelFor(max_llrs.size(), run_world);
     } else {
@@ -236,13 +25,28 @@ std::vector<double> RunMonteCarloWorlds(const RegionFamily& family, double rho,
 
   const size_t batch_size = std::max<uint32_t>(1, options.batch_size);
   const size_t num_batches = (max_llrs.size() + batch_size - 1) / batch_size;
-  auto run_batch = [&](size_t g) { RunBatch(ctx, g, batch_size, &max_llrs); };
+  auto run_batch = [&](size_t g) {
+    const size_t w_lo = g * batch_size;
+    const size_t w_hi = std::min<size_t>(max_llrs.size(), w_lo + batch_size);
+    simulation.RunWorldBatch(w_lo, w_hi, max_llrs.data());
+  };
   if (options.parallel) {
     DefaultThreadPool().ParallelFor(num_batches, run_batch);
   } else {
     for (size_t g = 0; g < num_batches; ++g) run_batch(g);
   }
   return max_llrs;
+}
+
+std::vector<double> RunMonteCarloWorlds(const RegionFamily& family, double rho,
+                                        uint64_t total_positives,
+                                        stats::ScanDirection direction,
+                                        const MonteCarloOptions& options) {
+  const BernoulliScanStatistic statistic(direction, family.num_points(),
+                                         total_positives, rho);
+  const std::unique_ptr<StatisticSimulation> simulation =
+      statistic.MakeSimulation(family, options);
+  return RunMonteCarloWorlds(*simulation, options);
 }
 
 }  // namespace sfa::core

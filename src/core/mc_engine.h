@@ -1,36 +1,28 @@
-// The Monte Carlo world engine: simulates the null distribution of the max
-// scan statistic for a region family (paper §3), organized around three
-// cost levers the naive per-world loop leaves on the table:
+// The generic Monte Carlo world engine: runs any ScanStatistic's per-
+// simulation context (StatisticSimulation) over options.num_worlds null
+// worlds, organized around the statistic-agnostic cost levers:
 //
-//   closed-form null sampling   partition-structured families under the
-//                               Bernoulli null never label points — each
-//                               cell's positive count is an independent
-//                               Binomial(n_c, ρ) draw, O(cells) per world
-//                               instead of O(N);
-//   log-table LLR               every count is an integer <= N, so Λ(R) is
-//                               evaluated from a shared k·log k table
-//                               (stats::LogLikelihoodTable) with zero
-//                               std::log calls per region;
 //   allocation-free batches     worlds are processed in batches of B through
-//                               RegionFamily::CountPositivesBatch, with all
-//                               per-world buffers (labels, counts, shuffle
-//                               scratch) pooled in thread-local arenas;
-//   sparse positive scatter     overlapping families (squares, kNN circles)
-//                               default to the annulus CSR backend
-//                               (core/annulus_index.h): each batched world is
-//                               counted by scattering its positive point ids —
-//                               Labels' sparse view — into per-center annulus
-//                               histograms, O(positive entries) per world with
-//                               no dense label bits; batches parallelize the
-//                               scatter across worker threads like any other
-//                               counting backend.
+//                               the simulation's RunWorldBatch, whose
+//                               per-world buffers live in statistic-owned
+//                               thread-local arenas;
+//   two-level parallelism       batches fan out on the shared thread pool
+//                               (options.parallel), nested safely inside
+//                               pipeline-level parallelism via the pool's
+//                               helping WaitGroup.
+//
+// The statistic-specific levers — closed-form per-cell null sampling, the
+// shared k·log k LLR table, sparse positive scatter — live inside the
+// StatisticSimulation implementations (core/bernoulli_statistic.cc,
+// core/multinomial_statistic.cc).
 //
 // Both execution strategies — the batched engine and the plain per-world
 // reference — draw each world's randomness from the same per-world RNG
-// substream (Rng::Split(world)) and evaluate Λ through the same table, so
-// their NullDistributions are bit-identical for a fixed seed, independent of
+// substream (Rng::Split(world)) inside the simulation, so their
+// NullDistributions are bit-identical for a fixed seed, independent of
 // batch size, thread count, and parallel on/off (test_mc_engine.cc enforces
-// this across every bundled family and both null models).
+// this for Bernoulli across every bundled family and both null models;
+// test_scan_statistic.cc for multinomial).
 #ifndef SFA_CORE_MC_ENGINE_H_
 #define SFA_CORE_MC_ENGINE_H_
 
@@ -38,13 +30,21 @@
 #include <vector>
 
 #include "core/region_family.h"
+#include "core/scan_statistic.h"
 #include "core/significance.h"
 #include "stats/bernoulli_scan.h"
 
 namespace sfa::core {
 
-/// Simulates options.num_worlds null worlds and returns their max statistics
-/// in world order (unsorted). Inputs are assumed validated by SimulateNull.
+/// Runs `simulation` over options.num_worlds null worlds and returns their
+/// max statistics in world order (unsorted). Inputs are assumed validated by
+/// SimulateNull.
+std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
+                                        const MonteCarloOptions& options);
+
+/// Bernoulli convenience wrapper (the pre-statistic-layer signature, kept
+/// for the ablation harnesses and engine tests): simulates the binary
+/// statistic at an explicit null rate `rho`.
 std::vector<double> RunMonteCarloWorlds(const RegionFamily& family, double rho,
                                         uint64_t total_positives,
                                         stats::ScanDirection direction,

@@ -1,52 +1,34 @@
 #include "core/multiclass.h"
 
-#include <algorithm>
-#include <limits>
+#include <utility>
 
 #include "common/macros.h"
-#include "common/random.h"
 #include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "spatial/grid_index.h"
-#include "stats/multinomial_scan.h"
+#include "core/grid_family.h"
 
 namespace sfa::core {
 
-namespace {
-
-// Per-cell per-class counts under a class assignment, then the max (and
-// optionally all) multinomial LLRs. `counts` is a scratch of
-// num_cells * num_classes entries, zeroed here. The comparison totals are
-// recomputed from `classes` so simulated worlds are self-consistent.
-double ScanCells(const spatial::GridIndex& index, const std::vector<uint8_t>& classes,
-                 uint32_t num_classes, std::vector<uint64_t>* counts,
-                 std::vector<double>* llrs_out) {
-  std::vector<uint64_t> totals(num_classes, 0);
-  for (uint8_t c : classes) ++totals[c];
-  const uint32_t num_cells = index.grid().num_cells();
-  counts->assign(static_cast<size_t>(num_cells) * num_classes, 0);
-  const auto& assignments = index.cell_assignments();
-  for (size_t i = 0; i < assignments.size(); ++i) {
-    const uint32_t cell = assignments[i];
-    if (cell != geo::GridSpec::kInvalidCell) {
-      ++(*counts)[static_cast<size_t>(cell) * num_classes + classes[i]];
-    }
+MulticlassAuditResult ToMulticlassResult(const AuditResult& result) {
+  MulticlassAuditResult out;
+  out.spatially_fair = result.spatially_fair;
+  out.p_value = result.p_value;
+  out.tau = result.tau;
+  out.critical_value = result.critical_value;
+  out.alpha = result.alpha;
+  out.total_n = result.total_n;
+  out.class_distribution = result.class_distribution;
+  out.findings.reserve(result.findings.size());
+  for (const RegionFinding& finding : result.findings) {
+    MulticlassFinding f;
+    f.cell = static_cast<uint32_t>(finding.region_index);
+    f.rect = finding.rect;
+    f.n = finding.n;
+    f.class_counts = finding.class_counts;
+    f.llr = finding.llr;
+    out.findings.push_back(std::move(f));
   }
-  if (llrs_out != nullptr) llrs_out->assign(num_cells, 0.0);
-  double max_llr = 0.0;
-  std::vector<uint64_t> inside(num_classes);
-  for (uint32_t cell = 0; cell < num_cells; ++cell) {
-    for (uint32_t k = 0; k < num_classes; ++k) {
-      inside[k] = (*counts)[static_cast<size_t>(cell) * num_classes + k];
-    }
-    const double llr = stats::MultinomialLogLikelihoodRatio(inside, totals);
-    if (llrs_out != nullptr) (*llrs_out)[cell] = llr;
-    max_llr = std::max(max_llr, llr);
-  }
-  return max_llr;
+  return out;
 }
-
-}  // namespace
 
 Result<MulticlassAuditResult> AuditMulticlassGrid(
     const std::vector<geo::Point>& locations, const std::vector<uint8_t>& classes,
@@ -57,87 +39,26 @@ Result<MulticlassAuditResult> AuditMulticlassGrid(
         StrFormat("locations (%zu) and classes (%zu) must be parallel",
                   locations.size(), classes.size()));
   }
-  if (num_classes < 2) {
-    return Status::InvalidArgument("need at least 2 outcome classes");
-  }
-  for (uint8_t c : classes) {
-    if (c >= num_classes) {
-      return Status::InvalidArgument(
-          StrFormat("class value %u outside [0, %u)", c, num_classes));
-    }
-  }
-  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
-    return Status::InvalidArgument("alpha must be in (0, 1)");
-  }
-  if (options.monte_carlo.num_worlds == 0) {
-    return Status::InvalidArgument("Monte Carlo needs at least one world");
+
+  // The outcome view: locations + class ids in the predicted slot (the
+  // multinomial statistic's outcome stream).
+  data::OutcomeDataset view("multiclass");
+  for (size_t i = 0; i < locations.size(); ++i) {
+    view.Add(locations[i], classes[i]);
   }
 
-  geo::Rect extent = geo::Rect::BoundingBox(locations);
-  extent.max_x += std::max(extent.width(), 1e-12) * 1e-9;
-  extent.max_y += std::max(extent.height(), 1e-12) * 1e-9;
-  SFA_ASSIGN_OR_RETURN(geo::GridSpec grid,
-                       geo::GridSpec::Create(extent, options.grid_x, options.grid_y));
-  const spatial::GridIndex index(grid, locations);
+  SFA_ASSIGN_OR_RETURN(
+      std::unique_ptr<GridPartitionFamily> family,
+      GridPartitionFamily::Create(locations, options.grid_x, options.grid_y));
 
-  MulticlassAuditResult result;
-  result.alpha = options.alpha;
-  result.total_n = locations.size();
-  std::vector<uint64_t> totals(num_classes, 0);
-  for (uint8_t c : classes) ++totals[c];
-  result.class_distribution.resize(num_classes);
-  for (uint32_t k = 0; k < num_classes; ++k) {
-    result.class_distribution[k] =
-        static_cast<double>(totals[k]) / static_cast<double>(locations.size());
-  }
-
-  // Observed world.
-  std::vector<uint64_t> scratch;
-  std::vector<double> observed_llrs;
-  result.tau = ScanCells(index, classes, num_classes, &scratch, &observed_llrs);
-
-  // Null worlds: classes redrawn i.i.d. from the global distribution.
-  std::vector<double> null_max(options.monte_carlo.num_worlds, 0.0);
-  Rng root(options.monte_carlo.seed);
-  auto run_world = [&](size_t w) {
-    Rng rng = root.Split(w);
-    std::vector<uint8_t> fake(classes.size());
-    for (auto& c : fake) {
-      c = static_cast<uint8_t>(rng.Categorical(result.class_distribution));
-    }
-    std::vector<uint64_t> world_scratch;
-    null_max[w] = ScanCells(index, fake, num_classes, &world_scratch, nullptr);
-  };
-  if (options.monte_carlo.parallel) {
-    DefaultThreadPool().ParallelFor(options.monte_carlo.num_worlds, run_world);
-  } else {
-    for (size_t w = 0; w < options.monte_carlo.num_worlds; ++w) run_world(w);
-  }
-
-  const NullDistribution null_dist(std::move(null_max));
-  result.p_value = null_dist.PValue(result.tau);
-  result.spatially_fair = result.p_value > options.alpha;
-  result.critical_value = null_dist.CriticalValue(options.alpha);
-
-  for (uint32_t cell = 0; cell < grid.num_cells(); ++cell) {
-    if (!(observed_llrs[cell] > result.critical_value)) continue;
-    MulticlassFinding finding;
-    finding.cell = cell;
-    finding.rect = grid.CellRectById(cell);
-    finding.llr = observed_llrs[cell];
-    finding.class_counts.resize(num_classes);
-    for (uint32_t k = 0; k < num_classes; ++k) {
-      finding.class_counts[k] =
-          scratch[static_cast<size_t>(cell) * num_classes + k];
-      finding.n += finding.class_counts[k];
-    }
-    result.findings.push_back(std::move(finding));
-  }
-  std::sort(result.findings.begin(), result.findings.end(),
-            [](const MulticlassFinding& a, const MulticlassFinding& b) {
-              return a.llr > b.llr;
-            });
-  return result;
+  AuditOptions audit_options;
+  audit_options.alpha = options.alpha;
+  audit_options.statistic = StatisticKind::kMultinomial;
+  audit_options.num_classes = num_classes;
+  audit_options.monte_carlo = options.monte_carlo;
+  SFA_ASSIGN_OR_RETURN(AuditResult result,
+                       Auditor(audit_options).AuditView(view, *family));
+  return ToMulticlassResult(result);
 }
 
 }  // namespace sfa::core

@@ -6,9 +6,13 @@
 // paper's related work on mixture areas (Xie et al. 2020; Skoutas et al.
 // 2021) targets exactly such categorical spatial patterns.
 //
-// The scan runs over the cells of a regular grid. The null draws every
-// individual's class i.i.d. from the global empirical class distribution;
-// significance is Monte Carlo, as in the binary audit.
+// AuditMulticlassGrid is a thin grid-shaped adapter over the unified
+// Auditor path with StatisticKind::kMultinomial
+// (core/multinomial_statistic.h): the same audit runs against ANY
+// RegionFamily — and through the AuditPipeline with calibration
+// caching/persistence and streaming Submit() — by setting
+// AuditOptions::statistic/num_classes on an ordinary request; this entry
+// point survives for grid-only callers and one-shot scripts.
 #ifndef SFA_CORE_MULTICLASS_H_
 #define SFA_CORE_MULTICLASS_H_
 
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/audit.h"
 #include "core/significance.h"
 #include "geo/grid.h"
 #include "geo/point.h"
@@ -51,11 +56,18 @@ struct MulticlassAuditResult {
 };
 
 /// Audits whether the class distribution of `classes` (values in
-/// [0, num_classes)) is independent of location. `locations` and `classes`
-/// must be parallel and non-empty; num_classes >= 2.
+/// [0, num_classes)) is independent of location, over a grid_x × grid_y
+/// grid. `locations` and `classes` must be parallel and non-empty;
+/// num_classes >= 2. Equivalent to a multinomial AuditView over a
+/// GridPartitionFamily (a test pins the equivalence).
 Result<MulticlassAuditResult> AuditMulticlassGrid(
     const std::vector<geo::Point>& locations, const std::vector<uint8_t>& classes,
     uint32_t num_classes, const MulticlassAuditOptions& options);
+
+/// The adapter's conversion, exposed so pipeline callers auditing with
+/// StatisticKind::kMultinomial can render their AuditResult in the
+/// grid-audit shape.
+MulticlassAuditResult ToMulticlassResult(const AuditResult& result);
 
 }  // namespace sfa::core
 

@@ -1,0 +1,85 @@
+// The multinomial (K-class) scan statistic behind the pluggable
+// ScanStatistic interface — the multi-class generalization the paper's
+// Bernoulli test derives from (Jung, Kulldorff & Richard 2010; paper §2.3).
+// Where the binary audit asks whether the rate of one outcome is independent
+// of location, this audits whether the full outcome DISTRIBUTION (a
+// classifier's predicted class mix, a recommender's category mix) is.
+//
+// Because it implements ScanStatistic, a multinomial audit inherits the
+// entire performance and serving stack: any RegionFamily (not just grids),
+// the batched Monte Carlo engine with closed-form per-cell multinomial
+// sampling, CalibrationCache/CalibrationStore sharing, and the streaming
+// Submit() path.
+//
+//   statistic      Λ(R) = Σ_k [c_k log(c_k/n) + d_k log(d_k/m)
+//                              − C_k log(C_k/N)],
+//                  with c/d/C the inside/outside/total class counts and
+//                  0·log 0 := 0 — evaluated through the shared k·log k table
+//                  (Σ_k t[c_k] − t[n] form) so observed-vs-null ties are
+//                  exact, mirroring the Bernoulli arithmetic contract;
+//   null worlds    classes redrawn i.i.d. from the global empirical
+//                  distribution q (NullModel::kBernoulli — closed-form
+//                  chained-binomial Multinomial(n_c, q) per cell for
+//                  cell-decomposable families, per-point Categorical draws
+//                  otherwise) or permuted exactly (kPermutation);
+//   counting       per-class region counts reuse the family's binary
+//                  counting paths: K−1 indicator label worlds per drawn
+//                  world (the last class is derived from n(R)), batched
+//                  through CountPositivesBatch;
+//   identity       "multinomial K=<K> C=<c0,c1,...>" — the class totals are
+//                  part of the calibration identity, so a multinomial
+//                  calibration can never collide with a Bernoulli one.
+#ifndef SFA_CORE_MULTINOMIAL_STATISTIC_H_
+#define SFA_CORE_MULTINOMIAL_STATISTIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scan_statistic.h"
+
+namespace sfa::core {
+
+class MultinomialScanStatistic : public ScanStatistic {
+ public:
+  /// Statistic for a view whose class-k outcome appears class_totals[k]
+  /// times; K = class_totals.size() >= 2, N = Σ class_totals.
+  explicit MultinomialScanStatistic(std::vector<uint64_t> class_totals);
+
+  /// Builds from the raw outcome stream: counts per-class totals and
+  /// validates every value lies in [0, num_classes).
+  static Result<std::unique_ptr<MultinomialScanStatistic>> FromOutcomes(
+      const uint8_t* outcomes, size_t n, uint32_t num_classes);
+
+  StatisticKind kind() const override { return StatisticKind::kMultinomial; }
+  std::string Name() const override;
+  std::string Fingerprint() const override;
+  uint64_t total_n() const override { return total_n_; }
+  uint32_t num_classes() const {
+    return static_cast<uint32_t>(class_totals_.size());
+  }
+  const std::vector<uint64_t>& class_totals() const { return class_totals_; }
+
+  Status ValidateOutcomes(const uint8_t* outcomes, size_t n) const override;
+  Status ValidateForFamily(const RegionFamily& family) const override;
+  ScanResult ScanObserved(const RegionFamily& family, const uint8_t* outcomes,
+                          size_t n, AuditScratch* scratch) const override;
+  std::unique_ptr<StatisticSimulation> MakeSimulation(
+      const RegionFamily& family,
+      const MonteCarloOptions& options) const override;
+  void FillFinding(const RegionFamily& family, const ScanResult& observed,
+                   size_t region, RegionFinding* finding) const override;
+  std::vector<double> ClassDistribution() const override {
+    return class_distribution_;
+  }
+
+ private:
+  std::vector<uint64_t> class_totals_;
+  std::vector<double> class_distribution_;  ///< q_k = C_k / N
+  uint64_t total_n_ = 0;
+};
+
+}  // namespace sfa::core
+
+#endif  // SFA_CORE_MULTINOMIAL_STATISTIC_H_

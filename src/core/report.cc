@@ -10,10 +10,21 @@ std::string FormatAuditSummary(const AuditResult& result,
                                const std::string& dataset_name) {
   std::string out;
   out += StrFormat("=== Spatial fairness audit: %s ===\n", dataset_name.c_str());
-  out += StrFormat("  N = %s individuals, P = %s positive, rho = %.4f\n",
-                   WithThousands(static_cast<int64_t>(result.total_n)).c_str(),
-                   WithThousands(static_cast<int64_t>(result.total_p)).c_str(),
-                   result.overall_rate);
+  if (result.statistic == StatisticKind::kMultinomial) {
+    out += StrFormat("  N = %s individuals, %zu outcome classes (",
+                     WithThousands(static_cast<int64_t>(result.total_n)).c_str(),
+                     result.class_distribution.size());
+    for (size_t k = 0; k < result.class_distribution.size(); ++k) {
+      out += StrFormat(k == 0 ? "%.3f" : ", %.3f",
+                       result.class_distribution[k]);
+    }
+    out += ")\n";
+  } else {
+    out += StrFormat("  N = %s individuals, P = %s positive, rho = %.4f\n",
+                     WithThousands(static_cast<int64_t>(result.total_n)).c_str(),
+                     WithThousands(static_cast<int64_t>(result.total_p)).c_str(),
+                     result.overall_rate);
+  }
   out += StrFormat("  tau (max log-likelihood ratio) = %.3f\n", result.tau);
   out += StrFormat("  Monte Carlo p-value            = %.4f\n", result.p_value);
   out += StrFormat("  critical LLR at alpha=%.3f     = %.3f\n", result.alpha,
@@ -45,6 +56,18 @@ std::string FormatFindingsTable(const std::vector<RegionFinding>& findings,
 }
 
 std::string FormatFinding(const RegionFinding& finding) {
+  if (!finding.class_counts.empty()) {
+    // Multinomial evidence: the class mix replaces the rate fields.
+    std::string counts;
+    for (size_t k = 0; k < finding.class_counts.size(); ++k) {
+      counts += StrFormat(
+          k == 0 ? "%llu" : ",%llu",
+          static_cast<unsigned long long>(finding.class_counts[k]));
+    }
+    return StrFormat("n=%llu, classes=(%s), LLR=%.3f, rect=%s",
+                     static_cast<unsigned long long>(finding.n), counts.c_str(),
+                     finding.llr, finding.rect.ToString().c_str());
+  }
   return StrFormat("n=%llu, p=%llu, local rate=%.3f, LLR=%.3f, rect=%s",
                    static_cast<unsigned long long>(finding.n),
                    static_cast<unsigned long long>(finding.p), finding.local_rate,

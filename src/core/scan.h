@@ -21,14 +21,20 @@
 
 namespace sfa::core {
 
-/// Full per-region scan output (used for the observed world).
+/// Full per-region scan output (used for the observed world). Bernoulli
+/// scans fill `positives`; multinomial scans fill `class_counts` instead and
+/// leave the binary fields (`positives`, `total_p`) empty/zero.
 struct ScanResult {
   std::vector<double> llr;          ///< Λ(R) per region
-  std::vector<uint64_t> positives;  ///< p(R) per region
+  std::vector<uint64_t> positives;  ///< p(R) per region (Bernoulli)
   double max_llr = 0.0;             ///< τ
   size_t argmax = 0;                ///< R*
   uint64_t total_n = 0;             ///< N
-  uint64_t total_p = 0;             ///< P
+  uint64_t total_p = 0;             ///< P (Bernoulli)
+  /// Per-region per-class counts, region-major [num_regions x num_classes]
+  /// (multinomial; empty for Bernoulli).
+  std::vector<uint64_t> class_counts;
+  uint32_t num_classes = 0;  ///< columns of class_counts (0 for Bernoulli)
 };
 
 /// Evaluates Λ for every region of `family` under `labels`, through the

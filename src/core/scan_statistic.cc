@@ -1,0 +1,30 @@
+#include "core/scan_statistic.h"
+
+#include "common/macros.h"
+#include "core/mc_engine.h"
+
+namespace sfa::core {
+
+const char* StatisticKindToString(StatisticKind kind) {
+  switch (kind) {
+    case StatisticKind::kBernoulli:
+      return "bernoulli";
+    case StatisticKind::kMultinomial:
+      return "multinomial";
+  }
+  return "?";
+}
+
+Result<NullDistribution> SimulateNull(const ScanStatistic& statistic,
+                                      const RegionFamily& family,
+                                      const MonteCarloOptions& options) {
+  if (options.num_worlds == 0) {
+    return Status::InvalidArgument("Monte Carlo needs at least one world");
+  }
+  SFA_RETURN_NOT_OK(statistic.ValidateForFamily(family));
+  const std::unique_ptr<StatisticSimulation> simulation =
+      statistic.MakeSimulation(family, options);
+  return NullDistribution(RunMonteCarloWorlds(*simulation, options));
+}
+
+}  // namespace sfa::core

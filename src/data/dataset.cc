@@ -23,15 +23,26 @@ void OutcomeDataset::Add(const geo::Point& location, uint8_t predicted,
   actual_.push_back(actual);
 }
 
-Status OutcomeDataset::Validate() const {
+Status OutcomeDataset::Validate() const { return Validate(2); }
+
+Status OutcomeDataset::Validate(uint32_t num_classes) const {
   if (predicted_.size() != locations_.size()) {
     return Status::Internal("predicted/location size mismatch");
   }
   if (!actual_.empty() && actual_.size() != locations_.size()) {
     return Status::Internal("actual/location size mismatch");
   }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least 2 outcome classes");
+  }
   for (uint8_t y : predicted_) {
-    if (y > 1) return Status::InvalidArgument("predicted labels must be 0/1");
+    if (y >= num_classes) {
+      return num_classes == 2
+                 ? Status::InvalidArgument("predicted labels must be 0/1")
+                 : Status::InvalidArgument(
+                       StrFormat("predicted class %u outside [0, %u)", y,
+                                 num_classes));
+    }
   }
   for (uint8_t y : actual_) {
     if (y > 1) return Status::InvalidArgument("actual labels must be 0/1");

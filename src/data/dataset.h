@@ -31,6 +31,13 @@ class OutcomeDataset {
   /// that ground truth is either absent or present for every individual.
   Status Validate() const;
 
+  /// Multiclass-aware validation: predicted values must lie in
+  /// [0, num_classes) — so Validate(2) is the binary contract above — while
+  /// ground truth stays 0/1 (it selects measure views, not outcome classes).
+  /// Multinomial audits (core::StatisticKind::kMultinomial) carry class ids
+  /// in predicted() and validate through this overload.
+  Status Validate(uint32_t num_classes) const;
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 

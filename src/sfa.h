@@ -46,6 +46,10 @@
 #include "ml/table.h"          // IWYU pragma: export
 
 #include "core/audit.h"                   // IWYU pragma: export
+#include "core/audit_pipeline.h"          // IWYU pragma: export
+#include "core/bernoulli_statistic.h"     // IWYU pragma: export
+#include "core/calibration_cache.h"       // IWYU pragma: export
+#include "core/calibration_store.h"       // IWYU pragma: export
 #include "core/equal_odds.h"              // IWYU pragma: export
 #include "core/evidence.h"                // IWYU pragma: export
 #include "core/export.h"                  // IWYU pragma: export
@@ -55,11 +59,13 @@
 #include "core/meanvar.h"                 // IWYU pragma: export
 #include "core/measure.h"                 // IWYU pragma: export
 #include "core/multiclass.h"              // IWYU pragma: export
+#include "core/multinomial_statistic.h"   // IWYU pragma: export
 #include "core/partitioning_family.h"     // IWYU pragma: export
 #include "core/rectangle_sweep_family.h"  // IWYU pragma: export
 #include "core/region_family.h"           // IWYU pragma: export
 #include "core/report.h"                  // IWYU pragma: export
 #include "core/scan.h"                    // IWYU pragma: export
+#include "core/scan_statistic.h"          // IWYU pragma: export
 #include "core/significance.h"            // IWYU pragma: export
 #include "core/square_family.h"           // IWYU pragma: export
 

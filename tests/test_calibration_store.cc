@@ -11,10 +11,13 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -241,6 +244,145 @@ TEST(CalibrationStore, RejectsFrameBelongingToAnotherKey) {
   EXPECT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsNotFound());
   EXPECT_EQ(store->stats().load_rejected, 1u);
+}
+
+TEST(CalibrationStore, RejectsPreStatisticLayerV1Frames) {
+  // The statistic layer changed what a calibration key MEANS (keys embed the
+  // ScanStatistic fingerprint), so the frame version was bumped to 2 and
+  // v1 frames — written by pre-statistic builds — must be rejected into a
+  // recompute, never adopted.
+  ASSERT_EQ(CalibrationStore::kFormatVersion, 2u);
+  TempStoreDir dir("v1frame");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  const CalibrationKey key = KeyFor(b, b.requests[0]);
+  NullDistribution dist(std::vector<double>{3.0, 2.0, 1.0});
+  ASSERT_TRUE(store->Store(key, dist).ok());
+
+  // Rewrite the version field to 1 and re-seal the checksum, simulating a
+  // well-formed old-format frame (not mere corruption).
+  const std::string path = store->FilePathFor(key);
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    ASSERT_TRUE(f.good());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  const uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 8, &v1, sizeof v1);
+  uint64_t checksum = 0xcbf29ce484222325ULL;  // FNV-1a over all but trailer
+  for (size_t i = 0; i + sizeof(uint64_t) < bytes.size(); ++i) {
+    checksum ^= static_cast<unsigned char>(bytes[i]);
+    checksum *= 0x100000001b3ULL;
+  }
+  std::memcpy(bytes.data() + bytes.size() - sizeof checksum, &checksum,
+              sizeof checksum);
+  { std::ofstream(path, std::ios::binary) << bytes; }
+
+  auto loaded = store->Load(key);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status();
+  EXPECT_EQ(store->stats().load_rejected, 1u);
+
+  // End to end: a pipeline over this directory recomputes instead of
+  // adopting the stale frame.
+  AuditPipeline pipeline;
+  pipeline.cache().AttachStore(store);
+  PipelineManifest manifest;
+  RunOrDie(pipeline, {b.requests[0]}, &manifest);
+  EXPECT_EQ(manifest.calibrations_loaded, 0u);
+  EXPECT_EQ(manifest.calibrations_computed, 1u);
+}
+
+TEST(CalibrationStore, EvictToBudgetSweepsLeastRecentlyUsedFirst) {
+  TempStoreDir dir("evict");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+
+  // Three frames with identical sizes and staggered mtimes (oldest first).
+  std::vector<CalibrationKey> keys;
+  for (uint64_t seed : {101u, 102u, 103u}) {
+    MonteCarloOptions mc = b.requests[0].options.monte_carlo;
+    mc.seed = seed;
+    keys.push_back(MakeCalibrationKey(*b.family, b.city.size(),
+                                      b.city.PositiveCount(),
+                                      stats::ScanDirection::kTwoSided, mc));
+    NullDistribution dist(std::vector<double>{1.0 + static_cast<double>(seed)});
+    ASSERT_TRUE(store->Store(keys.back(), dist).ok());
+    // Stagger mtimes into the past, first-written oldest (seed 101 → -99h).
+    const auto stamp = std::filesystem::file_time_type::clock::now() -
+                       std::chrono::hours(200 - seed);
+    std::filesystem::last_write_time(store->FilePathFor(keys.back()), stamp);
+  }
+  const auto frame_size =
+      std::filesystem::file_size(store->FilePathFor(keys[0]));
+
+  // Touch the oldest via a Load hit: it becomes the most recent, so the
+  // sweep (budget = 2 frames) must evict the key written second instead.
+  ASSERT_TRUE(store->Load(keys[0]).ok());
+  auto evicted = store->EvictToBudget(2 * frame_size + frame_size / 2);
+  ASSERT_TRUE(evicted.ok()) << evicted.status();
+  EXPECT_EQ(*evicted, 1u);
+  EXPECT_TRUE(store->Load(keys[0]).ok()) << "LRU-touched frame survived";
+  EXPECT_FALSE(store->Load(keys[1]).ok()) << "coldest frame evicted";
+  EXPECT_TRUE(store->Load(keys[2]).ok());
+  EXPECT_EQ(store->stats().evicted_files, 1u);
+  EXPECT_GT(store->stats().evicted_bytes, 0u);
+
+  // Budget 0 clears everything; an empty directory sweep is a no-op.
+  ASSERT_TRUE(store->EvictToBudget(0).ok());
+  EXPECT_FALSE(store->Load(keys[0]).ok());
+  EXPECT_FALSE(store->Load(keys[2]).ok());
+  auto none = store->EvictToBudget(0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+}
+
+TEST(CalibrationStore, SweepOnOpenBoundsALongLivedDirectory) {
+  TempStoreDir dir("sweepopen");
+  StoreBatch b;
+  uint64_t frame_size = 0;
+  {
+    auto store = dir.OpenOrDie();
+    for (uint64_t seed : {201u, 202u, 203u, 204u}) {
+      MonteCarloOptions mc = b.requests[0].options.monte_carlo;
+      mc.seed = seed;
+      const CalibrationKey key = MakeCalibrationKey(
+          *b.family, b.city.size(), b.city.PositiveCount(),
+          stats::ScanDirection::kTwoSided, mc);
+      NullDistribution dist(std::vector<double>{0.5});
+      ASSERT_TRUE(store->Store(key, dist).ok());
+      const auto stamp = std::filesystem::file_time_type::clock::now() -
+                         std::chrono::hours(300 - seed);
+      std::filesystem::last_write_time(store->FilePathFor(key), stamp);
+      frame_size = std::filesystem::file_size(store->FilePathFor(key));
+    }
+  }
+  // sweep_on_open with the default max_bytes=0 ("unbounded") must be a
+  // no-op — NOT a wipe of the whole directory.
+  auto unbounded = CalibrationStore::Open(
+      {.directory = dir.path.string(), .sweep_on_open = true});
+  ASSERT_TRUE(unbounded.ok());
+  size_t remaining = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    if (entry.path().extension() == ".nulldist") ++remaining;
+  }
+  EXPECT_EQ(remaining, 4u);
+  EXPECT_EQ((*unbounded)->stats().evicted_files, 0u);
+
+  // Reopen with a two-frame budget and the startup sweep enabled.
+  auto swept = CalibrationStore::Open({.directory = dir.path.string(),
+                                       .max_bytes = 2 * frame_size,
+                                       .sweep_on_open = true});
+  ASSERT_TRUE(swept.ok()) << swept.status();
+  remaining = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    if (entry.path().extension() == ".nulldist") ++remaining;
+  }
+  EXPECT_EQ(remaining, 2u);
+  EXPECT_EQ((*swept)->stats().evicted_files, 2u);
 }
 
 TEST(CalibrationStore, OpenRequiresUsableDirectory) {

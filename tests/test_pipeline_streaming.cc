@@ -11,6 +11,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -402,6 +403,101 @@ TEST(PipelineStreaming, AbortWhileProducerBlockedOnFullQueueIsSafe) {
   EXPECT_EQ(stats.admitted, 1u);
   EXPECT_GE(stats.submitted, 1u);
   EXPECT_LE(stats.submitted, 2u);
+}
+
+TEST(PipelineStreaming, CancelRemovesQueuedRequestsDeterministically) {
+  // With dispatch paused, every admission stays queued, so the Cancel
+  // outcome is a deterministic function of the Submit/Cancel sequence:
+  // cancel k of M queued tickets, resume, drain — exactly k cancelled and
+  // M-k completed, and the cancelled tickets resolve with kCancelled
+  // without consuming simulation work.
+  StreamFixture f;
+  const auto requests = f.MakeRequests(8);
+
+  AuditPipeline pipeline;
+  StreamOptions opts;
+  opts.queue_capacity = requests.size();
+  opts.num_workers = 2;
+  opts.start_paused = true;
+  ASSERT_TRUE(pipeline.StartStream(opts).ok());
+
+  std::vector<std::shared_ptr<AuditTicket>> tickets;
+  for (const AuditRequest& request : requests) {
+    auto ticket = pipeline.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+
+  // Cancel three queued tickets (front, middle, back of the FIFO).
+  const std::vector<size_t> cancelled_idx = {0, 3, 7};
+  for (size_t i : cancelled_idx) {
+    ASSERT_TRUE(pipeline.Cancel(tickets[i]).ok()) << i;
+    ASSERT_TRUE(tickets[i]->done());
+    const AuditResponse& response = tickets[i]->Get();
+    EXPECT_TRUE(response.status.IsCancelled()) << response.status;
+    EXPECT_EQ(response.id, requests[i].id);
+  }
+  // A second Cancel of the same ticket finds nothing to remove.
+  EXPECT_TRUE(pipeline.Cancel(tickets[0]).IsNotFound());
+  EXPECT_TRUE(pipeline.Cancel(nullptr).IsInvalidArgument());
+
+  pipeline.ResumeDispatch();
+  ASSERT_TRUE(pipeline.FinishStream().ok());
+
+  const StreamStats stats = pipeline.stream_stats();
+  EXPECT_EQ(stats.submitted, requests.size());
+  EXPECT_EQ(stats.admitted, requests.size());
+  EXPECT_EQ(stats.cancelled, cancelled_idx.size());
+  EXPECT_EQ(stats.completed, requests.size() - cancelled_idx.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed + stats.failed + stats.cancelled, stats.admitted);
+  // Survivors completed normally; a finished ticket can no longer be
+  // cancelled.
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    if (std::find(cancelled_idx.begin(), cancelled_idx.end(), i) !=
+        cancelled_idx.end()) {
+      continue;
+    }
+    EXPECT_TRUE(tickets[i]->Get().status.ok()) << i;
+  }
+  // JSON rendering of the final counters (the manifest/stats endpoint).
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"cancelled\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"completed\":5"), std::string::npos) << json;
+}
+
+TEST(PipelineStreaming, CancelFreesQueueCapacityForNewAdmissions) {
+  // Reject-policy queue of capacity 2, dispatch paused: after two
+  // admissions the third rejects; cancelling one frees the slot and the
+  // retry admits. Deterministic because nothing drains while paused.
+  StreamFixture f;
+  const auto requests = f.MakeRequests(3);
+
+  AuditPipeline pipeline;
+  StreamOptions opts;
+  opts.queue_capacity = 2;
+  opts.num_workers = 1;
+  opts.start_paused = true;
+  opts.block_when_full = false;
+  ASSERT_TRUE(pipeline.StartStream(opts).ok());
+
+  auto first = pipeline.Submit(requests[0]);
+  auto second = pipeline.Submit(requests[1]);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_TRUE(pipeline.Submit(requests[2]).status().IsResourceExhausted());
+
+  ASSERT_TRUE(pipeline.Cancel(*first).ok());
+  auto retry = pipeline.Submit(requests[2]);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+
+  pipeline.ResumeDispatch();
+  ASSERT_TRUE(pipeline.FinishStream().ok());
+  EXPECT_TRUE((*second)->Get().status.ok());
+  EXPECT_TRUE((*retry)->Get().status.ok());
+  const StreamStats stats = pipeline.stream_stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
 }
 
 TEST(PipelineStreaming, LifecycleMisuseIsRejected) {

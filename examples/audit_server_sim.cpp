@@ -20,6 +20,22 @@
 //
 //   SFA_QUICK=1 shrinks the stream for smoke runs (CI builds it and runs it
 //   this way).
+//
+// Fault-drill flags (default off; the default run stays the strict CI smoke):
+//
+//   --failpoints=<spec>  arms the fault-injection registry with a
+//                        common/failpoint.h spec, e.g.
+//                        --failpoints='store.write=every(3):corrupt'
+//                        (equivalent to the SFA_FAILPOINTS env var);
+//   --deadline-ms=<ms>   gives every streamed request that relative deadline
+//                        and opts it into graceful degradation, so expiries
+//                        surface as degraded/deadline-missed counters
+//                        instead of hard failures.
+//
+// With either flag set, per-request failures are tolerated and reported (the
+// exit criteria relax to: no replay failures, no payload mismatch among
+// successfully-served-undegraded requests) and the JSON summary grows a
+// "faults" object with the armed sites and observed fault counters.
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -91,11 +108,40 @@ double Percentile(std::vector<double> sorted_ms, double q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool quick = [] {
     const char* env = std::getenv("SFA_QUICK");
     return env != nullptr && env[0] == '1';
   }();
+
+  std::string failpoint_spec;
+  double deadline_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--failpoints=", 0) == 0) {
+      failpoint_spec = arg.substr(std::string("--failpoints=").size());
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atof(arg.c_str() +
+                              std::string("--deadline-ms=").size());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--failpoints=<spec>] [--deadline-ms=<ms>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!failpoint_spec.empty()) {
+    const sfa::Status armed =
+        sfa::Failpoints::Instance().ArmFromSpec(failpoint_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+  }
+  // Faulted runs tolerate (and report) per-request failures; the default run
+  // keeps the strict persisted-warm exit criteria for CI.
+  const bool faulted = !failpoint_spec.empty() || deadline_ms > 0.0;
   const size_t city_points = quick ? 4000 : 20000;
   const uint32_t num_worlds = quick ? 99 : 499;
   const size_t num_requests = quick ? 48 : 160;
@@ -106,6 +152,14 @@ int main() {
   std::printf("3 cities x {statistical parity, equal opportunity} x 4 alphas "
               "x 2 directions x 3 priorities, %u worlds/calibration%s\n\n",
               num_worlds, quick ? " (SFA_QUICK=1)" : "");
+  if (!failpoint_spec.empty()) {
+    std::printf("failpoints armed: %s\n", failpoint_spec.c_str());
+  }
+  if (deadline_ms > 0.0) {
+    std::printf("per-request deadline: %.1f ms (degraded serving enabled)\n",
+                deadline_ms);
+  }
+  if (faulted) std::printf("\n");
 
   std::vector<City> cities;
   cities.push_back(MakeCity("riverton", 11, city_points, 0.35));
@@ -177,8 +231,23 @@ int main() {
         const size_t begin = p * per_producer;
         const size_t end = std::min(requests.size(), begin + per_producer);
         for (size_t i = begin; i < end; ++i) {
-          auto ticket = pipeline.Submit(requests[i], request_priorities[i]);
-          SFA_CHECK_OK(ticket.status());
+          AuditRequest req = requests[i];
+          if (deadline_ms > 0.0) {
+            // The drill deadline applies to the live stream only (the replay
+            // must re-serve everything to verify the persisted-warm
+            // contract); expiries degrade rather than fail outright.
+            req.deadline_ms = deadline_ms;
+            req.allow_degraded = true;
+          }
+          auto ticket = pipeline.Submit(std::move(req),
+                                        request_priorities[i]);
+          if (!ticket.ok()) {
+            // Admission rejection (deadline or backpressure) — legal in a
+            // faulted run, counted in the stream stats. tickets[i] stays
+            // null and the replay comparison skips this request.
+            SFA_CHECK_MSG(faulted, "Submit failed in a fault-free run");
+            continue;
+          }
           tickets[i] = *ticket;
         }
       });
@@ -191,14 +260,36 @@ int main() {
   }
 
   std::vector<double> queue_waits, assembly_ms;
-  size_t unfair = 0, hits = 0;
+  size_t unfair = 0, hits = 0, live_failed = 0, live_degraded = 0;
+  size_t not_admitted = 0;
   for (const auto& ticket : tickets) {
+    if (ticket == nullptr) {
+      ++not_admitted;
+      continue;
+    }
     const AuditResponse& response = ticket->Get();
-    SFA_CHECK_OK(response.status);
+    if (!response.status.ok()) {
+      SFA_CHECK_MSG(faulted, "request failed in a fault-free run");
+      ++live_failed;
+      continue;
+    }
     queue_waits.push_back(response.queue_wait_ms);
     assembly_ms.push_back(response.assemble_ms);
+    if (response.degraded) ++live_degraded;
     if (!response.result.spatially_fair) ++unfair;
     if (response.cache_hit) ++hits;
+  }
+  if (faulted) {
+    std::printf(
+        "fault outcomes: not-admitted=%zu failed=%zu degraded=%zu "
+        "deadline-misses=%llu store-retries=%llu quarantined=%llu "
+        "breaker-trips=%llu breaker-open=%s\n",
+        not_admitted, live_failed, live_degraded,
+        static_cast<unsigned long long>(stream_stats.deadline_misses),
+        static_cast<unsigned long long>(stream_stats.store_retries),
+        static_cast<unsigned long long>(stream_stats.store_quarantined),
+        static_cast<unsigned long long>(stream_stats.breaker_trips),
+        stream_stats.breaker_open ? "true" : "false");
   }
   std::printf(
       "streamed %llu requests in %.1f ms (%.1f req/s): completed=%llu "
@@ -234,10 +325,16 @@ int main() {
     auto replayed = restarted.Run(requests, &replay_manifest);
     SFA_CHECK_OK(replayed.status());
     replay_wall_ms = wall.ElapsedMillis();
+    size_t compared = 0;
     for (size_t i = 0; i < requests.size(); ++i) {
-      const AuditResponse& live = tickets[i]->Get();
       const AuditResponse& replay = (*replayed)[i];
       SFA_CHECK_OK(replay.status);
+      // Only a clean, undegraded live response pins the full payload (a
+      // degraded one ranks against a shorter prefix by design).
+      if (tickets[i] == nullptr) continue;
+      const AuditResponse& live = tickets[i]->Get();
+      if (!live.status.ok() || live.degraded) continue;
+      ++compared;
       // The authoritative full-payload comparison (core::ResultsBitIdentical)
       // — this binary's exit code is the restart-replay pass/fail signal.
       if (!ResultsBitIdentical(live.result, replay.result)) {
@@ -247,6 +344,10 @@ int main() {
                     requests[i].id.c_str(), live.result.p_value,
                     live.result.tau, replay.result.p_value, replay.result.tau);
       }
+    }
+    if (faulted) {
+      std::printf("compared %zu cleanly-served responses against the replay\n",
+                  compared);
     }
   }
   std::printf(
@@ -285,14 +386,30 @@ int main() {
         JsonEscape(cities[c].eo_family->Name()).c_str(),
         cities[c].dataset.size());
   }
-  summary += "],\"last_manifest\":";
+  summary += "],\"faults\":{\"armed\":[";
+  {
+    const std::vector<std::string> armed = sfa::Failpoints::Instance().armed();
+    for (size_t i = 0; i < armed.size(); ++i) {
+      if (i > 0) summary += ',';
+      summary += '"' + JsonEscape(armed[i]) + '"';
+    }
+  }
+  summary += sfa::StrFormat(
+      "],\"deadline_ms\":%.3f,\"not_admitted\":%zu,\"live_failed\":%zu,"
+      "\"live_degraded\":%zu}",
+      deadline_ms, not_admitted, live_failed, live_degraded);
+  summary += ",\"last_manifest\":";
   summary += replay_manifest.ToJson();
   summary += "}";
   std::printf("== run summary (machine-readable) ==\n%s\n", summary.c_str());
 
   std::filesystem::remove_all(store_dir);
+  // Strict criteria (default run): every replayed calibration must come warm
+  // from the store. Faulted runs relax the warm requirement — injected store
+  // faults legitimately cost recomputes, and failed live requests never
+  // persisted theirs — but payload agreement and replay health stay binding.
   const bool ok = mismatches == 0 && replay_manifest.num_failed == 0 &&
-                  replay_manifest.calibrations_computed == 0;
+                  (faulted || replay_manifest.calibrations_computed == 0);
   if (!ok) {
     std::printf("\nFAILED: restart replay violated the persisted-warm "
                 "contract\n");

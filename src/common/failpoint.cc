@@ -1,0 +1,336 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace sfa {
+
+namespace {
+
+enum class TriggerKind : uint8_t { kAlways, kOnce, kTimes, kEvery, kProb };
+
+/// Parses a StatusCodeToString name back to a code. The spec language names
+/// codes exactly as ToString prints them, so drills and logs line up.
+Result<StatusCode> ParseStatusCode(std::string_view name) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kInvalidArgument,   StatusCode::kNotFound,
+      StatusCode::kOutOfRange,        StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kIOError,
+      StatusCode::kParseError,        StatusCode::kInternal,
+      StatusCode::kNotImplemented,    StatusCode::kResourceExhausted,
+      StatusCode::kCancelled,         StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return Status::ParseError(
+      StrFormat("unknown status code '%.*s' in failpoint action",
+                static_cast<int>(name.size()), name.data()));
+}
+
+/// "name(args)" -> {name, args}; "name" -> {name, ""}. Rejects unbalanced
+/// or trailing garbage.
+Status SplitCall(std::string_view token, std::string_view* name,
+                 std::string_view* args) {
+  const size_t open = token.find('(');
+  if (open == std::string_view::npos) {
+    *name = token;
+    *args = {};
+    return Status::OK();
+  }
+  if (token.back() != ')') {
+    return Status::ParseError(StrFormat(
+        "malformed failpoint term '%.*s' (missing ')')",
+        static_cast<int>(token.size()), token.data()));
+  }
+  *name = token.substr(0, open);
+  *args = token.substr(open + 1, token.size() - open - 2);
+  return Status::OK();
+}
+
+Result<uint64_t> ParsePositiveInt(std::string_view s, const char* what) {
+  auto v = ParseInt64(Trim(s));
+  if (!v.ok() || *v <= 0) {
+    return Status::ParseError(StrFormat(
+        "failpoint %s wants a positive integer, got '%.*s'", what,
+        static_cast<int>(s.size()), s.data()));
+  }
+  return static_cast<uint64_t>(*v);
+}
+
+}  // namespace
+
+struct Failpoints::Site {
+  // Trigger.
+  TriggerKind trigger = TriggerKind::kAlways;
+  uint64_t trigger_n = 0;   ///< kTimes: first N hits; kEvery: period
+  double prob = 0.0;        ///< kProb
+  Rng prob_rng{0};          ///< kProb: seeded per-site stream
+
+  // Action template (status/arg copied into the fired FailpointAction).
+  FailpointActionKind action = FailpointActionKind::kNone;
+  Status status;
+  uint64_t arg = 0;
+
+  // Counters (guarded by the registry lock).
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+
+  bool ShouldFire() {
+    ++hits;
+    if (action == FailpointActionKind::kNone) return false;  // `off`
+    switch (trigger) {
+      case TriggerKind::kAlways:
+        return true;
+      case TriggerKind::kOnce:
+        return hits == 1;
+      case TriggerKind::kTimes:
+        return hits <= trigger_n;
+      case TriggerKind::kEvery:
+        return hits % trigger_n == 0;
+      case TriggerKind::kProb:
+        return prob_rng.Bernoulli(prob);
+    }
+    return false;
+  }
+};
+
+struct Failpoints::Impl {
+  mutable std::mutex mu;
+  /// Ordered map so armed() lists sites deterministically.
+  std::map<std::string, Site> sites;
+};
+
+std::atomic<int> Failpoints::armed_count_{0};
+
+Failpoints::Failpoints() : impl_(new Impl) {
+  if (const char* env = std::getenv("SFA_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    // A typo'd operator spec must be loud, not silently inert: crash early.
+    const Status armed = ArmFromSpec(env);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "fatal: SFA_FAILPOINTS: %s\n",
+                   armed.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();  // leaked: see impl_ note
+  return *instance;
+}
+
+Status Failpoints::Arm(const std::string& site, const std::string& rule) {
+  const std::string_view trimmed = Trim(rule);
+  if (site.empty() || trimmed.empty()) {
+    return Status::InvalidArgument("failpoint site and rule must be non-empty");
+  }
+
+  // "[trigger:]action" — the split colon is the first one outside parens.
+  std::string_view trigger_tok, action_tok = trimmed;
+  int depth = 0;
+  for (size_t i = 0; i < trimmed.size(); ++i) {
+    if (trimmed[i] == '(') ++depth;
+    if (trimmed[i] == ')') --depth;
+    if (trimmed[i] == ':' && depth == 0) {
+      trigger_tok = Trim(trimmed.substr(0, i));
+      action_tok = Trim(trimmed.substr(i + 1));
+      break;
+    }
+  }
+
+  Site parsed;
+  if (!trigger_tok.empty()) {
+    std::string_view name, args;
+    SFA_RETURN_NOT_OK(SplitCall(trigger_tok, &name, &args));
+    if (name == "always") {
+      parsed.trigger = TriggerKind::kAlways;
+    } else if (name == "once") {
+      parsed.trigger = TriggerKind::kOnce;
+    } else if (name == "times") {
+      parsed.trigger = TriggerKind::kTimes;
+      auto n = ParsePositiveInt(args, "times(N)");
+      if (!n.ok()) return n.status();
+      parsed.trigger_n = *n;
+    } else if (name == "every") {
+      parsed.trigger = TriggerKind::kEvery;
+      auto n = ParsePositiveInt(args, "every(N)");
+      if (!n.ok()) return n.status();
+      parsed.trigger_n = *n;
+    } else if (name == "prob") {
+      parsed.trigger = TriggerKind::kProb;
+      const std::vector<std::string> parts = Split(args, ',');
+      if (parts.size() != 2) {
+        return Status::ParseError("failpoint prob wants prob(P,SEED)");
+      }
+      auto p = ParseDouble(Trim(parts[0]));
+      if (!p.ok() || *p < 0.0 || *p > 1.0) {
+        return Status::ParseError("failpoint prob P must be in [0,1]");
+      }
+      auto seed = ParseInt64(Trim(parts[1]));
+      if (!seed.ok()) {
+        return Status::ParseError("failpoint prob SEED must be an integer");
+      }
+      parsed.prob = *p;
+      parsed.prob_rng = Rng(static_cast<uint64_t>(*seed));
+    } else {
+      return Status::ParseError(StrFormat(
+          "unknown failpoint trigger '%.*s'", static_cast<int>(name.size()),
+          name.data()));
+    }
+  }
+
+  {
+    std::string_view name, args;
+    SFA_RETURN_NOT_OK(SplitCall(action_tok, &name, &args));
+    if (name == "error") {
+      parsed.action = FailpointActionKind::kError;
+      const std::vector<std::string> parts = Split(args, ',');
+      if (parts.empty() || Trim(parts[0]).empty()) {
+        return Status::ParseError("failpoint error wants error(CODE[,MSG])");
+      }
+      auto code = ParseStatusCode(Trim(parts[0]));
+      if (!code.ok()) return code.status();
+      std::string msg = parts.size() > 1
+                            ? std::string(Trim(parts[1]))
+                            : StrFormat("injected by failpoint '%s'",
+                                        site.c_str());
+      parsed.status = Status(*code, std::move(msg));
+    } else if (name == "delay") {
+      parsed.action = FailpointActionKind::kDelay;
+      auto ms = ParsePositiveInt(args, "delay(MS)");
+      if (!ms.ok()) return ms.status();
+      parsed.arg = *ms;
+    } else if (name == "truncate") {
+      parsed.action = FailpointActionKind::kTruncate;
+      auto v = ParseInt64(Trim(args));  // truncate(0) is a valid full chop
+      if (!v.ok() || *v < 0) {
+        return Status::ParseError(
+            "failpoint truncate wants truncate(BYTES >= 0)");
+      }
+      parsed.arg = static_cast<uint64_t>(*v);
+    } else if (name == "corrupt") {
+      if (!args.empty()) {
+        return Status::ParseError("failpoint corrupt takes no arguments");
+      }
+      parsed.action = FailpointActionKind::kCorrupt;
+    } else if (name == "off") {
+      parsed.action = FailpointActionKind::kNone;
+    } else {
+      return Status::ParseError(StrFormat(
+          "unknown failpoint action '%.*s'", static_cast<int>(name.size()),
+          name.data()));
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  auto [it, inserted] = impl_->sites.insert_or_assign(site, std::move(parsed));
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Failpoints::ArmFromSpec(const std::string& spec) {
+  for (const std::string& entry : Split(spec, ';')) {
+    const std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;  // tolerate trailing ';'
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError(StrFormat(
+          "failpoint spec entry '%.*s' has no '='",
+          static_cast<int>(trimmed.size()), trimmed.data()));
+    }
+    const Status armed = Arm(std::string(Trim(trimmed.substr(0, eq))),
+                             std::string(trimmed.substr(eq + 1)));
+    if (!armed.ok()) {
+      return armed.WithContext(StrFormat("failpoint spec entry '%.*s'",
+                                         static_cast<int>(trimmed.size()),
+                                         trimmed.data()));
+    }
+  }
+  return Status::OK();
+}
+
+void Failpoints::Disarm(const std::string& site) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (impl_->sites.erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  armed_count_.fetch_sub(static_cast<int>(impl_->sites.size()),
+                         std::memory_order_relaxed);
+  impl_->sites.clear();
+}
+
+FailpointAction Failpoints::Evaluate(const char* site) {
+  FailpointAction action;
+  uint64_t delay_ms = 0;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    auto it = impl_->sites.find(site);
+    if (it == impl_->sites.end()) return action;
+    Site& s = it->second;
+    if (!s.ShouldFire()) return action;
+    ++s.fires;
+    action.kind = s.action;
+    action.status = s.status;
+    action.arg = s.arg;
+    if (action.kind == FailpointActionKind::kDelay) delay_ms = s.arg;
+  }
+  // Sleep outside the registry lock so a delay site never serializes other
+  // sites — delays exist to widen race windows, not to create lock convoys.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return action;
+}
+
+uint64_t Failpoints::HitCount(const std::string& site) const {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t Failpoints::FireCount(const std::string& site) const {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> Failpoints::armed() const {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  std::vector<std::string> names;
+  names.reserve(impl_->sites.size());
+  for (const auto& [name, site] : impl_->sites) names.push_back(name);
+  return names;
+}
+
+void Failpoints::MutatePayload(const FailpointAction& action,
+                               std::string* payload) {
+  if (payload == nullptr) return;
+  switch (action.kind) {
+    case FailpointActionKind::kTruncate:
+      if (action.arg < payload->size()) payload->resize(action.arg);
+      break;
+    case FailpointActionKind::kCorrupt:
+      if (!payload->empty()) payload->back() ^= 0x5a;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace sfa

@@ -1,0 +1,171 @@
+// Deterministic fault injection for the serving stack.
+//
+// A *failpoint* is a named site in production code where a test (or an
+// operator, via the SFA_FAILPOINTS environment variable) can inject a fault:
+// an error Status, a delay, or — for write paths that opt in — a torn or
+// corrupted payload. Sites are compiled in permanently and cost one relaxed
+// atomic load when nothing is armed (the `SFA_FAILPOINT*` macros guard every
+// registry access behind Failpoints::AnyArmed()), so the same binary that
+// serves production traffic can run every failure drill.
+//
+// Arming is driven by a small spec language, one rule per site:
+//
+//   spec    := site '=' rule (';' site '=' rule)*
+//   rule    := [trigger ':'] action            (trigger defaults to `always`)
+//   trigger := 'always' | 'once' | 'times(' N ')' | 'every(' N ')'
+//              | 'prob(' P ',' SEED ')'
+//   action  := 'error(' CODE [',' MSG] ')' | 'delay(' MS ')'
+//              | 'truncate(' BYTES ')' | 'corrupt' | 'off'
+//
+// e.g.  store.write=every(3):truncate(16);pipeline.dispatch=once:delay(25)
+//
+// Triggers are evaluated against a per-site hit counter (every call to
+// Evaluate counts one hit, firing or not): `once` fires on the first hit
+// only, `times(N)` on the first N, `every(N)` on hits N, 2N, 3N, ...,
+// `prob(P,SEED)` on a seeded per-site Bernoulli(P) stream. All trigger state
+// is per-site and serialized under the registry lock, so for a serialized
+// call sequence the fire pattern is an exact, reproducible function of the
+// spec — the foundation of the deterministic failure drills in
+// tests/test_store_fault.cc and tests/test_deadline.cc.
+//
+// Actions: `error(CODE[,MSG])` makes the site return the given Status (CODE
+// is a StatusCodeToString name, e.g. IOError or DeadlineExceeded); `delay(MS)`
+// sleeps the calling thread — the natural race amplifier under TSan — and
+// then continues; `truncate(BYTES)` / `corrupt` only have an effect at sites
+// that pass a mutable payload (SFA_FAILPOINT_MUTATE), where they chop the
+// buffer to BYTES or flip a byte, simulating a torn or bit-rotted write;
+// `off` parses validly and never fires (a spec-level comment-out).
+//
+// Thread safety: Arm/Disarm and Evaluate are fully thread-safe. Sites are
+// identified by string name; unknown names arm fine (the spec is decoupled
+// from the binary's site inventory) and are reported by armed() for typo
+// checking.
+#ifndef SFA_COMMON_FAILPOINT_H_
+#define SFA_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sfa {
+
+/// What an armed failpoint does when its trigger fires.
+enum class FailpointActionKind : uint8_t {
+  kNone = 0,   ///< not armed / trigger did not fire / `off`
+  kError,      ///< return `status` from the site
+  kDelay,      ///< sleep `arg` milliseconds, then continue
+  kTruncate,   ///< chop a mutable payload to `arg` bytes
+  kCorrupt,    ///< flip one byte of a mutable payload
+};
+
+/// The fired action of one Evaluate() call. kNone when nothing fired.
+struct FailpointAction {
+  FailpointActionKind kind = FailpointActionKind::kNone;
+  Status status;      ///< kError: the Status the site should return
+  uint64_t arg = 0;   ///< kDelay: milliseconds; kTruncate: byte count
+
+  bool fired() const { return kind != FailpointActionKind::kNone; }
+};
+
+/// Process-wide failpoint registry (singleton). Tests arm/disarm directly;
+/// the SFA_FAILPOINTS environment variable is parsed once, on first access.
+class Failpoints {
+ public:
+  /// The registry. First call loads SFA_FAILPOINTS (if set).
+  static Failpoints& Instance();
+
+  /// True when at least one site is armed — the zero-cost gate the macros
+  /// check before touching the registry.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms one site with `rule` ("[trigger:]action", see file comment).
+  /// Re-arming a site replaces its rule and resets its hit counter.
+  Status Arm(const std::string& site, const std::string& rule);
+
+  /// Arms every rule of a multi-site spec ("site=rule;site=rule"). Rules
+  /// before a malformed entry stay armed; the error names the bad entry.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms one site (no-op when not armed).
+  void Disarm(const std::string& site);
+
+  /// Disarms every site and resets all hit counters. Tests call this in
+  /// SetUp/TearDown so specs never leak across cases.
+  void DisarmAll();
+
+  /// Evaluates `site`: counts one hit and, when armed and triggered, returns
+  /// the action (kDelay sleeps internally before returning, so callers that
+  /// only care about errors can ignore non-error actions). Prefer the
+  /// SFA_FAILPOINT* macros, which skip this entirely when nothing is armed.
+  FailpointAction Evaluate(const char* site);
+
+  /// Total Evaluate() calls against `site` since it was (re-)armed; 0 when
+  /// never armed. For test assertions on drill coverage.
+  uint64_t HitCount(const std::string& site) const;
+
+  /// Fired evaluations of `site` since it was (re-)armed.
+  uint64_t FireCount(const std::string& site) const;
+
+  /// Names of currently armed sites (sorted), for typo diagnostics.
+  std::vector<std::string> armed() const;
+
+  /// Applies a fired truncate/corrupt action to `payload` (no-op for other
+  /// kinds). Truncation never grows the payload; corruption flips one byte
+  /// deterministically (last byte) so checksums break but sizes don't.
+  static void MutatePayload(const FailpointAction& action, std::string* payload);
+
+ private:
+  Failpoints();
+  struct Site;
+
+  static std::atomic<int> armed_count_;
+
+  struct Impl;
+  Impl* impl_;  ///< intentionally leaked: sites may fire during static teardown
+};
+
+}  // namespace sfa
+
+/// Evaluates a failpoint and hands the fired action to `handler_code`, which
+/// sees it as `const FailpointAction& fp_action`. Zero-cost when nothing is
+/// armed anywhere in the process.
+#define SFA_FAILPOINT_WITH(site, handler_code)                      \
+  do {                                                              \
+    if (::sfa::Failpoints::AnyArmed()) {                            \
+      const ::sfa::FailpointAction fp_action =                      \
+          ::sfa::Failpoints::Instance().Evaluate(site);             \
+      if (fp_action.fired()) {                                      \
+        handler_code;                                               \
+      }                                                             \
+    }                                                               \
+  } while (0)
+
+/// Evaluates a failpoint in a Status-returning function: an error action
+/// returns its Status from the enclosing function; delays sleep and continue.
+#define SFA_FAILPOINT(site)                                           \
+  SFA_FAILPOINT_WITH(site, {                                          \
+    if (fp_action.kind == ::sfa::FailpointActionKind::kError) {       \
+      return fp_action.status;                                        \
+    }                                                                 \
+  })
+
+/// Same, for functions returning Result<T> (Status converts implicitly).
+
+/// Evaluates a write-path failpoint against a mutable std::string payload:
+/// truncate/corrupt actions mutate `payload_ptr` in place (the write then
+/// proceeds with the damaged bytes — a torn write); error actions return
+/// their Status; delays sleep and continue.
+#define SFA_FAILPOINT_MUTATE(site, payload_ptr)                       \
+  SFA_FAILPOINT_WITH(site, {                                          \
+    if (fp_action.kind == ::sfa::FailpointActionKind::kError) {       \
+      return fp_action.status;                                        \
+    }                                                                 \
+    ::sfa::Failpoints::MutatePayload(fp_action, payload_ptr);         \
+  })
+
+#endif  // SFA_COMMON_FAILPOINT_H_

@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kNotImplemented = 9,
   kResourceExhausted = 10,
   kCancelled = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -79,6 +80,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,6 +101,9 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,17 +1,35 @@
 #include "core/audit_pipeline.h"
 
+#include <chrono>
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/calibration_store.h"
 #include "core/export.h"
 #include "core/measure.h"
 
 namespace sfa::core {
 
 namespace {
+
+/// Absolute expiry for a relative deadline measured from `from`; epoch-zero
+/// (= "none") when deadline_ms is 0. A negative deadline_ms lands in the
+/// past, so Expired() is immediately true — the admission-reject contract.
+std::chrono::steady_clock::time_point DeadlineFor(
+    double deadline_ms, std::chrono::steady_clock::time_point from) {
+  if (deadline_ms == 0.0) return {};
+  return from + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms));
+}
+
+bool DeadlineExpired(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point{} &&
+         std::chrono::steady_clock::now() >= deadline;
+}
 
 /// Per-request state threaded between the pipeline phases.
 struct Prep {
@@ -136,13 +154,22 @@ std::string StreamStats::ToJson() const {
   return StrFormat(
       "{\"submitted\":%llu,\"admitted\":%llu,\"rejected\":%llu,"
       "\"completed\":%llu,\"failed\":%llu,\"cancelled\":%llu,"
-      "\"max_queue_depth\":%zu}",
+      "\"max_queue_depth\":%zu,"
+      "\"deadline_misses\":%llu,\"degraded\":%llu,"
+      "\"store_retries\":%llu,\"store_quarantined\":%llu,"
+      "\"breaker_trips\":%llu,\"breaker_open\":%s}",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(admitted),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
-      static_cast<unsigned long long>(cancelled), max_queue_depth);
+      static_cast<unsigned long long>(cancelled), max_queue_depth,
+      static_cast<unsigned long long>(deadline_misses),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(store_retries),
+      static_cast<unsigned long long>(store_quarantined),
+      static_cast<unsigned long long>(breaker_trips),
+      breaker_open ? "true" : "false");
 }
 
 // --------------------------------------------------------------- manifest --
@@ -210,6 +237,7 @@ AuditPipeline::~AuditPipeline() {
 Result<std::vector<AuditResponse>> AuditPipeline::Run(
     const std::vector<AuditRequest>& batch, PipelineManifest* manifest) {
   Stopwatch wall;
+  const auto run_entry = std::chrono::steady_clock::now();
   if (streaming()) {
     return Status::FailedPrecondition(
         "batch Run() while a streaming session is active; FinishStream() "
@@ -302,7 +330,12 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
   });
 
   // Phase 3 — assemble: full audit per request with the shared calibration
-  // injected; per-worker scratch recycles observed-world buffers.
+  // injected; per-worker scratch recycles observed-world buffers. Deadlines
+  // are enforced here (and implicitly at admission via negative
+  // deadline_ms), NOT inside phase 2: batch calibrations are shared across
+  // the batch, so one request's budget must never truncate a sibling's
+  // calibration — an expired batch request fails cleanly instead of serving
+  // degraded (streaming is the degraded-serving mode).
   std::vector<AuditResponse> responses(batch.size());
   for_each(batch.size(), [&](size_t i) {
     static thread_local AuditScratch scratch;
@@ -311,6 +344,13 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
     response.id = batch[i].id;
     if (!preps[i].status.ok()) {
       response.status = preps[i].status;
+      return;
+    }
+    if (DeadlineExpired(DeadlineFor(batch[i].deadline_ms, run_entry))) {
+      response.status = Status::DeadlineExceeded(
+          StrFormat("request '%s' expired before assembly (deadline %.3f ms "
+                    "from Run entry)",
+                    batch[i].id.c_str(), batch[i].deadline_ms));
       return;
     }
     const UniqueCalibration& cal = uniques[request_unique[i]];
@@ -322,6 +362,7 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
       response.status = cal.status;
       return;
     }
+    response.worlds_completed = cal.value->num_worlds();
     auto result = Auditor(batch[i].options)
                       .AuditView(*preps[i].view, *batch[i].family,
                                  preps[i].statistic.get(), cal.value.get(),
@@ -438,6 +479,22 @@ Result<std::shared_ptr<AuditTicket>> AuditPipeline::Submit(
   // approximate when producers and workers race — diagnostic either way.
   entry.depth_at_admission = s->queue.size() + 1;
   entry.admitted_at = std::chrono::steady_clock::now();
+  entry.deadline = DeadlineFor(entry.request.deadline_ms, entry.admitted_at);
+
+  // Admission deadline gate: an already-expired request (negative
+  // deadline_ms, or a racing clock) is bounced before it can occupy a queue
+  // slot. Counted as rejected so admitted + rejected == submitted holds.
+  if (DeadlineExpired(entry.deadline)) {
+    std::unique_lock<std::mutex> lock(s->mu);
+    ++s->stats.rejected;
+    ++s->stats.deadline_misses;
+    if (--s->inflight_submits == 0 && !s->accepting) {
+      s->resume_cv.notify_all();
+    }
+    return Status::DeadlineExceeded(
+        StrFormat("request '%s' expired at admission (deadline %.3f ms)",
+                  entry.request.id.c_str(), entry.request.deadline_ms));
+  }
   std::shared_ptr<AuditTicket> ticket = entry.ticket;
 
   const size_t lane = static_cast<size_t>(priority);
@@ -588,6 +645,7 @@ void AuditPipeline::TeardownStream(bool abort) {
     s->resume_cv.wait(lock, [&] { return s->inflight_submits == 0; });
     final_stats = s->stats;
   }
+  FillStoreHealth(&final_stats);
   std::unique_lock<std::mutex> ptr_lock(stream_ptr_mu_);
   last_stream_stats_ = final_stats;
   stream_.reset();
@@ -595,15 +653,31 @@ void AuditPipeline::TeardownStream(bool abort) {
   // accepting gate); the Stream is freed when the last reference drops.
 }
 
+void AuditPipeline::FillStoreHealth(StreamStats* stats) const {
+  const std::shared_ptr<CalibrationStore>& store = cache_.store();
+  if (store == nullptr) return;
+  const CalibrationStore::Stats st = store->stats();
+  stats->store_retries = st.store_retries;
+  stats->store_quarantined = st.quarantined;
+  stats->breaker_trips = st.breaker_trips;
+  stats->breaker_open = st.breaker_open;
+}
+
 StreamStats AuditPipeline::stream_stats() const {
   const std::shared_ptr<Stream> stream = CurrentStream();
   const Stream* s = stream.get();
+  StreamStats snapshot;
   if (s == nullptr) {
     std::unique_lock<std::mutex> lock(stream_ptr_mu_);
-    return last_stream_stats_;
+    snapshot = last_stream_stats_;
+  } else {
+    std::unique_lock<std::mutex> lock(s->mu);
+    snapshot = s->stats;
   }
-  std::unique_lock<std::mutex> lock(s->mu);
-  return s->stats;
+  // Store health is re-snapshotted at read time: breaker transitions and
+  // retries keep happening (write-behind) after the session counters freeze.
+  FillStoreHealth(&snapshot);
+  return snapshot;
 }
 
 void AuditPipeline::StreamWorkerLoop(Stream* s) {
@@ -622,10 +696,33 @@ void AuditPipeline::StreamWorkerLoop(Stream* s) {
     AuditResponse response;
     const double wait_ms = MillisSince(entry.admitted_at);
     const bool cancelled = s->cancel.cancelled();
+    // Dispatch-boundary failpoint: delay widens the dequeue race window
+    // (deadline reaping under TSan); an error action fails the request as if
+    // dispatch itself broke.
+    Status injected;
+    if (!cancelled) {
+      SFA_FAILPOINT_WITH("pipeline.dispatch", {
+        if (fp_action.kind == FailpointActionKind::kError) {
+          injected = fp_action.status;
+        }
+      });
+    }
     if (cancelled) {
       response.id = entry.request.id;
       response.status = Status::FailedPrecondition(
           "stream aborted before the request was dispatched");
+    } else if (!injected.ok()) {
+      response.id = entry.request.id;
+      response.status = std::move(injected);
+    } else if (DeadlineExpired(entry.deadline)) {
+      // Lazy reaping: the deadline expired while the request sat in the
+      // queue. Resolve it without executing — the worker (and the Monte
+      // Carlo pool underneath) stays free for requests that can still make
+      // their deadlines.
+      response.id = entry.request.id;
+      response.status = Status::DeadlineExceeded(StrFormat(
+          "request '%s' expired in queue after %.2f ms (deadline %.3f ms)",
+          entry.request.id.c_str(), wait_ms, entry.request.deadline_ms));
     } else {
       response = ExecuteStreamRequest(s, entry);
     }
@@ -638,8 +735,13 @@ void AuditPipeline::StreamWorkerLoop(Stream* s) {
         ++s->stats.cancelled;
       } else if (response.status.ok()) {
         ++s->stats.completed;
+        if (response.degraded) {
+          ++s->stats.degraded;
+          ++s->stats.deadline_misses;  // the deadline DID expire mid-flight
+        }
       } else {
         ++s->stats.failed;
+        if (response.status.IsDeadlineExceeded()) ++s->stats.deadline_misses;
       }
     }
     // Complete the ticket first so a callback observing done() sees it.
@@ -690,18 +792,75 @@ AuditResponse AuditPipeline::ExecuteStreamRequest(Stream* s,
 
   MonteCarloOptions mc = request.options.monte_carlo;
   mc.parallel = mc.parallel && options_.parallel;
+  // Cooperative stop wiring: the session's abort token and this request's
+  // own deadline reach the world engine, which polls them at batch
+  // boundaries (execution-only — neither is part of the calibration key).
+  mc.cancel = &s->cancel;
+  mc.deadline = entry.deadline;
+
+  // Single-flight sharing cuts both ways: a joiner waiting on an owner's
+  // computation can be handed the OWNER's stop (its deadline, its cancel) —
+  // an error that says nothing about this request's own budget. Such foreign
+  // stops are retried (the failed slot was erased, so a retry either joins a
+  // fresh owner or becomes the owner itself and computes under ITS OWN
+  // deadline); own stops are terminal. The retry cap only guards against
+  // pathological scheduling — each owner attempt is terminal, so the loop
+  // cannot spin on one slot.
+  static constexpr int kMaxForeignStopRetries = 4;
   CalibrationCache::Source source = CalibrationCache::Source::kMemory;
-  auto calibration = cache_.GetOrCompute(
-      prep.key,
-      [&] { return SimulateNull(*prep.statistic, *request.family, mc); },
-      &source);
+  PartialCalibration partial;
+  bool computed_here = false;
+  const auto compute = [&]() -> Result<NullDistribution> {
+    computed_here = true;
+    partial = PartialCalibration();
+    return SimulateNull(*prep.statistic, *request.family, mc, &partial);
+  };
+  Result<std::shared_ptr<const NullDistribution>> calibration =
+      Status::Internal("calibration loop never ran");
+  for (int attempt = 0;; ++attempt) {
+    computed_here = false;
+    calibration = cache_.GetOrCompute(prep.key, compute, &source);
+    if (calibration.ok()) break;
+    const Status& cause = calibration.status();
+    const bool foreign_stop =
+        !computed_here &&
+        (cause.IsDeadlineExceeded() || cause.IsCancelled());
+    if (!foreign_stop || attempt >= kMaxForeignStopRetries ||
+        s->cancel.cancelled() || DeadlineExpired(entry.deadline)) {
+      break;
+    }
+  }
+
+  static thread_local AuditScratch scratch;
   if (!calibration.ok()) {
+    // Graceful degradation: our own deadline stopped our own simulation and
+    // the caller opted in — rank the observed statistic against the
+    // completed contiguous world prefix. The payload is a pure function of
+    // (request, worlds_completed); the error path stays authoritative when
+    // not even one world finished.
+    if (computed_here && calibration.status().IsDeadlineExceeded() &&
+        request.allow_degraded && partial.worlds_completed > 0) {
+      Stopwatch timer;
+      const NullDistribution partial_null(std::move(partial.maxima));
+      auto degraded_result =
+          Auditor(request.options)
+              .AuditView(*prep.view, *request.family, prep.statistic.get(),
+                         &partial_null, &scratch);
+      if (degraded_result.ok()) {
+        response.result = std::move(degraded_result).value();
+        response.degraded = true;
+        response.worlds_completed = partial.worlds_completed;
+        response.cache_hit = false;
+        response.assemble_ms = timer.ElapsedMillis();
+        return response;
+      }
+    }
     response.status = calibration.status();
     return response;
   }
   response.cache_hit = source != CalibrationCache::Source::kComputed;
+  response.worlds_completed = (*calibration)->num_worlds();
 
-  static thread_local AuditScratch scratch;
   Stopwatch timer;
   auto result = Auditor(request.options)
                     .AuditView(*prep.view, *request.family,

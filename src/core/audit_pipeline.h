@@ -71,6 +71,23 @@ struct AuditRequest {
   /// Y=1 slice) and BuildMeasureView is skipped; options.measure is then
   /// only descriptive.
   bool dataset_is_view = false;
+  /// Relative deadline in milliseconds: from Submit() in streaming mode,
+  /// from Run() entry in batch mode. 0 = none. Negative = already expired —
+  /// fails DeadlineExceeded at admission without consuming work. Streaming
+  /// enforces the deadline at admission, again at dequeue (an expired queued
+  /// request is reaped without executing, freeing its worker for live work),
+  /// and cooperatively inside the Monte Carlo calibration at batch
+  /// boundaries. Batch Run() enforces it at admission and assembly only:
+  /// batch-mode calibrations are shared across the whole batch, so one
+  /// request's deadline never truncates a sibling's calibration.
+  double deadline_ms = 0.0;
+  /// Opt-in graceful degradation (streaming): when the deadline expires
+  /// mid-calibration, serve a p-value from the completed contiguous prefix
+  /// of null worlds instead of failing, flagged AuditResponse::degraded.
+  /// The degraded payload is deterministic GIVEN worlds_completed (worlds
+  /// are independent substreams), though worlds_completed itself depends on
+  /// where the deadline landed.
+  bool allow_degraded = false;
 };
 
 /// Admission priority class of a streamed request. Lower value = served
@@ -111,6 +128,15 @@ struct AuditResponse {
   RequestPriority priority = RequestPriority::kNormal;
   size_t queue_depth = 0;
   double queue_wait_ms = 0.0;
+  /// True when the result was served from a partial calibration after this
+  /// request's deadline expired mid-simulation (AuditRequest::allow_degraded).
+  /// The p-value then ranks the observed statistic against `worlds_completed`
+  /// null worlds instead of the requested count.
+  bool degraded = false;
+  /// Null worlds backing this response's p-value: the requested
+  /// monte_carlo.num_worlds normally, the completed prefix when degraded,
+  /// 0 when status is not OK.
+  size_t worlds_completed = 0;
 };
 
 /// Machine-readable record of one Run(): per-request rows plus batch-level
@@ -195,6 +221,22 @@ struct StreamStats {
   /// a per-ticket Cancel() removing the request from the admission queue.
   uint64_t cancelled = 0;
   size_t max_queue_depth = 0;
+
+  // Fault-tolerance counters. A deadline can expire at admission (counted in
+  // `rejected` too — the request was never admitted), at dequeue (counted in
+  // `failed` too), or mid-calibration (in `failed`, or in `completed` when
+  // the response was served degraded); every expiry counts one deadline_miss.
+  uint64_t deadline_misses = 0;
+  uint64_t degraded = 0;  ///< responses served from a partial calibration
+
+  // Store-health snapshot taken from the attached CalibrationStore when the
+  // stats are read (all zero when no store is attached). Cumulative over the
+  // STORE's lifetime — a store shared across sessions reports its running
+  // totals, not per-session deltas.
+  uint64_t store_retries = 0;
+  uint64_t store_quarantined = 0;
+  uint64_t breaker_trips = 0;
+  bool breaker_open = false;
 
   /// One-line JSON object of the counters (for manifests and run summaries).
   std::string ToJson() const;
@@ -313,6 +355,9 @@ class AuditPipeline {
     AuditCallback callback;
     size_t depth_at_admission = 0;
     std::chrono::steady_clock::time_point admitted_at;
+    /// Absolute expiry stamped at admission from request.deadline_ms;
+    /// epoch-zero = none.
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   /// State of one streaming session (lives between StartStream and
@@ -352,6 +397,9 @@ class AuditPipeline {
   void StreamWorkerLoop(Stream* stream);
   AuditResponse ExecuteStreamRequest(Stream* stream, const StreamEntry& entry);
   void TeardownStream(bool abort);
+  /// Copies the attached store's fault counters into a stats snapshot
+  /// (no-op without a store).
+  void FillStoreHealth(StreamStats* stats) const;
   /// Snapshot of the session pointer. Submitters hold the returned reference
   /// for the duration of the call, so a producer woken from a blocking Push
   /// by teardown's queue.Close() still has a live Stream to record its

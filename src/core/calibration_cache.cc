@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -153,6 +154,13 @@ void CalibrationCache::AttachStore(std::shared_ptr<CalibrationStore> store) {
 }
 
 void CalibrationCache::FlushStore() {
+  // Crash drill: an error action skips the flush wait, modeling a process
+  // that died before its write-behind persists landed. Safe to skip — the
+  // queued tasks own their store/value by shared_ptr and still run; only the
+  // "durable before return" promise is lost, which is exactly the drill.
+  SFA_FAILPOINT_WITH("cache.flush", {
+    if (fp_action.kind == FailpointActionKind::kError) return;
+  });
   // Helping wait: safe even when called from a pool task (e.g. a pipeline
   // tearing down inside a scheduled request).
   DefaultThreadPool().WaitGroup(&store_writes_group_);
@@ -221,6 +229,11 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
         DefaultThreadPool().Submit(
             &store_writes_group_,
             [store, key_copy = std::move(key_copy), value = std::move(value)] {
+              // Error action: drop this persist on the floor (a lost
+              // write-behind — the calibration survives only in memory).
+              SFA_FAILPOINT_WITH("cache.write_behind", {
+                if (fp_action.kind == FailpointActionKind::kError) return;
+              });
               store->Store(key_copy, *value).ok();
             });
       }

@@ -3,13 +3,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace sfa::core {
@@ -91,6 +94,7 @@ Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
 }
 
 Result<uint64_t> CalibrationStore::EvictToBudget(uint64_t budget_bytes) const {
+  SFA_FAILPOINT("store.evict");
   struct Frame {
     std::filesystem::path path;
     uint64_t size = 0;
@@ -157,9 +161,39 @@ std::string CalibrationStore::FilePathFor(const CalibrationKey& key) const {
       .string();
 }
 
+std::string CalibrationStore::QuarantineDir() const {
+  return (std::filesystem::path(options_.directory) / "quarantine").string();
+}
+
+bool CalibrationStore::QuarantineFrame(const std::string& path) const {
+  // Best-effort: losing the race to another process quarantining (or
+  // re-storing over) the same frame is fine — the goal is merely that the
+  // defective bytes stop being re-parsed on every load.
+  std::error_code ec;
+  const std::filesystem::path qdir(QuarantineDir());
+  std::filesystem::create_directories(qdir, ec);
+  if (ec) return false;
+  const std::filesystem::path src(path);
+  std::filesystem::rename(src, qdir / src.filename(), ec);
+  return !ec;
+}
+
 Result<NullDistribution> CalibrationStore::Load(
     const CalibrationKey& key) const {
+  SFA_FAILPOINT("store.load");
   const std::string path = FilePathFor(key);
+
+  {
+    // Breaker open: the disk is presumed sick, so don't touch it at all.
+    // NotFound keeps the cache's miss→recompute contract — memory-only
+    // serving until a Store probe closes the breaker.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (breaker_open_) {
+      ++stats_.breaker_fast_fails;
+      ++stats_.load_misses;
+      return Status::NotFound("calibration store circuit breaker is open");
+    }
+  }
 
   std::string bytes;
   {
@@ -180,11 +214,15 @@ Result<NullDistribution> CalibrationStore::Load(
     }
   }
 
-  // Validation failures all land here: count the rejection, report NotFound
-  // so the caller falls back to recompute.
+  // Validation failures all land here: quarantine the defective frame so it
+  // is parsed (and rejected) at most once, count the rejection, and report
+  // NotFound so the caller falls back to recompute.
   const auto reject = [&](const char* why) -> Status {
+    const bool moved =
+        options_.quarantine_rejects ? QuarantineFrame(path) : false;
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.load_rejected;
+    if (moved) ++stats_.quarantined;
     return Status::NotFound(
         StrFormat("persisted calibration '%s' rejected: %s", path.c_str(), why));
   };
@@ -246,12 +284,88 @@ Result<NullDistribution> CalibrationStore::Load(
 
 Status CalibrationStore::Store(const CalibrationKey& key,
                                const NullDistribution& distribution) const {
-  const auto fail = [&](Status s) {
-    std::unique_lock<std::mutex> lock(mu_);
-    ++stats_.store_failures;
-    return s;
-  };
+  const auto now = [] { return std::chrono::steady_clock::now(); };
 
+  // Breaker gate: while open, fail fast without touching the disk — except
+  // that once the probe window has elapsed, exactly one caller is admitted
+  // as a probe whose outcome decides whether the breaker closes.
+  bool probing = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (breaker_open_) {
+      if (!breaker_probing_ && now() >= breaker_probe_at_) {
+        breaker_probing_ = probing = true;
+      } else {
+        ++stats_.breaker_fast_fails;
+        return Status::ResourceExhausted(
+            "calibration store circuit breaker is open");
+      }
+    }
+  }
+
+  // Bounded retry with exponential backoff + seeded jitter. Only IOError is
+  // transient; any other code (e.g. an injected disk-full ResourceExhausted)
+  // fails the call immediately so the breaker sees it sooner.
+  Status last;
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      double wait_ms = options_.backoff_initial_ms;
+      for (uint32_t k = 1; k < attempt && wait_ms < options_.backoff_max_ms;
+           ++k) {
+        wait_ms *= 2.0;
+      }
+      wait_ms = std::min(wait_ms, options_.backoff_max_ms);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wait_ms *= backoff_rng_.Uniform(0.5, 1.0);
+        ++stats_.store_retries;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(wait_ms));
+    }
+    last = WriteFrameOnce(key, distribution);
+    if (last.ok() || !last.IsIOError() || attempt >= options_.store_retries) {
+      break;
+    }
+  }
+
+  // Breaker verdict.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (last.ok()) {
+      consecutive_store_failures_ = 0;
+      breaker_open_ = false;  // a successful probe (or write) closes it
+      breaker_probing_ = false;
+      ++stats_.stores;
+    } else {
+      ++stats_.store_failures;
+      ++consecutive_store_failures_;
+      if (probing) {
+        // Failed probe: stay open, re-arm the probe timer.
+        breaker_probing_ = false;
+        breaker_probe_at_ =
+            now() + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            options_.breaker_probe_after_ms));
+      } else if (!breaker_open_ && options_.breaker_failure_threshold > 0 &&
+                 consecutive_store_failures_ >=
+                     options_.breaker_failure_threshold) {
+        breaker_open_ = true;
+        ++stats_.breaker_trips;
+        breaker_probe_at_ =
+            now() + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            options_.breaker_probe_after_ms));
+      }
+    }
+  }
+  return last;
+}
+
+Status CalibrationStore::WriteFrameOnce(
+    const CalibrationKey& key, const NullDistribution& distribution) const {
   std::string frame;
   const std::vector<double>& maxima = distribution.sorted_max();
   frame.reserve(64 + key.debug.size() + maxima.size() * sizeof(double));
@@ -265,6 +379,11 @@ Status CalibrationStore::Store(const CalibrationKey& key,
     AppendRaw(&frame, maxima.data(), maxima.size() * sizeof(double));
   }
   AppendU64(&frame, Fnv1a(frame.data(), frame.size()));
+
+  // Torn-write drill hook: an error action fails this attempt (retryable);
+  // truncate/corrupt damage the bytes that then land on disk "successfully" —
+  // exactly the crash shape the Load checksum/quarantine path must absorb.
+  SFA_FAILPOINT_MUTATE("store.write", &frame);
 
   const std::string path = FilePathFor(key);
   uint64_t nonce;
@@ -283,35 +402,39 @@ Status CalibrationStore::Store(const CalibrationKey& key,
 
   std::FILE* f = std::fopen(temp.c_str(), "wb");
   if (f == nullptr) {
-    return fail(Status::IOError(
-        StrFormat("cannot open '%s' for writing", temp.c_str())));
+    return Status::IOError(
+        StrFormat("cannot open '%s' for writing", temp.c_str()));
   }
   const size_t written = std::fwrite(frame.data(), 1, frame.size(), f);
   const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
   if (written != frame.size() || !flushed) {
     std::remove(temp.c_str());
-    return fail(Status::IOError(
-        StrFormat("short write persisting calibration to '%s'", temp.c_str())));
+    return Status::IOError(
+        StrFormat("short write persisting calibration to '%s'", temp.c_str()));
   }
+  SFA_FAILPOINT_WITH("store.rename", {
+    if (fp_action.kind == FailpointActionKind::kError) {
+      std::remove(temp.c_str());
+      return fp_action.status;
+    }
+  });
   std::error_code ec;
   std::filesystem::rename(temp, path, ec);
   if (ec) {
     std::remove(temp.c_str());
-    return fail(Status::IOError(StrFormat("cannot rename '%s' into '%s': %s",
-                                          temp.c_str(), path.c_str(),
-                                          ec.message().c_str())));
-  }
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    ++stats_.stores;
+    return Status::IOError(StrFormat("cannot rename '%s' into '%s': %s",
+                                     temp.c_str(), path.c_str(),
+                                     ec.message().c_str()));
   }
   return Status::OK();
 }
 
 CalibrationStore::Stats CalibrationStore::stats() const {
   std::unique_lock<std::mutex> lock(mu_);
-  return stats_;
+  Stats snapshot = stats_;
+  snapshot.breaker_open = breaker_open_;
+  return snapshot;
 }
 
 }  // namespace sfa::core

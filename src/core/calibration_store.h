@@ -23,14 +23,36 @@
 // — surfaces as NotFound, which callers (CalibrationCache read-through)
 // treat as a miss and recompute; a corrupt file can therefore never poison a
 // result, only cost a simulation.
+//
+// Failure semantics (this layer is the serving stack's disk boundary):
+//   * Transient write failures are retried with bounded exponential backoff
+//     and seeded jitter (reproducible wait sequences). Only IOError is
+//     considered transient; any other code fails the Store immediately.
+//   * A frame that fails Load validation is moved into a `quarantine/`
+//     subdirectory (counted in stats().quarantined) so the defective bytes
+//     are kept for forensics but never re-parsed on every subsequent load —
+//     after quarantine the key is a clean miss.
+//   * A circuit breaker opens after `breaker_failure_threshold` consecutive
+//     Store failures (post-retry), e.g. a full disk. While open, Store
+//     fast-fails with ResourceExhausted and Load fast-fails with NotFound —
+//     the cache's miss→recompute contract turns that into memory-only
+//     serving with zero caller changes. After `breaker_probe_after_ms` one
+//     Store attempt is let through as a probe; success closes the breaker,
+//     failure re-arms the probe timer.
+//
+// Fault drills inject at the `store.load`, `store.write`, `store.rename` and
+// `store.evict` failpoints (common/failpoint.h); `store.write` accepts
+// truncate/corrupt actions to simulate torn writes that land on disk.
 #ifndef SFA_CORE_CALIBRATION_STORE_H_
 #define SFA_CORE_CALIBRATION_STORE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "core/calibration_cache.h"
 #include "core/significance.h"
@@ -60,6 +82,25 @@ class CalibrationStore {
     /// when max_bytes == 0 (unbounded) — an explicit EvictToBudget(0) call
     /// is the only way to clear everything.
     bool sweep_on_open = false;
+    /// Extra write attempts after a transient (IOError) Store failure.
+    uint32_t store_retries = 2;
+    /// Backoff before retry k (1-based) is
+    /// min(backoff_max_ms, backoff_initial_ms * 2^(k-1)) scaled by a jitter
+    /// factor in [0.5, 1) drawn from a stream seeded with backoff_seed —
+    /// deterministic wait sequences, no cross-process thundering herd.
+    double backoff_initial_ms = 0.5;
+    double backoff_max_ms = 8.0;
+    uint64_t backoff_seed = 0x5FAB0FFULL;
+    /// Move frames that fail Load validation into `<directory>/quarantine/`
+    /// instead of leaving them in place to be re-parsed (and re-rejected)
+    /// forever. Disable only for forensic setups that want rejects in situ.
+    bool quarantine_rejects = true;
+    /// Consecutive post-retry Store failures that open the circuit breaker;
+    /// 0 disables the breaker entirely.
+    uint32_t breaker_failure_threshold = 3;
+    /// While the breaker is open, one Store is admitted as a probe after
+    /// this many milliseconds (and again after every failed probe).
+    double breaker_probe_after_ms = 250.0;
   };
 
   /// Cumulative counters (monotone over the store's lifetime; thread-safe).
@@ -68,9 +109,14 @@ class CalibrationStore {
     uint64_t load_misses = 0;    ///< loads with no file for the key
     uint64_t load_rejected = 0;  ///< loads with a file that failed validation
     uint64_t stores = 0;         ///< successful writes
-    uint64_t store_failures = 0; ///< writes that returned an error
+    uint64_t store_failures = 0; ///< Store calls that failed after retries
+    uint64_t store_retries = 0;  ///< individual write attempts retried
     uint64_t evicted_files = 0;  ///< frames deleted by eviction sweeps
     uint64_t evicted_bytes = 0;  ///< bytes reclaimed by eviction sweeps
+    uint64_t quarantined = 0;    ///< rejected frames moved to quarantine/
+    uint64_t breaker_trips = 0;      ///< closed→open transitions
+    uint64_t breaker_fast_fails = 0; ///< Store/Load calls bounced while open
+    bool breaker_open = false;       ///< snapshot, not a counter
   };
 
   /// Opens (and optionally creates) a store directory.
@@ -80,14 +126,20 @@ class CalibrationStore {
 
   /// Loads the calibration persisted for `key`. NotFound when the key has no
   /// file OR its file fails any validation (truncation, corruption, version
-  /// or key mismatch) — the caller recomputes either way. IOError only for
+  /// or key mismatch; the defective frame is quarantined) OR the circuit
+  /// breaker is open — the caller recomputes either way. IOError only for
   /// filesystem-level read failures of an existing file.
   Result<NullDistribution> Load(const CalibrationKey& key) const;
 
   /// Persists `distribution` for `key` (atomic rename; replaces any previous
-  /// frame for the key).
+  /// frame for the key). Transient IOError failures are retried per the
+  /// backoff options; with the breaker open, fails ResourceExhausted without
+  /// touching the disk (except for the periodic probe attempt).
   Status Store(const CalibrationKey& key,
                const NullDistribution& distribution) const;
+
+  /// The quarantine directory defective frames are moved into.
+  std::string QuarantineDir() const;
 
   /// The file a key maps to (exposed for tests and manifests).
   std::string FilePathFor(const CalibrationKey& key) const;
@@ -104,12 +156,27 @@ class CalibrationStore {
   Stats stats() const;
 
  private:
-  explicit CalibrationStore(Options options) : options_(std::move(options)) {}
+  explicit CalibrationStore(Options options)
+      : options_(std::move(options)), backoff_rng_(options_.backoff_seed) {}
+
+  /// One frame-build + temp-write + rename attempt (no retry, no breaker).
+  Status WriteFrameOnce(const CalibrationKey& key,
+                        const NullDistribution& distribution) const;
+  /// Best-effort move of a rejected frame into quarantine/. Returns true
+  /// when the file actually moved (caller counts it).
+  bool QuarantineFrame(const std::string& path) const;
 
   Options options_;
-  mutable std::mutex mu_;  ///< guards stats_ and the temp-name counter
+  mutable std::mutex mu_;  ///< guards stats_, breaker state, rng, temp counter
   mutable Stats stats_;
   mutable uint64_t temp_counter_ = 0;
+  mutable Rng backoff_rng_;
+
+  // Circuit breaker state (guarded by mu_).
+  mutable bool breaker_open_ = false;
+  mutable bool breaker_probing_ = false;  ///< one probe in flight
+  mutable uint32_t consecutive_store_failures_ = 0;
+  mutable std::chrono::steady_clock::time_point breaker_probe_at_{};
 };
 
 }  // namespace sfa::core

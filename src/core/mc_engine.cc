@@ -1,41 +1,133 @@
 #include "core/mc_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/bernoulli_statistic.h"
 
 namespace sfa::core {
 
+namespace {
+
+/// Shared early-stop state for one run. The first batch to observe a stop
+/// condition records the cause; everyone after skips without running.
+struct StopState {
+  std::atomic<bool> stopped{false};
+  std::mutex mu;
+  Status cause;
+
+  void Trip(Status why) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!stopped.load(std::memory_order_relaxed)) {
+      cause = std::move(why);
+      stopped.store(true, std::memory_order_release);
+    }
+  }
+};
+
+/// The per-batch-boundary stop poll: cancel wins over deadline (a cancelled
+/// request's deadline is moot), the `mc_engine.batch` failpoint is the
+/// deterministic drill lever for both.
+Status CheckStop(const MonteCarloOptions& options) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return Status::Cancelled("cancelled during Monte Carlo calibration");
+  }
+  if (options.deadline != std::chrono::steady_clock::time_point{} &&
+      std::chrono::steady_clock::now() >= options.deadline) {
+    return Status::DeadlineExceeded(
+        "deadline expired during Monte Carlo calibration");
+  }
+  SFA_FAILPOINT("mc_engine.batch");
+  return Status::OK();
+}
+
+}  // namespace
+
 std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
-                                        const MonteCarloOptions& options) {
+                                        const MonteCarloOptions& options,
+                                        McRunOutcome* outcome) {
   std::vector<double> max_llrs(options.num_worlds, 0.0);
 
-  if (options.engine == McEngine::kReference) {
-    auto run_world = [&](size_t w) {
-      max_llrs[w] = simulation.RunWorldReference(w);
-    };
-    if (options.parallel) {
-      DefaultThreadPool().ParallelFor(max_llrs.size(), run_world);
-    } else {
-      for (size_t w = 0; w < max_llrs.size(); ++w) run_world(w);
-    }
-    return max_llrs;
-  }
-
-  const size_t batch_size = std::max<uint32_t>(1, options.batch_size);
+  // The reference engine is "batches" of one world; the batched engine works
+  // in batch_size chunks. Either way the stop poll happens before a chunk
+  // starts, never inside one, so a completed chunk is always whole.
+  const size_t batch_size =
+      options.engine == McEngine::kReference
+          ? 1
+          : std::max<uint32_t>(1, options.batch_size);
   const size_t num_batches = (max_llrs.size() + batch_size - 1) / batch_size;
+  const bool stoppable = outcome != nullptr;
+
   auto run_batch = [&](size_t g) {
     const size_t w_lo = g * batch_size;
     const size_t w_hi = std::min<size_t>(max_llrs.size(), w_lo + batch_size);
-    simulation.RunWorldBatch(w_lo, w_hi, max_llrs.data());
+    if (options.engine == McEngine::kReference) {
+      for (size_t w = w_lo; w < w_hi; ++w) {
+        max_llrs[w] = simulation.RunWorldReference(w);
+      }
+    } else {
+      simulation.RunWorldBatch(w_lo, w_hi, max_llrs.data());
+    }
   };
+
+  StopState stop;
+  std::vector<uint8_t> batch_done(stoppable ? num_batches : 0, uint8_t{0});
+  auto guarded_batch = [&](size_t g) {
+    if (!stoppable) {
+      run_batch(g);
+      return;
+    }
+    if (stop.stopped.load(std::memory_order_acquire)) return;
+    if (Status s = CheckStop(options); !s.ok()) {
+      stop.Trip(std::move(s));
+      return;
+    }
+    run_batch(g);
+    batch_done[g] = 1;  // one writer per index; ParallelFor joins before reads
+  };
+
   if (options.parallel) {
-    DefaultThreadPool().ParallelFor(num_batches, run_batch);
+    DefaultThreadPool().ParallelFor(num_batches, guarded_batch);
   } else {
-    for (size_t g = 0; g < num_batches; ++g) run_batch(g);
+    for (size_t g = 0; g < num_batches; ++g) {
+      if (stoppable && stop.stopped.load(std::memory_order_acquire)) break;
+      guarded_batch(g);
+    }
   }
+
+  if (!stoppable) return max_llrs;
+
+  if (!stop.stopped.load(std::memory_order_acquire)) {
+    outcome->worlds_completed = max_llrs.size();
+    outcome->complete = true;
+    outcome->stop_cause = Status::OK();
+    return max_llrs;
+  }
+  // Keep only the contiguous completed prefix: batches finished out of order
+  // beyond the first gap are discarded so the surviving maxima depend only on
+  // (options, worlds_completed), not on scheduling.
+  size_t done_batches = 0;
+  while (done_batches < num_batches && batch_done[done_batches] != 0) {
+    ++done_batches;
+  }
+  outcome->worlds_completed =
+      std::min(max_llrs.size(), done_batches * batch_size);
+  outcome->complete = false;
+  {
+    std::unique_lock<std::mutex> lock(stop.mu);
+    outcome->stop_cause = stop.cause;
+  }
+  max_llrs.resize(outcome->worlds_completed);
   return max_llrs;
+}
+
+std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
+                                        const MonteCarloOptions& options) {
+  return RunMonteCarloWorlds(simulation, options, nullptr);
 }
 
 std::vector<double> RunMonteCarloWorlds(const RegionFamily& family, double rho,

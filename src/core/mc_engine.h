@@ -36,9 +36,32 @@
 
 namespace sfa::core {
 
+/// How a Monte Carlo run ended. `worlds_completed` is always a CONTIGUOUS
+/// prefix [0, worlds_completed) of the world index space: a stopped parallel
+/// run may have finished later batches out of order, but those are discarded
+/// so the surviving maxima are a pure function of (options, worlds_completed)
+/// — the foundation of deterministic degraded responses (a partial p-value is
+/// byte-reproducible given the completed-world count, regardless of thread
+/// count or which wall-clock instant tripped the stop).
+struct McRunOutcome {
+  size_t worlds_completed = 0;
+  bool complete = true;
+  Status stop_cause;  ///< OK when complete; Cancelled/DeadlineExceeded/injected
+};
+
 /// Runs `simulation` over options.num_worlds null worlds and returns their
 /// max statistics in world order (unsorted). Inputs are assumed validated by
 /// SimulateNull.
+///
+/// When `outcome` is non-null, the engine polls options.cancel /
+/// options.deadline (and the `mc_engine.batch` failpoint) at every batch
+/// boundary and may stop early: the returned vector is then truncated to the
+/// completed contiguous world prefix and *outcome says why. With a null
+/// `outcome` the stop controls are ignored and the run always completes.
+std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
+                                        const MonteCarloOptions& options,
+                                        McRunOutcome* outcome);
+
 std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
                                         const MonteCarloOptions& options);
 

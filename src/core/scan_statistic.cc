@@ -17,14 +17,28 @@ const char* StatisticKindToString(StatisticKind kind) {
 
 Result<NullDistribution> SimulateNull(const ScanStatistic& statistic,
                                       const RegionFamily& family,
-                                      const MonteCarloOptions& options) {
+                                      const MonteCarloOptions& options,
+                                      PartialCalibration* partial) {
   if (options.num_worlds == 0) {
     return Status::InvalidArgument("Monte Carlo needs at least one world");
   }
   SFA_RETURN_NOT_OK(statistic.ValidateForFamily(family));
   const std::unique_ptr<StatisticSimulation> simulation =
       statistic.MakeSimulation(family, options);
-  return NullDistribution(RunMonteCarloWorlds(*simulation, options));
+  McRunOutcome outcome;
+  std::vector<double> max_llrs =
+      RunMonteCarloWorlds(*simulation, options, &outcome);
+  if (!outcome.complete) {
+    // Surface the stop as the call's status — an incomplete calibration must
+    // never flow into the cache as a value. The completed prefix rides the
+    // side channel for callers serving degraded responses.
+    if (partial != nullptr) {
+      partial->worlds_completed = outcome.worlds_completed;
+      partial->maxima = std::move(max_llrs);
+    }
+    return outcome.stop_cause;
+  }
+  return NullDistribution(std::move(max_llrs));
 }
 
 }  // namespace sfa::core

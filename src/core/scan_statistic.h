@@ -178,11 +178,28 @@ class ScanStatistic {
   virtual std::vector<double> ClassDistribution() const { return {}; }
 };
 
+/// Partial progress of a stopped calibration, reported through the error
+/// path of SimulateNull so an incomplete null distribution is never mistaken
+/// for (or cached as) a complete one. `maxima` holds the contiguous
+/// completed-world prefix in world order (see core/mc_engine.h for why that
+/// prefix is deterministic given its length).
+struct PartialCalibration {
+  size_t worlds_completed = 0;
+  std::vector<double> maxima;
+};
+
 /// Simulates the null distribution of the max statistic for `statistic` over
 /// `family` — the statistic-generic entry point of the calibration path.
+///
+/// Cooperative stop: when options.cancel / options.deadline (or an armed
+/// `mc_engine.batch` failpoint) stop the run early, the call FAILS with the
+/// stop cause (Cancelled / DeadlineExceeded / the injected status) so
+/// read-through caches drop it; callers that can serve degraded results pass
+/// `partial` to receive the completed-world prefix alongside that error.
 Result<NullDistribution> SimulateNull(const ScanStatistic& statistic,
                                       const RegionFamily& family,
-                                      const MonteCarloOptions& options);
+                                      const MonteCarloOptions& options,
+                                      PartialCalibration* partial = nullptr);
 
 }  // namespace sfa::core
 

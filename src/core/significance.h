@@ -6,12 +6,17 @@
 #ifndef SFA_CORE_SIGNIFICANCE_H_
 #define SFA_CORE_SIGNIFICANCE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "common/status.h"
 #include "core/region_family.h"
 #include "stats/bernoulli_scan.h"
+
+namespace sfa {
+class CancellationToken;  // common/thread_pool.h
+}
 
 namespace sfa::core {
 
@@ -63,6 +68,21 @@ struct MonteCarloOptions {
   /// binomials) but consumes a different RNG stream, so disable it to
   /// reproduce point-level draws world-by-world.
   bool closed_form_cells = true;
+
+  // --- Execution-only cooperative stop controls -----------------------------
+  // Consulted between world batches, and ONLY when the caller passes a
+  // McRunOutcome (core/mc_engine.h) — a run that cannot report partial
+  // progress is never stopped early, so it can never silently return (or
+  // cache) a short null distribution. These fields are intentionally absent
+  // from calibration keys (core/calibration_cache.cc): they change when a
+  // simulation stops, never what it computes.
+
+  /// Sticky cooperative cancel, polled at batch boundaries. Not owned.
+  const CancellationToken* cancel = nullptr;
+  /// Absolute deadline; epoch-zero (the default) means none. Worlds whose
+  /// batch starts before the deadline still run to completion — the engine
+  /// stops before batches, never inside one.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// The simulated null distribution of the max statistic.

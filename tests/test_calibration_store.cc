@@ -11,6 +11,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -211,8 +212,15 @@ TEST(CalibrationStore, RejectsTruncatedAndCorruptedFrames) {
   EXPECT_TRUE(loaded.status().IsNotFound());
   EXPECT_GE(store->stats().load_rejected, 6u);
 
+  // Every reject above also quarantined its frame: the defective bytes moved
+  // aside, so by now the key is a clean miss (a fresh-handle load_misses, not
+  // another parse-and-reject).
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_EQ(store->stats().quarantined, store->stats().load_rejected);
+
   // And the pipeline-level fallback: a corrupt store never poisons results —
   // the calibration is recomputed and responses match a store-less run.
+  ASSERT_TRUE(store->Store(key, dist).ok());
   std::filesystem::resize_file(path, full_size / 3);
   AuditPipeline clean, fallback;
   PipelineManifest manifest;
@@ -440,6 +448,86 @@ TEST(CalibrationStore, ConcurrentReadThroughFromTwoPipelinesSharingADirectory) {
   // Each pipeline served at least the seeded calibration from disk.
   EXPECT_GE(p1.cache().stats().store_hits, 1u);
   EXPECT_GE(p2.cache().stats().store_hits, 1u);
+}
+
+TEST(CalibrationStore, OpenCreatesMissingParentDirectories) {
+  // Regression: create_if_missing must behave like `mkdir -p` — a deploy
+  // pointing at a nested, not-yet-existing path (fresh volume) has no parent
+  // to lean on.
+  TempStoreDir dir("mkdirp");
+  const auto nested = dir.path / "a" / "b" / "c" / "store";
+  ASSERT_FALSE(std::filesystem::exists(dir.path / "a"));
+  auto store = CalibrationStore::Open({.directory = nested.string()});
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+
+  // And the created directory is immediately usable end to end.
+  StoreBatch b;
+  const CalibrationKey key = KeyFor(b, b.requests[0]);
+  NullDistribution dist(std::vector<double>{1.0});
+  ASSERT_TRUE((*store)->Store(key, dist).ok());
+  EXPECT_TRUE((*store)->Load(key).ok());
+}
+
+TEST(CalibrationStore, EvictSweepRacingConcurrentLoadsAndStoresStaysSafe) {
+  // An eviction sweep racing writers and readers on the same directory must
+  // never produce a wrong result — only extra misses (evicted frame →
+  // recompute) or benign raced removals. Exercises the entry_ec/remove_ec
+  // tolerance paths in EvictToBudget under real contention.
+  TempStoreDir dir("evictrace");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  std::vector<CalibrationKey> keys;
+  std::vector<NullDistribution> dists;
+  for (uint64_t seed = 900; seed < 916; ++seed) {
+    MonteCarloOptions mc = b.requests[0].options.monte_carlo;
+    mc.seed = seed;
+    keys.push_back(MakeCalibrationKey(*b.family, b.city.size(),
+                                      b.city.PositiveCount(),
+                                      stats::ScanDirection::kTwoSided, mc));
+    dists.emplace_back(
+        std::vector<double>{static_cast<double>(seed), 1.0, 0.5});
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> wrong_payloads{0};
+  std::thread writer([&] {
+    for (int round = 0; round < 40; ++round) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_TRUE(store->Store(keys[i], dists[i]).ok());
+      }
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        auto loaded = store->Load(keys[i]);
+        if (loaded.ok() && loaded->sorted_max() != dists[i].sorted_max()) {
+          wrong_payloads.fetch_add(1);
+        }
+      }
+    }
+  });
+  std::thread evictor([&] {
+    while (!stop.load()) {
+      auto swept = store->EvictToBudget(0);  // max pressure: evict everything
+      ASSERT_TRUE(swept.ok()) << swept.status();
+    }
+  });
+  writer.join();
+  reader.join();
+  evictor.join();
+
+  EXPECT_EQ(wrong_payloads.load(), 0u);
+  // Zero corrupt frames were ever observed: every load either hit a complete
+  // frame or missed; nothing was quarantined by the race.
+  EXPECT_EQ(store->stats().load_rejected, 0u);
+  EXPECT_EQ(store->stats().store_failures, 0u);
+
+  // The directory still works after the storm.
+  ASSERT_TRUE(store->Store(keys[0], dists[0]).ok());
+  EXPECT_TRUE(store->Load(keys[0]).ok());
 }
 
 }  // namespace

@@ -26,6 +26,26 @@ TEST(Status, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_EQ(Status::InvalidArgument("bad input").message(), "bad input");
 }
 
+TEST(Status, DeadlineExceededFactoryAndPredicate) {
+  Status s = Status::DeadlineExceeded("request expired in queue");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "request expired in queue");
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: request expired in queue");
+  // No other predicate claims it, and no other code claims the predicate.
+  EXPECT_FALSE(s.IsCancelled());
+  EXPECT_FALSE(Status::Cancelled("x").IsDeadlineExceeded());
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(Status, DeadlineExceededPropagatesThroughContext) {
+  Status s = Status::DeadlineExceeded("mid-calibration").WithContext("r42");
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_EQ(s.message(), "r42: mid-calibration");
+}
+
 TEST(Status, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::InvalidArgument("bad").ToString(), "InvalidArgument: bad");
   EXPECT_EQ(Status::IOError("").ToString(), "IOError");

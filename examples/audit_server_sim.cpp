@@ -21,6 +21,26 @@
 //   SFA_QUICK=1 shrinks the stream for smoke runs (CI builds it and runs it
 //   this way).
 //
+// Graceful shutdown: SIGTERM/SIGINT stops the producers, drains the session
+// within --drain-ms via AuditPipeline::Drain (in-flight calibrations finish
+// or stop at a batch boundary, write-behind flushes, leases release), prints
+// the final StreamStats JSON, and exits 130 — an interrupted run never loses
+// its summary or leaves unflushed frames.
+//
+// Multi-process fabric drill (--shards=N): the driver forks N real worker
+// processes BEFORE creating any threads. Each child rebuilds the identical
+// request world from the deterministic seeds, keeps the requests whose
+// CalibrationKey hash lands on its shard, opens the SHARED store directory
+// with cross-process leases enabled, serves its slice through the streaming
+// pipeline, and appends each cleanly-served response to shard-<i>.results
+// (flushed per line, so even a killed worker leaves a verifiable record).
+// With --chaos-kill=<i> the parent waits until calibration activity is
+// visible in the store (a lease file appears), then SIGKILLs that worker
+// mid-flight. The parent then re-opens the store — the Open recovery sweep
+// must leave NO `.tmp.*` or lease debris — replays every request in one
+// batch, and verifies every response any shard recorded matches the replay:
+// a torn frame or a lost calibration would surface right here.
+//
 // Fault-drill flags (default off; the default run stays the strict CI smoke):
 //
 //   --failpoints=<spec>  arms the fault-injection registry with a
@@ -31,17 +51,25 @@
 //                        and opts it into graceful degradation, so expiries
 //                        surface as degraded/deadline-missed counters
 //                        instead of hard failures.
+//   --shards=N           fork-based multi-process fabric drill (above).
+//   --chaos-kill=<i>     SIGKILL shard i once calibration activity appears.
+//   --drain-ms=<ms>      drain budget used by the SIGTERM/SIGINT path.
 //
-// With either flag set, per-request failures are tolerated and reported (the
+// With a fault flag set, per-request failures are tolerated and reported (the
 // exit criteria relax to: no replay failures, no payload mismatch among
 // successfully-served-undegraded requests) and the JSON summary grows a
 // "faults" object with the armed sites and observed fault counters.
+#include <csignal>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -52,6 +80,7 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/audit.h"
 #include "core/audit_pipeline.h"
 #include "core/calibration_store.h"
 #include "core/export.h"
@@ -63,6 +92,9 @@ namespace {
 
 using sfa::Rng;
 using namespace sfa::core;
+
+std::atomic<bool> g_shutdown{false};
+void OnShutdownSignal(int) { g_shutdown.store(true); }
 
 struct City {
   std::string name;
@@ -97,91 +129,35 @@ City MakeCity(const std::string& name, uint64_t seed, size_t n,
   return city;
 }
 
-double Percentile(std::vector<double> sorted_ms, double q) {
-  if (sorted_ms.empty()) return 0.0;
-  std::sort(sorted_ms.begin(), sorted_ms.end());
-  const double pos = q * (sorted_ms.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
-  return sorted_ms[lo] + (pos - lo) * (sorted_ms[hi] - sorted_ms[lo]);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bool quick = [] {
-    const char* env = std::getenv("SFA_QUICK");
-    return env != nullptr && env[0] == '1';
-  }();
-
-  std::string failpoint_spec;
-  double deadline_ms = 0.0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--failpoints=", 0) == 0) {
-      failpoint_spec = arg.substr(std::string("--failpoints=").size());
-    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
-      deadline_ms = std::atof(arg.c_str() +
-                              std::string("--deadline-ms=").size());
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--failpoints=<spec>] [--deadline-ms=<ms>]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  if (!failpoint_spec.empty()) {
-    const sfa::Status armed =
-        sfa::Failpoints::Instance().ArmFromSpec(failpoint_spec);
-    if (!armed.ok()) {
-      std::fprintf(stderr, "bad --failpoints spec: %s\n",
-                   armed.ToString().c_str());
-      return 2;
-    }
-  }
-  // Faulted runs tolerate (and report) per-request failures; the default run
-  // keeps the strict persisted-warm exit criteria for CI.
-  const bool faulted = !failpoint_spec.empty() || deadline_ms > 0.0;
-  const size_t city_points = quick ? 4000 : 20000;
-  const uint32_t num_worlds = quick ? 99 : 499;
-  const size_t num_requests = quick ? 48 : 160;
-  const size_t num_producers = 4;
-
-  std::printf("== audit_server_sim: streaming service + persistent calibration "
-              "store ==\n");
-  std::printf("3 cities x {statistical parity, equal opportunity} x 4 alphas "
-              "x 2 directions x 3 priorities, %u worlds/calibration%s\n\n",
-              num_worlds, quick ? " (SFA_QUICK=1)" : "");
-  if (!failpoint_spec.empty()) {
-    std::printf("failpoints armed: %s\n", failpoint_spec.c_str());
-  }
-  if (deadline_ms > 0.0) {
-    std::printf("per-request deadline: %.1f ms (degraded serving enabled)\n",
-                deadline_ms);
-  }
-  if (faulted) std::printf("\n");
-
+/// The deterministic request world every process (parent, shards, replay)
+/// rebuilds identically from fixed seeds.
+struct World {
   std::vector<City> cities;
-  cities.push_back(MakeCity("riverton", 11, city_points, 0.35));
-  cities.push_back(MakeCity("lakeside", 22, city_points, 0.55));  // fair
-  cities.push_back(MakeCity("hillcrest", 33, city_points, 0.45));
+  std::vector<AuditRequest> requests;
+  std::vector<RequestPriority> priorities;
+};
+
+World BuildWorld(size_t city_points, uint32_t num_worlds, size_t num_requests) {
+  World world;
+  world.cities.reserve(3);
+  world.cities.push_back(MakeCity("riverton", 11, city_points, 0.35));
+  world.cities.push_back(MakeCity("lakeside", 22, city_points, 0.55));  // fair
+  world.cities.push_back(MakeCity("hillcrest", 33, city_points, 0.45));
 
   const double alphas[4] = {0.05, 0.01, 0.005, 0.001};
   const sfa::stats::ScanDirection directions[2] = {
       sfa::stats::ScanDirection::kTwoSided, sfa::stats::ScanDirection::kLow};
-  const RequestPriority priorities[3] = {RequestPriority::kInteractive,
-                                         RequestPriority::kNormal,
-                                         RequestPriority::kBulk};
+  const RequestPriority priority_classes[3] = {RequestPriority::kInteractive,
+                                               RequestPriority::kNormal,
+                                               RequestPriority::kBulk};
 
   // The request stream: uniformly random (city, measure, α, direction,
   // priority) draws, i.e. heavy key collision by design — an α-sweep of one
   // city costs one calibration, not four.
   Rng stream_rng(777);
-  std::vector<AuditRequest> requests;
-  std::vector<RequestPriority> request_priorities;
-  requests.reserve(num_requests);
+  world.requests.reserve(num_requests);
   for (size_t i = 0; i < num_requests; ++i) {
-    const City& city = cities[stream_rng.NextUint64(cities.size())];
+    const City& city = world.cities[stream_rng.NextUint64(world.cities.size())];
     const bool eo = stream_rng.Bernoulli(0.4);
     AuditRequest req;
     req.id = sfa::StrFormat("r%03zu-%s-%s", i, city.name.c_str(),
@@ -194,9 +170,480 @@ int main(int argc, char** argv) {
     req.options.alpha = alphas[stream_rng.NextUint64(4)];
     req.options.direction = directions[stream_rng.NextUint64(2)];
     req.options.monte_carlo.num_worlds = num_worlds;
-    requests.push_back(std::move(req));
-    request_priorities.push_back(priorities[stream_rng.NextUint64(3)]);
+    world.requests.push_back(std::move(req));
+    world.priorities.push_back(priority_classes[stream_rng.NextUint64(3)]);
   }
+  return world;
+}
+
+/// The exact calibration-key hash the pipeline will use for each request
+/// (same fingerprint + statistic + options path), so sharding by
+/// hash % shards puts every request of one calibration on one shard.
+std::vector<uint64_t> RequestKeyHashes(const World& world) {
+  std::map<const RegionFamily*, uint64_t> fingerprints;
+  std::vector<uint64_t> hashes;
+  hashes.reserve(world.requests.size());
+  for (const AuditRequest& req : world.requests) {
+    auto [it, inserted] = fingerprints.emplace(req.family, 0);
+    if (inserted) it->second = FamilyFingerprint(*req.family);
+    auto statistic = MakeScanStatistic(req.options, *req.dataset);
+    SFA_CHECK_OK(statistic.status());
+    const CalibrationKey key = MakeCalibrationKey(
+        *req.family, it->second, **statistic, req.options.monte_carlo);
+    hashes.push_back(key.hash);
+  }
+  return hashes;
+}
+
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double pos = q * (sorted_ms.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  return sorted_ms[lo] + (pos - lo) * (sorted_ms[hi] - sorted_ms[lo]);
+}
+
+struct SimConfig {
+  bool quick = false;
+  std::string failpoint_spec;
+  double deadline_ms = 0.0;
+  int shards = 0;       // 0 = single-process mode
+  int chaos_kill = -1;  // shard index to SIGKILL, -1 = none
+  double drain_ms = 10'000.0;
+  bool faulted = false;
+  size_t city_points = 0;
+  uint32_t num_worlds = 0;
+  size_t num_requests = 0;
+};
+
+/// One cleanly-served response, as recorded by a shard and recomputed by the
+/// replay. %.17g round-trips doubles exactly, so string equality here IS
+/// payload bit-identity for the compared fields.
+struct RecordedResponse {
+  std::string p_value;
+  std::string tau;
+  int fair = 0;
+  unsigned long long worlds = 0;
+  size_t findings = 0;
+
+  bool operator==(const RecordedResponse& o) const {
+    return p_value == o.p_value && tau == o.tau && fair == o.fair &&
+           worlds == o.worlds && findings == o.findings;
+  }
+};
+
+std::string FormatRecord(const std::string& id, const RecordedResponse& r) {
+  return sfa::StrFormat("%s\t%s\t%s\t%d\t%llu\t%zu\n", id.c_str(),
+                        r.p_value.c_str(), r.tau.c_str(), r.fair, r.worlds,
+                        r.findings);
+}
+
+RecordedResponse RecordOf(const AuditResponse& response) {
+  RecordedResponse r;
+  r.p_value = sfa::StrFormat("%.17g", response.result.p_value);
+  r.tau = sfa::StrFormat("%.17g", response.result.tau);
+  r.fair = response.result.spatially_fair ? 1 : 0;
+  r.worlds = static_cast<unsigned long long>(response.worlds_completed);
+  r.findings = response.result.findings.size();
+  return r;
+}
+
+/// Parses shard result files line-by-line, tolerating a torn final line (a
+/// SIGKILLed worker may die mid-fprintf).
+std::map<std::string, RecordedResponse> ReadRecords(
+    const std::filesystem::path& path) {
+  std::map<std::string, RecordedResponse> records;
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return records;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    const size_t len = std::strlen(line);
+    if (len == 0 || line[len - 1] != '\n') continue;  // torn last line
+    char id[128], p[64], tau[64];
+    int fair = 0;
+    unsigned long long worlds = 0;
+    size_t findings = 0;
+    if (std::sscanf(line, "%127[^\t]\t%63[^\t]\t%63[^\t]\t%d\t%llu\t%zu", id,
+                    p, tau, &fair, &worlds, &findings) != 6) {
+      continue;
+    }
+    RecordedResponse r;
+    r.p_value = p;
+    r.tau = tau;
+    r.fair = fair;
+    r.worlds = worlds;
+    r.findings = findings;
+    records.emplace(id, std::move(r));
+  }
+  std::fclose(f);
+  return records;
+}
+
+/// Streams `subset` (indices into world.requests) through `pipeline`.
+/// Producers stop at the shutdown flag; the caller decides how to finish
+/// (FinishStream vs Drain). Returns the tickets (null where not admitted).
+std::vector<std::shared_ptr<AuditTicket>> StreamSubset(
+    AuditPipeline& pipeline, const World& world,
+    const std::vector<size_t>& subset, const SimConfig& config,
+    size_t num_producers) {
+  std::vector<std::shared_ptr<AuditTicket>> tickets(world.requests.size());
+  std::vector<std::thread> producers;
+  const size_t per_producer =
+      (subset.size() + num_producers - 1) / num_producers;
+  for (size_t p = 0; p < num_producers; ++p) {
+    producers.emplace_back([&, p] {
+      const size_t begin = p * per_producer;
+      const size_t end = std::min(subset.size(), begin + per_producer);
+      for (size_t s = begin; s < end; ++s) {
+        if (g_shutdown.load(std::memory_order_relaxed)) break;
+        const size_t i = subset[s];
+        AuditRequest req = world.requests[i];
+        if (config.deadline_ms > 0.0) {
+          // The drill deadline applies to the live stream only (the replay
+          // must re-serve everything to verify the persisted-warm
+          // contract); expiries degrade rather than fail outright.
+          req.deadline_ms = config.deadline_ms;
+          req.allow_degraded = true;
+        }
+        auto ticket = pipeline.Submit(std::move(req), world.priorities[i]);
+        if (!ticket.ok()) {
+          // Admission rejection (deadline, backpressure, or shutdown race) —
+          // legal in a faulted/interrupted run, counted in the stream stats.
+          SFA_CHECK_MSG(config.faulted || g_shutdown.load(),
+                        "Submit failed in a fault-free run");
+          continue;
+        }
+        tickets[i] = *ticket;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  return tickets;
+}
+
+// ------------------------------------------------------------ shard worker --
+
+/// One forked fabric worker: rebuilds the world, serves the requests whose
+/// key hash lands on `shard`, records every cleanly-served response (flushed
+/// per line). Returns the process exit code.
+int RunShardWorker(int shard, const std::filesystem::path& work_dir,
+                   const SimConfig& config) {
+  const World world =
+      BuildWorld(config.city_points, config.num_worlds, config.num_requests);
+  const std::vector<uint64_t> hashes = RequestKeyHashes(world);
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < world.requests.size(); ++i) {
+    if (hashes[i] % static_cast<uint64_t>(config.shards) ==
+        static_cast<uint64_t>(shard)) {
+      subset.push_back(i);
+    }
+  }
+
+  AuditPipeline pipeline;
+  auto store = CalibrationStore::Open({
+      .directory = (work_dir / "store").string(),
+      .lease_ttl_ms = 1500.0,
+      .lease_heartbeat_interval_ms = 50.0,
+  });
+  SFA_CHECK_OK(store.status());
+  pipeline.cache().AttachStore(
+      std::shared_ptr<CalibrationStore>(std::move(*store)));
+
+  StreamOptions opts;
+  opts.queue_capacity = 16;
+  opts.num_workers = 2;
+  opts.block_when_full = true;
+  SFA_CHECK_OK(pipeline.StartStream(opts));
+  const auto tickets = StreamSubset(pipeline, world, subset, config,
+                                    /*num_producers=*/2);
+  if (g_shutdown.load()) {
+    SFA_CHECK_OK(pipeline.Drain(config.drain_ms));
+  } else {
+    SFA_CHECK_OK(pipeline.FinishStream());
+  }
+
+  // Record AFTER the drain (everything is settled) but re-walk in subset
+  // order; per-line flush so a later chaos kill of this process cannot tear
+  // more than the final line.
+  const std::filesystem::path results =
+      work_dir / sfa::StrFormat("shard-%d.results", shard);
+  std::FILE* out = std::fopen(results.string().c_str(), "wb");
+  SFA_CHECK_MSG(out != nullptr, "cannot open shard results file");
+  size_t failed = 0;
+  for (const size_t i : subset) {
+    if (tickets[i] == nullptr) continue;
+    const AuditResponse& response = tickets[i]->Get();
+    if (!response.status.ok()) {
+      ++failed;
+      continue;
+    }
+    if (response.degraded) continue;  // ranks against a shorter prefix
+    const std::string line = FormatRecord(response.id, RecordOf(response));
+    std::fputs(line.c_str(), out);
+    std::fflush(out);
+  }
+  std::fclose(out);
+  const StreamStats stats = pipeline.stream_stats();
+  std::printf("[shard %d] %s\n", shard, stats.ToJson().c_str());
+  // Per-request failures are tolerated exactly when faults are armed.
+  return (failed == 0 || config.faulted) ? 0 : 1;
+}
+
+// ------------------------------------------------------------ shard driver --
+
+/// Forks the shard workers (BEFORE any thread exists in this process), runs
+/// the optional chaos kill, then recovers: Open sweep, leftover scan, full
+/// single-process replay, record comparison.
+int RunShardedDriver(const SimConfig& config) {
+  const std::filesystem::path work_dir =
+      std::filesystem::temp_directory_path() /
+      sfa::StrFormat("sfa_audit_server_sim_fabric_%d", ::getpid());
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+  const std::filesystem::path store_dir = work_dir / "store";
+
+  std::printf("== audit_server_sim: %d-shard fabric over one store ==\n",
+              config.shards);
+  if (config.chaos_kill >= 0) {
+    std::printf("chaos: SIGKILL shard %d once store activity appears\n",
+                config.chaos_kill);
+  }
+
+  std::vector<pid_t> pids;
+  for (int shard = 0; shard < config.shards; ++shard) {
+    const pid_t pid = ::fork();
+    SFA_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: no threads were created pre-fork, so the full C++ runtime is
+      // usable. _exit avoids re-running the parent's atexit state.
+      ::_exit(RunShardWorker(shard, work_dir, config));
+    }
+    pids.push_back(pid);
+  }
+
+  if (config.chaos_kill >= 0 &&
+      config.chaos_kill < static_cast<int>(pids.size())) {
+    // Kill mid-calibration: wait until calibration activity is visible in
+    // the store — a held lease, or a first published frame (quick-mode
+    // leases live only milliseconds, so a lease alone is easy to miss) —
+    // then SIGKILL the victim. Falls through after a bounded wait so a
+    // degenerate run still terminates.
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    bool saw_activity = false;
+    while (std::chrono::steady_clock::now() < until && !saw_activity) {
+      std::error_code ec;
+      for (std::filesystem::recursive_directory_iterator it(store_dir, ec),
+           end;
+           !ec && it != end; it.increment(ec)) {
+        const auto ext = it->path().extension();
+        if (ext == ".lease" || ext == ".nulldist") {
+          saw_activity = true;
+          break;
+        }
+      }
+      if (!saw_activity) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    ::kill(pids[config.chaos_kill], SIGKILL);
+    std::printf("chaos: killed shard %d (store activity observed: %s)\n",
+                config.chaos_kill, saw_activity ? "yes" : "timeout");
+  }
+
+  std::vector<int> exits(pids.size(), -1);
+  std::vector<bool> killed(pids.size(), false);
+  for (size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    ::waitpid(pids[i], &status, 0);
+    if (WIFEXITED(status)) exits[i] = WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) killed[i] = true;
+  }
+
+  // Recovery: the Open sweep must reap every temp and lease the dead (and
+  // live-but-exited) workers left behind — their pids are all dead now, so
+  // the dead-pid arm reaps regardless of age.
+  auto reopened = CalibrationStore::Open({
+      .directory = store_dir.string(),
+      .create_if_missing = false,
+      .lease_ttl_ms = 1500.0,
+  });
+  SFA_CHECK_OK(reopened.status());
+  const auto count_leftovers = [&store_dir](bool print) {
+    size_t count = 0;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(store_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.find(".tmp.") != std::string::npos ||
+          name.find(".reap.") != std::string::npos ||
+          entry.path().extension() == ".lease") {
+        ++count;
+        if (print) {
+          std::printf("LEFTOVER after sweep: %s\n",
+                      entry.path().string().c_str());
+        }
+      }
+    }
+    return count;
+  };
+  size_t leftovers = count_leftovers(/*print=*/false);
+  if (leftovers > 0) {
+    // Every shard pid is dead by now, so anything still here is either an
+    // unparseable lease inside its TTL (a shard SIGKILLed between the
+    // O_EXCL create and its identity write — the dead-pid arm cannot read
+    // the pid) or a genuine leak. Give the TTL arm its window and sweep
+    // once more before judging.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1600));
+    (*reopened)->RecoverySweep();
+    leftovers = count_leftovers(/*print=*/true);
+  }
+  const CalibrationStore::Stats sweep_stats = (*reopened)->stats();
+
+  // Full single-process replay over the SAME request world, warm-started
+  // from whatever the fabric persisted; every calibration a shard lost is
+  // recomputed here byte-identically (the determinism contract).
+  const World world =
+      BuildWorld(config.city_points, config.num_worlds, config.num_requests);
+  PipelineManifest manifest;
+  size_t mismatches = 0;
+  size_t compared = 0;
+  {
+    AuditPipeline replayer;
+    replayer.cache().AttachStore(
+        std::shared_ptr<CalibrationStore>(std::move(*reopened)));
+    auto replayed = replayer.Run(world.requests, &manifest);
+    SFA_CHECK_OK(replayed.status());
+    std::map<std::string, RecordedResponse> replay_records;
+    for (const AuditResponse& response : *replayed) {
+      SFA_CHECK_OK(response.status);
+      replay_records.emplace(response.id, RecordOf(response));
+    }
+    for (int shard = 0; shard < config.shards; ++shard) {
+      const auto records = ReadRecords(
+          work_dir / sfa::StrFormat("shard-%d.results", shard));
+      for (const auto& [id, record] : records) {
+        ++compared;
+        auto it = replay_records.find(id);
+        if (it == replay_records.end() || !(it->second == record)) {
+          ++mismatches;
+          std::printf("MISMATCH at %s (shard %d)\n", id.c_str(), shard);
+        }
+      }
+    }
+  }
+
+  std::string exits_json;
+  for (size_t i = 0; i < exits.size(); ++i) {
+    if (i > 0) exits_json += ',';
+    exits_json += killed[i] ? "\"killed\"" : sfa::StrFormat("%d", exits[i]);
+  }
+  const std::string summary = sfa::StrFormat(
+      "{\"shards\":%d,\"chaos_kill\":%d,\"shard_exits\":[%s],"
+      "\"compared\":%zu,\"mismatches\":%zu,\"leftover_files\":%zu,"
+      "\"replay_failed\":%zu,\"replay_computed\":%llu,"
+      "\"replay_loaded\":%llu,\"recovery\":{\"temps_reaped\":%llu,"
+      "\"leases_reclaimed\":%llu,\"quarantine_evicted_files\":%llu}}",
+      config.shards, config.chaos_kill, exits_json.c_str(), compared,
+      mismatches, leftovers, manifest.num_failed,
+      static_cast<unsigned long long>(manifest.calibrations_computed),
+      static_cast<unsigned long long>(manifest.calibrations_loaded),
+      static_cast<unsigned long long>(sweep_stats.temps_reaped),
+      static_cast<unsigned long long>(sweep_stats.leases_reclaimed),
+      static_cast<unsigned long long>(sweep_stats.quarantine_evicted_files));
+  std::printf("== fabric summary (machine-readable) ==\n%s\n", summary.c_str());
+
+  std::filesystem::remove_all(work_dir);
+  bool ok = mismatches == 0 && leftovers == 0 && manifest.num_failed == 0 &&
+            compared > 0;
+  for (size_t i = 0; i < exits.size(); ++i) {
+    if (!killed[i] && exits[i] != 0) ok = false;  // the victim may die dirty
+  }
+  if (!ok) std::printf("\nFAILED: fabric recovery violated its contract\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimConfig config;
+  config.quick = [] {
+    const char* env = std::getenv("SFA_QUICK");
+    return env != nullptr && env[0] == '1';
+  }();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--failpoints=", 0) == 0) {
+      config.failpoint_spec = arg.substr(std::string("--failpoints=").size());
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      config.deadline_ms =
+          std::atof(arg.c_str() + std::string("--deadline-ms=").size());
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      config.shards = std::atoi(arg.c_str() + std::string("--shards=").size());
+    } else if (arg.rfind("--chaos-kill=", 0) == 0) {
+      config.chaos_kill =
+          std::atoi(arg.c_str() + std::string("--chaos-kill=").size());
+    } else if (arg.rfind("--drain-ms=", 0) == 0) {
+      config.drain_ms =
+          std::atof(arg.c_str() + std::string("--drain-ms=").size());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--failpoints=<spec>] [--deadline-ms=<ms>] "
+                   "[--shards=N [--chaos-kill=<i>]] [--drain-ms=<ms>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!config.failpoint_spec.empty()) {
+    const sfa::Status armed =
+        sfa::Failpoints::Instance().ArmFromSpec(config.failpoint_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+  }
+  // Faulted runs tolerate (and report) per-request failures; the default run
+  // keeps the strict persisted-warm exit criteria for CI. A chaos kill
+  // implies faults even without failpoints.
+  config.faulted = !config.failpoint_spec.empty() || config.deadline_ms > 0.0 ||
+                   config.chaos_kill >= 0;
+  config.city_points = config.quick ? 4000 : 20000;
+  config.num_worlds = config.quick ? 99 : 499;
+  config.num_requests = config.quick ? 48 : 160;
+  const size_t num_producers = 4;
+
+  // Graceful-shutdown wiring: producers poll the flag, the main thread
+  // drains and still prints the summary. Installed before any fork so shard
+  // workers inherit it.
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+
+  if (config.shards > 0) {
+    // Fork-based fabric drill. MUST run before any thread (or thread pool)
+    // exists in this process: fork only carries the calling thread, so a
+    // pre-fork pool would leave children with dead workers and locked locks.
+    return RunShardedDriver(config);
+  }
+
+  std::printf("== audit_server_sim: streaming service + persistent calibration "
+              "store ==\n");
+  std::printf("3 cities x {statistical parity, equal opportunity} x 4 alphas "
+              "x 2 directions x 3 priorities, %u worlds/calibration%s\n\n",
+              config.num_worlds, config.quick ? " (SFA_QUICK=1)" : "");
+  if (!config.failpoint_spec.empty()) {
+    std::printf("failpoints armed: %s\n", config.failpoint_spec.c_str());
+  }
+  if (config.deadline_ms > 0.0) {
+    std::printf("per-request deadline: %.1f ms (degraded serving enabled)\n",
+                config.deadline_ms);
+  }
+  if (config.faulted) std::printf("\n");
+
+  const World world =
+      BuildWorld(config.city_points, config.num_worlds, config.num_requests);
+  const std::vector<AuditRequest>& requests = world.requests;
 
   const std::filesystem::path store_dir =
       std::filesystem::temp_directory_path() /
@@ -205,8 +652,9 @@ int main(int argc, char** argv) {
 
   // ---------------------------------------------------- phase 1: streaming
   std::printf("-- phase 1: streaming service, cold store --\n");
-  std::vector<std::shared_ptr<AuditTicket>> tickets(requests.size());
+  std::vector<std::shared_ptr<AuditTicket>> tickets;
   double stream_wall_ms = 0.0;
+  bool interrupted = false;
   StreamStats stream_stats;
   CalibrationCache::Stats live_cache_stats;
   {
@@ -222,41 +670,27 @@ int main(int argc, char** argv) {
     opts.block_when_full = true;  // a replayed trace sheds no load
     SFA_CHECK_OK(pipeline.StartStream(opts));
 
+    std::vector<size_t> all(requests.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
     sfa::Stopwatch wall;
-    std::vector<std::thread> producers;
-    const size_t per_producer = (requests.size() + num_producers - 1) /
-                                num_producers;
-    for (size_t p = 0; p < num_producers; ++p) {
-      producers.emplace_back([&, p] {
-        const size_t begin = p * per_producer;
-        const size_t end = std::min(requests.size(), begin + per_producer);
-        for (size_t i = begin; i < end; ++i) {
-          AuditRequest req = requests[i];
-          if (deadline_ms > 0.0) {
-            // The drill deadline applies to the live stream only (the replay
-            // must re-serve everything to verify the persisted-warm
-            // contract); expiries degrade rather than fail outright.
-            req.deadline_ms = deadline_ms;
-            req.allow_degraded = true;
-          }
-          auto ticket = pipeline.Submit(std::move(req),
-                                        request_priorities[i]);
-          if (!ticket.ok()) {
-            // Admission rejection (deadline or backpressure) — legal in a
-            // faulted run, counted in the stream stats. tickets[i] stays
-            // null and the replay comparison skips this request.
-            SFA_CHECK_MSG(faulted, "Submit failed in a fault-free run");
-            continue;
-          }
-          tickets[i] = *ticket;
-        }
-      });
+    tickets = StreamSubset(pipeline, world, all, config, num_producers);
+    interrupted = g_shutdown.load();
+    if (interrupted) {
+      // The SIGTERM/SIGINT contract: stop admission, finish what fits the
+      // drain budget (leases release either way), flush write-behind, and
+      // STILL report — the final stats JSON below is the whole point.
+      SFA_CHECK_OK(pipeline.Drain(config.drain_ms));
+    } else {
+      SFA_CHECK_OK(pipeline.FinishStream());  // drains + flushes write-behind
     }
-    for (std::thread& t : producers) t.join();
-    SFA_CHECK_OK(pipeline.FinishStream());  // drains + flushes write-behind
     stream_wall_ms = wall.ElapsedMillis();
     stream_stats = pipeline.stream_stats();
     live_cache_stats = pipeline.cache().stats();
+  }
+  if (interrupted) {
+    std::printf("interrupted: drained within %.0f ms; final stream stats:\n%s\n",
+                config.drain_ms, stream_stats.ToJson().c_str());
+    return 130;
   }
 
   std::vector<double> queue_waits, assembly_ms;
@@ -269,7 +703,7 @@ int main(int argc, char** argv) {
     }
     const AuditResponse& response = ticket->Get();
     if (!response.status.ok()) {
-      SFA_CHECK_MSG(faulted, "request failed in a fault-free run");
+      SFA_CHECK_MSG(config.faulted, "request failed in a fault-free run");
       ++live_failed;
       continue;
     }
@@ -279,7 +713,7 @@ int main(int argc, char** argv) {
     if (!response.result.spatially_fair) ++unfair;
     if (response.cache_hit) ++hits;
   }
-  if (faulted) {
+  if (config.faulted) {
     std::printf(
         "fault outcomes: not-admitted=%zu failed=%zu degraded=%zu "
         "deadline-misses=%llu store-retries=%llu quarantined=%llu "
@@ -345,7 +779,7 @@ int main(int argc, char** argv) {
                     live.result.tau, replay.result.p_value, replay.result.tau);
       }
     }
-    if (faulted) {
+    if (config.faulted) {
       std::printf("compared %zu cleanly-served responses against the replay\n",
                   compared);
     }
@@ -370,21 +804,21 @@ int main(int argc, char** argv) {
       "\"queue_wait_p90_ms\":%.3f,\"stats\":%s},\"replay\":{\"wall_ms\":%.3f,"
       "\"calibrations_computed\":%llu,\"calibrations_loaded\":%llu,"
       "\"mismatches\":%zu},\"store_dir\":\"%s\",\"cities\":[",
-      quick ? "true" : "false", requests.size(), stream_wall_ms,
+      config.quick ? "true" : "false", requests.size(), stream_wall_ms,
       Percentile(queue_waits, 0.90), stream_stats.ToJson().c_str(),
       replay_wall_ms,
       static_cast<unsigned long long>(replay_manifest.calibrations_computed),
       static_cast<unsigned long long>(replay_manifest.calibrations_loaded),
       mismatches, JsonEscape(store_dir.string()).c_str());
-  for (size_t c = 0; c < cities.size(); ++c) {
+  for (size_t c = 0; c < world.cities.size(); ++c) {
     if (c > 0) summary += ',';
     summary += sfa::StrFormat(
         "{\"name\":\"%s\",\"sp_family\":\"%s\",\"eo_family\":\"%s\","
         "\"n\":%zu}",
-        JsonEscape(cities[c].name).c_str(),
-        JsonEscape(cities[c].sp_family->Name()).c_str(),
-        JsonEscape(cities[c].eo_family->Name()).c_str(),
-        cities[c].dataset.size());
+        JsonEscape(world.cities[c].name).c_str(),
+        JsonEscape(world.cities[c].sp_family->Name()).c_str(),
+        JsonEscape(world.cities[c].eo_family->Name()).c_str(),
+        world.cities[c].dataset.size());
   }
   summary += "],\"faults\":{\"armed\":[";
   {
@@ -397,7 +831,7 @@ int main(int argc, char** argv) {
   summary += sfa::StrFormat(
       "],\"deadline_ms\":%.3f,\"not_admitted\":%zu,\"live_failed\":%zu,"
       "\"live_degraded\":%zu}",
-      deadline_ms, not_admitted, live_failed, live_degraded);
+      config.deadline_ms, not_admitted, live_failed, live_degraded);
   summary += ",\"last_manifest\":";
   summary += replay_manifest.ToJson();
   summary += "}";
@@ -409,7 +843,8 @@ int main(int argc, char** argv) {
   // faults legitimately cost recomputes, and failed live requests never
   // persisted theirs — but payload agreement and replay health stay binding.
   const bool ok = mismatches == 0 && replay_manifest.num_failed == 0 &&
-                  (faulted || replay_manifest.calibrations_computed == 0);
+                  (config.faulted ||
+                   replay_manifest.calibrations_computed == 0);
   if (!ok) {
     std::printf("\nFAILED: restart replay violated the persisted-warm "
                 "contract\n");

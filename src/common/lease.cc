@@ -1,0 +1,264 @@
+#include "common/lease.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/process_util.h"
+#include "common/string_util.h"
+
+namespace sfa {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Milliseconds between a file mtime and the file clock's now; clamped >= 0.
+double MtimeAgeMs(const std::filesystem::path& path, std::error_code& ec) {
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return 0.0;
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  const double ms =
+      std::chrono::duration<double, std::milli>(age).count();
+  return ms < 0.0 ? 0.0 : ms;
+}
+
+/// A per-process nonce stream: mixes pid, a monotone counter, and the steady
+/// clock so two processes (or two acquisitions in one process) never mint
+/// the same lease identity.
+uint64_t NextNonce() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t z = static_cast<uint64_t>(CurrentPid());
+  z = (z << 32) ^ static_cast<uint64_t>(SteadyNowNs());
+  z ^= counter.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Pid of the reaper embedded in a tombstone name
+/// ("<lease>.reap.<pid>.<seq>"); 0 when the name doesn't parse.
+int TombstoneReaperPid(const std::string& filename) {
+  const size_t tag = filename.rfind(".reap.");
+  if (tag == std::string::npos) return 0;
+  return std::atoi(filename.c_str() + tag + 6);
+}
+
+/// Exclusive advisory lock on `<lease>.lk`, serialising every decision that
+/// deletes a lease file (reap, release, recovery sweep) against the same
+/// decision elsewhere. Judging staleness and unlinking must be one atom:
+/// between an unguarded read and the unlink, a racer can reap the stale
+/// lease AND publish a fresh one at the same path, and the unlink then
+/// kills the fresh lease — electing two owners. flock() is dropped by the
+/// kernel when the holder dies, so a reaper killed inside the guard leaves
+/// no wedge. The zero-byte .lk file is never unlinked: removing a lock file
+/// while another process holds its fd would hand out two locks on what each
+/// side believes is the same name.
+class ReapGuard {
+ public:
+  explicit ReapGuard(const std::string& lease_path) {
+    fd_ = ::open((lease_path + ".lk").c_str(),
+                 O_CREAT | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ReapGuard() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  ReapGuard(const ReapGuard&) = delete;
+  ReapGuard& operator=(const ReapGuard&) = delete;
+
+  bool locked() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+LeaseHolder ReadLeaseHolder(const std::string& path) {
+  LeaseHolder holder;
+  std::error_code ec;
+  holder.heartbeat_age_ms = MtimeAgeMs(path, ec);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return holder;  // absent (or unreadable): parsed=false
+  char buf[160];
+  const size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  int pid = 0;
+  unsigned long long nonce = 0;
+  if (std::sscanf(buf, "pid=%d nonce=%llx", &pid, &nonce) == 2) {
+    holder.pid = pid;
+    holder.nonce = nonce;
+    holder.parsed = true;
+  }
+  return holder;
+}
+
+bool LeaseIsStale(const LeaseHolder& holder, double ttl_ms) {
+  if (holder.parsed && !ProcessAlive(holder.pid)) return true;
+  return ttl_ms > 0.0 && holder.heartbeat_age_ms > ttl_ms;
+}
+
+Result<FileLease::AcquireOutcome> FileLease::TryAcquire(
+    const std::string& path, double ttl_ms, double heartbeat_interval_ms) {
+  AcquireOutcome outcome;
+  // Bounded retries: each loop either creates the file, observes a live
+  // holder (return), or wins/loses a tombstone rename. Pathological races
+  // (a takeover storm) report the last observed holder instead of spinning.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      const uint64_t nonce = NextNonce();
+      const auto unix_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+      const std::string content = StrFormat(
+          "pid=%d nonce=%016llx start_unix_ms=%lld\n", CurrentPid(),
+          static_cast<unsigned long long>(nonce),
+          static_cast<long long>(unix_ms));
+      const ssize_t written = ::write(fd, content.data(), content.size());
+      ::close(fd);
+      if (written != static_cast<ssize_t>(content.size())) {
+        // A lease whose identity never landed would be unparseable (live
+        // until TTL) — remove it rather than squat on the name.
+        ::unlink(path.c_str());
+        return Status::IOError(
+            StrFormat("short write creating lease '%s'", path.c_str()));
+      }
+      outcome.lease.reset(
+          new FileLease(path, nonce, heartbeat_interval_ms));
+      return outcome;
+    }
+    if (errno != EEXIST) {
+      return Status::IOError(StrFormat("cannot create lease '%s': %s",
+                                       path.c_str(), std::strerror(errno)));
+    }
+
+    const LeaseHolder holder = ReadLeaseHolder(path);
+    if (!LeaseIsStale(holder, ttl_ms)) {
+      outcome.holder = holder;
+      return outcome;  // live holder; caller polls
+    }
+    // Stale: reap under the per-lease guard, re-judging staleness while the
+    // lock is held. An absent file re-reads as not-stale (parsed=false, age
+    // 0), so a racer that finds the reap already done simply falls through
+    // to re-contest the O_EXCL create — acquisition, not deletion, crowns
+    // the owner.
+    {
+      ReapGuard guard(path);
+      if (!guard.locked()) {
+        return Status::IOError(
+            StrFormat("cannot lock reap guard for lease '%s': %s",
+                      path.c_str(), std::strerror(errno)));
+      }
+      if (LeaseIsStale(ReadLeaseHolder(path), ttl_ms) &&
+          ::unlink(path.c_str()) == 0) {
+        outcome.takeover = true;
+      }
+    }
+  }
+  outcome.takeover = false;
+  outcome.holder = ReadLeaseHolder(path);
+  return outcome;  // contention storm: report unheld-by-us, caller polls
+}
+
+FileLease::FileLease(std::string path, uint64_t nonce,
+                     double heartbeat_interval_ms)
+    : path_(std::move(path)),
+      nonce_(nonce),
+      heartbeat_interval_ms_(heartbeat_interval_ms),
+      last_touch_ns_(SteadyNowNs()) {}
+
+FileLease::~FileLease() { Release(); }
+
+void FileLease::Heartbeat() {
+  if (released_.load(std::memory_order_acquire)) return;
+  const int64_t now = SteadyNowNs();
+  int64_t last = last_touch_ns_.load(std::memory_order_relaxed);
+  const int64_t interval_ns =
+      static_cast<int64_t>(heartbeat_interval_ms_ * 1e6);
+  // One thread wins each interval; everyone else returns without a syscall,
+  // which is what makes per-batch-boundary heartbeats free.
+  if (now - last < interval_ns ||
+      !last_touch_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      path_, std::filesystem::file_time_type::clock::now(), ec);
+  // A failed touch is not fatal: the lease just ages toward the TTL, and a
+  // takeover then costs one duplicate (byte-identical) computation.
+}
+
+void FileLease::Release() {
+  if (released_.exchange(true, std::memory_order_acq_rel)) return;
+  // Nonce guard under the reap lock: only delete the file if it is still
+  // OUR lease. A holder that stalled past the TTL may have been taken over;
+  // deleting the successor's lease would let a third process
+  // double-acquire. The guard makes read + unlink one atom against a reaper
+  // replacing the file in between; if the lock cannot be taken the release
+  // proceeds unguarded (best-effort, as a crashed holder would leak anyway).
+  ReapGuard guard(path_);
+  const LeaseHolder holder = ReadLeaseHolder(path_);
+  if (holder.parsed && holder.nonce == nonce_) {
+    ::unlink(path_.c_str());
+  }
+}
+
+uint64_t ReclaimStaleLeases(const std::string& dir, double ttl_ms) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;  // missing/unreadable directory: nothing to reclaim
+  uint64_t removed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".reap.") != std::string::npos) {
+      // Takeover tombstone left by an older build's rename-based reap; no
+      // current code creates these, but a fabric can mix binary versions.
+      const int reaper = TombstoneReaperPid(name);
+      std::error_code age_ec;
+      const double age = MtimeAgeMs(entry.path(), age_ec);
+      const bool stale = (reaper > 0 && !ProcessAlive(reaper)) ||
+                         (ttl_ms > 0.0 && age > ttl_ms);
+      std::error_code rm_ec;
+      if (stale && std::filesystem::remove(entry.path(), rm_ec) && !rm_ec) {
+        ++removed;
+      }
+    } else if (entry.path().extension() == ".lease") {
+      const std::string path = entry.path().string();
+      if (!LeaseIsStale(ReadLeaseHolder(path), ttl_ms)) continue;
+      // Re-judge and unlink under the guard: a concurrent takeover may have
+      // reaped this lease and published a fresh one since the read above.
+      ReapGuard guard(path);
+      if (guard.locked() && LeaseIsStale(ReadLeaseHolder(path), ttl_ms) &&
+          ::unlink(path.c_str()) == 0) {
+        ++removed;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace sfa

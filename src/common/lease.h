@@ -1,0 +1,136 @@
+// File-based leases: cross-process mutual exclusion with crash recovery,
+// built from three filesystem atomics and one liveness probe.
+//
+// A lease is one file. Holding it means "I am the unique worker for this
+// name until I release it, heartbeat-stop, or die". The protocol:
+//
+//   acquire    open(O_CREAT|O_EXCL) — atomic on POSIX filesystems, so of any
+//              number of racing processes (or threads) exactly one creates
+//              the file. The winner immediately writes its identity
+//              (pid + random nonce + start time) into it.
+//   heartbeat  touch the file's mtime. Rate-limited internally (at most one
+//              touch per heartbeat interval) so hot loops can call it at
+//              every batch boundary for free; thread-safe, so parallel
+//              workers of one computation can all report liveness through
+//              the single lease.
+//   release    unlink — but only after re-reading the file and matching the
+//              embedded nonce, so a holder that stalled past the TTL and was
+//              taken over never deletes its successor's lease.
+//   staleness  a lease is stale when its holder pid is dead, or when its
+//              heartbeat (mtime) is older than the TTL. The TTL arm covers
+//              pid reuse and wedged-but-alive holders; the pid arm makes
+//              recovery from a clean crash immediate.
+//   takeover   reclaiming a stale lease must never delete a FRESH lease —
+//              racer B may judge the old file stale, lose the CPU while
+//              racer A reaps it AND publishes a new lease at the same path,
+//              and then delete A's live lease, electing two owners. (A bare
+//              rename() has the same hole: it moves whatever is at the path
+//              *now*.) So every deletion decision — reap, release, recovery
+//              sweep — re-judges the file under an exclusive flock() on a
+//              `<lease>.lk` guard file and unlinks while still holding it.
+//              The reaper then loops back to the O_EXCL create, which it can
+//              still lose to a third party — acquisition, not deletion,
+//              crowns the owner.
+//
+// Every step tolerates kill -9 at any instant: a crashed holder leaves a
+// lease that goes stale (dead pid / no heartbeats); a reaper killed inside
+// the guard leaves no wedge, because the kernel drops flocks with the
+// process. The zero-byte .lk guard files are deliberately never unlinked —
+// removing a lock file while another process holds its fd reintroduces the
+// very race the lock exists to close.
+//
+// Used by core/calibration_store.h as the per-CalibrationKey cross-process
+// singleflight guard; drilled by tests/test_lease.cc and the kill -9 chaos
+// suite tests/test_crash_fabric.cc.
+#ifndef SFA_COMMON_LEASE_H_
+#define SFA_COMMON_LEASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace sfa {
+
+/// Parsed identity of a lease file's current holder.
+struct LeaseHolder {
+  int pid = 0;
+  uint64_t nonce = 0;
+  /// Milliseconds since the holder's last heartbeat (file mtime). Negative
+  /// clock skew clamps to 0.
+  double heartbeat_age_ms = 0.0;
+  /// False when the file is absent, unreadable, or not yet fully written (a
+  /// holder between O_EXCL create and the identity write). An unparsed but
+  /// recently-touched lease is treated as LIVE — never reap a lease you
+  /// cannot read until its mtime is provably past the TTL.
+  bool parsed = false;
+};
+
+/// An acquired lease. Move-free handle: hold by unique_ptr. The destructor
+/// releases (best-effort) so a normally-exiting process never leaks leases;
+/// a killed process leaks the file by design and recovery reclaims it.
+class FileLease {
+ public:
+  struct AcquireOutcome {
+    /// Non-null iff the lease was acquired.
+    std::unique_ptr<FileLease> lease;
+    /// The acquisition reclaimed a stale predecessor on the way.
+    bool takeover = false;
+    /// When not acquired: the live holder observed (parsed=false if it was
+    /// mid-write or vanished between probes).
+    LeaseHolder holder;
+  };
+
+  /// One non-blocking acquisition attempt for the lease file at `path` (the
+  /// parent directory must exist). ttl_ms <= 0 disables the heartbeat-age
+  /// arm of staleness (dead-pid reclamation still applies). Returns a
+  /// holder-occupied outcome rather than blocking; callers poll.
+  static Result<AcquireOutcome> TryAcquire(const std::string& path,
+                                           double ttl_ms,
+                                           double heartbeat_interval_ms);
+
+  ~FileLease();
+  FileLease(const FileLease&) = delete;
+  FileLease& operator=(const FileLease&) = delete;
+
+  /// Touches the lease mtime, rate-limited to the acquire-time heartbeat
+  /// interval. Thread-safe; free when called more often than the interval.
+  void Heartbeat();
+
+  /// Unlinks the lease iff it still carries this lease's nonce (a successor
+  /// after TTL takeover is left untouched). Idempotent.
+  void Release();
+
+  const std::string& path() const { return path_; }
+  uint64_t nonce() const { return nonce_; }
+
+ private:
+  FileLease(std::string path, uint64_t nonce, double heartbeat_interval_ms);
+
+  const std::string path_;
+  const uint64_t nonce_;
+  const double heartbeat_interval_ms_;
+  std::atomic<int64_t> last_touch_ns_;
+  std::atomic<bool> released_{false};
+};
+
+/// Reads and parses the lease file at `path` (heartbeat age from mtime).
+LeaseHolder ReadLeaseHolder(const std::string& path);
+
+/// The staleness rule: holder provably dead, or heartbeat older than the TTL
+/// (when ttl_ms > 0). An unparsed holder is judged on mtime age alone.
+bool LeaseIsStale(const LeaseHolder& holder, double ttl_ms);
+
+/// Recovery sweep over `dir`: removes every stale `*.lease` file (re-judged
+/// under its flock guard, so a concurrent takeover's fresh lease is safe)
+/// and every abandoned `*.reap.*` takeover tombstone left by older builds
+/// (reaper pid dead, or older than the TTL). A missing directory sweeps
+/// zero. Returns the number of files removed; losing a removal race to a
+/// concurrent sweeper is not an error.
+uint64_t ReclaimStaleLeases(const std::string& dir, double ttl_ms);
+
+}  // namespace sfa
+
+#endif  // SFA_COMMON_LEASE_H_

@@ -1,0 +1,18 @@
+#include "common/process_util.h"
+
+#include <cerrno>
+#include <csignal>
+
+#include <unistd.h>
+
+namespace sfa {
+
+int CurrentPid() { return static_cast<int>(::getpid()); }
+
+bool ProcessAlive(int pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno == EPERM;  // exists, but owned by someone else
+}
+
+}  // namespace sfa

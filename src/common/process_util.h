@@ -1,0 +1,25 @@
+// Process identity and liveness primitives for the multi-process calibration
+// fabric (common/lease.h, core/calibration_store.h). Deliberately tiny: the
+// fabric's crash-safety story rests on two facts a cooperating process can
+// check cheaply — "what is my pid" and "does pid P still exist" — plus the
+// filesystem mtime clock that lease heartbeats are written against.
+#ifndef SFA_COMMON_PROCESS_UTIL_H_
+#define SFA_COMMON_PROCESS_UTIL_H_
+
+#include <cstdint>
+
+namespace sfa {
+
+/// The calling process's pid.
+int CurrentPid();
+
+/// True when a process with `pid` currently exists (kill(pid, 0)). A live
+/// process we lack permission to signal still counts as alive (EPERM);
+/// pid <= 0 is never alive. NOTE pid reuse: a recycled pid makes a dead
+/// lease holder look alive — which is why lease staleness (common/lease.h)
+/// also trips on heartbeat age, never on liveness alone.
+bool ProcessAlive(int pid);
+
+}  // namespace sfa
+
+#endif  // SFA_COMMON_PROCESS_UTIL_H_

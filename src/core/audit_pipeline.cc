@@ -157,7 +157,9 @@ std::string StreamStats::ToJson() const {
       "\"max_queue_depth\":%zu,"
       "\"deadline_misses\":%llu,\"degraded\":%llu,"
       "\"store_retries\":%llu,\"store_quarantined\":%llu,"
-      "\"breaker_trips\":%llu,\"breaker_open\":%s}",
+      "\"breaker_trips\":%llu,\"breaker_open\":%s,"
+      "\"temps_reaped\":%llu,\"leases_reclaimed\":%llu,"
+      "\"lease_takeovers\":%llu,\"quarantine_evicted\":%llu}",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(admitted),
       static_cast<unsigned long long>(rejected),
@@ -169,7 +171,11 @@ std::string StreamStats::ToJson() const {
       static_cast<unsigned long long>(store_retries),
       static_cast<unsigned long long>(store_quarantined),
       static_cast<unsigned long long>(breaker_trips),
-      breaker_open ? "true" : "false");
+      breaker_open ? "true" : "false",
+      static_cast<unsigned long long>(temps_reaped),
+      static_cast<unsigned long long>(leases_reclaimed),
+      static_cast<unsigned long long>(lease_takeovers),
+      static_cast<unsigned long long>(quarantine_evicted));
 }
 
 // --------------------------------------------------------------- manifest --
@@ -607,12 +613,20 @@ Status AuditPipeline::FinishStream() {
   return Status::OK();
 }
 
+Status AuditPipeline::Drain(double deadline_ms) {
+  if (!streaming()) {
+    return Status::FailedPrecondition("Drain() without an active stream");
+  }
+  TeardownStream(/*abort=*/false, deadline_ms);
+  return Status::OK();
+}
+
 void AuditPipeline::AbortStream() {
   if (!streaming()) return;
   TeardownStream(/*abort=*/true);
 }
 
-void AuditPipeline::TeardownStream(bool abort) {
+void AuditPipeline::TeardownStream(bool abort, double drain_deadline_ms) {
   const std::shared_ptr<Stream> stream = CurrentStream();
   Stream* s = stream.get();
   if (s == nullptr) return;
@@ -632,7 +646,41 @@ void AuditPipeline::TeardownStream(bool abort) {
   }
   s->queue.Close();
   s->resume_cv.notify_all();
+  // Drain watchdog: when the graceful drain overruns its budget, flip the
+  // session to cancelled — in-flight calibrations stop at the next world-
+  // batch boundary (releasing any cross-process leases on the way out) and
+  // still-queued requests resolve as cancelled — so the join below is
+  // bounded by the budget plus one batch, not by the queue's backlog.
+  std::thread watchdog;
+  std::mutex watchdog_mu;
+  std::condition_variable watchdog_cv;
+  bool drained = false;
+  if (!abort && drain_deadline_ms > 0.0) {
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(watchdog_mu);
+      if (watchdog_cv.wait_for(
+              lock,
+              std::chrono::duration<double, std::milli>(drain_deadline_ms),
+              [&] { return drained; })) {
+        return;  // drain finished inside the budget
+      }
+      {
+        // The cancel transition is a CV predicate: mutate under s->mu.
+        std::unique_lock<std::mutex> slock(s->mu);
+        s->cancel.Cancel();
+      }
+      s->resume_cv.notify_all();
+    });
+  }
   for (std::thread& worker : s->workers) worker.join();
+  if (watchdog.joinable()) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu);
+      drained = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
   // Streaming sessions are durability boundaries: queued write-behind
   // persists land before the session reports finished.
   cache_.FlushStore();
@@ -661,6 +709,10 @@ void AuditPipeline::FillStoreHealth(StreamStats* stats) const {
   stats->store_quarantined = st.quarantined;
   stats->breaker_trips = st.breaker_trips;
   stats->breaker_open = st.breaker_open;
+  stats->temps_reaped = st.temps_reaped;
+  stats->leases_reclaimed = st.leases_reclaimed;
+  stats->lease_takeovers = st.lease_takeovers;
+  stats->quarantine_evicted = st.quarantine_evicted_files;
 }
 
 StreamStats AuditPipeline::stream_stats() const {
@@ -810,16 +862,26 @@ AuditResponse AuditPipeline::ExecuteStreamRequest(Stream* s,
   CalibrationCache::Source source = CalibrationCache::Source::kMemory;
   PartialCalibration partial;
   bool computed_here = false;
-  const auto compute = [&]() -> Result<NullDistribution> {
+  const auto compute =
+      [&](const ComputeContext& context) -> Result<NullDistribution> {
     computed_here = true;
     partial = PartialCalibration();
+    // Fabric liveness: the lease heartbeat (when a lease-enabled store made
+    // this process the cross-process owner) fires at world-batch boundaries.
+    mc.heartbeat = context.heartbeat;
     return SimulateNull(*prep.statistic, *request.family, mc, &partial);
+  };
+  // While a FOREIGN process holds the key's lease we poll its progress; this
+  // predicate bails out of that wait the moment our own request is cancelled
+  // or deadlined, so drains and deadlines never block on a peer.
+  const auto wait_stopped = [&] {
+    return s->cancel.cancelled() || DeadlineExpired(entry.deadline);
   };
   Result<std::shared_ptr<const NullDistribution>> calibration =
       Status::Internal("calibration loop never ran");
   for (int attempt = 0;; ++attempt) {
     computed_here = false;
-    calibration = cache_.GetOrCompute(prep.key, compute, &source);
+    calibration = cache_.GetOrCompute(prep.key, compute, &source, wait_stopped);
     if (calibration.ok()) break;
     const Status& cause = calibration.status();
     const bool foreign_stop =

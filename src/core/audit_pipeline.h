@@ -238,6 +238,13 @@ struct StreamStats {
   uint64_t breaker_trips = 0;
   bool breaker_open = false;
 
+  // Multi-process fabric counters (store snapshot, same caveats as above):
+  // crash-recovery sweeps and cross-process lease activity.
+  uint64_t temps_reaped = 0;       ///< orphaned writer temps swept
+  uint64_t leases_reclaimed = 0;   ///< stale leases/tombstones reclaimed
+  uint64_t lease_takeovers = 0;    ///< acquisitions over a dead/stale holder
+  uint64_t quarantine_evicted = 0; ///< quarantined frames GC'd by byte budget
+
   /// One-line JSON object of the counters (for manifests and run summaries).
   std::string ToJson() const;
 };
@@ -338,6 +345,17 @@ class AuditPipeline {
   /// final StreamStats. Fails only when no session is active.
   Status FinishStream();
 
+  /// Graceful drain with a time budget: FinishStream semantics, except that
+  /// when `deadline_ms` > 0 elapses before the queue empties, the session is
+  /// cancelled — in-flight calibrations stop at the next world-batch
+  /// boundary (releasing any cross-process leases they hold, so peers can
+  /// take the keys over immediately), still-queued requests resolve as
+  /// cancelled — and the drain then completes: workers joined, write-behind
+  /// flushed, final stats recorded. deadline_ms <= 0 waits indefinitely
+  /// (identical to FinishStream). This is the SIGTERM path: stop taking
+  /// work, finish what fits the budget, persist, report, exit.
+  Status Drain(double deadline_ms = 0.0);
+
   /// Tears the session down without draining: queued-but-undispatched
   /// requests fail with FailedPrecondition (counted as cancelled); requests
   /// already executing finish normally. Joins workers and records stats.
@@ -396,7 +414,10 @@ class AuditPipeline {
 
   void StreamWorkerLoop(Stream* stream);
   AuditResponse ExecuteStreamRequest(Stream* stream, const StreamEntry& entry);
-  void TeardownStream(bool abort);
+  /// Shared teardown: drain (abort=false) or abandon (abort=true) the
+  /// session. drain_deadline_ms > 0 arms a watchdog that cancels the session
+  /// when the drain overruns the budget (Drain); <= 0 = no watchdog.
+  void TeardownStream(bool abort, double drain_deadline_ms = 0.0);
   /// Copies the attached store's fault counters into a stats snapshot
   /// (no-op without a store).
   void FillStoreHealth(StreamStats* stats) const;

@@ -1,5 +1,7 @@
 #include "core/calibration_cache.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -170,6 +172,70 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
     const CalibrationKey& key,
     const std::function<Result<NullDistribution>()>& compute,
     Source* source) {
+  return GetOrCompute(
+      key, [&compute](const ComputeContext&) { return compute(); }, source);
+}
+
+Result<NullDistribution> CalibrationCache::ComputeWithLease(
+    const CalibrationStore& store, const CalibrationKey& key,
+    const ComputeFn& compute, const WaitStopped& wait_stopped,
+    bool* from_store, bool* wrote_through) const {
+  for (;;) {
+    auto acquired = store.TryAcquireLease(key);
+    if (!acquired.ok()) {
+      // Lease infrastructure unavailable (unwritable leases/ etc.): degrade
+      // to an unleased compute. Leases only dedupe cross-process work;
+      // correctness never depends on them.
+      return compute(ComputeContext{});
+    }
+    if (acquired->lease != nullptr) {
+      FileLease& lease = *acquired->lease;
+      // We are the cross-process owner. A previous holder may have persisted
+      // the frame between our store miss and this acquisition (the takeover
+      // path especially) — re-check before paying for the simulation.
+      auto persisted = store.Load(key);
+      if (persisted.ok()) {
+        lease.Release();
+        *from_store = true;
+        return persisted;
+      }
+      ComputeContext context;
+      FileLease* lease_ptr = &lease;
+      context.heartbeat = [lease_ptr] { lease_ptr->Heartbeat(); };
+      auto computed = compute(context);
+      if (computed.ok()) {
+        // Write THROUGH while still leased: a peer polling this lease
+        // re-checks the store the moment it releases, so the frame must be
+        // on disk before the release. A failed write is absorbed — the peer
+        // then acquires and recomputes identically.
+        if (store.Store(key, computed.value()).ok()) *wrote_through = true;
+      }
+      lease.Release();
+      return computed;
+    }
+    // A live foreign process is simulating this key right now. Poll: it will
+    // persist + release (store hit below), release without persisting (we
+    // acquire next round), or die (its lease goes stale and the acquisition
+    // above takes it over).
+    if (wait_stopped && wait_stopped()) {
+      // Our request is being cancelled/drained: stop waiting on the foreign
+      // holder and run the computation locally — its own stop checks turn
+      // this into a prompt Cancelled/DeadlineExceeded.
+      return compute(ComputeContext{});
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        store.options().lease_wait_poll_ms));
+    auto persisted = store.Load(key);
+    if (persisted.ok()) {
+      *from_store = true;
+      return persisted;
+    }
+  }
+}
+
+Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
+    const CalibrationKey& key, const ComputeFn& compute, Source* source,
+    const WaitStopped& wait_stopped) {
   if (source != nullptr) *source = Source::kMemory;
   Shard& shard = ShardFor(key);
   std::shared_ptr<Slot> slot;
@@ -200,14 +266,22 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
     // Read-through: a valid persisted frame substitutes for the simulation
     // (it holds the exact bytes the simulation would produce). Any load
     // defect — absent, truncated, corrupt, version-skewed — falls back to
-    // compute().
+    // compute(), leased across processes when the store runs the fabric.
     Result<NullDistribution> computed = Status::NotFound("no store attached");
     bool from_store = false;
+    bool wrote_through = false;
     if (store != nullptr) {
       computed = store->Load(key);
       from_store = computed.ok();
     }
-    if (!from_store) computed = compute();
+    if (!from_store) {
+      if (store != nullptr && store->leases_enabled()) {
+        computed = ComputeWithLease(*store, key, compute, wait_stopped,
+                                    &from_store, &wrote_through);
+      } else {
+        computed = compute(ComputeContext{});
+      }
+    }
     std::unique_lock<std::mutex> lock(shard.mu);
     if (computed.ok()) {
       slot->value = std::make_shared<const NullDistribution>(
@@ -217,7 +291,8 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
         *source = from_store ? Source::kStore : Source::kComputed;
       }
       if (from_store) ++shard.store_hits;
-      if (!from_store && store != nullptr) {
+      if (wrote_through) ++shard.store_writes;  // leased write-through landed
+      if (!from_store && !wrote_through && store != nullptr) {
         // Write-behind: persist off the compute path. The task captures the
         // store and the immutable value by shared_ptr, so it is self-
         // contained; the TaskGroup ties its lifetime to this cache (flushed

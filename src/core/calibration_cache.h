@@ -94,6 +94,17 @@ CalibrationKey MakeCalibrationKey(const RegionFamily& family,
                                   stats::ScanDirection direction,
                                   const MonteCarloOptions& options);
 
+/// Execution-only context handed to a calibration computation by
+/// CalibrationCache::GetOrCompute. When the cross-process lease fabric is
+/// active (CalibrationStore::Options::lease_ttl_ms > 0), `heartbeat` reports
+/// the holder's liveness through the key's lease file — wire it into
+/// MonteCarloOptions::heartbeat so it fires at world-batch boundaries
+/// (rate-limited internally, thread-safe, free when called often). May be
+/// empty (no fabric): callers must check before invoking.
+struct ComputeContext {
+  std::function<void()> heartbeat;
+};
+
 /// Thread-safe get-or-compute cache of NullDistributions. Values are
 /// immutable and shared by pointer; a cached hit therefore yields the exact
 /// same distribution object a fresh simulation would produce (the simulation
@@ -115,7 +126,8 @@ class CalibrationCache {
     uint64_t misses = 0;  ///< lookups that ran (or joined) a computation
     uint64_t entries = 0; ///< distinct calibrations currently cached
     uint64_t store_hits = 0;   ///< misses served by the persistent store
-    uint64_t store_writes = 0; ///< write-behind persists queued
+    uint64_t store_writes = 0; ///< persists: write-behind queued, or leased
+                               ///< write-throughs that landed
   };
 
   /// Where a GetOrCompute value came from. Diagnostic only — the value is
@@ -146,11 +158,37 @@ class CalibrationCache {
   /// Blocks until every queued write-behind persist has landed on disk.
   void FlushStore();
 
+  using ComputeFn =
+      std::function<Result<NullDistribution>(const ComputeContext&)>;
+  /// Polled while this process is blocked on a FOREIGN process's lease for
+  /// the key; returning true abandons the wait and runs `compute` locally
+  /// (whose own cancel/deadline checks then decide promptly — and if it does
+  /// run to completion, the result is byte-identical to the holder's, merely
+  /// duplicated). Empty = wait for the holder indefinitely.
+  using WaitStopped = std::function<bool()>;
+
   /// Returns the calibration for `key`, invoking `compute` at most once per
   /// key (errors are NOT cached: a failed computation clears the slot so a
   /// later call may retry). `compute` runs without the cache lock held and
   /// may itself parallelize on the shared pool. `source` (optional) reports
   /// where the value came from.
+  ///
+  /// With a lease-enabled store attached, single-flight extends across
+  /// processes: the in-process owner additionally acquires the key's lease
+  /// file before simulating (re-checking the store after acquisition, since
+  /// a previous holder may have just persisted the frame), heartbeats
+  /// through ComputeContext while computing, writes the frame THROUGH
+  /// synchronously (not behind — peers re-check the store the moment the
+  /// lease releases), and releases. When a live foreign process holds the
+  /// lease, this process polls the store (lease_wait_poll_ms) instead of
+  /// simulating; a holder that dies is taken over via the store's staleness
+  /// rules and costs at most one recompute.
+  Result<std::shared_ptr<const NullDistribution>> GetOrCompute(
+      const CalibrationKey& key, const ComputeFn& compute,
+      Source* source = nullptr, const WaitStopped& wait_stopped = nullptr);
+
+  /// Context-free convenience overload for computations that don't report
+  /// heartbeats (batch paths, tests).
   Result<std::shared_ptr<const NullDistribution>> GetOrCompute(
       const CalibrationKey& key,
       const std::function<Result<NullDistribution>()>& compute,
@@ -194,6 +232,18 @@ class CalibrationCache {
   Shard& ShardFor(const CalibrationKey& key) const {
     return shards_[key.hash % kNumShards];
   }
+
+  /// The cross-process arm of the owner path: lease-acquire / store-recheck
+  /// / compute-with-heartbeat / write-through / release, or poll a live
+  /// foreign holder. Sets *from_store when the frame came off disk and
+  /// *wrote_through when this call already persisted it (suppressing the
+  /// write-behind).
+  Result<NullDistribution> ComputeWithLease(const CalibrationStore& store,
+                                            const CalibrationKey& key,
+                                            const ComputeFn& compute,
+                                            const WaitStopped& wait_stopped,
+                                            bool* from_store,
+                                            bool* wrote_through) const;
 
   mutable std::array<Shard, kNumShards> shards_;
   /// Persistence layer. Immutable after AttachStore, which the contract

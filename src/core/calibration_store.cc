@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/process_util.h"
 #include "common/string_util.h"
 
 namespace sfa::core {
@@ -52,6 +54,24 @@ struct Reader {
   bool ReadU64(uint64_t* v) { return Read(v, sizeof *v); }
 };
 
+/// Writer pid embedded in a temp name "<frame>.tmp.<pid>.<ptr>.<nonce>";
+/// 0 when the name doesn't parse (foreign temps are then judged on age).
+int TempWriterPid(const std::string& filename) {
+  const size_t tag = filename.find(".tmp.");
+  if (tag == std::string::npos) return 0;
+  return std::atoi(filename.c_str() + tag + 5);
+}
+
+/// Milliseconds since the file's mtime on the file clock, clamped >= 0.
+double FileAgeMs(const std::filesystem::path& path, std::error_code& ec) {
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return 0.0;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::filesystem::file_time_type::clock::now() - mtime)
+                        .count();
+  return ms < 0.0 ? 0.0 : ms;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
@@ -79,6 +99,10 @@ Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
                   options.directory.c_str()));
   }
   auto store = std::unique_ptr<CalibrationStore>(new CalibrationStore(options));
+  // Crash recovery runs on EVERY open (not only when sweep_on_open is set):
+  // a restarted or peer process is exactly when orphans from a killed writer
+  // must be cleared, and the sweep costs one directory listing.
+  store->RecoverySweep();
   if (options.sweep_on_open && options.max_bytes > 0) {
     // Startup GC: bound a long-lived directory before serving from it.
     // max_bytes == 0 means unbounded, so the sweep is a no-op then —
@@ -95,6 +119,10 @@ Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
 
 Result<uint64_t> CalibrationStore::EvictToBudget(uint64_t budget_bytes) const {
   SFA_FAILPOINT("store.evict");
+  // Orphaned writer temps were invisible to the byte accounting (a worker
+  // killed between fopen and rename leaked its .tmp.* forever); reap them
+  // first, and keep quarantine/ inside its own budget after the frame sweep.
+  SweepOrphanTemps();
   struct Frame {
     std::filesystem::path path;
     uint64_t size = 0;
@@ -147,7 +175,93 @@ Result<uint64_t> CalibrationStore::EvictToBudget(uint64_t budget_bytes) const {
     stats_.evicted_files += deleted;
     stats_.evicted_bytes += reclaimed;
   }
+  EnforceQuarantineBudget();
   return deleted;
+}
+
+void CalibrationStore::SweepOrphanTemps() const {
+  std::error_code ec;
+  uint64_t reaped = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") == std::string::npos) continue;
+    const int writer = TempWriterPid(name);
+    std::error_code age_ec;
+    const double age_ms = FileAgeMs(entry.path(), age_ec);
+    // Dead writer: reap immediately (the rename it never reached will never
+    // come). Live or unknown writer: only past the grace window — a healthy
+    // write's temp lives microseconds, so anything older is wedged, and the
+    // worst case of a wrong guess is the writer's rename failing ENOENT,
+    // which Store already treats as a retryable IOError.
+    const bool orphaned =
+        (writer > 0 && !ProcessAlive(writer)) ||
+        (!age_ec && options_.temp_reap_grace_ms > 0.0 &&
+         age_ms > options_.temp_reap_grace_ms);
+    if (!orphaned) continue;
+    std::error_code rm_ec;
+    if (std::filesystem::remove(entry.path(), rm_ec) && !rm_ec) ++reaped;
+  }
+  if (reaped > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.temps_reaped += reaped;
+  }
+}
+
+void CalibrationStore::EnforceQuarantineBudget() const {
+  if (options_.quarantine_max_bytes == 0) return;
+  struct Entry {
+    std::filesystem::path path;
+    uint64_t size = 0;
+    std::filesystem::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  uint64_t total_bytes = 0;
+  std::error_code ec;
+  for (const auto& item :
+       std::filesystem::directory_iterator(QuarantineDir(), ec)) {
+    std::error_code item_ec;
+    if (!item.is_regular_file(item_ec) || item_ec) continue;
+    Entry e;
+    e.path = item.path();
+    e.size = item.file_size(item_ec);
+    if (item_ec) continue;
+    e.mtime = item.last_write_time(item_ec);
+    if (item_ec) continue;
+    total_bytes += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (ec) return;  // missing/unreadable quarantine dir: nothing to bound
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.native() < b.path.native();
+  });
+  uint64_t deleted = 0;
+  uint64_t reclaimed = 0;
+  for (const Entry& e : entries) {
+    if (total_bytes <= options_.quarantine_max_bytes) break;
+    std::error_code rm_ec;
+    if (std::filesystem::remove(e.path, rm_ec) && !rm_ec) {
+      ++deleted;
+      reclaimed += e.size;
+    }
+    total_bytes -= e.size;
+  }
+  if (deleted > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.quarantine_evicted_files += deleted;
+    stats_.quarantine_evicted_bytes += reclaimed;
+  }
+}
+
+void CalibrationStore::RecoverySweep() const {
+  SweepOrphanTemps();
+  const uint64_t leases = ReclaimStaleLeases(LeaseDir(), options_.lease_ttl_ms);
+  if (leases > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.leases_reclaimed += leases;
+  }
+  EnforceQuarantineBudget();
 }
 
 std::string CalibrationStore::FilePathFor(const CalibrationKey& key) const {
@@ -163,6 +277,47 @@ std::string CalibrationStore::FilePathFor(const CalibrationKey& key) const {
 
 std::string CalibrationStore::QuarantineDir() const {
   return (std::filesystem::path(options_.directory) / "quarantine").string();
+}
+
+std::string CalibrationStore::LeaseDir() const {
+  return (std::filesystem::path(options_.directory) / "leases").string();
+}
+
+std::string CalibrationStore::LeasePathFor(const CalibrationKey& key) const {
+  // Same stem as FilePathFor so a lease maps 1:1 to the frame it guards.
+  const uint64_t debug_hash = Fnv1a(key.debug.data(), key.debug.size());
+  return (std::filesystem::path(LeaseDir()) /
+          StrFormat("%016llx-%016llx.lease",
+                    static_cast<unsigned long long>(key.hash),
+                    static_cast<unsigned long long>(debug_hash)))
+      .string();
+}
+
+Result<FileLease::AcquireOutcome> CalibrationStore::TryAcquireLease(
+    const CalibrationKey& key) const {
+  std::error_code ec;
+  std::filesystem::create_directories(LeaseDir(), ec);
+  if (ec) {
+    return Status::IOError(StrFormat("cannot create lease directory '%s': %s",
+                                     LeaseDir().c_str(),
+                                     ec.message().c_str()));
+  }
+  auto outcome =
+      FileLease::TryAcquire(LeasePathFor(key), options_.lease_ttl_ms,
+                            options_.lease_heartbeat_interval_ms);
+  if (outcome.ok()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (outcome->lease != nullptr) {
+      ++stats_.leases_acquired;
+      if (outcome->takeover) {
+        ++stats_.lease_takeovers;
+        ++stats_.leases_reclaimed;
+      }
+    } else {
+      ++stats_.lease_contention;
+    }
+  }
+  return outcome;
 }
 
 bool CalibrationStore::QuarantineFrame(const std::string& path) const {

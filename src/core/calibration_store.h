@@ -43,6 +43,14 @@
 // Fault drills inject at the `store.load`, `store.write`, `store.rename` and
 // `store.evict` failpoints (common/failpoint.h); `store.write` accepts
 // truncate/corrupt actions to simulate torn writes that land on disk.
+//
+// Multi-process fabric (opt-in via Options::lease_ttl_ms > 0): N processes
+// sharing one directory coordinate through per-key lease files under
+// `leases/` (common/lease.h) so a key is simulated by at most one process at
+// a time, and every Open runs a RecoverySweep that reaps `.tmp.*` frames
+// orphaned by killed writers, reclaims stale leases, and bounds quarantine/
+// by bytes — so a kill -9 anywhere costs at most one recompute, never a torn
+// frame or leaked disk.
 #ifndef SFA_CORE_CALIBRATION_STORE_H_
 #define SFA_CORE_CALIBRATION_STORE_H_
 
@@ -52,6 +60,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/lease.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "core/calibration_cache.h"
@@ -101,6 +110,27 @@ class CalibrationStore {
     /// While the breaker is open, one Store is admitted as a probe after
     /// this many milliseconds (and again after every failed probe).
     double breaker_probe_after_ms = 250.0;
+    /// Byte budget for `quarantine/`, enforced oldest-first by RecoverySweep
+    /// and EvictToBudget; 0 = unbounded (the pre-fabric behavior, where
+    /// rejected frames accumulate forever).
+    uint64_t quarantine_max_bytes = 0;
+    /// Grace window for in-flight writer temps: a `.tmp.*` file is reaped by
+    /// RecoverySweep/EvictToBudget when its embedded writer pid is dead, or
+    /// when it is older than this many milliseconds (<= 0 disables the age
+    /// arm; dead-writer reaping always applies). The default comfortably
+    /// exceeds any legitimate write-temp lifetime (microseconds).
+    double temp_reap_grace_ms = 60'000.0;
+    /// Cross-process singleflight: TTL after which a per-key lease file with
+    /// no heartbeats counts as stale and may be taken over. 0 disables
+    /// leases entirely — single-process deployments keep the in-process
+    /// singleflight and write-behind exactly as before.
+    double lease_ttl_ms = 0.0;
+    /// Minimum interval between lease heartbeat mtime touches; calls more
+    /// frequent than this (e.g. per MC batch boundary) are free no-ops.
+    double lease_heartbeat_interval_ms = 100.0;
+    /// How long a non-owner sleeps between store re-checks while a live
+    /// foreign process holds the key's lease.
+    double lease_wait_poll_ms = 5.0;
   };
 
   /// Cumulative counters (monotone over the store's lifetime; thread-safe).
@@ -116,6 +146,13 @@ class CalibrationStore {
     uint64_t quarantined = 0;    ///< rejected frames moved to quarantine/
     uint64_t breaker_trips = 0;      ///< closed→open transitions
     uint64_t breaker_fast_fails = 0; ///< Store/Load calls bounced while open
+    uint64_t temps_reaped = 0;       ///< orphaned .tmp.* writer files deleted
+    uint64_t leases_reclaimed = 0;   ///< stale lease files/tombstones swept
+    uint64_t quarantine_evicted_files = 0;  ///< quarantine/ byte-budget GC
+    uint64_t quarantine_evicted_bytes = 0;
+    uint64_t leases_acquired = 0;    ///< TryAcquireLease calls that won
+    uint64_t lease_takeovers = 0;    ///< wins that reclaimed a stale holder
+    uint64_t lease_contention = 0;   ///< attempts that saw a live foreign holder
     bool breaker_open = false;       ///< snapshot, not a counter
   };
 
@@ -153,6 +190,34 @@ class CalibrationStore {
   /// result. Returns the number of files deleted.
   Result<uint64_t> EvictToBudget(uint64_t budget_bytes) const;
 
+  /// Crash-recovery sweep, run by Open on every start and callable any time:
+  /// reaps orphaned writer temps (dead pid or past the grace window),
+  /// reclaims stale leases and abandoned takeover tombstones under leases/,
+  /// and GCs quarantine/ oldest-first to its byte budget. Everything is
+  /// best-effort and concurrent-sweeper safe (losing a removal race just
+  /// means the peer counted it); results land in stats().
+  void RecoverySweep() const;
+
+  /// Whether the cross-process lease protocol is enabled for this store.
+  bool leases_enabled() const { return options_.lease_ttl_ms > 0.0; }
+
+  /// One non-blocking attempt to become the cross-process owner for `key`.
+  /// On success the outcome carries the lease (heartbeat at batch
+  /// boundaries, Release when the frame is persisted); when a live foreign
+  /// process holds it, outcome.lease is null and the caller should poll the
+  /// store (options().lease_wait_poll_ms) for the holder's frame. Requires
+  /// leases_enabled().
+  Result<FileLease::AcquireOutcome> TryAcquireLease(
+      const CalibrationKey& key) const;
+
+  /// The directory lease files live in (`<directory>/leases`).
+  std::string LeaseDir() const;
+
+  /// The lease file a key maps to (same stem as FilePathFor).
+  std::string LeasePathFor(const CalibrationKey& key) const;
+
+  const Options& options() const { return options_; }
+
   Stats stats() const;
 
  private:
@@ -165,6 +230,12 @@ class CalibrationStore {
   /// Best-effort move of a rejected frame into quarantine/. Returns true
   /// when the file actually moved (caller counts it).
   bool QuarantineFrame(const std::string& path) const;
+  /// Deletes `.tmp.*` files whose writer died or whose age exceeds the grace
+  /// window; counts into stats().temps_reaped.
+  void SweepOrphanTemps() const;
+  /// Oldest-first GC of quarantine/ down to quarantine_max_bytes (no-op when
+  /// the budget is 0); counts into stats().quarantine_evicted_*.
+  void EnforceQuarantineBudget() const;
 
   Options options_;
   mutable std::mutex mu_;  ///< guards stats_, breaker state, rng, temp counter

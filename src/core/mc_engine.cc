@@ -77,6 +77,11 @@ std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
   StopState stop;
   std::vector<uint8_t> batch_done(stoppable ? num_batches : 0, uint8_t{0});
   auto guarded_batch = [&](size_t g) {
+    // Liveness first, in BOTH modes: a lease heartbeat must keep flowing
+    // even for runs that opted out of early stop (no outcome), or a healthy
+    // long simulation would look dead to the cross-process fabric and get
+    // taken over mid-flight.
+    if (options.heartbeat) options.heartbeat();
     if (!stoppable) {
       run_batch(g);
       return;

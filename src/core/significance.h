@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -79,6 +80,12 @@ struct MonteCarloOptions {
 
   /// Sticky cooperative cancel, polled at batch boundaries. Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Liveness callback fired at every world-batch boundary regardless of
+  /// stoppability (callee rate-limits). The calibration fabric wires this to
+  /// the key's lease heartbeat (core/calibration_cache.h ComputeContext) so
+  /// a long simulation keeps its cross-process lease fresh. Execution-only:
+  /// absent from calibration keys, never affects drawn values.
+  std::function<void()> heartbeat;
   /// Absolute deadline; epoch-zero (the default) means none. Worlds whose
   /// batch starts before the deadline still run to completion — the engine
   /// stops before batches, never inside one.

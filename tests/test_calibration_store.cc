@@ -530,5 +530,92 @@ TEST(CalibrationStore, EvictSweepRacingConcurrentLoadsAndStoresStaysSafe) {
   EXPECT_TRUE(store->Load(keys[0]).ok());
 }
 
+TEST(CalibrationStore, OrphanedTempsAreReapedButInFlightWritesSurvive) {
+  // Regression: a writer killed between fopen and rename used to leak its
+  // .tmp.* file forever — invisible to the byte accounting, never swept.
+  TempStoreDir dir("orphantemp");
+  StoreBatch b;
+  {
+    auto store = dir.OpenOrDie();
+    NullDistribution dist(std::vector<double>{0.5});
+    ASSERT_TRUE(store->Store(KeyFor(b, b.requests[0]), dist).ok());
+  }
+
+  // A dead writer's temp (embedded pid provably dead: a reaped child), and
+  // a LIVE writer's fresh temp (our own pid, inside the grace window).
+  const pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  { int status = 0; ::waitpid(dead, &status, 0); }
+  const auto orphan =
+      dir.path / ("deadbeef.nulldist.tmp." + std::to_string(dead) + ".1");
+  const auto in_flight =
+      dir.path / ("cafef00d.nulldist.tmp." + std::to_string(::getpid()) + ".2");
+  { std::ofstream(orphan) << "partial frame of a killed writer"; }
+  { std::ofstream(in_flight) << "partial frame of a live writer"; }
+
+  // Reopen: the recovery sweep must reap the orphan (dead pid — no grace
+  // wait) and must NOT touch the live writer's in-grace temp.
+  auto store = CalibrationStore::Open({.directory = dir.path.string()});
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_TRUE(std::filesystem::exists(in_flight));
+  EXPECT_EQ((*store)->stats().temps_reaped, 1u);
+
+  // Age the live temp past the grace window: EvictToBudget's sweep reaps it
+  // even though its writer is alive (a wedged writer must not leak forever).
+  std::filesystem::last_write_time(
+      in_flight,
+      std::filesystem::file_time_type::clock::now() - std::chrono::hours(2));
+  ASSERT_TRUE((*store)->EvictToBudget(1u << 30).ok());
+  EXPECT_FALSE(std::filesystem::exists(in_flight));
+  EXPECT_EQ((*store)->stats().temps_reaped, 2u);
+  // The published frame was never collateral damage.
+  EXPECT_TRUE((*store)->Load(KeyFor(b, b.requests[0])).ok());
+}
+
+TEST(CalibrationStore, QuarantineIsBoundedByBytesOldestFirst) {
+  TempStoreDir dir("quarbudget");
+
+  // Three quarantined frames of 100 bytes each, staggered mtimes.
+  const auto qdir = dir.path / "quarantine";
+  std::filesystem::create_directories(qdir);
+  const std::string payload(100, 'x');
+  for (int i = 0; i < 3; ++i) {
+    const auto path = qdir / ("bad" + std::to_string(i) + ".nulldist");
+    { std::ofstream(path) << payload; }
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::hours(30 - i));
+  }
+
+  // Budget 0 = unbounded: open must keep all three.
+  {
+    auto store = CalibrationStore::Open({.directory = dir.path.string()});
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->stats().quarantine_evicted_files, 0u);
+  }
+  // Budget for two frames: the oldest goes, newest two stay.
+  auto store = CalibrationStore::Open(
+      {.directory = dir.path.string(), .quarantine_max_bytes = 250});
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->stats().quarantine_evicted_files, 1u);
+  EXPECT_EQ((*store)->stats().quarantine_evicted_bytes, 100u);
+  EXPECT_FALSE(std::filesystem::exists(qdir / "bad0.nulldist"));
+  EXPECT_TRUE(std::filesystem::exists(qdir / "bad1.nulldist"));
+  EXPECT_TRUE(std::filesystem::exists(qdir / "bad2.nulldist"));
+
+  // RecoverySweep re-enforces the budget as quarantine grows at runtime.
+  const auto late = qdir / "bad3.nulldist";
+  { std::ofstream(late) << payload << payload; }  // 200 bytes, newest
+  (*store)->RecoverySweep();
+  uint64_t remaining_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(qdir)) {
+    remaining_bytes += std::filesystem::file_size(entry.path());
+  }
+  EXPECT_LE(remaining_bytes, 250u);
+  EXPECT_TRUE(std::filesystem::exists(late)) << "newest must survive";
+}
+
 }  // namespace
 }  // namespace sfa::core

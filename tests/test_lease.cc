@@ -1,0 +1,253 @@
+// The cross-process lease protocol (common/lease.h): O_EXCL acquisition,
+// rate-limited heartbeats, nonce-guarded release, dead-pid and TTL staleness,
+// flock-guarded takeover, and the recovery sweep. Every scenario here is
+// single-process (threads at most); the multi-process and kill -9 drills
+// live in test_crash_fabric.cc. Labeled `fault` with the other failure
+// drills and run under TSan in CI (the two-thread takeover race is a real
+// race amplifier).
+#include "common/lease.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/process_util.h"
+
+namespace sfa {
+namespace {
+
+struct TempLeaseDir {
+  std::filesystem::path path;
+
+  explicit TempLeaseDir(const std::string& tag) {
+    path = std::filesystem::temp_directory_path() /
+           ("sfa_lease_test_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempLeaseDir() { std::filesystem::remove_all(path); }
+
+  std::string LeasePath(const std::string& name) const {
+    return (path / (name + ".lease")).string();
+  }
+};
+
+/// A pid that is guaranteed dead: fork a child that exits immediately and
+/// reap it. (Pid reuse within one test run is implausible.)
+int DeadPid() {
+  const pid_t pid = ::fork();
+  SFA_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) ::_exit(0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return static_cast<int>(pid);
+}
+
+/// Writes a lease file exactly as a (possibly crashed) holder would have.
+void WriteLeaseFile(const std::string& path, int pid, uint64_t nonce) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  SFA_CHECK_MSG(f != nullptr, "cannot write fixture lease");
+  std::fprintf(f, "pid=%d nonce=%016llx start_unix_ms=%lld\n", pid,
+               static_cast<unsigned long long>(nonce), 0LL);
+  std::fclose(f);
+}
+
+void AgeMtime(const std::string& path, double age_ms) {
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() -
+                std::chrono::milliseconds(static_cast<int64_t>(age_ms)));
+}
+
+TEST(FileLease, AcquireWritesIdentityAndReleaseUnlinks) {
+  TempLeaseDir dir("acquire");
+  const std::string path = dir.LeasePath("k");
+
+  auto outcome = FileLease::TryAcquire(path, /*ttl_ms=*/1000.0,
+                                       /*heartbeat_interval_ms=*/10.0);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_NE(outcome->lease, nullptr);
+  EXPECT_FALSE(outcome->takeover);
+
+  const LeaseHolder holder = ReadLeaseHolder(path);
+  EXPECT_TRUE(holder.parsed);
+  EXPECT_EQ(holder.pid, CurrentPid());
+  EXPECT_EQ(holder.nonce, outcome->lease->nonce());
+  EXPECT_FALSE(LeaseIsStale(holder, 1000.0));
+
+  outcome->lease->Release();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  outcome->lease->Release();  // idempotent
+}
+
+TEST(FileLease, SecondAcquireObservesLiveHolder) {
+  TempLeaseDir dir("holder");
+  const std::string path = dir.LeasePath("k");
+
+  auto first = FileLease::TryAcquire(path, 1000.0, 10.0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(first->lease, nullptr);
+
+  auto second = FileLease::TryAcquire(path, 1000.0, 10.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->lease, nullptr);
+  EXPECT_TRUE(second->holder.parsed);
+  EXPECT_EQ(second->holder.pid, CurrentPid());
+  EXPECT_EQ(second->holder.nonce, first->lease->nonce());
+}
+
+TEST(FileLease, HeartbeatKeepsAnAgedLeaseFresh) {
+  TempLeaseDir dir("heartbeat");
+  const std::string path = dir.LeasePath("k");
+
+  auto outcome = FileLease::TryAcquire(path, /*ttl_ms=*/50.0,
+                                       /*heartbeat_interval_ms=*/0.0);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_NE(outcome->lease, nullptr);
+
+  // Back-date the mtime past the TTL, then heartbeat: the touch must bring
+  // the lease back under it (interval 0 = never rate-limited away).
+  AgeMtime(path, 5'000.0);
+  EXPECT_TRUE(LeaseIsStale(ReadLeaseHolder(path), 50.0) ||
+              ProcessAlive(CurrentPid()));  // TTL arm is what aged it
+  EXPECT_GT(ReadLeaseHolder(path).heartbeat_age_ms, 50.0);
+  outcome->lease->Heartbeat();
+  EXPECT_LT(ReadLeaseHolder(path).heartbeat_age_ms, 50.0);
+}
+
+TEST(FileLease, DeadHolderIsStaleAndTakenOver) {
+  TempLeaseDir dir("deadpid");
+  const std::string path = dir.LeasePath("k");
+  WriteLeaseFile(path, DeadPid(), 0xabcdef);
+
+  EXPECT_TRUE(LeaseIsStale(ReadLeaseHolder(path), /*ttl_ms=*/0.0));
+
+  // ttl_ms=0 disables the TTL arm entirely — only the dead pid reclaims.
+  auto outcome = FileLease::TryAcquire(path, /*ttl_ms=*/0.0, 10.0);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_NE(outcome->lease, nullptr);
+  EXPECT_TRUE(outcome->takeover);
+  EXPECT_EQ(ReadLeaseHolder(path).pid, CurrentPid());
+}
+
+TEST(FileLease, LiveButSilentHolderIsStalePastTtl) {
+  TempLeaseDir dir("ttl");
+  const std::string path = dir.LeasePath("k");
+  // Holder pid is THIS process — alive, so only the heartbeat-age arm can
+  // declare it stale (the wedged-but-alive case).
+  WriteLeaseFile(path, CurrentPid(), 0x1111);
+  AgeMtime(path, 10'000.0);
+
+  EXPECT_FALSE(LeaseIsStale(ReadLeaseHolder(path), /*ttl_ms=*/0.0));
+  EXPECT_TRUE(LeaseIsStale(ReadLeaseHolder(path), /*ttl_ms=*/500.0));
+
+  auto blocked = FileLease::TryAcquire(path, /*ttl_ms=*/0.0, 10.0);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked->lease, nullptr);  // no TTL arm: holder looks live
+
+  auto takeover = FileLease::TryAcquire(path, /*ttl_ms=*/500.0, 10.0);
+  ASSERT_TRUE(takeover.ok());
+  ASSERT_NE(takeover->lease, nullptr);
+  EXPECT_TRUE(takeover->takeover);
+}
+
+TEST(FileLease, StaleOriginalReleaseNeverDeletesSuccessor) {
+  TempLeaseDir dir("nonce");
+  const std::string path = dir.LeasePath("k");
+
+  auto original = FileLease::TryAcquire(path, 500.0, 10.0);
+  ASSERT_TRUE(original.ok());
+  ASSERT_NE(original->lease, nullptr);
+
+  // The original stalls past the TTL and a successor takes over.
+  AgeMtime(path, 10'000.0);
+  auto successor = FileLease::TryAcquire(path, 500.0, 10.0);
+  ASSERT_TRUE(successor.ok());
+  ASSERT_NE(successor->lease, nullptr);
+  EXPECT_TRUE(successor->takeover);
+
+  // The zombie's release must be a no-op: the file now carries the
+  // successor's nonce.
+  original->lease->Release();
+  const LeaseHolder holder = ReadLeaseHolder(path);
+  EXPECT_TRUE(holder.parsed);
+  EXPECT_EQ(holder.nonce, successor->lease->nonce());
+
+  successor->lease->Release();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(FileLease, TwoThreadsRacingAnExpiredLeaseElectExactlyOneWinner) {
+  // Satellite drill: deterministic outcome under nondeterministic schedules.
+  // Repeat the race; every round exactly one thread must win the takeover
+  // and the loser must observe the winner as a LIVE holder (its cue to poll
+  // the store instead of simulating).
+  for (int round = 0; round < 25; ++round) {
+    TempLeaseDir dir("race" + std::to_string(round));
+    const std::string path = dir.LeasePath("k");
+    WriteLeaseFile(path, DeadPid(), 0x2222);
+
+    std::vector<FileLease::AcquireOutcome> outcomes(2);
+    std::vector<std::thread> racers;
+    for (int t = 0; t < 2; ++t) {
+      racers.emplace_back([&, t] {
+        auto outcome = FileLease::TryAcquire(path, 1000.0, 10.0);
+        SFA_CHECK_OK(outcome.status());
+        outcomes[t] = std::move(outcome).value();
+      });
+    }
+    for (std::thread& t : racers) t.join();
+
+    const int winners = (outcomes[0].lease != nullptr ? 1 : 0) +
+                        (outcomes[1].lease != nullptr ? 1 : 0);
+    ASSERT_EQ(winners, 1) << "round " << round;
+    const auto& loser = outcomes[outcomes[0].lease != nullptr ? 1 : 0];
+    const auto& winner = outcomes[outcomes[0].lease != nullptr ? 0 : 1];
+    // The loser saw either the winner's fresh lease (parsed, live pid) or
+    // caught it mid-write (unparsed); it never saw the dead holder as live.
+    if (loser.holder.parsed) {
+      EXPECT_EQ(loser.holder.pid, CurrentPid()) << "round " << round;
+    }
+    winner.lease->Release();
+    EXPECT_FALSE(std::filesystem::exists(path));
+  }
+}
+
+TEST(ReclaimStaleLeases, SweepsDeadAndExpiredButKeepsLiveHolders) {
+  TempLeaseDir dir("sweep");
+
+  // Live: held by this process, fresh heartbeat.
+  auto live = FileLease::TryAcquire(dir.LeasePath("live"), 60'000.0, 10.0);
+  ASSERT_TRUE(live.ok());
+  ASSERT_NE(live->lease, nullptr);
+  // Stale by dead pid.
+  WriteLeaseFile(dir.LeasePath("dead"), DeadPid(), 0x3333);
+  // Stale by TTL despite a live pid.
+  WriteLeaseFile(dir.LeasePath("silent"), CurrentPid(), 0x4444);
+  AgeMtime(dir.LeasePath("silent"), 60'000.0);
+  // Abandoned takeover tombstone from an older build's rename-based reap
+  // (the sweep still clears them so a fabric can mix binary versions).
+  const std::string tomb = dir.LeasePath("dead") + ".reap." +
+                           std::to_string(DeadPid()) + ".1";
+  WriteLeaseFile(tomb, CurrentPid(), 0x5555);
+
+  EXPECT_EQ(ReclaimStaleLeases(dir.path.string(), /*ttl_ms=*/5'000.0), 3u);
+  EXPECT_TRUE(std::filesystem::exists(dir.LeasePath("live")));
+  EXPECT_FALSE(std::filesystem::exists(dir.LeasePath("dead")));
+  EXPECT_FALSE(std::filesystem::exists(dir.LeasePath("silent")));
+  EXPECT_FALSE(std::filesystem::exists(tomb));
+
+  // Missing directory sweeps zero, not an error.
+  EXPECT_EQ(ReclaimStaleLeases((dir.path / "absent").string(), 5'000.0), 0u);
+}
+
+}  // namespace
+}  // namespace sfa

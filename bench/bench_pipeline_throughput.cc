@@ -306,6 +306,101 @@ BENCHMARK(BM_PipelinePersistedWarm)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Adaptive sequential MC on a cold-cache mixed batch: 32 DISTINCT cities
+// (half fair, half planted) each needing its own calibration at W = 999.
+// Distinct datasets are the honest workload here: the adaptive stopping rule
+// is keyed on (observed Λ, α), so unlike the α-sweep batches above these
+// calibrations cannot be shared — the win must come from simulating fewer
+// worlds, not from cache hits. A full-precision reference run outside timing
+// pins the expected verdicts; every timed iteration re-checks that adaptive
+// decisions match it exactly (the acceptance bar: ≥ 3× fewer worlds at
+// unchanged decisions). Counters report the worlds ratio alongside req/s.
+void BM_PipelineAdaptiveMC(benchmark::State& state) {
+  constexpr uint32_t kAdaptiveWorlds = 999;
+  constexpr size_t kAdaptiveCities = 32;
+  constexpr size_t kAdaptivePoints = 4000;
+  static const auto* workload = [] {
+    struct AdaptiveWorkload {
+      std::vector<data::OutcomeDataset> cities;
+      std::vector<std::unique_ptr<RegionFamily>> families;
+      std::vector<AuditRequest> requests;
+      std::vector<bool> reference_fair;  // full-precision verdicts
+    };
+    auto* wl = new AdaptiveWorkload;
+    wl->cities.reserve(kAdaptiveCities);
+    for (size_t i = 0; i < kAdaptiveCities; ++i) {
+      // Even cities fair, odd cities planted (alternating strength): both
+      // stop sides of the CI rule engage.
+      const double rate = i % 2 == 0 ? 0.55 : (i % 4 == 1 ? 0.90 : 0.70);
+      Rng rng(100 + i);
+      data::OutcomeDataset ds("adaptive-city-" + std::to_string(i));
+      const geo::Rect zone(6.0, 6.0, 9.0, 9.0);
+      for (size_t p = 0; p < kAdaptivePoints; ++p) {
+        const geo::Point loc(rng.Uniform(0, 10), rng.Uniform(0, 10));
+        ds.Add(loc, rng.Bernoulli(zone.Contains(loc) ? rate : 0.55) ? 1 : 0);
+      }
+      wl->cities.push_back(std::move(ds));
+    }
+    for (size_t i = 0; i < kAdaptiveCities; ++i) {
+      auto family =
+          GridPartitionFamily::Create(wl->cities[i].locations(), 8, 8);
+      SFA_CHECK_OK(family.status());
+      wl->families.push_back(std::move(family).value());
+      AuditRequest req;
+      req.id = "adaptive-" + std::to_string(i);
+      req.dataset = &wl->cities[i];
+      req.dataset_is_view = true;
+      req.family = wl->families[i].get();
+      req.options.alpha = 0.05;
+      req.options.significance = SignificanceMethod::kAuto;
+      req.options.monte_carlo.num_worlds = kAdaptiveWorlds;
+      req.options.monte_carlo.seed = 900 + i;
+      req.options.monte_carlo.adaptive.enabled = true;
+      wl->requests.push_back(std::move(req));
+    }
+    // Full-precision reference: the same batch, adaptive off.
+    std::vector<AuditRequest> full = wl->requests;
+    for (AuditRequest& req : full) {
+      req.options.monte_carlo.adaptive.enabled = false;
+    }
+    AuditPipeline reference;
+    auto responses = reference.Run(full);
+    SFA_CHECK_OK(responses.status());
+    for (const AuditResponse& response : *responses) {
+      SFA_CHECK_OK(response.status);
+      wl->reference_fair.push_back(response.result.spatially_fair);
+    }
+    return wl;
+  }();
+
+  AuditPipeline pipeline;
+  PipelineManifest manifest;
+  size_t served = 0;
+  for (auto _ : state) {
+    pipeline.cache().Clear();
+    auto responses = pipeline.Run(workload->requests, &manifest);
+    SFA_CHECK_OK(responses.status());
+    SFA_CHECK(manifest.num_failed == 0);
+    for (size_t i = 0; i < responses->size(); ++i) {
+      // The acceptance bar's "unchanged decisions" half, re-checked every
+      // iteration.
+      SFA_CHECK((*responses)[i].result.spatially_fair ==
+                workload->reference_fair[i]);
+    }
+    served += responses->size();
+  }
+  const auto requested =
+      static_cast<double>(kAdaptiveCities) * kAdaptiveWorlds;
+  const auto simulated =
+      requested - static_cast<double>(manifest.worlds_saved);
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["early_stops"] = static_cast<double>(manifest.early_stops);
+  state.counters["worlds_saved"] = static_cast<double>(manifest.worlds_saved);
+  state.counters["worlds_ratio"] = requested / simulated;
+}
+BENCHMARK(BM_PipelineAdaptiveMC)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -104,13 +104,34 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
   if (calibration != nullptr) {
     result.null_distribution = *calibration;
   } else {
+    MonteCarloOptions mc = options_.monte_carlo;
+    if (mc.adaptive.enabled) {
+      // The adaptive stopping rule is defined relative to THIS audit's
+      // observed statistic and significance level; resolve them here so the
+      // caller only flips adaptive.enabled (the pipeline does the same in
+      // its prepare phase before keying the calibration).
+      mc.adaptive.observed = result.tau;
+      mc.adaptive.alpha = options_.alpha;
+    }
     SFA_ASSIGN_OR_RETURN(result.null_distribution,
-                         SimulateNull(*statistic, family,
-                                      options_.monte_carlo));
+                         SimulateNull(*statistic, family, mc));
   }
-  result.p_value = result.null_distribution.PValue(result.tau);
+  const PValueEstimate estimate =
+      result.null_distribution.ResolvePValue(result.tau, options_.significance);
+  result.p_value = estimate.p_value;
+  result.p_value_method = estimate.method;
+  result.tail_fit_ok = estimate.tail_fit_ok;
+  result.tail_ks = estimate.tail_ks;
   result.spatially_fair = result.p_value > options_.alpha;
-  result.critical_value = result.null_distribution.CriticalValue(options_.alpha);
+  // The evidence threshold: exact empirical when resolvable; for the
+  // tail-aware methods an unresolvable threshold degrades to the Gumbel
+  // quantile advisory (kEmpirical keeps the historical +inf).
+  const CriticalValueInfo critical = result.null_distribution.CriticalValueEx(
+      options_.alpha,
+      /*tail_advisory=*/options_.significance != SignificanceMethod::kEmpirical);
+  result.critical_value = critical.value;
+  result.critical_value_resolvable = critical.resolvable;
+  result.critical_value_advisory = critical.advisory_tail;
 
   // Evidence: regions individually significant against the null max
   // distribution, ranked by Λ (equivalently by SUL, since log SUL =
@@ -126,6 +147,7 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
     finding.group = desc.group;
     finding.llr = llr;
     finding.significant = true;
+    finding.advisory = critical.advisory_tail;
     statistic->FillFinding(family, result.observed, r, &finding);
     result.findings.push_back(std::move(finding));
   }
@@ -142,8 +164,13 @@ Result<AuditResult> Auditor::AuditView(const data::OutcomeDataset& view,
 
 bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
   if (a.spatially_fair != b.spatially_fair || a.p_value != b.p_value ||
+      a.p_value_method != b.p_value_method ||
+      a.tail_fit_ok != b.tail_fit_ok || a.tail_ks != b.tail_ks ||
       a.tau != b.tau || a.best_region != b.best_region ||
-      a.critical_value != b.critical_value || a.alpha != b.alpha ||
+      a.critical_value != b.critical_value ||
+      a.critical_value_resolvable != b.critical_value_resolvable ||
+      a.critical_value_advisory != b.critical_value_advisory ||
+      a.alpha != b.alpha ||
       a.total_n != b.total_n || a.total_p != b.total_p ||
       a.overall_rate != b.overall_rate || a.statistic != b.statistic ||
       a.class_distribution != b.class_distribution) {
@@ -159,7 +186,10 @@ bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
       a.observed.num_classes != b.observed.num_classes) {
     return false;
   }
-  if (a.null_distribution.sorted_max() != b.null_distribution.sorted_max()) {
+  if (a.null_distribution.sorted_max() != b.null_distribution.sorted_max() ||
+      a.null_distribution.worlds_requested() !=
+          b.null_distribution.worlds_requested() ||
+      a.null_distribution.stop_reason() != b.null_distribution.stop_reason()) {
     return false;
   }
   if (a.findings.size() != b.findings.size()) return false;
@@ -170,7 +200,7 @@ bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
         fa.label != fb.label || fa.group != fb.group || fa.n != fb.n ||
         fa.p != fb.p || fa.local_rate != fb.local_rate || fa.llr != fb.llr ||
         fa.log_sul != fb.log_sul || fa.significant != fb.significant ||
-        fa.class_counts != fb.class_counts) {
+        fa.advisory != fb.advisory || fa.class_counts != fb.class_counts) {
       return false;
     }
   }

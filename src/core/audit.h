@@ -43,6 +43,15 @@ struct AuditOptions {
   /// Number of outcome classes for kMultinomial (>= 2); the view's predicted
   /// values must lie in [0, num_classes). Ignored for kBernoulli.
   uint32_t num_classes = 0;
+  /// How the p-value of τ is computed from the calibration. kEmpirical is
+  /// the paper's rank p-value (resolution capped at 1/(W+1)); kAuto keeps
+  /// the rank p-value in-range and falls back to the Gumbel tail fit — when
+  /// the KS fit gate passes — only for τ beyond every simulated maximum;
+  /// kGumbelTail always prefers the fit. A query-time choice: it does NOT
+  /// shape the null draws, so all three methods share calibrations (and
+  /// calibration keys). Default stays kEmpirical to preserve historical
+  /// p-values byte-for-byte.
+  SignificanceMethod significance = SignificanceMethod::kEmpirical;
   MonteCarloOptions monte_carlo;
 };
 
@@ -50,9 +59,23 @@ struct AuditResult {
   /// The verdict: true when the null (spatial fairness) is *not* rejected.
   bool spatially_fair = true;
   double p_value = 1.0;
+  /// Which method produced p_value: kEmpirical (rank), or kGumbelTail when
+  /// the tail fit was used (never kAuto — auto resolves to one of the two).
+  SignificanceMethod p_value_method = SignificanceMethod::kEmpirical;
+  /// Tail-fit health when a fit was attempted (kGumbelTail / out-of-range
+  /// kAuto): KS distance of the fitted CDF vs the empirical maxima, and
+  /// whether it passed the gate. tail_ks stays 1.0 when never attempted.
+  bool tail_fit_ok = false;
+  double tail_ks = 1.0;
   double tau = 0.0;              ///< observed max Λ
   size_t best_region = 0;        ///< R*
   double critical_value = 0.0;   ///< per-region significance threshold at α
+  /// False when the empirical threshold is unresolvable at this world budget
+  /// (floor(alpha*(W+1)) == 0, critical_value then +inf or advisory).
+  bool critical_value_resolvable = false;
+  /// True when critical_value is the Gumbel-quantile ADVISORY threshold used
+  /// in place of an unresolvable empirical one (non-kEmpirical methods only).
+  bool critical_value_advisory = false;
   double alpha = 0.0;
   uint64_t total_n = 0;          ///< N in the measure view
   uint64_t total_p = 0;          ///< P in the measure view (Bernoulli; 0 else)

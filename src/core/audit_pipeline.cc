@@ -41,6 +41,11 @@ struct Prep {
   /// The outcome model bound to the view's totals; shared with the unique
   /// calibration so simulation and assembly use the exact same instance.
   std::shared_ptr<const ScanStatistic> statistic;
+  /// The request's Monte Carlo options with the adaptive stopping rule
+  /// RESOLVED (observed τ from a prepare-phase scan, alpha from the audit
+  /// options) — the key below and every later phase must use this copy, not
+  /// the raw request options, or adaptive keys would hash unset fields.
+  MonteCarloOptions mc;
   CalibrationKey key;
 };
 
@@ -104,8 +109,22 @@ void PrepareRequest(const AuditRequest& req, uint64_t family_fingerprint,
         outcomes.WithContext(StrFormat("request '%s'", req.id.c_str()));
     return;
   }
+  prep->mc = req.options.monte_carlo;
+  if (prep->mc.adaptive.enabled) {
+    // The adaptive rule needs the observed τ BEFORE the calibration key is
+    // formed (the stop point — hence the calibration identity — depends on
+    // it), so resolve it with a prepare-phase scan of the observed world.
+    // The assembly phase rescans for the evidence fields; the extra scan is
+    // the price of keying adaptive calibrations honestly.
+    AuditScratch prescan_scratch;
+    const ScanResult observed = prep->statistic->ScanObserved(
+        *req.family, prep->view->predicted().data(), prep->view->size(),
+        &prescan_scratch);
+    prep->mc.adaptive.observed = observed.max_llr;
+    prep->mc.adaptive.alpha = req.options.alpha;
+  }
   prep->key = MakeCalibrationKey(*req.family, family_fingerprint,
-                                 *prep->statistic, req.options.monte_carlo);
+                                 *prep->statistic, prep->mc);
 }
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
@@ -156,6 +175,7 @@ std::string StreamStats::ToJson() const {
       "\"completed\":%llu,\"failed\":%llu,\"cancelled\":%llu,"
       "\"max_queue_depth\":%zu,"
       "\"deadline_misses\":%llu,\"degraded\":%llu,"
+      "\"early_stops\":%llu,\"tail_fits\":%llu,\"worlds_saved\":%llu,"
       "\"store_retries\":%llu,\"store_quarantined\":%llu,"
       "\"breaker_trips\":%llu,\"breaker_open\":%s,"
       "\"temps_reaped\":%llu,\"leases_reclaimed\":%llu,"
@@ -168,6 +188,9 @@ std::string StreamStats::ToJson() const {
       static_cast<unsigned long long>(cancelled), max_queue_depth,
       static_cast<unsigned long long>(deadline_misses),
       static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(early_stops),
+      static_cast<unsigned long long>(tail_fits),
+      static_cast<unsigned long long>(worlds_saved),
       static_cast<unsigned long long>(store_retries),
       static_cast<unsigned long long>(store_quarantined),
       static_cast<unsigned long long>(breaker_trips),
@@ -195,13 +218,18 @@ std::string PipelineManifest::ToJson() const {
   out += StrFormat(
       "{\"num_requests\":%zu,\"num_failed\":%zu,\"parallel\":%s,"
       "\"wall_ms\":%.3f,\"calibrations\":{\"computed\":%llu,\"loaded\":%llu,"
-      "\"reused\":%llu,\"hit_rate\":%.4f},\"cache\":{\"hits\":%llu,"
+      "\"reused\":%llu,\"hit_rate\":%.4f},"
+      "\"early_stops\":%llu,\"tail_fits\":%llu,\"worlds_saved\":%llu,"
+      "\"cache\":{\"hits\":%llu,"
       "\"misses\":%llu,\"entries\":%llu,\"store_hits\":%llu,"
       "\"store_writes\":%llu},\"requests\":[",
       num_requests, num_failed, parallel ? "true" : "false", wall_ms,
       static_cast<unsigned long long>(calibrations_computed),
       static_cast<unsigned long long>(calibrations_loaded),
       static_cast<unsigned long long>(calibrations_reused), HitRate(),
+      static_cast<unsigned long long>(early_stops),
+      static_cast<unsigned long long>(tail_fits),
+      static_cast<unsigned long long>(worlds_saved),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.entries),
@@ -219,11 +247,14 @@ std::string PipelineManifest::ToJson() const {
     out += StrFormat(
         "{\"id\":\"%s\",\"ok\":true,\"calibration_key\":\"%s\","
         "\"cache_hit\":%s,\"spatially_fair\":%s,\"p_value\":%.17g,"
+        "\"p_value_method\":\"%s\",\"tail_fit_ok\":%s,"
         "\"tau\":%.17g,\"n\":%llu,\"p\":%llu,\"num_findings\":%zu,"
         "\"assemble_ms\":%.3f}",
         JsonEscape(row.id).c_str(), JsonEscape(row.calibration_key).c_str(),
         row.cache_hit ? "true" : "false",
-        row.spatially_fair ? "true" : "false", row.p_value, row.tau,
+        row.spatially_fair ? "true" : "false", row.p_value,
+        row.p_value_method.c_str(), row.tail_fit_ok ? "true" : "false",
+        row.tau,
         static_cast<unsigned long long>(row.total_n),
         static_cast<unsigned long long>(row.total_p), row.num_findings,
         row.assemble_ms);
@@ -307,7 +338,7 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
       cal.key = preps[i].key;
       cal.family = batch[i].family;
       cal.statistic = preps[i].statistic;
-      cal.mc = batch[i].options.monte_carlo;
+      cal.mc = preps[i].mc;
       // Honor the pipeline-level parallel switch inside the world engine
       // too; execution-only, never part of the key or the results.
       cal.mc.parallel = cal.mc.parallel && parallel;
@@ -387,12 +418,20 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
     manifest->parallel = parallel;
     manifest->calibrations_computed = 0;
     manifest->calibrations_loaded = 0;
+    manifest->early_stops = 0;
+    manifest->tail_fits = 0;
+    manifest->worlds_saved = 0;
     for (const UniqueCalibration& cal : uniques) {
       if (cal.warm || !cal.status.ok()) continue;
       if (cal.source == CalibrationCache::Source::kStore) {
         ++manifest->calibrations_loaded;
       } else {
         ++manifest->calibrations_computed;
+        if (cal.value != nullptr && cal.value->early_stopped()) {
+          ++manifest->early_stops;
+          manifest->worlds_saved +=
+              cal.value->worlds_requested() - cal.value->num_worlds();
+        }
       }
     }
     uint64_t served = 0;
@@ -418,6 +457,13 @@ Result<std::vector<AuditResponse>> AuditPipeline::Run(
         row.cache_hit = response.cache_hit;
         row.spatially_fair = response.result.spatially_fair;
         row.p_value = response.result.p_value;
+        row.p_value_method =
+            SignificanceMethodToString(response.result.p_value_method);
+        row.tail_fit_ok = response.result.tail_fit_ok;
+        if (response.result.p_value_method ==
+            SignificanceMethod::kGumbelTail) {
+          ++manifest->tail_fits;
+        }
         row.tau = response.result.tau;
         row.total_n = response.result.total_n;
         row.total_p = response.result.total_p;
@@ -791,6 +837,18 @@ void AuditPipeline::StreamWorkerLoop(Stream* s) {
           ++s->stats.degraded;
           ++s->stats.deadline_misses;  // the deadline DID expire mid-flight
         }
+        if (response.result.p_value_method == SignificanceMethod::kGumbelTail) {
+          ++s->stats.tail_fits;
+        }
+        // Count worlds saved only where THIS response simulated them away:
+        // a cache/store hit's savings were banked when it was computed.
+        if (!response.cache_hit && !response.degraded &&
+            response.result.null_distribution.early_stopped()) {
+          ++s->stats.early_stops;
+          s->stats.worlds_saved +=
+              response.result.null_distribution.worlds_requested() -
+              response.result.null_distribution.num_worlds();
+        }
       } else {
         ++s->stats.failed;
         if (response.status.IsDeadlineExceeded()) ++s->stats.deadline_misses;
@@ -842,7 +900,10 @@ AuditResponse AuditPipeline::ExecuteStreamRequest(Stream* s,
   }
   response.calibration_key = prep.key.debug;
 
-  MonteCarloOptions mc = request.options.monte_carlo;
+  // The prepare phase resolved the adaptive stopping rule (observed τ,
+  // alpha) into prep.mc and keyed the calibration from it; execute with the
+  // same copy so key and simulation can never disagree.
+  MonteCarloOptions mc = prep.mc;
   mc.parallel = mc.parallel && options_.parallel;
   // Cooperative stop wiring: the session's abort token and this request's
   // own deadline reach the world engine, which polls them at batch

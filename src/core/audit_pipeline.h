@@ -150,6 +150,9 @@ struct PipelineManifest {
     std::string error;  ///< status message when !ok
     bool spatially_fair = false;
     double p_value = 0.0;
+    /// SignificanceMethodToString of the method that produced p_value.
+    std::string p_value_method;
+    bool tail_fit_ok = false;
     double tau = 0.0;
     uint64_t total_n = 0;
     uint64_t total_p = 0;
@@ -164,6 +167,13 @@ struct PipelineManifest {
   uint64_t calibrations_computed = 0;
   uint64_t calibrations_loaded = 0;
   uint64_t calibrations_reused = 0;
+  /// Tail-smart significance aggregates over this Run: freshly simulated
+  /// calibrations that stopped early on the adaptive CI rule, OK rows whose
+  /// p-value used the Gumbel tail, and the null worlds those early stops
+  /// avoided simulating.
+  uint64_t early_stops = 0;
+  uint64_t tail_fits = 0;
+  uint64_t worlds_saved = 0;
   /// Cumulative cache stats after this Run (spans Runs on a shared cache).
   CalibrationCache::Stats cache;
   double wall_ms = 0.0;
@@ -228,6 +238,15 @@ struct StreamStats {
   // the response was served degraded); every expiry counts one deadline_miss.
   uint64_t deadline_misses = 0;
   uint64_t degraded = 0;  ///< responses served from a partial calibration
+
+  // Tail-smart significance counters. An early stop here is the ADAPTIVE CI
+  // stop (a successful, shorter calibration) — unrelated to deadline/cancel
+  // failures above. worlds_saved accumulates (requested - completed) over
+  // freshly simulated early-stopped calibrations only (cache hits saved
+  // their worlds at compute time, counting them again would double-bill).
+  uint64_t early_stops = 0;  ///< adaptive CI stops among fresh calibrations
+  uint64_t tail_fits = 0;    ///< OK responses whose p-value used the Gumbel tail
+  uint64_t worlds_saved = 0; ///< null worlds not simulated thanks to early stops
 
   // Store-health snapshot taken from the attached CalibrationStore when the
   // stats are read (all zero when no store is attached). Cumulative over the

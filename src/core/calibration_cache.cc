@@ -1,5 +1,6 @@
 #include "core/calibration_cache.h"
 
+#include <bit>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -115,6 +116,21 @@ CalibrationKey MakeCalibrationKey(const RegionFamily& family,
   h = Mix(h, static_cast<uint64_t>(options.null_model));
   h = Mix(h, options.seed);
   h = Mix(h, options.closed_form_cells ? 1u : 0u);
+  if (options.adaptive.enabled) {
+    // Adaptive runs may legitimately complete FEWER worlds than num_worlds,
+    // and where they stop depends on (observed, alpha, min_worlds,
+    // check_every, z). Hashing those keeps an early-stopped calibration from
+    // silently aliasing a full-precision one — a full-num_worlds request
+    // recomputes instead of inheriting a truncated null. The cost: adaptive
+    // calibrations are per-(observed, alpha), so alpha sweeps over one
+    // dataset do not share them (see AdaptiveMcOptions in significance.h).
+    h = Mix(h, 0xada9717eULL);  // domain marker: adaptive key space
+    h = Mix(h, std::bit_cast<uint64_t>(options.adaptive.observed));
+    h = Mix(h, std::bit_cast<uint64_t>(options.adaptive.alpha));
+    h = Mix(h, std::bit_cast<uint64_t>(options.adaptive.z));
+    h = Mix(h, options.adaptive.min_worlds);
+    h = Mix(h, options.adaptive.check_every);
+  }
 
   CalibrationKey key;
   key.hash = h;
@@ -126,6 +142,13 @@ CalibrationKey MakeCalibrationKey(const RegionFamily& family,
       options.num_worlds, NullModelToString(options.null_model),
       static_cast<unsigned long long>(options.seed),
       options.closed_form_cells ? 1 : 0, static_cast<unsigned long long>(fp));
+  if (options.adaptive.enabled) {
+    key.debug += StrFormat(
+        " adaptive(obs=%.17g alpha=%.17g min=%u every=%u z=%.17g)",
+        options.adaptive.observed, options.adaptive.alpha,
+        options.adaptive.min_worlds, options.adaptive.check_every,
+        options.adaptive.z);
+  }
   return key;
 }
 

@@ -421,6 +421,16 @@ Result<NullDistribution> CalibrationStore::Load(
   if (num_worlds > 0 && !r.Read(maxima.data(), num_worlds * sizeof(double))) {
     return reject("truncated maxima");
   }
+  uint64_t worlds_requested = 0;
+  if (!r.ReadU64(&worlds_requested)) return reject("truncated stop metadata");
+  uint32_t stop_reason_raw = 0;
+  if (!r.ReadU32(&stop_reason_raw)) return reject("truncated stop metadata");
+  if (worlds_requested < num_worlds) {
+    return reject("worlds_requested below completed world count");
+  }
+  if (stop_reason_raw > static_cast<uint32_t>(McStopReason::kCiAboveAlpha)) {
+    return reject("unknown stop reason");
+  }
   if (r.pos != r.size) return reject("trailing bytes");
 
   {
@@ -434,7 +444,8 @@ Result<NullDistribution> CalibrationStore::Load(
       path, std::filesystem::file_time_type::clock::now(), touch_ec);
   // The ctor re-sorts descending — a no-op for a well-formed frame, and it
   // restores the class invariant even if a hand-edited file reordered values.
-  return NullDistribution(std::move(maxima));
+  return NullDistribution(std::move(maxima), worlds_requested,
+                          static_cast<McStopReason>(stop_reason_raw));
 }
 
 Status CalibrationStore::Store(const CalibrationKey& key,
@@ -533,6 +544,10 @@ Status CalibrationStore::WriteFrameOnce(
   if (!maxima.empty()) {
     AppendRaw(&frame, maxima.data(), maxima.size() * sizeof(double));
   }
+  // v3: adaptive-stop metadata. For full runs this is (size, kNone), so
+  // every frame carries it and the loader needs no conditional layout.
+  AppendU64(&frame, distribution.worlds_requested());
+  AppendU32(&frame, static_cast<uint32_t>(distribution.stop_reason()));
   AppendU64(&frame, Fnv1a(frame.data(), frame.size()));
 
   // Torn-write drill hook: an error action fails this attempt (retryable);

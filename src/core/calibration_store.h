@@ -76,7 +76,11 @@ class CalibrationStore {
   /// to misparse. v1 → v2: calibration keys embed the ScanStatistic
   /// fingerprint (core/scan_statistic.h), so v1 frames — keyed without a
   /// statistic identity — must never be adopted by a statistic-aware reader.
-  static constexpr uint32_t kFormatVersion = 2;
+  /// v2 → v3: frames append the adaptive-stop metadata (worlds_requested +
+  /// stop reason) after the maxima, so an early-stopped calibration
+  /// round-trips as early-stopped instead of masquerading as a full run of
+  /// its truncated length.
+  static constexpr uint32_t kFormatVersion = 3;
 
   struct Options {
     std::string directory;

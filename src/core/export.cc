@@ -85,6 +85,11 @@ std::string FindingsToGeoJson(const std::vector<RegionFinding>& findings) {
       }
       out += ']';
     }
+    if (f.advisory) {
+      // Flag findings admitted against the Gumbel-advisory threshold (the
+      // empirical critical value was unresolvable at this world budget).
+      out += ",\"advisory\":true";
+    }
     out += "}}";
   }
   out += "]}";

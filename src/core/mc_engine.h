@@ -47,6 +47,14 @@ struct McRunOutcome {
   size_t worlds_completed = 0;
   bool complete = true;
   Status stop_cause;  ///< OK when complete; Cancelled/DeadlineExceeded/injected
+  /// Adaptive sequential stop verdict (options.adaptive): a CI verdict when
+  /// the run decided early BY DESIGN, kNone otherwise. An adaptive stop is a
+  /// successful completion — `complete` stays true, stop_cause stays OK, and
+  /// the maxima prefix [0, worlds_completed) IS the calibration (still
+  /// byte-identical to a fixed-num_worlds run of that length).
+  McStopReason stop_reason = McStopReason::kNone;
+
+  bool early_stopped() const { return stop_reason != McStopReason::kNone; }
 };
 
 /// Runs `simulation` over options.num_worlds null worlds and returns their
@@ -58,6 +66,18 @@ struct McRunOutcome {
 /// boundary and may stop early: the returned vector is then truncated to the
 /// completed contiguous world prefix and *outcome says why. With a null
 /// `outcome` the stop controls are ignored and the run always completes.
+///
+/// Adaptive sequential stopping (options.adaptive.enabled): worlds run in
+/// serial chunks of adaptive.check_every (each chunk batched/parallel per
+/// the execution options); after each chunk a Wilson CI on the exceedance
+/// probability of adaptive.observed decides whether the p-value-vs-alpha
+/// verdict is settled, and the run stops at the first settled boundary
+/// (outcome->stop_reason records which side). The stop point depends ONLY on
+/// the decision-relevant options — worlds draw from per-world substreams and
+/// chunk boundaries are fixed by check_every — never on batch size, thread
+/// count, or parallel on/off, so adaptive runs keep the engine's determinism
+/// contract. Adaptive runs always report through an outcome (a local one is
+/// used if the caller passed none, making them stoppable by construction).
 std::vector<double> RunMonteCarloWorlds(const StatisticSimulation& simulation,
                                         const MonteCarloOptions& options,
                                         McRunOutcome* outcome);

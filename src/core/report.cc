@@ -26,9 +26,32 @@ std::string FormatAuditSummary(const AuditResult& result,
                      result.overall_rate);
   }
   out += StrFormat("  tau (max log-likelihood ratio) = %.3f\n", result.tau);
-  out += StrFormat("  Monte Carlo p-value            = %.4f\n", result.p_value);
-  out += StrFormat("  critical LLR at alpha=%.3f     = %.3f\n", result.alpha,
-                   result.critical_value);
+  if (result.p_value_method == SignificanceMethod::kGumbelTail) {
+    // Tail p-values resolve far below the empirical 1/(W+1) cap; print in
+    // scientific notation and say where the number came from.
+    out += StrFormat(
+        "  p-value (Gumbel tail, KS=%.3f) = %.3e\n", result.tail_ks,
+        result.p_value);
+  } else {
+    out += StrFormat("  Monte Carlo p-value            = %.4f\n",
+                     result.p_value);
+  }
+  if (result.null_distribution.early_stopped()) {
+    out += StrFormat(
+        "  adaptive MC: stopped at %zu/%llu worlds (%s)\n",
+        result.null_distribution.num_worlds(),
+        static_cast<unsigned long long>(
+            result.null_distribution.worlds_requested()),
+        McStopReasonToString(result.null_distribution.stop_reason()));
+  }
+  out += StrFormat("  critical LLR at alpha=%.3f     = %.3f%s\n", result.alpha,
+                   result.critical_value,
+                   result.critical_value_advisory
+                       ? " (Gumbel advisory: empirical threshold "
+                         "unresolvable at this world budget)"
+                   : !result.critical_value_resolvable
+                       ? " (unresolvable at this world budget)"
+                       : "");
   out += StrFormat("  verdict: %s\n",
                    result.spatially_fair ? "SPATIALLY FAIR (H0 not rejected)"
                                          : "SPATIALLY UNFAIR (H0 rejected)");
@@ -39,15 +62,37 @@ std::string FormatAuditSummary(const AuditResult& result,
 std::string FormatFindingsTable(const std::vector<RegionFinding>& findings,
                                 size_t max_rows) {
   std::string out;
-  out += "  rank |        n |        p |  rate | LLR        | region\n";
-  out += "  -----+----------+----------+-------+------------+-------\n";
   const size_t rows = std::min(max_rows, findings.size());
-  for (size_t i = 0; i < rows; ++i) {
-    const RegionFinding& f = findings[i];
-    out += StrFormat("  %4zu | %8llu | %8llu | %.3f | %10.3f | %s\n", i + 1,
-                     static_cast<unsigned long long>(f.n),
-                     static_cast<unsigned long long>(f.p), f.local_rate, f.llr,
-                     f.rect.ToString().c_str());
+  // Multinomial findings carry class_counts and leave the binary p/rate
+  // fields zero — rendering them through the binary columns printed
+  // "p=0, rate=0.000" for every row. Pick the column set from the evidence
+  // actually present (findings are homogeneous per audit).
+  const bool multinomial = !findings.empty() && !findings[0].class_counts.empty();
+  if (multinomial) {
+    out += "  rank |        n | classes         | LLR        | region\n";
+    out += "  -----+----------+-----------------+------------+-------\n";
+    for (size_t i = 0; i < rows; ++i) {
+      const RegionFinding& f = findings[i];
+      std::string counts;
+      for (size_t k = 0; k < f.class_counts.size(); ++k) {
+        counts += StrFormat(
+            k == 0 ? "%llu" : "/%llu",
+            static_cast<unsigned long long>(f.class_counts[k]));
+      }
+      out += StrFormat("  %4zu | %8llu | %-15s | %10.3f | %s\n", i + 1,
+                       static_cast<unsigned long long>(f.n), counts.c_str(),
+                       f.llr, f.rect.ToString().c_str());
+    }
+  } else {
+    out += "  rank |        n |        p |  rate | LLR        | region\n";
+    out += "  -----+----------+----------+-------+------------+-------\n";
+    for (size_t i = 0; i < rows; ++i) {
+      const RegionFinding& f = findings[i];
+      out += StrFormat("  %4zu | %8llu | %8llu | %.3f | %10.3f | %s\n", i + 1,
+                       static_cast<unsigned long long>(f.n),
+                       static_cast<unsigned long long>(f.p), f.local_rate,
+                       f.llr, f.rect.ToString().c_str());
+    }
   }
   if (findings.size() > rows) {
     out += StrFormat("  ... (%zu more)\n", findings.size() - rows);

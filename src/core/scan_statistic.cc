@@ -19,9 +19,7 @@ Result<NullDistribution> SimulateNull(const ScanStatistic& statistic,
                                       const RegionFamily& family,
                                       const MonteCarloOptions& options,
                                       PartialCalibration* partial) {
-  if (options.num_worlds == 0) {
-    return Status::InvalidArgument("Monte Carlo needs at least one world");
-  }
+  SFA_RETURN_NOT_OK(ValidateMonteCarloOptions(options));
   SFA_RETURN_NOT_OK(statistic.ValidateForFamily(family));
   const std::unique_ptr<StatisticSimulation> simulation =
       statistic.MakeSimulation(family, options);
@@ -37,6 +35,12 @@ Result<NullDistribution> SimulateNull(const ScanStatistic& statistic,
       partial->maxima = std::move(max_llrs);
     }
     return outcome.stop_cause;
+  }
+  if (outcome.early_stopped()) {
+    // Adaptive CI stop: a successful, shorter calibration. Carry the request
+    // size and verdict so caches/stores/reports can tell it from a full run.
+    return NullDistribution(std::move(max_llrs), options.num_worlds,
+                            outcome.stop_reason);
   }
   return NullDistribution(std::move(max_llrs));
 }

@@ -69,6 +69,10 @@ struct RegionFinding {
   double llr = 0.0;        ///< Λ(R); ranking by Λ == ranking by SUL
   double log_sul = 0.0;    ///< log of the paper's Eq. 1 (statistic's analog)
   bool significant = false;
+  /// True when `significant` was decided against a tail-advisory threshold
+  /// (Gumbel quantile) because the empirical critical value was unresolvable
+  /// at this world budget — treat as indicative, not calibrated.
+  bool advisory = false;
   /// Per-class counts inside the region (multinomial; empty for Bernoulli).
   std::vector<uint64_t> class_counts;
 };

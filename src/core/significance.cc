@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "core/bernoulli_statistic.h"
 #include "core/mc_engine.h"
 #include "stats/gumbel.h"
 
@@ -30,8 +31,45 @@ const char* McEngineToString(McEngine engine) {
   return "?";
 }
 
+const char* SignificanceMethodToString(SignificanceMethod method) {
+  switch (method) {
+    case SignificanceMethod::kEmpirical:
+      return "empirical";
+    case SignificanceMethod::kGumbelTail:
+      return "gumbel-tail";
+    case SignificanceMethod::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const char* McStopReasonToString(McStopReason reason) {
+  switch (reason) {
+    case McStopReason::kNone:
+      return "none";
+    case McStopReason::kCiBelowAlpha:
+      return "ci-below-alpha";
+    case McStopReason::kCiAboveAlpha:
+      return "ci-above-alpha";
+  }
+  return "?";
+}
+
 NullDistribution::NullDistribution(std::vector<double> max_llrs)
-    : sorted_max_(std::move(max_llrs)) {
+    : sorted_max_(std::move(max_llrs)),
+      worlds_requested_(sorted_max_.size()) {
+  std::sort(sorted_max_.begin(), sorted_max_.end(), std::greater<double>());
+}
+
+NullDistribution::NullDistribution(std::vector<double> max_llrs,
+                                   uint64_t worlds_requested,
+                                   McStopReason stop_reason)
+    : sorted_max_(std::move(max_llrs)),
+      worlds_requested_(worlds_requested),
+      stop_reason_(stop_reason) {
+  SFA_CHECK_MSG(worlds_requested_ >= sorted_max_.size(),
+                "worlds_requested " << worlds_requested_ << " < completed "
+                                    << sorted_max_.size());
   std::sort(sorted_max_.begin(), sorted_max_.end(), std::greater<double>());
 }
 
@@ -58,18 +96,136 @@ double NullDistribution::CriticalValue(double alpha) const {
 }
 
 Result<double> NullDistribution::GumbelPValue(double observed) const {
+  // Degenerate nulls (constant maxima — e.g. tiny families where every
+  // world scans to 0) have no tail to fit; make the failure mode explicit
+  // rather than leaving it to the moments fit's sample-variance check.
+  if (sorted_max_.size() < 2 || sorted_max_.front() == sorted_max_.back()) {
+    return Status::FailedPrecondition(
+        "Gumbel tail fit needs >= 2 distinct simulated maxima");
+  }
   SFA_ASSIGN_OR_RETURN(stats::GumbelDistribution gumbel,
                        stats::GumbelDistribution::FitMoments(sorted_max_));
   return gumbel.UpperTail(observed);
+}
+
+TailFit NullDistribution::AssessTailFit(double max_ks) const {
+  TailFit fit;
+  if (sorted_max_.size() < 2 || sorted_max_.front() == sorted_max_.back()) {
+    return fit;  // degenerate: fitted = false, ks = 1
+  }
+  auto fitted = stats::GumbelDistribution::FitMoments(sorted_max_);
+  if (!fitted.ok()) return fit;
+  fit.fitted = true;
+  fit.mu = fitted->mu();
+  fit.beta = fitted->beta();
+  // Two-sided KS distance of the fitted CDF against the empirical maxima,
+  // evaluated at both sides of every jump. sorted_max_ is descending, so
+  // index size-1-i walks the samples ascending; ties are covered because
+  // every tied index contributes both its lower and upper ECDF step, which
+  // bracket the true jump.
+  const double n = static_cast<double>(sorted_max_.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sorted_max_.size(); ++i) {
+    const double x = sorted_max_[sorted_max_.size() - 1 - i];
+    const double f = fitted->Cdf(x);
+    d = std::max(d, (static_cast<double>(i) + 1.0) / n - f);
+    d = std::max(d, f - static_cast<double>(i) / n);
+  }
+  fit.ks_distance = d;
+  fit.ok = d <= max_ks;
+  return fit;
+}
+
+PValueEstimate NullDistribution::ResolvePValue(double observed,
+                                               SignificanceMethod method,
+                                               double max_ks) const {
+  SFA_CHECK(!sorted_max_.empty());
+  PValueEstimate estimate;
+  estimate.p_value = PValue(observed);
+  estimate.method = SignificanceMethod::kEmpirical;
+
+  const bool beyond_simulated = observed > sorted_max_.front();
+  const bool want_tail =
+      method == SignificanceMethod::kGumbelTail ||
+      (method == SignificanceMethod::kAuto && beyond_simulated);
+  if (!want_tail) return estimate;
+
+  const TailFit fit = AssessTailFit(max_ks);
+  estimate.tail_fit_ok = fit.ok;
+  estimate.tail_ks = fit.ks_distance;
+  if (!fit.ok) return estimate;  // clean degradation to empirical
+
+  const stats::GumbelDistribution gumbel(fit.mu, fit.beta);
+  double tail_p = gumbel.UpperTail(observed);
+  if (method == SignificanceMethod::kAuto) {
+    // kAuto only fires beyond the simulated range, where the empirical
+    // p-value saturates at its resolution cap 1/(W+1); keep the tail value
+    // under that cap so auto p-values are monotone in the evidence.
+    tail_p = std::min(tail_p, estimate.p_value);
+  }
+  estimate.p_value = tail_p;
+  estimate.method = SignificanceMethod::kGumbelTail;
+  return estimate;
+}
+
+CriticalValueInfo NullDistribution::CriticalValueEx(double alpha,
+                                                    bool tail_advisory,
+                                                    double max_ks) const {
+  SFA_CHECK(!sorted_max_.empty());
+  SFA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha " << alpha << " outside (0,1)");
+  CriticalValueInfo info;
+  const size_t w = sorted_max_.size() + 1;
+  const auto budget = static_cast<size_t>(std::floor(alpha * static_cast<double>(w)));
+  if (budget > 0) {
+    info.value = sorted_max_[budget - 1];
+    info.resolvable = true;
+    return info;
+  }
+  if (tail_advisory) {
+    const TailFit fit = AssessTailFit(max_ks);
+    if (fit.ok) {
+      info.value = stats::GumbelDistribution(fit.mu, fit.beta).Quantile(1.0 - alpha);
+      info.advisory_tail = true;
+      return info;
+    }
+  }
+  info.value = std::numeric_limits<double>::infinity();
+  return info;
+}
+
+Status ValidateMonteCarloOptions(const MonteCarloOptions& options) {
+  if (options.num_worlds == 0) {
+    return Status::InvalidArgument("Monte Carlo needs at least one world");
+  }
+  if (options.adaptive.enabled) {
+    if (!(options.adaptive.alpha > 0.0 && options.adaptive.alpha < 1.0)) {
+      return Status::InvalidArgument(
+          "adaptive Monte Carlo alpha must be in (0, 1)");
+    }
+    if (!(options.adaptive.z > 0.0)) {
+      return Status::InvalidArgument("adaptive Monte Carlo z must be > 0");
+    }
+    if (!std::isfinite(options.adaptive.observed)) {
+      return Status::InvalidArgument(
+          "adaptive Monte Carlo observed statistic must be finite");
+    }
+    if (options.adaptive.check_every == 0) {
+      return Status::InvalidArgument(
+          "adaptive Monte Carlo check_every must be >= 1");
+    }
+    if (options.adaptive.min_worlds == 0) {
+      return Status::InvalidArgument(
+          "adaptive Monte Carlo min_worlds must be >= 1");
+    }
+  }
+  return Status::OK();
 }
 
 Result<NullDistribution> SimulateNull(const RegionFamily& family, double rho,
                                       uint64_t total_positives,
                                       stats::ScanDirection direction,
                                       const MonteCarloOptions& options) {
-  if (options.num_worlds == 0) {
-    return Status::InvalidArgument("Monte Carlo needs at least one world");
-  }
+  SFA_RETURN_NOT_OK(ValidateMonteCarloOptions(options));
   if (rho < 0.0 || rho > 1.0) {
     return Status::InvalidArgument("rho must be in [0, 1]");
   }
@@ -77,8 +233,21 @@ Result<NullDistribution> SimulateNull(const RegionFamily& family, double rho,
   if (total_positives > n) {
     return Status::InvalidArgument("more positives than points");
   }
-  return NullDistribution(
-      RunMonteCarloWorlds(family, rho, total_positives, direction, options));
+  if (!options.adaptive.enabled) {
+    return NullDistribution(
+        RunMonteCarloWorlds(family, rho, total_positives, direction, options));
+  }
+  // Adaptive runs need an outcome to carry the stop metadata; the legacy
+  // non-adaptive path above stays unstoppable (its historical contract).
+  const BernoulliScanStatistic statistic(direction, n, total_positives, rho);
+  const std::unique_ptr<StatisticSimulation> simulation =
+      statistic.MakeSimulation(family, options);
+  McRunOutcome outcome;
+  std::vector<double> max_llrs =
+      RunMonteCarloWorlds(*simulation, options, &outcome);
+  if (!outcome.complete) return outcome.stop_cause;
+  return NullDistribution(std::move(max_llrs), options.num_worlds,
+                          outcome.stop_reason);
 }
 
 }  // namespace sfa::core

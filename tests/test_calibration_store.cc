@@ -118,6 +118,68 @@ TEST(CalibrationStore, RoundTripsNullDistributionExactly) {
   EXPECT_EQ(store->stats().stores, 1u);
 }
 
+TEST(CalibrationStore, RoundTripsEarlyStopMetadata) {
+  // v3 frames append (worlds_requested, stop_reason) after the maxima: an
+  // early-stopped adaptive calibration must come back early-stopped — not
+  // masquerading as a full run of its truncated length.
+  TempStoreDir dir("earlystop");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  const CalibrationKey key = KeyFor(b, b.requests[0]);
+
+  const NullDistribution stopped(std::vector<double>{4.0, 3.0, 2.0, 1.0},
+                                 /*worlds_requested=*/99,
+                                 McStopReason::kCiAboveAlpha);
+  ASSERT_TRUE(stopped.early_stopped());
+  ASSERT_TRUE(store->Store(key, stopped).ok());
+  auto loaded = store->Load(key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->sorted_max(), stopped.sorted_max());
+  EXPECT_EQ(loaded->worlds_requested(), 99u);
+  EXPECT_EQ(loaded->stop_reason(), McStopReason::kCiAboveAlpha);
+  EXPECT_TRUE(loaded->early_stopped());
+}
+
+TEST(CalibrationStore, RejectsFrameWithCorruptStopMetadata) {
+  // worlds_requested below the completed count is structurally impossible;
+  // a frame claiming it is quarantined into a recompute.
+  TempStoreDir dir("badstop");
+  auto store = dir.OpenOrDie();
+  StoreBatch b;
+  const CalibrationKey key = KeyFor(b, b.requests[0]);
+  NullDistribution dist(std::vector<double>{3.0, 2.0, 1.0});
+  ASSERT_TRUE(store->Store(key, dist).ok());
+
+  const std::string path = store->FilePathFor(key);
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    ASSERT_TRUE(f.good());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  // Layout from the trailer backwards: checksum(u64) | stop_reason(u32) |
+  // worlds_requested(u64). Claim fewer requested worlds than stored maxima.
+  const uint64_t bogus_requested = 1;
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint64_t) -
+                  sizeof(uint32_t) - sizeof(uint64_t),
+              &bogus_requested, sizeof bogus_requested);
+  uint64_t checksum = 0xcbf29ce484222325ULL;  // FNV-1a over all but trailer
+  for (size_t i = 0; i + sizeof(uint64_t) < bytes.size(); ++i) {
+    checksum ^= static_cast<unsigned char>(bytes[i]);
+    checksum *= 0x100000001b3ULL;
+  }
+  std::memcpy(bytes.data() + bytes.size() - sizeof checksum, &checksum,
+              sizeof checksum);
+  { std::ofstream(path, std::ios::binary) << bytes; }
+
+  auto loaded = store->Load(key);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status();
+  EXPECT_EQ(store->stats().load_rejected, 1u);
+}
+
 TEST(CalibrationStore, WarmStartedPipelineIsByteIdenticalToColdRun) {
   TempStoreDir dir("warmstart");
   StoreBatch b;
@@ -256,10 +318,10 @@ TEST(CalibrationStore, RejectsFrameBelongingToAnotherKey) {
 
 TEST(CalibrationStore, RejectsPreStatisticLayerV1Frames) {
   // The statistic layer changed what a calibration key MEANS (keys embed the
-  // ScanStatistic fingerprint), so the frame version was bumped to 2 and
-  // v1 frames — written by pre-statistic builds — must be rejected into a
-  // recompute, never adopted.
-  ASSERT_EQ(CalibrationStore::kFormatVersion, 2u);
+  // ScanStatistic fingerprint) — v2; the adaptive-stop layer appended stop
+  // metadata to the frame body — v3. Frames of any other version — written
+  // by older builds — must be rejected into a recompute, never adopted.
+  ASSERT_EQ(CalibrationStore::kFormatVersion, 3u);
   TempStoreDir dir("v1frame");
   auto store = dir.OpenOrDie();
   StoreBatch b;

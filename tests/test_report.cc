@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace sfa::core {
 namespace {
 
@@ -12,6 +14,7 @@ AuditResult SampleResult() {
   result.p_value = 0.001;
   result.tau = 123.456;
   result.critical_value = 9.6;
+  result.critical_value_resolvable = true;
   result.alpha = 0.005;
   result.total_n = 206418;
   result.total_p = 127286;
@@ -61,6 +64,55 @@ TEST(FormatFindingsTable, EmptyFindings) {
   const std::string s = FormatFindingsTable({}, 5);
   EXPECT_NE(s.find("rank"), std::string::npos);
   EXPECT_EQ(s.find("more"), std::string::npos);
+}
+
+TEST(FormatFindingsTable, MultinomialFindingsGetClassColumns) {
+  // Regression: multinomial findings (class_counts set, binary p/rate fields
+  // zero) used to render through the binary columns as "p=0, rate=0.000".
+  // They must get the class-distribution column instead.
+  RegionFinding f;
+  f.n = 900;
+  f.llr = 42.5;
+  f.rect = geo::Rect(0, 0, 2, 2);
+  f.label = "cell(1,1)";
+  f.class_counts = {300, 450, 150};
+  const std::string s = FormatFindingsTable({f}, 5);
+  EXPECT_NE(s.find("classes"), std::string::npos);
+  EXPECT_NE(s.find("300/450/150"), std::string::npos);
+  EXPECT_NE(s.find("42.5"), std::string::npos);
+  // The binary-only columns must be gone — no phantom zeros.
+  EXPECT_EQ(s.find("rate"), std::string::npos);
+  EXPECT_EQ(s.find("| 0.000 |"), std::string::npos);
+}
+
+TEST(FormatAuditSummary, TailPValueAndAdaptiveStopAreReported) {
+  AuditResult result = SampleResult();
+  result.p_value = 3.2e-7;
+  result.p_value_method = SignificanceMethod::kGumbelTail;
+  result.tail_fit_ok = true;
+  result.tail_ks = 0.042;
+  result.null_distribution =
+      NullDistribution({5.0, 4.0, 3.0, 2.0, 1.0}, /*worlds_requested=*/199,
+                       McStopReason::kCiBelowAlpha);
+  const std::string s = FormatAuditSummary(result, "tail");
+  EXPECT_NE(s.find("Gumbel tail"), std::string::npos);
+  EXPECT_NE(s.find("3.200e-07"), std::string::npos);
+  EXPECT_NE(s.find("stopped at 5/199 worlds"), std::string::npos);
+  EXPECT_NE(s.find("ci-below-alpha"), std::string::npos);
+}
+
+TEST(FormatAuditSummary, UnresolvableCriticalValueIsFlagged) {
+  AuditResult result = SampleResult();
+  result.critical_value = std::numeric_limits<double>::infinity();
+  result.critical_value_resolvable = false;
+  const std::string plain = FormatAuditSummary(result, "x");
+  EXPECT_NE(plain.find("unresolvable at this world budget"),
+            std::string::npos);
+
+  result.critical_value = 14.2;
+  result.critical_value_advisory = true;
+  const std::string advisory = FormatAuditSummary(result, "x");
+  EXPECT_NE(advisory.find("Gumbel advisory"), std::string::npos);
 }
 
 TEST(FormatFinding, OneLiner) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "core/grid_family.h"
 #include "core/scan.h"
@@ -47,6 +49,143 @@ TEST(NullDistribution, UnattainableAlphaGivesInfinity) {
 TEST(NullDistribution, SortsInput) {
   NullDistribution dist({3.0, 1.0, 2.0});
   EXPECT_EQ(dist.sorted_max(), (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+TEST(NullDistribution, MetadataConstructorCarriesStopState) {
+  const NullDistribution full({3.0, 1.0, 2.0});
+  EXPECT_EQ(full.worlds_requested(), 3u);
+  EXPECT_FALSE(full.early_stopped());
+  EXPECT_EQ(full.stop_reason(), McStopReason::kNone);
+
+  const NullDistribution stopped({3.0, 1.0, 2.0}, /*worlds_requested=*/99,
+                                 McStopReason::kCiAboveAlpha);
+  EXPECT_EQ(stopped.worlds_requested(), 99u);
+  EXPECT_TRUE(stopped.early_stopped());
+  EXPECT_EQ(stopped.stop_reason(), McStopReason::kCiAboveAlpha);
+  // Same maxima → same p-values: the metadata annotates, never reweights.
+  EXPECT_DOUBLE_EQ(stopped.PValue(2.5), full.PValue(2.5));
+}
+
+std::vector<double> GumbelLikeMaxima(size_t n, uint64_t seed) {
+  // Inverse-CDF samples of a Gumbel(3, 0.8): x = mu - beta*log(-log(u)).
+  sfa::Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) {
+    x = 3.0 - 0.8 * std::log(-std::log(rng.Uniform(1e-12, 1.0)));
+  }
+  return out;
+}
+
+TEST(NullDistribution, GumbelPValueRejectsDegenerateNulls) {
+  // Constant maxima (e.g. a tiny family where every world scans to 0) have
+  // no tail to fit — the error must be explicit, not a NaN downstream.
+  const NullDistribution constant({0.0, 0.0, 0.0, 0.0});
+  EXPECT_FALSE(constant.GumbelPValue(1.0).ok());
+  const NullDistribution single({2.0});
+  EXPECT_FALSE(single.GumbelPValue(1.0).ok());
+}
+
+TEST(NullDistribution, AutoDegradesToEmpiricalOnDegenerateNull) {
+  // kAuto on a constant-maxima null: the tail fit cannot be attempted, so
+  // the estimate cleanly stays empirical — no error surfaces.
+  const NullDistribution constant({0.0, 0.0, 0.0, 0.0});
+  const PValueEstimate est =
+      constant.ResolvePValue(1.0, SignificanceMethod::kAuto);
+  EXPECT_EQ(est.method, SignificanceMethod::kEmpirical);
+  EXPECT_FALSE(est.tail_fit_ok);
+  EXPECT_DOUBLE_EQ(est.p_value, constant.PValue(1.0));
+}
+
+TEST(NullDistribution, AutoUsesEmpiricalInRange) {
+  const NullDistribution dist(GumbelLikeMaxima(499, 11));
+  const double in_range = dist.sorted_max()[100];  // well inside the sample
+  const PValueEstimate est =
+      dist.ResolvePValue(in_range, SignificanceMethod::kAuto);
+  EXPECT_EQ(est.method, SignificanceMethod::kEmpirical);
+  EXPECT_DOUBLE_EQ(est.p_value, dist.PValue(in_range));
+}
+
+TEST(NullDistribution, AutoUsesTailBeyondSimulatedRange) {
+  const NullDistribution dist(GumbelLikeMaxima(499, 12));
+  const double beyond = dist.sorted_max().front() + 5.0;
+  const PValueEstimate est =
+      dist.ResolvePValue(beyond, SignificanceMethod::kAuto);
+  ASSERT_EQ(est.method, SignificanceMethod::kGumbelTail);
+  EXPECT_TRUE(est.tail_fit_ok);
+  EXPECT_LE(est.tail_ks, kDefaultTailKsGate);
+  // The tail p-value breaks the empirical 1/(W+1) resolution cap, and kAuto
+  // keeps it under that cap (monotone in the evidence).
+  EXPECT_LT(est.p_value, dist.PValue(beyond));
+  EXPECT_GT(est.p_value, 0.0);
+}
+
+TEST(NullDistribution, TailFitGateRejectsNonGumbelNulls) {
+  // A bimodal null is nothing like a Gumbel: the KS gate must fail it and
+  // kGumbelTail must then degrade to empirical instead of extrapolating.
+  std::vector<double> bimodal;
+  for (int i = 0; i < 250; ++i) bimodal.push_back(1.0 + 1e-3 * i);
+  for (int i = 0; i < 250; ++i) bimodal.push_back(100.0 + 1e-3 * i);
+  const NullDistribution dist(std::move(bimodal));
+  const TailFit fit = dist.AssessTailFit();
+  EXPECT_TRUE(fit.fitted);
+  EXPECT_FALSE(fit.ok);
+  EXPECT_GT(fit.ks_distance, kDefaultTailKsGate);
+  const PValueEstimate est =
+      dist.ResolvePValue(200.0, SignificanceMethod::kGumbelTail);
+  EXPECT_EQ(est.method, SignificanceMethod::kEmpirical);
+  EXPECT_FALSE(est.tail_fit_ok);
+  EXPECT_DOUBLE_EQ(est.p_value, dist.PValue(200.0));
+}
+
+TEST(NullDistribution, CriticalValueExFlagsResolvability) {
+  // W-1 = 19 worlds → w = 20. alpha = 0.05 = 1/w is the exact boundary:
+  // floor(0.05*20) = 1 → resolvable (the largest null value). Any alpha
+  // strictly below 1/w is unresolvable.
+  std::vector<double> maxima;
+  for (int i = 1; i <= 19; ++i) maxima.push_back(static_cast<double>(i));
+  const NullDistribution dist(std::move(maxima));
+
+  const CriticalValueInfo at_boundary = dist.CriticalValueEx(0.05);
+  EXPECT_TRUE(at_boundary.resolvable);
+  EXPECT_FALSE(at_boundary.advisory_tail);
+  EXPECT_DOUBLE_EQ(at_boundary.value, 19.0);
+  EXPECT_DOUBLE_EQ(at_boundary.value, dist.CriticalValue(0.05));
+
+  const CriticalValueInfo below = dist.CriticalValueEx(0.049);
+  EXPECT_FALSE(below.resolvable);
+  EXPECT_FALSE(below.advisory_tail);
+  EXPECT_TRUE(std::isinf(below.value));
+}
+
+TEST(NullDistribution, CriticalValueExAdvisoryUsesGumbelQuantile) {
+  const NullDistribution dist(GumbelLikeMaxima(99, 13));
+  // alpha far below the 1/100 resolution: empirically unresolvable, but the
+  // healthy tail fit supplies a finite advisory threshold.
+  const CriticalValueInfo plain = dist.CriticalValueEx(0.001);
+  EXPECT_FALSE(plain.resolvable);
+  EXPECT_TRUE(std::isinf(plain.value));
+
+  const CriticalValueInfo advisory =
+      dist.CriticalValueEx(0.001, /*tail_advisory=*/true);
+  EXPECT_FALSE(advisory.resolvable);
+  EXPECT_TRUE(advisory.advisory_tail);
+  EXPECT_TRUE(std::isfinite(advisory.value));
+  // The advisory threshold sits beyond the simulated range — it answers
+  // "how extreme would Λ need to be", consistent with the tail p-value.
+  EXPECT_GT(advisory.value, dist.CriticalValue(0.05));
+}
+
+TEST(SignificanceEnumToString, Names) {
+  EXPECT_STREQ(SignificanceMethodToString(SignificanceMethod::kEmpirical),
+               "empirical");
+  EXPECT_STREQ(SignificanceMethodToString(SignificanceMethod::kGumbelTail),
+               "gumbel-tail");
+  EXPECT_STREQ(SignificanceMethodToString(SignificanceMethod::kAuto), "auto");
+  EXPECT_STREQ(McStopReasonToString(McStopReason::kNone), "none");
+  EXPECT_STREQ(McStopReasonToString(McStopReason::kCiBelowAlpha),
+               "ci-below-alpha");
+  EXPECT_STREQ(McStopReasonToString(McStopReason::kCiAboveAlpha),
+               "ci-above-alpha");
 }
 
 std::unique_ptr<GridPartitionFamily> UniformFamily(size_t n, uint64_t seed,

@@ -1,0 +1,199 @@
+// Statistical acceptance of tail-smart significance (stat label, like the
+// other K = 200 suites):
+//
+//   * adaptive sequential MC must be DECISION-INVISIBLE: on K = 200 fair
+//     audits at W = 999 / α = 0.05, the adaptive pipeline must reach the
+//     same fair/unfair verdict as the exact fixed-worlds pipeline on every
+//     audit, while simulating several times fewer worlds in aggregate (the
+//     ISSUE targets 5–10x on this suite shape; the observed seeded ratio is
+//     pinned below);
+//   * the Gumbel tail path must engage where it matters: on planted cities
+//     whose observed Λ dwarfs every null maximum, kAuto resolves p-values
+//     below the empirical floor 1/(W+1) without ever flipping a decision
+//     against exact MC.
+//
+// Everything is seeded, so the agreement counts and the worlds-saved ratio
+// are reproducible, not flaky thresholds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/audit_pipeline.h"
+#include "core/grid_family.h"
+#include "core/significance.h"
+#include "data/dataset.h"
+#include "testing_util.h"
+
+namespace sfa::core {
+namespace {
+
+using core::testing::MakeFairDataset;
+using core::testing::MakePlantedCity;
+
+constexpr size_t kNumAudits = 200;
+constexpr uint32_t kNumWorlds = 999;
+constexpr size_t kPointsPerAudit = 400;
+constexpr double kRho = 0.4;
+constexpr double kAlpha = 0.05;
+
+struct Suite {
+  std::vector<std::unique_ptr<data::OutcomeDataset>> datasets;
+  std::vector<std::unique_ptr<GridPartitionFamily>> families;
+  std::vector<AuditRequest> requests;
+};
+
+/// K fair audits, each with its own data + MC seed (the suite shape of
+/// test_pvalue_calibration.cc, at the larger W this suite is about).
+Suite FairSuite(bool adaptive) {
+  Suite suite;
+  for (size_t k = 0; k < kNumAudits; ++k) {
+    auto ds = std::make_unique<data::OutcomeDataset>(MakeFairDataset(
+        1000 + k, kPointsPerAudit, kRho, 3, 2, "fair-" + std::to_string(k)));
+    auto family = GridPartitionFamily::Create(ds->locations(), 6, 6);
+    SFA_CHECK_OK(family.status());
+
+    AuditRequest req;
+    req.id = std::to_string(k);
+    req.dataset = ds.get();
+    req.family = family->get();
+    req.options.alpha = kAlpha;
+    req.options.significance = SignificanceMethod::kAuto;
+    req.options.monte_carlo.num_worlds = kNumWorlds;
+    req.options.monte_carlo.seed = 5000 + k;
+    req.options.monte_carlo.adaptive.enabled = adaptive;
+    suite.requests.push_back(req);
+
+    suite.datasets.push_back(std::move(ds));
+    suite.families.push_back(std::move(*family));
+  }
+  return suite;
+}
+
+std::vector<AuditResponse> RunSuite(const Suite& suite,
+                                    PipelineManifest* manifest = nullptr) {
+  AuditPipeline pipeline;
+  auto responses = pipeline.Run(suite.requests, manifest);
+  SFA_CHECK_OK(responses.status());
+  for (const AuditResponse& response : *responses) SFA_CHECK_OK(response.status);
+  return *std::move(responses);
+}
+
+TEST(TailSignificance, AdaptiveDecisionsMatchExactMcAtFractionOfWorlds) {
+  const Suite exact_suite = FairSuite(/*adaptive=*/false);
+  const Suite adaptive_suite = FairSuite(/*adaptive=*/true);
+  const std::vector<AuditResponse> exact = RunSuite(exact_suite);
+  PipelineManifest manifest;
+  const std::vector<AuditResponse> adaptive = RunSuite(adaptive_suite, &manifest);
+  ASSERT_EQ(exact.size(), kNumAudits);
+  ASSERT_EQ(adaptive.size(), kNumAudits);
+
+  size_t disagreements = 0, early_stops = 0;
+  uint64_t adaptive_worlds = 0;
+  for (size_t k = 0; k < kNumAudits; ++k) {
+    const AuditResult& e = exact[k].result;
+    const AuditResult& a = adaptive[k].result;
+    if (e.spatially_fair != a.spatially_fair) {
+      ++disagreements;
+      ADD_FAILURE() << "audit " << k << ": exact p=" << e.p_value
+                    << " adaptive p=" << a.p_value << " at "
+                    << a.null_distribution.num_worlds() << "/" << kNumWorlds
+                    << " worlds";
+    }
+    ASSERT_EQ(e.null_distribution.num_worlds(), kNumWorlds);
+    adaptive_worlds += a.null_distribution.num_worlds();
+    if (a.null_distribution.early_stopped()) {
+      ++early_stops;
+      // An early stop must never leave the served p-value on the wrong side
+      // of α relative to its own verdict.
+      if (a.null_distribution.stop_reason() == McStopReason::kCiBelowAlpha) {
+        EXPECT_LE(a.p_value, kAlpha) << "audit " << k;
+      } else {
+        EXPECT_GT(a.p_value, kAlpha) << "audit " << k;
+      }
+    }
+  }
+  const uint64_t exact_worlds = uint64_t{kNumAudits} * kNumWorlds;
+  const double ratio =
+      static_cast<double>(exact_worlds) / static_cast<double>(adaptive_worlds);
+  printf("[tail significance] decisions: %zu/%zu agree, %zu early stops\n",
+         kNumAudits - disagreements, kNumAudits, early_stops);
+  printf("[tail significance] worlds: %llu exact vs %llu adaptive (%.1fx)\n",
+         static_cast<unsigned long long>(exact_worlds),
+         static_cast<unsigned long long>(adaptive_worlds), ratio);
+
+  EXPECT_EQ(disagreements, 0u);
+  // Nearly every fair audit is clear-cut at W = 999; only the handful of
+  // marginal p ≈ α cases should run deep.
+  EXPECT_GE(early_stops, kNumAudits * 9 / 10);
+  // The ISSUE's 5–10x target for this suite shape. Seeded, so the observed
+  // ratio is stable; the band documents the statistical expectation.
+  EXPECT_GE(ratio, 5.0);
+  EXPECT_LE(ratio, 10.0);
+  // The manifest tells the same story.
+  EXPECT_EQ(manifest.early_stops, early_stops);
+  EXPECT_EQ(manifest.worlds_saved, exact_worlds - adaptive_worlds);
+}
+
+TEST(TailSignificance, GumbelTailResolvesSubFloorPValuesWithoutFlippingDecisions) {
+  // Planted cities: Λ far beyond every null maximum, so the empirical
+  // p-value saturates at its floor 1/(W+1) and kAuto reaches for the tail.
+  constexpr size_t kPlanted = 40;
+  Suite tail_suite, empirical_suite;
+  for (size_t k = 0; k < kPlanted; ++k) {
+    for (Suite* suite : {&tail_suite, &empirical_suite}) {
+      auto ds = std::make_unique<data::OutcomeDataset>(
+          MakePlantedCity(2000 + k, 3000, 1.0));
+      auto family = GridPartitionFamily::Create(ds->locations(), 6, 6);
+      SFA_CHECK_OK(family.status());
+      AuditRequest req;
+      req.id = std::to_string(k);
+      req.dataset = ds.get();
+      req.family = family->get();
+      req.options.alpha = kAlpha;
+      req.options.significance = suite == &tail_suite
+                                     ? SignificanceMethod::kAuto
+                                     : SignificanceMethod::kEmpirical;
+      req.options.monte_carlo.num_worlds = kNumWorlds;
+      req.options.monte_carlo.seed = 8000 + k;
+      suite->requests.push_back(req);
+      suite->datasets.push_back(std::move(ds));
+      suite->families.push_back(std::move(*family));
+    }
+  }
+  const std::vector<AuditResponse> tail = RunSuite(tail_suite);
+  const std::vector<AuditResponse> empirical = RunSuite(empirical_suite);
+
+  constexpr double kEmpiricalFloor = 1.0 / (kNumWorlds + 1.0);
+  size_t tail_fits = 0;
+  for (size_t k = 0; k < kPlanted; ++k) {
+    const AuditResult& t = tail[k].result;
+    const AuditResult& e = empirical[k].result;
+    // Tail extrapolation may only sharpen the p-value, never the verdict.
+    ASSERT_EQ(t.spatially_fair, e.spatially_fair) << "audit " << k;
+    EXPECT_FALSE(t.spatially_fair) << "audit " << k;
+    EXPECT_EQ(e.p_value_method, SignificanceMethod::kEmpirical);
+    if (t.p_value_method == SignificanceMethod::kGumbelTail) {
+      ++tail_fits;
+      EXPECT_TRUE(t.tail_fit_ok) << "audit " << k;
+      EXPECT_LT(t.tail_ks, kDefaultTailKsGate) << "audit " << k;
+      EXPECT_LT(t.p_value, kEmpiricalFloor) << "audit " << k;
+      EXPECT_GT(t.p_value, 0.0) << "audit " << k;
+    } else {
+      // kAuto fell back because the KS gate rejected the fit — then the
+      // served p-value must be exactly the empirical one.
+      EXPECT_EQ(t.p_value, e.p_value) << "audit " << k;
+    }
+  }
+  printf("[tail significance] Gumbel tail engaged on %zu/%zu planted audits\n",
+         tail_fits, kPlanted);
+  // The null of the max over a 6x6 partition grid is squarely in Gumbel
+  // territory; the gate should accept the large majority of fits.
+  EXPECT_GE(tail_fits, kPlanted * 3 / 4);
+}
+
+}  // namespace
+}  // namespace sfa::core

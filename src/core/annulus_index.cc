@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "core/region_family.h"
 
 namespace sfa::core {
 
@@ -92,6 +93,90 @@ void AnnulusIndex::CountPositives(const uint32_t* positives,
   }
 }
 
+void AnnulusIndex::CountClasses(const uint8_t* classes,
+                                uint32_t classes_counted, uint32_t* hist,
+                                uint64_t* out) const {
+  SFA_CHECK(classes != nullptr && hist != nullptr && out != nullptr);
+  const size_t slots = num_regions();
+  const uint32_t* offsets = csr_.offsets.data();
+  const uint32_t* values = csr_.values.data();
+
+  // The scatter may skip ONE class entirely and recover its row from the
+  // exact integer identity h_skip(R) = n(R) − Σ_{k≠skip} h_k(R). Skipping the
+  // MODAL class minimizes scattered points (for the last class the identity
+  // is applied by the caller, so skipping it is free; for any other class the
+  // derivation costs O(K x regions), trivially amortized at N >> regions).
+  // The identity needs every point to carry a valid code, so one cheap O(N)
+  // byte pass both finds the mode and screens for out-of-range codes; junk
+  // codes (> classes_counted, which the K−1 indicator construction silently
+  // drops) force the plain skip-the-last scatter.
+  const uint32_t num_classes = classes_counted + 1;
+  uint64_t freq[256] = {0};
+  for (size_t p = 0; p < num_points_; ++p) ++freq[classes[p]];
+  uint32_t skip = classes_counted;  // default: derived-last semantics
+  bool junk = false;
+  for (uint32_t k = 0; k < 256; ++k) {
+    if (k < num_classes) {
+      // Ties prefer the last class: its skip needs no derivation pass.
+      if (freq[k] > freq[skip]) skip = k;
+    } else if (freq[k] != 0) {
+      junk = true;
+    }
+  }
+  if (junk) skip = classes_counted;
+
+  // Scatter every class but `skip` into an injective slice mapping
+  // s(k) = k − (k > skip): when skip == classes_counted this is the identity
+  // over the counted classes; otherwise class classes_counted borrows the
+  // freed slice so the scratch footprint never grows.
+  std::fill_n(hist, static_cast<size_t>(classes_counted) * slots, 0u);
+  for (size_t p = 0; p < num_points_; ++p) {
+    const uint8_t k = classes[p];
+    if (k == skip || k >= num_classes) continue;
+    const uint32_t s = k - (k > skip ? 1u : 0u);
+    uint32_t* slice = hist + static_cast<size_t>(s) * slots;
+    const uint32_t end = offsets[p + 1];
+    for (uint32_t j = offsets[p]; j < end; ++j) ++slice[values[j]];
+  }
+
+  // Cumulate each scattered class into its output row (annulus slots are
+  // per-rung increments; regions are their per-center prefix sums).
+  for (uint32_t k = 0; k < classes_counted; ++k) {
+    if (k == skip) continue;
+    const uint32_t* slice = hist + static_cast<size_t>(k - (k > skip)) * slots;
+    uint64_t* row = out + static_cast<size_t>(k) * slots;
+    for (size_t c = 0; c < num_centers_; ++c) {
+      uint64_t acc = 0;
+      const size_t base = c * num_rungs_;
+      for (size_t l = 0; l < num_rungs_; ++l) {
+        acc += slice[base + l];
+        row[base + l] = acc;
+      }
+    }
+  }
+  if (skip >= classes_counted) return;
+
+  // Derive the skipped modal row: n(R) minus every other class, where class
+  // classes_counted's cumulative counts come from its borrowed slice.
+  const uint64_t* n = region_point_counts_.data();
+  const uint32_t* last_slice =
+      hist + static_cast<size_t>(classes_counted - 1) * slots;
+  uint64_t* modal_row = out + static_cast<size_t>(skip) * slots;
+  for (size_t c = 0; c < num_centers_; ++c) {
+    uint64_t acc = 0;
+    const size_t base = c * num_rungs_;
+    for (size_t l = 0; l < num_rungs_; ++l) {
+      acc += last_slice[base + l];
+      modal_row[base + l] = n[base + l] - acc;
+    }
+  }
+  for (uint32_t k = 0; k < classes_counted; ++k) {
+    if (k == skip) continue;
+    const uint64_t* row = out + static_cast<size_t>(k) * slots;
+    for (size_t r = 0; r < slots; ++r) modal_row[r] -= row[r];
+  }
+}
+
 std::vector<uint32_t>& LocalAnnulusHistogram() {
   static thread_local std::vector<uint32_t> hist;
   return hist;
@@ -120,6 +205,23 @@ void CountPositivesBatchWithAnnulus(const AnnulusIndex& index,
     const std::vector<uint32_t>& positives = batch[b]->positive_indices();
     index.CountPositives(positives.data(), positives.size(), hist.data(),
                          out + b * stride);
+  }
+}
+
+void CountClassesBatchWithAnnulus(const AnnulusIndex& index,
+                                  const uint8_t* const* class_worlds,
+                                  size_t num_worlds, uint32_t num_classes,
+                                  uint64_t* out) {
+  SFA_CHECK(class_worlds != nullptr && out != nullptr);
+  SFA_CHECK_MSG(num_classes >= 2,
+                "CountClassesBatchWithAnnulus needs at least 2 classes");
+  const uint32_t counted = num_classes - 1;
+  const size_t stride = index.num_regions();
+  std::vector<uint32_t>& hist = LocalAnnulusHistogram();
+  hist.resize(static_cast<size_t>(counted) * stride);
+  for (size_t w = 0; w < num_worlds; ++w) {
+    index.CountClasses(class_worlds[w], counted, hist.data(),
+                       out + ClassCountRowOffset(w, 0, counted, stride));
   }
 }
 

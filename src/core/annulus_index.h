@@ -83,6 +83,16 @@ class AnnulusIndex {
   void CountPositives(const uint32_t* positives, size_t num_positives,
                       uint32_t* hist, uint64_t* out) const;
 
+  /// Per-class p(R) for one packed K-class world in a single scatter pass:
+  /// every point with class k < classes_counted adds its CSR row into the
+  /// k-th histogram slice (points of the derived last class are skipped, as
+  /// in the K−1 indicator construction). `hist` is caller-owned scratch of
+  /// classes_counted * num_regions() uint32 slots (zeroed here), `out` is
+  /// caller-owned with the same extent, row-major [class x region]. Thread-
+  /// safe for distinct scratch/out buffers.
+  void CountClasses(const uint8_t* classes, uint32_t classes_counted,
+                    uint32_t* hist, uint64_t* out) const;
+
  private:
   spatial::Csr32 csr_;  // row = point, value = center * num_rungs + rank
   std::vector<uint64_t> region_point_counts_;
@@ -110,6 +120,18 @@ void CountPositivesBatchWithAnnulus(const AnnulusIndex& index,
                                     size_t num_points,
                                     const Labels* const* batch,
                                     size_t num_worlds, uint64_t* out);
+
+/// Multi-class batch kernel of the sparse backend: per-class counts for
+/// `num_worlds` packed K-class worlds (class_worlds[w][i] in [0, num_classes))
+/// through one scatter pass per world — the K−1 indicator materializations
+/// and repeated passes of the legacy path disappear. `out` follows the
+/// RegionFamily::CountClassesBatch layout
+/// [num_worlds x (num_classes−1) x num_regions], caller-owned; histogram
+/// scratch pooled thread-locally.
+void CountClassesBatchWithAnnulus(const AnnulusIndex& index,
+                                  const uint8_t* const* class_worlds,
+                                  size_t num_worlds, uint32_t num_classes,
+                                  uint64_t* out);
 
 }  // namespace sfa::core
 

@@ -96,6 +96,33 @@ void GridPartitionFamily::CountPositivesBatch(const Labels* const* batch,
   }
 }
 
+void GridPartitionFamily::CountClassesBatch(const uint8_t* const* class_worlds,
+                                            size_t num_worlds,
+                                            uint32_t num_classes,
+                                            uint64_t* out) const {
+  SFA_CHECK(class_worlds != nullptr && out != nullptr);
+  SFA_CHECK_MSG(num_classes >= 2, "CountClassesBatch needs at least 2 classes");
+  const std::vector<uint32_t>& cells = index_.cell_assignments();
+  const uint32_t counted = num_classes - 1;
+  const size_t stride = num_regions();
+  std::fill(out, out + ClassCountBufferSize(num_worlds, counted, stride), 0ULL);
+  // As in CountPositivesBatch, the assignment stream is read once for the
+  // whole batch; each point lands in its class's histogram row (the derived
+  // last class is skipped).
+  std::vector<uint64_t*> bases(num_worlds);
+  for (size_t w = 0; w < num_worlds; ++w) {
+    bases[w] = out + ClassCountRowOffset(w, 0, counted, stride);
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const uint32_t cell = cells[i];
+    if (cell == geo::GridSpec::kInvalidCell) continue;
+    for (size_t w = 0; w < num_worlds; ++w) {
+      const uint8_t k = class_worlds[w][i];
+      if (k < counted) ++bases[w][static_cast<size_t>(k) * stride + cell];
+    }
+  }
+}
+
 void GridPartitionFamily::CountPositivesFromCells(const uint32_t* cell_positives,
                                                   uint64_t* out) const {
   const size_t regions = num_regions();

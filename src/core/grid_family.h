@@ -37,6 +37,10 @@ class GridPartitionFamily : public RegionFamily {
   /// One pass over cell assignments counts all worlds of the batch.
   void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
                            uint64_t* out) const override;
+  /// Same single pass, scattering each point into its class histogram — all K
+  /// classes of all worlds without per-class indicator materialization.
+  void CountClassesBatch(const uint8_t* const* class_worlds, size_t num_worlds,
+                         uint32_t num_classes, uint64_t* out) const override;
   /// Regions ARE the cells: the decomposition is exact, enabling closed-form
   /// Binomial null sampling in O(cells) per world.
   const CellDecomposition* cell_decomposition() const override { return &cells_; }

@@ -149,6 +149,18 @@ void KnnCircleFamily::CountPositivesBatch(const Labels* const* batch,
                                      out);
 }
 
+void KnnCircleFamily::CountClassesBatch(const uint8_t* const* class_worlds,
+                                        size_t num_worlds, uint32_t num_classes,
+                                        uint64_t* out) const {
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    CountClassesBatchWithAnnulus(annulus_, class_worlds, num_worlds,
+                                 num_classes, out);
+    return;
+  }
+  CountClassesBatchWithMemberships(memberships_, num_points_, class_worlds,
+                                   num_worlds, num_classes, out);
+}
+
 size_t KnnCircleFamily::MembershipBytes() const {
   return backend_ == CountingBackend::kSparseAnnulus
              ? annulus_.MemoryBytes()

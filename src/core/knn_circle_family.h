@@ -62,6 +62,9 @@ class KnnCircleFamily : public RegionFamily {
   /// SquareScanFamily.
   void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
                            uint64_t* out) const override;
+  /// Multi-class counterpart, identical backend split to SquareScanFamily.
+  void CountClassesBatch(const uint8_t* const* class_worlds, size_t num_worlds,
+                         uint32_t num_classes, uint64_t* out) const override;
   std::string Name() const override;
 
   size_t num_centers() const { return centers_.size(); }

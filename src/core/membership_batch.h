@@ -11,6 +11,7 @@
 
 #include "common/macros.h"
 #include "core/labels.h"
+#include "core/region_family.h"
 #include "spatial/bitvector.h"
 
 namespace sfa::core {
@@ -22,6 +23,9 @@ namespace sfa::core {
 struct MembershipBatchScratch {
   std::vector<const spatial::BitVector*> bits;
   std::vector<uint64_t> counts;
+  // Per-(world, class) indicator bit planes of the multi-class kernel below;
+  // AssignFromByteValue reuses their word storage across batches.
+  std::vector<spatial::BitVector> class_bits;
 };
 
 inline MembershipBatchScratch& LocalMembershipBatchScratch() {
@@ -58,6 +62,45 @@ inline void CountPositivesBatchWithMemberships(
                                         num_worlds, scratch.counts.data());
     for (size_t b = 0; b < num_worlds; ++b) {
       out[b * stride + r] = scratch.counts[b];
+    }
+  }
+}
+
+/// Multi-class batch kernel of the dense backend: packs each (world, class)
+/// pair of a packed K-class batch into an indicator bit plane
+/// (BitVector::AssignFromByteValue, SWAR) and treats the flattened
+/// world*(K−1)+class planes as virtual worlds of the word-blocked
+/// AndPopcountMany — so the SIMD kernel amortizes each membership vector
+/// across ALL classes of ALL worlds in one streaming pass. `out` follows the
+/// RegionFamily::CountClassesBatch layout.
+inline void CountClassesBatchWithMemberships(
+    const std::vector<spatial::BitVector>& memberships, size_t num_points,
+    const uint8_t* const* class_worlds, size_t num_worlds, uint32_t num_classes,
+    uint64_t* out) {
+  SFA_CHECK(class_worlds != nullptr && out != nullptr);
+  SFA_CHECK_MSG(num_classes >= 2,
+                "CountClassesBatchWithMemberships needs at least 2 classes");
+  const uint32_t counted = num_classes - 1;
+  const size_t stride = memberships.size();
+  const size_t planes = num_worlds * static_cast<size_t>(counted);
+  MembershipBatchScratch& scratch = LocalMembershipBatchScratch();
+  scratch.class_bits.resize(planes);
+  scratch.bits.resize(planes);
+  scratch.counts.resize(planes);
+  for (size_t w = 0; w < num_worlds; ++w) {
+    for (uint32_t k = 0; k < counted; ++k) {
+      spatial::BitVector& plane =
+          scratch.class_bits[w * static_cast<size_t>(counted) + k];
+      plane.AssignFromByteValue(class_worlds[w], num_points,
+                                static_cast<uint8_t>(k));
+      scratch.bits[w * static_cast<size_t>(counted) + k] = &plane;
+    }
+  }
+  for (size_t r = 0; r < stride; ++r) {
+    spatial::BitVector::AndPopcountMany(memberships[r], scratch.bits.data(),
+                                        planes, scratch.counts.data());
+    for (size_t p = 0; p < planes; ++p) {
+      out[p * stride + r] = scratch.counts[p];
     }
   }
 }

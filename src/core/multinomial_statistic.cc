@@ -89,19 +89,21 @@ void DrawMultinomial(uint64_t n, const std::vector<double>& q, Rng* rng,
   out[num_classes - 1] = remaining;
 }
 
-/// Thread-local buffer pool of the batched strategy: class draws, indicator
-/// label worlds (worlds × (K−1)), per-class count rows, and per-cell class
-/// draws — after a worker's first batch the steady state allocates nothing.
+/// Thread-local buffer pool of both engine strategies: packed class worlds,
+/// per-class count rows, and per-cell class draws — after a worker's first
+/// batch (or reference world) the steady state allocates nothing.
 struct MultinomialArena {
   std::vector<uint8_t> classes;        // one world's per-point class draws
-  std::vector<uint8_t> indicator;      // one class's 0/1 bytes
-  std::vector<Labels> labels;          // worlds × (K-1), world-major
-  std::vector<const Labels*> label_ptrs;
-  std::vector<uint64_t> counts;        // (K-1) × worlds × regions
+  std::vector<uint8_t> indicator;      // one class's 0/1 bytes (reference)
+  Labels ref_labels;                   // pooled indicator Labels (reference)
+  std::vector<uint8_t> class_worlds;   // worlds × N packed class codes
+  std::vector<const uint8_t*> class_world_ptrs;
+  std::vector<uint64_t> counts;        // worlds × (K-1) × regions
   std::vector<uint64_t> world_totals;  // worlds × K
   std::vector<uint32_t> cell_class;    // one world's per-cell draws, one class
   std::vector<uint64_t> cell_draw;     // one cell's K draws
   std::vector<uint64_t> region_counts; // (K-1) × regions, one world
+  std::vector<uint64_t> scalar_counts; // CountPositives output row (reference)
   std::vector<const uint64_t*> class_ptrs;
 };
 
@@ -129,6 +131,16 @@ class MultinomialSimulation : public StatisticSimulation {
     region_n_.resize(family_.num_regions());
     for (size_t r = 0; r < region_n_.size(); ++r) {
       region_n_[r] = family_.PointCount(r);
+    }
+    // Cumulative class thresholds for the branchless per-point draw in
+    // DrawPointClasses: class k wins when the uniform lands in
+    // [prefix[k-1], prefix[k]). The last threshold is the exact weight total,
+    // so u = NextDouble() * total < prefix[K-1] always classifies.
+    q_prefix_.resize(q_.size());
+    double acc = 0.0;
+    for (size_t k = 0; k < q_.size(); ++k) {
+      acc += q_[k];
+      q_prefix_[k] = acc;
     }
   }
 
@@ -170,22 +182,32 @@ class MultinomialSimulation : public StatisticSimulation {
                     total_n);
     }
 
-    std::vector<uint8_t> classes(total_n);
-    DrawPointClasses(&rng, classes.data(), total_n, world_totals.data());
-    std::vector<uint64_t> counts;
-    std::vector<uint64_t> all(num_regions * (num_classes - 1));
-    std::vector<const uint64_t*> class_ptrs(num_classes - 1);
-    std::vector<uint8_t> indicator(total_n);
+    // Reference oracle of the label-world path: K−1 indicator passes through
+    // the scalar binary counting interface — the construction
+    // CountClassesBatch must reproduce exactly. All O(N)/O(regions) buffers
+    // (including the indicator Labels) live in the thread-local arena, so
+    // reference worlds allocate nothing in steady state and stay timing-
+    // comparable with the batched strategy.
+    MultinomialArena& arena = LocalArena();
+    arena.classes.resize(total_n);
+    arena.indicator.resize(total_n);
+    arena.region_counts.resize(num_regions * (num_classes - 1));
+    arena.class_ptrs.resize(num_classes - 1);
+    DrawPointClasses(&rng, arena.classes.data(), total_n, world_totals.data());
     for (uint32_t k = 0; k + 1 < num_classes; ++k) {
       for (size_t i = 0; i < total_n; ++i) {
-        indicator[i] = classes[i] == k ? 1 : 0;
+        arena.indicator[i] = arena.classes[i] == k ? 1 : 0;
       }
-      family_.CountPositives(Labels::FromBytes(indicator), &counts);
-      std::copy(counts.begin(), counts.end(),
-                all.begin() + static_cast<size_t>(k) * num_regions);
-      class_ptrs[k] = all.data() + static_cast<size_t>(k) * num_regions;
+      arena.ref_labels.AssignBytes(arena.indicator.data(), total_n);
+      family_.CountPositives(arena.ref_labels, &arena.scalar_counts);
+      std::copy(arena.scalar_counts.begin(), arena.scalar_counts.end(),
+                arena.region_counts.begin() +
+                    static_cast<size_t>(k) * num_regions);
+      arena.class_ptrs[k] =
+          arena.region_counts.data() + static_cast<size_t>(k) * num_regions;
     }
-    return MaxLlr(class_ptrs.data(), world_totals.data(), num_classes, total_n);
+    return MaxLlr(arena.class_ptrs.data(), world_totals.data(), num_classes,
+                  total_n);
   }
 
   void RunWorldBatch(size_t w_lo, size_t w_hi, double* out) const override {
@@ -241,43 +263,33 @@ class MultinomialSimulation : public StatisticSimulation {
       return;
     }
 
-    // Label-world path: draw every world's classes, materialize K−1
-    // indicator label worlds each, then one batched counting pass PER CLASS
-    // over the family's geometry (the same amortization CountPositivesBatch
-    // gives the binary statistic, K−1 times).
-    const size_t labels_per_world = num_classes - 1;
-    if (arena.labels.size() < worlds * labels_per_world) {
-      arena.labels.resize(worlds * labels_per_world);
-    }
-    arena.classes.resize(total_n);
-    arena.indicator.resize(total_n);
+    // Label-world path: draw every world's classes as ONE packed class-code
+    // array, then a single CountClassesBatch pass over the family's geometry
+    // produces all K−1 per-class count rows for the whole batch — the K−1
+    // indicator materializations and repeated counting passes of the legacy
+    // construction (kept above as RunWorldReference's oracle) disappear.
+    // All offsets into the worlds × (K−1) × regions buffer go through the
+    // size_t-widening ClassCountRowOffset helper; forming them from narrower
+    // products overflows at paper-scale configs.
+    const uint32_t counted = num_classes - 1;
+    const size_t points = static_cast<size_t>(total_n);
+    arena.class_worlds.resize(worlds * points);
+    arena.class_world_ptrs.resize(worlds);
     for (size_t j = 0; j < worlds; ++j) {
       Rng rng = root_.Split(w_lo + j);
-      DrawPointClasses(&rng, arena.classes.data(), total_n,
+      uint8_t* world = arena.class_worlds.data() + j * points;
+      DrawPointClasses(&rng, world, total_n,
                        arena.world_totals.data() + j * num_classes);
-      for (uint32_t k = 0; k + 1 < num_classes; ++k) {
-        for (size_t i = 0; i < total_n; ++i) {
-          arena.indicator[i] = arena.classes[i] == k ? 1 : 0;
-        }
-        arena.labels[j * labels_per_world + k].AssignBytes(
-            arena.indicator.data(), total_n);
-      }
+      arena.class_world_ptrs[j] = world;
     }
-    arena.counts.resize(labels_per_world * worlds * num_regions);
-    arena.label_ptrs.resize(worlds);
-    for (uint32_t k = 0; k + 1 < num_classes; ++k) {
-      for (size_t j = 0; j < worlds; ++j) {
-        arena.label_ptrs[j] = &arena.labels[j * labels_per_world + k];
-      }
-      family_.CountPositivesBatch(
-          arena.label_ptrs.data(), worlds,
-          arena.counts.data() + static_cast<size_t>(k) * worlds * num_regions);
-    }
+    arena.counts.resize(ClassCountBufferSize(worlds, counted, num_regions));
+    family_.CountClassesBatch(arena.class_world_ptrs.data(), worlds,
+                              num_classes, arena.counts.data());
     for (size_t j = 0; j < worlds; ++j) {
-      for (uint32_t k = 0; k + 1 < num_classes; ++k) {
-        arena.class_ptrs[k] = arena.counts.data() +
-                              (static_cast<size_t>(k) * worlds + j) *
-                                  num_regions;
+      for (uint32_t k = 0; k < counted; ++k) {
+        arena.class_ptrs[k] =
+            arena.counts.data() +
+            ClassCountRowOffset(j, k, counted, num_regions);
       }
       out[w_lo + j] =
           MaxLlr(arena.class_ptrs.data(),
@@ -294,9 +306,23 @@ class MultinomialSimulation : public StatisticSimulation {
                         uint64_t* world_totals) const {
     const uint32_t num_classes = static_cast<uint32_t>(q_.size());
     if (options_.null_model == NullModel::kBernoulli) {
+      // Branchless Categorical(q): one uniform per point compared against the
+      // precomputed cumulative thresholds. Data-dependent branches are poison
+      // here — with q near uniform every compare is a coin flip, and the
+      // mispredict cost dwarfs the arithmetic — so the class index is a sum
+      // of comparison results instead (K-1 flagless adds; for the paper's
+      // K=3 that is two cmovs per point). The scaled uniform is strictly
+      // below the last threshold (an exact weight total) by construction, so
+      // the sum always lands in [0, K).
+      const double* prefix = q_prefix_.data();
+      const double total = q_prefix_[num_classes - 1];
       for (uint64_t i = 0; i < total_n; ++i) {
-        const auto k = static_cast<uint8_t>(rng->Categorical(q_));
-        classes[i] = k;
+        const double u = rng->NextDouble() * total;
+        uint32_t k = 0;
+        for (uint32_t c = 0; c + 1 < num_classes; ++c) {
+          k += u >= prefix[c] ? 1u : 0u;
+        }
+        classes[i] = static_cast<uint8_t>(k);
         ++world_totals[k];
       }
       return;
@@ -329,6 +355,7 @@ class MultinomialSimulation : public StatisticSimulation {
   const RegionFamily& family_;
   std::vector<uint64_t> class_totals_;
   std::vector<double> q_;
+  std::vector<double> q_prefix_;
   MonteCarloOptions options_;
   stats::LogLikelihoodTable table_;
   std::vector<uint64_t> region_n_;
@@ -432,23 +459,18 @@ ScanResult MultinomialScanStatistic::ScanObserved(const RegionFamily& family,
   const size_t num_regions = family.num_regions();
   const stats::LogLikelihoodTable& table = scratch->TableFor(n);
 
-  // Per-class region counts through the family's binary counting path:
-  // K−1 indicator passes; the last class is derived from n(R). All O(N) and
-  // O(regions) buffers live in the scratch, so a pooled worker's steady
-  // state allocates nothing beyond the result (class_ptrs is O(K)).
-  scratch->counts.resize(static_cast<size_t>(num_classes - 1) * num_regions);
-  scratch->bytes.resize(n);
-  std::vector<const uint64_t*> class_ptrs(num_classes - 1);
-  for (uint32_t k = 0; k + 1 < num_classes; ++k) {
-    for (size_t i = 0; i < n; ++i) {
-      scratch->bytes[i] = outcomes[i] == k ? 1 : 0;
-    }
-    scratch->observed_labels.AssignBytes(scratch->bytes.data(), n);
-    family.CountPositives(scratch->observed_labels, &scratch->region_counts);
-    std::copy(scratch->region_counts.begin(), scratch->region_counts.end(),
-              scratch->counts.begin() + static_cast<size_t>(k) * num_regions);
+  // Per-class region counts in one pass: the outcome stream IS a packed
+  // class-code world, so the native kernel counts all K−1 classes directly
+  // (the last class stays derived from n(R)). The count buffer lives in the
+  // scratch, so a pooled worker's steady state allocates nothing beyond the
+  // result (class_ptrs is O(K)).
+  const uint32_t counted = num_classes - 1;
+  scratch->counts.resize(ClassCountBufferSize(1, counted, num_regions));
+  family.CountClassesBatch(&outcomes, 1, num_classes, scratch->counts.data());
+  std::vector<const uint64_t*> class_ptrs(counted);
+  for (uint32_t k = 0; k < counted; ++k) {
     class_ptrs[k] =
-        scratch->counts.data() + static_cast<size_t>(k) * num_regions;
+        scratch->counts.data() + ClassCountRowOffset(0, k, counted, num_regions);
   }
 
   ScanResult result;

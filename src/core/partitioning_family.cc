@@ -106,6 +106,32 @@ void PartitioningCollectionFamily::CountPositivesBatch(const Labels* const* batc
   }
 }
 
+void PartitioningCollectionFamily::CountClassesBatch(
+    const uint8_t* const* class_worlds, size_t num_worlds, uint32_t num_classes,
+    uint64_t* out) const {
+  SFA_CHECK(class_worlds != nullptr && out != nullptr);
+  SFA_CHECK_MSG(num_classes >= 2, "CountClassesBatch needs at least 2 classes");
+  const uint32_t counted = num_classes - 1;
+  const size_t stride = total_regions_;
+  std::fill(out, out + ClassCountBufferSize(num_worlds, counted, stride), 0ULL);
+  std::vector<uint64_t*> bases(num_worlds);
+  for (size_t t = 0; t < partitionings_.size(); ++t) {
+    const std::vector<uint32_t>& assignment = assignment_[t];
+    for (size_t w = 0; w < num_worlds; ++w) {
+      bases[w] = out + ClassCountRowOffset(w, 0, counted, stride) + offsets_[t];
+    }
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      const uint32_t partition = assignment[i];
+      for (size_t w = 0; w < num_worlds; ++w) {
+        const uint8_t k = class_worlds[w][i];
+        if (k < counted) {
+          ++bases[w][static_cast<size_t>(k) * stride + partition];
+        }
+      }
+    }
+  }
+}
+
 void PartitioningCollectionFamily::CountPositivesFromCells(
     const uint32_t* cell_positives, uint64_t* out) const {
   SFA_DCHECK(partitionings_.size() == 1);

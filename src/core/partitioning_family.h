@@ -33,6 +33,10 @@ class PartitioningCollectionFamily : public RegionFamily {
   /// Each partitioning's assignment array is streamed once per batch.
   void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
                            uint64_t* out) const override;
+  /// Same streaming pass, scattering each point into the class histogram of
+  /// every partitioning it feeds.
+  void CountClassesBatch(const uint8_t* const* class_worlds, size_t num_worlds,
+                         uint32_t num_classes, uint64_t* out) const override;
   /// Non-null only for a single partitioning: its partitions then tile the
   /// points and closed-form Binomial sampling applies. With several
   /// partitionings the same point feeds regions of every partitioning, so

@@ -126,6 +126,39 @@ void RectangleSweepFamily::CountPositives(const Labels& labels,
   FoldPrefixIntoRegions(positive_prefix, out->data());
 }
 
+void RectangleSweepFamily::CountClassesBatch(const uint8_t* const* class_worlds,
+                                             size_t num_worlds,
+                                             uint32_t num_classes,
+                                             uint64_t* out) const {
+  SFA_CHECK(class_worlds != nullptr && out != nullptr);
+  SFA_CHECK_MSG(num_classes >= 2, "CountClassesBatch needs at least 2 classes");
+  const uint32_t counted = num_classes - 1;
+  const size_t num_cells = grid().num_cells();
+  const std::vector<uint32_t>& cells = index_.cell_assignments();
+  // One O(N) pass per world fills ALL K−1 per-cell class histograms, then one
+  // summed-area rebuild + rectangle fold per class — the per-class point
+  // passes of the indicator construction collapse into a single scatter.
+  static thread_local std::vector<uint32_t> class_cells;
+  static thread_local spatial::PrefixSum2D class_prefix;
+  for (size_t w = 0; w < num_worlds; ++w) {
+    class_cells.assign(static_cast<size_t>(counted) * num_cells, 0u);
+    const uint8_t* classes = class_worlds[w];
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const uint8_t k = classes[i];
+      if (k >= counted) continue;
+      const uint32_t cell = cells[i];
+      if (cell == geo::GridSpec::kInvalidCell) continue;
+      ++class_cells[static_cast<size_t>(k) * num_cells + cell];
+    }
+    for (uint32_t k = 0; k < counted; ++k) {
+      class_prefix.Rebuild(grid().nx(), grid().ny(),
+                           class_cells.data() + static_cast<size_t>(k) * num_cells);
+      FoldPrefixIntoRegions(class_prefix,
+                            out + ClassCountRowOffset(w, k, counted, num_regions_));
+    }
+  }
+}
+
 void RectangleSweepFamily::CountPositivesFromCells(const uint32_t* cell_positives,
                                                    uint64_t* out) const {
   static thread_local spatial::PrefixSum2D positive_prefix;

@@ -30,6 +30,34 @@ void RegionFamily::CountPositivesBatch(const Labels* const* batch,
   }
 }
 
+void RegionFamily::CountClassesBatch(const uint8_t* const* class_worlds,
+                                     size_t num_worlds, uint32_t num_classes,
+                                     uint64_t* out) const {
+  SFA_CHECK(class_worlds != nullptr && out != nullptr);
+  SFA_CHECK_MSG(num_classes >= 2, "CountClassesBatch needs at least 2 classes");
+  // Reference oracle: materialize the K−1 per-class indicator labels and
+  // route them through the scalar counting interface, exactly the
+  // construction the multinomial statistic used before the native kernel.
+  const uint32_t counted = num_classes - 1;
+  const size_t n = num_points();
+  const size_t stride = num_regions();
+  std::vector<uint8_t> indicator(n);
+  Labels labels;
+  std::vector<uint64_t> scratch;
+  for (size_t w = 0; w < num_worlds; ++w) {
+    const uint8_t* classes = class_worlds[w];
+    for (uint32_t k = 0; k < counted; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        indicator[i] = classes[i] == k ? 1 : 0;
+      }
+      labels.AssignBytes(indicator.data(), n);
+      CountPositives(labels, &scratch);
+      std::copy(scratch.begin(), scratch.end(),
+                out + ClassCountRowOffset(w, k, counted, stride));
+    }
+  }
+}
+
 void RegionFamily::CountPositivesFromCells(const uint32_t* /*cell_positives*/,
                                            uint64_t* /*out*/) const {
   SFA_CHECK_MSG(false,

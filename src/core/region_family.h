@@ -112,6 +112,24 @@ class RegionFamily {
   virtual void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
                                    uint64_t* out) const;
 
+  /// Per-region class histograms for `num_worlds` packed K-class worlds in
+  /// one pass — the native multi-class counterpart of CountPositivesBatch.
+  /// `class_worlds[w]` points at num_points() class codes, each in
+  /// [0, num_classes). Only classes 0..num_classes-2 are counted (the last
+  /// class is derivable as n(R) minus the counted classes, mirroring the
+  /// K−1 indicator construction it replaces); `out` is a row-major
+  /// [num_worlds x (num_classes−1) x num_regions()] caller-owned buffer with
+  /// row offsets given by ClassCountRowOffset below. The base implementation
+  /// packs per-class indicator labels and loops CountPositives — the
+  /// reference oracle; families override it to count all classes in a single
+  /// pass over their geometry. Counts are integers, so overrides must be
+  /// exactly equal to the reference (enforced per family by
+  /// tests/test_multinomial_scan.cc and tests/test_annulus_index.cc). Same
+  /// thread-safety contract as CountPositives.
+  virtual void CountClassesBatch(const uint8_t* const* class_worlds,
+                                 size_t num_worlds, uint32_t num_classes,
+                                 uint64_t* out) const;
+
   /// The family's cell decomposition, or nullptr when region counts are not
   /// cell-decomposable (the default). The returned pointer must stay valid
   /// for the family's lifetime.
@@ -127,6 +145,26 @@ class RegionFamily {
   /// Human-readable one-liner for reports.
   virtual std::string Name() const = 0;
 };
+
+/// Flat offset of the (world, class) row inside a CountClassesBatch output
+/// buffer. All operands are widened to size_t BEFORE any multiplication: at
+/// paper-scale configs (hundreds of thousands of worlds x regions) the
+/// products overflow 32-bit arithmetic, so callers must never form these
+/// offsets from narrower intermediates (pinned by tests/test_multinomial_scan).
+constexpr size_t ClassCountRowOffset(size_t world, uint32_t klass,
+                                     uint32_t classes_counted,
+                                     size_t num_regions) {
+  return (world * static_cast<size_t>(classes_counted) +
+          static_cast<size_t>(klass)) *
+         num_regions;
+}
+
+/// Total element count of a CountClassesBatch output buffer.
+constexpr size_t ClassCountBufferSize(size_t num_worlds,
+                                      uint32_t classes_counted,
+                                      size_t num_regions) {
+  return num_worlds * static_cast<size_t>(classes_counted) * num_regions;
+}
 
 }  // namespace sfa::core
 

@@ -171,6 +171,18 @@ void SquareScanFamily::CountPositivesBatch(const Labels* const* batch,
                                      out);
 }
 
+void SquareScanFamily::CountClassesBatch(const uint8_t* const* class_worlds,
+                                         size_t num_worlds, uint32_t num_classes,
+                                         uint64_t* out) const {
+  if (backend_ == CountingBackend::kSparseAnnulus) {
+    CountClassesBatchWithAnnulus(annulus_, class_worlds, num_worlds,
+                                 num_classes, out);
+    return;
+  }
+  CountClassesBatchWithMemberships(memberships_, num_points_, class_worlds,
+                                   num_worlds, num_classes, out);
+}
+
 size_t SquareScanFamily::MembershipBytes() const {
   return backend_ == CountingBackend::kSparseAnnulus
              ? annulus_.MemoryBytes()

@@ -73,6 +73,11 @@ class SquareScanFamily : public RegionFamily {
   /// word-blocked, so membership words are streamed once per batch.
   void CountPositivesBatch(const Labels* const* batch, size_t num_worlds,
                            uint64_t* out) const override;
+  /// Sparse backend: one class-tagged scatter per world through the annulus
+  /// CSR. Dense backend: per-(world, class) indicator bit planes through the
+  /// word-blocked SIMD popcount kernel.
+  void CountClassesBatch(const uint8_t* const* class_worlds, size_t num_worlds,
+                         uint32_t num_classes, uint64_t* out) const override;
   std::string Name() const override;
 
   size_t num_centers() const { return centers_.size(); }

@@ -30,6 +30,12 @@ class BitVector {
   /// path of the Monte Carlo label pool.
   void AssignFromBytes(const uint8_t* bytes, size_t n);
 
+  /// Rebuilds the vector as the equality indicator of a class-code array:
+  /// bit i = (bytes[i] == value). Same SWAR/no-allocation contract as
+  /// AssignFromBytes — this is how the dense counting backend packs one class
+  /// of a packed K-class world into a bit plane.
+  void AssignFromByteValue(const uint8_t* bytes, size_t n, uint8_t value);
+
   size_t size() const { return size_; }
   size_t num_words() const { return words_.size(); }
 

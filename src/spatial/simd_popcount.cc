@@ -1,0 +1,312 @@
+#include "spatial/simd_popcount.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(SFA_X86_SIMD)
+#include <immintrin.h>
+#endif
+
+namespace sfa::spatial {
+namespace {
+
+// ------------------------------------------------------------------ scalar ---
+
+uint64_t ScalarAndPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+void ScalarAndPopcount4(const uint64_t* a, const uint64_t* b0,
+                        const uint64_t* b1, const uint64_t* b2,
+                        const uint64_t* b3, size_t n, uint64_t* out4) {
+  uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t aw = a[i];
+    acc0 += static_cast<uint64_t>(std::popcount(aw & b0[i]));
+    acc1 += static_cast<uint64_t>(std::popcount(aw & b1[i]));
+    acc2 += static_cast<uint64_t>(std::popcount(aw & b2[i]));
+    acc3 += static_cast<uint64_t>(std::popcount(aw & b3[i]));
+  }
+  out4[0] = acc0;
+  out4[1] = acc1;
+  out4[2] = acc2;
+  out4[3] = acc3;
+}
+
+#if defined(SFA_X86_SIMD)
+
+// -------------------------------------------------------------------- AVX2 ---
+// AVX2 has no vector popcount; the classic vpshufb nibble-LUT computes a
+// per-byte popcount, and _mm256_sad_epu8 against zero horizontally sums each
+// 8-byte lane into a 64-bit counter — one add per 32 bytes, no overflow for
+// any realistic word count.
+
+__attribute__((target("avx2"))) inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline uint64_t HorizontalSum256(__m256i v) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+__attribute__((target("avx2"))) uint64_t Avx2AndPopcount(const uint64_t* a,
+                                                         const uint64_t* b,
+                                                         size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, Popcount256(_mm256_and_si256(av, bv)));
+  }
+  uint64_t total = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void Avx2AndPopcount4(
+    const uint64_t* a, const uint64_t* b0, const uint64_t* b1,
+    const uint64_t* b2, const uint64_t* b3, size_t n, uint64_t* out4) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc0 = _mm256_add_epi64(
+        acc0, Popcount256(_mm256_and_si256(
+                  av, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(b0 + i)))));
+    acc1 = _mm256_add_epi64(
+        acc1, Popcount256(_mm256_and_si256(
+                  av, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(b1 + i)))));
+    acc2 = _mm256_add_epi64(
+        acc2, Popcount256(_mm256_and_si256(
+                  av, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(b2 + i)))));
+    acc3 = _mm256_add_epi64(
+        acc3, Popcount256(_mm256_and_si256(
+                  av, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(b3 + i)))));
+  }
+  uint64_t t0 = HorizontalSum256(acc0);
+  uint64_t t1 = HorizontalSum256(acc1);
+  uint64_t t2 = HorizontalSum256(acc2);
+  uint64_t t3 = HorizontalSum256(acc3);
+  for (; i < n; ++i) {
+    const uint64_t aw = a[i];
+    t0 += static_cast<uint64_t>(std::popcount(aw & b0[i]));
+    t1 += static_cast<uint64_t>(std::popcount(aw & b1[i]));
+    t2 += static_cast<uint64_t>(std::popcount(aw & b2[i]));
+    t3 += static_cast<uint64_t>(std::popcount(aw & b3[i]));
+  }
+  out4[0] = t0;
+  out4[1] = t1;
+  out4[2] = t2;
+  out4[3] = t3;
+}
+
+// ------------------------------------------------------------------ AVX-512 ---
+// VPOPCNTDQ gives a native 64-bit-lane popcount, so the kernel is a pure
+// load/AND/popcount/add chain over 8-word chunks.
+
+// GCC's avx512fintrin.h trips -Wuninitialized on its own internal
+// _mm512_undefined temporaries when these intrinsics are expanded; the
+// warning is in the system header, not this code.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t Avx512AndPopcount(
+    const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i av = _mm512_loadu_si512(a + i);
+    const __m512i bv = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(av, bv)));
+  }
+  uint64_t total = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void Avx512AndPopcount4(
+    const uint64_t* a, const uint64_t* b0, const uint64_t* b1,
+    const uint64_t* b2, const uint64_t* b3, size_t n, uint64_t* out4) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i av = _mm512_loadu_si512(a + i);
+    acc0 = _mm512_add_epi64(
+        acc0, _mm512_popcnt_epi64(
+                  _mm512_and_si512(av, _mm512_loadu_si512(b0 + i))));
+    acc1 = _mm512_add_epi64(
+        acc1, _mm512_popcnt_epi64(
+                  _mm512_and_si512(av, _mm512_loadu_si512(b1 + i))));
+    acc2 = _mm512_add_epi64(
+        acc2, _mm512_popcnt_epi64(
+                  _mm512_and_si512(av, _mm512_loadu_si512(b2 + i))));
+    acc3 = _mm512_add_epi64(
+        acc3, _mm512_popcnt_epi64(
+                  _mm512_and_si512(av, _mm512_loadu_si512(b3 + i))));
+  }
+  uint64_t t0 = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc0));
+  uint64_t t1 = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc1));
+  uint64_t t2 = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc2));
+  uint64_t t3 = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc3));
+  for (; i < n; ++i) {
+    const uint64_t aw = a[i];
+    t0 += static_cast<uint64_t>(std::popcount(aw & b0[i]));
+    t1 += static_cast<uint64_t>(std::popcount(aw & b1[i]));
+    t2 += static_cast<uint64_t>(std::popcount(aw & b2[i]));
+    t3 += static_cast<uint64_t>(std::popcount(aw & b3[i]));
+  }
+  out4[0] = t0;
+  out4[1] = t1;
+  out4[2] = t2;
+  out4[3] = t3;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // SFA_X86_SIMD
+
+// ---------------------------------------------------------------- dispatch ---
+
+using Fn1 = uint64_t (*)(const uint64_t*, const uint64_t*, size_t);
+using Fn4 = void (*)(const uint64_t*, const uint64_t*, const uint64_t*,
+                     const uint64_t*, const uint64_t*, size_t, uint64_t*);
+
+struct KernelTable {
+  PopcountKernel kind;
+  Fn1 one;
+  Fn4 four;
+};
+
+constexpr KernelTable kScalarTable = {PopcountKernel::kScalar,
+                                      ScalarAndPopcount, ScalarAndPopcount4};
+#if defined(SFA_X86_SIMD)
+constexpr KernelTable kAvx2Table = {PopcountKernel::kAvx2, Avx2AndPopcount,
+                                    Avx2AndPopcount4};
+constexpr KernelTable kAvx512Table = {PopcountKernel::kAvx512,
+                                      Avx512AndPopcount, Avx512AndPopcount4};
+#endif
+
+PopcountKernel BestSupportedKernel() {
+#if defined(SFA_X86_SIMD)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vpopcntdq")) {
+    return PopcountKernel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return PopcountKernel::kAvx2;
+#endif
+  return PopcountKernel::kScalar;
+}
+
+// Unsupported requests clamp DOWN to the best tier the CPU (and build) can
+// actually run, never up — forcing "avx512" on an AVX2-only host yields avx2.
+PopcountKernel ClampToSupported(PopcountKernel requested) {
+  const PopcountKernel best = BestSupportedKernel();
+  return static_cast<uint8_t>(requested) <= static_cast<uint8_t>(best)
+             ? requested
+             : best;
+}
+
+const KernelTable* TableFor(PopcountKernel kernel) {
+  switch (ClampToSupported(kernel)) {
+#if defined(SFA_X86_SIMD)
+    case PopcountKernel::kAvx512:
+      return &kAvx512Table;
+    case PopcountKernel::kAvx2:
+      return &kAvx2Table;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+PopcountKernel KernelFromEnv() {
+  const char* env = std::getenv("SFA_SIMD_POPCOUNT");
+  if (env == nullptr || std::strcmp(env, "auto") == 0 || env[0] == '\0') {
+    return BestSupportedKernel();
+  }
+  if (std::strcmp(env, "scalar") == 0) return PopcountKernel::kScalar;
+  if (std::strcmp(env, "avx2") == 0) return PopcountKernel::kAvx2;
+  if (std::strcmp(env, "avx512") == 0) return PopcountKernel::kAvx512;
+  // Unknown value: fall back to auto rather than aborting a production run.
+  return BestSupportedKernel();
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* ActiveTable() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // Benign first-use race: every thread resolves the same env+CPUID answer.
+    table = TableFor(KernelFromEnv());
+    g_active.store(table, std::memory_order_release);
+  }
+  return table;
+}
+
+}  // namespace
+
+PopcountKernel ActivePopcountKernel() { return ActiveTable()->kind; }
+
+PopcountKernel ForcePopcountKernel(PopcountKernel kernel) {
+  const PopcountKernel previous = ActiveTable()->kind;
+  g_active.store(TableFor(kernel), std::memory_order_release);
+  return previous;
+}
+
+const char* PopcountKernelName(PopcountKernel kernel) {
+  switch (kernel) {
+    case PopcountKernel::kAvx512:
+      return "avx512";
+    case PopcountKernel::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t n) {
+  return ActiveTable()->one(a, b, n);
+}
+
+void AndPopcountWords4(const uint64_t* a, const uint64_t* b0,
+                       const uint64_t* b1, const uint64_t* b2,
+                       const uint64_t* b3, size_t n, uint64_t* out4) {
+  ActiveTable()->four(a, b0, b1, b2, b3, n, out4);
+}
+
+}  // namespace sfa::spatial

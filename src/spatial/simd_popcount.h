@@ -1,0 +1,57 @@
+// Runtime-dispatched AND+popcount kernels over 64-bit word arrays.
+//
+// This is the instruction-level layer under BitVector::AndPopcountMany: the
+// batched Monte Carlo recount spends nearly all of its dense-backend time in
+// popcount(a[i] & b[i]) reductions, so the word loop is worth vectorizing.
+// Three implementations share one contract and are bit-identical (popcounts
+// are integer-exact, so "identical" here is a hard guarantee, not a tolerance):
+//
+//   kScalar  — portable std::popcount loop, 4 accumulators (the reference).
+//   kAvx2    — 256-bit AND + vpshufb nibble-LUT popcount + psadbw reduce.
+//   kAvx512  — 512-bit AND + native vpopcntq (AVX-512 VPOPCNTDQ).
+//
+// Dispatch is resolved once per process from CPUID, overridable two ways:
+//   * env  SFA_SIMD_POPCOUNT = scalar | avx2 | avx512 | auto   (read at first
+//     use — this is the CI A/B escape hatch; unsupported tiers clamp down),
+//   * code ForcePopcountKernel(k) — used by the fuzz tests to pin each arm.
+//
+// Kernels compiled with __attribute__((target(...))) function multiversioning,
+// so no per-file -mavx* flags leak into the rest of the build; non-x86 builds
+// (or toolchains failing the CMake probe) compile the scalar path only.
+#ifndef SFA_SPATIAL_SIMD_POPCOUNT_H_
+#define SFA_SPATIAL_SIMD_POPCOUNT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfa::spatial {
+
+enum class PopcountKernel : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// The kernel currently in effect (after env override and CPUID clamping).
+PopcountKernel ActivePopcountKernel();
+
+/// Forces a specific kernel; clamps to the best supported tier at or below
+/// `kernel` and returns the previously active kernel (so tests can restore).
+PopcountKernel ForcePopcountKernel(PopcountKernel kernel);
+
+/// Human-readable kernel name ("scalar" / "avx2" / "avx512").
+const char* PopcountKernelName(PopcountKernel kernel);
+
+/// sum_i popcount(a[i] & b[i]) over `n` words, via the active kernel.
+uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t n);
+
+/// Four-stream variant: out4[s] = sum_i popcount(a[i] & b_s[i]). Each word of
+/// `a` is loaded once and intersected against all four streams — the
+/// register-blocked inner kernel of BitVector::AndPopcountMany.
+void AndPopcountWords4(const uint64_t* a, const uint64_t* b0,
+                       const uint64_t* b1, const uint64_t* b2,
+                       const uint64_t* b3, size_t n, uint64_t* out4);
+
+}  // namespace sfa::spatial
+
+#endif  // SFA_SPATIAL_SIMD_POPCOUNT_H_

@@ -402,6 +402,113 @@ TEST(AnnulusBackend, SparseMembershipMemoryBeatsDenseByLadderFactor) {
   EXPECT_LT((*knn_sparse)->MembershipBytes(), (*knn_dense)->MembershipBytes());
 }
 
+// --------------------------------------- multi-class counting equivalence ---
+
+/// Packed class codes for `worlds` null worlds: iid categorical draws (the
+/// multinomial Bernoulli-style null) or shuffles of one fixed multiset (the
+/// permutation null). Both draw styles the multinomial engine feeds
+/// CountClassesBatch must hit the same scatter paths.
+std::vector<std::vector<uint8_t>> MakeClassWorlds(size_t n, uint32_t k,
+                                                  size_t worlds, bool permute,
+                                                  Rng* rng) {
+  // Geometric-ish mix so classes have visibly different masses.
+  std::vector<double> mix(k);
+  double rest = 1.0;
+  for (uint32_t c = 0; c < k; ++c) {
+    mix[c] = (c + 1 == k) ? rest : rest * 0.5;
+    rest -= mix[c];
+  }
+  std::vector<uint8_t> base(n);
+  for (size_t i = 0; i < n; ++i) {
+    base[i] = static_cast<uint8_t>(rng->Categorical(mix));
+  }
+  std::vector<std::vector<uint8_t>> out(worlds);
+  for (size_t w = 0; w < worlds; ++w) {
+    if (permute) {
+      out[w] = base;
+      rng->Shuffle(out[w].begin(), out[w].end());
+    } else {
+      out[w].resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        out[w][i] = static_cast<uint8_t>(rng->Categorical(mix));
+      }
+    }
+  }
+  return out;
+}
+
+/// Asserts sparse CSR class scatter == dense bit-plane popcounts == the base
+/// class's K-1 indicator reference, for both null-model draw styles and a
+/// K ladder covering binary-degenerate (K=2) through byte-size classes.
+void CheckClassCountingAgrees(const FamilyPair& pair, uint64_t seed) {
+  const size_t n = pair.sparse->num_points();
+  const size_t stride = pair.sparse->num_regions();
+  Rng rng(seed);
+  for (const uint32_t k : {2u, 3u, 5u}) {
+    for (const bool permute : {false, true}) {
+      const size_t worlds = 5;
+      const auto class_worlds = MakeClassWorlds(n, k, worlds, permute, &rng);
+      std::vector<const uint8_t*> ptrs;
+      for (const auto& w : class_worlds) ptrs.push_back(w.data());
+
+      const size_t total = ClassCountBufferSize(worlds, k - 1, stride);
+      std::vector<uint64_t> from_sparse(total, ~0ULL);
+      std::vector<uint64_t> from_dense(total, ~0ULL);
+      std::vector<uint64_t> reference(total, ~0ULL);
+      pair.sparse->CountClassesBatch(ptrs.data(), worlds, k,
+                                     from_sparse.data());
+      pair.dense->CountClassesBatch(ptrs.data(), worlds, k, from_dense.data());
+      // Qualified call: the RegionFamily base implementation is the
+      // indicator-labels reference oracle every override must match exactly.
+      pair.sparse->RegionFamily::CountClassesBatch(ptrs.data(), worlds, k,
+                                                   reference.data());
+      ASSERT_EQ(from_sparse, reference)
+          << "sparse vs reference, K=" << k << " permute=" << permute;
+      ASSERT_EQ(from_dense, reference)
+          << "dense vs reference, K=" << k << " permute=" << permute;
+
+      // Consistency pin on one world: the K-1 counted classes can never
+      // exceed n(R) — the last class is derived as the remainder.
+      for (size_t r = 0; r < stride; ++r) {
+        uint64_t counted_sum = 0;
+        for (uint32_t c = 0; c + 1 < k; ++c) {
+          counted_sum += reference[ClassCountRowOffset(0, c, k - 1, stride) + r];
+        }
+        ASSERT_LE(counted_sum, pair.sparse->PointCount(r)) << "region " << r;
+      }
+    }
+  }
+}
+
+TEST(AnnulusBackend, ClassCountsMatchDenseAndReferenceOracle) {
+  const auto pts = Cloud(450, 51);
+  SquareScanOptions sq_opts;
+  sq_opts.centers = RandomCenters(7, 52);
+  sq_opts.side_lengths = SquareScanOptions::DefaultSideLengths(0.4, 3.0, 5);
+  CheckClassCountingAgrees(MakeSquarePair(pts, sq_opts), 53);
+
+  KnnCircleOptions knn_opts;
+  knn_opts.centers = RandomCenters(6, 54);
+  knn_opts.population_fractions = {0.01, 0.04, 0.09};
+  CheckClassCountingAgrees(MakeKnnPair(pts, knn_opts), 55);
+}
+
+TEST(AnnulusBackend, ClassCountsCoverDegenerateShapes) {
+  // Empty regions (far-out center) and a single-point cloud: the class
+  // scatter must tolerate empty CSR rows and 1-point planes.
+  const auto pts = Cloud(200, 61);
+  SquareScanOptions opts;
+  opts.centers = {{120, 120}, {5, 5}};
+  opts.side_lengths = {0.5, 1.5};
+  CheckClassCountingAgrees(MakeSquarePair(pts, opts), 62);
+
+  const std::vector<geo::Point> one = {{1.0, 1.0}};
+  SquareScanOptions one_opts;
+  one_opts.centers = {{1.0, 1.0}};
+  one_opts.side_lengths = {0.5, 2.0};
+  CheckClassCountingAgrees(MakeSquarePair(one, one_opts), 63);
+}
+
 // ------------------------------------- bit-identical null distributions ---
 
 NullDistribution MustSimulate(const RegionFamily& family,

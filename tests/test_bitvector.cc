@@ -190,5 +190,30 @@ TEST(BitVector, AndPopcountManyMatchesPairwise) {
   }
 }
 
+// Regression for the batch-validation bug: the old 4-wide block checked only
+// batch[b] per block, so a mis-sized vector in positions 1..3 of a block read
+// out of bounds undetected. Validation is now upfront, over EVERY entry, and
+// always-on (release builds included) — a mis-sized entry anywhere must abort
+// before the kernel touches a word.
+TEST(BitVectorDeathTest, AndPopcountManyValidatesEveryBatchEntry) {
+  const BitVector a(256);
+  const BitVector ok(256);
+  const BitVector mis_sized(64);
+  std::vector<uint64_t> out(4);
+  for (size_t bad_pos = 0; bad_pos < 4; ++bad_pos) {
+    std::vector<const BitVector*> batch(4, &ok);
+    batch[bad_pos] = &mis_sized;
+    EXPECT_DEATH(
+        BitVector::AndPopcountMany(a, batch.data(), batch.size(), out.data()),
+        "size mismatch")
+        << "bad position " << bad_pos;
+  }
+  // The remainder path (count < 4) must validate too.
+  std::vector<const BitVector*> tail = {&ok, &mis_sized};
+  EXPECT_DEATH(
+      BitVector::AndPopcountMany(a, tail.data(), tail.size(), out.data()),
+      "size mismatch");
+}
+
 }  // namespace
 }  // namespace sfa::spatial

@@ -3,8 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/random.h"
+#include "core/grid_family.h"
+#include "core/knn_circle_family.h"
+#include "core/labels.h"
 #include "core/multiclass.h"
+#include "core/partitioning_family.h"
+#include "core/rectangle_sweep_family.h"
+#include "core/square_family.h"
+#include "geo/partitioning.h"
 #include "stats/bernoulli_scan.h"
 
 namespace sfa {
@@ -136,6 +146,135 @@ TEST(MulticlassAudit, BinaryCaseAgreesWithBinaryAuditDirectionally) {
   auto result = core::AuditMulticlassGrid(pts, classes, 2, FastOptions());
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->spatially_fair);
+}
+
+// ---------------- CountClassesBatch vs the legacy indicator interface -------
+
+/// All five region family types over one point cloud, sized small enough for
+/// tier-1 but covering every CountClassesBatch override (grid scatter,
+/// per-partitioning scatter, prefix-sum fold, sparse annulus CSR, and the
+/// dense SIMD bit-plane path).
+std::vector<std::unique_ptr<core::RegionFamily>> MakeAllFamilies(
+    const std::vector<geo::Point>& pts, Rng* rng) {
+  std::vector<std::unique_ptr<core::RegionFamily>> families;
+  auto grid = core::GridPartitionFamily::Create(pts, 6, 5);
+  EXPECT_TRUE(grid.ok());
+  families.push_back(std::move(*grid));
+
+  auto partitionings = geo::MakeRandomPartitionings(
+      geo::Rect::BoundingBox(pts).Expanded(1e-6), 6, 3, 7, rng);
+  EXPECT_TRUE(partitionings.ok());
+  auto collection =
+      core::PartitioningCollectionFamily::Create(pts, std::move(*partitionings));
+  EXPECT_TRUE(collection.ok());
+  families.push_back(std::move(*collection));
+
+  auto sweep = core::RectangleSweepFamily::Create(pts, 5, 4);
+  EXPECT_TRUE(sweep.ok());
+  families.push_back(std::move(*sweep));
+
+  std::vector<geo::Point> centers(8);
+  for (auto& c : centers) c = {rng->Uniform(0, 10), rng->Uniform(0, 10)};
+  core::SquareScanOptions sq;
+  sq.centers = centers;
+  sq.side_lengths = core::SquareScanOptions::DefaultSideLengths(0.5, 3.0, 5);
+  for (core::CountingBackend backend :
+       {core::CountingBackend::kSparseAnnulus, core::CountingBackend::kDenseBits}) {
+    sq.backend = backend;
+    auto square = core::SquareScanFamily::Create(pts, sq);
+    EXPECT_TRUE(square.ok());
+    families.push_back(std::move(*square));
+  }
+
+  core::KnnCircleOptions knn;
+  knn.centers = centers;
+  knn.population_fractions = {0.01, 0.04, 0.10};
+  for (core::CountingBackend backend :
+       {core::CountingBackend::kSparseAnnulus, core::CountingBackend::kDenseBits}) {
+    knn.backend = backend;
+    auto circles = core::KnnCircleFamily::Create(pts, knn);
+    EXPECT_TRUE(circles.ok());
+    families.push_back(std::move(*circles));
+  }
+  return families;
+}
+
+// Satellite 4 of ISSUE 9: for every family, CountClassesBatch must equal the
+// legacy construction — K-1 per-class indicator label worlds counted through
+// CountPositivesBatch. The indicator planes are laid out as "virtual worlds"
+// (plane w*(K-1)+c), which is exactly the ClassCountRowOffset layout, so the
+// two buffers must match element-for-element. Both null-model draw styles
+// (iid categorical and shuffled fixed multiset) are exercised.
+TEST(CountClassesBatch, MatchesIndicatorPathForAllFamilies) {
+  Rng rng(4242);
+  std::vector<geo::Point> pts(700);
+  for (auto& p : pts) p = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+  const auto families = MakeAllFamilies(pts, &rng);
+
+  const std::vector<double> mix = {0.45, 0.3, 0.15, 0.1};
+  const auto num_classes = static_cast<uint32_t>(mix.size());
+  const uint32_t counted = num_classes - 1;
+  const size_t worlds = 4;
+
+  for (const bool permute : {false, true}) {
+    // Packed class worlds.
+    std::vector<std::vector<uint8_t>> class_worlds(worlds);
+    std::vector<const uint8_t*> class_ptrs;
+    std::vector<uint8_t> base(pts.size());
+    for (auto& c : base) c = static_cast<uint8_t>(rng.Categorical(mix));
+    for (auto& world : class_worlds) {
+      if (permute) {
+        world = base;
+        rng.Shuffle(world.begin(), world.end());
+      } else {
+        world.resize(pts.size());
+        for (auto& c : world) c = static_cast<uint8_t>(rng.Categorical(mix));
+      }
+    }
+    for (const auto& world : class_worlds) class_ptrs.push_back(world.data());
+
+    // Legacy view of the same worlds: one indicator Labels per (world, class)
+    // plane, in ClassCountRowOffset order.
+    std::vector<core::Labels> planes;
+    std::vector<const core::Labels*> plane_ptrs;
+    std::vector<uint8_t> indicator(pts.size());
+    for (size_t w = 0; w < worlds; ++w) {
+      for (uint32_t c = 0; c < counted; ++c) {
+        for (size_t i = 0; i < pts.size(); ++i) {
+          indicator[i] = class_worlds[w][i] == c ? 1 : 0;
+        }
+        planes.push_back(core::Labels::FromBytes(indicator));
+      }
+    }
+    for (const core::Labels& plane : planes) plane_ptrs.push_back(&plane);
+
+    for (const auto& family : families) {
+      const size_t stride = family->num_regions();
+      std::vector<uint64_t> got(
+          core::ClassCountBufferSize(worlds, counted, stride), ~0ULL);
+      std::vector<uint64_t> expected(got.size(), 0);
+      family->CountClassesBatch(class_ptrs.data(), worlds, num_classes,
+                                got.data());
+      family->CountPositivesBatch(plane_ptrs.data(), plane_ptrs.size(),
+                                  expected.data());
+      ASSERT_EQ(got, expected) << family->Name() << " permute=" << permute;
+    }
+  }
+}
+
+// Satellite 3: counting-buffer offsets must widen to size_t BEFORE the
+// multiplications. These operand combinations overflow 32-bit arithmetic by
+// ~56x; evaluating at compile time pins the constexpr path too.
+TEST(CountClassesBatch, OffsetHelpersWidenBeforeMultiplying) {
+  constexpr size_t kOffset = core::ClassCountRowOffset(123456, 6, 7, 280000);
+  static_assert(kOffset == (123456ULL * 7 + 6) * 280000ULL);
+  EXPECT_EQ(kOffset, 241975440000ULL);
+  constexpr size_t kSize = core::ClassCountBufferSize(70000, 9, 70000);
+  static_assert(kSize == 70000ULL * 9 * 70000);
+  EXPECT_EQ(kSize, 44100000000ULL);
+  // The truncated products a narrow intermediate would have produced.
+  EXPECT_NE(kOffset, static_cast<uint32_t>(kOffset));
+  EXPECT_NE(kSize, static_cast<uint32_t>(kSize));
 }
 
 TEST(MulticlassAudit, DeterministicForSeed) {

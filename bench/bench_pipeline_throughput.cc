@@ -489,6 +489,88 @@ void BM_PipelineAdaptiveMC(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineAdaptiveMC)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Zero-copy warm path A/B: the SAME persisted frame population served
+// through CalibrationStore::Load (heap copy + per-load allocation) versus
+// CalibrationStore::LoadView (one-time-validated mmap'd view; warm hits
+// cost one stat and a shared_ptr bump). Both paths ride the in-memory
+// store index, so the delta isolates copy-vs-map — the ISSUE 10 acceptance
+// ratio BM_StoreLoadMmap / BM_StoreLoadCopy must be ≥ 5×. Frames hold
+// 32768 maxima (256 KiB of doubles) × 16 keys: the production shape where
+// copy cost dominates once checksums are amortised away.
+struct StoreLoadWorkload {
+  std::filesystem::path dir;
+  std::shared_ptr<CalibrationStore> store;
+  std::vector<CalibrationKey> keys;
+};
+
+const StoreLoadWorkload& SharedStoreLoad() {
+  static StoreLoadWorkload* w = [] {
+    constexpr size_t kFrames = 16;
+    constexpr size_t kWorldsPerFrame = 32768;
+    auto* wl = new StoreLoadWorkload;
+    wl->dir = std::filesystem::temp_directory_path() /
+              ("sfa_bench_store_load_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(wl->dir);
+    auto store = CalibrationStore::Open({.directory = wl->dir.string()});
+    SFA_CHECK_OK(store.status());
+    wl->store = std::shared_ptr<CalibrationStore>(std::move(*store));
+    Rng rng(4242);
+    for (size_t k = 0; k < kFrames; ++k) {
+      CalibrationKey key;
+      key.hash = 0x9e3779b97f4a7c15ULL * (k + 1);
+      key.debug = "bench-store-load-" + std::to_string(k);
+      std::vector<double> maxima(kWorldsPerFrame);
+      for (double& m : maxima) m = rng.Uniform(0.0, 12.0);
+      SFA_CHECK_OK(
+          wl->store->Store(key, NullDistribution(std::move(maxima))));
+      wl->keys.push_back(std::move(key));
+    }
+    // First touch outside timing: earn the one-time checksums so both
+    // benches measure the steady warm path, not validation.
+    for (const CalibrationKey& key : wl->keys) {
+      SFA_CHECK_OK(wl->store->Load(key).status());
+    }
+    return wl;
+  }();
+  return *w;
+}
+
+void BM_StoreLoadCopy(benchmark::State& state) {
+  const StoreLoadWorkload& wl = SharedStoreLoad();
+  size_t loads = 0;
+  for (auto _ : state) {
+    for (const CalibrationKey& key : wl.keys) {
+      auto dist = wl.store->Load(key);
+      SFA_CHECK_OK(dist.status());
+      benchmark::DoNotOptimize(dist->sorted_max().data());
+      ++loads;
+    }
+  }
+  state.counters["loads/s"] = benchmark::Counter(
+      static_cast<double>(loads), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StoreLoadCopy)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_StoreLoadMmap(benchmark::State& state) {
+  const StoreLoadWorkload& wl = SharedStoreLoad();
+  SFA_CHECK(wl.store->mmap_enabled());
+  size_t loads = 0;
+  for (auto _ : state) {
+    for (const CalibrationKey& key : wl.keys) {
+      auto view = wl.store->LoadView(key);
+      SFA_CHECK_OK(view.status());
+      benchmark::DoNotOptimize(view->sorted_max().data());
+      ++loads;
+    }
+  }
+  const CalibrationStore::Stats stats = wl.store->stats();
+  state.counters["loads/s"] = benchmark::Counter(
+      static_cast<double>(loads), benchmark::Counter::kIsRate);
+  state.counters["mmap_frames"] = static_cast<double>(stats.mmap_frames);
+  state.counters["mmap_bytes"] = static_cast<double>(stats.mmap_bytes);
+}
+BENCHMARK(BM_StoreLoadMmap)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

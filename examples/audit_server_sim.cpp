@@ -54,6 +54,20 @@
 //   --shards=N           fork-based multi-process fabric drill (above).
 //   --chaos-kill=<i>     SIGKILL shard i once calibration activity appears.
 //   --drain-ms=<ms>      drain budget used by the SIGTERM/SIGINT path.
+//   --replay[=N]         million-request warm-path replay harness (below);
+//                        N defaults to 1,000,000, shards default to 3.
+//
+// Warm-path replay harness (--replay=N): every forked shard walks the SAME
+// deterministic Zipf-skewed stream of N requests over a fixed 64-key
+// population (distinct Monte Carlo seeds → distinct store frames) and
+// serves the keys whose hash lands on it. The in-memory calibration cache
+// is deliberately cleared every few thousand requests so the store's
+// zero-copy warm path (in-memory index + mmap'd frames) carries the load.
+// The driver reports per-shard throughput, queue-wait/assembly p50/p90/p99,
+// and store/mmap hit rates as JSON, asserts the recovery sweep leaves zero
+// debris, and proves the mmap path byte-identical to the copy path by
+// re-serving every key through both (SFA_STORE_MMAP toggled) with zero
+// recomputes on either side.
 //
 // With a fault flag set, per-request failures are tolerated and reported (the
 // exit criteria relax to: no replay failures, no payload mismatch among
@@ -65,6 +79,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -215,6 +230,7 @@ struct SimConfig {
   size_t city_points = 0;
   uint32_t num_worlds = 0;
   size_t num_requests = 0;
+  size_t replay = 0;  // --replay=N million-request warm-path harness, 0 = off
 };
 
 /// One cleanly-served response, as recorded by a shard and recomputed by the
@@ -563,6 +579,384 @@ int RunShardedDriver(const SimConfig& config) {
   return ok ? 0 : 1;
 }
 
+// ----------------------------------------------------------- replay harness --
+
+/// The replay harness's fixed key population: one city, one family, one
+/// options shape — `num_keys` distinct calibrations produced purely by
+/// varying the Monte Carlo seed (the seed is draw-relevant, so every key
+/// maps to its own store frame). Kept in a one-element vector so the
+/// templates' dataset/family pointers survive a move of the struct.
+struct ReplayWorld {
+  std::vector<City> cities;
+  std::vector<AuditRequest> templates;  // one per key
+  std::vector<uint64_t> hashes;         // calibration-key hash per template
+};
+
+constexpr size_t kReplayKeys = 64;
+constexpr uint32_t kReplayWorlds = 199;
+constexpr double kReplayZipfExponent = 1.07;
+/// The in-memory calibration cache is cleared every this many served
+/// requests, modelling restart/memory-pressure churn — without it the
+/// memory cache would absorb every warm hit and the store warm path (the
+/// thing this harness measures) would see only the first touch per key.
+constexpr size_t kReplayCacheChurnEvery = 2048;
+/// Bounded ring of outstanding tickets: responses are consumed in flight,
+/// so a million-request replay holds a constant number of result payloads.
+constexpr size_t kReplayRingSize = 256;
+
+ReplayWorld BuildReplayWorld() {
+  ReplayWorld rw;
+  rw.cities.push_back(MakeCity("replayville", 55, 4000, 0.42));
+  const City& city = rw.cities.front();
+  const uint64_t fingerprint = FamilyFingerprint(*city.sp_family);
+  rw.templates.reserve(kReplayKeys);
+  rw.hashes.reserve(kReplayKeys);
+  for (size_t k = 0; k < kReplayKeys; ++k) {
+    AuditRequest req;
+    req.id = sfa::StrFormat("key-%03zu", k);
+    req.dataset = &city.dataset;
+    req.dataset_is_view = true;
+    req.family = city.sp_family.get();
+    req.options.measure = FairnessMeasure::kStatisticalParity;
+    req.options.alpha = 0.05;
+    req.options.monte_carlo.num_worlds = kReplayWorlds;
+    req.options.monte_carlo.seed = 40'000 + static_cast<uint64_t>(k);
+    auto statistic = MakeScanStatistic(req.options, *req.dataset);
+    SFA_CHECK_OK(statistic.status());
+    const CalibrationKey key = MakeCalibrationKey(
+        *req.family, fingerprint, **statistic, req.options.monte_carlo);
+    rw.hashes.push_back(key.hash);
+    rw.templates.push_back(std::move(req));
+  }
+  return rw;
+}
+
+/// Zipf(s) CDF over ranks 0..n-1 (rank 0 hottest), for inverse-CDF draws.
+std::vector<double> ZipfCdf(size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+/// One forked replay worker: walks the shared deterministic Zipf request
+/// stream, serves the requests whose key lands on `shard` through the
+/// streaming pipeline (memory cache churned every kReplayCacheChurnEvery
+/// served requests so the store's zero-copy warm path does the real work),
+/// and writes its metrics as one TSV line the parent aggregates.
+int RunReplayShardWorker(int shard, const std::filesystem::path& work_dir,
+                         const SimConfig& config) {
+  const ReplayWorld rw = BuildReplayWorld();
+
+  AuditPipeline pipeline;
+  auto store = CalibrationStore::Open({
+      .directory = (work_dir / "store").string(),
+      .lease_ttl_ms = 1500.0,
+      .lease_heartbeat_interval_ms = 50.0,
+  });
+  SFA_CHECK_OK(store.status());
+  const std::shared_ptr<CalibrationStore> store_ref(std::move(*store));
+  pipeline.cache().AttachStore(store_ref);
+
+  StreamOptions opts;
+  opts.queue_capacity = 64;
+  opts.num_workers = 2;
+  opts.block_when_full = true;
+  SFA_CHECK_OK(pipeline.StartStream(opts));
+
+  const std::vector<double> cdf = ZipfCdf(kReplayKeys, kReplayZipfExponent);
+  Rng stream_rng(9001);  // identical stream in every shard; ownership by hash
+  std::vector<double> queue_waits, assembly_ms;
+  std::vector<std::shared_ptr<AuditTicket>> ring;
+  size_t ring_head = 0;  // ring is a circular buffer once it reaches capacity
+  size_t served = 0, failed = 0, cache_hits = 0;
+  const auto consume = [&](const std::shared_ptr<AuditTicket>& ticket) {
+    const AuditResponse& response = ticket->Get();
+    if (!response.status.ok()) {
+      ++failed;
+      return;
+    }
+    queue_waits.push_back(response.queue_wait_ms);
+    assembly_ms.push_back(response.assemble_ms);
+    if (response.cache_hit) ++cache_hits;
+  };
+
+  sfa::Stopwatch wall;
+  for (size_t j = 0; j < config.replay; ++j) {
+    if (g_shutdown.load(std::memory_order_relaxed)) break;
+    const double u = stream_rng.Uniform(0.0, 1.0);
+    const size_t key_idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (rw.hashes[key_idx] % static_cast<uint64_t>(config.shards) !=
+        static_cast<uint64_t>(shard)) {
+      continue;
+    }
+    AuditRequest req = rw.templates[key_idx];
+    req.id = sfa::StrFormat("rp%08zu", j);
+    auto ticket = pipeline.Submit(std::move(req), RequestPriority::kNormal);
+    SFA_CHECK_OK(ticket.status());
+    if (ring.size() < kReplayRingSize) {
+      ring.push_back(std::move(*ticket));
+    } else {
+      consume(ring[ring_head]);
+      ring[ring_head] = std::move(*ticket);
+      ring_head = (ring_head + 1) % kReplayRingSize;
+    }
+    ++served;
+    if (served % kReplayCacheChurnEvery == 0) pipeline.cache().Clear();
+  }
+  for (const auto& ticket : ring) consume(ticket);
+  SFA_CHECK_OK(pipeline.FinishStream());
+  const double wall_ms = wall.ElapsedMillis();
+
+  const CalibrationStore::Stats ss = store_ref->stats();
+  const double store_hit_rate =
+      ss.load_hits + ss.load_misses > 0
+          ? static_cast<double>(ss.load_hits) /
+                static_cast<double>(ss.load_hits + ss.load_misses)
+          : 0.0;
+  const double mmap_hit_rate =
+      ss.load_hits > 0
+          ? static_cast<double>(ss.mmap_loads) /
+                static_cast<double>(ss.load_hits)
+          : 0.0;
+
+  // One TSV line the parent can both aggregate and re-render as JSON.
+  const std::filesystem::path stats_path =
+      work_dir / sfa::StrFormat("replay-shard-%d.stats", shard);
+  std::FILE* out = std::fopen(stats_path.string().c_str(), "wb");
+  SFA_CHECK_MSG(out != nullptr, "cannot open replay stats file");
+  std::fprintf(
+      out,
+      "%d\t%zu\t%zu\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%llu\t%llu\t"
+      "%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%.9f\t%.9f\t%zu\n",
+      shard, served, failed, wall_ms, Percentile(queue_waits, 0.50),
+      Percentile(queue_waits, 0.90), Percentile(queue_waits, 0.99),
+      Percentile(assembly_ms, 0.50), Percentile(assembly_ms, 0.90),
+      Percentile(assembly_ms, 0.99),
+      static_cast<unsigned long long>(ss.load_hits),
+      static_cast<unsigned long long>(ss.load_misses),
+      static_cast<unsigned long long>(ss.index_hits),
+      static_cast<unsigned long long>(ss.mmap_loads),
+      static_cast<unsigned long long>(ss.mmap_frames),
+      static_cast<unsigned long long>(ss.mmap_bytes),
+      static_cast<unsigned long long>(ss.remap_races),
+      static_cast<unsigned long long>(ss.touch_failures), store_hit_rate,
+      mmap_hit_rate, cache_hits);
+  std::fclose(out);
+  std::printf("[replay shard %d] served=%zu failed=%zu wall=%.1fms "
+              "store-hit-rate=%.4f mmap-hit-rate=%.4f\n",
+              shard, served, failed, wall_ms, store_hit_rate, mmap_hit_rate);
+  return failed == 0 ? 0 : 1;
+}
+
+/// Per-shard replay metrics, as parsed back by the parent.
+struct ReplayShardStats {
+  int shard = -1;
+  size_t served = 0, failed = 0, cache_hits = 0;
+  double wall_ms = 0, qw_p50 = 0, qw_p90 = 0, qw_p99 = 0;
+  double as_p50 = 0, as_p90 = 0, as_p99 = 0;
+  unsigned long long load_hits = 0, load_misses = 0, index_hits = 0;
+  unsigned long long mmap_loads = 0, mmap_frames = 0, mmap_bytes = 0;
+  unsigned long long remap_races = 0, touch_failures = 0;
+  double store_hit_rate = 0, mmap_hit_rate = 0;
+};
+
+bool ReadReplayShardStats(const std::filesystem::path& path,
+                          ReplayShardStats* s) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return false;
+  char line[1024];
+  const bool got = std::fgets(line, sizeof line, f) != nullptr;
+  std::fclose(f);
+  if (!got) return false;
+  return std::sscanf(
+             line,
+             "%d\t%zu\t%zu\t%lf\t%lf\t%lf\t%lf\t%lf\t%lf\t%lf\t%llu\t%llu\t"
+             "%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%lf\t%lf\t%zu",
+             &s->shard, &s->served, &s->failed, &s->wall_ms, &s->qw_p50,
+             &s->qw_p90, &s->qw_p99, &s->as_p50, &s->as_p90, &s->as_p99,
+             &s->load_hits, &s->load_misses, &s->index_hits, &s->mmap_loads,
+             &s->mmap_frames, &s->mmap_bytes, &s->remap_races,
+             &s->touch_failures, &s->store_hit_rate, &s->mmap_hit_rate,
+             &s->cache_hits) == 21;
+}
+
+/// The million-request replay driver: forks the shard workers over one
+/// shared store, aggregates their metrics, asserts zero recovery debris,
+/// and proves the zero-copy path byte-identical to the copy path by
+/// re-serving every key through BOTH (SFA_STORE_MMAP toggled between two
+/// persisted-warm pipelines) and comparing full payloads.
+int RunReplayDriver(const SimConfig& config) {
+  const std::filesystem::path work_dir =
+      std::filesystem::temp_directory_path() /
+      sfa::StrFormat("sfa_audit_server_sim_replay_%d", ::getpid());
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+  const std::filesystem::path store_dir = work_dir / "store";
+
+  std::printf("== audit_server_sim: %zu-request Zipf replay over %d shards "
+              "(%zu keys, s=%.2f) ==\n",
+              config.replay, config.shards, kReplayKeys, kReplayZipfExponent);
+
+  std::vector<pid_t> pids;
+  for (int shard = 0; shard < config.shards; ++shard) {
+    const pid_t pid = ::fork();
+    SFA_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) ::_exit(RunReplayShardWorker(shard, work_dir, config));
+    pids.push_back(pid);
+  }
+  std::vector<int> exits(pids.size(), -1);
+  for (size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    ::waitpid(pids[i], &status, 0);
+    if (WIFEXITED(status)) exits[i] = WEXITSTATUS(status);
+  }
+
+  // Recovery sweep + zero-debris assertion over the shared store.
+  {
+    auto reopened = CalibrationStore::Open({
+        .directory = store_dir.string(),
+        .create_if_missing = false,
+        .lease_ttl_ms = 1500.0,
+    });
+    SFA_CHECK_OK(reopened.status());
+  }  // the sweep ran at Open; the identity check reopens its own handles
+  size_t leftovers = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(store_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos ||
+        name.find(".reap.") != std::string::npos ||
+        entry.path().extension() == ".lease") {
+      ++leftovers;
+      std::printf("LEFTOVER after sweep: %s\n", entry.path().string().c_str());
+    }
+  }
+
+  // Byte-identity: the same persisted-warm key population served through
+  // the copy path (SFA_STORE_MMAP=0) and the mmap path must produce
+  // identical full payloads with ZERO recomputes on either side.
+  const ReplayWorld rw = BuildReplayWorld();
+  size_t identity_mismatches = 0;
+  PipelineManifest copy_manifest, mmap_manifest;
+  {
+    ::setenv("SFA_STORE_MMAP", "0", 1);
+    auto copy_store = CalibrationStore::Open(
+        {.directory = store_dir.string(), .create_if_missing = false});
+    ::setenv("SFA_STORE_MMAP", "1", 1);
+    auto mmap_store = CalibrationStore::Open(
+        {.directory = store_dir.string(), .create_if_missing = false});
+    ::unsetenv("SFA_STORE_MMAP");
+    SFA_CHECK_OK(copy_store.status());
+    SFA_CHECK_OK(mmap_store.status());
+    AuditPipeline copy_pipeline, mmap_pipeline;
+    copy_pipeline.cache().AttachStore(
+        std::shared_ptr<CalibrationStore>(std::move(*copy_store)));
+    mmap_pipeline.cache().AttachStore(
+        std::shared_ptr<CalibrationStore>(std::move(*mmap_store)));
+    auto copied = copy_pipeline.Run(rw.templates, &copy_manifest);
+    auto mapped = mmap_pipeline.Run(rw.templates, &mmap_manifest);
+    SFA_CHECK_OK(copied.status());
+    SFA_CHECK_OK(mapped.status());
+    for (size_t k = 0; k < rw.templates.size(); ++k) {
+      SFA_CHECK_OK((*copied)[k].status);
+      SFA_CHECK_OK((*mapped)[k].status);
+      if (!ResultsBitIdentical((*copied)[k].result, (*mapped)[k].result)) {
+        ++identity_mismatches;
+        std::printf("IDENTITY MISMATCH at %s\n", rw.templates[k].id.c_str());
+      }
+    }
+  }
+
+  // Aggregate + machine-readable summary.
+  std::string per_shard_json;
+  size_t total_served = 0, total_failed = 0;
+  double sum_rps = 0.0, max_qw_p99 = 0.0, max_as_p99 = 0.0;
+  unsigned long long sum_load_hits = 0, sum_load_misses = 0, sum_mmap = 0;
+  bool stats_ok = true;
+  for (int shard = 0; shard < config.shards; ++shard) {
+    ReplayShardStats s;
+    if (!ReadReplayShardStats(
+            work_dir / sfa::StrFormat("replay-shard-%d.stats", shard), &s)) {
+      stats_ok = false;
+      continue;
+    }
+    total_served += s.served;
+    total_failed += s.failed;
+    const double rps =
+        s.wall_ms > 0 ? 1e3 * static_cast<double>(s.served) / s.wall_ms : 0.0;
+    sum_rps += rps;
+    max_qw_p99 = std::max(max_qw_p99, s.qw_p99);
+    max_as_p99 = std::max(max_as_p99, s.as_p99);
+    sum_load_hits += s.load_hits;
+    sum_load_misses += s.load_misses;
+    sum_mmap += s.mmap_loads;
+    if (!per_shard_json.empty()) per_shard_json += ',';
+    per_shard_json += sfa::StrFormat(
+        "{\"shard\":%d,\"served\":%zu,\"failed\":%zu,\"wall_ms\":%.3f,"
+        "\"throughput_rps\":%.1f,"
+        "\"queue_wait_ms\":{\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f},"
+        "\"assemble_ms\":{\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f},"
+        "\"store\":{\"load_hits\":%llu,\"load_misses\":%llu,"
+        "\"index_hits\":%llu,\"mmap_loads\":%llu,\"mmap_frames\":%llu,"
+        "\"mmap_bytes\":%llu,\"remap_races\":%llu,\"touch_failures\":%llu,"
+        "\"store_hit_rate\":%.6f,\"mmap_hit_rate\":%.6f},"
+        "\"cache_hits\":%zu}",
+        s.shard, s.served, s.failed, s.wall_ms, rps, s.qw_p50, s.qw_p90,
+        s.qw_p99, s.as_p50, s.as_p90, s.as_p99, s.load_hits, s.load_misses,
+        s.index_hits, s.mmap_loads, s.mmap_frames, s.mmap_bytes,
+        s.remap_races, s.touch_failures, s.store_hit_rate, s.mmap_hit_rate,
+        s.cache_hits);
+  }
+  std::string exits_json;
+  for (size_t i = 0; i < exits.size(); ++i) {
+    if (i > 0) exits_json += ',';
+    exits_json += sfa::StrFormat("%d", exits[i]);
+  }
+  const double agg_store_hit_rate =
+      sum_load_hits + sum_load_misses > 0
+          ? static_cast<double>(sum_load_hits) /
+                static_cast<double>(sum_load_hits + sum_load_misses)
+          : 0.0;
+  const double agg_mmap_hit_rate =
+      sum_load_hits > 0 ? static_cast<double>(sum_mmap) /
+                              static_cast<double>(sum_load_hits)
+                        : 0.0;
+  const std::string summary = sfa::StrFormat(
+      "{\"replay\":{\"requests\":%zu,\"served\":%zu,\"shards\":%d,"
+      "\"keys\":%zu,\"zipf_exponent\":%.2f,\"per_shard\":[%s],"
+      "\"aggregate\":{\"throughput_rps\":%.1f,\"queue_wait_p99_ms\":%.4f,"
+      "\"assemble_p99_ms\":%.4f,\"store_hit_rate\":%.6f,"
+      "\"mmap_hit_rate\":%.6f},"
+      "\"identity\":{\"compared\":%zu,\"mismatches\":%zu,"
+      "\"copy_path_computed\":%llu,\"mmap_path_computed\":%llu},"
+      "\"leftover_files\":%zu,\"shard_exits\":[%s]}}",
+      config.replay, total_served, config.shards, kReplayKeys,
+      kReplayZipfExponent, per_shard_json.c_str(), sum_rps, max_qw_p99,
+      max_as_p99, agg_store_hit_rate, agg_mmap_hit_rate, rw.templates.size(),
+      identity_mismatches,
+      static_cast<unsigned long long>(copy_manifest.calibrations_computed),
+      static_cast<unsigned long long>(mmap_manifest.calibrations_computed),
+      leftovers, exits_json.c_str());
+  std::printf("== replay summary (machine-readable) ==\n%s\n", summary.c_str());
+
+  std::filesystem::remove_all(work_dir);
+  bool ok = stats_ok && leftovers == 0 && identity_mismatches == 0 &&
+            total_failed == 0 && total_served > 0 &&
+            copy_manifest.calibrations_computed == 0 &&
+            mmap_manifest.calibrations_computed == 0;
+  for (const int e : exits) {
+    if (e != 0) ok = false;
+  }
+  if (!ok) std::printf("\nFAILED: replay harness violated its contract\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -587,10 +981,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--drain-ms=", 0) == 0) {
       config.drain_ms =
           std::atof(arg.c_str() + std::string("--drain-ms=").size());
+    } else if (arg == "--replay") {
+      config.replay = 1'000'000;
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      config.replay = static_cast<size_t>(
+          std::strtoull(arg.c_str() + std::string("--replay=").size(),
+                        nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--failpoints=<spec>] [--deadline-ms=<ms>] "
-                   "[--shards=N [--chaos-kill=<i>]] [--drain-ms=<ms>]\n",
+                   "[--shards=N [--chaos-kill=<i>]] [--drain-ms=<ms>] "
+                   "[--replay[=N]]\n",
                    argv[0]);
       return 2;
     }
@@ -619,6 +1020,13 @@ int main(int argc, char** argv) {
   // workers inherit it.
   std::signal(SIGTERM, OnShutdownSignal);
   std::signal(SIGINT, OnShutdownSignal);
+
+  if (config.replay > 0) {
+    // Million-request Zipf replay over the forked shard fabric; exercises
+    // the zero-copy warm path (mmap'd frames + store index) at volume.
+    if (config.shards <= 0) config.shards = 3;
+    return RunReplayDriver(config);
+  }
 
   if (config.shards > 0) {
     // Fork-based fabric drill. MUST run before any thread (or thread pool)

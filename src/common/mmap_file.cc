@@ -1,0 +1,66 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace sfa {
+
+Result<MmapFile> MmapFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound(StrFormat("'%s' does not exist", path.c_str()));
+    }
+    return Status::IOError(StrFormat("cannot open '%s' for mmap: %s",
+                                     path.c_str(), std::strerror(err)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(StrFormat("cannot stat '%s' for mmap: %s",
+                                     path.c_str(), std::strerror(err)));
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MmapFile(nullptr, 0);
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping pins the inode; the fd is no longer needed
+  if (data == MAP_FAILED) {
+    return Status::IOError(StrFormat("cannot mmap '%s' (%zu bytes): %s",
+                                     path.c_str(), size,
+                                     std::strerror(map_err)));
+  }
+  return MmapFile(data, size);
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace sfa

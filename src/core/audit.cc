@@ -1,6 +1,7 @@
 #include "core/audit.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -186,7 +187,9 @@ bool ResultsBitIdentical(const AuditResult& a, const AuditResult& b) {
       a.observed.num_classes != b.observed.num_classes) {
     return false;
   }
-  if (a.null_distribution.sorted_max() != b.null_distribution.sorted_max() ||
+  const std::span<const double> a_max = a.null_distribution.sorted_max();
+  const std::span<const double> b_max = b.null_distribution.sorted_max();
+  if (!std::equal(a_max.begin(), a_max.end(), b_max.begin(), b_max.end()) ||
       a.null_distribution.worlds_requested() !=
           b.null_distribution.worlds_requested() ||
       a.null_distribution.stop_reason() != b.null_distribution.stop_reason()) {

@@ -216,7 +216,7 @@ Result<NullDistribution> CalibrationCache::ComputeWithLease(
       // We are the cross-process owner. A previous holder may have persisted
       // the frame between our store miss and this acquisition (the takeover
       // path especially) — re-check before paying for the simulation.
-      auto persisted = store.Load(key);
+      auto persisted = store.LoadView(key);
       if (persisted.ok()) {
         lease.Release();
         *from_store = true;
@@ -248,7 +248,7 @@ Result<NullDistribution> CalibrationCache::ComputeWithLease(
     }
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         store.options().lease_wait_poll_ms));
-    auto persisted = store.Load(key);
+    auto persisted = store.LoadView(key);
     if (persisted.ok()) {
       *from_store = true;
       return persisted;
@@ -287,14 +287,16 @@ Result<std::shared_ptr<const NullDistribution>> CalibrationCache::GetOrCompute(
 
   if (owner) {
     // Read-through: a valid persisted frame substitutes for the simulation
-    // (it holds the exact bytes the simulation would produce). Any load
+    // (it holds the exact bytes the simulation would produce), served as a
+    // zero-copy view over the store's mmap'd frame when the warm path is
+    // enabled (copy-on-load otherwise — bit-identical either way). Any load
     // defect — absent, truncated, corrupt, version-skewed — falls back to
     // compute(), leased across processes when the store runs the fabric.
     Result<NullDistribution> computed = Status::NotFound("no store attached");
     bool from_store = false;
     bool wrote_through = false;
     if (store != nullptr) {
-      computed = store->Load(key);
+      computed = store->LoadView(key);
       from_store = computed.ok();
     }
     if (!from_store) {

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <span>
 #include <system_error>
 #include <thread>
 #include <utility>
@@ -54,6 +55,83 @@ struct Reader {
   bool ReadU64(uint64_t* v) { return Read(v, sizeof *v); }
 };
 
+/// Zero bytes inserted between the key debug bytes and the world count so
+/// the maxima array lands on an 8-byte boundary (the mmap path serves
+/// doubles straight out of the mapping; the fixed prefix before the debug
+/// bytes is 24 bytes, and the count field is 8, so only the debug length
+/// perturbs alignment).
+size_t FramePadLen(size_t debug_len) { return (8 - (debug_len % 8)) % 8; }
+
+/// Offsets and metadata extracted by the structural frame parse.
+struct ParsedFrame {
+  size_t maxima_offset = 0;  ///< byte offset of the maxima array
+  uint64_t num_worlds = 0;
+  uint64_t worlds_requested = 0;
+  uint32_t stop_reason_raw = 0;
+};
+
+/// Structural parse of a whole frame (magic, version, key identity, counts,
+/// stop metadata, exact length) WITHOUT the checksum — the caller decides
+/// whether the O(n) checksum is owed (full validation) or already vouched
+/// for by the index signature. Returns nullptr on success, else the reject
+/// reason.
+const char* ParseFrameStructure(const char* data, size_t size,
+                                const CalibrationKey& key, ParsedFrame* out) {
+  if (size < sizeof kMagic + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return "truncated header";
+  }
+  Reader r{data, size - sizeof(uint64_t)};  // body sans checksum trailer
+  char magic[sizeof kMagic];
+  if (!r.Read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return "bad magic";
+  }
+  uint32_t version = 0;
+  if (!r.ReadU32(&version)) return "truncated version";
+  if (version != CalibrationStore::kFormatVersion) {
+    return "unsupported format version";
+  }
+  uint64_t key_hash = 0;
+  if (!r.ReadU64(&key_hash)) return "truncated key hash";
+  uint32_t debug_len = 0;
+  if (!r.ReadU32(&debug_len)) return "truncated key";
+  if (debug_len > r.size - r.pos) return "truncated key";
+  if (key_hash != key.hash || debug_len != key.debug.size() ||
+      std::memcmp(data + r.pos, key.debug.data(), debug_len) != 0) {
+    return "frame belongs to a different calibration key";
+  }
+  r.pos += debug_len;
+  const size_t pad = FramePadLen(debug_len);
+  if (pad > r.size - r.pos) return "truncated padding";
+  r.pos += pad;
+  uint64_t num_worlds = 0;
+  if (!r.ReadU64(&num_worlds)) return "truncated world count";
+  if (num_worlds > (r.size - r.pos) / sizeof(double)) {
+    return "truncated maxima";
+  }
+  out->maxima_offset = r.pos;
+  out->num_worlds = num_worlds;
+  r.pos += static_cast<size_t>(num_worlds) * sizeof(double);
+  if (!r.ReadU64(&out->worlds_requested)) return "truncated stop metadata";
+  if (!r.ReadU32(&out->stop_reason_raw)) return "truncated stop metadata";
+  if (out->worlds_requested < num_worlds) {
+    return "worlds_requested below completed world count";
+  }
+  if (out->stop_reason_raw >
+      static_cast<uint32_t>(McStopReason::kCiAboveAlpha)) {
+    return "unknown stop reason";
+  }
+  if (r.pos != r.size) return "trailing bytes";
+  return nullptr;
+}
+
+/// FNV-1a over everything before the trailer, compared against the trailer.
+bool FrameChecksumOk(const char* data, size_t size) {
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, data + size - sizeof checksum, sizeof checksum);
+  return Fnv1a(data, size - sizeof checksum) == checksum;
+}
+
 /// Writer pid embedded in a temp name "<frame>.tmp.<pid>.<ptr>.<nonce>";
 /// 0 when the name doesn't parse (foreign temps are then judged on age).
 int TempWriterPid(const std::string& filename) {
@@ -73,6 +151,85 @@ double FileAgeMs(const std::filesystem::path& path, std::error_code& ec) {
 }
 
 }  // namespace
+
+CalibrationStore::CalibrationStore(Options options)
+    : options_(std::move(options)), backoff_rng_(options_.backoff_seed) {
+  // SFA_STORE_MMAP=0 is the operational escape hatch: flip the whole fleet
+  // back to the copy path without a rebuild (results stay bit-identical).
+  const char* env = std::getenv("SFA_STORE_MMAP");
+  mmap_enabled_ =
+      options_.use_mmap && !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}
+
+void CalibrationStore::BuildIndex() const {
+  std::error_code ec;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory, ec)) {
+    if (entry.path().extension() != ".nulldist") continue;
+    std::error_code entry_ec;
+    IndexEntry ie;
+    ie.size = entry.file_size(entry_ec);
+    if (entry_ec) continue;
+    ie.mtime = entry.last_write_time(entry_ec);
+    if (entry_ec) continue;
+    index_.emplace(entry.path().filename().string(), std::move(ie));
+  }
+}
+
+void CalibrationStore::ForgetIndexEntryLocked(
+    const std::string& filename) const {
+  auto it = index_.find(filename);
+  if (it == index_.end()) return;
+  if (it->second.mapped != nullptr) {
+    --stats_.mmap_frames;
+    stats_.mmap_bytes -= it->second.mapped->file.size();
+  }
+  index_.erase(it);
+}
+
+void CalibrationStore::TouchForLru(const std::string& path) const {
+  const std::string filename =
+      std::filesystem::path(path).filename().string();
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::error_code touch_ec;
+  // `store.touch` simulates a read-only directory/filesystem (tests run as
+  // root, where chmod can't make the real touch fail).
+  SFA_FAILPOINT_WITH("store.touch", {
+    if (fp_action.kind == FailpointActionKind::kError) {
+      touch_ec = std::make_error_code(std::errc::read_only_file_system);
+    }
+  });
+  if (!touch_ec) std::filesystem::last_write_time(path, now, touch_ec);
+  if (!touch_ec) {
+    // Fold the touched mtime back into the signature (re-stat: the
+    // filesystem may round the timestamp) so our own touch never reads as a
+    // foreign rewrite on the next hit.
+    std::error_code stat_ec;
+    const auto mtime = std::filesystem::last_write_time(path, stat_ec);
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = index_.find(filename);
+    if (it != index_.end() && !stat_ec) it->second.mtime = mtime;
+    return;
+  }
+  // Read-only directory/filesystem: degrade to index-tracked in-memory
+  // recency — EvictToBudget orders by max(mtime, last_used), so LRU still
+  // works — and count the condition instead of retrying on the hit path.
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.touch_failures;
+  auto it = index_.find(filename);
+  if (it != index_.end()) it->second.last_used = now;
+}
+
+NullDistributionView CalibrationStore::ViewOf(
+    const std::shared_ptr<const MappedFrame>& frame) {
+  // The aliasing shared_ptr pins the whole mapping for the view's lifetime;
+  // POSIX keeps the pages valid even after the path is unlinked or renamed
+  // over, so eviction/re-Store can never invalidate an outstanding view.
+  return NullDistributionView(
+      frame->maxima, std::shared_ptr<const void>(frame, frame.get()),
+      frame->worlds_requested, frame->stop_reason);
+}
 
 Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
     const Options& options) {
@@ -103,6 +260,10 @@ Result<std::unique_ptr<CalibrationStore>> CalibrationStore::Open(
   // a restarted or peer process is exactly when orphans from a killed writer
   // must be cleared, and the sweep costs one directory listing.
   store->RecoverySweep();
+  // Seed the in-memory index with the surviving frames' signatures so the
+  // warm path never has to re-discover the directory; entries start
+  // unvalidated (the first load of each frame still earns its checksum).
+  store->BuildIndex();
   if (options.sweep_on_open && options.max_bytes > 0) {
     // Startup GC: bound a long-lived directory before serving from it.
     // max_bytes == 0 means unbounded, so the sweep is a no-op then —
@@ -150,6 +311,19 @@ Result<uint64_t> CalibrationStore::EvictToBudget(uint64_t budget_bytes) const {
                   options_.directory.c_str(), ec.message().c_str()));
   }
 
+  // Frames whose LRU mtime touch failed (read-only filesystems) carry their
+  // recency in the index instead; fold it in so they aren't unfairly evicted
+  // as stale. file_time_type on both sides keeps the clocks comparable.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (Frame& frame : frames) {
+      auto it = index_.find(frame.path.filename().string());
+      if (it != index_.end() && it->second.last_used > frame.mtime) {
+        frame.mtime = it->second.last_used;
+      }
+    }
+  }
+
   // Oldest mtime first; name breaks ties so the sweep order is deterministic
   // on filesystems with coarse timestamps.
   std::sort(frames.begin(), frames.end(), [](const Frame& a, const Frame& b) {
@@ -159,12 +333,14 @@ Result<uint64_t> CalibrationStore::EvictToBudget(uint64_t budget_bytes) const {
 
   uint64_t deleted = 0;
   uint64_t reclaimed = 0;
+  std::vector<std::string> deleted_names;
   for (const Frame& frame : frames) {
     if (total_bytes <= budget_bytes) break;
     std::error_code remove_ec;
     if (std::filesystem::remove(frame.path, remove_ec) && !remove_ec) {
       ++deleted;
       reclaimed += frame.size;
+      deleted_names.push_back(frame.path.filename().string());
     }
     // A failed or raced removal still reduces the accounted total: the goal
     // is a bounded directory, and the next sweep re-measures from disk.
@@ -174,6 +350,9 @@ Result<uint64_t> CalibrationStore::EvictToBudget(uint64_t budget_bytes) const {
     std::unique_lock<std::mutex> lock(mu_);
     stats_.evicted_files += deleted;
     stats_.evicted_bytes += reclaimed;
+    // Outstanding views over evicted frames stay valid (their shared backing
+    // pins the pages); only the index forgets them.
+    for (const std::string& name : deleted_names) ForgetIndexEntryLocked(name);
   }
   EnforceQuarantineBudget();
   return deleted;
@@ -337,6 +516,7 @@ Result<NullDistribution> CalibrationStore::Load(
     const CalibrationKey& key) const {
   SFA_FAILPOINT("store.load");
   const std::string path = FilePathFor(key);
+  const std::string filename = std::filesystem::path(path).filename().string();
 
   {
     // Breaker open: the disk is presumed sick, so don't touch it at all.
@@ -355,6 +535,7 @@ Result<NullDistribution> CalibrationStore::Load(
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
       std::unique_lock<std::mutex> lock(mu_);
+      ForgetIndexEntryLocked(filename);  // evicted/quarantined by a peer
       ++stats_.load_misses;
       return Status::NotFound("no persisted calibration for key");
     }
@@ -368,6 +549,8 @@ Result<NullDistribution> CalibrationStore::Load(
           StrFormat("failed reading calibration frame '%s'", path.c_str()));
     }
   }
+  std::error_code sig_ec;
+  const auto mtime = std::filesystem::last_write_time(path, sig_ec);
 
   // Validation failures all land here: quarantine the defective frame so it
   // is parsed (and rejected) at most once, count the rejection, and report
@@ -376,76 +559,212 @@ Result<NullDistribution> CalibrationStore::Load(
     const bool moved =
         options_.quarantine_rejects ? QuarantineFrame(path) : false;
     std::unique_lock<std::mutex> lock(mu_);
+    ForgetIndexEntryLocked(filename);
     ++stats_.load_rejected;
     if (moved) ++stats_.quarantined;
     return Status::NotFound(
         StrFormat("persisted calibration '%s' rejected: %s", path.c_str(), why));
   };
 
-  if (bytes.size() < sizeof kMagic + sizeof(uint32_t) + sizeof(uint64_t)) {
-    return reject("truncated header");
+  ParsedFrame frame;
+  if (const char* why =
+          ParseFrameStructure(bytes.data(), bytes.size(), key, &frame)) {
+    return reject(why);
   }
-  Reader r{bytes.data(), bytes.size() - sizeof(uint64_t)};  // body sans trailer
-  char magic[sizeof kMagic];
-  if (!r.Read(magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    return reject("bad magic");
-  }
-  uint32_t version = 0;
-  if (!r.ReadU32(&version)) return reject("truncated version");
-  if (version != kFormatVersion) return reject("unsupported format version");
 
-  uint64_t checksum = 0;
-  std::memcpy(&checksum, bytes.data() + bytes.size() - sizeof checksum,
-              sizeof checksum);
-  if (Fnv1a(bytes.data(), bytes.size() - sizeof checksum) != checksum) {
+  // Warm-hit revalidation gating: a frame this process already fully
+  // validated, unchanged per its (size, mtime) index signature, skips the
+  // O(n) re-checksum (the structural parse above stays — it is O(header)).
+  // Any signature drift — a foreign rewrite — earns a full re-validation.
+  bool checksum_needed = true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = index_.find(filename);
+    if (it != index_.end() && it->second.validated && !sig_ec &&
+        it->second.size == bytes.size() && it->second.mtime == mtime) {
+      checksum_needed = false;
+      ++stats_.index_hits;
+    }
+  }
+  if (checksum_needed && !FrameChecksumOk(bytes.data(), bytes.size())) {
     return reject("checksum mismatch");
   }
 
-  uint64_t key_hash = 0;
-  if (!r.ReadU64(&key_hash)) return reject("truncated key hash");
-  uint32_t debug_len = 0;
-  if (!r.ReadU32(&debug_len)) return reject("truncated key");
-  std::string debug(debug_len, '\0');
-  if (!r.Read(debug.data(), debug_len)) return reject("truncated key");
-  if (key_hash != key.hash || debug != key.debug) {
-    return reject("frame belongs to a different calibration key");
+  std::vector<double> maxima(frame.num_worlds);
+  if (frame.num_worlds > 0) {
+    std::memcpy(maxima.data(), bytes.data() + frame.maxima_offset,
+                static_cast<size_t>(frame.num_worlds) * sizeof(double));
   }
-
-  uint64_t num_worlds = 0;
-  if (!r.ReadU64(&num_worlds)) return reject("truncated world count");
-  if (num_worlds > (r.size - r.pos) / sizeof(double)) {
-    return reject("truncated maxima");
-  }
-  std::vector<double> maxima(num_worlds);
-  if (num_worlds > 0 && !r.Read(maxima.data(), num_worlds * sizeof(double))) {
-    return reject("truncated maxima");
-  }
-  uint64_t worlds_requested = 0;
-  if (!r.ReadU64(&worlds_requested)) return reject("truncated stop metadata");
-  uint32_t stop_reason_raw = 0;
-  if (!r.ReadU32(&stop_reason_raw)) return reject("truncated stop metadata");
-  if (worlds_requested < num_worlds) {
-    return reject("worlds_requested below completed world count");
-  }
-  if (stop_reason_raw > static_cast<uint32_t>(McStopReason::kCiAboveAlpha)) {
-    return reject("unknown stop reason");
-  }
-  if (r.pos != r.size) return reject("trailing bytes");
 
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.load_hits;
+    IndexEntry& entry = index_[filename];
+    const bool sig_changed =
+        entry.size != bytes.size() || (!sig_ec && entry.mtime != mtime);
+    if (sig_changed && entry.mapped != nullptr) {
+      // The mapping belongs to an older generation of this frame.
+      --stats_.mmap_frames;
+      stats_.mmap_bytes -= entry.mapped->file.size();
+      entry.mapped.reset();
+    }
+    entry.size = bytes.size();
+    if (!sig_ec) entry.mtime = mtime;
+    entry.validated = !sig_ec;  // no mtime, no signature to vouch with
   }
   // LRU touch (best-effort): a served frame counts as recently used, so
   // EvictToBudget's mtime ordering approximates true LRU, not FIFO.
-  std::error_code touch_ec;
-  std::filesystem::last_write_time(
-      path, std::filesystem::file_time_type::clock::now(), touch_ec);
+  TouchForLru(path);
   // The ctor re-sorts descending — a no-op for a well-formed frame, and it
   // restores the class invariant even if a hand-edited file reordered values.
-  return NullDistribution(std::move(maxima), worlds_requested,
-                          static_cast<McStopReason>(stop_reason_raw));
+  return NullDistribution(std::move(maxima), frame.worlds_requested,
+                          static_cast<McStopReason>(frame.stop_reason_raw));
+}
+
+Result<NullDistributionView> CalibrationStore::LoadView(
+    const CalibrationKey& key) const {
+  if (!mmap_enabled_) return Load(key);
+  const std::string path = FilePathFor(key);
+  const std::string filename = std::filesystem::path(path).filename().string();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (breaker_open_) {
+      ++stats_.breaker_fast_fails;
+      ++stats_.load_misses;
+      return Status::NotFound("calibration store circuit breaker is open");
+    }
+  }
+
+  // The copy path's read-failure injection covers this path too: an armed
+  // `store.load` error makes the zero-copy hit fail exactly like a failed
+  // read would, so callers exercise the same recompute fallback.
+  SFA_FAILPOINT("store.load");
+
+  // One stat is the whole disk cost of the warm path: it refreshes the
+  // (size, mtime) signature that detects foreign-process rewrites.
+  std::error_code size_ec;
+  std::error_code mtime_ec;
+  const uint64_t size = std::filesystem::file_size(path, size_ec);
+  const auto mtime = std::filesystem::last_write_time(path, mtime_ec);
+  if (size_ec || mtime_ec) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ForgetIndexEntryLocked(filename);  // evicted/quarantined by a peer
+    ++stats_.load_misses;
+    return Status::NotFound("no persisted calibration for key");
+  }
+
+  std::shared_ptr<const MappedFrame> frame;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = index_.find(filename);
+    if (it != index_.end() && it->second.mapped != nullptr) {
+      IndexEntry& entry = it->second;
+      if (entry.validated && entry.size == size && entry.mtime == mtime) {
+        // Zero-copy warm hit: no read, no checksum, no allocation beyond
+        // the view's control-block bump.
+        frame = entry.mapped;
+        ++stats_.index_hits;
+        ++stats_.mmap_loads;
+        ++stats_.load_hits;
+      } else {
+        // A peer rewrote the frame since we mapped it: retire the stale
+        // mapping (outstanding views keep their pages) and remap below.
+        ++stats_.remap_races;
+        --stats_.mmap_frames;
+        stats_.mmap_bytes -= entry.mapped->file.size();
+        entry.mapped.reset();
+        entry.validated = false;
+      }
+    }
+  }
+  if (frame != nullptr) {
+    TouchForLru(path);
+    return ViewOf(frame);
+  }
+
+  // Cold (or remap) path. Mapping failures — injected via the `store.mmap`
+  // failpoint or real (exotic filesystems, mapping limits) — degrade to the
+  // copy path, which serves identical bytes.
+  SFA_FAILPOINT_WITH("store.mmap", {
+    if (fp_action.kind == FailpointActionKind::kError) return Load(key);
+  });
+  auto mapped = MmapFile::Map(path);
+  if (!mapped.ok()) {
+    if (mapped.status().IsNotFound()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      ForgetIndexEntryLocked(filename);
+      ++stats_.load_misses;
+      return Status::NotFound("no persisted calibration for key");
+    }
+    return Load(key);
+  }
+
+  const auto reject = [&](const char* why) -> Status {
+    const bool moved =
+        options_.quarantine_rejects ? QuarantineFrame(path) : false;
+    std::unique_lock<std::mutex> lock(mu_);
+    ForgetIndexEntryLocked(filename);
+    ++stats_.load_rejected;
+    if (moved) ++stats_.quarantined;
+    return Status::NotFound(
+        StrFormat("persisted calibration '%s' rejected: %s", path.c_str(), why));
+  };
+
+  // One-time validation of this mapped generation: structure, key identity,
+  // checksum. Subsequent hits are vouched for by the index signature.
+  ParsedFrame parsed;
+  if (const char* why =
+          ParseFrameStructure(mapped->data(), mapped->size(), key, &parsed)) {
+    return reject(why);
+  }
+  if (!FrameChecksumOk(mapped->data(), mapped->size())) {
+    return reject("checksum mismatch");
+  }
+  if (parsed.maxima_offset % alignof(double) != 0) {
+    // Cannot happen for a frame this version wrote (the pad aligns the
+    // array), but a forged length field could; the copy path is immune.
+    return Load(key);
+  }
+  const auto* maxima =
+      reinterpret_cast<const double*>(mapped->data() + parsed.maxima_offset);
+  for (uint64_t i = 1; i < parsed.num_worlds; ++i) {
+    if (maxima[i - 1] < maxima[i]) {
+      // The mapping is read-only, so the copy path's defensive re-sort is
+      // impossible here; hand-reordered frames take the copy path instead,
+      // which yields the same (re-sorted) distribution.
+      return Load(key);
+    }
+  }
+
+  auto owned = std::make_shared<MappedFrame>();
+  owned->maxima = std::span<const double>(maxima, parsed.num_worlds);
+  owned->worlds_requested = parsed.worlds_requested;
+  owned->stop_reason = static_cast<McStopReason>(parsed.stop_reason_raw);
+  owned->file = std::move(*mapped);
+  frame = owned;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    IndexEntry& entry = index_[filename];
+    if (entry.mapped != nullptr) {
+      // A concurrent LoadView won the remap race; serve its mapping (both
+      // validated the same generation) and drop ours.
+      frame = entry.mapped;
+    } else {
+      entry.mapped = frame;
+      entry.size = frame->file.size();
+      entry.mtime = mtime;
+      entry.validated = true;
+      ++entry.generation;
+      ++stats_.mmap_frames;
+      stats_.mmap_bytes += frame->file.size();
+    }
+    ++stats_.mmap_loads;
+    ++stats_.load_hits;
+  }
+  TouchForLru(path);
+  return ViewOf(frame);
 }
 
 Status CalibrationStore::Store(const CalibrationKey& key,
@@ -503,6 +822,23 @@ Status CalibrationStore::Store(const CalibrationKey& key,
       breaker_open_ = false;  // a successful probe (or write) closes it
       breaker_probing_ = false;
       ++stats_.stores;
+      // A successful write starts a new frame generation: retire any
+      // mapping of the replaced frame (readers still holding views keep
+      // their pages; the next LoadView maps the new generation) and reset
+      // the validation vouch — the first load still earns its checksum, so
+      // bytes torn BELOW the write call (kernel/disk corruption, the
+      // `store.write` corrupt drill) can never be served on the index's
+      // word.
+      const std::string filename =
+          std::filesystem::path(FilePathFor(key)).filename().string();
+      IndexEntry& entry = index_[filename];
+      if (entry.mapped != nullptr) {
+        --stats_.mmap_frames;
+        stats_.mmap_bytes -= entry.mapped->file.size();
+        entry.mapped.reset();
+      }
+      ++entry.generation;
+      entry.validated = false;
     } else {
       ++stats_.store_failures;
       ++consecutive_store_failures_;
@@ -533,13 +869,16 @@ Status CalibrationStore::Store(const CalibrationKey& key,
 Status CalibrationStore::WriteFrameOnce(
     const CalibrationKey& key, const NullDistribution& distribution) const {
   std::string frame;
-  const std::vector<double>& maxima = distribution.sorted_max();
+  const std::span<const double> maxima = distribution.sorted_max();
   frame.reserve(64 + key.debug.size() + maxima.size() * sizeof(double));
   AppendRaw(&frame, kMagic, sizeof kMagic);
   AppendU32(&frame, kFormatVersion);
   AppendU64(&frame, key.hash);
   AppendU32(&frame, static_cast<uint32_t>(key.debug.size()));
   AppendRaw(&frame, key.debug.data(), key.debug.size());
+  // v4: zero pad so the maxima array that follows the world count is
+  // 8-aligned — the mmap path serves doubles in place.
+  frame.append(FramePadLen(key.debug.size()), '\0');
   AppendU64(&frame, maxima.size());
   if (!maxima.empty()) {
     AppendRaw(&frame, maxima.data(), maxima.size() * sizeof(double));

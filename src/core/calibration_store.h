@@ -11,8 +11,12 @@
 // file is a self-verifying binary frame:
 //
 //   magic "SFANULLD" | u32 version | u64 key hash | u32 debug len | debug
-//   bytes | u64 world count | f64 sorted maxima (descending) | u64 FNV-1a
-//   checksum of everything before it
+//   bytes | zero pad to 8-align what follows | u64 world count | f64 sorted
+//   maxima (descending) | u64 worlds requested | u32 stop reason | u64
+//   FNV-1a checksum of everything before it
+//
+// The pad places the maxima array on an 8-byte boundary, so the zero-copy
+// warm path (LoadView) can serve a span straight out of an mmap'd frame.
 //
 // Writes are crash-safe: the frame is written to a dot-temp file in the same
 // directory and atomically renamed into place, so readers (including
@@ -56,11 +60,15 @@
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 
 #include "common/lease.h"
+#include "common/mmap_file.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "core/calibration_cache.h"
@@ -79,8 +87,11 @@ class CalibrationStore {
   /// v2 → v3: frames append the adaptive-stop metadata (worlds_requested +
   /// stop reason) after the maxima, so an early-stopped calibration
   /// round-trips as early-stopped instead of masquerading as a full run of
-  /// its truncated length.
-  static constexpr uint32_t kFormatVersion = 3;
+  /// its truncated length. v3 → v4: zero padding between the key debug bytes
+  /// and the world count aligns the maxima array to 8 bytes, so the
+  /// zero-copy mmap path can serve a `std::span<const double>` straight out
+  /// of the mapping without ever forming a misaligned pointer.
+  static constexpr uint32_t kFormatVersion = 4;
 
   struct Options {
     std::string directory;
@@ -135,6 +146,12 @@ class CalibrationStore {
     /// How long a non-owner sleeps between store re-checks while a live
     /// foreign process holds the key's lease.
     double lease_wait_poll_ms = 5.0;
+    /// Serve LoadView hits as zero-copy views over an mmap'd frame (one
+    /// validation per mapped generation, no heap copy). Also gated by the
+    /// `SFA_STORE_MMAP=0` environment escape hatch, checked at Open; when
+    /// either disables mmap, LoadView degrades to the copy path (Load),
+    /// which stays bit-identical.
+    bool use_mmap = true;
   };
 
   /// Cumulative counters (monotone over the store's lifetime; thread-safe).
@@ -157,7 +174,13 @@ class CalibrationStore {
     uint64_t leases_acquired = 0;    ///< TryAcquireLease calls that won
     uint64_t lease_takeovers = 0;    ///< wins that reclaimed a stale holder
     uint64_t lease_contention = 0;   ///< attempts that saw a live foreign holder
+    uint64_t index_hits = 0;     ///< warm hits answered by the in-memory index
+    uint64_t mmap_loads = 0;     ///< LoadView hits served from a mapping
+    uint64_t remap_races = 0;    ///< mapped frames remapped after a foreign rewrite
+    uint64_t touch_failures = 0; ///< LRU mtime touches that failed (read-only fs)
     bool breaker_open = false;       ///< snapshot, not a counter
+    uint64_t mmap_frames = 0;        ///< gauge: live mappings held by the index
+    uint64_t mmap_bytes = 0;         ///< gauge: bytes of those mappings
   };
 
   /// Opens (and optionally creates) a store directory.
@@ -171,6 +194,22 @@ class CalibrationStore {
   /// breaker is open — the caller recomputes either way. IOError only for
   /// filesystem-level read failures of an existing file.
   Result<NullDistribution> Load(const CalibrationKey& key) const;
+
+  /// Zero-copy warm path: like Load, but a hit is served as a
+  /// NullDistributionView over an mmap'd read-only frame. The frame is
+  /// validated (magic/version/checksum/key/sortedness) ONCE per mapped
+  /// generation; subsequent hits cost one stat (foreign-writer detection via
+  /// the index's size/mtime/generation signature) and zero copies. Eviction
+  /// and re-Store are safe against outstanding views: POSIX keeps unlinked
+  /// pages alive until the last view drops, and a signature change triggers
+  /// a remap (counted in stats().remap_races) so new hits see the new
+  /// generation. When mmap is disabled (Options::use_mmap == false or
+  /// SFA_STORE_MMAP=0) or the mapping fails (`store.mmap` failpoint, exotic
+  /// filesystems), degrades to the copy path with identical results.
+  Result<NullDistributionView> LoadView(const CalibrationKey& key) const;
+
+  /// Whether LoadView actually serves mmap'd views (option AND env gate).
+  bool mmap_enabled() const { return mmap_enabled_; }
 
   /// Persists `distribution` for `key` (atomic rename; replaces any previous
   /// frame for the key). Transient IOError failures are retried per the
@@ -225,8 +264,37 @@ class CalibrationStore {
   Stats stats() const;
 
  private:
-  explicit CalibrationStore(Options options)
-      : options_(std::move(options)), backoff_rng_(options_.backoff_seed) {}
+  explicit CalibrationStore(Options options);
+
+  /// A validated mmap'd frame: the mapping plus spans/metadata parsed out of
+  /// it. Handed to readers behind a shared_ptr (aliased as the
+  /// NullDistributionView's backing), so eviction/replacement in the index
+  /// never invalidates an outstanding view.
+  struct MappedFrame {
+    MmapFile file;
+    std::span<const double> maxima;  // points into file, sorted descending
+    uint64_t worlds_requested = 0;
+    McStopReason stop_reason = McStopReason::kNone;
+  };
+
+  /// Per-frame in-memory index entry (keyed by frame filename). The
+  /// (size, mtime, generation) triple is the warm-hit signature: one stat
+  /// per hit detects foreign-process rewrites, and the locally-bumped
+  /// generation guards the ABA case of a rewrite landing within the mtime
+  /// granularity.
+  struct IndexEntry {
+    uint64_t size = 0;
+    std::filesystem::file_time_type mtime{};
+    uint64_t generation = 0;
+    bool validated = false;  ///< frame passed full validation this process
+    /// In-memory recency fallback: set when the LRU mtime touch fails
+    /// (read-only directory); EvictToBudget orders by max(mtime, last_used).
+    /// min() = "never" (the default-constructed file_time_type is NOT a safe
+    /// sentinel — libstdc++'s file clock epoch is in the future).
+    std::filesystem::file_time_type last_used =
+        std::filesystem::file_time_type::min();
+    std::shared_ptr<const MappedFrame> mapped;  ///< null on the copy path
+  };
 
   /// One frame-build + temp-write + rename attempt (no retry, no breaker).
   Status WriteFrameOnce(const CalibrationKey& key,
@@ -241,9 +309,30 @@ class CalibrationStore {
   /// the budget is 0); counts into stats().quarantine_evicted_*.
   void EnforceQuarantineBudget() const;
 
+  /// Best-effort LRU recency bump for a just-served frame: touch the file
+  /// mtime; on failure (read-only directory/filesystem) degrade to the
+  /// index's in-memory last_used and count stats().touch_failures — never
+  /// retry on the hit path.
+  void TouchForLru(const std::string& path) const;
+
+  /// Drops `filename` from the index (releasing its mapping gauge-wise);
+  /// outstanding views keep their pages via their shared backing.
+  void ForgetIndexEntryLocked(const std::string& filename) const;
+
+  /// Seeds the index with the directory's frames at Open (signatures only,
+  /// validated = false — the first load of each frame still validates it).
+  void BuildIndex() const;
+
+  /// A view whose backing aliases `frame`, pinning the mapping.
+  static NullDistributionView ViewOf(
+      const std::shared_ptr<const MappedFrame>& frame);
+
   Options options_;
-  mutable std::mutex mu_;  ///< guards stats_, breaker state, rng, temp counter
+  bool mmap_enabled_ = true;  ///< options_.use_mmap AND env SFA_STORE_MMAP!=0
+  mutable std::mutex mu_;  ///< guards stats_, breaker state, rng, temp
+                           ///< counter, and index_
   mutable Stats stats_;
+  mutable std::unordered_map<std::string, IndexEntry> index_;
   mutable uint64_t temp_counter_ = 0;
   mutable Rng backoff_rng_;
 

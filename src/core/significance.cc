@@ -55,78 +55,101 @@ const char* McStopReasonToString(McStopReason reason) {
   return "?";
 }
 
-NullDistribution::NullDistribution(std::vector<double> max_llrs)
-    : sorted_max_(std::move(max_llrs)),
-      worlds_requested_(sorted_max_.size()) {
-  std::sort(sorted_max_.begin(), sorted_max_.end(), std::greater<double>());
+void NullDistribution::AdoptOwned(std::vector<double> max_llrs) {
+  std::sort(max_llrs.begin(), max_llrs.end(), std::greater<double>());
+  // The vector's heap buffer is address-stable behind the shared_ptr, so the
+  // span survives copies/moves of this object without custom copy control.
+  auto owned = std::make_shared<const std::vector<double>>(std::move(max_llrs));
+  maxima_ = std::span<const double>(owned->data(), owned->size());
+  backing_ = std::move(owned);
+}
+
+NullDistribution::NullDistribution(std::vector<double> max_llrs) {
+  worlds_requested_ = max_llrs.size();
+  AdoptOwned(std::move(max_llrs));
 }
 
 NullDistribution::NullDistribution(std::vector<double> max_llrs,
                                    uint64_t worlds_requested,
                                    McStopReason stop_reason)
-    : sorted_max_(std::move(max_llrs)),
-      worlds_requested_(worlds_requested),
-      stop_reason_(stop_reason) {
-  SFA_CHECK_MSG(worlds_requested_ >= sorted_max_.size(),
+    : worlds_requested_(worlds_requested), stop_reason_(stop_reason) {
+  SFA_CHECK_MSG(worlds_requested_ >= max_llrs.size(),
                 "worlds_requested " << worlds_requested_ << " < completed "
-                                    << sorted_max_.size());
-  std::sort(sorted_max_.begin(), sorted_max_.end(), std::greater<double>());
+                                    << max_llrs.size());
+  AdoptOwned(std::move(max_llrs));
+}
+
+NullDistribution::NullDistribution(std::span<const double> sorted_maxima,
+                                   std::shared_ptr<const void> backing,
+                                   uint64_t worlds_requested,
+                                   McStopReason stop_reason)
+    : maxima_(sorted_maxima),
+      backing_(std::move(backing)),
+      worlds_requested_(worlds_requested),
+      stop_reason_(stop_reason),
+      zero_copy_(true) {
+  SFA_CHECK_MSG(worlds_requested_ >= maxima_.size(),
+                "worlds_requested " << worlds_requested_ << " < completed "
+                                    << maxima_.size());
+  // Sorted-descending is the caller's contract (checked once at frame
+  // validation); spot-check the ends so a grossly wrong span fails fast.
+  SFA_DCHECK(maxima_.empty() || maxima_.front() >= maxima_.back());
 }
 
 double NullDistribution::PValue(double observed) const {
-  SFA_CHECK(!sorted_max_.empty());
-  // sorted_max_ is descending; upper_bound with greater<> yields the first
+  SFA_CHECK(!maxima_.empty());
+  // maxima_ is descending; upper_bound with greater<> yields the first
   // element strictly below `observed`, so everything before it is >= observed.
-  const auto it = std::upper_bound(sorted_max_.begin(), sorted_max_.end(), observed,
+  const auto it = std::upper_bound(maxima_.begin(), maxima_.end(), observed,
                                    std::greater<double>());
-  const auto geq = static_cast<size_t>(it - sorted_max_.begin());
-  return static_cast<double>(1 + geq) / static_cast<double>(sorted_max_.size() + 1);
+  const auto geq = static_cast<size_t>(it - maxima_.begin());
+  return static_cast<double>(1 + geq) / static_cast<double>(maxima_.size() + 1);
 }
 
 double NullDistribution::CriticalValue(double alpha) const {
-  SFA_CHECK(!sorted_max_.empty());
+  SFA_CHECK(!maxima_.empty());
   SFA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha " << alpha << " outside (0,1)");
-  const size_t w = sorted_max_.size() + 1;
+  const size_t w = maxima_.size() + 1;
   // Λ is significant iff (1 + #{null >= Λ}) / w <= alpha, i.e. at most
   // floor(alpha*w) - 1 null values may reach Λ. The threshold is the
   // (floor(alpha*w))-th largest null value: any Λ strictly above it wins.
   const auto budget = static_cast<size_t>(std::floor(alpha * static_cast<double>(w)));
   if (budget == 0) return std::numeric_limits<double>::infinity();
-  return sorted_max_[budget - 1];
+  return maxima_[budget - 1];
 }
 
 Result<double> NullDistribution::GumbelPValue(double observed) const {
   // Degenerate nulls (constant maxima — e.g. tiny families where every
   // world scans to 0) have no tail to fit; make the failure mode explicit
   // rather than leaving it to the moments fit's sample-variance check.
-  if (sorted_max_.size() < 2 || sorted_max_.front() == sorted_max_.back()) {
+  if (maxima_.size() < 2 || maxima_.front() == maxima_.back()) {
     return Status::FailedPrecondition(
         "Gumbel tail fit needs >= 2 distinct simulated maxima");
   }
   SFA_ASSIGN_OR_RETURN(stats::GumbelDistribution gumbel,
-                       stats::GumbelDistribution::FitMoments(sorted_max_));
+                       stats::GumbelDistribution::FitMoments(maxima_));
   return gumbel.UpperTail(observed);
 }
 
 TailFit NullDistribution::AssessTailFit(double max_ks) const {
   TailFit fit;
-  if (sorted_max_.size() < 2 || sorted_max_.front() == sorted_max_.back()) {
+  if (maxima_.size() < 2 || maxima_.front() == maxima_.back()) {
     return fit;  // degenerate: fitted = false, ks = 1
   }
-  auto fitted = stats::GumbelDistribution::FitMoments(sorted_max_);
+  auto fitted = stats::GumbelDistribution::FitMoments(maxima_);
   if (!fitted.ok()) return fit;
   fit.fitted = true;
   fit.mu = fitted->mu();
   fit.beta = fitted->beta();
   // Two-sided KS distance of the fitted CDF against the empirical maxima,
-  // evaluated at both sides of every jump. sorted_max_ is descending, so
+  // evaluated at both sides of every jump. maxima_ is descending, so
   // index size-1-i walks the samples ascending; ties are covered because
   // every tied index contributes both its lower and upper ECDF step, which
   // bracket the true jump.
-  const double n = static_cast<double>(sorted_max_.size());
+  const double n = static_cast<double>(maxima_.size());
   double d = 0.0;
-  for (size_t i = 0; i < sorted_max_.size(); ++i) {
-    const double x = sorted_max_[sorted_max_.size() - 1 - i];
+  for (size_t i = 0; i < maxima_.size(); ++i) {
+    const double x = maxima_[maxima_.size() - 1 - i];
     const double f = fitted->Cdf(x);
     d = std::max(d, (static_cast<double>(i) + 1.0) / n - f);
     d = std::max(d, f - static_cast<double>(i) / n);
@@ -139,12 +162,12 @@ TailFit NullDistribution::AssessTailFit(double max_ks) const {
 PValueEstimate NullDistribution::ResolvePValue(double observed,
                                                SignificanceMethod method,
                                                double max_ks) const {
-  SFA_CHECK(!sorted_max_.empty());
+  SFA_CHECK(!maxima_.empty());
   PValueEstimate estimate;
   estimate.p_value = PValue(observed);
   estimate.method = SignificanceMethod::kEmpirical;
 
-  const bool beyond_simulated = observed > sorted_max_.front();
+  const bool beyond_simulated = observed > maxima_.front();
   const bool want_tail =
       method == SignificanceMethod::kGumbelTail ||
       (method == SignificanceMethod::kAuto && beyond_simulated);
@@ -171,13 +194,13 @@ PValueEstimate NullDistribution::ResolvePValue(double observed,
 CriticalValueInfo NullDistribution::CriticalValueEx(double alpha,
                                                     bool tail_advisory,
                                                     double max_ks) const {
-  SFA_CHECK(!sorted_max_.empty());
+  SFA_CHECK(!maxima_.empty());
   SFA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha " << alpha << " outside (0,1)");
   CriticalValueInfo info;
-  const size_t w = sorted_max_.size() + 1;
+  const size_t w = maxima_.size() + 1;
   const auto budget = static_cast<size_t>(std::floor(alpha * static_cast<double>(w)));
   if (budget > 0) {
-    info.value = sorted_max_[budget - 1];
+    info.value = maxima_[budget - 1];
     info.resolvable = true;
     return info;
   }

@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -218,6 +220,16 @@ struct CriticalValueInfo {
 };
 
 /// The simulated null distribution of the max statistic.
+///
+/// Storage model: the sorted maxima live in a single immutable allocation
+/// owned through a type-erased shared keepalive, and the object itself holds
+/// only a span into it. Copying a NullDistribution (e.g. into every
+/// AuditResult) is therefore O(1) — a span plus a reference bump, never a
+/// heap copy of W doubles — and the same representation serves ZERO-COPY
+/// views whose maxima live in storage the distribution does not own at all,
+/// such as an mmap'd CalibrationStore frame (the keepalive then pins the
+/// mapping, so views stay valid even after the frame is unlinked on disk —
+/// POSIX keeps mapped pages alive until the last munmap).
 class NullDistribution {
  public:
   NullDistribution() = default;
@@ -228,9 +240,24 @@ class NullDistribution {
   /// decision. Requires worlds_requested >= max_llrs.size().
   NullDistribution(std::vector<double> max_llrs, uint64_t worlds_requested,
                    McStopReason stop_reason);
+  /// Zero-copy view: `sorted_maxima` must already be sorted DESCENDING and
+  /// must stay valid for as long as `backing` keeps its referent alive (the
+  /// caller — CalibrationStore::LoadView — validates sortedness during its
+  /// one-time frame validation). No bytes are copied; every copy of the
+  /// resulting object shares `backing`.
+  NullDistribution(std::span<const double> sorted_maxima,
+                   std::shared_ptr<const void> backing,
+                   uint64_t worlds_requested, McStopReason stop_reason);
 
-  size_t num_worlds() const { return sorted_max_.size(); }
-  const std::vector<double>& sorted_max() const { return sorted_max_; }
+  size_t num_worlds() const { return maxima_.size(); }
+  std::span<const double> sorted_max() const { return maxima_; }
+  /// Owned copy of the maxima (tests, serialization helpers). O(W).
+  std::vector<double> MaximaVector() const {
+    return std::vector<double>(maxima_.begin(), maxima_.end());
+  }
+  /// True when the maxima live in storage this object does not own (an
+  /// mmap'd store frame held alive through the backing keepalive).
+  bool zero_copy() const { return zero_copy_; }
 
   /// The world count the simulation targeted; equals num_worlds() for full
   /// runs, exceeds it for early-stopped calibrations.
@@ -283,10 +310,22 @@ class NullDistribution {
                                     double max_ks = kDefaultTailKsGate) const;
 
  private:
-  std::vector<double> sorted_max_;  // descending
-  uint64_t worlds_requested_ = 0;   // == sorted_max_.size() unless early-stopped
+  /// Installs an owned, freshly sorted maxima vector behind the keepalive.
+  void AdoptOwned(std::vector<double> max_llrs);
+
+  std::span<const double> maxima_;       // sorted descending
+  std::shared_ptr<const void> backing_;  // owns (or pins) maxima_'s storage
+  uint64_t worlds_requested_ = 0;  // == maxima_.size() unless early-stopped
   McStopReason stop_reason_ = McStopReason::kNone;
+  bool zero_copy_ = false;
 };
+
+/// A NullDistribution whose maxima are served zero-copy out of storage owned
+/// elsewhere — in practice an mmap'd CalibrationStore frame. Same type, same
+/// API: after the span/backing refactor the distinction is purely where the
+/// backing keepalive points, so views flow through the cache, the pipeline,
+/// and AuditResult without any call-site changes.
+using NullDistributionView = NullDistribution;
 
 /// Validates the decision-relevant Monte Carlo options: the world count
 /// and, when enabled, the adaptive sequential-stopping configuration.

@@ -33,7 +33,7 @@ double GumbelDistribution::Quantile(double q) const {
 }
 
 Result<GumbelDistribution> GumbelDistribution::FitMoments(
-    const std::vector<double>& samples) {
+    std::span<const double> samples) {
   if (samples.size() < 2) {
     return Status::InvalidArgument("Gumbel fit needs at least 2 samples");
   }

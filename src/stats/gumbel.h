@@ -12,7 +12,7 @@
 #ifndef SFA_STATS_GUMBEL_H_
 #define SFA_STATS_GUMBEL_H_
 
-#include <vector>
+#include <span>
 
 #include "common/status.h"
 
@@ -39,7 +39,7 @@ class GumbelDistribution {
 
   /// Fits by the method of moments to samples (needs >= 2 distinct values):
   /// beta = s * sqrt(6)/pi, mu = mean - gamma*beta (gamma: Euler-Mascheroni).
-  static Result<GumbelDistribution> FitMoments(const std::vector<double>& samples);
+  static Result<GumbelDistribution> FitMoments(std::span<const double> samples);
 
  private:
   double mu_;

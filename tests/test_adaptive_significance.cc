@@ -99,7 +99,7 @@ TEST(AdaptiveMc, PrefixByteIdenticalToFixedWorldsRun) {
   fixed.seed = 17;
   auto pinned = SimulateNull(statistic, *family, fixed);
   ASSERT_TRUE(pinned.ok()) << pinned.status();
-  EXPECT_EQ(adaptive->sorted_max(), pinned->sorted_max());
+  EXPECT_EQ(adaptive->MaximaVector(), pinned->MaximaVector());
 }
 
 TEST(AdaptiveMc, StopPointInvariantAcrossExecutionStrategies) {
@@ -145,7 +145,7 @@ TEST(AdaptiveMc, StopPointInvariantAcrossExecutionStrategies) {
     ASSERT_TRUE(got.ok()) << got.status();
     EXPECT_EQ(got->num_worlds(), reference->num_worlds());
     EXPECT_EQ(got->stop_reason(), reference->stop_reason());
-    EXPECT_EQ(got->sorted_max(), reference->sorted_max());
+    EXPECT_EQ(got->MaximaVector(), reference->MaximaVector());
   }
 }
 

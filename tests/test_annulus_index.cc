@@ -549,11 +549,11 @@ TEST(AnnulusBackend, NullDistributionBitIdenticalToDenseReference) {
             mc.batch_size = batch_size;
             const NullDistribution sparse_run = MustSimulate(*pair.sparse, mc);
             const NullDistribution dense_run = MustSimulate(*pair.dense, mc);
-            EXPECT_EQ(sparse_run.sorted_max(), reference.sorted_max())
+            EXPECT_EQ(sparse_run.MaximaVector(), reference.MaximaVector())
                 << name << " sparse / " << NullModelToString(null_model)
                 << " / " << McEngineToString(engine) << " / parallel="
                 << parallel << " / batch=" << batch_size;
-            EXPECT_EQ(dense_run.sorted_max(), reference.sorted_max())
+            EXPECT_EQ(dense_run.MaximaVector(), reference.MaximaVector())
                 << name << " dense / " << NullModelToString(null_model)
                 << " / " << McEngineToString(engine) << " / parallel="
                 << parallel << " / batch=" << batch_size;

@@ -113,7 +113,7 @@ TEST(CalibrationStore, RoundTripsNullDistributionExactly) {
   auto loaded = store->Load(key);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   // Bit-exact round trip: doubles survive the binary frame unchanged.
-  EXPECT_EQ(loaded->sorted_max(), simulated->sorted_max());
+  EXPECT_EQ(loaded->MaximaVector(), simulated->MaximaVector());
   EXPECT_EQ(store->stats().load_hits, 1u);
   EXPECT_EQ(store->stats().stores, 1u);
 }
@@ -134,7 +134,7 @@ TEST(CalibrationStore, RoundTripsEarlyStopMetadata) {
   ASSERT_TRUE(store->Store(key, stopped).ok());
   auto loaded = store->Load(key);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
-  EXPECT_EQ(loaded->sorted_max(), stopped.sorted_max());
+  EXPECT_EQ(loaded->MaximaVector(), stopped.MaximaVector());
   EXPECT_EQ(loaded->worlds_requested(), 99u);
   EXPECT_EQ(loaded->stop_reason(), McStopReason::kCiAboveAlpha);
   EXPECT_TRUE(loaded->early_stopped());
@@ -319,9 +319,10 @@ TEST(CalibrationStore, RejectsFrameBelongingToAnotherKey) {
 TEST(CalibrationStore, RejectsPreStatisticLayerV1Frames) {
   // The statistic layer changed what a calibration key MEANS (keys embed the
   // ScanStatistic fingerprint) — v2; the adaptive-stop layer appended stop
-  // metadata to the frame body — v3. Frames of any other version — written
-  // by older builds — must be rejected into a recompute, never adopted.
-  ASSERT_EQ(CalibrationStore::kFormatVersion, 3u);
+  // metadata to the frame body — v3; the zero-copy mmap layer aligned the
+  // maxima array — v4. Frames of any other version — written by older
+  // builds — must be rejected into a recompute, never adopted.
+  ASSERT_EQ(CalibrationStore::kFormatVersion, 4u);
   TempStoreDir dir("v1frame");
   auto store = dir.OpenOrDie();
   StoreBatch b;
@@ -565,7 +566,7 @@ TEST(CalibrationStore, EvictSweepRacingConcurrentLoadsAndStoresStaysSafe) {
     while (!stop.load()) {
       for (size_t i = 0; i < keys.size(); ++i) {
         auto loaded = store->Load(keys[i]);
-        if (loaded.ok() && loaded->sorted_max() != dists[i].sorted_max()) {
+        if (loaded.ok() && loaded->MaximaVector() != dists[i].MaximaVector()) {
           wrong_payloads.fetch_add(1);
         }
       }

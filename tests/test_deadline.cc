@@ -112,8 +112,8 @@ TEST_F(DeadlineTest, EngineStopKeepsExactContiguousPrefixInSerialOrder) {
   ASSERT_TRUE(full.ok());
   ASSERT_TRUE(clean24.ok());
   const NullDistribution from_partial(std::move(partial.maxima));
-  EXPECT_EQ(from_partial.sorted_max(), clean24->sorted_max());
-  EXPECT_NE(full->sorted_max().size(), clean24->sorted_max().size());
+  EXPECT_EQ(from_partial.MaximaVector(), clean24->MaximaVector());
+  EXPECT_NE(full->MaximaVector().size(), clean24->MaximaVector().size());
 }
 
 TEST_F(DeadlineTest, ParallelStopPrefixDependsOnlyOnItsLength) {
@@ -139,7 +139,7 @@ TEST_F(DeadlineTest, ParallelStopPrefixDependsOnlyOnItsLength) {
         f.SerialMc(static_cast<uint32_t>(partial.worlds_completed)));
     ASSERT_TRUE(clean_prefix.ok());
     const NullDistribution from_partial(std::move(partial.maxima));
-    EXPECT_EQ(from_partial.sorted_max(), clean_prefix->sorted_max());
+    EXPECT_EQ(from_partial.MaximaVector(), clean_prefix->MaximaVector());
   }
 }
 

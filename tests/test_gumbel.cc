@@ -43,9 +43,10 @@ TEST(GumbelDistribution, QuantileInvertsCdf) {
 }
 
 TEST(GumbelDistribution, FitRejectsDegenerateInput) {
-  EXPECT_FALSE(GumbelDistribution::FitMoments({}).ok());
-  EXPECT_FALSE(GumbelDistribution::FitMoments({1.0}).ok());
-  EXPECT_FALSE(GumbelDistribution::FitMoments({2.0, 2.0, 2.0}).ok());
+  EXPECT_FALSE(GumbelDistribution::FitMoments(std::vector<double>{}).ok());
+  EXPECT_FALSE(GumbelDistribution::FitMoments(std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(
+      GumbelDistribution::FitMoments(std::vector<double>{2.0, 2.0, 2.0}).ok());
 }
 
 TEST(GumbelDistribution, FitRecoversParameters) {

@@ -104,7 +104,7 @@ TEST(BernoulliStatistic, SimulateNullMatchesLegacyEntryPointBitForBit) {
     auto legacy = SimulateNull(**family, ds.PositiveRate(), ds.PositiveCount(),
                                stats::ScanDirection::kTwoSided, mc);
     ASSERT_TRUE(via_statistic.ok() && legacy.ok());
-    EXPECT_EQ(via_statistic->sorted_max(), legacy->sorted_max())
+    EXPECT_EQ(via_statistic->MaximaVector(), legacy->MaximaVector())
         << NullModelToString(null_model);
   }
 }
@@ -270,7 +270,7 @@ TEST(MultinomialStatistic, EngineStrategiesBitIdentical) {
           batched.parallel = parallel;
           auto got = SimulateNull(**statistic, **family, batched);
           ASSERT_TRUE(got.ok());
-          EXPECT_EQ(got->sorted_max(), baseline->sorted_max())
+          EXPECT_EQ(got->MaximaVector(), baseline->MaximaVector())
               << NullModelToString(null_model) << " cf=" << closed_form
               << " batch=" << batch_size << " parallel=" << parallel;
         }

@@ -48,7 +48,7 @@ TEST(NullDistribution, UnattainableAlphaGivesInfinity) {
 
 TEST(NullDistribution, SortsInput) {
   NullDistribution dist({3.0, 1.0, 2.0});
-  EXPECT_EQ(dist.sorted_max(), (std::vector<double>{3.0, 2.0, 1.0}));
+  EXPECT_EQ(dist.MaximaVector(), (std::vector<double>{3.0, 2.0, 1.0}));
 }
 
 TEST(NullDistribution, MetadataConstructorCarriesStopState) {
@@ -223,7 +223,7 @@ TEST(SimulateNull, DeterministicAcrossParallelism) {
   auto b =
       SimulateNull(*family, 0.4, 200, stats::ScanDirection::kTwoSided, parallel);
   ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_EQ(a->sorted_max(), b->sorted_max());
+  EXPECT_EQ(a->MaximaVector(), b->MaximaVector());
 }
 
 TEST(SimulateNull, DifferentSeedsGiveDifferentDistributions) {
@@ -235,7 +235,7 @@ TEST(SimulateNull, DifferentSeedsGiveDifferentDistributions) {
   opts.seed = 2;
   auto b = SimulateNull(*family, 0.5, 250, stats::ScanDirection::kTwoSided, opts);
   ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_NE(a->sorted_max(), b->sorted_max());
+  EXPECT_NE(a->MaximaVector(), b->MaximaVector());
 }
 
 TEST(SimulateNull, NullMaximaArePositiveAndFinite) {

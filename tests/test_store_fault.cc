@@ -121,7 +121,7 @@ TEST_F(StoreFaultTest, RetryWithBackoffRecoversFromTransientWriteFailures) {
 
   auto loaded = store->Load(f.Key());
   ASSERT_TRUE(loaded.ok()) << loaded.status();
-  EXPECT_EQ(loaded->sorted_max(), dist.sorted_max());
+  EXPECT_EQ(loaded->MaximaVector(), dist.MaximaVector());
 }
 
 TEST_F(StoreFaultTest, ExhaustedRetriesFailTheCall) {
@@ -202,7 +202,7 @@ TEST_F(StoreFaultTest, TornWriteIsQuarantinedOnceAndRecomputedCleanly) {
   }
   auto healed = store->Load(f.Key());
   ASSERT_TRUE(healed.ok()) << healed.status();
-  EXPECT_EQ(healed->sorted_max(), dist.sorted_max());
+  EXPECT_EQ(healed->MaximaVector(), dist.MaximaVector());
 }
 
 TEST_F(StoreFaultTest, DiskFullTripsBreakerAndServesMemoryOnly) {
@@ -280,7 +280,7 @@ TEST_F(StoreFaultTest, FailedProbeKeepsBreakerOpenUntilDiskHeals) {
   // Closed for good: the probe's frame is durable and round-trips intact.
   auto healed = store->Load(f.Key());
   ASSERT_TRUE(healed.ok()) << healed.status();
-  EXPECT_EQ(healed->sorted_max(), dist.sorted_max());
+  EXPECT_EQ(healed->MaximaVector(), dist.MaximaVector());
 }
 
 TEST_F(StoreFaultTest, LoadInjectionFallsBackToRecomputeNotFailure) {

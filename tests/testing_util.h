@@ -97,7 +97,7 @@ inline void ExpectIdenticalResult(const AuditResult& a, const AuditResult& b,
   EXPECT_EQ(a.overall_rate, b.overall_rate);
   EXPECT_EQ(a.observed.llr, b.observed.llr);
   EXPECT_EQ(a.observed.positives, b.observed.positives);
-  EXPECT_EQ(a.null_distribution.sorted_max(), b.null_distribution.sorted_max());
+  EXPECT_EQ(a.null_distribution.MaximaVector(), b.null_distribution.MaximaVector());
   ASSERT_EQ(a.findings.size(), b.findings.size());
   for (size_t i = 0; i < a.findings.size(); ++i) {
     EXPECT_EQ(a.findings[i].region_index, b.findings[i].region_index);
